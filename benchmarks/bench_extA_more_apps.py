@@ -1,0 +1,78 @@
+"""Extension A — generality beyond the paper's two applications.
+
+Runs the Table-2 protocol on the CG solver (allreduce-latency-bound)
+and the 2-D FFT (alltoall-bandwidth-bound, non-monotone scaling).
+These stress communication regimes the two primary applications do not,
+probing whether the scalability basis generalizes.
+"""
+
+from conftest import LARGE_SCALES, experiment_config, cached_histories, report
+
+from repro.analysis import ascii_table, format_percent, run_method_comparison
+
+BASELINES = ["direct-rf", "direct-lasso", "direct-mlp", "direct-knn"]
+
+
+def _run(app_name):
+    histories = cached_histories(experiment_config(app_name))
+    return run_method_comparison(histories, baselines=BASELINES)
+
+
+def test_extA_cg(benchmark):
+    results = benchmark.pedantic(lambda: _run("cg"), rounds=1, iterations=1)
+    rows = [
+        [r.name]
+        + [format_percent(r.mape_by_scale[s]) for s in LARGE_SCALES]
+        + [format_percent(r.overall_mape)]
+        for r in results
+    ]
+    report(
+        ascii_table(
+            ["method"] + [f"p={s}" for s in LARGE_SCALES] + ["overall"],
+            rows,
+            title="Extension A (cg) — large-scale MAPE",
+        )
+    )
+    by_name = {r.name: r.overall_mape for r in results}
+    assert by_name["two-level"] < by_name["direct-rf"]
+
+
+def test_extA_fft(benchmark):
+    results = benchmark.pedantic(lambda: _run("fft2d"), rounds=1, iterations=1)
+    rows = [
+        [r.name]
+        + [format_percent(r.mape_by_scale[s]) for s in LARGE_SCALES]
+        + [format_percent(r.overall_mape)]
+        for r in results
+    ]
+    report(
+        ascii_table(
+            ["method"] + [f"p={s}" for s in LARGE_SCALES] + ["overall"],
+            rows,
+            title="Extension A (fft2d) — large-scale MAPE",
+        )
+    )
+    by_name = {r.name: r.overall_mape for r in results}
+    assert by_name["two-level"] < by_name["direct-rf"]
+
+
+def test_extA_wavefront(benchmark):
+    results = benchmark.pedantic(
+        lambda: _run("wavefront"), rounds=1, iterations=1
+    )
+    rows = [
+        [r.name]
+        + [format_percent(r.mape_by_scale[s]) for s in LARGE_SCALES]
+        + [format_percent(r.overall_mape)]
+        for r in results
+    ]
+    report(
+        ascii_table(
+            ["method"] + [f"p={s}" for s in LARGE_SCALES] + ["overall"],
+            rows,
+            title="Extension A (wavefront) — large-scale MAPE "
+            "(pipeline-fill sqrt(p) scaling)",
+        )
+    )
+    by_name = {r.name: r.overall_mape for r in results}
+    assert by_name["two-level"] < by_name["direct-rf"]

@@ -1,0 +1,101 @@
+"""Extension C — known-configuration scalability extrapolation.
+
+The complementary scenario to the paper's main one: the queried
+configuration HAS been executed at the small scales (no interpolation
+needed), and only the scale is extrapolated.  Compares the paper's
+extrapolation level (clustered multitask selection, fit on measured
+curves) against per-configuration baselines: Extra-P-style hypothesis
+search, Amdahl's law, and the universal scalability law.
+
+Expected shape: the clustered multitask approach matches or beats the
+independent Extra-P fit (it pools shape information across similar
+configurations) and both dominate the rigid analytic laws.
+"""
+
+import numpy as np
+from conftest import LARGE_SCALES, SMALL_SCALES, report
+
+from repro.analysis import ascii_table, format_percent
+from repro.baselines import CurveFitBaseline, fit_amdahl, fit_usl
+from repro.core import ClusteredScalingExtrapolator
+from repro.ml.metrics import mean_absolute_percentage_error as mape
+
+
+def _run(histories):
+    cfg_train, S_train = histories.train.runtime_matrix(SMALL_SCALES)
+    # Measured small-scale curves for the *test* configurations: rerun
+    # them noise-free at small scales via their ground-truth model curve
+    # is not available here, so use the test set's own configs through
+    # the train generator pattern — the histories fixture only carries
+    # large-scale test runs, so build small-scale curves from the
+    # training history's held-back tail instead.
+    n_hold = max(10, len(cfg_train) // 5)
+    S_hold, cfg_hold = S_train[-n_hold:], cfg_train[-n_hold:]
+    S_fit, _ = S_train[:-n_hold], cfg_train[:-n_hold]
+
+    # Ground truth at large scales for the held-out configs.
+    from repro.analysis.evaluation import ExperimentConfig  # noqa: F401
+    from repro.apps import get_app
+    from repro.sim import Executor, NoiseModel
+
+    app = get_app(histories.config.app_name)
+    ex = Executor(
+        noise=NoiseModel(sigma=0.0, jitter_prob=0.0),
+        seed=histories.config.seed,
+    )
+    Y_true = np.array(
+        [
+            [ex.model_time(app, app.vector_to_params(row), p) for p in LARGE_SCALES]
+            for row in cfg_hold
+        ]
+    )
+
+    results = {}
+    extrap = ClusteredScalingExtrapolator(
+        SMALL_SCALES, n_clusters=3, random_state=0
+    ).fit(S_fit)
+    results["clustered multitask (ours)"] = extrap.predict(S_hold, LARGE_SCALES)
+
+    cf = CurveFitBaseline(SMALL_SCALES).fit(S_hold)
+    results["extra-p style (per config)"] = cf.predict(LARGE_SCALES)
+
+    p_large = np.asarray(LARGE_SCALES, dtype=float)
+    results["amdahl"] = np.vstack(
+        [fit_amdahl(SMALL_SCALES, s)(p_large) for s in S_hold]
+    )
+    results["usl"] = np.vstack([fit_usl(SMALL_SCALES, s)(p_large) for s in S_hold])
+
+    scores = {}
+    for name, pred in results.items():
+        scores[name] = [
+            mape(Y_true[:, j], np.maximum(pred[:, j], 1e-12))
+            for j in range(len(LARGE_SCALES))
+        ]
+    return scores
+
+
+def test_extC_known_config_scalability(benchmark, stencil_histories):
+    scores = benchmark.pedantic(
+        lambda: _run(stencil_histories), rounds=1, iterations=1
+    )
+    rows = [
+        [name]
+        + [format_percent(v) for v in values]
+        + [format_percent(float(np.mean(values)))]
+        for name, values in sorted(scores.items(), key=lambda kv: np.mean(kv[1]))
+    ]
+    report(
+        ascii_table(
+            ["method"] + [f"p={s}" for s in LARGE_SCALES] + ["overall"],
+            rows,
+            title="Extension C (stencil3d) — known-config extrapolation MAPE",
+        )
+    )
+    ours = float(np.mean(scores["clustered multitask (ours)"]))
+    # Honest reproduction note (EXPERIMENTS.md): stencil curves are
+    # largely Amdahl-shaped, so the 2-parameter Amdahl law is a strong
+    # prior here and can edge out the flexible methods.  Ours must beat
+    # the USL (whose contention term misextrapolates) and match the
+    # per-config Extra-P search it generalizes.
+    assert ours < float(np.mean(scores["usl"]))
+    assert ours < 1.1 * float(np.mean(scores["extra-p style (per config)"]))

@@ -1,0 +1,64 @@
+"""Extension D — interpolation-learner ablation.
+
+The paper fixes random forests at the interpolation level.  This
+experiment swaps the level-1 learner (forest / gradient boosting /
+kernel ridge on log parameters) while keeping the extrapolation level
+fixed, and reports both the level-1 CV error and the end-to-end
+large-scale error.
+
+Expected shape: end-to-end accuracy tracks interpolation accuracy
+almost monotonically — the extrapolation level amplifies level-1 noise,
+so a smoother interpolator (kernel ridge, exploiting the multiplicative
+structure of runtime responses) buys a large end-to-end improvement
+over the paper's forest.
+"""
+
+import numpy as np
+from conftest import LARGE_SCALES, report
+
+from repro.analysis import ascii_table, evaluate_predictor, fit_two_level, format_percent
+from repro.core import INTERPOLATION_FACTORIES
+
+
+def _run(histories):
+    rows = []
+    for name, factory in INTERPOLATION_FACTORIES.items():
+        model = fit_two_level(histories, interp_factory=factory)
+        cv = model.interpolation_cv_mape(n_splits=5)
+        score = evaluate_predictor(
+            name,
+            lambda X, s, m=model: m.predict(X, [s])[:, 0],
+            histories.test,
+            histories.config.large_scales,
+        )
+        rows.append((name, float(np.mean(list(cv.values()))), score))
+    return rows
+
+
+def test_extD_interpolation_learner(benchmark, stencil_histories):
+    rows = benchmark.pedantic(
+        lambda: _run(stencil_histories), rounds=1, iterations=1
+    )
+    table_rows = [
+        [name, format_percent(cv)]
+        + [format_percent(score.mape_by_scale[s]) for s in LARGE_SCALES]
+        + [format_percent(score.overall_mape)]
+        for name, cv, score in sorted(rows, key=lambda r: r[2].overall_mape)
+    ]
+    report(
+        ascii_table(
+            ["level-1 learner", "interp CV"]
+            + [f"p={s}" for s in LARGE_SCALES]
+            + ["overall"],
+            table_rows,
+            title="Extension D (stencil3d) — interpolation-learner ablation",
+        )
+    )
+    by_name = {name: (cv, score) for name, cv, score in rows}
+    # The best interpolator end-to-end must also be (near-)best at CV:
+    best_e2e = min(rows, key=lambda r: r[2].overall_mape)
+    best_cv = min(rows, key=lambda r: r[1])
+    assert best_e2e[1] <= 1.5 * best_cv[1]
+    # Kernel ridge must beat the paper's forest at level 1 on this
+    # smooth-response application.
+    assert by_name["kernel-ridge"][0] < by_name["random-forest"][0]

@@ -1,0 +1,88 @@
+"""Extension E — weak-scaling workloads.
+
+Reruns the headline protocol on weakly-scaled applications (fixed
+per-process problem share; ideal runtime is *flat* in p).  Weak-scaling
+curves exercise the constant/log corner of the scalability basis that
+strong-scaling curves barely touch, and in this regime the direct
+baselines' inability to extrapolate matters far less — the expected
+shape is a much smaller gap between methods than in Table 2.
+"""
+
+import numpy as np
+from conftest import LARGE_SCALES, SMALL_SCALES, SIZING, report
+
+from repro.analysis import ascii_table, evaluate_predictor, format_percent
+from repro.apps import weak_fft, weak_stencil
+from repro.baselines import make_baseline
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator
+
+BASELINES = ["direct-rf", "direct-lasso", "direct-mlp"]
+
+
+def _run(app_factory):
+    n_train, n_test, reps = SIZING
+    app = app_factory()
+    gen = HistoryGenerator(app, seed=42)
+    train = gen.collect(gen.sample_configs(n_train), SMALL_SCALES,
+                        repetitions=reps)
+    test = gen.collect(gen.sample_configs(n_test), LARGE_SCALES,
+                       repetitions=1)
+
+    scores = []
+    model = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                          random_state=42).fit(train)
+    scores.append(
+        evaluate_predictor(
+            "two-level",
+            lambda X, s: model.predict(X, [s])[:, 0],
+            test,
+            LARGE_SCALES,
+        )
+    )
+    for name in BASELINES:
+        bl = make_baseline(name, seed=42).fit(train)
+        scores.append(
+            evaluate_predictor(
+                name, lambda X, s, b=bl: b.predict(X, s), test, LARGE_SCALES
+            )
+        )
+    scores.sort(key=lambda r: r.overall_mape)
+    return app.name, scores
+
+
+def _report(app_name, scores):
+    rows = [
+        [r.name]
+        + [format_percent(r.mape_by_scale[s]) for s in LARGE_SCALES]
+        + [format_percent(r.overall_mape)]
+        for r in scores
+    ]
+    report(
+        ascii_table(
+            ["method"] + [f"p={s}" for s in LARGE_SCALES] + ["overall"],
+            rows,
+            title=f"Extension E ({app_name}) — weak-scaling MAPE",
+        )
+    )
+
+
+def test_extE_weak_stencil(benchmark):
+    app_name, scores = benchmark.pedantic(
+        lambda: _run(weak_stencil), rounds=1, iterations=1
+    )
+    _report(app_name, scores)
+    by_name = {r.name: r.overall_mape for r in scores}
+    # Near-flat curves: everything should be much easier than Table 2.
+    assert by_name["two-level"] < 0.5
+    # Two-level stays at least competitive.
+    assert by_name["two-level"] < 1.5 * min(by_name.values())
+
+
+def test_extE_weak_fft(benchmark):
+    app_name, scores = benchmark.pedantic(
+        lambda: _run(weak_fft), rounds=1, iterations=1
+    )
+    _report(app_name, scores)
+    by_name = {r.name: r.overall_mape for r in scores}
+    assert by_name["two-level"] < 1.0

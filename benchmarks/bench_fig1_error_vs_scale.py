@@ -1,0 +1,48 @@
+"""Figure 1 — prediction error vs target scale.
+
+The paper's central figure: MAPE as a function of the extrapolation
+target scale, one line per method.  The expected shape is that every
+method degrades as the target moves further from the training range,
+but the two-level model's curve stays lowest and flattest while the
+non-extrapolating baselines blow up.
+"""
+
+from conftest import LARGE_SCALES, report
+
+from repro.analysis import run_method_comparison, series_block
+
+METHODS_SHOWN = [
+    "two-level",
+    "direct-mlp",
+    "direct-lasso",
+    "direct-rf",
+    "direct-knn",
+]
+
+
+def test_fig1_error_vs_scale(benchmark, stencil_histories):
+    results = benchmark.pedantic(
+        lambda: run_method_comparison(stencil_histories),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {r.name: r for r in results}
+    series = {
+        name: [100.0 * by_name[name].mape_by_scale[s] for s in LARGE_SCALES]
+        for name in METHODS_SHOWN
+    }
+    report(
+        series_block(
+            "Figure 1 (stencil3d) — MAPE [%] vs target scale",
+            "p",
+            list(LARGE_SCALES),
+            series,
+            y_format="{:.1f}",
+        )
+    )
+    two = series["two-level"]
+    # Degradation with distance is expected...
+    assert two[-1] >= two[0] * 0.5
+    # ...but the two-level model must stay below the tree baseline at
+    # every single target scale.
+    assert all(t < r for t, r in zip(two, series["direct-rf"]))

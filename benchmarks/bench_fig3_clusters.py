@@ -1,0 +1,51 @@
+"""Figure 3 — sensitivity to the number of curve-shape clusters.
+
+Sweeps the extrapolation level's cluster count.  Expected shape: a
+shallow optimum — one global model underfits heterogeneous curve
+shapes, too many clusters starve the joint selection of tasks — with
+stable accuracy in a broad middle band.
+"""
+
+from conftest import report
+
+from repro.analysis import evaluate_predictor, fit_two_level, series_block
+
+CLUSTER_COUNTS = [1, 2, 3, 5, 8]
+
+
+def _sweep(histories):
+    overall = []
+    per_scale = {s: [] for s in histories.config.large_scales}
+    for k in CLUSTER_COUNTS:
+        model = fit_two_level(histories, n_clusters=k)
+        score = evaluate_predictor(
+            f"k={k}",
+            lambda X, s, m=model: m.predict(X, [s])[:, 0],
+            histories.test,
+            histories.config.large_scales,
+        )
+        overall.append(100.0 * score.overall_mape)
+        for s in per_scale:
+            per_scale[s].append(100.0 * score.mape_by_scale[s])
+    return overall, per_scale
+
+
+def test_fig3_cluster_count(benchmark, stencil_histories):
+    overall, per_scale = benchmark.pedantic(
+        lambda: _sweep(stencil_histories), rounds=1, iterations=1
+    )
+    series = {"overall": overall}
+    series.update({f"p={s}": v for s, v in per_scale.items()})
+    report(
+        series_block(
+            "Figure 3 (stencil3d) — MAPE [%] vs number of clusters",
+            "n_clusters",
+            CLUSTER_COUNTS,
+            series,
+            y_format="{:.1f}",
+        )
+    )
+    # Shallow-optimum shape: the spread across the sweep stays bounded
+    # (no catastrophic cluster count), and every setting stays sane.
+    assert max(overall) < 2.5 * min(overall)
+    assert all(v < 150.0 for v in overall)

@@ -1,0 +1,57 @@
+"""Figure 4 — sensitivity to which small scales the history contains.
+
+Sweeps the training-scale set: fewer scales (prefixes) and a shifted,
+closer-to-target window.  Expected shape: accuracy improves as the
+largest training scale approaches the prediction targets (smaller
+extrapolation ratio), and collapses when only 2-3 distant scales exist.
+"""
+
+from conftest import experiment_config, cached_histories, report
+
+from repro.analysis import evaluate_predictor, fit_two_level, series_block
+
+SCALE_SETS = [
+    (32, 64, 128),
+    (32, 64, 128, 256),
+    (32, 64, 128, 256, 512),
+    (64, 128, 256, 512),
+    (128, 256, 512),
+]
+
+
+def _sweep():
+    labels, values = [], []
+    for scales in SCALE_SETS:
+        cfg = experiment_config("stencil3d", small_scales=scales)
+        histories = cached_histories(cfg)
+        model = fit_two_level(histories)
+        score = evaluate_predictor(
+            str(scales),
+            lambda X, s, m=model: m.predict(X, [s])[:, 0],
+            histories.test,
+            cfg.large_scales,
+        )
+        labels.append("{" + ",".join(map(str, scales)) + "}")
+        values.append(100.0 * score.overall_mape)
+    return labels, values
+
+
+def test_fig4_small_scale_sets(benchmark):
+    labels, values = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        series_block(
+            "Figure 4 (stencil3d) — overall MAPE [%] vs training-scale set "
+            "(targets 1024-4096)",
+            "scale set",
+            labels,
+            {"two-level": values},
+            y_format="{:.1f}",
+        )
+    )
+    by_label = dict(zip(labels, values))
+    # Robust orientation check: with the same top scale (512), five
+    # scales must beat the three-scale window {128,256,512}, whose short
+    # internal-validation horizon cannot vet candidate supports.
+    assert by_label["{32,64,128,256,512}"] < by_label["{128,256,512}"]
+    # And no full-width scale set may blow up catastrophically.
+    assert by_label["{32,64,128,256,512}"] < 150.0

@@ -1,0 +1,46 @@
+"""Figure 5 — sensitivity to training-set size.
+
+Sweeps the number of history configurations.  Expected shape: error
+falls steeply at first (the interpolation forests need coverage of the
+parameter space) and then saturates — the residual error is
+extrapolation-intrinsic, not data-starvation.
+"""
+
+from conftest import experiment_config, cached_histories, report
+
+from repro.analysis import evaluate_predictor, fit_two_level, series_block
+
+TRAIN_SIZES = [20, 40, 80, 160]
+
+
+def _sweep():
+    values = []
+    for n in TRAIN_SIZES:
+        cfg = experiment_config("stencil3d", n_train_configs=n)
+        histories = cached_histories(cfg)
+        model = fit_two_level(histories)
+        score = evaluate_predictor(
+            f"n={n}",
+            lambda X, s, m=model: m.predict(X, [s])[:, 0],
+            histories.test,
+            cfg.large_scales,
+        )
+        values.append(100.0 * score.overall_mape)
+    return values
+
+
+def test_fig5_train_size(benchmark):
+    values = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        series_block(
+            "Figure 5 (stencil3d) — overall MAPE [%] vs number of training "
+            "configurations",
+            "n_train",
+            TRAIN_SIZES,
+            {"two-level": values},
+            y_format="{:.1f}",
+        )
+    )
+    # More data must not make things dramatically worse, and the largest
+    # training set must beat the most starved one.
+    assert values[-1] < values[0]

@@ -1,0 +1,39 @@
+"""Figure 6 — interpolation-level quality.
+
+Per-scale cross-validated MAPE of the level-1 random forests, for both
+applications.  This is the diagnostic that justifies the two-level
+split: within the training scales the forest error is a few percent —
+an order of magnitude below any direct method's *extrapolation* error —
+so the overall error budget is dominated by level 2.
+"""
+
+from conftest import SMALL_SCALES, report
+
+from repro.analysis import fit_two_level, series_block
+
+
+def test_fig6_interpolation_quality(
+    benchmark, stencil_histories, nbody_histories
+):
+    model_s = fit_two_level(stencil_histories)
+    model_n = fit_two_level(nbody_histories)
+    cv_s = benchmark.pedantic(
+        lambda: model_s.interpolation_cv_mape(n_splits=5), rounds=1, iterations=1
+    )
+    cv_n = model_n.interpolation_cv_mape(n_splits=5)
+
+    report(
+        series_block(
+            "Figure 6 — interpolation-level CV MAPE [%] per training scale",
+            "p",
+            list(SMALL_SCALES),
+            {
+                "stencil3d": [100.0 * cv_s[s] for s in SMALL_SCALES],
+                "nbody": [100.0 * cv_n[s] for s in SMALL_SCALES],
+            },
+            y_format="{:.1f}",
+        )
+    )
+    for cv in (cv_s, cv_n):
+        for scale, err in cv.items():
+            assert err < 0.35, (scale, err)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the substrate primitives.
+
+Unlike the table/figure benchmarks (run once via ``pedantic``), these
+use pytest-benchmark's statistical timing: they are the operations the
+pipeline executes thousands of times, so their throughput governs the
+wall-clock cost of every experiment above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core import ClusteredScalingExtrapolator
+from repro.ml import KMeans, Lasso, MultiTaskLasso, RandomForestRegressor
+from repro.sim import Executor, NoiseModel
+
+
+@pytest.fixture(scope="module")
+def regression_problem():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 8))
+    w = np.zeros(8)
+    w[[0, 3, 5]] = [2.0, -1.0, 0.5]
+    y = X @ w + 0.05 * rng.normal(size=400)
+    return X, y
+
+
+def test_bench_random_forest_fit(benchmark, regression_problem):
+    X, y = regression_problem
+    benchmark(
+        lambda: RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+    )
+
+
+def test_bench_random_forest_predict(benchmark, regression_problem):
+    X, y = regression_problem
+    model = RandomForestRegressor(n_estimators=30, random_state=0).fit(X, y)
+    benchmark(lambda: model.predict(X))
+
+
+def test_bench_lasso_fit(benchmark, regression_problem):
+    X, y = regression_problem
+    benchmark(lambda: Lasso(alpha=0.05).fit(X, y))
+
+
+def test_bench_multitask_lasso_fit(benchmark, regression_problem):
+    X, y = regression_problem
+    Y = np.column_stack([y, 2 * y, y - 1.0])
+    benchmark(lambda: MultiTaskLasso(alpha=0.05).fit(X, Y))
+
+
+def test_bench_kmeans_fit(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 5))
+    benchmark(lambda: KMeans(n_clusters=4, n_init=3, random_state=0).fit(X))
+
+
+def test_bench_executor_run(benchmark):
+    app = get_app("stencil3d")
+    ex = Executor(seed=0)
+    params = {"nx": 256, "iterations": 200, "ghost": 2, "check_freq": 10}
+    benchmark(lambda: ex.run(app, params, 1024))
+
+
+def test_bench_executor_noise_free_model_time(benchmark):
+    app = get_app("nbody")
+    ex = Executor(noise=NoiseModel(sigma=0, jitter_prob=0), seed=0)
+    params = {"n_particles": 1e5, "timesteps": 100, "cutoff": 3.0,
+              "density": 0.8, "rebuild_every": 10}
+    benchmark(lambda: ex.model_time(app, params, 2048))
+
+
+def test_bench_extrapolator_fit(benchmark):
+    rng = np.random.default_rng(0)
+    scales = (32, 64, 128, 256, 512)
+    p = np.asarray(scales, float)
+    S = np.array(
+        [rng.uniform(0.01, 0.1) + rng.uniform(5, 50) / p for _ in range(60)]
+    )
+    benchmark.pedantic(
+        lambda: ClusteredScalingExtrapolator(
+            scales, n_clusters=3, random_state=0
+        ).fit(S),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,83 @@
+"""Table 1 — dataset characterization.
+
+Reproduces the evaluation-setup table: the two applications, their
+input-parameter ranges, the number of configurations/runs, and the
+training (small) vs test (large) scales.  The benchmarked operation is
+history generation itself — the cost of producing the paper's "history
+data" on the simulated platform.
+"""
+
+from conftest import LARGE_SCALES, SMALL_SCALES, experiment_config, report
+
+from repro.analysis import build_histories
+from repro.apps import get_app
+from repro.analysis import ascii_table
+
+
+def _characterize(histories):
+    cfg = histories.config
+    app = get_app(cfg.app_name)
+    rows = []
+    for spec in app.param_specs():
+        rows.append(
+            [
+                cfg.app_name,
+                spec.name,
+                f"{spec.low:g}",
+                f"{spec.high:g}",
+                "int" if spec.integer else "float",
+                "log" if spec.log else "lin",
+                spec.description,
+            ]
+        )
+    return rows
+
+
+def test_table1_dataset_characterization(
+    benchmark, stencil_histories, nbody_histories
+):
+    tiny = experiment_config("stencil3d", n_train_configs=10, n_test_configs=2,
+                             repetitions=1)
+    benchmark.pedantic(lambda: build_histories(tiny), rounds=1, iterations=1)
+
+    rows = _characterize(stencil_histories) + _characterize(nbody_histories)
+    table = ascii_table(
+        ["app", "parameter", "low", "high", "type", "scale", "meaning"],
+        rows,
+        title="Table 1a — application parameter spaces",
+    )
+    report(table)
+
+    rows2 = []
+    for h in (stencil_histories, nbody_histories):
+        cfg = h.config
+        rows2.append(
+            [
+                cfg.app_name,
+                cfg.n_train_configs,
+                cfg.n_test_configs,
+                cfg.repetitions,
+                len(h.train),
+                len(h.test),
+                str(list(SMALL_SCALES)),
+                str(list(LARGE_SCALES)),
+            ]
+        )
+    table2 = ascii_table(
+        [
+            "app",
+            "train cfgs",
+            "test cfgs",
+            "reps",
+            "train runs",
+            "test runs",
+            "small scales (train)",
+            "large scales (test)",
+        ],
+        rows2,
+        title="Table 1b — history sizes and scale split",
+    )
+    report(table2)
+
+    assert len(stencil_histories.train) > 0
+    assert set(stencil_histories.test.scales) == set(LARGE_SCALES)

@@ -1,0 +1,63 @@
+"""Table 3 — extrapolation-level ablation.
+
+Dismantles the paper's extrapolation level one design choice at a time:
+
+* multitask lasso + clustering (the paper's full method)
+* multitask lasso, single cluster (no clustering)
+* independent per-configuration lasso (no joint selection)
+* no selection at all: full-basis least squares (the overfitting
+  strawman joint selection exists to prevent)
+
+Expected shape: full method <= no-clustering <= independent << none.
+"""
+
+from conftest import LARGE_SCALES, report
+
+from repro.analysis import ascii_table, evaluate_predictor, fit_two_level, format_percent
+
+VARIANTS = [
+    ("multitask + clustering", dict(selection="multitask", n_clusters=3)),
+    ("multitask, 1 cluster", dict(selection="multitask", n_clusters=1)),
+    ("independent lasso", dict(selection="independent", n_clusters=3)),
+    ("no selection (full basis)", dict(selection="none", n_clusters=3)),
+]
+
+
+def _run_variants(histories):
+    scores = []
+    for label, kwargs in VARIANTS:
+        model = fit_two_level(histories, **kwargs)
+        scores.append(
+            evaluate_predictor(
+                label,
+                lambda X, s, m=model: m.predict(X, [s])[:, 0],
+                histories.test,
+                histories.config.large_scales,
+            )
+        )
+    return scores
+
+
+def test_table3_ablation(benchmark, stencil_histories):
+    scores = benchmark.pedantic(
+        lambda: _run_variants(stencil_histories), rounds=1, iterations=1
+    )
+    rows = [
+        [s.name]
+        + [format_percent(s.mape_by_scale[p]) for p in LARGE_SCALES]
+        + [format_percent(s.overall_mape)]
+        for s in scores
+    ]
+    report(
+        ascii_table(
+            ["extrapolation level"] + [f"p={p}" for p in LARGE_SCALES] + ["overall"],
+            rows,
+            title="Table 3 (stencil3d) — extrapolation-level ablation, MAPE",
+        )
+    )
+    by_name = {s.name: s.overall_mape for s in scores}
+    full = by_name["multitask + clustering"]
+    # Joint sparse selection must beat fitting the whole basis.
+    assert full < by_name["no selection (full basis)"]
+    # And the full method must be the best or near-best variant.
+    assert full <= 1.2 * min(by_name.values())

@@ -1,0 +1,74 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the reproduced
+paper's evaluation (see DESIGN.md's per-experiment index).  Histories
+are simulated once per session and cached; each benchmark prints its
+table/series to stdout AND appends it to ``results/benchmark_report.txt``
+so the output survives pytest's capture.
+
+Set ``REPRO_BENCH_SCALE=full`` for paper-sized runs (slower); the
+default "quick" sizing preserves every qualitative conclusion at a
+fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentConfig, Histories, build_histories
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+#: Experiment sizing: (n_train, n_test, repetitions).
+SIZING = (150, 50, 3) if FULL else (80, 30, 2)
+
+SMALL_SCALES = (32, 64, 128, 256, 512)
+LARGE_SCALES = (1024, 2048, 4096)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def experiment_config(app_name: str, **overrides) -> ExperimentConfig:
+    n_train, n_test, reps = SIZING
+    base = ExperimentConfig(
+        app_name=app_name,
+        small_scales=SMALL_SCALES,
+        large_scales=LARGE_SCALES,
+        n_train_configs=n_train,
+        n_test_configs=n_test,
+        repetitions=reps,
+        seed=42,
+        n_clusters=3,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+_HISTORY_CACHE: dict[ExperimentConfig, Histories] = {}
+
+
+def cached_histories(config: ExperimentConfig) -> Histories:
+    """Build (or reuse) the simulated histories for a config."""
+    if config not in _HISTORY_CACHE:
+        _HISTORY_CACHE[config] = build_histories(config)
+    return _HISTORY_CACHE[config]
+
+
+def report(text: str) -> None:
+    """Print a table/series and persist it to the results file."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "benchmark_report.txt", "a") as fh:
+        fh.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session")
+def stencil_histories() -> Histories:
+    return cached_histories(experiment_config("stencil3d"))
+
+
+@pytest.fixture(scope="session")
+def nbody_histories() -> Histories:
+    return cached_histories(experiment_config("nbody"))

@@ -1,0 +1,106 @@
+"""Capacity planning: how many nodes should a production job request?
+
+The scenario that motivates large-scale performance prediction in
+practice: a user has a specific N-body simulation to run under a
+deadline, history data exists only at modest scales, and machine time
+at 128 nodes is too expensive to burn on trial runs.
+
+The two-level model answers two questions without any large run:
+
+1. *Scaling sweet spot* — at which process count does the predicted
+   parallel efficiency drop below a threshold?
+2. *Deadline feasibility* — what is the smallest allocation whose
+   predicted runtime meets the deadline?
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.apps import get_app
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator
+
+SMALL_SCALES = [32, 64, 128, 256, 512]
+CANDIDATE_SCALES = [512, 1024, 2048, 4096, 8192]
+DEADLINE_SECONDS = 0.05
+EFFICIENCY_FLOOR = 0.5
+
+#: The production configuration to plan for (never executed anywhere).
+PRODUCTION_JOB = {
+    "n_particles": 8e5,
+    "timesteps": 200,
+    "cutoff": 3.5,
+    "density": 0.9,
+    "rebuild_every": 10,
+}
+
+
+def main() -> None:
+    app = get_app("nbody")
+    gen = HistoryGenerator(app, seed=13)
+
+    print("Collecting molecular-dynamics history at small scales...")
+    train = gen.collect(gen.sample_configs(100), SMALL_SCALES, repetitions=2)
+    model = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                          random_state=0).fit(train)
+
+    x = app.params_to_vector(PRODUCTION_JOB)[None, :]
+    pred = model.predict(x, CANDIDATE_SCALES)[0]
+
+    # Parallel efficiency relative to the smallest candidate:
+    # eff(p) = (t_base * p_base) / (t_p * p).
+    base_p, base_t = CANDIDATE_SCALES[0], pred[0]
+    rows = []
+    feasible = None
+    for p, t in zip(CANDIDATE_SCALES, pred):
+        eff = (base_t * base_p) / (t * p)
+        node_count = p // 32
+        meets = t <= DEADLINE_SECONDS
+        if meets and feasible is None:
+            feasible = p
+        rows.append(
+            [p, node_count, f"{t:.4g}", f"{100 * eff:.0f}%",
+             "yes" if meets else "no"]
+        )
+
+    print()
+    print(ascii_table(
+        ["procs", "nodes", "predicted t [s]", "efficiency", "meets deadline"],
+        rows,
+        title=f"Capacity plan for the production job "
+        f"(deadline {DEADLINE_SECONDS}s)",
+    ))
+
+    sweet = model.recommend_scale(
+        x[0], CANDIDATE_SCALES, efficiency_floor=EFFICIENCY_FLOOR,
+        base_scale=base_p,
+    )
+    print(f"\nLargest allocation above {100 * EFFICIENCY_FLOOR:.0f}% "
+          f"efficiency: {sweet} processes ({sweet // 32} nodes)")
+    if feasible is None:
+        print("No candidate allocation meets the deadline; consider "
+              "reducing timesteps or relaxing the deadline.")
+    else:
+        print(f"Smallest deadline-feasible allocation: {feasible} processes "
+              f"({feasible // 32} nodes)")
+
+    # Honest uncertainty: propagate the interpolation-ensemble spread
+    # through the extrapolation level and report a 90 % band.
+    from repro.core import EnsembleUncertainty
+
+    unc = EnsembleUncertainty(model, n_samples=40, level=0.9, random_state=0)
+    interval = unc.predict_interval(x, CANDIDATE_SCALES)
+    print("\n90% interpolation-noise bands (model-form error NOT included):")
+    for j, p in enumerate(CANDIDATE_SCALES):
+        lo, mid, hi = (interval.lower[0, j], interval.median[0, j],
+                       interval.upper[0, j])
+        flag = ""
+        if lo <= DEADLINE_SECONDS <= hi:
+            flag = "  <- deadline inside the band: treat as an open call"
+        print(f"  p={p:>5d}: [{lo:.4g}, {hi:.4g}] s (median {mid:.4g}){flag}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Active history growth: spend a measurement budget where it matters.
+
+A practical workflow on top of the paper's pipeline: fit on the
+existing history, ask the planner where the interpolation ensembles
+disagree most per core-second, execute exactly those runs in the
+simulator, refit, and measure how much large-scale accuracy the budget
+bought — against the baseline of spending the same budget on random
+runs.
+
+Run:  python examples/history_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.apps import get_app
+from repro.core import HistoryPlanner, TwoLevelModel
+from repro.data import ExecutionDataset, HistoryGenerator
+from repro.ml.metrics import mean_absolute_percentage_error as mape
+
+SMALL_SCALES = [32, 64, 128, 256, 512]
+LARGE_SCALES = [1024, 2048]
+BUDGET_CORE_SECONDS = 30_000.0
+
+
+def evaluate(model, test):
+    return [
+        100.0 * mape(
+            test.at_scale(s).runtime,
+            model.predict(test.at_scale(s).X, [s])[:, 0],
+        )
+        for s in LARGE_SCALES
+    ]
+
+
+def main() -> None:
+    app = get_app("stencil3d")
+    gen = HistoryGenerator(app, seed=31)
+
+    print("Initial history: 40 configurations (deliberately sparse)...")
+    train = gen.collect(gen.sample_configs(40), SMALL_SCALES, repetitions=1)
+    test = gen.collect(gen.sample_configs(25), LARGE_SCALES, repetitions=1)
+
+    base_model = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                               random_state=0).fit(train)
+    base_err = evaluate(base_model, test)
+
+    # --- planned augmentation -------------------------------------------
+    planner = HistoryPlanner(base_model, app, n_candidates=400,
+                             random_state=1)
+    plan = planner.plan(BUDGET_CORE_SECONDS)
+    print(f"Planner selected {len(plan)} configuration bundles "
+          f"({sum(r.est_cost_core_seconds for r in plan):.0f} of "
+          f"{BUDGET_CORE_SECONDS:.0f} core-seconds).")
+    planned_records = [
+        gen.executor.run(app, r.params, scale, rep=0)
+        for r in plan
+        for scale in r.scales
+    ]
+    planned_train = train.merge(
+        ExecutionDataset.from_records(planned_records,
+                                      param_names=app.param_names)
+    )
+    planned_model = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                                  random_state=0).fit(planned_train)
+    planned_err = evaluate(planned_model, test)
+
+    # --- random augmentation (same budget, also full bundles) ------------
+    rng = np.random.default_rng(2)
+    random_records = []
+    spent = 0.0
+    while spent < BUDGET_CORE_SECONDS:
+        params = app.sample_params(rng)
+        bundle = [gen.executor.run(app, params, s_, rep=0)
+                  for s_ in SMALL_SCALES]
+        cost = sum(r.runtime * r.nprocs for r in bundle)
+        if spent + cost > BUDGET_CORE_SECONDS:
+            break
+        random_records.extend(bundle)
+        spent += cost
+    random_train = train.merge(
+        ExecutionDataset.from_records(random_records,
+                                      param_names=app.param_names)
+    )
+    random_model = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                                 random_state=0).fit(random_train)
+    random_err = evaluate(random_model, test)
+
+    rows = [
+        ["initial history (40 cfgs)", len(train)] +
+        [f"{e:.1f}%" for e in base_err],
+        [f"+ random bundles ({len(random_records)} runs)", len(random_train)] +
+        [f"{e:.1f}%" for e in random_err],
+        [f"+ planned bundles ({len(planned_records)} runs)", len(planned_train)] +
+        [f"{e:.1f}%" for e in planned_err],
+    ]
+    print()
+    print(ascii_table(
+        ["history", "runs"] + [f"MAPE p={s}" for s in LARGE_SCALES],
+        rows,
+        title=f"Value of {BUDGET_CORE_SECONDS:.0f} core-seconds of new runs "
+        "(stencil3d)",
+    ))
+    print("\nTakeaway: whole-configuration bundles are the right unit of "
+          "history growth (per-scale cherry-picking skews the per-scale "
+          "training sets and measurably hurts). Disagreement-per-cost "
+          "targeting is cost-aware and competitive with random bundles; "
+          "its practical value is the budget accounting.")
+
+
+if __name__ == "__main__":
+    main()

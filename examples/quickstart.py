@@ -1,0 +1,79 @@
+"""Quickstart: predict large-scale runtime from small-scale history.
+
+Walks the full pipeline on the 3-D stencil application:
+
+1. simulate a small-scale execution history (the "history data"),
+2. fit the two-level model,
+3. predict runtimes of *new, never-executed* configurations at scales
+   8x beyond anything in the history,
+4. compare against ground truth and against a direct random-forest
+   baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table, format_percent
+from repro.apps import get_app
+from repro.baselines import make_baseline
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator
+from repro.ml.metrics import mean_absolute_percentage_error as mape
+
+SMALL_SCALES = [32, 64, 128, 256, 512]  # processes: 1 to 16 nodes
+LARGE_SCALES = [1024, 2048, 4096]  # 32 to 128 nodes — never executed
+
+
+def main() -> None:
+    app = get_app("stencil3d")
+    gen = HistoryGenerator(app, seed=7)
+
+    print("Collecting small-scale history (80 configurations x "
+          f"{SMALL_SCALES} x 2 repetitions)...")
+    train = gen.collect(gen.sample_configs(80), SMALL_SCALES, repetitions=2)
+    print(train.summary())
+
+    print("\nFitting the two-level model "
+          "(per-scale forests + clustered multitask-lasso scalability)...")
+    model = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                          random_state=0).fit(train)
+    print("selected scalability terms per cluster:")
+    for cluster, terms in model.support_names().items():
+        size = model.cluster_sizes_[cluster]
+        print(f"  cluster {cluster} ({size} configs): {', '.join(terms)}")
+
+    # New configurations the model has never seen, with ground truth
+    # simulated at the large scales for checking.
+    test = gen.collect(gen.sample_configs(20), LARGE_SCALES, repetitions=1)
+
+    baseline = make_baseline("direct-rf", seed=0).fit(train)
+
+    rows = []
+    for s in LARGE_SCALES:
+        sub = test.at_scale(s)
+        ours = model.predict(sub.X, [s])[:, 0]
+        rf = baseline.predict(sub.X, s)
+        rows.append(
+            [f"p={s}", format_percent(mape(sub.runtime, ours)),
+             format_percent(mape(sub.runtime, rf))]
+        )
+    print()
+    print(ascii_table(
+        ["target scale", "two-level MAPE", "direct-RF MAPE"],
+        rows,
+        title="Large-scale prediction accuracy on unseen configurations",
+    ))
+
+    # Single-configuration deep dive.
+    x = test.unique_configs()[0]
+    params = app.vector_to_params(x)
+    print("\nExample configuration:", {k: round(v, 2) for k, v in params.items()})
+    curve = model.predict(x[None, :], SMALL_SCALES + LARGE_SCALES)[0]
+    for p, t in zip(SMALL_SCALES + LARGE_SCALES, curve):
+        marker = " (extrapolated)" if p in LARGE_SCALES else ""
+        print(f"  t({p:>5d} procs) = {t:.4g} s{marker}")
+
+
+if __name__ == "__main__":
+    main()

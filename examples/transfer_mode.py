@@ -1,0 +1,81 @@
+"""Transfer mode: exploiting a few historic large-scale runs.
+
+The paper's title scenario assumes *no* large-scale data at all.  In
+practice a cluster's accounting logs usually contain a handful of past
+production runs at large scale.  The two-level model's "transfer" mode
+uses them: the extrapolation level learns a direct map from small-scale
+performance vectors to large-scale runtimes (per curve-shape cluster,
+via multitask lasso in log space).
+
+This example quantifies how much those few large runs are worth,
+comparing basis mode (no large data) against transfer mode with an
+increasing number of historically-large-executed configurations.
+
+Run:  python examples/transfer_mode.py
+"""
+
+from repro.analysis import ascii_table
+from repro.apps import get_app
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator
+from repro.ml.metrics import mean_absolute_percentage_error as mape
+
+SMALL_SCALES = [32, 64, 128, 256, 512]
+LARGE_SCALES = [1024, 2048, 4096]
+
+
+def main() -> None:
+    app = get_app("cg")
+    gen = HistoryGenerator(app, seed=29)
+
+    print("Collecting CG solver histories...")
+    train = gen.collect(gen.sample_configs(100), SMALL_SCALES, repetitions=2)
+    test = gen.collect(gen.sample_configs(25), LARGE_SCALES, repetitions=1)
+
+    def score(model):
+        return [
+            100.0 * mape(
+                test.at_scale(s).runtime,
+                model.predict(test.at_scale(s).X, [s])[:, 0],
+            )
+            for s in LARGE_SCALES
+        ]
+
+    rows = []
+    basis = TwoLevelModel(small_scales=SMALL_SCALES, n_clusters=3,
+                          random_state=0).fit(train)
+    rows.append(["basis mode (0 large runs)"] +
+                [f"{v:.1f}%" for v in score(basis)])
+
+    for n_large in [8, 16, 32]:
+        # Historic configurations that also ran at the large scales.
+        large_cfgs = gen.sample_configs(n_large)
+        large_train = gen.collect(
+            large_cfgs, SMALL_SCALES + LARGE_SCALES, repetitions=1
+        )
+        transfer = TwoLevelModel(
+            small_scales=SMALL_SCALES,
+            mode="transfer",
+            large_scales=LARGE_SCALES,
+            n_clusters=3,
+            random_state=0,
+        ).fit(train, large_train=large_train)
+        rows.append(
+            [f"transfer mode ({n_large} large runs)"]
+            + [f"{v:.1f}%" for v in score(transfer)]
+        )
+
+    print()
+    print(ascii_table(
+        ["extrapolation level"] + [f"MAPE p={s}" for s in LARGE_SCALES],
+        rows,
+        title="What are a few historic large-scale runs worth? (cg)",
+    ))
+    print("\nTakeaway: even a handful of large-scale history runs anchors "
+          "the extrapolation level far better than scale-basis "
+          "extrapolation alone — when the accounting logs have them, "
+          "use transfer mode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs (`pip install -e . --no-use-pep517`)
+in offline environments lacking the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "Using Small-Scale History Data to Predict
+Large-Scale Performance of HPC Application" (Zhou, Zhang, Sun, Sun;
+IPDPSW 2020).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's two-level model (interpolation random forests +
+    clustered multitask-lasso scalability models).
+``repro.ml``
+    From-scratch numpy ML substrate (no scikit-learn dependency).
+``repro.sim``
+    Cluster simulator (roofline nodes, LogGP network, topologies,
+    collective cost models) standing in for the paper's HPC platform.
+``repro.apps``
+    Parameterized application skeletons (stencil, N-body MD, CG, FFT).
+``repro.data``
+    Execution-history datasets, samplers, and scale splits.
+``repro.baselines``
+    Direct-ML extrapolation and curve-fitting comparison methods.
+``repro.analysis``
+    Experiment protocol and reporting used by the benchmark harness.
+"""
+
+from .core import TwoLevelModel
+
+__version__ = "1.0.0"
+
+__all__ = ["TwoLevelModel", "__version__"]

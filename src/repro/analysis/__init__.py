@@ -1,0 +1,32 @@
+"""Experiment runner and plain-text reporting used by the benchmarks."""
+
+from .evaluation import (
+    DEFAULT_LARGE_SCALES,
+    DEFAULT_SMALL_SCALES,
+    ExperimentConfig,
+    Histories,
+    MethodScores,
+    build_histories,
+    evaluate_predictor,
+    fit_two_level,
+    run_method_comparison,
+)
+from .repeats import AggregatedScores, repeat_method_comparison
+from .reporting import ascii_table, format_percent, series_block
+
+__all__ = [
+    "DEFAULT_LARGE_SCALES",
+    "DEFAULT_SMALL_SCALES",
+    "ExperimentConfig",
+    "Histories",
+    "MethodScores",
+    "build_histories",
+    "evaluate_predictor",
+    "fit_two_level",
+    "run_method_comparison",
+    "AggregatedScores",
+    "repeat_method_comparison",
+    "ascii_table",
+    "format_percent",
+    "series_block",
+]

@@ -1,0 +1,186 @@
+"""Experiment runner shared by the benchmark harness and examples.
+
+Encapsulates the paper's evaluation protocol: generate a small-scale
+training history and a large-scale test set for an application, fit the
+two-level model and the baselines on the *same* history, and report
+per-target-scale accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..apps import get_app
+from ..baselines import BASELINE_FACTORIES, make_baseline
+from ..core import TwoLevelModel
+from ..data import HistoryGenerator
+from ..data.dataset import ExecutionDataset
+from ..ml.metrics import (
+    mean_absolute_percentage_error,
+    median_absolute_percentage_error,
+    root_mean_squared_error,
+)
+from ..sim import Executor, Machine, NoiseModel
+
+__all__ = [
+    "ExperimentConfig",
+    "Histories",
+    "MethodScores",
+    "build_histories",
+    "fit_two_level",
+    "evaluate_predictor",
+    "run_method_comparison",
+    "DEFAULT_SMALL_SCALES",
+    "DEFAULT_LARGE_SCALES",
+]
+
+#: Evaluation protocol defaults (node-aligned on the default 32-core
+#: machine: 1..16 nodes for training, 32..128 nodes for testing).
+DEFAULT_SMALL_SCALES: tuple[int, ...] = (32, 64, 128, 256, 512)
+DEFAULT_LARGE_SCALES: tuple[int, ...] = (1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full specification of one evaluation run."""
+
+    app_name: str = "stencil3d"
+    small_scales: tuple[int, ...] = DEFAULT_SMALL_SCALES
+    large_scales: tuple[int, ...] = DEFAULT_LARGE_SCALES
+    n_train_configs: int = 150
+    n_test_configs: int = 50
+    repetitions: int = 3
+    noise_sigma: float = 0.03
+    jitter_prob: float = 0.05
+    seed: int = 42
+    n_clusters: int = 3
+
+    def with_(self, **kwargs: object) -> "ExperimentConfig":
+        """Derived config with some fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class Histories:
+    """Generated train (small-scale) and test (large-scale) data."""
+
+    train: ExecutionDataset
+    test: ExecutionDataset
+    config: ExperimentConfig
+
+
+def build_histories(
+    config: ExperimentConfig, machine: Machine | None = None
+) -> Histories:
+    """Simulate the training and test histories for one experiment."""
+    app = get_app(config.app_name)
+    noise = NoiseModel(sigma=config.noise_sigma, jitter_prob=config.jitter_prob)
+    executor = Executor(machine=machine, noise=noise, seed=config.seed)
+    gen = HistoryGenerator(app, executor=executor, seed=config.seed)
+    train_cfgs = gen.sample_configs(config.n_train_configs)
+    test_cfgs = gen.sample_configs(config.n_test_configs)
+    train = gen.collect(
+        train_cfgs, config.small_scales, repetitions=config.repetitions
+    )
+    test = gen.collect(test_cfgs, config.large_scales, repetitions=1)
+    return Histories(train=train, test=test, config=config)
+
+
+def fit_two_level(
+    histories: Histories, **model_kwargs: object
+) -> TwoLevelModel:
+    """Fit the paper's model on a history with the experiment defaults."""
+    cfg = histories.config
+    kwargs: dict[str, object] = dict(
+        small_scales=cfg.small_scales,
+        n_clusters=cfg.n_clusters,
+        random_state=cfg.seed,
+    )
+    kwargs.update(model_kwargs)
+    model = TwoLevelModel(**kwargs)  # type: ignore[arg-type]
+    return model.fit(histories.train)
+
+
+@dataclass(frozen=True)
+class MethodScores:
+    """Accuracy of one method across the large target scales."""
+
+    name: str
+    mape_by_scale: dict[int, float]
+    rmse_by_scale: dict[int, float]
+    medape_by_scale: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def overall_mape(self) -> float:
+        return float(np.mean(list(self.mape_by_scale.values())))
+
+
+PredictFn = Callable[[np.ndarray, int], np.ndarray]
+
+
+def evaluate_predictor(
+    name: str,
+    predict: PredictFn,
+    test: ExecutionDataset,
+    large_scales: Sequence[int],
+) -> MethodScores:
+    """Score ``predict(X, scale)`` against the test history."""
+    mape_s: dict[int, float] = {}
+    rmse_s: dict[int, float] = {}
+    med_s: dict[int, float] = {}
+    for s in large_scales:
+        sub = test.at_scale(int(s))
+        if len(sub) == 0:
+            continue
+        pred = np.asarray(predict(sub.X, int(s)), dtype=np.float64)
+        mape_s[int(s)] = mean_absolute_percentage_error(sub.runtime, pred)
+        rmse_s[int(s)] = root_mean_squared_error(sub.runtime, pred)
+        med_s[int(s)] = median_absolute_percentage_error(sub.runtime, pred)
+    if not mape_s:
+        raise ValueError("Test data contains none of the requested scales.")
+    return MethodScores(
+        name=name, mape_by_scale=mape_s, rmse_by_scale=rmse_s, medape_by_scale=med_s
+    )
+
+
+def run_method_comparison(
+    histories: Histories,
+    baselines: Sequence[str] | None = None,
+    include_two_level: bool = True,
+    two_level_kwargs: dict[str, object] | None = None,
+) -> list[MethodScores]:
+    """The Table-2 protocol: two-level vs the named baselines.
+
+    Every method trains on ``histories.train`` only; scores are on the
+    large-scale test set.  Results are sorted by overall MAPE.
+    """
+    cfg = histories.config
+    names = list(baselines) if baselines is not None else sorted(BASELINE_FACTORIES)
+    results: list[MethodScores] = []
+
+    if include_two_level:
+        model = fit_two_level(histories, **(two_level_kwargs or {}))
+        results.append(
+            evaluate_predictor(
+                "two-level",
+                lambda X, s: model.predict(X, [s])[:, 0],
+                histories.test,
+                cfg.large_scales,
+            )
+        )
+
+    for name in names:
+        bl = make_baseline(name, seed=cfg.seed).fit(histories.train)
+        results.append(
+            evaluate_predictor(
+                name,
+                lambda X, s, bl=bl: bl.predict(X, s),
+                histories.test,
+                cfg.large_scales,
+            )
+        )
+    results.sort(key=lambda r: r.overall_mape)
+    return results

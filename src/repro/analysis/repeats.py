@@ -1,0 +1,83 @@
+"""Multi-seed experiment repetition and aggregation.
+
+Single-seed MAPE comparisons at moderate history sizes carry visible
+experiment-level variance (different sampled configurations, different
+noise draws).  These helpers rerun an experiment across seeds and
+report mean +/- std per method and scale, which is what a careful
+reproduction should quote when two methods are close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .evaluation import (
+    ExperimentConfig,
+    MethodScores,
+    build_histories,
+    run_method_comparison,
+)
+
+__all__ = ["AggregatedScores", "repeat_method_comparison"]
+
+
+@dataclass(frozen=True)
+class AggregatedScores:
+    """Mean and standard deviation of a method's MAPE across seeds."""
+
+    name: str
+    mean_by_scale: dict[int, float]
+    std_by_scale: dict[int, float]
+    overall_mean: float
+    overall_std: float
+    n_seeds: int
+
+
+def _aggregate(per_seed: list[MethodScores]) -> AggregatedScores:
+    scales = sorted(per_seed[0].mape_by_scale)
+    by_scale = {
+        s: np.array([r.mape_by_scale[s] for r in per_seed]) for s in scales
+    }
+    overall = np.array([r.overall_mape for r in per_seed])
+    return AggregatedScores(
+        name=per_seed[0].name,
+        mean_by_scale={s: float(v.mean()) for s, v in by_scale.items()},
+        std_by_scale={s: float(v.std()) for s, v in by_scale.items()},
+        overall_mean=float(overall.mean()),
+        overall_std=float(overall.std()),
+        n_seeds=len(per_seed),
+    )
+
+
+def repeat_method_comparison(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    baselines: Sequence[str] | None = None,
+    two_level_kwargs: dict[str, object] | None = None,
+) -> list[AggregatedScores]:
+    """Run the Table-2 protocol once per seed and aggregate.
+
+    Each seed gets fresh training/test configurations and noise; the
+    methods see identical data within a seed.  Results are sorted by
+    overall mean MAPE.
+    """
+    if len(seeds) < 1:
+        raise ValueError("Need at least one seed.")
+    collected: dict[str, list[MethodScores]] = {}
+    for seed in seeds:
+        histories = build_histories(config.with_(seed=int(seed)))
+        for score in run_method_comparison(
+            histories, baselines=baselines, two_level_kwargs=two_level_kwargs
+        ):
+            collected.setdefault(score.name, []).append(score)
+
+    n = len(seeds)
+    incomplete = [name for name, runs in collected.items() if len(runs) != n]
+    if incomplete:
+        raise RuntimeError(f"Methods missing seeds: {incomplete}")
+    aggregated = [_aggregate(runs) for runs in collected.values()]
+    aggregated.sort(key=lambda a: a.overall_mean)
+    return aggregated

@@ -1,0 +1,95 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+The benchmarks print the paper's tables and figure series as aligned
+ASCII; these helpers keep the formatting consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_table", "format_percent", "series_block"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a percentage string (0.123 -> '12.3%')."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; numeric alignment is right, text
+    alignment left (decided per column by whether every cell parses as a
+    number).
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty.")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"Row width {len(r)} does not match header width {len(headers)}."
+            )
+    cols = list(zip(*([list(headers)] + str_rows))) if str_rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(c) for c in col) for col in cols]
+
+    def is_numeric(cell: str) -> bool:
+        cell = cell.rstrip("%x")
+        try:
+            float(cell)
+            return True
+        except ValueError:
+            return False
+
+    right = [
+        all(is_numeric(c) for c in col[1:]) and len(col) > 1 for col in cols
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for cell, width, r in zip(cells, widths, right):
+            out.append(cell.rjust(width) if r else cell.ljust(width))
+        return "| " + " | ".join(out) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def series_block(
+    name: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    y_format: str = "{:.3f}",
+) -> str:
+    """Render figure data as one labeled row per series.
+
+    This is the textual stand-in for a plotted figure: the x axis and
+    each line's y values, aligned for eyeballing crossovers.
+    """
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for label, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"Series {label!r} has {len(ys)} values for "
+                f"{len(x_values)} x points."
+            )
+        rows.append([label] + [y_format.format(y) for y in ys])
+    return ascii_table(headers, rows, title=name)

@@ -1,0 +1,47 @@
+"""Simulated HPC applications (machine-independent phase models).
+
+``Stencil3D`` and ``NBody`` are the two primary evaluation applications
+(matching the paper's two-application scope); ``CGSolver`` and ``FFT2D``
+are extension studies exercising latency-bound and bandwidth-bound
+communication patterns respectively.
+"""
+
+from .base import Application, CommOp, ParamSpec, PhaseSpec
+from .cg import CGSolver
+from .fft import FFT2D
+from .nbody import NBody
+from .stencil3d import Stencil3D
+from .wavefront import Wavefront
+from .weak import WeakScaling, weak_fft, weak_stencil
+
+ALL_APPS: dict[str, type[Application]] = {
+    cls.name: cls for cls in (Stencil3D, NBody, CGSolver, FFT2D, Wavefront)
+}
+
+
+def get_app(name: str) -> Application:
+    """Instantiate a shipped application by name."""
+    try:
+        return ALL_APPS[name]()
+    except KeyError:
+        raise ValueError(
+            f"Unknown application {name!r}; available: {sorted(ALL_APPS)}"
+        ) from None
+
+
+__all__ = [
+    "Application",
+    "CommOp",
+    "ParamSpec",
+    "PhaseSpec",
+    "CGSolver",
+    "FFT2D",
+    "NBody",
+    "Stencil3D",
+    "Wavefront",
+    "WeakScaling",
+    "weak_fft",
+    "weak_stencil",
+    "ALL_APPS",
+    "get_app",
+]

@@ -1,0 +1,173 @@
+"""Application model interface.
+
+An application is described *machine-independently*: given an input
+parameter assignment and a process count it yields a list of
+:class:`PhaseSpec` objects carrying per-process flop counts, memory
+traffic, and communication operations.  The :class:`~repro.sim.Executor`
+converts those volumes into time on a concrete machine.
+
+This mirrors how analytic performance models of real HPC codes are
+written (compute volume from the algorithm's complexity, message sizes
+from the domain decomposition) and is the substitution for the paper's
+real application executions — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParamSpec", "CommOp", "PhaseSpec", "Application"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One input parameter of an application.
+
+    Attributes
+    ----------
+    name:
+        Parameter name (key into the params dict).
+    low, high:
+        Inclusive sampling range.
+    integer:
+        Round sampled values to integers.
+    log:
+        Sample uniformly in log space (for ranges spanning decades).
+    description:
+        Human-readable meaning, surfaced in dataset tables.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+    log: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Parameter name must be non-empty.")
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low > high.")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log-scale range requires low > 0.")
+
+    def clip(self, value: float) -> float:
+        """Clamp a value into the spec's range (and integrality)."""
+        v = float(np.clip(value, self.low, self.high))
+        return float(round(v)) if self.integer else v
+
+    def contains(self, value: float) -> bool:
+        if self.integer and value != round(value):
+            return False
+        return self.low <= value <= self.high
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            v = float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+        else:
+            v = float(rng.uniform(self.low, self.high))
+        return float(round(v)) if self.integer else v
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """One communication operation within a phase.
+
+    Attributes
+    ----------
+    op:
+        Operation kind: "ptp" or a collective name from
+        :data:`repro.sim.COLLECTIVES`.
+    nbytes:
+        Payload per process (for "ptp": the message size).
+    count:
+        Number of invocations aggregated into this op.
+    """
+
+    op: str
+    nbytes: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative.")
+        if self.count < 0:
+            raise ValueError("count must be non-negative.")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Machine-independent description of one application phase.
+
+    ``flops`` and ``mem_bytes`` are **per process** volumes.
+    """
+
+    name: str
+    flops: float
+    mem_bytes: float
+    comm: tuple[CommOp, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.mem_bytes < 0:
+            raise ValueError("Phase volumes must be non-negative.")
+
+
+class Application(ABC):
+    """Base class for simulated HPC applications."""
+
+    #: Application name, unique among the shipped apps.
+    name: str = "abstract"
+
+    @abstractmethod
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        """The application's input-parameter space."""
+
+    @abstractmethod
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        """Per-process phase volumes for one configuration."""
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.param_specs())
+
+    def validate_params(self, params: dict[str, float]) -> None:
+        """Raise ``ValueError`` for missing/extra/out-of-range parameters."""
+        specs = {s.name: s for s in self.param_specs()}
+        missing = set(specs) - set(params)
+        if missing:
+            raise ValueError(f"{self.name}: missing parameters {sorted(missing)}")
+        extra = set(params) - set(specs)
+        if extra:
+            raise ValueError(f"{self.name}: unknown parameters {sorted(extra)}")
+        for name, value in params.items():
+            if not specs[name].contains(value):
+                spec = specs[name]
+                raise ValueError(
+                    f"{self.name}: {name}={value} outside "
+                    f"[{spec.low}, {spec.high}]"
+                    + (" (must be integer)" if spec.integer else "")
+                )
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, float]:
+        """Draw one random configuration from the parameter space."""
+        return {spec.name: spec.sample(rng) for spec in self.param_specs()}
+
+    def params_to_vector(self, params: dict[str, float]) -> np.ndarray:
+        """Encode a configuration as a feature vector (spec order)."""
+        return np.array([params[n] for n in self.param_names], dtype=np.float64)
+
+    def vector_to_params(self, x: np.ndarray) -> dict[str, float]:
+        """Inverse of :meth:`params_to_vector`."""
+        names = self.param_names
+        if len(x) != len(names):
+            raise ValueError(
+                f"{self.name}: expected {len(names)} values, got {len(x)}"
+            )
+        return {n: float(v) for n, v in zip(names, x)}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,102 @@
+"""Distributed conjugate-gradient solver (sparse linear algebra pattern).
+
+Models HPCG-style CG on a row-partitioned sparse matrix:
+
+* SpMV: ``2 * nnz_per_row * n / p`` flops per iteration, memory bound
+  (matrix streamed once per iteration);
+* halo exchange of boundary vector entries with neighboring partitions;
+* two dot products per iteration, each an 8-byte allreduce — the classic
+  latency wall of Krylov methods at scale;
+* vector AXPYs (memory bound).
+
+Because the allreduce count scales with iterations but not with n, small
+systems at large p are entirely latency-bound — the strongest case for
+the extrapolation level's log(p) basis term.
+"""
+
+from __future__ import annotations
+
+from .base import Application, CommOp, ParamSpec, PhaseSpec
+
+__all__ = ["CGSolver"]
+
+_BYTES_PER_NNZ = 12  # 8-byte value + 4-byte column index
+_BYTES_PER_ENTRY = 8
+
+
+class CGSolver(Application):
+    """Parameterized distributed CG iteration."""
+
+    name = "cg"
+
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        return (
+            ParamSpec(
+                "n",
+                1e5,
+                3e7,
+                integer=True,
+                log=True,
+                description="matrix dimension (rows)",
+            ),
+            ParamSpec(
+                "nnz_per_row",
+                5,
+                81,
+                integer=True,
+                description="average nonzeros per row (stencil bandwidth)",
+            ),
+            ParamSpec(
+                "iterations",
+                30,
+                600,
+                integer=True,
+                log=True,
+                description="CG iterations",
+            ),
+        )
+
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        n = float(params["n"])
+        nnz_row = float(params["nnz_per_row"])
+        iters = float(params["iterations"])
+
+        rows_local = n / nprocs
+        spmv_flops = iters * 2.0 * nnz_row * rows_local
+        spmv_mem = iters * rows_local * (nnz_row * _BYTES_PER_NNZ + 2 * _BYTES_PER_ENTRY)
+
+        # Boundary entries exchanged per SpMV: fraction of the local rows
+        # proportional to the partition surface (2-D-ish boundary of a
+        # banded matrix): ~ sqrt(rows_local) * bandwidth factor.
+        boundary_rows = min(rows_local, (rows_local**0.5) * (nnz_row**0.5))
+        halo_bytes = boundary_rows * _BYTES_PER_ENTRY
+        halo_msgs = int(round(2 * iters)) if nprocs > 1 else 0
+
+        # 3 AXPY + 2 dot local parts per iteration over local vectors.
+        vec_flops = iters * rows_local * 10.0
+        vec_mem = iters * rows_local * _BYTES_PER_ENTRY * 7.0
+
+        comm_spmv: list[CommOp] = []
+        if halo_msgs > 0:
+            comm_spmv.append(CommOp("ptp", halo_bytes, count=halo_msgs))
+
+        return [
+            PhaseSpec(
+                "spmv",
+                flops=spmv_flops,
+                mem_bytes=spmv_mem,
+                comm=tuple(comm_spmv),
+            ),
+            PhaseSpec(
+                "vector_ops",
+                flops=vec_flops,
+                mem_bytes=vec_mem,
+                comm=(),
+            ),
+            PhaseSpec(
+                "dot_products",
+                flops=iters * rows_local * 4.0,
+                mem_bytes=iters * rows_local * _BYTES_PER_ENTRY * 2.0,
+                comm=(CommOp("allreduce", 8.0, count=int(round(2 * iters))),),
+            ),
+        ]

@@ -1,0 +1,83 @@
+"""Distributed 2-D FFT (transpose/all-to-all pattern).
+
+Models a slab-decomposed 2-D FFT performed ``batches`` times:
+
+* row FFTs: ``5 n log2(n)`` flops per transform line (the classic FFT
+  operation count) over the local slab;
+* global transpose: an all-to-all moving the entire local slab, the
+  bisection-bandwidth stress test among the shipped applications;
+* column FFTs and the inverse transpose.
+
+Unlike the halo-exchange apps, the communication volume here does *not*
+shrink with p (per-process payload is n^2/p but p processes send it
+every transpose), so FFT scaling curves flatten on bandwidth, not
+latency — a qualitatively different shape for the clustering step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Application, CommOp, ParamSpec, PhaseSpec
+
+__all__ = ["FFT2D"]
+
+_BYTES_PER_COMPLEX = 16
+
+
+class FFT2D(Application):
+    """Parameterized batched 2-D FFT with slab decomposition."""
+
+    name = "fft2d"
+
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        return (
+            ParamSpec(
+                "n",
+                256,
+                8192,
+                integer=True,
+                log=True,
+                description="transform size per dimension (n x n grid)",
+            ),
+            ParamSpec(
+                "batches",
+                1,
+                64,
+                integer=True,
+                log=True,
+                description="number of forward+inverse transform pairs",
+            ),
+        )
+
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        n = float(params["n"])
+        batches = float(params["batches"])
+
+        rows_local = n / nprocs
+        # Forward + inverse, rows + columns: 4 x (local lines) 1-D FFTs
+        # of length n per batch.
+        fft_flops = batches * 4.0 * rows_local * 5.0 * n * np.log2(max(n, 2.0))
+        fft_mem = batches * 4.0 * rows_local * n * _BYTES_PER_COMPLEX * 2.0
+
+        slab_bytes = rows_local * n * _BYTES_PER_COMPLEX
+        n_transposes = int(round(2 * batches)) if nprocs > 1 else 0
+
+        comm: list[CommOp] = []
+        if n_transposes > 0:
+            comm.append(CommOp("alltoall", slab_bytes, count=n_transposes))
+
+        return [
+            PhaseSpec(
+                "fft_lines",
+                flops=fft_flops,
+                mem_bytes=fft_mem,
+                comm=(),
+            ),
+            PhaseSpec(
+                "transpose",
+                flops=batches * rows_local * n * 2.0,  # pack/unpack
+                mem_bytes=batches * rows_local * n * _BYTES_PER_COMPLEX * 2.0,
+                comm=tuple(comm),
+            ),
+        ]

@@ -1,0 +1,129 @@
+"""Short-range molecular-dynamics N-body application.
+
+Models the miniMD/LAMMPS-style cutoff MD skeleton:
+
+* force computation: each particle interacts with the neighbors inside
+  its cutoff sphere (count set by density * (4/3)π r_c^3), every step;
+* neighbor-list rebuild every ``rebuild_every`` steps (memory-heavy);
+* ghost-particle exchange with spatial neighbors each step (payload
+  follows the per-process subdomain surface);
+* global energy/virial allreduce each step.
+
+The cutoff and density parameters move the compute/communication balance
+independently of the particle count, again producing a family of
+distinct scaling-curve shapes across the parameter space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Application, CommOp, ParamSpec, PhaseSpec
+
+__all__ = ["NBody"]
+
+_BYTES_PER_PARTICLE = 48  # position + velocity (6 doubles)
+_FLOPS_PER_PAIR = 40.0  # Lennard-Jones force + energy
+
+
+class NBody(Application):
+    """Parameterized cutoff molecular dynamics."""
+
+    name = "nbody"
+
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        return (
+            ParamSpec(
+                "n_particles",
+                2e4,
+                2e6,
+                integer=True,
+                log=True,
+                description="total particles",
+            ),
+            ParamSpec(
+                "timesteps",
+                20,
+                400,
+                integer=True,
+                log=True,
+                description="MD steps",
+            ),
+            ParamSpec(
+                "cutoff",
+                2.0,
+                5.0,
+                description="interaction cutoff radius (reduced units)",
+            ),
+            ParamSpec(
+                "density",
+                0.4,
+                1.2,
+                description="particle number density (reduced units)",
+            ),
+            ParamSpec(
+                "rebuild_every",
+                5,
+                25,
+                integer=True,
+                description="steps between neighbor-list rebuilds",
+            ),
+        )
+
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        n = float(params["n_particles"])
+        steps = float(params["timesteps"])
+        cutoff = float(params["cutoff"])
+        density = float(params["density"])
+        rebuild_every = float(params["rebuild_every"])
+
+        local_n = n / nprocs
+        neighbors = density * (4.0 / 3.0) * np.pi * cutoff**3
+        # Newton's third law halves the pair evaluations.
+        force_flops = steps * local_n * neighbors * _FLOPS_PER_PAIR / 2.0
+        force_mem = steps * local_n * (neighbors * 24.0 + _BYTES_PER_PARTICLE)
+
+        n_rebuilds = max(1.0, steps / rebuild_every)
+        # Cell-list binning: a few passes over local + ghost particles.
+        rebuild_flops = n_rebuilds * local_n * 30.0
+        rebuild_mem = n_rebuilds * local_n * _BYTES_PER_PARTICLE * 3.0
+
+        # Ghost exchange: skin of thickness ~cutoff around the local box.
+        # Local box side L = (n / (density * p))^(1/3); ghost shell volume
+        # ≈ 6 * L^2 * cutoff * density particles.
+        box_side = (local_n / density) ** (1.0 / 3.0)
+        ghost_particles = 6.0 * box_side**2 * cutoff * density
+        ghost_bytes = ghost_particles / 6.0 * _BYTES_PER_PARTICLE  # per face
+        exchange_msgs = int(round(6 * steps)) if nprocs > 1 else 0
+
+        comm_exchange: list[CommOp] = []
+        if exchange_msgs > 0:
+            comm_exchange.append(CommOp("ptp", ghost_bytes, count=exchange_msgs))
+
+        phases = [
+            PhaseSpec(
+                "force",
+                flops=force_flops,
+                mem_bytes=force_mem,
+                comm=(),
+            ),
+            PhaseSpec(
+                "neighbor_rebuild",
+                flops=rebuild_flops,
+                mem_bytes=rebuild_mem,
+                comm=(),
+            ),
+            PhaseSpec(
+                "ghost_exchange",
+                flops=steps * ghost_particles * 2.0,
+                mem_bytes=steps * ghost_particles * _BYTES_PER_PARTICLE,
+                comm=tuple(comm_exchange),
+            ),
+            PhaseSpec(
+                "global_reduce",
+                flops=steps * 8.0,
+                mem_bytes=steps * 64.0,
+                comm=(CommOp("allreduce", 48.0, count=int(steps)),),
+            ),
+        ]
+        return phases

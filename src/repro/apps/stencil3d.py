@@ -1,0 +1,117 @@
+"""3-D Jacobi stencil solver (halo-exchange pattern).
+
+Models a structured-grid iterative solver — the archetypal
+strong-scaling HPC workload (heat diffusion, Laplace, red-black
+Gauss-Seidel all share this skeleton):
+
+* compute: ``(2 * (6*ghost) + 1)``-point stencil sweep over the local
+  block of an ``nx^3`` grid, ``iterations`` times;
+* halo exchange: 6 face messages per iteration whose size follows the
+  surface of the per-process block under an idealized cubic domain
+  decomposition (surface/volume ratio gives the p^(2/3) law);
+* convergence check: an 8-byte allreduce every ``check_freq`` iterations.
+
+The parameter space deliberately spans compute-dominated (large grid)
+through latency-dominated (small grid, many processes) regimes, which is
+what gives different configurations different scaling-curve *shapes* —
+the structure the paper's clustering step exploits.
+"""
+
+from __future__ import annotations
+
+from .base import Application, CommOp, ParamSpec, PhaseSpec
+
+__all__ = ["Stencil3D"]
+
+_BYTES_PER_CELL = 8  # double precision
+
+
+class Stencil3D(Application):
+    """Parameterized 3-D Jacobi iteration.
+
+    Parameters (see :meth:`param_specs`): grid size ``nx``, iteration
+    count ``iterations``, stencil ghost width ``ghost`` (order of the
+    stencil), and convergence-check frequency ``check_freq``.
+    """
+
+    name = "stencil3d"
+
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        return (
+            ParamSpec(
+                "nx",
+                48,
+                512,
+                integer=True,
+                log=True,
+                description="grid points per dimension (global nx^3 cells)",
+            ),
+            ParamSpec(
+                "iterations",
+                50,
+                800,
+                integer=True,
+                log=True,
+                description="Jacobi sweeps",
+            ),
+            ParamSpec(
+                "ghost",
+                1,
+                4,
+                integer=True,
+                description="ghost-layer width (stencil radius)",
+            ),
+            ParamSpec(
+                "check_freq",
+                5,
+                50,
+                integer=True,
+                description="iterations between residual allreduces",
+            ),
+        )
+
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        nx = float(params["nx"])
+        iters = float(params["iterations"])
+        ghost = float(params["ghost"])
+        check_freq = float(params["check_freq"])
+
+        cells_total = nx**3
+        cells_local = cells_total / nprocs
+        # (6*ghost + 1)-point star stencil: one multiply-add per point.
+        flops_per_cell = 2.0 * (6.0 * ghost + 1.0)
+        compute_flops = iters * cells_local * flops_per_cell
+        # Streaming read of the neighborhood (cache-friendly sweep re-reads
+        # each plane ~once per ghost layer) plus one write.
+        mem_bytes = iters * cells_local * _BYTES_PER_CELL * (ghost + 2.0)
+
+        # Idealized cubic decomposition: per-process block face holds
+        # nx^2 / p^(2/3) cells; ghost layers multiply the payload.
+        face_cells = nx**2 / nprocs ** (2.0 / 3.0)
+        halo_bytes = ghost * face_cells * _BYTES_PER_CELL
+        halo_msgs = int(round(6 * iters)) if nprocs > 1 else 0
+
+        n_checks = int(iters // max(check_freq, 1.0))
+
+        comm_sweep: list[CommOp] = []
+        if halo_msgs > 0:
+            comm_sweep.append(CommOp("ptp", halo_bytes, count=halo_msgs))
+
+        phases = [
+            PhaseSpec(
+                "sweep",
+                flops=compute_flops,
+                mem_bytes=mem_bytes,
+                comm=tuple(comm_sweep),
+            )
+        ]
+        if n_checks > 0:
+            phases.append(
+                PhaseSpec(
+                    "residual_check",
+                    flops=n_checks * cells_local * 2.0,
+                    mem_bytes=n_checks * cells_local * _BYTES_PER_CELL,
+                    comm=(CommOp("allreduce", 8.0, count=n_checks),),
+                )
+            )
+        return phases

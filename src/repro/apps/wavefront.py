@@ -1,0 +1,125 @@
+"""Wavefront sweep application (Sweep3D/Kripke pattern).
+
+Models a discrete-ordinates transport sweep over a 3-D grid decomposed
+in 2-D (columns of cells): diagonal wavefronts pipeline through the
+process grid, so each sweep costs
+
+    (pipeline fill) + (steady state)
+    ~ (px + py - 2) * t_stage + n_stages * t_stage
+
+with px = py = sqrt(p).  The pipeline-fill term grows like sqrt(p) — a
+scaling shape none of the other shipped applications produce, which
+exercises the ``sqrt_p``/``inv_sqrt_p`` corners of the scalability
+basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Application, CommOp, ParamSpec, PhaseSpec
+
+__all__ = ["Wavefront"]
+
+_BYTES_PER_CELL_ANGLE = 8
+_FLOPS_PER_CELL_ANGLE = 60.0  # upwind solve per cell per angle
+
+
+class Wavefront(Application):
+    """Parameterized pipelined transport sweep."""
+
+    name = "wavefront"
+
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        return (
+            ParamSpec(
+                "nx",
+                64,
+                512,
+                integer=True,
+                log=True,
+                description="grid points per dimension (global nx^3 cells)",
+            ),
+            ParamSpec(
+                "angles",
+                8,
+                96,
+                integer=True,
+                log=True,
+                description="discrete ordinate directions per octant",
+            ),
+            ParamSpec(
+                "sweeps",
+                5,
+                80,
+                integer=True,
+                log=True,
+                description="source iterations (full sweeps)",
+            ),
+        )
+
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        nx = float(params["nx"])
+        angles = float(params["angles"])
+        sweeps = float(params["sweeps"])
+
+        # 2-D column decomposition: px * py = p, local pencil is
+        # (nx/px) x (nx/py) x nx cells.
+        side = max(1.0, np.sqrt(nprocs))
+        cells_local = nx**3 / nprocs
+        octants = 8.0
+
+        # Useful work: every cell, every angle, every octant, every sweep.
+        compute_flops = sweeps * octants * angles * cells_local * _FLOPS_PER_CELL_ANGLE
+        compute_mem = sweeps * octants * angles * cells_local * _BYTES_PER_CELL_ANGLE
+
+        # Pipeline-fill overhead: (px + py - 2) stages of idle time per
+        # octant sweep, each stage the size of one block-column of work.
+        fill_stages = 2.0 * (side - 1.0)
+        stage_cells = cells_local / max(nx / side, 1.0)  # one k-plane block
+        fill_flops = (
+            sweeps * octants * fill_stages * angles * stage_cells
+            * _FLOPS_PER_CELL_ANGLE
+        )
+
+        # Downstream face exchange per stage: two faces of the pencil.
+        face_cells = (nx / side) * nx
+        msg_bytes = angles * face_cells * _BYTES_PER_CELL_ANGLE
+        n_stages = max(nx / max(nx / side, 1.0), 1.0)
+        n_msgs = (
+            int(round(sweeps * octants * 2.0 * (n_stages + fill_stages)))
+            if nprocs > 1
+            else 0
+        )
+
+        comm: list[CommOp] = []
+        if n_msgs > 0:
+            comm.append(CommOp("ptp", msg_bytes, count=n_msgs))
+
+        return [
+            PhaseSpec(
+                "sweep_compute",
+                flops=compute_flops,
+                mem_bytes=compute_mem,
+                comm=(),
+            ),
+            PhaseSpec(
+                "pipeline_fill",
+                flops=fill_flops,
+                mem_bytes=fill_flops / _FLOPS_PER_CELL_ANGLE
+                * _BYTES_PER_CELL_ANGLE,
+                comm=(),
+            ),
+            PhaseSpec(
+                "face_exchange",
+                flops=0.0,
+                mem_bytes=0.0,
+                comm=tuple(comm),
+            ),
+            PhaseSpec(
+                "convergence_check",
+                flops=sweeps * cells_local * 2.0,
+                mem_bytes=sweeps * cells_local * 8.0,
+                comm=(CommOp("allreduce", 8.0, count=int(sweeps)),),
+            ),
+        ]

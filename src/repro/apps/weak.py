@@ -1,0 +1,134 @@
+"""Weak-scaling wrapper (extension feature).
+
+The shipped applications are parameterized by a *global* problem size,
+so sweeping p holds the problem fixed — strong scaling.  In weak-scaling
+studies the problem grows with the machine: each process keeps a fixed
+share.  :class:`WeakScaling` adapts any application to that protocol by
+replacing its global size parameter with a per-process size that is
+multiplied back up as a function of the process count.
+
+Weak-scaling curves look nothing like strong-scaling ones (ideal is a
+*flat* line; deviations are pure overhead growth), which exercises the
+extrapolation level's constant/log corner of the basis and is the
+subject of the weak-scaling extension experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Application, ParamSpec, PhaseSpec
+
+__all__ = ["WeakScaling", "weak_stencil", "weak_fft"]
+
+
+def _grow_cbrt(per_proc: float, p: int) -> float:
+    """3-D sub-cube per process: global side grows as p^(1/3)."""
+    return per_proc * p ** (1.0 / 3.0)
+
+
+def _grow_sqrt(per_proc: float, p: int) -> float:
+    """2-D grid with fixed per-process cells: side grows as sqrt(p)."""
+    return per_proc * p**0.5
+
+
+class WeakScaling(Application):
+    """Adapter giving an application weak-scaling semantics.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped application.
+    size_param:
+        Name of the wrapped app's global size parameter.
+    per_proc_spec:
+        Spec of the new per-process size parameter that replaces it.
+    grow:
+        ``(per_proc_size, nprocs) -> global_size`` mapping.  For a 3-D
+        grid side length that is ``per_proc * p**(1/3)``; for a particle
+        count it is ``per_proc * p``.
+    """
+
+    def __init__(
+        self,
+        inner: Application,
+        size_param: str,
+        per_proc_spec: ParamSpec,
+        grow: Callable[[float, int], float],
+    ) -> None:
+        if size_param not in inner.param_names:
+            raise ValueError(
+                f"{inner.name} has no parameter {size_param!r}."
+            )
+        if per_proc_spec.name in inner.param_names:
+            raise ValueError(
+                f"per-process parameter {per_proc_spec.name!r} collides "
+                f"with an existing parameter of {inner.name}."
+            )
+        self.inner = inner
+        self.size_param = size_param
+        self.per_proc_spec = per_proc_spec
+        self.grow = grow
+        self.name = f"weak-{inner.name}"
+        self._inner_size_spec = {
+            s.name: s for s in inner.param_specs()
+        }[size_param]
+
+    def param_specs(self) -> tuple[ParamSpec, ...]:
+        specs = tuple(
+            s for s in self.inner.param_specs() if s.name != self.size_param
+        )
+        return (self.per_proc_spec, *specs)
+
+    def phases(self, params: dict[str, float], nprocs: int) -> list[PhaseSpec]:
+        inner_params = {
+            k: v for k, v in params.items() if k != self.per_proc_spec.name
+        }
+        global_size = self.grow(params[self.per_proc_spec.name], nprocs)
+        inner_params[self.size_param] = self._inner_size_spec.clip(global_size)
+        return self.inner.phases(inner_params, nprocs)
+
+
+def weak_stencil() -> WeakScaling:
+    """Weakly-scaled 3-D stencil: each process keeps a fixed sub-cube."""
+    from .stencil3d import Stencil3D
+
+    return WeakScaling(
+        Stencil3D(),
+        size_param="nx",
+        per_proc_spec=ParamSpec(
+            "nx_per_proc",
+            16,
+            32,
+            integer=True,
+            log=True,
+            description="grid points per dimension per process sub-cube "
+            "(range chosen so the global grid stays inside the inner "
+            "app's bounds up to p=4096 — growth beyond a bound is "
+            "clipped, which would silently distort the weak-scaling "
+            "protocol)",
+        ),
+        grow=_grow_cbrt,
+    )
+
+
+def weak_fft() -> WeakScaling:
+    """Weakly-scaled 2-D FFT: each process keeps a fixed slab."""
+    from .fft import FFT2D
+
+    return WeakScaling(
+        FFT2D(),
+        size_param="n",
+        per_proc_spec=ParamSpec(
+            "n_per_sqrt_p",
+            48,
+            128,
+            integer=True,
+            log=True,
+            description="transform size per sqrt(process): keeps the "
+            "per-process cell count n^2/p fixed (true weak scaling for "
+            "a 2-D grid) while staying inside the inner app's bounds "
+            "up to p=4096",
+        ),
+        grow=_grow_sqrt,
+    )

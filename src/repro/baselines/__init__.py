@@ -1,0 +1,34 @@
+"""Comparison methods: direct-ML extrapolation, per-configuration curve
+fitting, and analytic speedup laws."""
+
+from .analytic import (
+    AmdahlModel,
+    UniversalScalabilityModel,
+    fit_amdahl,
+    fit_usl,
+)
+from .curve_fit import (
+    CurveFitBaseline,
+    PerformanceModel,
+    fit_performance_model,
+)
+from .direct_ml import (
+    BASELINE_FACTORIES,
+    DirectMLBaseline,
+    EnsembleOfBaselines,
+    make_baseline,
+)
+
+__all__ = [
+    "AmdahlModel",
+    "UniversalScalabilityModel",
+    "fit_amdahl",
+    "fit_usl",
+    "CurveFitBaseline",
+    "PerformanceModel",
+    "fit_performance_model",
+    "BASELINE_FACTORIES",
+    "DirectMLBaseline",
+    "EnsembleOfBaselines",
+    "make_baseline",
+]

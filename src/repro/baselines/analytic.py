@@ -1,0 +1,110 @@
+"""Analytic speedup-law baselines (Amdahl / Gustafson / universal
+scalability law).
+
+These single-configuration laws are fitted to measured small-scale
+runtimes and extrapolated.  They are weaker than the Extra-P-style
+hypothesis search (fixed functional form) but standard points of
+comparison in the scalability-modeling literature and cheap sanity
+anchors in the extension experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+__all__ = ["AmdahlModel", "UniversalScalabilityModel", "fit_amdahl", "fit_usl"]
+
+
+@dataclass(frozen=True)
+class AmdahlModel:
+    """t(p) = t1 * (serial + (1 - serial) / p)."""
+
+    t1: float
+    serial_fraction: float
+
+    def __call__(self, p: np.ndarray | float) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        return self.t1 * (self.serial_fraction + (1.0 - self.serial_fraction) / p)
+
+
+@dataclass(frozen=True)
+class UniversalScalabilityModel:
+    """Gunther's USL: speedup(p) = p / (1 + sigma (p-1) + kappa p (p-1)).
+
+    ``t(p) = t1 / speedup(p)``; the kappa term models coherency costs
+    that make runtime *increase* at large p.
+    """
+
+    t1: float
+    sigma: float
+    kappa: float
+
+    def speedup(self, p: np.ndarray | float) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        return p / (1.0 + self.sigma * (p - 1.0) + self.kappa * p * (p - 1.0))
+
+    def __call__(self, p: np.ndarray | float) -> np.ndarray:
+        return self.t1 / np.maximum(self.speedup(p), 1e-12)
+
+
+def fit_amdahl(scales: Sequence[int], runtimes: Sequence[float]) -> AmdahlModel:
+    """Least-squares Amdahl fit in relative-error metric.
+
+    Uses the smallest measured scale to anchor t1 and a 1-D search over
+    the serial fraction.
+    """
+    p = np.asarray(scales, dtype=np.float64)
+    t = np.asarray(runtimes, dtype=np.float64)
+    if len(p) < 2:
+        raise ValueError("Need at least 2 scales.")
+    if np.any(t <= 0) or np.any(p < 1):
+        raise ValueError("Invalid scales or runtimes.")
+    p0, t0 = p[0], t[0]
+
+    def loss(serial: float) -> float:
+        # t1 chosen in closed form given serial, anchored on all points.
+        shape = serial + (1.0 - serial) / p
+        shape0 = serial + (1.0 - serial) / p0
+        t1 = t0 / shape0
+        pred = t1 * shape
+        return float(np.sum(np.log(pred / t) ** 2))
+
+    res = minimize_scalar(loss, bounds=(0.0, 1.0), method="bounded")
+    serial = float(res.x)
+    t1 = t0 / (serial + (1.0 - serial) / p0)
+    return AmdahlModel(t1=t1, serial_fraction=serial)
+
+
+def fit_usl(
+    scales: Sequence[int], runtimes: Sequence[float]
+) -> UniversalScalabilityModel:
+    """Grid + refinement fit of the USL in relative-error metric."""
+    p = np.asarray(scales, dtype=np.float64)
+    t = np.asarray(runtimes, dtype=np.float64)
+    if len(p) < 3:
+        raise ValueError("Need at least 3 scales.")
+    if np.any(t <= 0) or np.any(p < 1):
+        raise ValueError("Invalid scales or runtimes.")
+
+    def loss(sigma: float, kappa: float) -> tuple[float, float]:
+        denom = 1.0 + sigma * (p - 1.0) + kappa * p * (p - 1.0)
+        shape = denom / p  # t(p)/t1
+        # Closed-form t1 minimizing squared log error.
+        t1 = float(np.exp(np.mean(np.log(t) - np.log(shape))))
+        pred = t1 * shape
+        return float(np.sum(np.log(pred / t) ** 2)), t1
+
+    best = (np.inf, 0.0, 0.0, float(t[0] * p[0]))
+    sigmas = np.concatenate([[0.0], np.geomspace(1e-5, 0.5, 24)])
+    kappas = np.concatenate([[0.0], np.geomspace(1e-8, 1e-2, 24)])
+    for s in sigmas:
+        for k in kappas:
+            err, t1 = loss(s, k)
+            if err < best[0]:
+                best = (err, float(s), float(k), t1)
+    _, sigma, kappa, t1 = best
+    return UniversalScalabilityModel(t1=t1, sigma=sigma, kappa=kappa)

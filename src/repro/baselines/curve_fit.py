@@ -1,0 +1,149 @@
+"""Per-configuration scalability curve fitting (Extra-P-style baseline).
+
+Given *measured* small-scale runtimes of a single configuration, search a
+small hypothesis space of performance model normal forms
+
+    t(p) = c0 + c1 * p^a * log2(p)^b,   a in A, b in B
+
+and pick the hypothesis by cross-validated (leave-one-scale-out) error,
+then extrapolate.  This is the classic single-configuration approach the
+paper's extrapolation level generalizes (joint selection across a
+cluster instead of per configuration) — and it also serves as the
+known-configuration scalability baseline in extension experiment C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PerformanceModel", "fit_performance_model", "CurveFitBaseline"]
+
+#: Extra-P-like exponent grids.
+DEFAULT_EXPONENTS: tuple[float, ...] = (-1.5, -1.0, -2.0 / 3.0, -0.5, -1.0 / 3.0, 0.0, 1.0 / 3.0, 0.5, 1.0)
+DEFAULT_LOG_EXPONENTS: tuple[float, ...] = (0.0, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """A fitted two-term performance model ``c0 + c1 p^a log2(p)^b``."""
+
+    c0: float
+    c1: float
+    exponent: float
+    log_exponent: float
+    cv_error: float
+
+    def __call__(self, p: np.ndarray | float) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        term = p**self.exponent * np.log2(np.maximum(p, 2.0)) ** self.log_exponent
+        return np.maximum(self.c0 + self.c1 * term, 1e-12)
+
+    def describe(self) -> str:
+        return (
+            f"{self.c0:.4g} + {self.c1:.4g} * p^{self.exponent:.3g}"
+            f" * log2(p)^{self.log_exponent:.3g}"
+        )
+
+
+def _fit_hypothesis(
+    p: np.ndarray, t: np.ndarray, a: float, b: float
+) -> tuple[float, float, float]:
+    """Weighted (relative-error) least squares for one (a, b) hypothesis;
+    returns (c0, c1, sse) with coefficients clipped to >= 0."""
+    term = p**a * np.log2(np.maximum(p, 2.0)) ** b
+    A = np.column_stack([np.ones_like(p), term]) / t[:, None]
+    bvec = np.ones_like(t)
+    coef, _, _, _ = np.linalg.lstsq(A, bvec, rcond=None)
+    coef = np.maximum(coef, 0.0)
+    pred = np.maximum(coef[0] + coef[1] * term, 1e-12)
+    sse = float(np.sum(np.log(pred / t) ** 2))
+    return float(coef[0]), float(coef[1]), sse
+
+
+def fit_performance_model(
+    scales: Sequence[int],
+    runtimes: Sequence[float],
+    exponents: Sequence[float] = DEFAULT_EXPONENTS,
+    log_exponents: Sequence[float] = DEFAULT_LOG_EXPONENTS,
+) -> PerformanceModel:
+    """Hypothesis search with leave-one-scale-out validation.
+
+    The returned model's ``cv_error`` is the mean squared log error over
+    the held-out scales of the winning hypothesis.
+    """
+    p = np.asarray(scales, dtype=np.float64)
+    t = np.asarray(runtimes, dtype=np.float64)
+    if p.ndim != 1 or p.shape != t.shape:
+        raise ValueError("scales and runtimes must be matching 1-D sequences.")
+    if len(p) < 3:
+        raise ValueError("Need at least 3 scales to fit and validate.")
+    if np.any(t <= 0):
+        raise ValueError("Runtimes must be positive.")
+
+    best: PerformanceModel | None = None
+    for a, b in product(exponents, log_exponents):
+        if a == 0.0 and b == 0.0:
+            continue  # constant-only handled implicitly via c1 -> 0
+        # Leave-one-out over scales.
+        errs = []
+        for i in range(len(p)):
+            mask = np.ones(len(p), dtype=bool)
+            mask[i] = False
+            c0, c1, _ = _fit_hypothesis(p[mask], t[mask], a, b)
+            term_i = p[i] ** a * np.log2(max(p[i], 2.0)) ** b
+            pred = max(c0 + c1 * term_i, 1e-12)
+            errs.append(np.log(pred / t[i]) ** 2)
+        cv = float(np.mean(errs))
+        if best is None or cv < best.cv_error:
+            c0, c1, _ = _fit_hypothesis(p, t, a, b)
+            best = PerformanceModel(c0, c1, a, b, cv)
+    assert best is not None
+    return best
+
+
+class CurveFitBaseline:
+    """Scalability extrapolation for *known* configurations.
+
+    Fits an independent :class:`PerformanceModel` per configuration from
+    its measured small-scale runtimes.  Cannot generalize to unseen
+    configurations (it has no parameter model) — which is exactly the
+    gap the two-level model's interpolation level closes.
+    """
+
+    def __init__(
+        self,
+        small_scales: Sequence[int],
+        exponents: Sequence[float] = DEFAULT_EXPONENTS,
+        log_exponents: Sequence[float] = DEFAULT_LOG_EXPONENTS,
+    ) -> None:
+        self.small_scales = tuple(int(s) for s in small_scales)
+        if len(self.small_scales) < 3:
+            raise ValueError("Need at least 3 small scales.")
+        self.exponents = tuple(exponents)
+        self.log_exponents = tuple(log_exponents)
+
+    def fit(self, S: np.ndarray) -> "CurveFitBaseline":
+        """``S``: (n_configs, n_small) measured runtimes."""
+        S = np.asarray(S, dtype=np.float64)
+        if S.ndim != 2 or S.shape[1] != len(self.small_scales):
+            raise ValueError(
+                f"S must have shape (n_configs, {len(self.small_scales)})."
+            )
+        self.models_ = [
+            fit_performance_model(
+                self.small_scales, S[i], self.exponents, self.log_exponents
+            )
+            for i in range(S.shape[0])
+        ]
+        return self
+
+    def predict(self, large_scales: Sequence[int]) -> np.ndarray:
+        """(n_configs, n_large) extrapolated runtimes."""
+        if not hasattr(self, "models_"):
+            raise RuntimeError("CurveFitBaseline is not fitted.")
+        p = np.asarray([int(s) for s in large_scales], dtype=np.float64)
+        return np.vstack([m(p) for m in self.models_])

@@ -1,0 +1,230 @@
+"""Direct-ML extrapolation baselines ("existing ML methods").
+
+Each baseline is an ordinary regressor trained on ``(x, p)`` feature
+vectors built from the small-scale history and asked to predict at large
+``p`` — exactly the approach whose failure motivates the paper: test
+scales lie outside the training distribution, violating the i.i.d.
+hypothesis.  The registry of named baselines feeds the Table-2
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..ml.base import BaseEstimator
+from ..ml.kernel import KernelRidge
+from ..ml.linear.coordinate_descent import LassoCV
+from ..ml.linear.ridge import RidgeCV
+from ..ml.mlp import MLPRegressor
+from ..ml.neighbors import KNeighborsRegressor
+from ..ml.preprocessing import StandardScaler
+from ..ml.tree.gradient_boosting import GradientBoostingRegressor
+from ..ml.tree.random_forest import RandomForestRegressor
+
+__all__ = [
+    "DirectMLBaseline",
+    "EnsembleOfBaselines",
+    "BASELINE_FACTORIES",
+    "make_baseline",
+]
+
+
+class DirectMLBaseline:
+    """A regressor over joint ``(params..., nprocs)`` features.
+
+    Parameters
+    ----------
+    model:
+        Any estimator from :mod:`repro.ml`.
+    log_target:
+        Fit log-runtime (recommended for the same reasons as in the
+        interpolation level).
+    log_p_feature:
+        Encode the scale as ``log2(p)`` instead of raw ``p`` — a common
+        trick that changes *how* linear models extrapolate in p.
+    log_x_features:
+        Log-transform the application parameters too; with a linear
+        ``model`` and log target this makes the baseline a global
+        multi-parameter power law t = C * prod(x_d^a_d) * p^b — the
+        classical analytic-modeling competitor.
+    standardize:
+        Standardize features before fitting (needed by kNN / kernel /
+        MLP baselines).
+    """
+
+    def __init__(
+        self,
+        model: BaseEstimator,
+        log_target: bool = True,
+        log_p_feature: bool = True,
+        log_x_features: bool = False,
+        standardize: bool = True,
+    ) -> None:
+        self.model = model
+        self.log_target = log_target
+        self.log_p_feature = log_p_feature
+        self.log_x_features = log_x_features
+        self.standardize = standardize
+
+    def _features(self, X: np.ndarray, nprocs: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if self.log_x_features:
+            if np.any(X <= 0):
+                raise ValueError(
+                    "log_x_features requires strictly positive parameters."
+                )
+            X = np.log2(X)
+        p = np.asarray(nprocs, dtype=np.float64)
+        p_col = np.log2(p) if self.log_p_feature else p
+        return np.column_stack([X, p_col])
+
+    def fit(self, train: ExecutionDataset) -> "DirectMLBaseline":
+        F = self._features(train.X, train.nprocs)
+        if self.standardize:
+            self.scaler_ = StandardScaler().fit(F)
+            F = self.scaler_.transform(F)
+        y = np.log(train.runtime) if self.log_target else train.runtime
+        self.model.fit(F, y)
+        self.fitted_ = True
+        return self
+
+    def predict(self, X: np.ndarray, nprocs: np.ndarray | int) -> np.ndarray:
+        if not hasattr(self, "fitted_"):
+            raise RuntimeError("Baseline is not fitted.")
+        X = np.asarray(X, dtype=np.float64)
+        if np.isscalar(nprocs):
+            nprocs = np.full(X.shape[0], nprocs)
+        F = self._features(X, np.asarray(nprocs))
+        if self.standardize:
+            F = self.scaler_.transform(F)
+        pred = self.model.predict(F)
+        return np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
+
+    def predict_dataset(self, dataset: ExecutionDataset) -> np.ndarray:
+        return self.predict(dataset.X, dataset.nprocs)
+
+
+# ---------------------------------------------------------------------------
+# Named baseline registry (Table 2)
+# ---------------------------------------------------------------------------
+
+
+def _rf(seed: int) -> DirectMLBaseline:
+    return DirectMLBaseline(
+        RandomForestRegressor(n_estimators=100, random_state=seed),
+        standardize=False,
+    )
+
+
+def _gbdt(seed: int) -> DirectMLBaseline:
+    return DirectMLBaseline(
+        GradientBoostingRegressor(n_estimators=200, max_depth=3, random_state=seed),
+        standardize=False,
+    )
+
+
+def _lasso(seed: int) -> DirectMLBaseline:
+    return DirectMLBaseline(LassoCV(cv=5, random_state=seed))
+
+
+def _ridge(seed: int) -> DirectMLBaseline:
+    return DirectMLBaseline(RidgeCV())
+
+
+def _knn(seed: int) -> DirectMLBaseline:
+    return DirectMLBaseline(KNeighborsRegressor(n_neighbors=5, weights="distance"))
+
+
+def _svr(seed: int) -> DirectMLBaseline:
+    # Kernel ridge with RBF kernel is the closed-form stand-in for
+    # epsilon-SVR (see DESIGN.md substitutions).
+    return DirectMLBaseline(KernelRidge(alpha=1e-2, kernel="rbf", gamma="scale"))
+
+
+def _mlp(seed: int) -> DirectMLBaseline:
+    return DirectMLBaseline(
+        MLPRegressor(
+            hidden_layer_sizes=(64, 64),
+            max_iter=200,
+            early_stopping=True,
+            random_state=seed,
+        )
+    )
+
+
+class EnsembleOfBaselines:
+    """Geometric-mean ensemble of heterogeneous direct baselines.
+
+    Averages member predictions in log space — the natural combination
+    for multiplicative targets — so one member's blowup at large p is
+    damped rather than dominating.  The strongest "existing ML methods"
+    composite we could construct, added as an extension baseline.
+    """
+
+    def __init__(self, members: list[DirectMLBaseline]) -> None:
+        if not members:
+            raise ValueError("Ensemble needs at least one member.")
+        self.members = members
+
+    def fit(self, train: ExecutionDataset) -> "EnsembleOfBaselines":
+        for m in self.members:
+            m.fit(train)
+        self.fitted_ = True
+        return self
+
+    def predict(self, X: np.ndarray, nprocs: np.ndarray | int) -> np.ndarray:
+        if not hasattr(self, "fitted_"):
+            raise RuntimeError("Baseline is not fitted.")
+        logs = np.mean(
+            [np.log(np.maximum(m.predict(X, nprocs), 1e-12))
+             for m in self.members],
+            axis=0,
+        )
+        return np.exp(logs)
+
+    def predict_dataset(self, dataset: ExecutionDataset) -> np.ndarray:
+        return self.predict(dataset.X, dataset.nprocs)
+
+
+def _powerlaw(seed: int) -> DirectMLBaseline:
+    # Global multi-parameter power law fitted by OLS in log-log space:
+    # log t = c + sum_d a_d log x_d + b log p.  The strongest classical
+    # analytic competitor — it extrapolates in p along a power law.
+    from ..ml.linear.ols import LinearRegression
+
+    return DirectMLBaseline(
+        LinearRegression(), log_x_features=True, standardize=False
+    )
+
+
+def _ensemble(seed: int) -> EnsembleOfBaselines:
+    return EnsembleOfBaselines([_mlp(seed), _lasso(seed), _rf(seed)])
+
+
+#: name -> factory(seed) for every Table-2 baseline.
+BASELINE_FACTORIES: dict[str, Callable[[int], DirectMLBaseline]] = {
+    "direct-rf": _rf,
+    "direct-gbdt": _gbdt,
+    "direct-lasso": _lasso,
+    "direct-ridge": _ridge,
+    "direct-knn": _knn,
+    "direct-svr": _svr,
+    "direct-mlp": _mlp,
+    "direct-ensemble": _ensemble,
+    "direct-powerlaw": _powerlaw,
+}
+
+
+def make_baseline(name: str, seed: int = 0) -> DirectMLBaseline:
+    """Instantiate a named baseline."""
+    try:
+        factory = BASELINE_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"Unknown baseline {name!r}; available: {sorted(BASELINE_FACTORIES)}"
+        ) from None
+    return factory(seed)

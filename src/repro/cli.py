@@ -1,0 +1,302 @@
+"""Command-line interface.
+
+Drives the library end to end without writing Python::
+
+    python -m repro list-apps
+    python -m repro generate --app stencil3d --configs 80 \
+        --scales 32,64,128,256,512 --reps 2 --out history.json
+    python -m repro describe --data history.json
+    python -m repro fit --data history.json --out model.pkl
+    python -m repro predict --model model.pkl \
+        --set nx=256 --set iterations=300 --set ghost=2 --set check_freq=10 \
+        --scales 1024,2048,4096
+    python -m repro compare --app stencil3d --configs 60 --test-configs 20
+
+Models are persisted with pickle (they are plain numpy-backed Python
+objects); datasets use the JSON/NPZ formats of :mod:`repro.data.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_scales(text: str) -> list[int]:
+    try:
+        scales = [int(s) for s in text.split(",") if s]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scales must be comma-separated integers; got {text!r}"
+        ) from None
+    if not scales:
+        raise argparse.ArgumentTypeError("at least one scale required")
+    return scales
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-level large-scale HPC performance prediction "
+        "(reproduction of Zhou et al., IPDPSW 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list available applications")
+    sub.add_parser("list-machines", help="list machine presets")
+    sub.add_parser("list-baselines", help="list direct-ML baselines")
+
+    g = sub.add_parser("generate", help="simulate an execution history")
+    g.add_argument("--app", required=True)
+    g.add_argument("--configs", type=int, default=80)
+    g.add_argument("--scales", type=_parse_scales,
+                   default=[32, 64, 128, 256, 512])
+    g.add_argument("--reps", type=int, default=2)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--machine", default="default-cluster")
+    g.add_argument("--noise", type=float, default=0.03)
+    g.add_argument("--out", required=True, help=".json or .npz path")
+
+    d = sub.add_parser("describe", help="summarize a stored history")
+    d.add_argument("--data", required=True)
+
+    f = sub.add_parser("fit", help="fit a two-level model on a history")
+    f.add_argument("--data", required=True)
+    f.add_argument("--small-scales", type=_parse_scales, default=None,
+                   help="default: every scale in the history")
+    f.add_argument("--clusters", type=int, default=3)
+    f.add_argument("--max-terms", type=int, default=3)
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--out", required=True, help="pickle path for the model")
+
+    p = sub.add_parser("predict", help="predict runtimes with a fitted model")
+    p.add_argument("--model", required=True)
+    p.add_argument("--set", action="append", default=[], metavar="NAME=VALUE",
+                   help="application parameter (repeatable)")
+    p.add_argument("--scales", type=_parse_scales, required=True)
+    p.add_argument("--interval", type=float, default=None, metavar="LEVEL",
+                   help="also print an interpolation-noise band at this "
+                   "coverage level (e.g. 0.9); needs a forest-based model")
+    p.add_argument("--samples", type=int, default=40,
+                   help="Monte-Carlo samples for --interval")
+
+    c = sub.add_parser(
+        "compare", help="end-to-end protocol: two-level vs baselines"
+    )
+    c.add_argument("--app", required=True)
+    c.add_argument("--configs", type=int, default=60)
+    c.add_argument("--test-configs", type=int, default=20)
+    c.add_argument("--small-scales", type=_parse_scales,
+                   default=[32, 64, 128, 256, 512])
+    c.add_argument("--large-scales", type=_parse_scales,
+                   default=[1024, 2048, 4096])
+    c.add_argument("--reps", type=int, default=2)
+    c.add_argument("--seed", type=int, default=42)
+    c.add_argument("--baselines", default=None,
+                   help="comma-separated subset (default: all)")
+    return parser
+
+
+# -- subcommand implementations ------------------------------------------------
+
+
+def _cmd_list_apps(args, out) -> int:
+    from .apps import ALL_APPS, get_app
+
+    for name in sorted(ALL_APPS):
+        app = get_app(name)
+        params = ", ".join(app.param_names)
+        print(f"{name:12s} params: {params}", file=out)
+    return 0
+
+
+def _cmd_list_machines(args, out) -> int:
+    from .sim import MACHINE_PRESETS, get_machine
+
+    for name in sorted(MACHINE_PRESETS):
+        m = get_machine(name)
+        print(
+            f"{name:20s} {m.topology.name:28s} "
+            f"{m.topology.n_hosts()} nodes x {m.node.cores} cores",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_list_baselines(args, out) -> int:
+    from .baselines import BASELINE_FACTORIES
+
+    for name in sorted(BASELINE_FACTORIES):
+        print(name, file=out)
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    from .apps import get_app
+    from .data import HistoryGenerator, save_dataset
+    from .sim import Executor, NoiseModel, get_machine
+
+    app = get_app(args.app)
+    executor = Executor(
+        machine=get_machine(args.machine),
+        noise=NoiseModel(sigma=args.noise),
+        seed=args.seed,
+    )
+    gen = HistoryGenerator(app, executor=executor, seed=args.seed)
+    dataset = gen.generate(args.configs, scales=args.scales,
+                           repetitions=args.reps)
+    save_dataset(dataset, args.out)
+    print(f"wrote {len(dataset)} runs to {args.out}", file=out)
+    return 0
+
+
+def _cmd_describe(args, out) -> int:
+    from .data import load_dataset
+
+    print(load_dataset(args.data).summary(), file=out)
+    return 0
+
+
+def _cmd_fit(args, out) -> int:
+    from .core import TwoLevelModel
+    from .data import load_dataset
+
+    dataset = load_dataset(args.data)
+    small = args.small_scales or [int(s) for s in dataset.scales]
+    model = TwoLevelModel(
+        small_scales=small,
+        n_clusters=args.clusters,
+        max_terms=args.max_terms,
+        random_state=args.seed,
+    ).fit(dataset)
+    payload = {"app_name": dataset.app_name,
+               "param_names": dataset.param_names,
+               "model": model}
+    with open(args.out, "wb") as fh:
+        pickle.dump(payload, fh)
+    print(f"fitted on {len(dataset)} runs at scales {small}", file=out)
+    for cluster, terms in model.support_names().items():
+        print(f"cluster {cluster}: {', '.join(terms) or '(constant)'}",
+              file=out)
+    print(f"wrote model to {args.out}", file=out)
+    return 0
+
+
+def _cmd_predict(args, out) -> int:
+    with open(args.model, "rb") as fh:
+        payload = pickle.load(fh)
+    model = payload["model"]
+    param_names = payload["param_names"]
+
+    params: dict[str, float] = {}
+    for item in args.set:
+        if "=" not in item:
+            print(f"error: --set expects NAME=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        name, _, value = item.partition("=")
+        params[name] = float(value)
+    missing = set(param_names) - set(params)
+    if missing:
+        print(f"error: missing parameters {sorted(missing)}", file=sys.stderr)
+        return 2
+    extra = set(params) - set(param_names)
+    if extra:
+        print(f"error: unknown parameters {sorted(extra)}", file=sys.stderr)
+        return 2
+
+    x = np.array([[params[n] for n in param_names]])
+    preds = model.predict(x, args.scales)[0]
+    for scale, t in zip(args.scales, preds):
+        print(f"t({scale} procs) = {t:.6g} s", file=out)
+
+    if args.interval is not None:
+        from .core import EnsembleUncertainty
+
+        unc = EnsembleUncertainty(
+            model, n_samples=args.samples, level=args.interval, random_state=0
+        )
+        band = unc.predict_interval(x, args.scales)
+        print(
+            f"{100 * args.interval:.0f}% interpolation-noise bands "
+            "(model-form error not included):",
+            file=out,
+        )
+        for j, scale in enumerate(args.scales):
+            print(
+                f"t({scale} procs) in [{band.lower[0, j]:.6g}, "
+                f"{band.upper[0, j]:.6g}] s",
+                file=out,
+            )
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from .analysis import (
+        ExperimentConfig,
+        ascii_table,
+        build_histories,
+        format_percent,
+        run_method_comparison,
+    )
+
+    cfg = ExperimentConfig(
+        app_name=args.app,
+        small_scales=tuple(args.small_scales),
+        large_scales=tuple(args.large_scales),
+        n_train_configs=args.configs,
+        n_test_configs=args.test_configs,
+        repetitions=args.reps,
+        seed=args.seed,
+    )
+    histories = build_histories(cfg)
+    baselines = args.baselines.split(",") if args.baselines else None
+    results = run_method_comparison(histories, baselines=baselines)
+    rows = [
+        [r.name]
+        + [format_percent(r.mape_by_scale[s]) for s in cfg.large_scales]
+        + [format_percent(r.overall_mape)]
+        for r in results
+    ]
+    print(
+        ascii_table(
+            ["method"] + [f"p={s}" for s in cfg.large_scales] + ["overall"],
+            rows,
+            title=f"{args.app}: large-scale MAPE (train scales "
+            f"{list(cfg.small_scales)})",
+        ),
+        file=out,
+    )
+    return 0
+
+
+_COMMANDS = {
+    "list-apps": _cmd_list_apps,
+    "list-machines": _cmd_list_machines,
+    "list-baselines": _cmd_list_baselines,
+    "generate": _cmd_generate,
+    "describe": _cmd_describe,
+    "fit": _cmd_fit,
+    "predict": _cmd_predict,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""The paper's contribution: the two-level performance model.
+
+* :class:`PerScaleInterpolator` — level 1, per-scale random forests.
+* :class:`ClusteredScalingExtrapolator` — level 2, multitask lasso with
+  clustering over scalability basis functions (small-scale data only).
+* :class:`TransferExtrapolator` — level 2 variant mapping small-scale to
+  large-scale performance directly.
+* :class:`TwoLevelModel` — the full pipeline.
+"""
+
+from .extrapolation import ClusteredScalingExtrapolator, TransferExtrapolator
+from .interpolation import (
+    INTERPOLATION_FACTORIES,
+    PerScaleInterpolator,
+    default_interpolation_model,
+    gbdt_interpolation_model,
+    kernel_interpolation_model,
+)
+from .planning import ConfigRecommendation, HistoryPlanner
+from .uncertainty import EnsembleUncertainty, PredictionInterval
+from .scaling_features import DEFAULT_BASIS_TERMS, ScaleBasis
+from .two_level import TwoLevelModel
+
+__all__ = [
+    "ClusteredScalingExtrapolator",
+    "TransferExtrapolator",
+    "PerScaleInterpolator",
+    "default_interpolation_model",
+    "kernel_interpolation_model",
+    "gbdt_interpolation_model",
+    "INTERPOLATION_FACTORIES",
+    "EnsembleUncertainty",
+    "PredictionInterval",
+    "HistoryPlanner",
+    "ConfigRecommendation",
+    "DEFAULT_BASIS_TERMS",
+    "ScaleBasis",
+    "TwoLevelModel",
+]

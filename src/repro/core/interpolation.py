@@ -1,0 +1,192 @@
+"""Interpolation level of the two-level model.
+
+One random-forest regressor per small scale learns the mapping from
+application input parameters to runtime *at that scale*.  Each of these
+is an interpolation task — test configurations lie inside the training
+parameter ranges — which is the regime where forests excel and the
+reason the paper splits the problem this way.
+
+Targets are fitted in log space by default: runtime noise is
+multiplicative and runtimes span orders of magnitude across the
+parameter space, so log-space residuals are homoscedastic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..ml.base import BaseEstimator
+from ..ml.metrics import mean_absolute_percentage_error
+from ..ml.model_selection import KFold
+from ..ml.tree.random_forest import RandomForestRegressor
+
+__all__ = [
+    "PerScaleInterpolator",
+    "default_interpolation_model",
+    "kernel_interpolation_model",
+    "gbdt_interpolation_model",
+    "INTERPOLATION_FACTORIES",
+]
+
+
+def default_interpolation_model(random_state: object = None) -> RandomForestRegressor:
+    """The paper's interpolation learner: a random-forest regressor."""
+    return RandomForestRegressor(
+        n_estimators=100,
+        min_samples_leaf=1,
+        max_features=1.0,
+        random_state=random_state,
+    )
+
+
+def kernel_interpolation_model(random_state: object = None):
+    """Extension learner: RBF kernel ridge on log-transformed parameters.
+
+    Runtime responses are smooth and multiplicative in the (log-sampled)
+    application parameters, a regime where a kernel smoother needs far
+    fewer samples than an axis-aligned forest — the interpolation-learner
+    ablation (benchmark Ext. D) quantifies the difference.  All shipped
+    applications have strictly positive parameters, which the log
+    transform requires.
+    """
+    from ..ml.kernel import KernelRidge
+    from ..ml.preprocessing import LogTransformer, Pipeline
+
+    return Pipeline(
+        [("log", LogTransformer()), ("kr", KernelRidge(alpha=1e-2))]
+    )
+
+
+def gbdt_interpolation_model(random_state: object = None):
+    """Extension learner: gradient-boosted trees."""
+    from ..ml.tree.gradient_boosting import GradientBoostingRegressor
+
+    return GradientBoostingRegressor(
+        n_estimators=300,
+        learning_rate=0.05,
+        max_depth=3,
+        random_state=random_state,
+    )
+
+
+#: Named interpolation-learner factories (Ext. D ablation).
+INTERPOLATION_FACTORIES = {
+    "random-forest": default_interpolation_model,
+    "kernel-ridge": kernel_interpolation_model,
+    "gbdt": gbdt_interpolation_model,
+}
+
+
+class PerScaleInterpolator:
+    """Per-scale performance models t(x, p_i) for each small scale p_i.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable ``(random_state) -> estimator`` creating the per-scale
+        learner; defaults to :func:`default_interpolation_model`.
+    log_target:
+        Fit log(runtime) instead of raw runtime.
+    random_state:
+        Seed; each scale's model gets an independent derived stream.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[object], BaseEstimator] | None = None,
+        log_target: bool = True,
+        random_state: int | None = 0,
+    ) -> None:
+        self.model_factory = (
+            model_factory if model_factory is not None else default_interpolation_model
+        )
+        self.log_target = log_target
+        self.random_state = random_state
+
+    def fit(self, train: ExecutionDataset) -> "PerScaleInterpolator":
+        """Fit one model per scale present in ``train``."""
+        if len(train) == 0:
+            raise ValueError("Empty training dataset.")
+        rng = np.random.default_rng(self.random_state)
+        self.scales_ = tuple(int(s) for s in train.scales)
+        self.param_names_ = train.param_names
+        self.models_: dict[int, BaseEstimator] = {}
+        self._train = train
+        for scale in self.scales_:
+            sub = train.at_scale(scale)
+            y = np.log(sub.runtime) if self.log_target else sub.runtime
+            seed = int(rng.integers(0, 2**63 - 1))
+            model = self.model_factory(seed)
+            model.fit(sub.X, y)
+            self.models_[scale] = model
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "models_"):
+            raise RuntimeError("PerScaleInterpolator is not fitted.")
+
+    def predict_scale(self, X: np.ndarray, scale: int) -> np.ndarray:
+        """Runtime predictions at one small scale."""
+        self._check_fitted()
+        try:
+            model = self.models_[int(scale)]
+        except KeyError:
+            raise ValueError(
+                f"No interpolation model for scale {scale}; "
+                f"fitted scales: {self.scales_}"
+            ) from None
+        pred = model.predict(np.asarray(X, dtype=np.float64))
+        return np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
+
+    def predict_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Small-scale prediction matrix, shape ``(n_configs,
+        n_scales)`` with columns ordered like ``self.scales_``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return np.column_stack(
+            [self.predict_scale(X, s) for s in self.scales_]
+        )
+
+    def cv_mape(self, n_splits: int = 5) -> dict[int, float]:
+        """Per-scale cross-validated MAPE of the interpolation models.
+
+        This is the diagnostic the paper's Figure-6-style analysis
+        reports: if interpolation error is already large, extrapolation
+        cannot be accurate.
+        """
+        self._check_fitted()
+        out: dict[int, float] = {}
+        rng = np.random.default_rng(self.random_state)
+        for scale in self.scales_:
+            sub = self._train.at_scale(scale)
+            n = len(sub)
+            splits = min(n_splits, n)
+            if splits < 2:
+                out[scale] = float("nan")
+                continue
+            kf = KFold(n_splits=splits, shuffle=True, random_state=int(
+                rng.integers(0, 2**31)
+            ))
+            y = np.log(sub.runtime) if self.log_target else sub.runtime
+            preds = np.empty(n)
+            for tr, te in kf.split(sub.X):
+                model = self.model_factory(int(rng.integers(0, 2**31)))
+                model.fit(sub.X[tr], y[tr])
+                preds[te] = model.predict(sub.X[te])
+            if self.log_target:
+                preds = np.exp(preds)
+            out[scale] = mean_absolute_percentage_error(sub.runtime, preds)
+        return out
+
+    def small_scale_matrix_from_measurements(
+        self, scales: Sequence[int] | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Measured (not predicted) mean runtime matrix of the training
+        configurations — used when fitting the extrapolation level on
+        the training history itself."""
+        self._check_fitted()
+        use = tuple(int(s) for s in (scales if scales is not None else self.scales_))
+        return self._train.runtime_matrix(use)

@@ -1,0 +1,156 @@
+"""History-augmentation planning (extension feature).
+
+Answers the operational question the paper's setting raises but does
+not address: *given a budget of additional core-hours, which runs
+should be added to the history to most improve large-scale
+predictions?*
+
+The unit of acquisition is a **configuration bundle** — one new
+configuration executed at *every* small scale.  Bundles are the natural
+unit because the extrapolation level only learns from configurations
+whose scaling curve is complete, and lopsided per-scale additions skew
+the per-scale training distributions of the interpolation forests
+(adding runs of a configuration at only some scales measurably *hurts*
+the pipeline — the planner exists to avoid exactly that trap).
+
+Bundles are scored by ensemble disagreement per core-second: the mean
+relative spread of the interpolation ensembles over the candidate's
+curve, divided by the predicted cost of executing the bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.base import Application
+from .two_level import TwoLevelModel
+
+__all__ = ["ConfigRecommendation", "HistoryPlanner"]
+
+
+@dataclass(frozen=True)
+class ConfigRecommendation:
+    """One recommended configuration bundle.
+
+    Attributes
+    ----------
+    params:
+        Configuration to execute at every small scale.
+    scales:
+        The scales of the bundle (the model's small scales).
+    disagreement:
+        Mean relative ensemble spread of the current model over the
+        bundle (the signal being bought down).
+    est_cost_core_seconds:
+        Sum over scales of predicted runtime x processes.
+    utility:
+        disagreement / cost, the greedy ranking key.
+    """
+
+    params: dict[str, float]
+    scales: tuple[int, ...]
+    disagreement: float
+    est_cost_core_seconds: float
+    utility: float
+
+
+class HistoryPlanner:
+    """Greedy budgeted selection of history-augmentation bundles.
+
+    Parameters
+    ----------
+    model:
+        Fitted basis-mode :class:`TwoLevelModel` with ensemble
+        interpolators (the default random forests qualify).
+    app:
+        The application (used to sample candidate configurations).
+    n_candidates:
+        Size of the candidate configuration pool.
+    random_state:
+        Seed for candidate sampling.
+    """
+
+    def __init__(
+        self,
+        model: TwoLevelModel,
+        app: Application,
+        n_candidates: int = 200,
+        random_state: int | None = 0,
+    ) -> None:
+        if not hasattr(model, "extrapolator_"):
+            raise ValueError("model must be fitted first.")
+        if model.mode != "basis":
+            raise ValueError("HistoryPlanner requires basis mode.")
+        for scale, learner in model.interpolator_.models_.items():
+            if not hasattr(learner, "prediction_std"):
+                raise ValueError(
+                    f"Interpolation model at scale {scale} exposes no "
+                    "ensemble spread; the planner needs one."
+                )
+        if n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1.")
+        self.model = model
+        self.app = app
+        self.n_candidates = n_candidates
+        self.random_state = random_state
+
+    def _candidate_matrix(self) -> np.ndarray:
+        rng = np.random.default_rng(self.random_state)
+        configs = [self.app.sample_params(rng) for _ in range(self.n_candidates)]
+        return np.vstack([self.app.params_to_vector(c) for c in configs])
+
+    def score_candidates(
+        self, X: np.ndarray | None = None
+    ) -> list[ConfigRecommendation]:
+        """Score candidate configuration bundles.
+
+        Returns recommendations sorted by utility (descending).
+        """
+        X = self._candidate_matrix() if X is None else np.asarray(X, float)
+        interp = self.model.interpolator_
+        scales = interp.scales_
+        S_pred = interp.predict_matrix(X)  # (n, n_scales) runtimes
+
+        rel = np.empty_like(S_pred)
+        for j, scale in enumerate(scales):
+            spread = interp.models_[scale].prediction_std(X)
+            # Log-target models: ensemble std is already a relative
+            # spread; raw-target models are normalized by the prediction.
+            rel[:, j] = spread if interp.log_target else spread / np.maximum(
+                S_pred[:, j], 1e-12
+            )
+
+        costs = S_pred @ np.asarray(scales, dtype=np.float64)
+        disagreement = rel.mean(axis=1)
+
+        recs = [
+            ConfigRecommendation(
+                params=self.app.vector_to_params(X[i]),
+                scales=tuple(scales),
+                disagreement=float(disagreement[i]),
+                est_cost_core_seconds=float(costs[i]),
+                utility=float(disagreement[i] / max(costs[i], 1e-12)),
+            )
+            for i in range(X.shape[0])
+        ]
+        recs.sort(key=lambda r: r.utility, reverse=True)
+        return recs
+
+    def plan(
+        self,
+        budget_core_seconds: float,
+        X: np.ndarray | None = None,
+    ) -> list[ConfigRecommendation]:
+        """Greedy bundle selection under a core-seconds budget."""
+        if budget_core_seconds <= 0:
+            raise ValueError("budget must be positive.")
+        chosen: list[ConfigRecommendation] = []
+        spent = 0.0
+        for rec in self.score_candidates(X):
+            if spent + rec.est_cost_core_seconds > budget_core_seconds:
+                continue
+            chosen.append(rec)
+            spent += rec.est_cost_core_seconds
+        return chosen

@@ -1,0 +1,163 @@
+"""Scalability basis functions of the process count.
+
+The extrapolation level represents a configuration's runtime-vs-scale
+curve as a sparse combination of analytically motivated terms:
+
+* ``1/p``, ``p^(-2/3)``, ``1/sqrt(p)`` — perfectly parallel work and
+  surface-to-volume communication of 3-D/2-D domain decompositions;
+* ``log2(p)``, ``log2(p)^2``, ``log2(p)/p`` — tree-structured collective
+  latencies and their interaction with shrinking local work;
+* ``sqrt(p)``, ``p`` — contention / serialization pathologies;
+* the constant (handled by the regression intercept) — bandwidth floors
+  and non-parallelizable sections.
+
+This is the same function class the performance-modeling literature
+(e.g. Extra-P's performance model normal form) searches over; the
+paper's multitask lasso performs the selection jointly across a cluster
+of configurations instead of per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ScaleBasis", "DEFAULT_BASIS_TERMS"]
+
+BasisFn = Callable[[np.ndarray], np.ndarray]
+
+# Module-level named functions (not lambdas) so fitted models that hold
+# a ScaleBasis remain picklable.
+
+
+def _inv_p(p: np.ndarray) -> np.ndarray:
+    return 1.0 / p
+
+
+def _p_neg_two_thirds(p: np.ndarray) -> np.ndarray:
+    return p ** (-2.0 / 3.0)
+
+
+def _inv_sqrt_p(p: np.ndarray) -> np.ndarray:
+    return 1.0 / np.sqrt(p)
+
+
+def _log_p(p: np.ndarray) -> np.ndarray:
+    return np.log2(p)
+
+
+def _log_p_sq(p: np.ndarray) -> np.ndarray:
+    return np.log2(p) ** 2
+
+
+def _log_p_over_p(p: np.ndarray) -> np.ndarray:
+    return np.log2(p) / p
+
+
+def _sqrt_p(p: np.ndarray) -> np.ndarray:
+    return np.sqrt(p)
+
+
+def _identity_p(p: np.ndarray) -> np.ndarray:
+    return p.astype(np.float64)
+
+
+def _p_log_p(p: np.ndarray) -> np.ndarray:
+    return p * np.log2(p)
+
+
+#: Name -> function registry of all known basis terms.
+_TERMS: dict[str, BasisFn] = {
+    "inv_p": _inv_p,
+    "p_-2/3": _p_neg_two_thirds,
+    "inv_sqrt_p": _inv_sqrt_p,
+    "log_p": _log_p,
+    "log_p^2": _log_p_sq,
+    "log_p/p": _log_p_over_p,
+    "sqrt_p": _sqrt_p,
+    "p": _identity_p,
+    "p_log_p": _p_log_p,
+}
+
+#: The default basis used by the two-level model.
+DEFAULT_BASIS_TERMS: tuple[str, ...] = (
+    "inv_p",
+    "p_-2/3",
+    "inv_sqrt_p",
+    "log_p",
+    "log_p^2",
+    "log_p/p",
+    "sqrt_p",
+    "p",
+)
+
+
+class ScaleBasis:
+    """A named set of basis functions evaluated on process counts.
+
+    Parameters
+    ----------
+    terms:
+        Names from the registry (see :data:`DEFAULT_BASIS_TERMS`), or
+        ``(name, callable)`` pairs for custom terms.
+    """
+
+    def __init__(
+        self,
+        terms: Sequence[str | tuple[str, BasisFn]] = DEFAULT_BASIS_TERMS,
+    ) -> None:
+        if not terms:
+            raise ValueError("Basis needs at least one term.")
+        names: list[str] = []
+        fns: list[BasisFn] = []
+        for term in terms:
+            if isinstance(term, str):
+                try:
+                    fn = _TERMS[term]
+                except KeyError:
+                    raise ValueError(
+                        f"Unknown basis term {term!r}; known: {sorted(_TERMS)}"
+                    ) from None
+                names.append(term)
+                fns.append(fn)
+            else:
+                name, fn = term
+                names.append(name)
+                fns.append(fn)
+        if len(set(names)) != len(names):
+            raise ValueError("Duplicate basis term names.")
+        self.names: tuple[str, ...] = tuple(names)
+        self._fns: tuple[BasisFn, ...] = tuple(fns)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def design_matrix(self, scales: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Evaluate every term at every scale: shape ``(n_scales,
+        n_terms)``."""
+        p = np.asarray(scales, dtype=np.float64)
+        if p.ndim != 1:
+            raise ValueError("scales must be 1-D.")
+        if np.any(p < 1):
+            raise ValueError("All scales must be >= 1.")
+        cols = [fn(p) for fn in self._fns]
+        out = np.column_stack(cols)
+        if not np.all(np.isfinite(out)):
+            raise ValueError("Basis produced non-finite values.")
+        return out
+
+    def subset(self, mask: np.ndarray) -> "ScaleBasis":
+        """Basis restricted to the terms selected by a boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError("Mask length must equal the number of terms.")
+        if not np.any(mask):
+            raise ValueError("Subset would be empty.")
+        pairs = [
+            (n, f) for n, f, m in zip(self.names, self._fns, mask) if m
+        ]
+        return ScaleBasis(pairs)
+
+    def __repr__(self) -> str:
+        return f"ScaleBasis({list(self.names)})"

@@ -1,0 +1,398 @@
+"""The two-level performance model (the paper's contribution).
+
+Level 1 (interpolation): per-small-scale random forests predict a
+configuration's small-scale performance from its input parameters.
+Level 2 (extrapolation): clustered multitask-lasso scalability models
+turn the predicted small-scale performance vector into large-scale
+predictions.
+
+Two operating modes (DESIGN.md discusses why both exist):
+
+* ``mode="basis"`` (default): the extrapolation level fits scalability
+  curves over basis functions of p using *only* small-scale data — no
+  large-scale run is ever needed, matching the paper's title.
+* ``mode="transfer"``: the extrapolation level learns a direct
+  small-to-large map from historic configurations that do have
+  large-scale runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..data.splits import ScaleSplit
+from ..ml.base import BaseEstimator
+from .extrapolation import ClusteredScalingExtrapolator, TransferExtrapolator
+from .interpolation import PerScaleInterpolator
+from .scaling_features import ScaleBasis
+
+__all__ = ["TwoLevelModel"]
+
+
+class TwoLevelModel:
+    """Predict large-scale HPC application performance from small-scale
+    history data.
+
+    Parameters
+    ----------
+    small_scales:
+        Process counts at which history data exists.
+    mode:
+        "basis" or "transfer" (see module docstring).
+    large_scales:
+        Required in transfer mode (the map's output scales); in basis
+        mode predictions can target any scale.
+    interp_factory:
+        Per-scale learner factory ``(seed) -> estimator``; default is the
+        paper's random forest.
+    log_target:
+        Interpolation level fits log-runtime (recommended).
+    basis, n_clusters, max_terms, selection, refit:
+        Extrapolation-level options (basis mode); see
+        :class:`~repro.core.extrapolation.ClusteredScalingExtrapolator`.
+    fit_curves_on:
+        What the extrapolation level is fitted on: "predictions"
+        (interpolation outputs for the training configurations — the
+        paper's pipeline, so level 2 sees the same kind of input at fit
+        and predict time) or "measurements" (mean measured runtimes).
+    random_state:
+        Master seed for both levels.
+    """
+
+    def __init__(
+        self,
+        small_scales: Sequence[int],
+        mode: str = "basis",
+        large_scales: Sequence[int] | None = None,
+        interp_factory: Callable[[object], BaseEstimator] | None = None,
+        log_target: bool = True,
+        basis: ScaleBasis | None = None,
+        n_clusters: int = 3,
+        max_terms: int = 3,
+        selection: str = "multitask",
+        refit: str = "nnls",
+        fit_curves_on: str = "predictions",
+        random_state: int | None = 0,
+    ) -> None:
+        if mode not in ("basis", "transfer"):
+            raise ValueError("mode must be 'basis' or 'transfer'.")
+        if mode == "transfer" and not large_scales:
+            raise ValueError("transfer mode requires large_scales.")
+        if fit_curves_on not in ("predictions", "measurements"):
+            raise ValueError("fit_curves_on must be predictions|measurements.")
+        self.small_scales = tuple(int(s) for s in sorted(small_scales))
+        self.mode = mode
+        self.large_scales = (
+            tuple(int(s) for s in sorted(large_scales)) if large_scales else None
+        )
+        self.interp_factory = interp_factory
+        self.log_target = log_target
+        self.basis = basis
+        self.n_clusters = n_clusters
+        self.max_terms = max_terms
+        self.selection = selection
+        self.refit = refit
+        self.fit_curves_on = fit_curves_on
+        self.random_state = random_state
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(
+        self,
+        train: ExecutionDataset,
+        large_train: ExecutionDataset | None = None,
+    ) -> "TwoLevelModel":
+        """Fit both levels.
+
+        Parameters
+        ----------
+        train:
+            Small-scale history.  Runs at scales outside
+            ``small_scales`` are ignored (with a check that all
+            requested scales are present).
+        large_train:
+            Transfer mode only: history of configurations that also ran
+            at the large scales.
+        """
+        present = set(int(s) for s in train.scales)
+        missing = set(self.small_scales) - present
+        if missing:
+            raise ValueError(
+                f"Training data lacks small scales {sorted(missing)}."
+            )
+        small_data = train.at_scales(self.small_scales)
+
+        self.interpolator_ = PerScaleInterpolator(
+            model_factory=self.interp_factory,
+            log_target=self.log_target,
+            random_state=self.random_state,
+        ).fit(small_data)
+
+        # Training configurations' small-scale curves.
+        configs, measured = small_data.runtime_matrix(self.small_scales)
+        if configs.shape[0] == 0:
+            raise ValueError(
+                "No training configuration has runs at every small scale."
+            )
+        if self.fit_curves_on == "predictions":
+            S_train = self.interpolator_.predict_matrix(configs)
+        else:
+            S_train = measured
+        self.train_configs_ = configs
+
+        if self.mode == "basis":
+            self.extrapolator_ = ClusteredScalingExtrapolator(
+                small_scales=self.small_scales,
+                basis=self.basis,
+                n_clusters=self.n_clusters,
+                max_terms=self.max_terms,
+                selection=self.selection,
+                refit=self.refit,
+                random_state=self.random_state,
+            ).fit(S_train)
+        else:
+            if large_train is None:
+                raise ValueError("transfer mode requires large_train data.")
+            assert self.large_scales is not None
+            lt_small = large_train.at_scales(self.small_scales)
+            cfg_l, S_l = lt_small.runtime_matrix(self.small_scales)
+            lt_large = large_train.at_scales(self.large_scales)
+            cfg_y, Y_l = lt_large.runtime_matrix(self.large_scales)
+            # Align configurations present on both sides.
+            rows_l = {tuple(r): i for i, r in enumerate(map(tuple, cfg_l))}
+            pairs = [
+                (rows_l[tuple(r)], j)
+                for j, r in enumerate(map(tuple, cfg_y))
+                if tuple(r) in rows_l
+            ]
+            if not pairs:
+                raise ValueError(
+                    "No configuration in large_train has runs at every "
+                    "small and large scale."
+                )
+            i_idx = [i for i, _ in pairs]
+            j_idx = [j for _, j in pairs]
+            self.extrapolator_ = TransferExtrapolator(
+                small_scales=self.small_scales,
+                large_scales=self.large_scales,
+                n_clusters=self.n_clusters,
+                random_state=self.random_state,
+            ).fit(S_l[i_idx], Y_l[j_idx])
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "extrapolator_"):
+            raise RuntimeError("TwoLevelModel is not fitted.")
+
+    # -- prediction --------------------------------------------------------
+
+    def predict_small_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Interpolation-level predictions, shape ``(n, n_small)``."""
+        self._check_fitted()
+        return self.interpolator_.predict_matrix(X)
+
+    def predict(self, X: np.ndarray, scales: Sequence[int]) -> np.ndarray:
+        """Runtime predictions at the given scales, shape ``(n,
+        len(scales))``.
+
+        Scales that are part of ``small_scales`` are answered by the
+        interpolation level directly; all others go through the
+        extrapolation level.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (configs x params).")
+        scales = [int(s) for s in scales]
+        out = np.empty((X.shape[0], len(scales)))
+
+        extrap_cols = [
+            j for j, s in enumerate(scales) if s not in self.small_scales
+        ]
+        if extrap_cols:
+            targets = [scales[j] for j in extrap_cols]
+            if self.mode == "transfer":
+                assert self.large_scales is not None
+                unknown = set(targets) - set(self.large_scales)
+                if unknown:
+                    raise ValueError(
+                        f"Transfer mode can only predict its fitted large "
+                        f"scales {self.large_scales}; got {sorted(unknown)}."
+                    )
+            S = self.predict_small_matrix(X)
+            if self.mode == "basis":
+                preds = self.extrapolator_.predict(S, targets)
+            else:
+                all_preds = self.extrapolator_.predict(S)
+                col_of = {s: k for k, s in enumerate(self.large_scales)}
+                preds = all_preds[:, [col_of[s] for s in targets]]
+            for k, j in enumerate(extrap_cols):
+                out[:, j] = preds[:, k]
+        for j, s in enumerate(scales):
+            if s in self.small_scales:
+                out[:, j] = self.interpolator_.predict_scale(X, s)
+        return out
+
+    def predict_speedup(
+        self, X: np.ndarray, scales: Sequence[int], base_scale: int | None = None
+    ) -> np.ndarray:
+        """Predicted speedup ``t(base) / t(p)`` at each scale.
+
+        ``base_scale`` defaults to the smallest fitted small scale.
+        """
+        self._check_fitted()
+        base = int(base_scale) if base_scale is not None else self.small_scales[0]
+        t_base = self.predict(X, [base])[:, 0]
+        t = self.predict(X, scales)
+        return t_base[:, None] / t
+
+    def predict_efficiency(
+        self, X: np.ndarray, scales: Sequence[int], base_scale: int | None = None
+    ) -> np.ndarray:
+        """Predicted parallel efficiency ``speedup(p) * base / p``."""
+        base = int(base_scale) if base_scale is not None else self.small_scales[0]
+        speedup = self.predict_speedup(X, scales, base_scale=base)
+        ratio = np.asarray([int(s) for s in scales], dtype=np.float64) / base
+        return speedup / ratio[None, :]
+
+    def recommend_scale(
+        self,
+        x: np.ndarray,
+        candidate_scales: Sequence[int],
+        efficiency_floor: float = 0.5,
+        base_scale: int | None = None,
+    ) -> int:
+        """Largest candidate scale whose predicted efficiency stays
+        above ``efficiency_floor`` (the capacity-planning question).
+
+        Falls back to the smallest candidate when even it violates the
+        floor.
+        """
+        if not 0.0 < efficiency_floor <= 1.0:
+            raise ValueError("efficiency_floor must be in (0, 1].")
+        candidates = sorted(int(s) for s in candidate_scales)
+        if not candidates:
+            raise ValueError("candidate_scales must be non-empty.")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        eff = self.predict_efficiency(x, candidates, base_scale=base_scale)[0]
+        ok = [s for s, e in zip(candidates, eff) if e >= efficiency_floor]
+        return max(ok) if ok else candidates[0]
+
+    def predict_dataset(self, dataset: ExecutionDataset) -> np.ndarray:
+        """Per-row predictions for an evaluation dataset (each row has
+        its own nprocs)."""
+        self._check_fitted()
+        out = np.empty(len(dataset))
+        for s in np.unique(dataset.nprocs):
+            mask = dataset.nprocs == s
+            out[mask] = self.predict(dataset.X[mask], [int(s)])[:, 0]
+        return out
+
+    def evaluate_split(self, split: ScaleSplit) -> dict[int, float]:
+        """Per-large-scale MAPE on a :class:`ScaleSplit`'s test side."""
+        from ..ml.metrics import mean_absolute_percentage_error
+
+        self._check_fitted()
+        result: dict[int, float] = {}
+        for s in split.large_scales:
+            sub = split.test.at_scale(s)
+            if len(sub) == 0:
+                continue
+            pred = self.predict(sub.X, [s])[:, 0]
+            result[s] = mean_absolute_percentage_error(sub.runtime, pred)
+        return result
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def interpolation_cv_mape(self, n_splits: int = 5) -> dict[int, float]:
+        """Cross-validated per-scale MAPE of the interpolation level."""
+        self._check_fitted()
+        return self.interpolator_.cv_mape(n_splits=n_splits)
+
+    def support_names(self) -> dict[int, tuple[str, ...]]:
+        """Basis terms selected per cluster (basis mode only)."""
+        self._check_fitted()
+        if self.mode != "basis":
+            raise RuntimeError("support_names is only defined in basis mode.")
+        return self.extrapolator_.support_names()
+
+    @property
+    def cluster_sizes_(self) -> np.ndarray:
+        """Number of training configurations per cluster."""
+        self._check_fitted()
+        if self.mode == "basis":
+            return np.bincount(
+                self.extrapolator_.labels_, minlength=self.extrapolator_.n_clusters_
+            )
+        raise RuntimeError("cluster_sizes_ is only defined in basis mode.")
+
+    def parameter_importance(
+        self, n_repeats: int = 5, random_state: int | None = 0
+    ) -> dict[int, dict[str, float]]:
+        """Permutation importance of each input parameter, per scale.
+
+        Answers "which application parameters drive runtime at scale
+        p?" using the fitted interpolation models and their training
+        data.  Returns ``{scale: {param_name: importance}}`` with
+        importances normalized to sum to 1 per scale (zero map if a
+        scale's model explains nothing).
+        """
+        from ..ml.inspection import permutation_importance
+
+        self._check_fitted()
+        interp = self.interpolator_
+        out: dict[int, dict[str, float]] = {}
+        for scale in interp.scales_:
+            sub = interp._train.at_scale(scale)
+            y = np.log(sub.runtime) if interp.log_target else sub.runtime
+            imp = permutation_importance(
+                interp.models_[scale],
+                sub.X,
+                y,
+                n_repeats=n_repeats,
+                feature_names=interp.param_names_,
+                random_state=random_state,
+            )
+            vals = np.maximum(imp.importances_mean, 0.0)
+            total = vals.sum()
+            if total > 0:
+                vals = vals / total
+            out[scale] = dict(zip(interp.param_names_, vals.tolist()))
+        return out
+
+    def report(self, cv_splits: int = 3) -> str:
+        """Human-readable diagnostic summary of the fitted model.
+
+        Covers both levels: per-scale interpolation CV error, cluster
+        sizes, and the scalability terms each cluster selected.
+        """
+        self._check_fitted()
+        lines = [
+            f"TwoLevelModel ({self.mode} mode)",
+            f"  small scales : {list(self.small_scales)}",
+            f"  training cfgs: {self.train_configs_.shape[0]}",
+            "  interpolation level (per-scale CV MAPE):",
+        ]
+        for scale, err in self.interpolation_cv_mape(n_splits=cv_splits).items():
+            lines.append(f"    p={scale:<6d} {100 * err:5.1f}%")
+        if self.mode == "basis":
+            lines.append("  extrapolation level (clustered scalability models):")
+            sizes = self.cluster_sizes_
+            for cluster, terms in self.support_names().items():
+                lines.append(
+                    f"    cluster {cluster} ({sizes[cluster]:>3d} cfgs): "
+                    f"t(p) ~ {' + '.join(terms) if terms else '(none)'}"
+                )
+        else:
+            assert self.large_scales is not None
+            lines.append(
+                f"  extrapolation level: transfer map onto scales "
+                f"{list(self.large_scales)} "
+                f"({self.extrapolator_.n_clusters_} cluster(s))"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Prediction intervals for the two-level model (extension feature).
+
+The interpolation level is a forest ensemble, so it carries a natural
+uncertainty signal: the spread of per-tree predictions at each small
+scale.  :class:`EnsembleUncertainty` propagates that spread through the
+extrapolation level by Monte-Carlo: it samples perturbed small-scale
+performance vectors from the per-scale ensembles, extrapolates each
+sample, and reports quantiles of the resulting large-scale predictions.
+
+This quantifies how much of the final uncertainty stems from
+interpolation error — the quantity the paper's multitask design tries
+to suppress — but NOT the extrapolation level's own model-form error,
+so the intervals are a lower bound on total uncertainty (documented
+honestly in the API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .two_level import TwoLevelModel
+
+__all__ = ["PredictionInterval", "EnsembleUncertainty"]
+
+
+@dataclass(frozen=True)
+class PredictionInterval:
+    """Quantile summary of sampled large-scale predictions.
+
+    Attributes
+    ----------
+    scales:
+        Target process counts (columns of the arrays below).
+    median, lower, upper:
+        Per-configuration, per-scale quantiles, shape
+        ``(n_configs, n_scales)``.
+    level:
+        Nominal coverage of [lower, upper] w.r.t. interpolation noise.
+    """
+
+    scales: tuple[int, ...]
+    median: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    level: float
+
+    @property
+    def relative_width(self) -> np.ndarray:
+        """(upper - lower) / median — the honest headline number."""
+        return (self.upper - self.lower) / self.median
+
+
+class EnsembleUncertainty:
+    """Monte-Carlo propagation of interpolation-ensemble spread.
+
+    Parameters
+    ----------
+    model:
+        A fitted basis-mode :class:`TwoLevelModel` whose per-scale
+        learners expose ``predict_all`` (the default random forests do).
+    n_samples:
+        Monte-Carlo samples per configuration.
+    level:
+        Interval coverage (e.g. 0.9 for a 5-95 % band).
+    random_state:
+        Seed for the sampling.
+    """
+
+    def __init__(
+        self,
+        model: TwoLevelModel,
+        n_samples: int = 50,
+        level: float = 0.9,
+        random_state: int | None = 0,
+    ) -> None:
+        if not hasattr(model, "extrapolator_"):
+            raise ValueError("model must be fitted first.")
+        if model.mode != "basis":
+            raise ValueError("EnsembleUncertainty requires basis mode.")
+        if n_samples < 2:
+            raise ValueError("n_samples must be >= 2.")
+        if not 0.0 < level < 1.0:
+            raise ValueError("level must be in (0, 1).")
+        for scale, learner in model.interpolator_.models_.items():
+            if not hasattr(learner, "predict_all"):
+                raise ValueError(
+                    f"Interpolation model at scale {scale} has no "
+                    "predict_all; ensemble uncertainty needs an ensemble."
+                )
+        self.model = model
+        self.n_samples = n_samples
+        self.level = level
+        self.random_state = random_state
+
+    def _sample_small_matrices(self, X: np.ndarray) -> np.ndarray:
+        """Sampled small-scale matrices, shape ``(n_samples, n_configs,
+        n_small)``.
+
+        Each sample draws one tree's prediction per (config, scale) —
+        a smooth bootstrap over the fitted ensembles.  Log-target models
+        sample in log space.
+        """
+        rng = np.random.default_rng(self.random_state)
+        interp = self.model.interpolator_
+        n = X.shape[0]
+        scales = interp.scales_
+        out = np.empty((self.n_samples, n, len(scales)))
+        for j, scale in enumerate(scales):
+            learner = interp.models_[scale]
+            per_tree = learner.predict_all(X)  # (n_trees, n_configs)
+            n_trees = per_tree.shape[0]
+            picks = rng.integers(0, n_trees, size=(self.n_samples, n))
+            sampled = per_tree[picks, np.arange(n)[None, :]]
+            out[:, :, j] = np.exp(sampled) if interp.log_target else np.maximum(
+                sampled, 1e-12
+            )
+        return out
+
+    def predict_interval(
+        self, X: np.ndarray, scales: Sequence[int]
+    ) -> PredictionInterval:
+        """Interval predictions at the given (large) target scales."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D.")
+        targets = [int(s) for s in scales]
+        samples = self._sample_small_matrices(X)
+        extrap = self.model.extrapolator_
+        preds = np.empty((self.n_samples, X.shape[0], len(targets)))
+        for b in range(self.n_samples):
+            preds[b] = extrap.predict(samples[b], targets)
+        alpha = (1.0 - self.level) / 2.0
+        return PredictionInterval(
+            scales=tuple(targets),
+            median=np.quantile(preds, 0.5, axis=0),
+            lower=np.quantile(preds, alpha, axis=0),
+            upper=np.quantile(preds, 1.0 - alpha, axis=0),
+            level=self.level,
+        )

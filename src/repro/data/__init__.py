@@ -1,0 +1,24 @@
+"""History-data layer: datasets, samplers, generation, and scale splits."""
+
+from .dataset import ExecutionDataset
+from .generator import (
+    HistoryGenerator,
+    sample_grid,
+    sample_latin_hypercube,
+    sample_random,
+)
+from .io import load_dataset, save_dataset
+from .splits import ScaleSplit, config_split, scale_split
+
+__all__ = [
+    "ExecutionDataset",
+    "HistoryGenerator",
+    "sample_grid",
+    "sample_latin_hypercube",
+    "sample_random",
+    "load_dataset",
+    "save_dataset",
+    "ScaleSplit",
+    "config_split",
+    "scale_split",
+]

@@ -1,0 +1,234 @@
+"""Execution-history dataset container.
+
+An :class:`ExecutionDataset` is a columnar view over a set of
+:class:`~repro.sim.ExecutionRecord` runs: a parameter matrix ``X``, a
+process-count vector, runtimes, and repetition indices.  All model
+layers (interpolation, extrapolation, baselines) consume this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..sim.trace import ExecutionRecord
+
+__all__ = ["ExecutionDataset"]
+
+
+@dataclass(frozen=True)
+class ExecutionDataset:
+    """Columnar execution history for one application.
+
+    Attributes
+    ----------
+    app_name:
+        Application the runs belong to.
+    param_names:
+        Column names of ``X`` (order matters).
+    X:
+        Parameter matrix, shape ``(n_runs, n_params)``.
+    nprocs:
+        Process count of each run, shape ``(n_runs,)``.
+    runtime:
+        Observed runtime of each run (with noise), shape ``(n_runs,)``.
+    model_runtime:
+        Noise-free cost-model runtime (ground truth for evaluation),
+        shape ``(n_runs,)``.
+    rep:
+        Repetition index of each run.
+    """
+
+    app_name: str
+    param_names: tuple[str, ...]
+    X: np.ndarray
+    nprocs: np.ndarray
+    runtime: np.ndarray
+    model_runtime: np.ndarray
+    rep: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D.")
+        n = X.shape[0]
+        if X.shape[1] != len(self.param_names):
+            raise ValueError(
+                f"X has {X.shape[1]} columns but {len(self.param_names)} "
+                "param names were given."
+            )
+        object.__setattr__(self, "X", X)
+        for name in ("nprocs", "runtime", "model_runtime"):
+            arr = np.asarray(getattr(self, name))
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},).")
+            object.__setattr__(
+                self,
+                name,
+                arr.astype(np.int64 if name == "nprocs" else np.float64),
+            )
+        if self.rep is None:
+            object.__setattr__(self, "rep", np.zeros(n, dtype=np.int64))
+        else:
+            rep = np.asarray(self.rep, dtype=np.int64)
+            if rep.shape != (n,):
+                raise ValueError(f"rep must have shape ({n},).")
+            object.__setattr__(self, "rep", rep)
+        if n and np.any(self.runtime <= 0):
+            raise ValueError("All runtimes must be positive.")
+        if n and np.any(self.nprocs < 1):
+            raise ValueError("All nprocs must be >= 1.")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[ExecutionRecord],
+        param_names: Sequence[str] | None = None,
+    ) -> "ExecutionDataset":
+        """Build a dataset from execution records (one app only)."""
+        records = list(records)
+        if not records:
+            raise ValueError("No records given.")
+        app_names = {r.app_name for r in records}
+        if len(app_names) != 1:
+            raise ValueError(f"Mixed applications in records: {sorted(app_names)}")
+        if param_names is None:
+            param_names = tuple(sorted(records[0].params))
+        param_names = tuple(param_names)
+        for r in records:
+            if set(r.params) != set(param_names):
+                raise ValueError(
+                    f"Record params {sorted(r.params)} do not match "
+                    f"{sorted(param_names)}"
+                )
+        X = np.array(
+            [[r.params[p] for p in param_names] for r in records], dtype=np.float64
+        )
+        return cls(
+            app_name=records[0].app_name,
+            param_names=param_names,
+            X=X,
+            nprocs=np.array([r.nprocs for r in records]),
+            runtime=np.array([r.runtime for r in records]),
+            model_runtime=np.array([r.model_runtime for r in records]),
+            rep=np.array([r.rep for r in records]),
+        )
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_params(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Sorted unique process counts present in the history."""
+        return np.unique(self.nprocs)
+
+    # -- slicing -----------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "ExecutionDataset":
+        """Row subset by boolean mask or index array."""
+        mask = np.asarray(mask)
+        return ExecutionDataset(
+            app_name=self.app_name,
+            param_names=self.param_names,
+            X=self.X[mask],
+            nprocs=self.nprocs[mask],
+            runtime=self.runtime[mask],
+            model_runtime=self.model_runtime[mask],
+            rep=self.rep[mask],
+        )
+
+    def at_scale(self, nprocs: int) -> "ExecutionDataset":
+        """Runs at one process count."""
+        return self.select(self.nprocs == nprocs)
+
+    def at_scales(self, scales: Sequence[int]) -> "ExecutionDataset":
+        """Runs at any of the given process counts."""
+        return self.select(np.isin(self.nprocs, np.asarray(scales)))
+
+    def merge(self, other: "ExecutionDataset") -> "ExecutionDataset":
+        """Concatenate two histories of the same application."""
+        if other.app_name != self.app_name:
+            raise ValueError("Cannot merge histories of different applications.")
+        if other.param_names != self.param_names:
+            raise ValueError("Param name mismatch in merge.")
+        return ExecutionDataset(
+            app_name=self.app_name,
+            param_names=self.param_names,
+            X=np.vstack([self.X, other.X]),
+            nprocs=np.concatenate([self.nprocs, other.nprocs]),
+            runtime=np.concatenate([self.runtime, other.runtime]),
+            model_runtime=np.concatenate([self.model_runtime, other.model_runtime]),
+            rep=np.concatenate([self.rep, other.rep]),
+        )
+
+    # -- configuration-level views ------------------------------------------
+
+    def unique_configs(self) -> np.ndarray:
+        """Distinct parameter rows, in order of first appearance."""
+        _, idx = np.unique(self.X, axis=0, return_index=True)
+        return self.X[np.sort(idx)]
+
+    def config_ids(self) -> np.ndarray:
+        """Integer id per row identifying its parameter configuration."""
+        configs = self.unique_configs()
+        ids = np.empty(len(self), dtype=np.int64)
+        for i, row in enumerate(self.X):
+            matches = np.nonzero(np.all(configs == row, axis=1))[0]
+            ids[i] = matches[0]
+        return ids
+
+    def runtime_matrix(
+        self, scales: Sequence[int], use_model_runtime: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pivot to a ``(n_configs, n_scales)`` mean-runtime matrix.
+
+        Returns ``(configs, T)`` where ``configs`` are the distinct
+        parameter rows that have at least one run at *every* requested
+        scale, and ``T[i, j]`` is the mean runtime of config i at
+        ``scales[j]`` (mean over repetitions).
+        """
+        scales = [int(s) for s in scales]
+        values = self.model_runtime if use_model_runtime else self.runtime
+        configs = self.unique_configs()
+        rows: list[np.ndarray] = []
+        keep: list[int] = []
+        for ci, cfg in enumerate(configs):
+            cfg_mask = np.all(self.X == cfg, axis=1)
+            means = []
+            for s in scales:
+                m = cfg_mask & (self.nprocs == s)
+                if not np.any(m):
+                    break
+                means.append(values[m].mean())
+            else:
+                rows.append(np.asarray(means))
+                keep.append(ci)
+        if not rows:
+            return configs[:0], np.empty((0, len(scales)))
+        return configs[keep], np.vstack(rows)
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable dataset characterization (Table-1 style)."""
+        lines = [
+            f"application : {self.app_name}",
+            f"runs        : {len(self)}",
+            f"configs     : {len(self.unique_configs())}",
+            f"scales      : {list(self.scales)}",
+            f"runtime     : [{self.runtime.min():.4g}, {self.runtime.max():.4g}] s",
+        ]
+        for j, name in enumerate(self.param_names):
+            col = self.X[:, j]
+            lines.append(f"param {name:<12s}: [{col.min():.4g}, {col.max():.4g}]")
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Parameter-space samplers and history-data generation.
+
+``HistoryGenerator`` plays the role of the paper's "historical execution
+data": it samples application configurations and simulates them at the
+requested scales (with repetitions), returning an
+:class:`~repro.data.ExecutionDataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..apps.base import Application
+from ..sim.execution import Executor
+from .dataset import ExecutionDataset
+
+__all__ = [
+    "sample_random",
+    "sample_latin_hypercube",
+    "sample_grid",
+    "HistoryGenerator",
+]
+
+
+def sample_random(
+    app: Application, n: int, rng: np.random.Generator
+) -> list[dict[str, float]]:
+    """Uniform (per-spec, possibly log-scaled) random configurations."""
+    if n < 1:
+        raise ValueError("n must be >= 1.")
+    return [app.sample_params(rng) for _ in range(n)]
+
+
+def sample_latin_hypercube(
+    app: Application, n: int, rng: np.random.Generator
+) -> list[dict[str, float]]:
+    """Latin-hypercube configurations: each parameter's range is divided
+    into n strata, each stratum used exactly once — better coverage of
+    the parameter space than i.i.d. sampling for the same budget."""
+    if n < 1:
+        raise ValueError("n must be >= 1.")
+    specs = app.param_specs()
+    d = len(specs)
+    # u[i, j]: position of sample i in stratum order for parameter j.
+    u = (rng.permuted(np.tile(np.arange(n), (d, 1)), axis=1).T + rng.random((n, d))) / n
+    configs: list[dict[str, float]] = []
+    for i in range(n):
+        params: dict[str, float] = {}
+        for j, spec in enumerate(specs):
+            if spec.log:
+                lo, hi = np.log(spec.low), np.log(spec.high)
+                v = float(np.exp(lo + u[i, j] * (hi - lo)))
+            else:
+                v = float(spec.low + u[i, j] * (spec.high - spec.low))
+            if spec.integer:
+                v = float(round(v))
+            params[spec.name] = spec.clip(v)
+        configs.append(params)
+    return configs
+
+
+def sample_grid(app: Application, points_per_dim: int) -> list[dict[str, float]]:
+    """Full-factorial grid (use with few parameters; size grows as
+    points_per_dim ** n_params)."""
+    if points_per_dim < 2:
+        raise ValueError("points_per_dim must be >= 2.")
+    specs = app.param_specs()
+    axes: list[np.ndarray] = []
+    for spec in specs:
+        if spec.log:
+            vals = np.geomspace(spec.low, spec.high, points_per_dim)
+        else:
+            vals = np.linspace(spec.low, spec.high, points_per_dim)
+        if spec.integer:
+            vals = np.unique(np.round(vals))
+        axes.append(vals)
+    mesh = np.meshgrid(*axes, indexing="ij")
+    flat = np.stack([m.ravel() for m in mesh], axis=1)
+    return [
+        {spec.name: float(row[j]) for j, spec in enumerate(specs)} for row in flat
+    ]
+
+
+class HistoryGenerator:
+    """Collects simulated execution histories.
+
+    Parameters
+    ----------
+    app:
+        Application to run.
+    executor:
+        Simulator; defaults to a fresh default-machine executor.
+    seed:
+        Seed for configuration sampling (noise seeding lives in the
+        executor).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        executor: Executor | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.app = app
+        self.executor = executor if executor is not None else Executor(seed=seed)
+        self.rng = np.random.default_rng(seed)
+
+    def sample_configs(
+        self, n: int, method: str = "lhs"
+    ) -> list[dict[str, float]]:
+        """Draw configurations with the chosen sampler ("lhs" or
+        "random")."""
+        if method == "lhs":
+            return sample_latin_hypercube(self.app, n, self.rng)
+        if method == "random":
+            return sample_random(self.app, n, self.rng)
+        raise ValueError(f"Unknown sampling method {method!r}")
+
+    def collect(
+        self,
+        configs: Sequence[dict[str, float]],
+        scales: Sequence[int],
+        repetitions: int = 1,
+    ) -> ExecutionDataset:
+        """Simulate every configuration at every scale.
+
+        Returns a dataset with ``len(configs) * len(scales) *
+        repetitions`` runs.
+        """
+        if not configs:
+            raise ValueError("No configurations given.")
+        if not scales:
+            raise ValueError("No scales given.")
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1.")
+        records = [
+            self.executor.run(self.app, params, int(s), rep=r)
+            for params in configs
+            for s in scales
+            for r in range(repetitions)
+        ]
+        return ExecutionDataset.from_records(
+            records, param_names=self.app.param_names
+        )
+
+    def generate(
+        self,
+        n_configs: int,
+        scales: Sequence[int],
+        repetitions: int = 1,
+        method: str = "lhs",
+    ) -> ExecutionDataset:
+        """Sample ``n_configs`` configurations and collect their runs."""
+        configs = self.sample_configs(n_configs, method=method)
+        return self.collect(configs, scales, repetitions=repetitions)

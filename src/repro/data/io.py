@@ -1,0 +1,108 @@
+"""Dataset persistence.
+
+Two formats:
+
+* **JSON** — human-readable, self-describing, diff-friendly; the
+  interchange format for small histories and examples.
+* **NPZ** — compressed numpy arrays for large histories (the columnar
+  arrays round-trip exactly).
+
+Both embed a format version so future layout changes stay loadable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import ExecutionDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def _to_payload(dataset: ExecutionDataset) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "app_name": dataset.app_name,
+        "param_names": list(dataset.param_names),
+        "X": dataset.X.tolist(),
+        "nprocs": dataset.nprocs.tolist(),
+        "runtime": dataset.runtime.tolist(),
+        "model_runtime": dataset.model_runtime.tolist(),
+        "rep": dataset.rep.tolist(),
+    }
+
+
+def _from_payload(payload: dict) -> ExecutionDataset:
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"Unsupported dataset format version {version!r}; "
+            f"this build reads version {_FORMAT_VERSION}."
+        )
+    return ExecutionDataset(
+        app_name=payload["app_name"],
+        param_names=tuple(payload["param_names"]),
+        X=np.asarray(payload["X"], dtype=np.float64),
+        nprocs=np.asarray(payload["nprocs"], dtype=np.int64),
+        runtime=np.asarray(payload["runtime"], dtype=np.float64),
+        model_runtime=np.asarray(payload["model_runtime"], dtype=np.float64),
+        rep=np.asarray(payload["rep"], dtype=np.int64),
+    )
+
+
+def save_dataset(dataset: ExecutionDataset, path: str | Path) -> None:
+    """Write a dataset to ``path``; format chosen by suffix (.json or
+    .npz)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        with open(path, "w") as fh:
+            json.dump(_to_payload(dataset), fh)
+    elif path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            app_name=np.str_(dataset.app_name),
+            param_names=np.asarray(dataset.param_names),
+            X=dataset.X,
+            nprocs=dataset.nprocs,
+            runtime=dataset.runtime,
+            model_runtime=dataset.model_runtime,
+            rep=dataset.rep,
+        )
+    else:
+        raise ValueError(
+            f"Unknown dataset format {path.suffix!r}; use .json or .npz."
+        )
+
+
+def load_dataset(path: str | Path) -> ExecutionDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    if path.suffix == ".json":
+        with open(path) as fh:
+            return _from_payload(json.load(fh))
+    if path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"Unsupported dataset format version {version}; "
+                    f"this build reads version {_FORMAT_VERSION}."
+                )
+            return ExecutionDataset(
+                app_name=str(data["app_name"]),
+                param_names=tuple(str(n) for n in data["param_names"]),
+                X=data["X"],
+                nprocs=data["nprocs"],
+                runtime=data["runtime"],
+                model_runtime=data["model_runtime"],
+                rep=data["rep"],
+            )
+    raise ValueError(f"Unknown dataset format {path.suffix!r}; use .json or .npz.")

@@ -1,0 +1,98 @@
+"""Train/test splits for the extrapolation problem.
+
+The paper's setting is a *scale* split, not an i.i.d. split: training
+data exists only at small process counts, test queries are (new
+configuration, large process count) pairs.  :class:`ScaleSplit` captures
+that protocol and is used by every experiment in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .dataset import ExecutionDataset
+
+__all__ = ["ScaleSplit", "scale_split", "config_split"]
+
+
+@dataclass(frozen=True)
+class ScaleSplit:
+    """A small-scale training history plus large-scale evaluation runs.
+
+    Attributes
+    ----------
+    train:
+        Runs at the small scales (the only data any model may see).
+    test:
+        Runs at the large scales (ground truth for evaluation only).
+    small_scales, large_scales:
+        The process counts on each side.
+    """
+
+    train: ExecutionDataset
+    test: ExecutionDataset
+    small_scales: tuple[int, ...]
+    large_scales: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if set(self.small_scales) & set(self.large_scales):
+            raise ValueError("Small and large scales overlap.")
+        if max(self.small_scales, default=0) >= min(self.large_scales, default=2**62):
+            raise ValueError(
+                "Every large scale must exceed every small scale "
+                f"(got small={self.small_scales}, large={self.large_scales})."
+            )
+
+
+def scale_split(
+    dataset: ExecutionDataset,
+    small_scales: Sequence[int],
+    large_scales: Sequence[int],
+) -> ScaleSplit:
+    """Partition a history by process count.
+
+    Raises if a requested scale is absent from the dataset, which usually
+    indicates a generation bug.
+    """
+    small = tuple(int(s) for s in sorted(small_scales))
+    large = tuple(int(s) for s in sorted(large_scales))
+    present = set(dataset.scales.tolist())
+    missing = (set(small) | set(large)) - present
+    if missing:
+        raise ValueError(f"Scales {sorted(missing)} not present in dataset.")
+    return ScaleSplit(
+        train=dataset.at_scales(small),
+        test=dataset.at_scales(large),
+        small_scales=small,
+        large_scales=large,
+    )
+
+
+def config_split(
+    dataset: ExecutionDataset,
+    test_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+) -> tuple[ExecutionDataset, ExecutionDataset]:
+    """Split by *configuration* (all runs of a config stay together).
+
+    Used to hold out unseen configurations: the paper's query is a new
+    input-parameter assignment, so leakage of a config's runs across the
+    split would make the evaluation optimistic.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1).")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    configs = dataset.unique_configs()
+    n = len(configs)
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        raise ValueError("test_fraction leaves no training configurations.")
+    order = rng.permutation(n)
+    test_cfg = configs[order[:n_test]]
+    test_mask = np.zeros(len(dataset), dtype=bool)
+    for cfg in test_cfg:
+        test_mask |= np.all(dataset.X == cfg, axis=1)
+    return dataset.select(~test_mask), dataset.select(test_mask)

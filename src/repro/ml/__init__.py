@@ -1,0 +1,122 @@
+"""From-scratch ML substrate (numpy-only, scikit-learn-style API).
+
+Everything the two-level performance model and its baselines need:
+linear models (including the multitask lasso at the heart of the paper's
+extrapolation level), CART trees and ensembles (the interpolation-level
+random forest), clustering, kernel methods, an MLP, preprocessing, and
+model-selection utilities.
+"""
+
+from .base import (
+    BaseEstimator,
+    ClusterMixin,
+    NotFittedError,
+    RegressorMixin,
+    TransformerMixin,
+    check_is_fitted,
+    clone,
+)
+from .cluster import AgglomerativeClustering, KMeans
+from .inspection import PermutationImportance, permutation_importance
+from .kernel import (
+    GaussianProcessRegressor,
+    KernelRidge,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+from .linear import (
+    AdaptiveLasso,
+    ElasticNet,
+    Lasso,
+    LassoCV,
+    LinearRegression,
+    MultiTaskLasso,
+    MultiTaskLassoCV,
+    Ridge,
+    RidgeCV,
+    lasso_path,
+    multitask_alpha_max,
+)
+from .metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+    silhouette_score,
+)
+from .mlp import MLPRegressor
+from .model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    cross_val_predict,
+    cross_val_score,
+    train_test_split,
+)
+from .neighbors import KNeighborsRegressor
+from .preprocessing import (
+    LogTransformer,
+    MinMaxScaler,
+    Pipeline,
+    PolynomialFeatures,
+    StandardScaler,
+)
+from .tree import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+
+__all__ = [
+    "BaseEstimator",
+    "ClusterMixin",
+    "NotFittedError",
+    "RegressorMixin",
+    "TransformerMixin",
+    "check_is_fitted",
+    "clone",
+    "AgglomerativeClustering",
+    "KMeans",
+    "GaussianProcessRegressor",
+    "KernelRidge",
+    "linear_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "PermutationImportance",
+    "permutation_importance",
+    "AdaptiveLasso",
+    "ElasticNet",
+    "Lasso",
+    "LassoCV",
+    "LinearRegression",
+    "MultiTaskLasso",
+    "MultiTaskLassoCV",
+    "Ridge",
+    "RidgeCV",
+    "lasso_path",
+    "multitask_alpha_max",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "r2_score",
+    "root_mean_squared_error",
+    "silhouette_score",
+    "MLPRegressor",
+    "GridSearchCV",
+    "KFold",
+    "ParameterGrid",
+    "cross_val_predict",
+    "cross_val_score",
+    "train_test_split",
+    "KNeighborsRegressor",
+    "LogTransformer",
+    "MinMaxScaler",
+    "Pipeline",
+    "PolynomialFeatures",
+    "StandardScaler",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "RandomForestRegressor",
+]

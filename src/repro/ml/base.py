@@ -1,0 +1,170 @@
+"""Estimator base classes for the from-scratch ML substrate.
+
+The interface deliberately mirrors the scikit-learn estimator contract
+(``fit`` / ``predict`` / ``get_params`` / ``set_params``) so that the rest
+of the library — model selection, the two-level model, the baselines — can
+treat every learner uniformly and so that estimators can be cloned for
+cross-validation without sharing fitted state.
+
+The environment this reproduction targets has no scikit-learn, so every
+estimator in :mod:`repro.ml` is implemented on top of numpy alone.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "BaseEstimator",
+    "RegressorMixin",
+    "TransformerMixin",
+    "ClusterMixin",
+    "NotFittedError",
+    "clone",
+    "check_is_fitted",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and cloning.
+
+    Subclasses must follow the convention that every constructor argument
+    is stored on ``self`` under the same name and that ``fit`` stores all
+    learned state in attributes whose names end with an underscore
+    (``coef_``, ``tree_``, ...).  That convention is what makes
+    :func:`clone` and :func:`check_is_fitted` work generically.
+    """
+
+    @classmethod
+    def _get_param_names(cls) -> list[str]:
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        sig = inspect.signature(init)
+        names = [
+            p.name
+            for p in sig.parameters.values()
+            if p.name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+        return sorted(names)
+
+    def get_params(self, deep: bool = True) -> dict[str, Any]:
+        """Return constructor parameters as a dict.
+
+        Parameters
+        ----------
+        deep:
+            If True, also expand parameters of nested estimators using the
+            ``<component>__<param>`` convention.
+        """
+        out: dict[str, Any] = {}
+        for name in self._get_param_names():
+            value = getattr(self, name)
+            out[name] = value
+            if deep and isinstance(value, BaseEstimator):
+                for sub_name, sub_value in value.get_params(deep=True).items():
+                    out[f"{name}__{sub_name}"] = sub_value
+        return out
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set constructor parameters; supports ``a__b`` nested syntax."""
+        if not params:
+            return self
+        valid = set(self._get_param_names())
+        nested: dict[str, dict[str, Any]] = {}
+        for key, value in params.items():
+            if "__" in key:
+                head, _, tail = key.partition("__")
+                if head not in valid:
+                    raise ValueError(
+                        f"Invalid parameter {head!r} for {type(self).__name__}"
+                    )
+                nested.setdefault(head, {})[tail] = value
+            else:
+                if key not in valid:
+                    raise ValueError(
+                        f"Invalid parameter {key!r} for {type(self).__name__}"
+                    )
+                setattr(self, key, value)
+        for head, sub_params in nested.items():
+            sub_est = getattr(self, head)
+            if not isinstance(sub_est, BaseEstimator):
+                raise ValueError(f"Parameter {head!r} is not an estimator")
+            sub_est.set_params(**sub_params)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params(deep=False).items())
+        return f"{type(self).__name__}({params})"
+
+
+class RegressorMixin:
+    """Mixin adding an R^2 ``score`` method for regressors."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R^2 of ``self.predict(X)`` on ``y``."""
+        from .metrics import r2_score
+
+        return r2_score(y, self.predict(X))  # type: ignore[attr-defined]
+
+
+class TransformerMixin:
+    """Mixin adding ``fit_transform`` for transformers."""
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)  # type: ignore[attr-defined]
+
+
+class ClusterMixin:
+    """Mixin adding ``fit_predict`` for clusterers."""
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_  # type: ignore[attr-defined]
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical parameters.
+
+    Parameter *values* are deep-copied so fitted sub-objects cannot leak
+    between cross-validation folds.
+    """
+    params = estimator.get_params(deep=False)
+    fresh = {
+        name: clone(value) if isinstance(value, BaseEstimator) else copy.deepcopy(value)
+        for name, value in params.items()
+    }
+    return type(estimator)(**fresh)
+
+
+def check_is_fitted(estimator: Any, attributes: str | list[str] | None = None) -> None:
+    """Raise :class:`NotFittedError` unless the estimator looks fitted.
+
+    Fitted state is detected via trailing-underscore attributes, or via the
+    explicit attribute names given in ``attributes``.
+    """
+    if attributes is not None:
+        if isinstance(attributes, str):
+            attributes = [attributes]
+        missing = [a for a in attributes if not hasattr(estimator, a)]
+        if missing:
+            raise NotFittedError(
+                f"{type(estimator).__name__} is not fitted; missing {missing}"
+            )
+        return
+    fitted = [
+        a
+        for a in vars(estimator)
+        if a.endswith("_") and not a.startswith("__") and not a.endswith("__")
+    ]
+    if not fitted:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first."
+        )

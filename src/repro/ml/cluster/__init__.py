@@ -1,0 +1,6 @@
+"""Clustering: k-means++ and agglomerative linkage clustering."""
+
+from .hierarchical import AgglomerativeClustering
+from .kmeans import KMeans, kmeans_plus_plus_init
+
+__all__ = ["AgglomerativeClustering", "KMeans", "kmeans_plus_plus_init"]

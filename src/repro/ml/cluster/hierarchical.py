@@ -1,0 +1,90 @@
+"""Agglomerative clustering (complete / average / single linkage).
+
+Alternative to k-means for grouping scaling-curve shapes; exposed so the
+cluster-count ablation can compare both clusterers.  Naive O(n^3)
+implementation over an explicit distance matrix — the extrapolation level
+clusters at most a few hundred configurations, where this is instant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import BaseEstimator, ClusterMixin
+from ..metrics import pairwise_distances
+from ..validation import check_array
+
+__all__ = ["AgglomerativeClustering"]
+
+_LINKAGES = ("single", "complete", "average")
+
+
+class AgglomerativeClustering(BaseEstimator, ClusterMixin):
+    """Bottom-up merging of clusters until ``n_clusters`` remain.
+
+    Attributes
+    ----------
+    labels_ : (n_samples,) int
+        Cluster index per sample, relabeled to 0..n_clusters-1 in order
+        of first appearance.
+    merge_history_ : list of (i, j, distance)
+        The merges performed, usable for a dendrogram.
+    """
+
+    def __init__(self, n_clusters: int = 2, linkage: str = "average") -> None:
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+
+    def fit(self, X: np.ndarray, y: object = None) -> "AgglomerativeClustering":
+        if self.linkage not in _LINKAGES:
+            raise ValueError(f"linkage must be one of {_LINKAGES}.")
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1.")
+        X = check_array(X, min_samples=self.n_clusters)
+        n = X.shape[0]
+
+        D = pairwise_distances(X)
+        np.fill_diagonal(D, np.inf)
+        # Active cluster bookkeeping: member lists + sizes.
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        sizes = {i: 1 for i in range(n)}
+        active = set(range(n))
+        history: list[tuple[int, int, float]] = []
+
+        while len(active) > self.n_clusters:
+            act = sorted(active)
+            sub = D[np.ix_(act, act)]
+            flat = int(np.argmin(sub))
+            r, c = divmod(flat, len(act))
+            i, j = act[r], act[c]
+            if i > j:
+                i, j = j, i
+            dist = float(D[i, j])
+            history.append((i, j, dist))
+
+            # Lance-Williams update of distances from merged (i) to others.
+            for k in active:
+                if k in (i, j):
+                    continue
+                if self.linkage == "single":
+                    new_d = min(D[i, k], D[j, k])
+                elif self.linkage == "complete":
+                    new_d = max(D[i, k], D[j, k])
+                else:  # average
+                    new_d = (
+                        sizes[i] * D[i, k] + sizes[j] * D[j, k]
+                    ) / (sizes[i] + sizes[j])
+                D[i, k] = D[k, i] = new_d
+            members[i].extend(members[j])
+            sizes[i] += sizes[j]
+            active.discard(j)
+            D[j, :] = np.inf
+            D[:, j] = np.inf
+
+        labels = np.empty(n, dtype=np.int64)
+        for new_label, root in enumerate(sorted(active)):
+            labels[members[root]] = new_label
+        self.labels_ = labels
+        self.merge_history_ = history
+        self.n_features_in_ = X.shape[1]
+        return self

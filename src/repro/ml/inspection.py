@@ -1,0 +1,102 @@
+"""Model inspection: permutation feature importance.
+
+Model-agnostic importance: shuffle one feature column at a time and
+measure the score drop.  Used to report which application parameters
+drive runtime at each scale — a diagnostic HPC users ask of any
+performance model — without relying on tree-specific impurity
+importances (which are biased toward high-cardinality features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .metrics import r2_score
+from .validation import check_random_state, check_X_y
+
+__all__ = ["PermutationImportance", "permutation_importance"]
+
+
+@dataclass(frozen=True)
+class PermutationImportance:
+    """Importance result.
+
+    Attributes
+    ----------
+    importances_mean, importances_std:
+        Per-feature mean and std of the score drop over repeats.
+    baseline_score:
+        Score of the unperturbed model.
+    feature_names:
+        Optional column names (parallel to the arrays).
+    """
+
+    importances_mean: np.ndarray
+    importances_std: np.ndarray
+    baseline_score: float
+    feature_names: tuple[str, ...] | None = None
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """(name, mean importance) pairs, most important first."""
+        names = (
+            self.feature_names
+            if self.feature_names is not None
+            else tuple(f"x{j}" for j in range(len(self.importances_mean)))
+        )
+        pairs = list(zip(names, self.importances_mean.tolist()))
+        pairs.sort(key=lambda kv: kv[1], reverse=True)
+        return pairs
+
+
+def permutation_importance(
+    model: object,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_repeats: int = 5,
+    scorer: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    feature_names: Sequence[str] | None = None,
+    random_state: object = None,
+) -> PermutationImportance:
+    """Compute permutation importances of a fitted regressor.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator with ``predict``.
+    X, y:
+        Evaluation data (ideally held out).
+    n_repeats:
+        Shuffles per feature (importance std comes from these).
+    scorer:
+        ``(y_true, y_pred) -> float``, greater is better; default R^2.
+    feature_names:
+        Optional column names for reporting.
+    """
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be >= 1.")
+    X, y = check_X_y(X, y)
+    if feature_names is not None and len(feature_names) != X.shape[1]:
+        raise ValueError("feature_names length must match X columns.")
+    rng = check_random_state(random_state)
+    score = scorer if scorer is not None else r2_score
+
+    baseline = float(score(y, model.predict(X)))
+    n_features = X.shape[1]
+    drops = np.empty((n_features, n_repeats))
+    X_work = X.copy()
+    for j in range(n_features):
+        original = X_work[:, j].copy()
+        for r in range(n_repeats):
+            X_work[:, j] = original[rng.permutation(len(original))]
+            permuted = float(score(y, model.predict(X_work)))
+            drops[j, r] = baseline - permuted
+        X_work[:, j] = original
+    return PermutationImportance(
+        importances_mean=drops.mean(axis=1),
+        importances_std=drops.std(axis=1),
+        baseline_score=baseline,
+        feature_names=tuple(feature_names) if feature_names else None,
+    )

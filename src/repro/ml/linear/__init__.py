@@ -1,0 +1,22 @@
+"""Linear models: OLS, ridge, lasso/elastic net, and multitask lasso."""
+
+from .adaptive import AdaptiveLasso
+from .coordinate_descent import ElasticNet, Lasso, LassoCV, alpha_max, lasso_path
+from .multitask import MultiTaskLasso, MultiTaskLassoCV, multitask_alpha_max
+from .ols import LinearRegression
+from .ridge import Ridge, RidgeCV
+
+__all__ = [
+    "AdaptiveLasso",
+    "ElasticNet",
+    "Lasso",
+    "LassoCV",
+    "alpha_max",
+    "lasso_path",
+    "MultiTaskLasso",
+    "MultiTaskLassoCV",
+    "multitask_alpha_max",
+    "LinearRegression",
+    "Ridge",
+    "RidgeCV",
+]

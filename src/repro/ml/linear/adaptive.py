@@ -1,0 +1,93 @@
+"""Adaptive lasso (Zou 2006) — reweighted L1 with oracle properties.
+
+A two-stage estimator: a pilot fit (ridge) yields weights
+``w_j = 1 / |beta_pilot_j|^gamma``; the lasso is then solved on the
+reweighted design, penalizing plausible features less.  Under classical
+conditions this recovers the true support with asymptotically unbiased
+coefficients — relevant here as a sharper alternative to plain lasso
+support selection in the extrapolation level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import BaseEstimator, RegressorMixin, check_is_fitted
+from ..validation import check_array, check_X_y
+from .coordinate_descent import Lasso
+from .ridge import Ridge
+
+__all__ = ["AdaptiveLasso"]
+
+
+class AdaptiveLasso(BaseEstimator, RegressorMixin):
+    """Two-stage reweighted L1 regression.
+
+    Parameters
+    ----------
+    alpha:
+        L1 strength applied to the reweighted problem.
+    gamma:
+        Weight exponent; larger values penalize small pilot coefficients
+        more aggressively.
+    pilot_alpha:
+        Ridge strength of the pilot estimator.
+    max_iter, tol:
+        Passed to the inner coordinate-descent solver.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        gamma: float = 1.0,
+        pilot_alpha: float = 1e-3,
+        max_iter: int = 1000,
+        tol: float = 1e-6,
+    ) -> None:
+        self.alpha = alpha
+        self.gamma = gamma
+        self.pilot_alpha = pilot_alpha
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaptiveLasso":
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative.")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive.")
+        X, y = check_X_y(X, y)
+
+        pilot = Ridge(alpha=self.pilot_alpha).fit(X, y)
+        pilot_coef = np.abs(np.asarray(pilot.coef_, dtype=np.float64))
+        # Features the pilot zeroes out entirely get an effectively
+        # infinite penalty (implemented by a tiny rescale).
+        floor = max(pilot_coef.max(), 1.0) * 1e-12
+        weights = np.maximum(pilot_coef, floor) ** self.gamma
+
+        # Solve lasso on the rescaled design X' = X * w, then map back:
+        # beta_j = w_j * beta'_j.
+        X_scaled = X * weights
+        inner = Lasso(alpha=self.alpha, max_iter=self.max_iter, tol=self.tol)
+        inner.fit(X_scaled, y)
+
+        self.coef_ = inner.coef_ * weights
+        self.intercept_ = inner.intercept_
+        self.pilot_coef_ = np.asarray(pilot.coef_)
+        self.weights_ = weights
+        self.dual_gap_ = inner.dual_gap_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    @property
+    def support_(self) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        return self.coef_ != 0.0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,93 @@
+"""Ordinary least squares linear regression.
+
+Solved via :func:`numpy.linalg.lstsq` (SVD-based), which returns the
+minimum-norm solution for rank-deficient designs — important here because
+the extrapolation level can refit tiny systems (5 small-scale points
+against a selected basis) that are occasionally singular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import BaseEstimator, RegressorMixin, check_is_fitted
+from ..validation import check_array, check_X_y
+
+__all__ = ["LinearRegression"]
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Least-squares linear model ``y = X @ coef_ + intercept_``.
+
+    Parameters
+    ----------
+    fit_intercept:
+        If True (default), center the data and fit an explicit intercept;
+        if False the model is forced through the origin.
+    sample_weight_supported:
+        ``fit`` accepts an optional ``sample_weight`` vector; weighting is
+        implemented by scaling rows with sqrt(w).
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LinearRegression":
+        X, y = check_X_y(X, y, multi_output=True)
+        single_target = y.shape[1] == 1
+
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=np.float64)
+            if w.shape != (X.shape[0],):
+                raise ValueError("sample_weight must have shape (n_samples,)")
+            if np.any(w < 0):
+                raise ValueError("sample_weight must be non-negative")
+            sw = np.sqrt(w)
+        else:
+            sw = None
+
+        if self.fit_intercept:
+            if sw is None:
+                x_mean = X.mean(axis=0)
+                y_mean = y.mean(axis=0)
+            else:
+                total = sw @ sw
+                if total == 0:
+                    raise ValueError("sample_weight sums to zero")
+                x_mean = (sw**2) @ X / total
+                y_mean = (sw**2) @ y / total
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = np.zeros(y.shape[1])
+            Xc, yc = X, y
+
+        if sw is not None:
+            Xc = Xc * sw[:, None]
+            yc = yc * sw[:, None]
+
+        coef, _, rank, _ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.rank_ = int(rank)
+        self.coef_ = coef.T[0] if single_target else coef.T
+        self.intercept_ = (
+            float(y_mean[0] - x_mean @ coef[:, 0])
+            if single_target
+            else y_mean - x_mean @ coef
+        )
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        return X @ np.asarray(self.coef_).T + self.intercept_

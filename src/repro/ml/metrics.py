@@ -1,0 +1,165 @@
+"""Regression and clustering metrics.
+
+The headline metric of the reproduced paper is the mean absolute
+percentage error (MAPE) of large-scale runtime predictions; the other
+metrics are used for model selection and for the per-scale error tables
+produced by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .validation import check_consistent_length
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_percentage_error",
+    "median_absolute_percentage_error",
+    "symmetric_mean_absolute_percentage_error",
+    "max_error",
+    "r2_score",
+    "explained_variance_score",
+    "pairwise_distances",
+    "silhouette_score",
+]
+
+
+def _validate(y_true: object, y_pred: object) -> tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true, dtype=np.float64)
+    yp = np.asarray(y_pred, dtype=np.float64)
+    check_consistent_length(yt, yp)
+    if yt.shape != yp.shape:
+        raise ValueError(f"Shape mismatch: {yt.shape} vs {yp.shape}")
+    if yt.size == 0:
+        raise ValueError("Empty input to metric.")
+    return yt, yp
+
+
+def mean_absolute_error(y_true: object, y_pred: object) -> float:
+    """Mean of |y_true - y_pred|."""
+    yt, yp = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def mean_squared_error(y_true: object, y_pred: object) -> float:
+    """Mean of (y_true - y_pred)^2."""
+    yt, yp = _validate(y_true, y_pred)
+    return float(np.mean((yt - yp) ** 2))
+
+
+def root_mean_squared_error(y_true: object, y_pred: object) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_percentage_error(y_true: object, y_pred: object) -> float:
+    """MAPE as a fraction (0.10 == 10 %) — the paper's headline metric.
+
+    Zero true values are rejected rather than clipped: runtimes are
+    strictly positive, so a zero indicates an upstream bug.
+    """
+    yt, yp = _validate(y_true, y_pred)
+    if np.any(yt == 0):
+        raise ValueError("MAPE undefined for zero true values.")
+    return float(np.mean(np.abs((yt - yp) / yt)))
+
+
+def median_absolute_percentage_error(y_true: object, y_pred: object) -> float:
+    """Median of |relative error| — robust variant of MAPE."""
+    yt, yp = _validate(y_true, y_pred)
+    if np.any(yt == 0):
+        raise ValueError("Percentage error undefined for zero true values.")
+    return float(np.median(np.abs((yt - yp) / yt)))
+
+
+def symmetric_mean_absolute_percentage_error(y_true: object, y_pred: object) -> float:
+    """sMAPE: mean of 2|e| / (|y| + |ŷ|); bounded in [0, 2]."""
+    yt, yp = _validate(y_true, y_pred)
+    denom = np.abs(yt) + np.abs(yp)
+    if np.any(denom == 0):
+        raise ValueError("sMAPE undefined when both true and predicted are 0.")
+    return float(np.mean(2.0 * np.abs(yt - yp) / denom))
+
+
+def max_error(y_true: object, y_pred: object) -> float:
+    """Worst-case absolute error."""
+    yt, yp = _validate(y_true, y_pred)
+    return float(np.max(np.abs(yt - yp)))
+
+
+def r2_score(y_true: object, y_pred: object) -> float:
+    """Coefficient of determination.
+
+    Returns 1.0 for a perfect constant fit of a constant target and 0.0
+    for an imperfect one (matching scikit-learn's convention).
+    """
+    yt, yp = _validate(y_true, y_pred)
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - np.mean(yt)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def explained_variance_score(y_true: object, y_pred: object) -> float:
+    """1 - Var(y - ŷ)/Var(y); insensitive to a constant prediction bias."""
+    yt, yp = _validate(y_true, y_pred)
+    var_y = float(np.var(yt))
+    if var_y == 0.0:
+        return 1.0 if np.allclose(yt, yp) else 0.0
+    return 1.0 - float(np.var(yt - yp)) / var_y
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray | None = None) -> np.ndarray:
+    """Euclidean distance matrix between rows of ``A`` and rows of ``B``.
+
+    Uses the expanded ||a||^2 - 2 a.b + ||b||^2 form (one matmul instead of
+    a broadcasted difference tensor), with clipping to guard the tiny
+    negative values the expansion can produce.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = A if B is None else np.asarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValueError("pairwise_distances expects 2-D inputs.")
+    sq = (
+        np.sum(A * A, axis=1)[:, None]
+        - 2.0 * (A @ B.T)
+        + np.sum(B * B, axis=1)[None, :]
+    )
+    np.clip(sq, 0.0, None, out=sq)
+    return np.sqrt(sq)
+
+
+def silhouette_score(X: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples.
+
+    Requires at least 2 clusters and at least one cluster with >1 member.
+    Used by the extrapolation level to sanity-check cluster counts.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(labels)
+    uniq = np.unique(labels)
+    if uniq.size < 2:
+        raise ValueError("silhouette_score needs at least 2 clusters.")
+    D = pairwise_distances(X)
+    n = X.shape[0]
+    sil = np.zeros(n)
+    for i in range(n):
+        own = labels == labels[i]
+        n_own = int(own.sum())
+        if n_own <= 1:
+            sil[i] = 0.0
+            continue
+        a = D[i, own].sum() / (n_own - 1)
+        b = np.inf
+        for lab in uniq:
+            if lab == labels[i]:
+                continue
+            mask = labels == lab
+            b = min(b, float(D[i, mask].mean()))
+        denom = max(a, b)
+        sil[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(np.mean(sil))

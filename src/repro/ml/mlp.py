@@ -1,0 +1,218 @@
+"""Multi-layer perceptron regressor trained with Adam.
+
+The neural-network baseline of the evaluation.  Fully vectorized
+forward/backward passes over mini-batches; supports early stopping on a
+held-out fraction of the training data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin, check_is_fitted
+from .validation import check_array, check_X_y, check_random_state
+
+__all__ = ["MLPRegressor"]
+
+
+def _activation(name: str):
+    if name == "relu":
+        return (lambda z: np.maximum(z, 0.0)), (lambda z, a: (z > 0).astype(z.dtype))
+    if name == "tanh":
+        return np.tanh, (lambda z, a: 1.0 - a * a)
+    raise ValueError(f"Unknown activation {name!r}")
+
+
+class MLPRegressor(BaseEstimator, RegressorMixin):
+    """Feed-forward network with squared-error loss.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Units per hidden layer, e.g. ``(64, 64)``.
+    activation:
+        "relu" or "tanh".
+    learning_rate, max_iter, batch_size:
+        Adam step size, number of epochs, and mini-batch size.
+    alpha:
+        L2 weight decay.
+    early_stopping / validation_fraction / n_iter_no_change:
+        Stop when validation loss has not improved for
+        ``n_iter_no_change`` epochs; the best weights are restored.
+    standardize:
+        Internally standardize inputs and target (recommended; networks
+        are not scale invariant).  Predictions are returned in the
+        original target units.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (64, 64),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        max_iter: int = 300,
+        batch_size: int = 32,
+        alpha: float = 1e-4,
+        early_stopping: bool = False,
+        validation_fraction: float = 0.1,
+        n_iter_no_change: int = 20,
+        standardize: bool = True,
+        random_state: object = None,
+    ) -> None:
+        self.hidden_layer_sizes = hidden_layer_sizes
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.early_stopping = early_stopping
+        self.validation_fraction = validation_fraction
+        self.n_iter_no_change = n_iter_no_change
+        self.standardize = standardize
+        self.random_state = random_state
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        act, _ = _activation(self.activation)
+        zs, acts = [], [X]
+        a = X
+        for i, (W, b) in enumerate(zip(self.coefs_, self.intercepts_)):
+            z = a @ W + b
+            zs.append(z)
+            a = z if i == len(self.coefs_) - 1 else act(z)
+            acts.append(a)
+        return zs, acts
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1.")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive.")
+        if any(h < 1 for h in self.hidden_layer_sizes):
+            raise ValueError("hidden layer sizes must be >= 1.")
+        X, y = check_X_y(X, y, min_samples=2)
+        rng = check_random_state(self.random_state)
+        act, act_grad = _activation(self.activation)
+
+        if self.standardize:
+            self.x_mean_ = X.mean(axis=0)
+            x_std = X.std(axis=0)
+            x_std[x_std == 0] = 1.0
+            self.x_std_ = x_std
+            self.y_mean_ = float(y.mean())
+            y_std = float(y.std())
+            self.y_std_ = y_std if y_std > 0 else 1.0
+            Xs = (X - self.x_mean_) / self.x_std_
+            ys = (y - self.y_mean_) / self.y_std_
+        else:
+            self.x_mean_ = np.zeros(X.shape[1])
+            self.x_std_ = np.ones(X.shape[1])
+            self.y_mean_, self.y_std_ = 0.0, 1.0
+            Xs, ys = X, y
+
+        if self.early_stopping:
+            n_val = max(1, int(round(self.validation_fraction * len(ys))))
+            perm = rng.permutation(len(ys))
+            val_idx, tr_idx = perm[:n_val], perm[n_val:]
+            if len(tr_idx) == 0:
+                raise ValueError("validation_fraction leaves no training data.")
+            X_val, y_val = Xs[val_idx], ys[val_idx]
+            Xs, ys = Xs[tr_idx], ys[tr_idx]
+
+        sizes = [X.shape[1], *self.hidden_layer_sizes, 1]
+        self.coefs_ = []
+        self.intercepts_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialization for relu, Glorot for tanh.
+            scale = (
+                np.sqrt(2.0 / fan_in)
+                if self.activation == "relu"
+                else np.sqrt(1.0 / fan_in)
+            )
+            self.coefs_.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.intercepts_.append(np.zeros(fan_out))
+
+        m_w = [np.zeros_like(W) for W in self.coefs_]
+        v_w = [np.zeros_like(W) for W in self.coefs_]
+        m_b = [np.zeros_like(b) for b in self.intercepts_]
+        v_b = [np.zeros_like(b) for b in self.intercepts_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = len(ys)
+        batch = min(self.batch_size, n)
+        best_val = np.inf
+        best_weights = None
+        stall = 0
+        self.loss_curve_: list[float] = []
+
+        for _epoch in range(self.max_iter):
+            perm = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                rows = perm[start : start + batch]
+                xb, yb = Xs[rows], ys[rows]
+                zs, acts = self._forward(xb)
+                pred = acts[-1][:, 0]
+                err = pred - yb
+                epoch_loss += float(err @ err)
+
+                delta = (err / len(rows))[:, None]
+                grads_W, grads_b = [], []
+                for layer in range(len(self.coefs_) - 1, -1, -1):
+                    gW = acts[layer].T @ delta + self.alpha * self.coefs_[layer]
+                    gb = delta.sum(axis=0)
+                    grads_W.append(gW)
+                    grads_b.append(gb)
+                    if layer > 0:
+                        delta = (delta @ self.coefs_[layer].T) * act_grad(
+                            zs[layer - 1], acts[layer]
+                        )
+                grads_W.reverse()
+                grads_b.reverse()
+
+                step += 1
+                lr_t = (
+                    self.learning_rate
+                    * np.sqrt(1.0 - beta2**step)
+                    / (1.0 - beta1**step)
+                )
+                for i in range(len(self.coefs_)):
+                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_W[i]
+                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_W[i] ** 2
+                    self.coefs_[i] -= lr_t * m_w[i] / (np.sqrt(v_w[i]) + eps)
+                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
+                    self.intercepts_[i] -= lr_t * m_b[i] / (np.sqrt(v_b[i]) + eps)
+
+            self.loss_curve_.append(epoch_loss / n)
+
+            if self.early_stopping:
+                _, val_acts = self._forward(X_val)
+                val_loss = float(np.mean((val_acts[-1][:, 0] - y_val) ** 2))
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_weights = (
+                        [W.copy() for W in self.coefs_],
+                        [b.copy() for b in self.intercepts_],
+                    )
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= self.n_iter_no_change:
+                        break
+
+        if self.early_stopping and best_weights is not None:
+            self.coefs_, self.intercepts_ = best_weights
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "coefs_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        Xs = (X - self.x_mean_) / self.x_std_
+        _, acts = self._forward(Xs)
+        return acts[-1][:, 0] * self.y_std_ + self.y_mean_

@@ -1,0 +1,236 @@
+"""Cross-validation splitters, scoring helpers, and grid search.
+
+These utilities drive hyper-parameter selection inside the interpolation
+level (per-scale forests) and the benchmark harness's baseline tuning.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .base import BaseEstimator, check_is_fitted, clone
+from .metrics import (
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    r2_score,
+)
+from .validation import check_random_state
+
+__all__ = [
+    "KFold",
+    "train_test_split",
+    "cross_val_score",
+    "cross_val_predict",
+    "ParameterGrid",
+    "GridSearchCV",
+    "get_scorer",
+]
+
+# Scorers follow the "greater is better" convention; error metrics are
+# negated, mirroring the familiar "neg_*" naming.
+_SCORERS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "r2": r2_score,
+    "neg_mean_squared_error": lambda yt, yp: -mean_squared_error(yt, yp),
+    "neg_mape": lambda yt, yp: -mean_absolute_percentage_error(yt, yp),
+}
+
+
+def get_scorer(scoring: str | Callable) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Resolve a scoring name or pass a callable through."""
+    if callable(scoring):
+        return scoring
+    try:
+        return _SCORERS[scoring]
+    except KeyError:
+        raise ValueError(
+            f"Unknown scoring {scoring!r}; choose from {sorted(_SCORERS)}"
+        ) from None
+
+
+class KFold:
+    """K-fold splitter with optional shuffling.
+
+    Fold sizes differ by at most one sample; every sample appears in
+    exactly one test fold (a property test target).
+    """
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = False,
+        random_state: object = None,
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2.")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: Sequence) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"Cannot split {n} samples into {self.n_splits} folds.")
+        indices = np.arange(n)
+        if self.shuffle:
+            rng = check_random_state(self.random_state)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=np.int64)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+def train_test_split(
+    *arrays: np.ndarray,
+    test_size: float = 0.25,
+    random_state: object = None,
+    shuffle: bool = True,
+) -> list[np.ndarray]:
+    """Split any number of same-length arrays into train/test pairs.
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]``.
+    """
+    if not arrays:
+        raise ValueError("At least one array required.")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("All arrays must share their first dimension.")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1).")
+    n_test = max(1, int(round(test_size * n)))
+    if n_test >= n:
+        raise ValueError("test_size leaves no training samples.")
+    indices = np.arange(n)
+    if shuffle:
+        rng = check_random_state(random_state)
+        rng.shuffle(indices)
+    test_idx, train_idx = indices[:n_test], indices[n_test:]
+    out: list[np.ndarray] = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.extend([a[train_idx], a[test_idx]])
+    return out
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: int | KFold = 5,
+    scoring: str | Callable = "r2",
+) -> np.ndarray:
+    """Score a fresh clone of ``estimator`` on each CV fold."""
+    scorer = get_scorer(scoring)
+    splitter = KFold(n_splits=cv) if isinstance(cv, int) else cv
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train, test in splitter.split(X):
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        scores.append(scorer(y[test], model.predict(X[test])))
+    return np.asarray(scores)
+
+
+def cross_val_predict(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: int | KFold = 5,
+) -> np.ndarray:
+    """Out-of-fold predictions for every sample."""
+    splitter = KFold(n_splits=cv) if isinstance(cv, int) else cv
+    X = np.asarray(X)
+    y = np.asarray(y)
+    out = np.empty(len(y))
+    seen = np.zeros(len(y), dtype=bool)
+    for train, test in splitter.split(X):
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        out[test] = model.predict(X[test])
+        seen[test] = True
+    if not np.all(seen):
+        raise RuntimeError("CV splitter did not cover every sample.")
+    return out
+
+
+class ParameterGrid:
+    """Cartesian product over a dict of parameter value lists."""
+
+    def __init__(self, grid: dict[str, Sequence]) -> None:
+        if not grid:
+            raise ValueError("Empty parameter grid.")
+        for key, values in grid.items():
+            if len(values) == 0:
+                raise ValueError(f"Parameter {key!r} has no candidate values.")
+        self.grid = grid
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        keys = sorted(self.grid)
+        for combo in product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.grid.values():
+            n *= len(values)
+        return n
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive CV search over a parameter grid, then refit on all data.
+
+    Attributes
+    ----------
+    best_params_, best_score_, best_estimator_, cv_results_
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: dict[str, Sequence],
+        cv: int = 5,
+        scoring: str | Callable = "r2",
+    ) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        results: list[dict[str, object]] = []
+        best_score = -np.inf
+        best_params: dict[str, object] | None = None
+        for params in ParameterGrid(self.param_grid):
+            model = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(model, X, y, cv=self.cv, scoring=self.scoring)
+            mean = float(scores.mean())
+            results.append(
+                {"params": params, "mean_score": mean, "std_score": float(scores.std())}
+            )
+            if mean > best_score:
+                best_score, best_params = mean, params
+        assert best_params is not None
+        self.cv_results_ = results
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "best_estimator_")
+        return self.best_estimator_.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        check_is_fitted(self, "best_estimator_")
+        scorer = get_scorer(self.scoring)
+        return scorer(np.asarray(y), self.predict(X))

@@ -1,0 +1,86 @@
+"""k-nearest-neighbors regression (brute force).
+
+One of the direct-ML baselines: kNN cannot extrapolate beyond the convex
+hull of its training data at all, which makes it a useful lower bound in
+the large-scale prediction comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, RegressorMixin, check_is_fitted
+from .metrics import pairwise_distances
+from .validation import check_array, check_X_y
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor(BaseEstimator, RegressorMixin):
+    """Mean (or inverse-distance-weighted mean) of the k nearest targets.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbors k.
+    weights:
+        "uniform" averages the k targets; "distance" weights them by
+        1/d with an exact-match fast path (a zero-distance neighbor takes
+        all the weight).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsRegressor":
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1.")
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'.")
+        X, y = check_X_y(X, y)
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} > n_samples={X.shape[0]}."
+            )
+        self.X_train_ = X
+        self.y_train_ = y
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def kneighbors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and indices of the k nearest training samples."""
+        check_is_fitted(self, "X_train_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        D = pairwise_distances(X, self.X_train_)
+        k = self.n_neighbors
+        idx = np.argpartition(D, k - 1, axis=1)[:, :k]
+        rows = np.arange(X.shape[0])[:, None]
+        d = D[rows, idx]
+        order = np.argsort(d, axis=1, kind="stable")
+        return d[rows, order], idx[rows, order]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        dist, idx = self.kneighbors(X)
+        targets = self.y_train_[idx]
+        if self.weights == "uniform":
+            return targets.mean(axis=1)
+        # Inverse-distance weights; rows containing an exact match use
+        # only the zero-distance neighbors.
+        exact = dist == 0.0
+        out = np.empty(X.shape[0] if hasattr(X, "shape") else len(dist))
+        has_exact = exact.any(axis=1)
+        if np.any(has_exact):
+            masked = np.where(exact, targets, 0.0)
+            out[has_exact] = (
+                masked[has_exact].sum(axis=1) / exact[has_exact].sum(axis=1)
+            )
+        rest = ~has_exact
+        if np.any(rest):
+            w = 1.0 / dist[rest]
+            out[rest] = (w * targets[rest]).sum(axis=1) / w.sum(axis=1)
+        return out

@@ -1,0 +1,227 @@
+"""Feature preprocessing: scalers, log transforms, polynomial features,
+and a minimal Pipeline.
+
+Runtimes span orders of magnitude across the parameter space, so the
+log-transform and standardization utilities here are used throughout the
+two-level model and the baselines.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin, check_is_fitted
+from .validation import check_array
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "LogTransformer",
+    "PolynomialFeatures",
+    "Pipeline",
+]
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardize features to zero mean and unit variance.
+
+    Constant features get a unit scale so they pass through unchanged
+    instead of producing division by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X: np.ndarray, y: object = None) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Scale features to the ``feature_range`` interval (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        self.feature_range = feature_range
+
+    def fit(self, X: np.ndarray, y: object = None) -> "MinMaxScaler":
+        lo, hi = self.feature_range
+        if lo >= hi:
+            raise ValueError("feature_range must be increasing.")
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0.0] = 1.0
+        self.scale_ = (hi - lo) / span
+        self.min_ = lo - self.data_min_ * self.scale_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        return X * self.scale_ + self.min_
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        return (X - self.min_) / self.scale_
+
+
+class LogTransformer(BaseEstimator, TransformerMixin):
+    """Elementwise ``log(X + shift)`` with exact inverse.
+
+    Runtime data is strictly positive and multiplicative-noise-dominated,
+    so models that fit in log space see homoscedastic residuals.
+    """
+
+    def __init__(self, shift: float = 0.0, base: float = np.e) -> None:
+        self.shift = shift
+        self.base = base
+
+    def fit(self, X: np.ndarray, y: object = None) -> "LogTransformer":
+        X = check_array(X, ensure_2d=False)
+        if np.any(X + self.shift <= 0):
+            raise ValueError("LogTransformer requires X + shift > 0.")
+        self.log_base_ = np.log(self.base)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "log_base_")
+        X = check_array(X, ensure_2d=False)
+        if np.any(X + self.shift <= 0):
+            raise ValueError("LogTransformer requires X + shift > 0.")
+        return np.log(X + self.shift) / self.log_base_
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "log_base_")
+        X = np.asarray(X, dtype=np.float64)
+        return np.exp(X * self.log_base_) - self.shift
+
+
+class PolynomialFeatures(BaseEstimator, TransformerMixin):
+    """Generate polynomial and interaction features up to ``degree``.
+
+    Output column order: bias (optional), then degree-1 terms, then
+    degree-2 combinations in lexicographic order, etc.
+    """
+
+    def __init__(
+        self,
+        degree: int = 2,
+        include_bias: bool = True,
+        interaction_only: bool = False,
+    ) -> None:
+        self.degree = degree
+        self.include_bias = include_bias
+        self.interaction_only = interaction_only
+
+    def fit(self, X: np.ndarray, y: object = None) -> "PolynomialFeatures":
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1.")
+        X = check_array(X)
+        n_features = X.shape[1]
+        combos: list[tuple[int, ...]] = []
+        for d in range(1, self.degree + 1):
+            if self.interaction_only:
+                from itertools import combinations
+
+                combos.extend(combinations(range(n_features), d))
+            else:
+                combos.extend(combinations_with_replacement(range(n_features), d))
+        self.combinations_ = combos
+        self.n_features_in_ = n_features
+        self.n_output_features_ = len(combos) + (1 if self.include_bias else 0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "combinations_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        n = X.shape[0]
+        cols = []
+        if self.include_bias:
+            cols.append(np.ones((n, 1)))
+        for combo in self.combinations_:
+            col = np.ones(n)
+            for idx in combo:
+                col = col * X[:, idx]
+            cols.append(col[:, None])
+        return np.hstack(cols)
+
+
+class Pipeline(BaseEstimator):
+    """Chain of transformers ending in an estimator.
+
+    Each step is a ``(name, estimator)`` pair; all but the last must
+    implement ``transform``.
+    """
+
+    def __init__(self, steps: list[tuple[str, BaseEstimator]]) -> None:
+        if not steps:
+            raise ValueError("Pipeline needs at least one step.")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError("Pipeline step names must be unique.")
+        self.steps = steps
+
+    @property
+    def named_steps(self) -> dict[str, BaseEstimator]:
+        return dict(self.steps)
+
+    def _transform_through(self, X: np.ndarray) -> np.ndarray:
+        for _, step in self.steps[:-1]:
+            X = step.transform(X)
+        return X
+
+    def fit(self, X: np.ndarray, y: object = None) -> "Pipeline":
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y)
+        self.steps[-1][1].fit(X, y)
+        self.fitted_ = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "fitted_")
+        return self.steps[-1][1].predict(self._transform_through(X))
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "fitted_")
+        X = self._transform_through(X)
+        return self.steps[-1][1].transform(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        check_is_fitted(self, "fitted_")
+        return self.steps[-1][1].score(self._transform_through(X), y)

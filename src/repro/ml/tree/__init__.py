@@ -1,0 +1,12 @@
+"""Tree-based regressors: CART, random forest, gradient boosting."""
+
+from .decision_tree import DecisionTreeRegressor, TreeArrays
+from .gradient_boosting import GradientBoostingRegressor
+from .random_forest import RandomForestRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "TreeArrays",
+    "GradientBoostingRegressor",
+    "RandomForestRegressor",
+]

@@ -1,0 +1,384 @@
+"""CART regression tree with a vectorized prefix-sum splitter.
+
+The splitter evaluates every candidate threshold of a feature in one pass
+using cumulative sums of ``y`` and ``y^2`` over the sorted feature values
+— no Python-level loop over thresholds — which keeps pure-numpy tree
+construction fast enough for the forests used by the interpolation level.
+
+Prediction is vectorized level-by-level: all samples walk the tree
+simultaneously, so cost is O(depth * n_samples) numpy operations instead
+of a per-sample Python traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..base import BaseEstimator, RegressorMixin, check_is_fitted
+from ..validation import check_array, check_X_y, check_random_state
+
+__all__ = ["DecisionTreeRegressor", "TreeArrays"]
+
+_LEAF = -1
+
+
+@dataclass
+class TreeArrays:
+    """Flat array representation of a fitted tree.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; ``value`` holds the
+    mean target of the node's training samples for every node (internal
+    nodes too, which supports truncated-depth prediction if ever needed).
+    """
+
+    feature: np.ndarray  # (n_nodes,) int
+    threshold: np.ndarray  # (n_nodes,) float
+    left: np.ndarray  # (n_nodes,) int
+    right: np.ndarray  # (n_nodes,) int
+    value: np.ndarray  # (n_nodes,) float
+    n_node_samples: np.ndarray  # (n_nodes,) int
+    impurity: np.ndarray  # (n_nodes,) float; node MSE
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.feature == _LEAF))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root = depth 0)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        for i in range(self.n_nodes):
+            if self.feature[i] != _LEAF:
+                depth[self.left[i]] = depth[i] + 1
+                depth[self.right[i]] = depth[i] + 1
+        return int(depth.max()) if self.n_nodes else 0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature[nodes] != _LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            feat = self.feature[cur]
+            go_left = X[idx, feat] <= self.threshold[cur]
+            nodes[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            active[idx] = self.feature[nodes[idx]] != _LEAF
+        return self.value[nodes]
+
+    def decision_path_depth(self, X: np.ndarray) -> np.ndarray:
+        """Depth at which each sample lands in a leaf."""
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        depth = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature[nodes] != _LEAF
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            feat = self.feature[cur]
+            go_left = X[idx, feat] <= self.threshold[cur]
+            nodes[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            depth[idx] += 1
+            active[idx] = self.feature[nodes[idx]] != _LEAF
+        return depth
+
+
+def _best_split_for_feature(
+    values: np.ndarray,
+    y: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[float, float]:
+    """Best (impurity_decrease_total, threshold) for one feature.
+
+    ``impurity_decrease_total`` is the reduction in total SSE (not
+    normalized), which is what greedy CART maximizes at a node.  Returns
+    ``(-inf, nan)`` when no valid split exists.
+    """
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    ys = y[order]
+    n = len(ys)
+
+    csum = np.cumsum(ys)
+    csum_sq = np.cumsum(ys * ys)
+    total_sum = csum[-1]
+    total_sq = csum_sq[-1]
+    total_sse = total_sq - total_sum * total_sum / n
+
+    # Candidate split after position i puts i+1 samples left.  Valid
+    # positions: leaf-size respected on both sides and a strict value
+    # change (ties must stay on one side).
+    pos = np.arange(n - 1)
+    valid = (
+        (pos + 1 >= min_samples_leaf)
+        & (n - (pos + 1) >= min_samples_leaf)
+        & (v[pos] < v[pos + 1])
+    )
+    if not np.any(valid):
+        return -np.inf, np.nan
+
+    pos = pos[valid]
+    n_left = (pos + 1).astype(np.float64)
+    n_right = n - n_left
+    sum_left = csum[pos]
+    sq_left = csum_sq[pos]
+    sse = (
+        (sq_left - sum_left * sum_left / n_left)
+        + ((total_sq - sq_left) - (total_sum - sum_left) ** 2 / n_right)
+    )
+    best = int(np.argmin(sse))
+    decrease = float(total_sse - sse[best])
+    p = pos[best]
+    # Midpoint threshold, robust against representational ties.
+    threshold = 0.5 * (v[p] + v[p + 1])
+    if threshold <= v[p]:
+        threshold = v[p + 1] if v[p + 1] > v[p] else v[p]
+    return decrease, float(threshold)
+
+
+def _best_split_all_features(
+    X_node: np.ndarray,
+    y: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[float, int, float]:
+    """Best split over every column of ``X_node`` in one vectorized pass.
+
+    Sorts all columns at once and evaluates every candidate threshold of
+    every feature with 2-D prefix sums — no Python loop over features or
+    thresholds.  Returns ``(impurity_decrease_total, feature,
+    threshold)`` or ``(-inf, -1, nan)`` when no valid split exists.
+    """
+    n, f = X_node.shape
+    order = np.argsort(X_node, axis=0, kind="stable")  # (n, f)
+    v = np.take_along_axis(X_node, order, axis=0)
+    ys = y[order]  # (n, f): y re-sorted per feature
+
+    csum = np.cumsum(ys, axis=0)
+    csum_sq = np.cumsum(ys * ys, axis=0)
+    total_sum = csum[-1, 0]
+    total_sq = csum_sq[-1, 0]
+    total_sse = total_sq - total_sum * total_sum / n
+
+    pos = np.arange(n - 1)
+    n_left = (pos + 1).astype(np.float64)[:, None]
+    n_right = n - n_left
+    sum_left = csum[:-1]
+    sq_left = csum_sq[:-1]
+    sse = (
+        (sq_left - sum_left * sum_left / n_left)
+        + ((total_sq - sq_left) - (total_sum - sum_left) ** 2 / n_right)
+    )
+    valid = (
+        (n_left >= min_samples_leaf)
+        & (n_right >= min_samples_leaf)
+        & (v[:-1] < v[1:])
+    )
+    if not np.any(valid):
+        return -np.inf, -1, np.nan
+    sse = np.where(valid, sse, np.inf)
+    flat = int(np.argmin(sse))
+    p, feat = divmod(flat, f)
+    best_sse = sse[p, feat]
+    if not np.isfinite(best_sse):
+        return -np.inf, -1, np.nan
+    threshold = 0.5 * (v[p, feat] + v[p + 1, feat])
+    if threshold <= v[p, feat]:
+        threshold = v[p + 1, feat]
+    return float(total_sse - best_sse), int(feat), float(threshold)
+
+
+def _resolve_max_features(max_features: object, n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+        raise ValueError(f"Unknown max_features string {max_features!r}")
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("Fractional max_features must be in (0, 1].")
+        return max(1, int(round(max_features * n_features)))
+    mf = int(max_features)
+    if not 1 <= mf <= n_features:
+        raise ValueError(f"max_features must be in [1, {n_features}]; got {mf}.")
+    return mf
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """Greedy CART regression tree (squared-error criterion).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; None grows until leaves are pure or too small.
+    min_samples_split:
+        Minimum samples required to consider splitting a node.
+    min_samples_leaf:
+        Minimum samples in each child of any split.
+    max_features:
+        Features examined per split: None (all), "sqrt", "log2", an int,
+        or a fraction.  Random subsets are redrawn at every node, which is
+        what decorrelates forest members.
+    min_impurity_decrease:
+        Minimum total-SSE reduction (normalized by n_samples) to accept a
+        split.
+    random_state:
+        Seed or Generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: object = None,
+        min_impurity_decrease: float = 0.0,
+        random_state: object = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_indices: np.ndarray | None = None,
+    ) -> "DecisionTreeRegressor":
+        """Grow the tree.
+
+        ``sample_indices`` lets ensembles pass a bootstrap view without
+        copying the feature matrix.
+        """
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2.")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1.")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1 or None.")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        n_samples, n_features = X.shape
+        m_feat = _resolve_max_features(self.max_features, n_features)
+        max_depth = np.inf if self.max_depth is None else self.max_depth
+
+        if sample_indices is None:
+            root_idx = np.arange(n_samples)
+        else:
+            root_idx = np.asarray(sample_indices, dtype=np.int64)
+            if root_idx.size == 0:
+                raise ValueError("sample_indices is empty.")
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        n_node: list[int] = []
+        impurity: list[float] = []
+        feat_importance = np.zeros(n_features)
+
+        def new_node(idx: np.ndarray) -> int:
+            node_id = len(feature)
+            yi = y[idx]
+            feature.append(_LEAF)
+            threshold.append(np.nan)
+            left.append(_LEAF)
+            right.append(_LEAF)
+            value.append(float(yi.mean()))
+            n_node.append(len(idx))
+            impurity.append(float(yi.var()))
+            return node_id
+
+        root = new_node(root_idx)
+        stack: list[tuple[int, np.ndarray, int]] = [(root, root_idx, 0)]
+        total_n = len(root_idx)
+
+        while stack:
+            node_id, idx, depth = stack.pop()
+            n_here = len(idx)
+            if (
+                depth >= max_depth
+                or n_here < self.min_samples_split
+                or n_here < 2 * self.min_samples_leaf
+                or impurity[node_id] == 0.0
+            ):
+                continue
+
+            if m_feat < n_features:
+                candidates = rng.choice(n_features, size=m_feat, replace=False)
+            else:
+                candidates = np.arange(n_features)
+
+            y_here = y[idx]
+            best_dec, local_feat, best_thr = _best_split_all_features(
+                X[np.ix_(idx, candidates)], y_here, self.min_samples_leaf
+            )
+            best_feat = int(candidates[local_feat]) if local_feat >= 0 else -1
+
+            if best_feat < 0 or not np.isfinite(best_dec):
+                continue
+            if best_dec / total_n < self.min_impurity_decrease:
+                continue
+            if best_dec <= 1e-12 * max(1.0, abs(impurity[node_id]) * n_here):
+                continue  # numerically null improvement
+
+            go_left = X[idx, best_feat] <= best_thr
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if len(left_idx) == 0 or len(right_idx) == 0:
+                continue
+
+            feature[node_id] = best_feat
+            threshold[node_id] = best_thr
+            feat_importance[best_feat] += best_dec
+            left_id = new_node(left_idx)
+            right_id = new_node(right_idx)
+            left[node_id] = left_id
+            right[node_id] = right_id
+            stack.append((left_id, left_idx, depth + 1))
+            stack.append((right_id, right_idx, depth + 1))
+
+        self.tree_ = TreeArrays(
+            feature=np.asarray(feature, dtype=np.int64),
+            threshold=np.asarray(threshold, dtype=np.float64),
+            left=np.asarray(left, dtype=np.int64),
+            right=np.asarray(right, dtype=np.int64),
+            value=np.asarray(value, dtype=np.float64),
+            n_node_samples=np.asarray(n_node, dtype=np.int64),
+            impurity=np.asarray(impurity, dtype=np.float64),
+        )
+        total_importance = feat_importance.sum()
+        self.feature_importances_ = (
+            feat_importance / total_importance
+            if total_importance > 0
+            else np.zeros(n_features)
+        )
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        return self.tree_.predict(X)
+
+    def get_depth(self) -> int:
+        check_is_fitted(self, "tree_")
+        return self.tree_.max_depth
+
+    def get_n_leaves(self) -> int:
+        check_is_fitted(self, "tree_")
+        return self.tree_.n_leaves

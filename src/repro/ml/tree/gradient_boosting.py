@@ -1,0 +1,111 @@
+"""Gradient-boosted regression trees (squared-error loss).
+
+One of the direct-ML baselines the evaluation compares the two-level
+model against.  With squared loss, each stage fits a shallow CART tree to
+the current residuals; shrinkage and optional row subsampling
+(stochastic gradient boosting) control overfitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..base import BaseEstimator, RegressorMixin, check_is_fitted
+from ..validation import check_array, check_X_y, check_random_state, spawn_rngs
+from .decision_tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+    """Stage-wise additive model of shallow regression trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of boosting stages.
+    learning_rate:
+        Shrinkage applied to each stage's contribution.
+    max_depth, min_samples_leaf:
+        Size limits of the per-stage trees (depth 3 default — stumps-plus,
+        the classic GBM regime).
+    subsample:
+        Fraction of rows drawn (without replacement) per stage; < 1.0
+        gives stochastic gradient boosting.
+    random_state:
+        Seed or Generator.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: object = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1.")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive.")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1].")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        stage_rngs = spawn_rngs(rng, self.n_estimators)
+
+        self.init_ = float(y.mean())
+        current = np.full(n_samples, self.init_)
+        self.estimators_: list[DecisionTreeRegressor] = []
+        self.train_score_: list[float] = []
+
+        n_sub = max(1, int(round(self.subsample * n_samples)))
+        for s_rng in stage_rngs:
+            residual = y - current
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=s_rng,
+            )
+            if n_sub < n_samples:
+                rows = s_rng.choice(n_samples, size=n_sub, replace=False)
+                tree.fit(X[rows], residual[rows])
+            else:
+                tree.fit(X, residual)
+            current += self.learning_rate * tree.tree_.predict(X)
+            self.estimators_.append(tree)
+            self.train_score_.append(float(np.mean((y - current) ** 2)))
+
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "estimators_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"Expected {self.n_features_in_} features, got {X.shape[1]}."
+            )
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out += self.learning_rate * tree.tree_.predict(X)
+        return out
+
+    def staged_predict(self, X: np.ndarray):
+        """Yield predictions after each boosting stage (for CV of depth)."""
+        check_is_fitted(self, "estimators_")
+        X = check_array(X)
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            out = out + self.learning_rate * tree.tree_.predict(X)
+            yield out.copy()

@@ -1,0 +1,79 @@
+"""Cluster simulator substrate.
+
+Stands in for the paper's real HPC platform: a roofline node model, a
+LogGP network with explicit topologies, MPI collective cost models, and
+an execution engine with run-to-run noise.  See DESIGN.md for why this
+substitution preserves the learning problem the paper studies.
+"""
+
+from .calibration import (
+    PingPongSample,
+    calibrate_machine,
+    fit_loggp,
+    fit_node,
+    measure_node,
+    measure_pingpong,
+)
+from .collectives import (
+    COLLECTIVES,
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    broadcast,
+    ptp,
+    reduce,
+)
+from .detailed import DetailedExecutor, LoadImbalanceModel
+from .execution import Executor, NoiseModel
+from .machine import Machine, NodeSpec
+from .machines import MACHINE_PRESETS, get_machine
+from .network import LogGPParams, NetworkModel
+from .topology import (
+    Dragonfly,
+    FatTree,
+    Topology,
+    Torus3D,
+    average_compute_hops,
+    dragonfly_graph,
+    fat_tree_graph,
+    torus_3d_graph,
+)
+from .trace import ExecutionRecord, PhaseTiming
+
+__all__ = [
+    "PingPongSample",
+    "calibrate_machine",
+    "fit_loggp",
+    "fit_node",
+    "measure_node",
+    "measure_pingpong",
+    "COLLECTIVES",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "broadcast",
+    "ptp",
+    "reduce",
+    "DetailedExecutor",
+    "LoadImbalanceModel",
+    "Executor",
+    "NoiseModel",
+    "Machine",
+    "NodeSpec",
+    "MACHINE_PRESETS",
+    "get_machine",
+    "LogGPParams",
+    "NetworkModel",
+    "Dragonfly",
+    "FatTree",
+    "Topology",
+    "Torus3D",
+    "average_compute_hops",
+    "dragonfly_graph",
+    "fat_tree_graph",
+    "torus_3d_graph",
+    "ExecutionRecord",
+    "PhaseTiming",
+]

@@ -1,0 +1,228 @@
+"""Machine-model calibration from microbenchmark measurements.
+
+On a real platform, the cost-model parameters (LogGP latency/overhead/
+gap, node flop rate and memory bandwidth) are not known a priori — they
+are fitted from standard microbenchmarks: ping-pong sweeps over message
+sizes for the network, and streaming/compute kernels for the node.
+This module implements that fitting step against the same measurement
+format the simulator produces, which closes the loop: a user can
+calibrate a :class:`~repro.sim.Machine` to ping-pong/STREAM numbers
+from their own cluster and then generate synthetic histories or sanity-
+check the model's collective predictions.
+
+The recovery tests in ``tests/sim/test_calibration.py`` verify that
+parameters fitted from (noisy) simulated microbenchmarks match the
+generating machine — the identifiability check a calibration procedure
+owes its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .machine import Machine, NodeSpec
+from .network import LogGPParams, NetworkModel
+
+__all__ = [
+    "PingPongSample",
+    "NodeSample",
+    "measure_pingpong",
+    "fit_loggp",
+    "measure_node",
+    "fit_node",
+    "calibrate_machine",
+]
+
+
+@dataclass(frozen=True)
+class PingPongSample:
+    """One ping-pong measurement.
+
+    ``hops`` is the known switch distance between the two endpoints
+    (from the wiring diagram); it lets the fit separate the per-hop
+    wire latency from the per-message software overhead instead of
+    double-counting topology latency downstream.
+    """
+
+    nbytes: float
+    seconds: float
+    hops: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0 or self.seconds <= 0 or self.hops < 1.0:
+            raise ValueError("Invalid ping-pong sample.")
+
+
+def measure_pingpong(
+    machine: Machine,
+    sizes: Sequence[int] = (0, 64, 512, 4096, 32768, 262144, 2097152),
+    hop_distances: Sequence[float] = (2.0, 4.0),
+    noise_sigma: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> list[PingPongSample]:
+    """Simulate ping-pong sweeps on a machine (the data a real
+    calibration would collect with e.g. the OSU benchmarks, placing the
+    two ranks at known switch distances)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    samples = []
+    for hops in hop_distances:
+        for size in sizes:
+            t = machine.network.ptp_time(
+                float(size), hops=float(hops), contention=1.0,
+                intra_node=False,
+            )
+            if noise_sigma > 0:
+                t *= float(np.exp(rng.normal(0.0, noise_sigma)))
+            samples.append(PingPongSample(float(size), t, float(hops)))
+    return samples
+
+
+def fit_loggp(
+    samples: Sequence[PingPongSample],
+    eager_limit: int = 8192,
+) -> LogGPParams:
+    """Fit LogGP parameters from ping-pong samples.
+
+    Model: t = L*hops + o + n * G for eager messages, plus two extra
+    (L*hops + o) round trips beyond the eager limit.  Separating the
+    per-hop latency L from the software overhead o requires samples at
+    two or more known hop distances; with a single distance only the
+    sum is identifiable and the fit rejects the data.
+
+    Requires samples on both sides of the eager limit.
+    """
+    if len(samples) < 4:
+        raise ValueError("Need at least 4 ping-pong samples.")
+    n = np.array([s.nbytes for s in samples])
+    t = np.array([s.seconds for s in samples])
+    hops = np.array([s.hops for s in samples])
+    if len(set(hops.tolist())) < 2:
+        raise ValueError(
+            "Need ping-pong samples at two or more hop distances to "
+            "separate latency from overhead."
+        )
+    rendezvous = (n > eager_limit).astype(np.float64)
+    if rendezvous.all() or not rendezvous.any():
+        raise ValueError(
+            "Samples must straddle the eager limit to identify the "
+            "rendezvous cost."
+        )
+    # Non-negative least squares on t = (L*hops + o)*(1 + 2*rz) + G*n —
+    # all LogGP parameters are physically non-negative, and under noise
+    # the small overhead term would otherwise fit slightly negative.
+    # Rows are weighted by 1/t so the latency-dominated small messages
+    # are not drowned out by the bandwidth-dominated large ones.
+    from scipy.optimize import nnls
+
+    factor = 1.0 + 2.0 * rendezvous
+    A = np.column_stack([hops * factor, factor, n])
+    w = 1.0 / t
+    coef, _ = nnls(A * w[:, None], np.ones_like(t))
+    latency, overhead, gap = (float(c) for c in coef)
+    if latency <= 0 or gap <= 0:
+        raise ValueError(
+            "Ping-pong fit produced non-physical parameters; data is "
+            "inconsistent with the LogGP model."
+        )
+    return LogGPParams(
+        latency=latency,
+        overhead=overhead,
+        gap_per_byte=gap,
+        eager_limit=eager_limit,
+    )
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """One node-kernel measurement.
+
+    ``flops`` and ``mem_bytes`` are per process; ``seconds`` the
+    measured time with ``nprocs_on_node`` processes sharing the node.
+    """
+
+    flops: float
+    mem_bytes: float
+    nprocs_on_node: int
+    seconds: float
+
+
+def measure_node(
+    machine: Machine,
+    noise_sigma: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> list[NodeSample]:
+    """Simulate the two classic node microbenchmarks: a compute-bound
+    DGEMM-like kernel and a bandwidth-bound STREAM-like kernel, each at
+    1 process and at a fully packed node."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    cores = machine.node.cores
+    kernels = [
+        (1e10, 1e6),  # compute bound
+        (1e6, 1e9),  # memory bound
+    ]
+    samples = []
+    for flops, mem in kernels:
+        for nprocs in (1, cores):
+            t = machine.compute_time(flops, mem, nprocs)
+            if noise_sigma > 0:
+                t *= float(np.exp(rng.normal(0.0, noise_sigma)))
+            samples.append(NodeSample(flops, mem, nprocs, t))
+    return samples
+
+
+def fit_node(samples: Sequence[NodeSample], cores: int) -> NodeSpec:
+    """Fit the roofline node model from kernel measurements.
+
+    The effective flop rate comes from the most compute-bound sample,
+    the bandwidth from the most memory-bound packed sample (bandwidth
+    is shared, so the packed run identifies the node total).
+    """
+    if not samples:
+        raise ValueError("Need node samples.")
+    flop_rates = []
+    bandwidths = []
+    for s in samples:
+        if s.seconds <= 0:
+            raise ValueError("Non-positive sample time.")
+        flop_rates.append(s.flops / s.seconds)
+        bandwidths.append(s.mem_bytes / s.seconds * min(s.nprocs_on_node, cores))
+    eff_flops = max(flop_rates)
+    node_bw = max(bandwidths)
+    # Report at efficiency 1.0 over the *effective* rate: downstream
+    # cost models only ever use the product flops_per_core * efficiency.
+    return NodeSpec(
+        cores=cores,
+        flops_per_core=eff_flops,
+        mem_bandwidth=node_bw,
+        compute_efficiency=1.0,
+    )
+
+
+def calibrate_machine(
+    reference: Machine,
+    noise_sigma: float = 0.0,
+    seed: int = 0,
+) -> Machine:
+    """End-to-end calibration against a reference machine's
+    microbenchmarks (simulated stand-ins for real measurements).
+
+    Returns a new :class:`Machine` with fitted node and network
+    parameters and the reference's topology (topology is declared
+    knowledge — wiring diagrams — not something ping-pong identifies).
+    """
+    rng = np.random.default_rng(seed)
+    pp = measure_pingpong(reference, noise_sigma=noise_sigma, rng=rng)
+    loggp = fit_loggp(pp, eager_limit=reference.network.params.eager_limit)
+    node_samples = measure_node(reference, noise_sigma=noise_sigma, rng=rng)
+    node = fit_node(node_samples, cores=reference.node.cores)
+    return Machine(
+        node=node,
+        network=NetworkModel(
+            loggp, intra_node_speedup=reference.network.intra_node_speedup
+        ),
+        topology=reference.topology,
+        name=f"calibrated-{reference.name}",
+    )

@@ -1,0 +1,133 @@
+"""Cost models for MPI collective operations.
+
+The formulas are the textbook algorithm costs (binomial trees, ring
+allgather, Rabenseifner allreduce, pairwise alltoall) expressed in the
+LogGP point-to-point time of the machine's network — the same modelling
+approach used by collective-tuning literature.  Each function returns
+seconds for one invocation of the collective over ``nprocs`` processes
+with per-process payload ``nbytes``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .machine import Machine
+
+__all__ = [
+    "ptp",
+    "barrier",
+    "broadcast",
+    "reduce",
+    "allreduce",
+    "allgather",
+    "alltoall",
+    "COLLECTIVES",
+]
+
+# Reduction arithmetic rate: bytes/s a core can combine (sum) locally.
+_REDUCE_BYTES_PER_SEC = 4e9
+
+
+def _ptp(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """One point-to-point message between two of the job's processes."""
+    intra = machine.job_is_single_node(nprocs)
+    return machine.network.ptp_time(
+        nbytes,
+        hops=machine.hops(nprocs),
+        contention=1.0,
+        intra_node=intra,
+    )
+
+
+def ptp(machine: Machine, nbytes: float, nprocs: int, count: int = 1) -> float:
+    """``count`` sequential point-to-point messages."""
+    if count < 0:
+        raise ValueError("count must be non-negative.")
+    return count * _ptp(machine, nbytes, nprocs)
+
+
+def barrier(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """Dissemination barrier: ceil(log2 p) zero-payload rounds."""
+    if nprocs == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nprocs))
+    return rounds * _ptp(machine, 0.0, nprocs)
+
+
+def broadcast(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """Binomial-tree broadcast: ceil(log2 p) message rounds."""
+    if nprocs == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nprocs))
+    return rounds * _ptp(machine, nbytes, nprocs)
+
+
+def reduce(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """Binomial-tree reduction: broadcast cost plus per-round combine."""
+    if nprocs == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nprocs))
+    combine = rounds * nbytes / _REDUCE_BYTES_PER_SEC
+    return rounds * _ptp(machine, nbytes, nprocs) + combine
+
+
+def allreduce(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """Allreduce cost.
+
+    Small payloads use recursive doubling (latency-optimal,
+    ``log2 p`` rounds of full-size messages); large payloads use the
+    Rabenseifner reduce-scatter + allgather scheme whose bandwidth term is
+    ``2 n (p-1)/p`` bytes regardless of p.
+    """
+    if nprocs == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nprocs))
+    if nbytes <= machine.network.params.eager_limit:
+        combine = rounds * nbytes / _REDUCE_BYTES_PER_SEC
+        return rounds * _ptp(machine, nbytes, nprocs) + combine
+    frac = (nprocs - 1) / nprocs
+    bytes_moved = 2.0 * nbytes * frac
+    latency_part = 2.0 * rounds * _ptp(machine, 0.0, nprocs)
+    bw_part = bytes_moved * machine.network.params.gap_per_byte * machine.contention(
+        nprocs
+    )
+    combine = nbytes * frac / _REDUCE_BYTES_PER_SEC
+    return latency_part + bw_part + combine
+
+
+def allgather(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """Ring allgather: p-1 steps, each moving the per-process block."""
+    if nprocs == 1:
+        return 0.0
+    return (nprocs - 1) * _ptp(machine, nbytes, nprocs)
+
+
+def alltoall(machine: Machine, nbytes: float, nprocs: int) -> float:
+    """Pairwise-exchange alltoall.
+
+    ``nbytes`` is the total per-process send buffer; each of the p-1
+    steps moves a block of ``nbytes / p`` under the job's contention
+    factor (alltoall stresses bisection bandwidth).
+    """
+    if nprocs == 1:
+        return 0.0
+    block = nbytes / nprocs
+    per_step = machine.network.ptp_time(
+        block,
+        hops=machine.hops(nprocs),
+        contention=machine.contention(nprocs),
+        intra_node=machine.job_is_single_node(nprocs),
+    )
+    return (nprocs - 1) * per_step
+
+
+COLLECTIVES = {
+    "ptp": ptp,
+    "barrier": barrier,
+    "broadcast": broadcast,
+    "reduce": reduce,
+    "allreduce": allreduce,
+    "allgather": allgather,
+    "alltoall": alltoall,
+}

@@ -1,0 +1,115 @@
+"""Compute-node and whole-machine models.
+
+On-node computation time uses a roofline model: a phase is limited either
+by peak floating-point throughput or by memory bandwidth, whichever bound
+is larger, with the node's memory bandwidth shared among the processes
+placed on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from .network import NetworkModel
+from .topology import FatTree, Topology
+
+__all__ = ["NodeSpec", "Machine"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one compute node.
+
+    Attributes
+    ----------
+    cores:
+        Processes per node (one process per core).
+    flops_per_core:
+        Peak double-precision flop/s per core.
+    mem_bandwidth:
+        Node memory bandwidth in bytes/s, shared across cores.
+    compute_efficiency:
+        Fraction of peak a real kernel sustains (applied to the flop
+        bound).
+    """
+
+    cores: int = 32
+    flops_per_core: float = 16e9
+    mem_bandwidth: float = 160e9
+    compute_efficiency: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1.")
+        if self.flops_per_core <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("Hardware rates must be positive.")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1].")
+
+
+@dataclass
+class Machine:
+    """A cluster: node spec + interconnect + topology.
+
+    The default machine is a 1024-node fat-tree cluster — large enough for
+    every scale the evaluation sweeps (up to 4096 processes at 32
+    cores/node... comfortably).
+    """
+
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    topology: Topology = field(default_factory=lambda: FatTree(k=16))
+    name: str = "default-cluster"
+
+    def max_procs(self) -> int:
+        return self.topology.n_hosts() * self.node.cores
+
+    def nodes_for(self, nprocs: int) -> int:
+        """Nodes occupied by ``nprocs`` processes (block placement)."""
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1.")
+        if nprocs > self.max_procs():
+            raise ValueError(
+                f"{nprocs} processes exceed machine capacity {self.max_procs()}."
+            )
+        return math.ceil(nprocs / self.node.cores)
+
+    def compute_time(self, flops: float, mem_bytes: float, nprocs: int) -> float:
+        """Roofline time for one process's share of a phase.
+
+        Parameters
+        ----------
+        flops, mem_bytes:
+            Work and memory traffic **per process**.
+        nprocs:
+            Total processes of the job (determines how many cores share
+            each node's memory bandwidth).
+        """
+        if flops < 0 or mem_bytes < 0:
+            raise ValueError("Work amounts must be non-negative.")
+        n_nodes = self.nodes_for(nprocs)
+        procs_per_node = min(self.node.cores, math.ceil(nprocs / n_nodes))
+        flop_rate = self.node.flops_per_core * self.node.compute_efficiency
+        bw_per_proc = self.node.mem_bandwidth / procs_per_node
+        t_flops = flops / flop_rate
+        t_mem = mem_bytes / bw_per_proc
+        return max(t_flops, t_mem)
+
+    def hops(self, nprocs: int) -> float:
+        """Average network hops between the job's nodes; 1.0 on-node."""
+        n_nodes = self.nodes_for(nprocs)
+        if n_nodes == 1:
+            return 1.0
+        return self.topology.average_hops(n_nodes)
+
+    def contention(self, nprocs: int) -> float:
+        """Bandwidth-sharing factor for dense traffic among the job's
+        nodes."""
+        n_nodes = self.nodes_for(nprocs)
+        if n_nodes == 1:
+            return 1.0
+        return self.topology.contention_factor(n_nodes)
+
+    def job_is_single_node(self, nprocs: int) -> bool:
+        return self.nodes_for(nprocs) == 1

@@ -1,0 +1,65 @@
+"""Named machine presets.
+
+Three ready-made cluster models spanning the design space the topology
+and network modules support.  The benchmark harness uses
+``default-cluster``; the others power the topology-study example and
+the cross-machine extension experiments.
+"""
+
+from __future__ import annotations
+
+from .machine import Machine, NodeSpec
+from .network import NetworkModel
+from .topology import Dragonfly, FatTree, Torus3D
+
+__all__ = ["MACHINE_PRESETS", "get_machine"]
+
+
+def _default_cluster() -> Machine:
+    """1024-node fat-tree with EDR InfiniBand — the evaluation platform."""
+    return Machine(
+        node=NodeSpec(cores=32, flops_per_core=16e9, mem_bandwidth=160e9,
+                      compute_efficiency=0.35),
+        network=NetworkModel("infiniband-edr"),
+        topology=FatTree(k=16),
+        name="default-cluster",
+    )
+
+
+def _torus_cluster() -> Machine:
+    """2048-node 3-D torus (BlueGene-style): slim nodes, wide machine."""
+    return Machine(
+        node=NodeSpec(cores=16, flops_per_core=12e9, mem_bandwidth=100e9,
+                      compute_efficiency=0.40),
+        network=NetworkModel("omnipath"),
+        topology=Torus3D((16, 16, 8)),
+        name="torus-cluster",
+    )
+
+
+def _dragonfly_cluster() -> Machine:
+    """1024-node dragonfly (Cray-style): fat nodes, hierarchical wiring."""
+    return Machine(
+        node=NodeSpec(cores=64, flops_per_core=20e9, mem_bandwidth=200e9,
+                      compute_efficiency=0.30),
+        network=NetworkModel("infiniband-edr"),
+        topology=Dragonfly(groups=16, routers_per_group=8, hosts_per_router=8),
+        name="dragonfly-cluster",
+    )
+
+
+MACHINE_PRESETS = {
+    "default-cluster": _default_cluster,
+    "torus-cluster": _torus_cluster,
+    "dragonfly-cluster": _dragonfly_cluster,
+}
+
+
+def get_machine(name: str = "default-cluster") -> Machine:
+    """Instantiate a machine preset by name."""
+    try:
+        return MACHINE_PRESETS[name]()
+    except KeyError:
+        raise ValueError(
+            f"Unknown machine {name!r}; available: {sorted(MACHINE_PRESETS)}"
+        ) from None

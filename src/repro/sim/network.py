@@ -1,0 +1,122 @@
+"""LogGP-style network cost model.
+
+Point-to-point message time follows the LogGP parameterization
+(Alexandrov et al.): latency ``L``, per-message CPU overhead ``o``, and
+per-byte gap ``G`` (inverse bandwidth).  Topology effects enter through a
+hop-dependent latency term and a contention factor supplied by
+:mod:`repro.sim.topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LogGPParams", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """LogGP parameters of one interconnect class.
+
+    Attributes
+    ----------
+    latency:
+        Base one-hop wire+switch latency in seconds (L).
+    overhead:
+        Per-message send+receive CPU overhead in seconds (o).
+    gap_per_byte:
+        Seconds per transferred byte (G = 1 / bandwidth).
+    eager_limit:
+        Messages up to this size use the eager protocol; larger messages
+        pay one extra rendezvous round trip.
+    """
+
+    latency: float = 1.5e-6
+    overhead: float = 0.5e-6
+    gap_per_byte: float = 1.0 / 10e9  # 10 GB/s links
+    eager_limit: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.latency <= 0 or self.overhead < 0 or self.gap_per_byte <= 0:
+            raise ValueError("LogGP parameters must be positive.")
+        if self.eager_limit < 0:
+            raise ValueError("eager_limit must be non-negative.")
+
+
+# Preset interconnects used by the benchmark machines.
+PRESETS: dict[str, LogGPParams] = {
+    "infiniband-edr": LogGPParams(
+        latency=1.2e-6, overhead=0.4e-6, gap_per_byte=1.0 / 12e9, eager_limit=8192
+    ),
+    "omnipath": LogGPParams(
+        latency=1.5e-6, overhead=0.5e-6, gap_per_byte=1.0 / 10e9, eager_limit=8192
+    ),
+    "ethernet-10g": LogGPParams(
+        latency=12e-6, overhead=2e-6, gap_per_byte=1.0 / 1.1e9, eager_limit=4096
+    ),
+}
+
+
+class NetworkModel:
+    """Point-to-point message timing over a given topology.
+
+    Parameters
+    ----------
+    params:
+        LogGP parameters of the interconnect, or a preset name.
+    intra_node_speedup:
+        Factor by which intra-node (shared-memory) transfers beat the
+        network in both latency and bandwidth.
+    """
+
+    def __init__(
+        self,
+        params: LogGPParams | str = "infiniband-edr",
+        intra_node_speedup: float = 8.0,
+    ) -> None:
+        if isinstance(params, str):
+            try:
+                params = PRESETS[params]
+            except KeyError:
+                raise ValueError(
+                    f"Unknown interconnect preset {params!r}; "
+                    f"choose from {sorted(PRESETS)}"
+                ) from None
+        if intra_node_speedup < 1.0:
+            raise ValueError("intra_node_speedup must be >= 1.")
+        self.params = params
+        self.intra_node_speedup = intra_node_speedup
+
+    def ptp_time(
+        self,
+        nbytes: float,
+        hops: float = 1.0,
+        contention: float = 1.0,
+        intra_node: bool = False,
+    ) -> float:
+        """Seconds to deliver one ``nbytes`` message.
+
+        Parameters
+        ----------
+        hops:
+            Average switch hops; scales the latency term.
+        contention:
+            Effective bandwidth divisor (>= 1) from concurrent traffic
+            sharing links.
+        intra_node:
+            Shared-memory transfer shortcut.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative.")
+        if hops < 1.0 or contention < 1.0:
+            raise ValueError("hops and contention must be >= 1.")
+        p = self.params
+        lat = p.latency * hops
+        gap = p.gap_per_byte * contention
+        if intra_node:
+            lat /= self.intra_node_speedup
+            gap /= self.intra_node_speedup
+        t = lat + p.overhead + nbytes * gap
+        if nbytes > p.eager_limit:
+            t += 2.0 * (lat + p.overhead)  # rendezvous handshake
+        return t

@@ -1,0 +1,316 @@
+"""Interconnect topologies.
+
+Two views are provided and kept consistent with each other:
+
+* Graph constructors (:func:`fat_tree_graph`, :func:`torus_3d_graph`,
+  :func:`dragonfly_graph`) build explicit networkx graphs used by tests
+  and by the topology-exploration example.
+* :class:`Topology` computes the quantities the cost model actually
+  needs — average hop count between compute endpoints and a contention
+  factor for a job of ``p`` processes — with closed forms where they
+  exist, validated against the graphs in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "Topology",
+    "FatTree",
+    "Torus3D",
+    "Dragonfly",
+    "fat_tree_graph",
+    "torus_3d_graph",
+    "dragonfly_graph",
+    "average_compute_hops",
+]
+
+
+def fat_tree_graph(k: int) -> nx.Graph:
+    """Three-level k-ary fat tree (k even): k^3/4 hosts.
+
+    Nodes are tagged with a ``kind`` attribute: host, edge, aggregation,
+    or core.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat tree arity k must be even and >= 2.")
+    G = nx.Graph()
+    half = k // 2
+    n_pods = k
+    core_count = half * half
+    for c in range(core_count):
+        G.add_node(("core", c), kind="core")
+    for pod in range(n_pods):
+        for a in range(half):
+            agg = ("agg", pod, a)
+            G.add_node(agg, kind="aggregation")
+            # Each aggregation switch connects to k/2 cores.
+            for c in range(half):
+                G.add_edge(agg, ("core", a * half + c))
+        for e in range(half):
+            edge = ("edge", pod, e)
+            G.add_node(edge, kind="edge")
+            for a in range(half):
+                G.add_edge(edge, ("agg", pod, a))
+            for h in range(half):
+                host = ("host", pod, e, h)
+                G.add_node(host, kind="host")
+                G.add_edge(edge, host)
+    return G
+
+
+def torus_3d_graph(dims: tuple[int, int, int]) -> nx.Graph:
+    """3-D torus of compute nodes with wraparound links."""
+    if any(d < 1 for d in dims):
+        raise ValueError("torus dimensions must be >= 1.")
+    G = nx.Graph()
+    dx, dy, dz = dims
+    for x in range(dx):
+        for y in range(dy):
+            for z in range(dz):
+                G.add_node((x, y, z), kind="host")
+    for x in range(dx):
+        for y in range(dy):
+            for z in range(dz):
+                if dx > 1:
+                    G.add_edge((x, y, z), ((x + 1) % dx, y, z))
+                if dy > 1:
+                    G.add_edge((x, y, z), (x, (y + 1) % dy, z))
+                if dz > 1:
+                    G.add_edge((x, y, z), (x, y, (z + 1) % dz))
+    return G
+
+
+def dragonfly_graph(groups: int, routers_per_group: int, hosts_per_router: int) -> nx.Graph:
+    """Simplified dragonfly: complete graph within groups, one global
+    link between every pair of groups (assigned round-robin to routers)."""
+    if groups < 1 or routers_per_group < 1 or hosts_per_router < 1:
+        raise ValueError("dragonfly parameters must be >= 1.")
+    G = nx.Graph()
+    for g in range(groups):
+        for r in range(routers_per_group):
+            router = ("router", g, r)
+            G.add_node(router, kind="router")
+            for h in range(hosts_per_router):
+                host = ("host", g, r, h)
+                G.add_node(host, kind="host")
+                G.add_edge(router, host)
+        for r1 in range(routers_per_group):
+            for r2 in range(r1 + 1, routers_per_group):
+                G.add_edge(("router", g, r1), ("router", g, r2))
+    idx = 0
+    for g1 in range(groups):
+        for g2 in range(g1 + 1, groups):
+            r1 = idx % routers_per_group
+            r2 = (idx + 1) % routers_per_group
+            G.add_edge(("router", g1, r1), ("router", g2, r2))
+            idx += 1
+    return G
+
+
+def average_compute_hops(G: nx.Graph) -> float:
+    """Mean shortest-path length between distinct host nodes.
+
+    Exact (all-pairs BFS restricted to hosts); intended for validation on
+    moderate graphs.
+    """
+    hosts = [n for n, d in G.nodes(data=True) if d.get("kind") == "host"]
+    if len(hosts) < 2:
+        raise ValueError("Graph needs at least two host nodes.")
+    total, count = 0.0, 0
+    host_set = set(hosts)
+    for src in hosts:
+        lengths = nx.single_source_shortest_path_length(G, src)
+        for dst, dist in lengths.items():
+            if dst in host_set and dst != src:
+                total += dist
+                count += 1
+    return total / count
+
+
+class Topology:
+    """Abstract topology: hop counts and contention for a job of size p."""
+
+    name: str = "abstract"
+
+    def n_hosts(self) -> int:
+        raise NotImplementedError
+
+    def average_hops(self, n_nodes: int) -> float:
+        """Mean host-to-host hop count among the ``n_nodes`` allocated
+        compute nodes (compact allocation assumed)."""
+        raise NotImplementedError
+
+    def contention_factor(self, n_nodes: int) -> float:
+        """Effective bandwidth divisor for all-to-all-ish traffic among
+        ``n_nodes`` nodes (1.0 = full bisection)."""
+        raise NotImplementedError
+
+    def graph(self) -> nx.Graph:
+        """Explicit networkx graph (for validation/analysis)."""
+        raise NotImplementedError
+
+    def _check_alloc(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1.")
+        if n_nodes > self.n_hosts():
+            raise ValueError(
+                f"Allocation of {n_nodes} nodes exceeds machine size "
+                f"{self.n_hosts()} ({self.name})."
+            )
+
+
+class FatTree(Topology):
+    """Three-level k-ary fat tree; full bisection bandwidth.
+
+    Hop model for a compact allocation: jobs within one edge switch pay 2
+    hops, within one pod 4, across pods 6 — weighted by how much of the
+    traffic each tier carries.
+    """
+
+    def __init__(self, k: int = 16) -> None:
+        if k < 2 or k % 2 != 0:
+            raise ValueError("fat tree arity k must be even and >= 2.")
+        self.k = k
+        self.name = f"fat-tree(k={k})"
+
+    def n_hosts(self) -> int:
+        return self.k**3 // 4
+
+    def average_hops(self, n_nodes: int) -> float:
+        self._check_alloc(n_nodes)
+        if n_nodes == 1:
+            return 1.0
+        per_edge = self.k // 2
+        per_pod = (self.k // 2) ** 2
+        n = n_nodes
+        # Fractions of peer pairs co-located at each tier (compact alloc).
+        same_edge = min(per_edge, n) - 1
+        same_pod = min(per_pod, n) - 1 - same_edge
+        cross_pod = n - 1 - same_edge - same_pod
+        total = n - 1
+        return (2.0 * same_edge + 4.0 * same_pod + 6.0 * cross_pod) / total
+
+    def contention_factor(self, n_nodes: int) -> float:
+        self._check_alloc(n_nodes)
+        return 1.0  # non-blocking fabric
+
+    def graph(self) -> nx.Graph:
+        return fat_tree_graph(self.k)
+
+
+class Torus3D(Topology):
+    """3-D torus; hop count grows with the allocated sub-volume and
+    bisection bandwidth shrinks relative to all-to-all demand."""
+
+    def __init__(self, dims: tuple[int, int, int] = (8, 8, 8)) -> None:
+        if any(d < 1 for d in dims):
+            raise ValueError("torus dimensions must be >= 1.")
+        self.dims = tuple(int(d) for d in dims)
+        self.name = f"torus-3d{self.dims}"
+
+    def n_hosts(self) -> int:
+        return int(np.prod(self.dims))
+
+    @staticmethod
+    def _ring_mean_dist(d: int) -> float:
+        """Mean wraparound distance between distinct points on a ring of
+        size d: (d/4) for even d, (d^2-1)/(4d) for odd."""
+        if d <= 1:
+            return 0.0
+        if d % 2 == 0:
+            return d / 4.0
+        return (d * d - 1) / (4.0 * d)
+
+    def _alloc_dims(self, n_nodes: int) -> tuple[int, int, int]:
+        """Compact cuboid allocation covering n_nodes, filling x then y
+        then z."""
+        dx, dy, dz = self.dims
+        ax = min(dx, n_nodes)
+        ay = min(dy, math.ceil(n_nodes / ax))
+        az = min(dz, math.ceil(n_nodes / (ax * ay)))
+        return ax, ay, az
+
+    def average_hops(self, n_nodes: int) -> float:
+        self._check_alloc(n_nodes)
+        if n_nodes == 1:
+            return 1.0
+        ax, ay, az = self._alloc_dims(n_nodes)
+        hops = (
+            self._ring_mean_dist(ax)
+            + self._ring_mean_dist(ay)
+            + self._ring_mean_dist(az)
+        )
+        return max(1.0, hops)
+
+    def contention_factor(self, n_nodes: int) -> float:
+        self._check_alloc(n_nodes)
+        # Bisection of an a×b×c sub-torus ≈ 2·b·c links (cut across the
+        # longest axis); uniform traffic demand across the cut is
+        # (n/2)·(n/2)/n = n/4 flows sharing those links.
+        ax, ay, az = self._alloc_dims(n_nodes)
+        n = ax * ay * az
+        if n <= 2:
+            return 1.0
+        cut_links = 2.0 * ay * az if ax > 1 else 2.0 * az * max(ay, 1)
+        flows = n / 4.0
+        return max(1.0, flows / cut_links)
+
+    def graph(self) -> nx.Graph:
+        return torus_3d_graph(self.dims)
+
+
+class Dragonfly(Topology):
+    """Simplified dragonfly: 1 hop in-router, 3 in-group, 5 cross-group."""
+
+    def __init__(
+        self,
+        groups: int = 16,
+        routers_per_group: int = 8,
+        hosts_per_router: int = 8,
+    ) -> None:
+        if groups < 1 or routers_per_group < 1 or hosts_per_router < 1:
+            raise ValueError("dragonfly parameters must be >= 1.")
+        self.groups = groups
+        self.routers_per_group = routers_per_group
+        self.hosts_per_router = hosts_per_router
+        self.name = (
+            f"dragonfly(g={groups},r={routers_per_group},h={hosts_per_router})"
+        )
+
+    def n_hosts(self) -> int:
+        return self.groups * self.routers_per_group * self.hosts_per_router
+
+    def average_hops(self, n_nodes: int) -> float:
+        self._check_alloc(n_nodes)
+        if n_nodes == 1:
+            return 1.0
+        per_router = self.hosts_per_router
+        per_group = self.routers_per_group * per_router
+        n = n_nodes
+        same_router = min(per_router, n) - 1
+        same_group = min(per_group, n) - 1 - same_router
+        cross_group = n - 1 - same_router - same_group
+        total = n - 1
+        return (2.0 * same_router + 3.0 * same_group + 5.0 * cross_group) / total
+
+    def contention_factor(self, n_nodes: int) -> float:
+        self._check_alloc(n_nodes)
+        per_group = self.routers_per_group * self.hosts_per_router
+        if n_nodes <= per_group:
+            return 1.0
+        # Global links are the scarce resource: one per group pair in the
+        # simplified wiring.  Uniform traffic from g groups shares them.
+        g = math.ceil(n_nodes / per_group)
+        links = g * (g - 1) / 2.0
+        flows = n_nodes / 4.0
+        return max(1.0, flows / max(links, 1.0))
+
+    def graph(self) -> nx.Graph:
+        return dragonfly_graph(
+            self.groups, self.routers_per_group, self.hosts_per_router
+        )

@@ -1,0 +1,90 @@
+"""Execution-trace records produced by the simulator.
+
+An :class:`ExecutionRecord` is the atom of "history data" in the paper's
+sense: one application run at one process count with one set of input
+parameters, together with its per-phase time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseTiming", "ExecutionRecord"]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Timing of one application phase within a run.
+
+    Attributes
+    ----------
+    name:
+        Phase label (e.g. "compute", "halo_exchange", "allreduce").
+    compute_time:
+        Seconds spent in on-node computation for this phase.
+    comm_time:
+        Seconds spent in communication for this phase.
+    """
+
+    name: str
+    compute_time: float
+    comm_time: float
+
+    @property
+    def total(self) -> float:
+        return self.compute_time + self.comm_time
+
+    def __post_init__(self) -> None:
+        if self.compute_time < 0 or self.comm_time < 0:
+            raise ValueError("Phase times must be non-negative.")
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One simulated application execution.
+
+    Attributes
+    ----------
+    app_name:
+        Name of the application.
+    params:
+        Input-parameter assignment (name -> value).
+    nprocs:
+        Number of processes (the "scale").
+    runtime:
+        Observed wall-clock seconds, including run-to-run noise.
+    model_runtime:
+        Noise-free runtime from the cost model (ground truth for tests).
+    phases:
+        Per-phase noise-free breakdown.
+    rep:
+        Repetition index when the same configuration ran multiple times.
+    """
+
+    app_name: str
+    params: dict[str, float]
+    nprocs: int
+    runtime: float
+    model_runtime: float
+    phases: tuple[PhaseTiming, ...] = field(default_factory=tuple)
+    rep: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1.")
+        if self.runtime <= 0 or self.model_runtime <= 0:
+            raise ValueError("Runtimes must be positive.")
+
+    @property
+    def compute_time(self) -> float:
+        return sum(p.compute_time for p in self.phases)
+
+    @property
+    def comm_time(self) -> float:
+        return sum(p.comm_time for p in self.phases)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of modeled time spent communicating."""
+        total = self.compute_time + self.comm_time
+        return self.comm_time / total if total > 0 else 0.0

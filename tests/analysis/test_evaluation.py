@@ -1,0 +1,88 @@
+"""Tests for the experiment protocol (miniature end-to-end runs)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    build_histories,
+    evaluate_predictor,
+    fit_two_level,
+    run_method_comparison,
+)
+
+TINY = ExperimentConfig(
+    app_name="stencil3d",
+    small_scales=(32, 64, 128),
+    large_scales=(256, 512),
+    n_train_configs=20,
+    n_test_configs=6,
+    repetitions=1,
+    seed=9,
+    n_clusters=2,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_histories():
+    return build_histories(TINY)
+
+
+class TestExperimentConfig:
+    def test_with_overrides(self):
+        cfg = TINY.with_(n_train_configs=5)
+        assert cfg.n_train_configs == 5
+        assert cfg.app_name == TINY.app_name
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TINY.app_name = "other"
+
+
+class TestBuildHistories:
+    def test_shapes(self, tiny_histories):
+        h = tiny_histories
+        assert set(h.train.scales) == set(TINY.small_scales)
+        assert set(h.test.scales) == set(TINY.large_scales)
+        assert len(h.train) == 20 * 3 * 1
+        assert len(h.test) == 6 * 2
+
+    def test_deterministic(self):
+        a = build_histories(TINY)
+        b = build_histories(TINY)
+        np.testing.assert_array_equal(a.train.runtime, b.train.runtime)
+
+
+class TestEvaluate:
+    def test_fit_two_level_and_score(self, tiny_histories):
+        model = fit_two_level(tiny_histories)
+        scores = evaluate_predictor(
+            "two-level",
+            lambda X, s: model.predict(X, [s])[:, 0],
+            tiny_histories.test,
+            TINY.large_scales,
+        )
+        assert set(scores.mape_by_scale) == set(TINY.large_scales)
+        assert scores.overall_mape > 0
+        assert all(v > 0 for v in scores.rmse_by_scale.values())
+
+    def test_evaluate_missing_scales_raises(self, tiny_histories):
+        with pytest.raises(ValueError):
+            evaluate_predictor(
+                "x", lambda X, s: np.ones(len(X)), tiny_histories.test, [9999]
+            )
+
+    def test_method_comparison_sorted(self, tiny_histories):
+        results = run_method_comparison(
+            tiny_histories, baselines=["direct-ridge", "direct-knn"]
+        )
+        names = [r.name for r in results]
+        assert "two-level" in names
+        overall = [r.overall_mape for r in results]
+        assert overall == sorted(overall)
+
+    def test_method_comparison_without_two_level(self, tiny_histories):
+        results = run_method_comparison(
+            tiny_histories, baselines=["direct-ridge"], include_two_level=False
+        )
+        assert [r.name for r in results] == ["direct-ridge"]

@@ -1,0 +1,59 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.analysis import (
+    AggregatedScores,
+    ExperimentConfig,
+    repeat_method_comparison,
+)
+
+TINY = ExperimentConfig(
+    app_name="fft2d",
+    small_scales=(32, 64, 128),
+    large_scales=(256,),
+    n_train_configs=12,
+    n_test_configs=4,
+    repetitions=1,
+    n_clusters=2,
+)
+
+
+class TestRepeatComparison:
+    @pytest.fixture(scope="class")
+    def aggregated(self):
+        return repeat_method_comparison(
+            TINY, seeds=[1, 2], baselines=["direct-ridge"]
+        )
+
+    def test_structure(self, aggregated):
+        names = {a.name for a in aggregated}
+        assert names == {"two-level", "direct-ridge"}
+        for a in aggregated:
+            assert a.n_seeds == 2
+            assert set(a.mean_by_scale) == {256}
+            assert a.overall_std >= 0.0
+
+    def test_sorted_by_mean(self, aggregated):
+        means = [a.overall_mean for a in aggregated]
+        assert means == sorted(means)
+
+    def test_mean_consistent_with_scales(self, aggregated):
+        for a in aggregated:
+            assert a.overall_mean == pytest.approx(a.mean_by_scale[256])
+
+    def test_empty_seeds_raise(self):
+        with pytest.raises(ValueError):
+            repeat_method_comparison(TINY, seeds=[])
+
+
+class TestModelReport:
+    def test_report_contents(self):
+        from repro.analysis import build_histories, fit_two_level
+
+        h = build_histories(TINY.with_(seed=3))
+        model = fit_two_level(h)
+        text = model.report(cv_splits=3)
+        assert "interpolation level" in text
+        assert "cluster 0" in text
+        assert "t(p) ~" in text

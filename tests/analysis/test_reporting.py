@@ -1,0 +1,71 @@
+"""Tests for the ASCII table/series renderers."""
+
+import pytest
+
+from repro.analysis import ascii_table, format_percent, series_block
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.1234) == "12.3%"
+
+    def test_digits(self):
+        assert format_percent(0.1234, digits=2) == "12.34%"
+
+
+class TestAsciiTable:
+    def test_contains_all_cells(self):
+        out = ascii_table(["name", "mape"], [["two-level", "12.3%"]])
+        assert "two-level" in out and "12.3%" in out
+
+    def test_title_first_line(self):
+        out = ascii_table(["a"], [["1"]], title="Table 2")
+        assert out.splitlines()[0] == "Table 2"
+
+    def test_alignment_numeric_right(self):
+        out = ascii_table(["v"], [["1"], ["100"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        # The 1 must be right-aligned under 100.
+        assert lines[-2].index("1") > lines[-1].index("1") - 3
+        assert "|   1 |" in out
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="width"):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            ascii_table([], [])
+
+    def test_no_rows_renders_header(self):
+        out = ascii_table(["col"], [])
+        assert "col" in out
+
+    def test_consistent_line_widths(self):
+        out = ascii_table(
+            ["method", "p=1024", "p=2048"],
+            [["two-level", "10.0%", "20.0%"], ["rf", "100.0%", "200.0%"]],
+        )
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1
+
+
+class TestSeriesBlock:
+    def test_renders_series_rows(self):
+        out = series_block(
+            "Figure 1",
+            "p",
+            [1024, 2048],
+            {"two-level": [0.1, 0.2], "rf": [0.5, 1.0]},
+        )
+        assert "Figure 1" in out
+        assert "two-level" in out and "rf" in out
+        assert "0.100" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="values"):
+            series_block("f", "p", [1, 2], {"a": [0.1]})
+
+    def test_custom_format(self):
+        out = series_block("f", "p", [1], {"a": [0.123456]}, y_format="{:.1f}")
+        assert "0.1" in out and "0.12" not in out

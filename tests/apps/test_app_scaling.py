@@ -1,0 +1,118 @@
+"""App-specific scaling-behavior tests: each application must exhibit the
+communication regime its docstring promises, because those regime
+differences are what make the extrapolation problem (and the clustering
+step) meaningful."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.sim import Executor, NoiseModel
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0))
+
+
+class TestStencil3D:
+    def test_compute_dominated_for_large_grid(self, ex):
+        app = get_app("stencil3d")
+        params = {"nx": 512, "iterations": 200, "ghost": 1, "check_freq": 25}
+        rec = ex.run(app, params, 64)
+        assert rec.comm_fraction < 0.3
+
+    def test_latency_dominated_for_small_grid_large_p(self, ex):
+        app = get_app("stencil3d")
+        params = {"nx": 48, "iterations": 200, "ghost": 1, "check_freq": 25}
+        rec = ex.run(app, params, 4096)
+        assert rec.comm_fraction > 0.7
+
+    def test_ghost_width_increases_halo_and_flops(self, ex):
+        app = get_app("stencil3d")
+        base = {"nx": 128, "iterations": 100, "ghost": 1, "check_freq": 25}
+        thick = dict(base, ghost=4)
+        assert ex.model_time(app, thick, 256) > ex.model_time(app, base, 256)
+
+    def test_check_freq_controls_allreduce_count(self, ex):
+        app = get_app("stencil3d")
+        rare = {"nx": 64, "iterations": 400, "ghost": 1, "check_freq": 50}
+        often = dict(rare, check_freq=5)
+        # More residual checks -> more allreduce latency at scale.
+        assert ex.model_time(app, often, 2048) > ex.model_time(app, rare, 2048)
+
+    def test_iterations_scale_runtime_linearly(self, ex):
+        app = get_app("stencil3d")
+        p1 = {"nx": 128, "iterations": 100, "ghost": 1, "check_freq": 10}
+        p2 = dict(p1, iterations=200)
+        r = ex.model_time(app, p2, 64) / ex.model_time(app, p1, 64)
+        assert r == pytest.approx(2.0, rel=0.05)
+
+
+class TestNBody:
+    def test_cutoff_increases_force_work(self, ex):
+        app = get_app("nbody")
+        base = {"n_particles": 1e5, "timesteps": 50, "cutoff": 2.5,
+                "density": 0.8, "rebuild_every": 10}
+        wide = dict(base, cutoff=5.0)
+        assert ex.model_time(app, wide, 64) > 2.0 * ex.model_time(app, base, 64)
+
+    def test_allreduce_every_step(self, ex):
+        app = get_app("nbody")
+        params = {"n_particles": 2e4, "timesteps": 400, "cutoff": 2.0,
+                  "density": 0.4, "rebuild_every": 10}
+        rec = ex.run(app, params, 2048)
+        reduce_phase = next(p for p in rec.phases if p.name == "global_reduce")
+        assert reduce_phase.comm_time > 0
+
+    def test_density_increases_work(self, ex):
+        app = get_app("nbody")
+        base = {"n_particles": 1e5, "timesteps": 50, "cutoff": 3.0,
+                "density": 0.4, "rebuild_every": 10}
+        dense = dict(base, density=1.2)
+        assert ex.model_time(app, dense, 64) > ex.model_time(app, base, 64)
+
+
+class TestCG:
+    def test_allreduce_latency_wall_at_scale(self, ex):
+        # Small system, many iterations: at large p the dot-product
+        # allreduces dominate everything.
+        app = get_app("cg")
+        params = {"n": 1e5, "nnz_per_row": 7, "iterations": 600}
+        rec = ex.run(app, params, 4096)
+        dot = next(p for p in rec.phases if p.name == "dot_products")
+        assert dot.comm_time > 0.5 * rec.comm_time
+
+    def test_spmv_scales_with_nnz(self, ex):
+        app = get_app("cg")
+        sparse = {"n": 1e6, "nnz_per_row": 5, "iterations": 100}
+        dense = dict(sparse, nnz_per_row=81)
+        assert ex.model_time(app, dense, 64) > 3.0 * ex.model_time(app, sparse, 64)
+
+
+class TestFFT2D:
+    def test_alltoall_dominates_communication(self, ex):
+        app = get_app("fft2d")
+        params = {"n": 4096, "batches": 8}
+        rec = ex.run(app, params, 1024)
+        transpose = next(p for p in rec.phases if p.name == "transpose")
+        assert transpose.comm_time == pytest.approx(rec.comm_time)
+
+    def test_runtime_can_rise_at_scale(self, ex):
+        # The latency term of the alltoall grows ~linearly with p: for a
+        # small transform the curve must turn upward.
+        app = get_app("fft2d")
+        params = {"n": 512, "batches": 4}
+        t256 = ex.model_time(app, params, 256)
+        t4096 = ex.model_time(app, params, 4096)
+        assert t4096 > t256
+
+    def test_flops_follow_n2_logn(self, ex):
+        app = get_app("fft2d")
+        small = {"n": 1024, "batches": 4}
+        big = {"n": 2048, "batches": 4}
+        phases_small = app.phases(small, 1)
+        phases_big = app.phases(big, 1)
+        f_ratio = phases_big[0].flops / phases_small[0].flops
+        expected = (2048**2 * np.log2(2048)) / (1024**2 * np.log2(1024))
+        assert f_ratio == pytest.approx(expected, rel=0.01)

@@ -1,0 +1,159 @@
+"""Cross-application contract tests, parametrized over every shipped app."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.sim import Executor, NoiseModel
+
+APP_NAMES = sorted(ALL_APPS)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0))
+
+
+def mid_params(app):
+    """Geometric midpoint of every parameter range."""
+    out = {}
+    for spec in app.param_specs():
+        mid = np.sqrt(spec.low * spec.high) if spec.log else (spec.low + spec.high) / 2
+        out[spec.name] = float(round(mid)) if spec.integer else float(mid)
+    return out
+
+
+class TestRegistry:
+    def test_get_app_by_name(self):
+        for name in APP_NAMES:
+            assert get_app(name).name == name
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ValueError, match="Unknown application"):
+            get_app("lammps")
+
+    def test_at_least_four_apps(self):
+        assert len(APP_NAMES) >= 4
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestAppContract:
+    def test_param_specs_well_formed(self, name):
+        app = get_app(name)
+        specs = app.param_specs()
+        assert len(specs) >= 2
+        assert len({s.name for s in specs}) == len(specs)
+
+    def test_sampled_params_validate(self, name):
+        app = get_app(name)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            app.validate_params(app.sample_params(rng))
+
+    def test_phases_positive_volumes(self, name, executor):
+        app = get_app(name)
+        for p in [1, 4, 64, 1024]:
+            phases = app.phases(mid_params(app), p)
+            assert phases
+            assert sum(ph.flops for ph in phases) > 0
+            for ph in phases:
+                assert ph.flops >= 0 and ph.mem_bytes >= 0
+                for op in ph.comm:
+                    assert op.nbytes >= 0 and op.count >= 0
+
+    def test_no_communication_single_proc(self, name, executor):
+        app = get_app(name)
+        rec = executor.run(app, mid_params(app), 1)
+        assert rec.comm_time == 0.0
+
+    def test_runtime_positive_all_scales(self, name, executor):
+        app = get_app(name)
+        for p in [1, 2, 32, 128, 1024, 4096]:
+            assert executor.model_time(app, mid_params(app), p) > 0
+
+    def test_initial_strong_scaling(self, name, executor):
+        # Going 1 -> 8 nodes (32 -> 256 procs) must speed up the mid-size
+        # problem; communication cannot dominate that early at mid params.
+        app = get_app(name)
+        t32 = executor.model_time(app, mid_params(app), 32)
+        t256 = executor.model_time(app, mid_params(app), 256)
+        assert t256 < t32
+
+    def test_work_monotone_in_dominant_size_param(self, name, executor):
+        # Doubling the app's leading size parameter increases runtime.
+        leading = {
+            "stencil3d": "nx",
+            "nbody": "n_particles",
+            "cg": "n",
+            "fft2d": "n",
+            "wavefront": "nx",
+        }[name]
+        app = get_app(name)
+        base = mid_params(app)
+        spec = {s.name: s for s in app.param_specs()}[leading]
+        bigger = dict(base)
+        bigger[leading] = spec.clip(base[leading] * 2)
+        if bigger[leading] == base[leading]:
+            pytest.skip("range too narrow to double")
+        assert executor.model_time(app, bigger, 64) > executor.model_time(
+            app, base, 64
+        )
+
+    def test_vector_roundtrip(self, name):
+        app = get_app(name)
+        params = mid_params(app)
+        vec = app.params_to_vector(params)
+        back = app.vector_to_params(vec)
+        assert back == params
+
+    def test_vector_wrong_length_raises(self, name):
+        app = get_app(name)
+        with pytest.raises(ValueError):
+            app.vector_to_params(np.zeros(len(app.param_names) + 1))
+
+    def test_out_of_range_param_rejected(self, name):
+        app = get_app(name)
+        params = mid_params(app)
+        spec = app.param_specs()[0]
+        params[spec.name] = spec.high * 10
+        with pytest.raises(ValueError, match="outside"):
+            app.validate_params(params)
+
+
+class TestParamSpec:
+    def test_log_sampling_spans_decades(self):
+        from repro.apps.base import ParamSpec
+
+        spec = ParamSpec("x", 1.0, 1e4, log=True)
+        rng = np.random.default_rng(0)
+        draws = np.array([spec.sample(rng) for _ in range(500)])
+        # Log-uniform: about half the mass below the geometric mean.
+        frac_below = np.mean(draws < 100.0)
+        assert 0.35 < frac_below < 0.65
+
+    def test_integer_rounding(self):
+        from repro.apps.base import ParamSpec
+
+        spec = ParamSpec("k", 1, 9, integer=True)
+        rng = np.random.default_rng(0)
+        assert all(spec.sample(rng) == round(spec.sample(rng)) or True
+                   for _ in range(5))
+        assert spec.clip(4.7) == 5.0
+
+    def test_invalid_specs_raise(self):
+        from repro.apps.base import ParamSpec
+
+        with pytest.raises(ValueError):
+            ParamSpec("", 0, 1)
+        with pytest.raises(ValueError):
+            ParamSpec("x", 2, 1)
+        with pytest.raises(ValueError):
+            ParamSpec("x", 0, 1, log=True)
+
+    def test_contains(self):
+        from repro.apps.base import ParamSpec
+
+        spec = ParamSpec("k", 1, 9, integer=True)
+        assert spec.contains(3)
+        assert not spec.contains(3.5)
+        assert not spec.contains(10)

@@ -1,0 +1,63 @@
+"""Property-based tests over every application's parameter space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import ALL_APPS, get_app
+from repro.sim import Executor, NoiseModel
+
+APP_NAMES = sorted(ALL_APPS)
+QUIET = Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0))
+
+
+def params_from_seed(app, seed):
+    rng = np.random.default_rng(seed)
+    return app.sample_params(rng)
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestAppProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_phases_valid_for_any_sampled_config(self, name, seed):
+        app = get_app(name)
+        params = params_from_seed(app, seed)
+        p = int(2 ** np.random.default_rng(seed).integers(0, 13))
+        phases = app.phases(params, max(p, 1))
+        assert phases
+        for ph in phases:
+            assert np.isfinite(ph.flops) and ph.flops >= 0
+            assert np.isfinite(ph.mem_bytes) and ph.mem_bytes >= 0
+            for op in ph.comm:
+                assert np.isfinite(op.nbytes) and op.nbytes >= 0
+                assert op.count >= 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_runtime_positive_and_finite(self, name, seed):
+        app = get_app(name)
+        params = params_from_seed(app, seed)
+        t = QUIET.model_time(app, params, 64)
+        assert np.isfinite(t) and t > 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_total_work_conserved_or_reduced_per_proc(self, name, seed):
+        """Per-process flops at 2p are at most the per-process flops at
+        p (work is divided, never magically multiplied)."""
+        app = get_app(name)
+        params = params_from_seed(app, seed)
+        f_p = sum(ph.flops for ph in app.phases(params, 64))
+        f_2p = sum(ph.flops for ph in app.phases(params, 128))
+        assert f_2p <= f_p * 1.05
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, name, seed):
+        app = get_app(name)
+        params = params_from_seed(app, seed)
+        a = app.phases(params, 256)
+        b = app.phases(params, 256)
+        assert a == b

@@ -1,0 +1,111 @@
+"""Tests for the weak-scaling application adapter."""
+
+import numpy as np
+import pytest
+
+from repro.apps import WeakScaling, get_app, weak_fft, weak_stencil
+from repro.apps.base import ParamSpec
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator
+from repro.sim import Executor, NoiseModel
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0))
+
+
+class TestAdapterConstruction:
+    def test_param_space_swaps_size_param(self):
+        app = weak_stencil()
+        assert "nx" not in app.param_names
+        assert "nx_per_proc" in app.param_names
+        # All other inner parameters survive.
+        assert {"iterations", "ghost", "check_freq"} <= set(app.param_names)
+
+    def test_name_prefixed(self):
+        assert weak_stencil().name == "weak-stencil3d"
+        assert weak_fft().name == "weak-fft2d"
+
+    def test_unknown_size_param_raises(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            WeakScaling(
+                get_app("stencil3d"),
+                size_param="npoints",
+                per_proc_spec=ParamSpec("x", 1, 2),
+                grow=lambda s, p: s * p,
+            )
+
+    def test_colliding_name_raises(self):
+        with pytest.raises(ValueError, match="collides"):
+            WeakScaling(
+                get_app("stencil3d"),
+                size_param="nx",
+                per_proc_spec=ParamSpec("ghost", 1, 2),
+                grow=lambda s, p: s * p,
+            )
+
+
+class TestWeakScalingSemantics:
+    def test_global_size_grows_with_p(self, ex):
+        app = weak_stencil()
+        params = {"nx_per_proc": 24, "iterations": 100, "ghost": 1,
+                  "check_freq": 10}
+        # Per-process compute volume must stay ~constant: total flops of
+        # the sweep phase scale ~linearly with p.
+        f32 = app.phases(params, 32)[0].flops
+        f2048 = app.phases(params, 2048)[0].flops
+        assert f2048 == pytest.approx(f32, rel=0.25)
+
+    def test_runtime_near_flat_for_stencil(self, ex):
+        app = weak_stencil()
+        params = {"nx_per_proc": 24, "iterations": 100, "ghost": 1,
+                  "check_freq": 10}
+        t32 = ex.model_time(app, params, 32)
+        t4096 = ex.model_time(app, params, 4096)
+        # Ideal weak scaling is flat; overheads may grow it, but far
+        # less than the 128x process growth.
+        assert t4096 < 4.0 * t32
+
+    def test_fft_per_proc_cells_fixed(self):
+        app = weak_fft()
+        params = {"n_per_sqrt_p": 64, "batches": 4}
+        # Inner n = 64 * sqrt(p): per-process cells n^2/p = 64^2 const.
+        ph32 = app.phases(params, 32)
+        ph2048 = app.phases(params, 2048)
+        assert ph2048[0].flops / ph32[0].flops == pytest.approx(
+            np.log2(64 * np.sqrt(2048)) / np.log2(64 * np.sqrt(32)), rel=0.02
+        )
+
+    def test_sampled_params_validate(self):
+        rng = np.random.default_rng(0)
+        for app in (weak_stencil(), weak_fft()):
+            for _ in range(10):
+                app.validate_params(app.sample_params(rng))
+
+    def test_no_silent_clipping_in_range(self):
+        # The per-process ranges were chosen so the grown global size
+        # stays inside the inner bounds up to p=4096.
+        app = weak_stencil()
+        spec = app._inner_size_spec
+        for per_proc in (16, 32):
+            for p in (32, 512, 4096):
+                grown = app.grow(per_proc, p)
+                assert spec.low <= grown <= spec.high + 0.5, (per_proc, p)
+
+
+class TestWeakScalingPipeline:
+    def test_two_level_model_on_weak_app(self):
+        app = weak_stencil()
+        gen = HistoryGenerator(app, seed=9)
+        train = gen.collect(gen.sample_configs(30), [32, 64, 128, 256],
+                            repetitions=1)
+        test = gen.collect(gen.sample_configs(8), [512, 1024], repetitions=1)
+        model = TwoLevelModel(small_scales=[32, 64, 128, 256], n_clusters=2,
+                              random_state=0).fit(train)
+        for s in (512, 1024):
+            sub = test.at_scale(s)
+            pred = model.predict(sub.X, [s])[:, 0]
+            rel = np.abs(pred - sub.runtime) / sub.runtime
+            # Near-flat curves extrapolate easily: tight bound.
+            assert np.median(rel) < 0.5

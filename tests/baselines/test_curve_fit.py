@@ -1,0 +1,131 @@
+"""Tests for the Extra-P-style curve fitting and analytic speedup laws."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AmdahlModel,
+    CurveFitBaseline,
+    UniversalScalabilityModel,
+    fit_amdahl,
+    fit_performance_model,
+    fit_usl,
+)
+
+SCALES = [32, 64, 128, 256, 512]
+P = np.asarray(SCALES, dtype=float)
+
+
+class TestPerformanceModelFit:
+    def test_recovers_inverse_law(self):
+        t = 0.05 + 40.0 / P
+        model = fit_performance_model(SCALES, t)
+        assert model.exponent == pytest.approx(-1.0)
+        assert model.log_exponent == 0.0
+        assert model.c1 == pytest.approx(40.0, rel=0.01)
+        assert model.c0 == pytest.approx(0.05, rel=0.05)
+
+    def test_recovers_log_law(self):
+        t = 0.01 + 0.004 * np.log2(P)
+        model = fit_performance_model(SCALES, t)
+        assert model.exponent == 0.0
+        assert model.log_exponent == 1.0
+
+    def test_extrapolation_accuracy(self):
+        fn = lambda p: 0.02 + 8.0 / p
+        model = fit_performance_model(SCALES, fn(P))
+        large = np.array([2048.0, 8192.0])
+        np.testing.assert_allclose(model(large), fn(large), rtol=0.05)
+
+    def test_predictions_positive_everywhere(self):
+        model = fit_performance_model(SCALES, 1.0 / P)
+        assert np.all(model(np.array([1.0, 1e6])) > 0)
+
+    def test_cv_error_small_for_exact_law(self):
+        model = fit_performance_model(SCALES, 3.0 / P + 0.1)
+        assert model.cv_error < 1e-6
+
+    def test_describe(self):
+        model = fit_performance_model(SCALES, 3.0 / P + 0.1)
+        assert "p^" in model.describe()
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            fit_performance_model([2, 4], [1.0, 0.5])
+
+    def test_nonpositive_runtime_raises(self):
+        with pytest.raises(ValueError):
+            fit_performance_model(SCALES, [1, 1, 1, 1, 0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fit_performance_model(SCALES, [1.0, 2.0])
+
+
+class TestCurveFitBaseline:
+    def test_per_config_models(self):
+        S = np.vstack([5.0 / P + 0.01, 0.02 * np.log2(P) + 0.05])
+        bl = CurveFitBaseline(SCALES).fit(S)
+        assert len(bl.models_) == 2
+        pred = bl.predict([1024, 4096])
+        assert pred.shape == (2, 2)
+        # First config keeps decaying, second keeps rising.
+        assert pred[0, 1] < pred[0, 0]
+        assert pred[1, 1] > pred[1, 0]
+
+    def test_wrong_width_raises(self):
+        with pytest.raises(ValueError):
+            CurveFitBaseline(SCALES).fit(np.ones((2, 3)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CurveFitBaseline(SCALES).predict([1024])
+
+    def test_needs_three_scales(self):
+        with pytest.raises(ValueError):
+            CurveFitBaseline([2, 4])
+
+
+class TestAmdahl:
+    def test_recovers_serial_fraction(self):
+        true = AmdahlModel(t1=100.0, serial_fraction=0.05)
+        model = fit_amdahl(SCALES, true(P))
+        assert model.serial_fraction == pytest.approx(0.05, abs=0.01)
+        np.testing.assert_allclose(model(P), true(P), rtol=0.02)
+
+    def test_perfectly_parallel(self):
+        t = 64.0 / P
+        model = fit_amdahl(SCALES, t)
+        assert model.serial_fraction < 0.01
+
+    def test_fully_serial(self):
+        model = fit_amdahl(SCALES, np.full(5, 7.0))
+        assert model.serial_fraction > 0.95
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            fit_amdahl([4], [1.0])
+
+
+class TestUSL:
+    def test_recovers_contention_curve(self):
+        true = UniversalScalabilityModel(t1=50.0, sigma=0.02, kappa=1e-4)
+        model = fit_usl(SCALES, true(P))
+        np.testing.assert_allclose(model(P), true(P), rtol=0.1)
+
+    def test_kappa_models_retrograde_scaling(self):
+        # Runtime that rises again at scale requires kappa > 0.
+        true = UniversalScalabilityModel(t1=50.0, sigma=0.01, kappa=5e-4)
+        model = fit_usl(SCALES, true(P))
+        assert model.kappa > 0
+
+    def test_speedup_peak_exists_with_kappa(self):
+        model = UniversalScalabilityModel(t1=1.0, sigma=0.0, kappa=1e-3)
+        s = model.speedup(np.array([4.0, 32.0, 1024.0]))
+        assert s[1] > s[0] and s[2] < s[1]
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            fit_usl([2, 4], [1.0, 0.5])
+        with pytest.raises(ValueError):
+            fit_usl(SCALES, [1, 1, 1, 1, -1])

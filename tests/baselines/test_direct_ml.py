@@ -1,0 +1,146 @@
+"""Tests for the direct-ML baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_FACTORIES, DirectMLBaseline, make_baseline
+from repro.ml import LinearRegression
+
+
+class TestRegistry:
+    def test_expected_baselines_present(self):
+        expected = {
+            "direct-rf",
+            "direct-gbdt",
+            "direct-lasso",
+            "direct-ridge",
+            "direct-knn",
+            "direct-svr",
+            "direct-mlp",
+            "direct-ensemble",
+            "direct-powerlaw",
+        }
+        assert expected == set(BASELINE_FACTORIES)
+
+    def test_make_baseline(self):
+        bl = make_baseline("direct-rf", seed=1)
+        assert isinstance(bl, DirectMLBaseline)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="Unknown baseline"):
+            make_baseline("direct-xgboost")
+
+
+class TestDirectMLBaseline:
+    def test_fit_predict_shapes(self, tiny_history):
+        bl = make_baseline("direct-rf", seed=0).fit(tiny_history)
+        X = tiny_history.unique_configs()
+        pred = bl.predict(X, 512)
+        assert pred.shape == (len(X),)
+        assert np.all(pred > 0)
+
+    def test_scalar_and_vector_nprocs(self, tiny_history):
+        bl = make_baseline("direct-ridge").fit(tiny_history)
+        X = tiny_history.unique_configs()[:3]
+        a = bl.predict(X, 128)
+        b = bl.predict(X, np.full(3, 128))
+        np.testing.assert_allclose(a, b)
+
+    def test_predict_dataset(self, tiny_history):
+        bl = make_baseline("direct-knn").fit(tiny_history)
+        preds = bl.predict_dataset(tiny_history)
+        assert preds.shape == (len(tiny_history),)
+
+    def test_predict_before_fit_raises(self, tiny_history):
+        bl = make_baseline("direct-rf")
+        with pytest.raises(RuntimeError):
+            bl.predict(tiny_history.unique_configs(), 64)
+
+    def test_interpolation_accuracy_in_range(self, tiny_history):
+        # Inside its training scales, direct RF is a fine interpolator.
+        bl = make_baseline("direct-rf", seed=0).fit(tiny_history)
+        sub = tiny_history.at_scale(64)
+        rel = np.abs(bl.predict(sub.X, 64) - sub.runtime) / sub.runtime
+        assert np.median(rel) < 0.3
+
+    def test_tree_baseline_clamps_beyond_range(self, tiny_history):
+        # The motivating failure: a forest cannot extrapolate in p —
+        # predictions at 2x and 8x the largest training scale coincide.
+        bl = make_baseline("direct-rf", seed=0).fit(tiny_history)
+        X = tiny_history.unique_configs()[:5]
+        p512 = bl.predict(X, 512)
+        p2048 = bl.predict(X, 2048)
+        np.testing.assert_allclose(p512, p2048, rtol=1e-6)
+
+    def test_log_p_feature_off(self, tiny_history):
+        bl = DirectMLBaseline(LinearRegression(), log_p_feature=False).fit(
+            tiny_history
+        )
+        assert np.all(bl.predict(tiny_history.unique_configs(), 512) > 0)
+
+    def test_log_target_off(self, tiny_history):
+        bl = DirectMLBaseline(LinearRegression(), log_target=False).fit(
+            tiny_history
+        )
+        pred = bl.predict(tiny_history.unique_configs(), 512)
+        assert np.all(pred > 0)  # floored
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_FACTORIES))
+    def test_all_baselines_run_end_to_end(self, tiny_history, name):
+        bl = make_baseline(name, seed=0).fit(tiny_history)
+        pred = bl.predict(tiny_history.unique_configs(), 1024)
+        assert np.all(np.isfinite(pred)) and np.all(pred > 0)
+
+
+class TestEnsembleBaseline:
+    def test_geometric_mean_of_members(self, tiny_history):
+        from repro.baselines.direct_ml import EnsembleOfBaselines, _lasso, _ridge
+
+        members = [_lasso(0), _ridge(0)]
+        ens = EnsembleOfBaselines(members).fit(tiny_history)
+        X = tiny_history.unique_configs()[:4]
+        expected = np.exp(
+            np.mean([np.log(m.predict(X, 512)) for m in members], axis=0)
+        )
+        np.testing.assert_allclose(ens.predict(X, 512), expected)
+
+    def test_empty_ensemble_rejected(self):
+        from repro.baselines.direct_ml import EnsembleOfBaselines
+
+        with pytest.raises(ValueError):
+            EnsembleOfBaselines([])
+
+    def test_predict_before_fit_raises(self, tiny_history):
+        from repro.baselines.direct_ml import EnsembleOfBaselines, _ridge
+
+        ens = EnsembleOfBaselines([_ridge(0)])
+        with pytest.raises(RuntimeError):
+            ens.predict(tiny_history.unique_configs(), 512)
+
+
+class TestPowerLawBaseline:
+    def test_fits_exact_power_law(self, rng):
+        # Synthetic t = 2 * a^1.5 * b^-1 * p^-0.8: recovered exactly.
+        from repro.data import ExecutionDataset
+
+        n = 120
+        a = rng.uniform(1, 100, n)
+        b = rng.uniform(1, 10, n)
+        p = rng.choice([4, 8, 16, 32], size=n)
+        t = 2.0 * a**1.5 / b * p**-0.8
+        ds = ExecutionDataset("toy", ("a", "b"), np.column_stack([a, b]),
+                              p, t, t)
+        bl = make_baseline("direct-powerlaw").fit(ds)
+        X_new = np.array([[50.0, 5.0]])
+        expected = 2.0 * 50**1.5 / 5 * 1024**-0.8
+        assert bl.predict(X_new, 1024)[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_nonpositive_param_rejected(self, tiny_history):
+        from repro.baselines import DirectMLBaseline
+        from repro.ml import LinearRegression
+
+        bl = DirectMLBaseline(LinearRegression(), log_x_features=True,
+                              standardize=False)
+        bl.fit(tiny_history)
+        with pytest.raises(ValueError, match="positive"):
+            bl.predict(np.array([[0.0] * tiny_history.n_params]), 64)

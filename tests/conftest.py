@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Heavier fixtures (simulated histories) are session-scoped: the datasets
+are immutable, so sharing them across tests is safe and keeps the suite
+fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.data import HistoryGenerator
+from repro.sim import Executor, NoiseModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def linear_data(rng):
+    """Well-conditioned sparse linear problem (200 x 8, 3 active)."""
+    X = rng.normal(size=(200, 8))
+    w = np.array([3.0, -2.0, 0.0, 0.0, 1.5, 0.0, 0.0, 0.0])
+    y = X @ w + 0.5 + 0.01 * rng.normal(size=200)
+    return X, y, w
+
+
+@pytest.fixture
+def nonlinear_data(rng):
+    """Smooth nonlinear regression problem for tree/kernel learners."""
+    X = rng.uniform(-2, 2, size=(300, 3))
+    y = np.sin(X[:, 0]) + X[:, 1] ** 2 + 0.5 * X[:, 2] + 0.05 * rng.normal(size=300)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def stencil_app():
+    return get_app("stencil3d")
+
+
+@pytest.fixture(scope="session")
+def noise_free_executor():
+    return Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0), seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_history(noise_free_executor):
+    """20 configs x 4 scales x 1 rep noise-free stencil history."""
+    app = get_app("stencil3d")
+    gen = HistoryGenerator(app, executor=noise_free_executor, seed=3)
+    return gen.generate(20, scales=[32, 64, 128, 256], repetitions=1)
+
+
+@pytest.fixture(scope="session")
+def noisy_history():
+    """30 configs x 5 small scales x 2 reps noisy stencil history."""
+    app = get_app("stencil3d")
+    gen = HistoryGenerator(app, seed=11)
+    return gen.generate(30, scales=[32, 64, 128, 256, 512], repetitions=2)

@@ -1,0 +1,109 @@
+"""Additional edge cases for the extrapolation level: intercept
+hypotheses, validation-ratio knob, and the independent-selection
+predict path."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteredScalingExtrapolator
+
+SMALL = (32, 64, 128, 256, 512)
+LARGE = (1024, 4096)
+
+
+def decay_curves(n, rng):
+    """Pure a/p curves — the intercept-free hypothesis is exactly
+    right and a fitted floor would cause premature flattening."""
+    p = np.asarray(SMALL, dtype=float)
+    amps = rng.uniform(5.0, 50.0, size=n)
+    return amps[:, None] / p[None, :], amps
+
+
+class TestInterceptHypothesis:
+    def test_pure_decay_selects_no_intercept(self, rng):
+        S, amps = decay_curves(25, rng)
+        model = ClusteredScalingExtrapolator(SMALL, n_clusters=1,
+                                             random_state=0).fit(S)
+        assert model.intercepts_[0] is False or model.intercepts_[0] == False  # noqa: E712
+        # Extrapolation continues the decay exactly.
+        pred = model.predict(S, LARGE)
+        expected = amps[:, None] / np.asarray(LARGE, dtype=float)[None, :]
+        np.testing.assert_allclose(pred, expected, rtol=1e-3)
+
+    def test_flat_curves_select_intercept(self, rng):
+        # Constant runtimes: intercept-only is the right hypothesis.
+        levels = rng.uniform(1.0, 5.0, size=15)
+        S = np.repeat(levels[:, None], len(SMALL), axis=1)
+        model = ClusteredScalingExtrapolator(SMALL, n_clusters=1,
+                                             random_state=0).fit(S)
+        assert model.intercepts_[0] is True or model.intercepts_[0] == True  # noqa: E712
+        pred = model.predict(S, LARGE)
+        np.testing.assert_allclose(
+            pred, np.repeat(levels[:, None], len(LARGE), axis=1), rtol=1e-6
+        )
+
+    def test_support_names_flag_intercept(self, rng):
+        levels = rng.uniform(1.0, 5.0, size=10)
+        S = np.repeat(levels[:, None], len(SMALL), axis=1)
+        model = ClusteredScalingExtrapolator(SMALL, n_clusters=1,
+                                             random_state=0).fit(S)
+        assert "1" in model.support_names()[0]
+
+
+class TestValRatio:
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteredScalingExtrapolator(SMALL, val_ratio=0.5)
+
+    def test_ratio_changes_split(self):
+        a = ClusteredScalingExtrapolator(SMALL, val_ratio=2.0)
+        a._design_small = a.basis.design_matrix(SMALL)
+        b = ClusteredScalingExtrapolator(SMALL, val_ratio=8.0)
+        b._design_small = b.basis.design_matrix(SMALL)
+        fit_a, val_a = a._validation_split()
+        fit_b, val_b = b._validation_split()
+        # Larger ratio holds out more scales.
+        assert len(val_b) >= len(val_a)
+
+    def test_extreme_ratio_falls_back(self):
+        model = ClusteredScalingExtrapolator(SMALL, val_ratio=1000.0)
+        model._design_small = model.basis.design_matrix(SMALL)
+        fit_idx, val_idx = model._validation_split()
+        assert len(fit_idx) >= 2 and len(val_idx) >= 1
+
+
+class TestIndependentPredictPath:
+    def test_reselects_per_config(self, rng):
+        # Mix decaying and rising curves; independent mode must fit
+        # each test curve with its own hypothesis.
+        p = np.asarray(SMALL, dtype=float)
+        S = np.vstack([10.0 / p, 0.01 * np.log2(p) + 0.02])
+        model = ClusteredScalingExtrapolator(
+            SMALL, n_clusters=1, selection="independent", random_state=0
+        ).fit(S)
+        pred = model.predict(S, LARGE)
+        # Decaying keeps decaying, rising keeps rising.
+        assert pred[0, 1] < pred[0, 0]
+        assert pred[1, 1] > pred[1, 0]
+
+    def test_single_config_fit(self, rng):
+        p = np.asarray(SMALL, dtype=float)
+        S = (3.0 / p)[None, :]
+        model = ClusteredScalingExtrapolator(SMALL, n_clusters=1,
+                                             random_state=0).fit(S)
+        pred = model.predict(S, LARGE)
+        assert pred.shape == (1, 2)
+        assert pred[0, 0] > pred[0, 1] > 0
+
+
+class TestClusterAssignmentConsistency:
+    def test_train_configs_assigned_to_fitted_labels(self, rng):
+        S, _ = decay_curves(20, rng)
+        rising = 0.01 * np.log2(np.asarray(SMALL, float))[None, :] + 0.02
+        S = np.vstack([S, np.repeat(rising, 20, axis=0)
+                       * rng.uniform(0.5, 2.0, size=(20, 1))])
+        model = ClusteredScalingExtrapolator(SMALL, n_clusters=2,
+                                             random_state=0).fit(S)
+        reassigned = model.assign_clusters(S)
+        agreement = np.mean(reassigned == model.labels_)
+        assert agreement > 0.95

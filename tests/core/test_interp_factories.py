@@ -1,0 +1,69 @@
+"""Tests for the interpolation-learner factory registry (Ext. D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INTERPOLATION_FACTORIES,
+    PerScaleInterpolator,
+    TwoLevelModel,
+    default_interpolation_model,
+    gbdt_interpolation_model,
+    kernel_interpolation_model,
+)
+
+
+class TestRegistry:
+    def test_expected_factories(self):
+        assert {"random-forest", "kernel-ridge", "gbdt"} == set(
+            INTERPOLATION_FACTORIES
+        )
+
+    def test_default_is_random_forest(self):
+        assert (
+            INTERPOLATION_FACTORIES["random-forest"]
+            is default_interpolation_model
+        )
+
+    @pytest.mark.parametrize("name", sorted(INTERPOLATION_FACTORIES))
+    def test_factories_build_fresh_estimators(self, name):
+        factory = INTERPOLATION_FACTORIES[name]
+        a, b = factory(0), factory(0)
+        assert a is not b
+
+
+@pytest.mark.parametrize(
+    "factory", [kernel_interpolation_model, gbdt_interpolation_model]
+)
+class TestAlternativeLearnersEndToEnd:
+    def test_interpolator_fit_predict(self, tiny_history, factory):
+        interp = PerScaleInterpolator(
+            model_factory=factory, random_state=0
+        ).fit(tiny_history)
+        S = interp.predict_matrix(tiny_history.unique_configs())
+        assert np.all(S > 0)
+        assert np.all(np.isfinite(S))
+
+    def test_two_level_fit_predict(self, tiny_history, factory):
+        model = TwoLevelModel(
+            small_scales=[32, 64, 128, 256],
+            interp_factory=factory,
+            n_clusters=2,
+            random_state=0,
+        ).fit(tiny_history)
+        pred = model.predict(tiny_history.unique_configs()[:5], [1024])
+        assert np.all(pred > 0)
+
+
+class TestKernelInterpolationAccuracy:
+    def test_beats_forest_on_smooth_noise_free_response(self, tiny_history):
+        """On the smooth noise-free stencil response, kernel ridge over
+        log parameters must interpolate at least as well as the forest
+        (the Ext. D premise)."""
+        rf = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        kr = PerScaleInterpolator(
+            model_factory=kernel_interpolation_model, random_state=0
+        ).fit(tiny_history)
+        cv_rf = np.mean(list(rf.cv_mape(n_splits=4).values()))
+        cv_kr = np.mean(list(kr.cv_mape(n_splits=4).values()))
+        assert cv_kr < cv_rf

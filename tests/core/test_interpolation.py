@@ -1,0 +1,86 @@
+"""Tests for the interpolation level (per-scale forests)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PerScaleInterpolator
+from repro.ml import Ridge
+
+
+class TestFitPredict:
+    def test_one_model_per_scale(self, tiny_history):
+        interp = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        assert interp.scales_ == (32, 64, 128, 256)
+        assert set(interp.models_) == {32, 64, 128, 256}
+
+    def test_predict_matrix_shape_and_order(self, tiny_history):
+        interp = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        X = tiny_history.unique_configs()
+        S = interp.predict_matrix(X)
+        assert S.shape == (len(X), 4)
+        np.testing.assert_allclose(S[:, 0], interp.predict_scale(X, 32))
+
+    def test_predictions_positive(self, tiny_history):
+        interp = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        S = interp.predict_matrix(tiny_history.unique_configs())
+        assert np.all(S > 0)
+
+    def test_training_accuracy_noise_free(self, tiny_history):
+        # Bootstrap forests on 20 configs cannot memorize, but training
+        # error on noise-free data must still be moderate.
+        interp = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        sub = tiny_history.at_scale(64)
+        pred = interp.predict_scale(sub.X, 64)
+        rel = np.abs(pred - sub.runtime) / sub.runtime
+        assert np.median(rel) < 0.25
+
+    def test_unknown_scale_raises(self, tiny_history):
+        interp = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        with pytest.raises(ValueError, match="No interpolation model"):
+            interp.predict_scale(tiny_history.unique_configs(), 512)
+
+    def test_unfitted_raises(self, tiny_history):
+        interp = PerScaleInterpolator()
+        with pytest.raises(RuntimeError):
+            interp.predict_matrix(tiny_history.unique_configs())
+
+    def test_custom_model_factory(self, tiny_history):
+        interp = PerScaleInterpolator(
+            model_factory=lambda seed: Ridge(alpha=1.0), random_state=0
+        ).fit(tiny_history)
+        S = interp.predict_matrix(tiny_history.unique_configs())
+        assert np.all(np.isfinite(S))
+
+    def test_log_target_off(self, tiny_history):
+        interp = PerScaleInterpolator(log_target=False, random_state=0).fit(
+            tiny_history
+        )
+        S = interp.predict_matrix(tiny_history.unique_configs())
+        assert np.all(S > 0)
+
+    def test_reproducible(self, tiny_history):
+        X = tiny_history.unique_configs()
+        a = PerScaleInterpolator(random_state=1).fit(tiny_history).predict_matrix(X)
+        b = PerScaleInterpolator(random_state=1).fit(tiny_history).predict_matrix(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_dataset_raises(self, tiny_history):
+        empty = tiny_history.select(np.zeros(len(tiny_history), dtype=bool))
+        with pytest.raises(ValueError):
+            PerScaleInterpolator().fit(empty)
+
+
+class TestDiagnostics:
+    def test_cv_mape_per_scale(self, noisy_history):
+        interp = PerScaleInterpolator(random_state=0).fit(noisy_history)
+        cv = interp.cv_mape(n_splits=3)
+        assert set(cv) == set(interp.scales_)
+        for scale, err in cv.items():
+            assert 0.0 < err < 1.0, (scale, err)
+
+    def test_measured_matrix_matches_dataset(self, tiny_history):
+        interp = PerScaleInterpolator(random_state=0).fit(tiny_history)
+        cfgs, S = interp.small_scale_matrix_from_measurements()
+        cfgs2, S2 = tiny_history.runtime_matrix([32, 64, 128, 256])
+        np.testing.assert_allclose(S, S2)
+        np.testing.assert_allclose(cfgs, cfgs2)

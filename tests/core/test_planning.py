@@ -1,0 +1,86 @@
+"""Tests for the history-augmentation planner."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core import HistoryPlanner, TwoLevelModel, kernel_interpolation_model
+from repro.data import HistoryGenerator
+
+SMALL = [32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    app = get_app("stencil3d")
+    gen = HistoryGenerator(app, seed=8)
+    train = gen.collect(gen.sample_configs(25), SMALL, repetitions=1)
+    model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                          random_state=0).fit(train)
+    return app, model
+
+
+class TestScoring:
+    def test_one_bundle_per_candidate(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app, n_candidates=10, random_state=0)
+        recs = planner.score_candidates()
+        assert len(recs) == 10
+        for r in recs:
+            assert r.scales == tuple(SMALL)
+
+    def test_sorted_by_utility(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app, n_candidates=10, random_state=0)
+        utils = [r.utility for r in planner.score_candidates()]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_fields_positive(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app, n_candidates=5, random_state=0)
+        for r in planner.score_candidates():
+            assert r.disagreement >= 0
+            assert r.est_cost_core_seconds > 0
+            app.validate_params(r.params)
+
+
+class TestPlanning:
+    def test_budget_respected(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app, n_candidates=30, random_state=0)
+        budget = 200.0
+        plan = planner.plan(budget)
+        assert plan
+        assert sum(r.est_cost_core_seconds for r in plan) <= budget
+
+    def test_bundles_unique_configs(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app, n_candidates=5, random_state=0)
+        plan = planner.plan(1e9)
+        keys = [tuple(sorted(r.params.items())) for r in plan]
+        assert len(keys) == len(set(keys))
+
+    def test_invalid_budget_raises(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app)
+        with pytest.raises(ValueError):
+            planner.plan(0.0)
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self, fitted):
+        app, _ = fitted
+        with pytest.raises(ValueError, match="fitted"):
+            HistoryPlanner(TwoLevelModel(small_scales=SMALL), app)
+
+    def test_non_ensemble_interpolator_rejected(self):
+        app = get_app("stencil3d")
+        gen = HistoryGenerator(app, seed=8)
+        train = gen.collect(gen.sample_configs(15), SMALL, repetitions=1)
+        model = TwoLevelModel(
+            small_scales=SMALL,
+            interp_factory=kernel_interpolation_model,
+            random_state=0,
+        ).fit(train)
+        with pytest.raises(ValueError, match="spread"):
+            HistoryPlanner(model, app)

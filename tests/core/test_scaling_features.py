@@ -1,0 +1,71 @@
+"""Tests for the scalability basis."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_BASIS_TERMS, ScaleBasis
+
+
+class TestScaleBasis:
+    def test_default_terms_present(self):
+        basis = ScaleBasis()
+        assert set(DEFAULT_BASIS_TERMS) == set(basis.names)
+
+    def test_design_matrix_values(self):
+        basis = ScaleBasis(["inv_p", "log_p", "p"])
+        M = basis.design_matrix([2, 4])
+        np.testing.assert_allclose(M[:, 0], [0.5, 0.25])
+        np.testing.assert_allclose(M[:, 1], [1.0, 2.0])
+        np.testing.assert_allclose(M[:, 2], [2.0, 4.0])
+
+    def test_design_matrix_shape(self):
+        basis = ScaleBasis()
+        M = basis.design_matrix([2, 4, 8, 16])
+        assert M.shape == (4, len(basis))
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(ValueError, match="Unknown basis term"):
+            ScaleBasis(["inv_p", "exp_p"])
+
+    def test_duplicate_terms_raise(self):
+        with pytest.raises(ValueError, match="Duplicate"):
+            ScaleBasis(["inv_p", "inv_p"])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ScaleBasis([])
+
+    def test_custom_callable_term(self):
+        basis = ScaleBasis([("cube", lambda p: p**3), "log_p"])
+        M = basis.design_matrix([2])
+        assert M[0, 0] == pytest.approx(8.0)
+
+    def test_scale_below_one_raises(self):
+        with pytest.raises(ValueError):
+            ScaleBasis().design_matrix([0])
+
+    def test_2d_scales_raise(self):
+        with pytest.raises(ValueError):
+            ScaleBasis().design_matrix(np.ones((2, 2)))
+
+    def test_subset(self):
+        basis = ScaleBasis(["inv_p", "log_p", "p"])
+        sub = basis.subset(np.array([True, False, True]))
+        assert sub.names == ("inv_p", "p")
+
+    def test_subset_empty_raises(self):
+        basis = ScaleBasis(["inv_p"])
+        with pytest.raises(ValueError):
+            basis.subset(np.array([False]))
+
+    def test_subset_wrong_length_raises(self):
+        basis = ScaleBasis(["inv_p", "p"])
+        with pytest.raises(ValueError):
+            basis.subset(np.array([True]))
+
+    def test_all_default_terms_positive_for_p_ge_2(self):
+        M = ScaleBasis().design_matrix([2, 16, 1024])
+        assert np.all(M > 0)
+
+    def test_repr_lists_names(self):
+        assert "inv_p" in repr(ScaleBasis(["inv_p"]))

@@ -1,0 +1,224 @@
+"""End-to-end tests of the TwoLevelModel facade."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator, scale_split
+from repro.ml.metrics import mean_absolute_percentage_error as mape
+from repro.sim import Executor, NoiseModel
+
+SMALL = [32, 64, 128, 256]
+LARGE = [512, 1024]
+
+
+@pytest.fixture(scope="module")
+def histories():
+    app = get_app("stencil3d")
+    ex = Executor(noise=NoiseModel(sigma=0.02, jitter_prob=0.0), seed=21)
+    gen = HistoryGenerator(app, executor=ex, seed=21)
+    train = gen.collect(gen.sample_configs(50), SMALL, repetitions=2)
+    test = gen.collect(gen.sample_configs(15), LARGE, repetitions=1)
+    full = gen.collect(gen.sample_configs(25), SMALL + LARGE, repetitions=1)
+    return train, test, full
+
+
+@pytest.fixture(scope="module")
+def fitted(histories):
+    train, _, _ = histories
+    return TwoLevelModel(small_scales=SMALL, n_clusters=2, random_state=0).fit(
+        train
+    )
+
+
+class TestBasisMode:
+    def test_extrapolates_with_bounded_error(self, histories, fitted):
+        _, test, _ = histories
+        for s in LARGE:
+            sub = test.at_scale(s)
+            pred = fitted.predict(sub.X, [s])[:, 0]
+            err = mape(sub.runtime, pred)
+            assert err < 0.8, f"MAPE at p={s} is {err:.2f}"
+
+    def test_beats_naive_constant_extrapolation(self, histories, fitted):
+        # Naive: predict the runtime measured at the largest small scale.
+        train, test, _ = histories
+        sub = test.at_scale(1024)
+        pred = fitted.predict(sub.X, [1024])[:, 0]
+        naive = fitted.predict_small_matrix(sub.X)[:, -1]
+        assert mape(sub.runtime, pred) < mape(sub.runtime, naive)
+
+    def test_predictions_positive(self, histories, fitted):
+        _, test, _ = histories
+        pred = fitted.predict(test.unique_configs(), [512, 1024, 4096])
+        assert np.all(pred > 0)
+
+    def test_small_scale_queries_use_interpolation(self, histories, fitted):
+        _, test, _ = histories
+        X = test.unique_configs()
+        direct = fitted.interpolator_.predict_scale(X, 64)
+        via_model = fitted.predict(X, [64])[:, 0]
+        np.testing.assert_allclose(via_model, direct)
+
+    def test_mixed_small_and_large_scales(self, histories, fitted):
+        _, test, _ = histories
+        X = test.unique_configs()[:4]
+        out = fitted.predict(X, [64, 512])
+        assert out.shape == (4, 2)
+        np.testing.assert_allclose(out[:, 0],
+                                   fitted.interpolator_.predict_scale(X, 64))
+
+    def test_predict_dataset_rowwise(self, histories, fitted):
+        _, test, _ = histories
+        preds = fitted.predict_dataset(test)
+        assert preds.shape == (len(test),)
+        assert np.all(preds > 0)
+
+    def test_evaluate_split(self, histories, fitted):
+        train, test, _ = histories
+        merged = train.merge(test)
+        split = scale_split(merged, SMALL, LARGE)
+        scores = fitted.evaluate_split(split)
+        assert set(scores) == set(LARGE)
+        assert all(v > 0 for v in scores.values())
+
+
+class TestDiagnostics:
+    def test_interpolation_cv(self, fitted):
+        cv = fitted.interpolation_cv_mape(n_splits=3)
+        assert set(cv) == set(SMALL)
+
+    def test_support_names(self, fitted):
+        names = fitted.support_names()
+        assert len(names) == fitted.extrapolator_.n_clusters_
+
+    def test_cluster_sizes(self, fitted):
+        sizes = fitted.cluster_sizes_
+        assert sizes.sum() == 50
+
+    def test_reproducible(self, histories):
+        train, test, _ = histories
+        X = test.unique_configs()
+        a = TwoLevelModel(small_scales=SMALL, random_state=3).fit(train)
+        b = TwoLevelModel(small_scales=SMALL, random_state=3).fit(train)
+        np.testing.assert_array_equal(
+            a.predict(X, LARGE), b.predict(X, LARGE)
+        )
+
+
+class TestTransferMode:
+    def test_fit_predict(self, histories):
+        train, test, full = histories
+        model = TwoLevelModel(
+            small_scales=SMALL,
+            mode="transfer",
+            large_scales=LARGE,
+            n_clusters=2,
+            random_state=0,
+        ).fit(train, large_train=full)
+        sub = test.at_scale(1024)
+        pred = model.predict(sub.X, [1024])[:, 0]
+        assert mape(sub.runtime, pred) < 1.0
+        assert np.all(pred > 0)
+
+    def test_requires_large_train(self, histories):
+        train, _, _ = histories
+        model = TwoLevelModel(
+            small_scales=SMALL, mode="transfer", large_scales=LARGE
+        )
+        with pytest.raises(ValueError, match="large_train"):
+            model.fit(train)
+
+    def test_rejects_unfitted_target_scale(self, histories):
+        train, test, full = histories
+        model = TwoLevelModel(
+            small_scales=SMALL, mode="transfer", large_scales=LARGE,
+            random_state=0,
+        ).fit(train, large_train=full)
+        with pytest.raises(ValueError, match="fitted large scales"):
+            model.predict(test.unique_configs(), [8192])
+
+    def test_transfer_without_large_scales_raises(self):
+        with pytest.raises(ValueError, match="requires large_scales"):
+            TwoLevelModel(small_scales=SMALL, mode="transfer")
+
+
+class TestValidation:
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            TwoLevelModel(small_scales=SMALL, mode="hybrid")
+
+    def test_missing_small_scale_raises(self, histories):
+        train, _, _ = histories
+        model = TwoLevelModel(small_scales=[32, 64, 999])
+        with pytest.raises(ValueError, match="lacks small scales"):
+            model.fit(train)
+
+    def test_predict_before_fit_raises(self):
+        model = TwoLevelModel(small_scales=SMALL)
+        with pytest.raises(RuntimeError):
+            model.predict(np.ones((2, 4)), [512])
+
+    def test_predict_1d_x_raises(self, histories, fitted):
+        with pytest.raises(ValueError, match="2-D"):
+            fitted.predict(np.ones(4), [512])
+
+    def test_invalid_fit_curves_on_raises(self):
+        with pytest.raises(ValueError):
+            TwoLevelModel(small_scales=SMALL, fit_curves_on="oracle")
+
+    def test_measurements_mode_fits(self, histories):
+        train, test, _ = histories
+        model = TwoLevelModel(
+            small_scales=SMALL, fit_curves_on="measurements", random_state=0
+        ).fit(train)
+        pred = model.predict(test.unique_configs(), [512])
+        assert np.all(pred > 0)
+
+
+class TestParameterImportance:
+    def test_structure_and_normalization(self, histories, fitted):
+        imp = fitted.parameter_importance(n_repeats=2)
+        assert set(imp) == set(SMALL)
+        for scale, values in imp.items():
+            assert set(values) == set(histories[0].param_names)
+            total = sum(values.values())
+            assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0
+
+    def test_grid_size_dominates_stencil(self, fitted):
+        # nx enters the runtime cubed; it must dominate importance.
+        imp = fitted.parameter_importance(n_repeats=3)
+        for scale, values in imp.items():
+            assert max(values, key=values.get) in ("nx", "iterations"), scale
+
+
+class TestCapacityPlanningAPI:
+    def test_speedup_base_is_one(self, histories, fitted):
+        _, test, _ = histories
+        X = test.unique_configs()[:4]
+        sp = fitted.predict_speedup(X, [32, 512], base_scale=32)
+        np.testing.assert_allclose(sp[:, 0], 1.0)
+        assert np.all(sp[:, 1] > 0)
+
+    def test_efficiency_bounded_reasonably(self, histories, fitted):
+        _, test, _ = histories
+        X = test.unique_configs()[:4]
+        eff = fitted.predict_efficiency(X, [64, 512], base_scale=32)
+        assert np.all(eff > 0)
+        assert np.all(eff < 2.0)  # no superlinear nonsense at this size
+
+    def test_recommend_scale_monotone_in_floor(self, histories, fitted):
+        _, test, _ = histories
+        x = test.unique_configs()[0]
+        candidates = [64, 128, 256, 512, 1024]
+        lax = fitted.recommend_scale(x, candidates, efficiency_floor=0.1)
+        strict = fitted.recommend_scale(x, candidates, efficiency_floor=0.95)
+        assert lax >= strict
+        assert lax in candidates and strict in candidates
+
+    def test_recommend_scale_validation(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.recommend_scale(np.ones(4), [64], efficiency_floor=0.0)
+        with pytest.raises(ValueError):
+            fitted.recommend_scale(np.ones(4), [], efficiency_floor=0.5)

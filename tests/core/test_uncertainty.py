@@ -1,0 +1,121 @@
+"""Tests for ensemble-based prediction intervals."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.core import EnsembleUncertainty, TwoLevelModel, kernel_interpolation_model
+from repro.data import HistoryGenerator
+
+SMALL = [32, 64, 128, 256]
+LARGE = [512, 1024]
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    app = get_app("stencil3d")
+    gen = HistoryGenerator(app, seed=5)
+    train = gen.collect(gen.sample_configs(40), SMALL, repetitions=2)
+    model = TwoLevelModel(small_scales=SMALL, n_clusters=2, random_state=0)
+    return model.fit(train), gen
+
+
+class TestPredictInterval:
+    def test_shapes(self, fitted_model):
+        model, gen = fitted_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(6)]
+        )
+        unc = EnsembleUncertainty(model, n_samples=20, random_state=0)
+        interval = unc.predict_interval(X, LARGE)
+        assert interval.median.shape == (6, 2)
+        assert interval.lower.shape == (6, 2)
+        assert interval.scales == tuple(LARGE)
+
+    def test_band_ordering_and_positivity(self, fitted_model):
+        model, gen = fitted_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(5)]
+        )
+        unc = EnsembleUncertainty(model, n_samples=25, random_state=1)
+        interval = unc.predict_interval(X, LARGE)
+        assert np.all(interval.lower > 0)
+        assert np.all(interval.lower <= interval.median + 1e-15)
+        assert np.all(interval.median <= interval.upper + 1e-15)
+
+    def test_band_nonzero_width(self, fitted_model):
+        model, gen = fitted_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(5)]
+        )
+        unc = EnsembleUncertainty(model, n_samples=25, random_state=1)
+        interval = unc.predict_interval(X, LARGE)
+        assert np.all(interval.relative_width >= 0)
+        assert interval.relative_width.max() > 0
+
+    def test_reproducible(self, fitted_model):
+        model, gen = fitted_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(3)]
+        )
+        a = EnsembleUncertainty(model, n_samples=15, random_state=2)
+        b = EnsembleUncertainty(model, n_samples=15, random_state=2)
+        np.testing.assert_array_equal(
+            a.predict_interval(X, LARGE).median,
+            b.predict_interval(X, LARGE).median,
+        )
+
+    def test_wider_level_wider_band(self, fitted_model):
+        model, gen = fitted_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(4)]
+        )
+        narrow = EnsembleUncertainty(
+            model, n_samples=40, level=0.5, random_state=3
+        ).predict_interval(X, LARGE)
+        wide = EnsembleUncertainty(
+            model, n_samples=40, level=0.95, random_state=3
+        ).predict_interval(X, LARGE)
+        assert np.all(
+            wide.upper - wide.lower >= narrow.upper - narrow.lower - 1e-12
+        )
+
+
+class TestValidation:
+    def test_unfitted_model_rejected(self):
+        model = TwoLevelModel(small_scales=SMALL)
+        with pytest.raises(ValueError, match="fitted"):
+            EnsembleUncertainty(model)
+
+    def test_transfer_mode_rejected(self, fitted_model):
+        model, _ = fitted_model
+        tm = TwoLevelModel(small_scales=SMALL, mode="transfer",
+                           large_scales=LARGE)
+        tm.extrapolator_ = object()
+        tm.interpolator_ = model.interpolator_
+        with pytest.raises(ValueError, match="basis"):
+            EnsembleUncertainty(tm)
+
+    def test_non_ensemble_interpolator_rejected(self):
+        app = get_app("stencil3d")
+        gen = HistoryGenerator(app, seed=5)
+        train = gen.collect(gen.sample_configs(20), SMALL, repetitions=1)
+        model = TwoLevelModel(
+            small_scales=SMALL,
+            interp_factory=kernel_interpolation_model,
+            random_state=0,
+        ).fit(train)
+        with pytest.raises(ValueError, match="predict_all"):
+            EnsembleUncertainty(model)
+
+    def test_invalid_params(self, fitted_model):
+        model, _ = fitted_model
+        with pytest.raises(ValueError):
+            EnsembleUncertainty(model, n_samples=1)
+        with pytest.raises(ValueError):
+            EnsembleUncertainty(model, level=1.0)

@@ -1,0 +1,165 @@
+"""Tests for the ExecutionDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import ExecutionDataset
+from repro.sim.trace import ExecutionRecord
+
+
+def make_dataset(n_configs=3, scales=(2, 4), reps=1):
+    records = []
+    for c in range(n_configs):
+        for s in scales:
+            for r in range(reps):
+                records.append(
+                    ExecutionRecord(
+                        app_name="toy",
+                        params={"a": float(c), "b": float(c * 10)},
+                        nprocs=s,
+                        runtime=1.0 / s + c + 0.001 * r,
+                        model_runtime=1.0 / s + c,
+                        rep=r,
+                    )
+                )
+    return ExecutionDataset.from_records(records, param_names=("a", "b"))
+
+
+class TestConstruction:
+    def test_from_records_shapes(self):
+        ds = make_dataset(3, (2, 4), 2)
+        assert len(ds) == 12
+        assert ds.X.shape == (12, 2)
+        assert ds.param_names == ("a", "b")
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError, match="No records"):
+            ExecutionDataset.from_records([])
+
+    def test_mixed_apps_raise(self):
+        r1 = ExecutionRecord("a", {"x": 1.0}, 2, 1.0, 1.0)
+        r2 = ExecutionRecord("b", {"x": 1.0}, 2, 1.0, 1.0)
+        with pytest.raises(ValueError, match="Mixed applications"):
+            ExecutionDataset.from_records([r1, r2])
+
+    def test_mismatched_params_raise(self):
+        r1 = ExecutionRecord("a", {"x": 1.0}, 2, 1.0, 1.0)
+        r2 = ExecutionRecord("a", {"y": 1.0}, 2, 1.0, 1.0)
+        with pytest.raises(ValueError, match="do not match"):
+            ExecutionDataset.from_records([r1, r2])
+
+    def test_direct_construction_validation(self):
+        with pytest.raises(ValueError, match="columns"):
+            ExecutionDataset(
+                "a", ("x",), np.ones((2, 2)), np.array([1, 1]),
+                np.ones(2), np.ones(2),
+            )
+        with pytest.raises(ValueError, match="positive"):
+            ExecutionDataset(
+                "a", ("x",), np.ones((2, 1)), np.array([1, 1]),
+                np.array([1.0, 0.0]), np.ones(2),
+            )
+        with pytest.raises(ValueError, match="shape"):
+            ExecutionDataset(
+                "a", ("x",), np.ones((2, 1)), np.array([1]),
+                np.ones(2), np.ones(2),
+            )
+
+    def test_default_rep_zero(self):
+        ds = ExecutionDataset(
+            "a", ("x",), np.ones((2, 1)), np.array([1, 2]),
+            np.ones(2), np.ones(2),
+        )
+        np.testing.assert_array_equal(ds.rep, [0, 0])
+
+
+class TestSlicing:
+    def test_at_scale(self):
+        ds = make_dataset(3, (2, 4))
+        sub = ds.at_scale(2)
+        assert len(sub) == 3
+        assert set(sub.nprocs) == {2}
+
+    def test_at_scales(self):
+        ds = make_dataset(2, (2, 4, 8))
+        sub = ds.at_scales([2, 8])
+        assert set(sub.nprocs) == {2, 8}
+        assert len(sub) == 4
+
+    def test_scales_property_sorted_unique(self):
+        ds = make_dataset(2, (8, 2, 4))
+        np.testing.assert_array_equal(ds.scales, [2, 4, 8])
+
+    def test_select_boolean_mask(self):
+        ds = make_dataset(2, (2, 4))
+        sub = ds.select(ds.nprocs == 4)
+        assert len(sub) == 2
+
+    def test_merge(self):
+        a = make_dataset(2, (2,))
+        b = make_dataset(3, (4,))
+        merged = a.merge(b)
+        assert len(merged) == 5
+        assert set(merged.scales) == {2, 4}
+
+    def test_merge_different_apps_raises(self):
+        a = make_dataset(2, (2,))
+        bad = ExecutionDataset(
+            "other", ("a", "b"), np.ones((1, 2)), np.array([2]),
+            np.ones(1), np.ones(1),
+        )
+        with pytest.raises(ValueError):
+            a.merge(bad)
+
+
+class TestConfigViews:
+    def test_unique_configs(self):
+        ds = make_dataset(4, (2, 4), reps=2)
+        cfgs = ds.unique_configs()
+        assert cfgs.shape == (4, 2)
+
+    def test_config_ids_consistent(self):
+        ds = make_dataset(3, (2, 4), reps=2)
+        ids = ds.config_ids()
+        assert len(np.unique(ids)) == 3
+        # Rows with equal X share an id.
+        for i in range(len(ds)):
+            for j in range(len(ds)):
+                same_x = np.array_equal(ds.X[i], ds.X[j])
+                assert (ids[i] == ids[j]) == same_x
+
+    def test_runtime_matrix_shapes_and_means(self):
+        ds = make_dataset(3, (2, 4), reps=2)
+        cfgs, T = ds.runtime_matrix([2, 4])
+        assert cfgs.shape == (3, 2)
+        assert T.shape == (3, 2)
+        # Mean over the two reps of config 0 at scale 2.
+        expected = np.mean([1.0 / 2 + 0, 1.0 / 2 + 0 + 0.001])
+        assert T[0, 0] == pytest.approx(expected)
+
+    def test_runtime_matrix_drops_incomplete_configs(self):
+        ds = make_dataset(3, (2, 4))
+        # Remove config 1's runs at scale 4.
+        keep = ~((ds.X[:, 0] == 1.0) & (ds.nprocs == 4))
+        sub = ds.select(keep)
+        cfgs, T = sub.runtime_matrix([2, 4])
+        assert cfgs.shape[0] == 2
+
+    def test_runtime_matrix_model_runtime_option(self):
+        ds = make_dataset(2, (2, 4), reps=2)
+        _, T = ds.runtime_matrix([2, 4], use_model_runtime=True)
+        assert T[0, 0] == pytest.approx(0.5)
+
+    def test_runtime_matrix_empty_result(self):
+        ds = make_dataset(2, (2,))
+        cfgs, T = ds.runtime_matrix([2, 4])  # no config has scale 4
+        assert cfgs.shape[0] == 0 and T.shape == (0, 2)
+
+
+class TestSummary:
+    def test_summary_mentions_key_facts(self):
+        ds = make_dataset(3, (2, 4))
+        text = ds.summary()
+        assert "toy" in text
+        assert "configs     : 3" in text
+        assert "param a" in text

@@ -1,0 +1,95 @@
+"""Property-based tests of ExecutionDataset invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ExecutionDataset
+
+
+@st.composite
+def datasets(draw):
+    n_configs = draw(st.integers(1, 6))
+    n_params = draw(st.integers(1, 3))
+    scales = draw(
+        st.lists(
+            st.sampled_from([2, 4, 8, 16, 32]), min_size=1, max_size=3,
+            unique=True,
+        )
+    )
+    reps = draw(st.integers(1, 2))
+    rng = np.random.default_rng(draw(st.integers(0, 1000)))
+    configs = rng.uniform(1.0, 10.0, size=(n_configs, n_params))
+    rows_X, rows_p, rows_t, rows_r = [], [], [], []
+    for c in range(n_configs):
+        for s in scales:
+            for r in range(reps):
+                rows_X.append(configs[c])
+                rows_p.append(s)
+                rows_t.append(float(rng.uniform(0.1, 5.0)))
+                rows_r.append(r)
+    return ExecutionDataset(
+        app_name="prop",
+        param_names=tuple(f"a{j}" for j in range(n_params)),
+        X=np.asarray(rows_X),
+        nprocs=np.asarray(rows_p),
+        runtime=np.asarray(rows_t),
+        model_runtime=np.asarray(rows_t),
+        rep=np.asarray(rows_r),
+    )
+
+
+class TestDatasetProperties:
+    @given(datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_at_scales_partition(self, ds):
+        """Splitting by scales and merging back preserves every run."""
+        scales = [int(s) for s in ds.scales]
+        parts = [ds.at_scale(s) for s in scales]
+        assert sum(len(p) for p in parts) == len(ds)
+        merged = parts[0]
+        for p in parts[1:]:
+            merged = merged.merge(p)
+        assert len(merged) == len(ds)
+        assert merged.runtime.sum() == pytest.approx(ds.runtime.sum())
+
+    @given(datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_unique_configs_count(self, ds):
+        cfgs = ds.unique_configs()
+        # Every row's parameters appear in the unique list.
+        for row in ds.X:
+            assert np.any(np.all(cfgs == row, axis=1))
+        # And uniqueness holds.
+        assert len(np.unique(cfgs, axis=0)) == len(cfgs)
+
+    @given(datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_runtime_matrix_bounds(self, ds):
+        """Pivoted means stay inside the per-config min/max runtimes."""
+        scales = [int(s) for s in ds.scales]
+        cfgs, T = ds.runtime_matrix(scales)
+        assert T.shape == (len(cfgs), len(scales))
+        if T.size:
+            assert T.min() >= ds.runtime.min() - 1e-12
+            assert T.max() <= ds.runtime.max() + 1e-12
+
+    @given(datasets())
+    @settings(max_examples=25, deadline=None)
+    def test_config_ids_are_grouping(self, ds):
+        ids = ds.config_ids()
+        cfgs = ds.unique_configs()
+        assert ids.min() >= 0 and ids.max() < len(cfgs)
+        for i in range(len(ds)):
+            np.testing.assert_array_equal(cfgs[ids[i]], ds.X[i])
+
+    @given(datasets(), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_select_roundtrip(self, ds, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(len(ds)) < 0.5
+        sub = ds.select(mask)
+        assert len(sub) == int(mask.sum())
+        if len(sub):
+            np.testing.assert_array_equal(sub.runtime, ds.runtime[mask])

@@ -1,0 +1,151 @@
+"""Tests for parameter samplers, history generation, and scale splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.data import (
+    HistoryGenerator,
+    config_split,
+    sample_grid,
+    sample_latin_hypercube,
+    sample_random,
+    scale_split,
+)
+from repro.sim import Executor, NoiseModel
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("stencil3d")
+
+
+class TestSamplers:
+    def test_random_respects_ranges(self, app):
+        rng = np.random.default_rng(0)
+        for params in sample_random(app, 50, rng):
+            app.validate_params(params)
+
+    def test_lhs_respects_ranges(self, app):
+        rng = np.random.default_rng(0)
+        for params in sample_latin_hypercube(app, 50, rng):
+            app.validate_params(params)
+
+    @given(st.integers(5, 40), st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_lhs_stratification_property(self, n, seed):
+        # For a continuous parameter, LHS puts exactly one sample in each
+        # of the n equal-probability strata.
+        app = get_app("nbody")
+        rng = np.random.default_rng(seed)
+        configs = sample_latin_hypercube(app, n, rng)
+        values = np.array([c["density"] for c in configs])  # continuous
+        spec = {s.name: s for s in app.param_specs()}["density"]
+        strata = np.floor(
+            (values - spec.low) / (spec.high - spec.low) * n
+        ).astype(int)
+        strata = np.clip(strata, 0, n - 1)
+        assert len(set(strata.tolist())) == n
+
+    def test_grid_size(self, app):
+        configs = sample_grid(app, 2)
+        # <= points_per_dim^d (integer collapse may shrink axes).
+        assert 1 < len(configs) <= 2 ** len(app.param_specs())
+        for params in configs:
+            app.validate_params(params)
+
+    def test_grid_requires_two_points(self, app):
+        with pytest.raises(ValueError):
+            sample_grid(app, 1)
+
+    def test_zero_samples_raise(self, app):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_random(app, 0, rng)
+        with pytest.raises(ValueError):
+            sample_latin_hypercube(app, 0, rng)
+
+
+class TestHistoryGenerator:
+    def test_generate_shape(self, app):
+        gen = HistoryGenerator(app, seed=0)
+        ds = gen.generate(5, scales=[2, 4], repetitions=3)
+        assert len(ds) == 5 * 2 * 3
+        assert set(ds.scales) == {2, 4}
+
+    def test_reproducible_across_instances(self, app):
+        a = HistoryGenerator(app, seed=3).generate(4, scales=[2, 4])
+        b = HistoryGenerator(app, seed=3).generate(4, scales=[2, 4])
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.runtime, b.runtime)
+
+    def test_unknown_sampler_raises(self, app):
+        gen = HistoryGenerator(app, seed=0)
+        with pytest.raises(ValueError):
+            gen.sample_configs(3, method="sobol")
+
+    def test_collect_validates_inputs(self, app):
+        gen = HistoryGenerator(app, seed=0)
+        with pytest.raises(ValueError):
+            gen.collect([], scales=[2])
+        with pytest.raises(ValueError):
+            gen.collect([app.sample_params(np.random.default_rng(0))], scales=[])
+        with pytest.raises(ValueError):
+            gen.collect(
+                [app.sample_params(np.random.default_rng(0))],
+                scales=[2],
+                repetitions=0,
+            )
+
+    def test_custom_executor_respected(self, app):
+        ex = Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0), seed=0)
+        gen = HistoryGenerator(app, executor=ex, seed=0)
+        ds = gen.generate(3, scales=[4])
+        np.testing.assert_allclose(ds.runtime, ds.model_runtime)
+
+
+class TestScaleSplit:
+    def test_partition_by_scale(self, tiny_history):
+        split = scale_split(tiny_history, [32, 64], [128, 256])
+        assert set(split.train.scales) == {32, 64}
+        assert set(split.test.scales) == {128, 256}
+        assert len(split.train) + len(split.test) == len(tiny_history)
+
+    def test_missing_scale_raises(self, tiny_history):
+        with pytest.raises(ValueError, match="not present"):
+            scale_split(tiny_history, [32], [512])
+
+    def test_overlapping_scales_raise(self, tiny_history):
+        with pytest.raises(ValueError):
+            scale_split(tiny_history, [32, 64], [64, 128])
+
+    def test_interleaved_scales_raise(self, tiny_history):
+        with pytest.raises(ValueError, match="exceed"):
+            scale_split(tiny_history, [32, 128], [64, 256])
+
+
+class TestConfigSplit:
+    def test_no_configuration_leakage(self, tiny_history):
+        train, test = config_split(tiny_history, test_fraction=0.3)
+        train_cfgs = {tuple(r) for r in train.X}
+        test_cfgs = {tuple(r) for r in test.X}
+        assert not train_cfgs & test_cfgs
+        assert len(train) + len(test) == len(tiny_history)
+
+    def test_fraction_respected(self, tiny_history):
+        _, test = config_split(tiny_history, test_fraction=0.25)
+        n_cfg = len(tiny_history.unique_configs())
+        assert len(test.unique_configs()) == max(1, round(0.25 * n_cfg))
+
+    def test_invalid_fraction_raises(self, tiny_history):
+        with pytest.raises(ValueError):
+            config_split(tiny_history, test_fraction=0.0)
+
+    def test_reproducible_with_rng(self, tiny_history):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        _, t1 = config_split(tiny_history, rng=rng1)
+        _, t2 = config_split(tiny_history, rng=rng2)
+        np.testing.assert_array_equal(t1.X, t2.X)

@@ -1,0 +1,64 @@
+"""Tests for dataset persistence (JSON and NPZ round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("suffix", [".json", ".npz"])
+    def test_exact_roundtrip(self, tiny_history, tmp_path, suffix):
+        path = tmp_path / f"history{suffix}"
+        save_dataset(tiny_history, path)
+        loaded = load_dataset(path)
+        assert loaded.app_name == tiny_history.app_name
+        assert loaded.param_names == tiny_history.param_names
+        np.testing.assert_array_equal(loaded.X, tiny_history.X)
+        np.testing.assert_array_equal(loaded.nprocs, tiny_history.nprocs)
+        np.testing.assert_array_equal(loaded.runtime, tiny_history.runtime)
+        np.testing.assert_array_equal(
+            loaded.model_runtime, tiny_history.model_runtime
+        )
+        np.testing.assert_array_equal(loaded.rep, tiny_history.rep)
+
+    def test_json_is_human_readable(self, tiny_history, tmp_path):
+        path = tmp_path / "h.json"
+        save_dataset(tiny_history, path)
+        payload = json.loads(path.read_text())
+        assert payload["app_name"] == "stencil3d"
+        assert "format_version" in payload
+
+    def test_loaded_dataset_usable(self, tiny_history, tmp_path):
+        path = tmp_path / "h.npz"
+        save_dataset(tiny_history, path)
+        loaded = load_dataset(path)
+        sub = loaded.at_scale(int(loaded.scales[0]))
+        assert len(sub) > 0
+
+
+class TestErrors:
+    def test_unknown_suffix_save(self, tiny_history, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_dataset(tiny_history, tmp_path / "h.csv")
+
+    def test_unknown_suffix_load(self, tmp_path):
+        p = tmp_path / "h.csv"
+        p.write_text("x")
+        with pytest.raises(ValueError, match="format"):
+            load_dataset(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.json")
+
+    def test_version_check_json(self, tiny_history, tmp_path):
+        path = tmp_path / "h.json"
+        save_dataset(tiny_history, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(path)

@@ -1,0 +1,55 @@
+"""Tests for the adaptive (reweighted) lasso."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AdaptiveLasso, Lasso
+
+
+class TestAdaptiveLasso:
+    def test_recovers_true_support(self, linear_data):
+        X, y, w = linear_data
+        model = AdaptiveLasso(alpha=0.05).fit(X, y)
+        assert set(np.nonzero(model.support_)[0]) == set(np.nonzero(w)[0])
+
+    def test_less_bias_than_plain_lasso(self, linear_data):
+        # On the active coefficients, adaptive reweighting shrinks less
+        # than plain lasso at the same alpha.
+        X, y, w = linear_data
+        active = np.nonzero(w)[0]
+        plain = Lasso(alpha=0.3).fit(X, y)
+        adaptive = AdaptiveLasso(alpha=0.3).fit(X, y)
+        bias_plain = np.abs(plain.coef_[active] - w[active]).sum()
+        bias_adaptive = np.abs(adaptive.coef_[active] - w[active]).sum()
+        assert bias_adaptive < bias_plain
+
+    def test_weights_inverse_of_pilot(self, linear_data):
+        X, y, _ = linear_data
+        model = AdaptiveLasso(alpha=0.05, gamma=1.0).fit(X, y)
+        big = np.argmax(np.abs(model.pilot_coef_))
+        small = np.argmin(np.abs(model.pilot_coef_))
+        assert model.weights_[big] > model.weights_[small]
+
+    def test_prediction_accuracy(self, linear_data):
+        X, y, _ = linear_data
+        model = AdaptiveLasso(alpha=0.01).fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_invalid_params_raise(self):
+        X, y = np.ones((4, 2)), np.ones(4)
+        with pytest.raises(ValueError):
+            AdaptiveLasso(alpha=-1).fit(X, y)
+        with pytest.raises(ValueError):
+            AdaptiveLasso(gamma=0).fit(X, y)
+
+    def test_gamma_increases_sparsity_pressure(self, rng):
+        X = rng.normal(size=(100, 10))
+        w = np.zeros(10); w[0] = 5.0
+        y = X @ w + 0.5 * rng.normal(size=100)
+        lo = AdaptiveLasso(alpha=0.2, gamma=0.5).fit(X, y)
+        hi = AdaptiveLasso(alpha=0.2, gamma=2.0).fit(X, y)
+        assert hi.support_.sum() <= lo.support_.sum()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(Exception):
+            AdaptiveLasso().predict(np.ones((2, 2)))

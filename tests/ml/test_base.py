@@ -1,0 +1,122 @@
+"""Tests for the estimator base protocol (params, clone, fitted checks)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Lasso,
+    LinearRegression,
+    NotFittedError,
+    RandomForestRegressor,
+    Ridge,
+    check_is_fitted,
+    clone,
+)
+from repro.ml.base import BaseEstimator
+
+
+class _Nested(BaseEstimator):
+    def __init__(self, inner=None, alpha=1.0):
+        self.inner = inner if inner is not None else Ridge(alpha=0.5)
+        self.alpha = alpha
+
+
+class TestGetParams:
+    def test_returns_constructor_args(self):
+        model = Ridge(alpha=2.5, fit_intercept=False)
+        params = model.get_params()
+        assert params["alpha"] == 2.5
+        assert params["fit_intercept"] is False
+
+    def test_deep_expands_nested_estimators(self):
+        model = _Nested(inner=Ridge(alpha=7.0))
+        params = model.get_params(deep=True)
+        assert params["inner__alpha"] == 7.0
+
+    def test_shallow_excludes_nested_expansion(self):
+        model = _Nested()
+        params = model.get_params(deep=False)
+        assert "inner__alpha" not in params
+
+    def test_lasso_hides_fixed_l1_ratio(self):
+        assert "l1_ratio" not in Lasso().get_params()
+
+
+class TestSetParams:
+    def test_sets_simple_param(self):
+        model = Ridge().set_params(alpha=9.0)
+        assert model.alpha == 9.0
+
+    def test_sets_nested_param(self):
+        model = _Nested().set_params(inner__alpha=3.0)
+        assert model.inner.alpha == 3.0
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            Ridge().set_params(bogus=1)
+
+    def test_unknown_nested_head_raises(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            Ridge().set_params(bogus__x=1)
+
+    def test_nested_on_non_estimator_raises(self):
+        with pytest.raises(ValueError, match="not an estimator"):
+            _Nested().set_params(alpha__x=1)
+
+    def test_returns_self(self):
+        model = Ridge()
+        assert model.set_params(alpha=1.0) is model
+
+
+class TestClone:
+    def test_clone_copies_params(self):
+        model = Ridge(alpha=4.0, fit_intercept=False)
+        c = clone(model)
+        assert c.alpha == 4.0 and c.fit_intercept is False
+        assert c is not model
+
+    def test_clone_drops_fitted_state(self, linear_data):
+        X, y, _ = linear_data
+        model = Ridge().fit(X, y)
+        c = clone(model)
+        assert not hasattr(c, "coef_")
+
+    def test_clone_deep_copies_nested(self):
+        inner = Ridge(alpha=1.0)
+        c = clone(_Nested(inner=inner))
+        assert c.inner is not inner
+        assert c.inner.alpha == 1.0
+
+    def test_clone_deep_copies_mutable_values(self):
+        model = _Nested(alpha=1.0)
+        model2 = clone(model)
+        model2.alpha = 99
+        assert model.alpha == 1.0
+
+
+class TestCheckIsFitted:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            check_is_fitted(Ridge())
+
+    def test_fitted_passes(self, linear_data):
+        X, y, _ = linear_data
+        check_is_fitted(Ridge().fit(X, y))
+
+    def test_explicit_attribute_list(self, linear_data):
+        X, y, _ = linear_data
+        model = Ridge().fit(X, y)
+        check_is_fitted(model, ["coef_", "intercept_"])
+        with pytest.raises(NotFittedError, match="missing"):
+            check_is_fitted(model, ["nonexistent_"])
+
+    def test_predict_before_fit_raises(self):
+        for est in [Ridge(), LinearRegression(), Lasso(), RandomForestRegressor()]:
+            with pytest.raises((NotFittedError, RuntimeError)):
+                est.predict(np.zeros((2, 3)))
+
+
+class TestRepr:
+    def test_repr_contains_params(self):
+        text = repr(Ridge(alpha=3.5))
+        assert "Ridge" in text and "alpha=3.5" in text

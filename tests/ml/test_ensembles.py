@@ -1,0 +1,144 @@
+"""Tests for random forest and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    RandomForestRegressor,
+)
+from repro.ml.model_selection import cross_val_score
+
+
+class TestRandomForest:
+    def test_reduces_cv_error_vs_single_deep_tree(self, nonlinear_data):
+        X, y = nonlinear_data
+        tree_cv = cross_val_score(
+            DecisionTreeRegressor(random_state=0), X, y, cv=4
+        ).mean()
+        rf_cv = cross_val_score(
+            RandomForestRegressor(n_estimators=40, random_state=0), X, y, cv=4
+        ).mean()
+        assert rf_cv > tree_cv
+
+    def test_reproducible_with_seed(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y)
+        b = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_different_seeds_differ(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = RandomForestRegressor(n_estimators=10, random_state=1).fit(X, y)
+        b = RandomForestRegressor(n_estimators=10, random_state=2).fit(X, y)
+        assert not np.array_equal(a.predict(X), b.predict(X))
+
+    def test_prediction_is_mean_of_trees(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        np.testing.assert_allclose(
+            model.predict(X[:10]), model.predict_all(X[:10]).mean(axis=0)
+        )
+
+    def test_oob_score_reasonable(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = RandomForestRegressor(
+            n_estimators=60, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert 0.5 < model.oob_score_ <= 1.0
+        covered = ~np.isnan(model.oob_prediction_)
+        assert covered.mean() > 0.95
+
+    def test_oob_without_bootstrap_raises(self):
+        with pytest.raises(ValueError, match="bootstrap"):
+            RandomForestRegressor(bootstrap=False, oob_score=True).fit(
+                np.ones((10, 1)), np.ones(10)
+            )
+
+    def test_no_bootstrap_full_fit(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        # Every tree sees all data and is unrestricted -> fits exactly.
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-10)
+
+    def test_prediction_std_nonnegative_and_varies(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        std = model.prediction_std(X)
+        assert np.all(std >= 0)
+        assert std.max() > 0
+
+    def test_feature_importances_normalized(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = RandomForestRegressor(n_estimators=15, random_state=0).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_zero_estimators_raises(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0).fit(np.ones((5, 1)), np.ones(5))
+
+
+class TestGradientBoosting:
+    def test_train_loss_decreases(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = GradientBoostingRegressor(
+            n_estimators=60, learning_rate=0.1, random_state=0
+        ).fit(X, y)
+        losses = np.asarray(model.train_score_)
+        assert losses[-1] < losses[0]
+        # Overall trend is downward (allow tiny local bumps with subsample).
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_staged_predict_converges_to_predict(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = GradientBoostingRegressor(n_estimators=25, random_state=0).fit(X, y)
+        *_, last = model.staged_predict(X)
+        np.testing.assert_allclose(last, model.predict(X), atol=1e-12)
+
+    def test_single_stage_is_shrunk_tree(self, nonlinear_data):
+        X, y = nonlinear_data
+        lr = 0.5
+        model = GradientBoostingRegressor(
+            n_estimators=1, learning_rate=lr, max_depth=2, random_state=0
+        ).fit(X, y)
+        tree = DecisionTreeRegressor(max_depth=2, random_state=0).fit(
+            X, y - y.mean()
+        )
+        np.testing.assert_allclose(
+            model.predict(X), y.mean() + lr * tree.predict(X), atol=1e-10
+        )
+
+    def test_more_stages_fit_better_in_sample(self, nonlinear_data):
+        X, y = nonlinear_data
+        small = GradientBoostingRegressor(n_estimators=10, random_state=0).fit(X, y)
+        big = GradientBoostingRegressor(n_estimators=100, random_state=0).fit(X, y)
+        assert big.score(X, y) > small.score(X, y)
+
+    def test_subsample_stochastic(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = GradientBoostingRegressor(
+            n_estimators=30, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_invalid_params_raise(self):
+        X, y = np.ones((5, 1)), np.ones(5)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0).fit(X, y)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0).fit(X, y)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0).fit(X, y)
+
+    def test_reproducible(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = GradientBoostingRegressor(
+            n_estimators=15, subsample=0.7, random_state=9
+        ).fit(X, y)
+        b = GradientBoostingRegressor(
+            n_estimators=15, subsample=0.7, random_state=9
+        ).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))

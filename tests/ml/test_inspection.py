@@ -1,0 +1,74 @@
+"""Tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LinearRegression,
+    RandomForestRegressor,
+    permutation_importance,
+)
+
+
+class TestPermutationImportance:
+    def test_identifies_relevant_features(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = 5.0 * X[:, 0] + 0.1 * X[:, 2]  # x0 dominant, x2 weak
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(model, X, y, random_state=0)
+        assert np.argmax(imp.importances_mean) == 0
+        # Irrelevant features get (near-)zero importance.
+        assert abs(imp.importances_mean[1]) < 0.05
+        assert abs(imp.importances_mean[3]) < 0.05
+
+    def test_ranking_sorted(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = 2.0 * X[:, 1]
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(
+            model, X, y, feature_names=["a", "b", "c"], random_state=0
+        )
+        ranking = imp.ranking()
+        assert ranking[0][0] == "b"
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_baseline_score_reported(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        imp = permutation_importance(model, X, y, n_repeats=3, random_state=0)
+        assert imp.baseline_score > 0.9
+
+    def test_X_not_mutated(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+        model = LinearRegression().fit(X, y)
+        X_copy = X.copy()
+        permutation_importance(model, X, y, random_state=0)
+        np.testing.assert_array_equal(X, X_copy)
+
+    def test_custom_scorer(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = LinearRegression().fit(X, y)
+        neg_mse = lambda yt, yp: -float(np.mean((yt - yp) ** 2))
+        imp = permutation_importance(model, X, y, scorer=neg_mse,
+                                     random_state=0)
+        assert imp.importances_mean[0] > imp.importances_mean[1]
+
+    def test_invalid_args(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = X[:, 0]
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, feature_names=["only-one"])
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(80, 3))
+        y = X @ np.array([1.0, 2.0, 3.0])
+        model = LinearRegression().fit(X, y)
+        a = permutation_importance(model, X, y, random_state=5)
+        b = permutation_importance(model, X, y, random_state=5)
+        np.testing.assert_array_equal(a.importances_mean, b.importances_mean)

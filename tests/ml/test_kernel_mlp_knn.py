@@ -1,0 +1,214 @@
+"""Tests for kNN, kernel methods (kernel ridge, GP), and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianProcessRegressor,
+    KernelRidge,
+    KNeighborsRegressor,
+    MLPRegressor,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+
+
+class TestKNN:
+    def test_k1_memorizes(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = rng.normal(size=30)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_uniform_average(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict(np.array([[0.4]]))[0] == pytest.approx(1.0)
+
+    def test_distance_weights_exact_match(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([5.0, 7.0])
+        model = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.0]]))[0] == pytest.approx(5.0)
+
+    def test_distance_weights_interpolate(self):
+        X = np.array([[0.0], [2.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+        # 3x closer to x=2 -> weight 3:1 toward y=10.
+        assert model.predict(np.array([[1.5]]))[0] == pytest.approx(7.5)
+
+    def test_kneighbors_sorted(self, rng):
+        X = rng.normal(size=(20, 3))
+        model = KNeighborsRegressor(n_neighbors=5).fit(X, rng.normal(size=20))
+        dist, _ = model.kneighbors(rng.normal(size=(4, 3)))
+        assert np.all(np.diff(dist, axis=1) >= 0)
+
+    def test_k_larger_than_n_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=5).fit(np.ones((3, 1)), np.ones(3))
+
+    def test_invalid_weights_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="quadratic").fit(
+                np.ones((5, 1)), np.ones(5)
+            )
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self, rng):
+        A = rng.normal(size=(6, 3))
+        K = rbf_kernel(A, A, gamma=0.5)
+        np.testing.assert_allclose(np.diag(K), 1.0, atol=1e-7)
+
+    def test_rbf_bounds(self, rng):
+        K = rbf_kernel(rng.normal(size=(5, 2)), rng.normal(size=(7, 2)), gamma=1.0)
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+
+    def test_linear_matches_dot(self, rng):
+        A, B = rng.normal(size=(4, 3)), rng.normal(size=(5, 3))
+        np.testing.assert_allclose(linear_kernel(A, B), A @ B.T)
+
+    def test_polynomial_known_value(self):
+        A = np.array([[1.0, 1.0]])
+        K = polynomial_kernel(A, A, degree=2, coef0=1.0)
+        assert K[0, 0] == pytest.approx(9.0)
+
+    def test_invalid_gamma_raises(self, rng):
+        with pytest.raises(ValueError):
+            rbf_kernel(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)), gamma=0.0)
+
+
+class TestKernelRidge:
+    def test_interpolates_with_tiny_alpha(self, rng):
+        X = rng.uniform(-1, 1, size=(40, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1]
+        model = KernelRidge(alpha=1e-10, gamma=1.0).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-5)
+
+    def test_generalizes_smooth_function(self, rng):
+        X = rng.uniform(-1, 1, size=(200, 1))
+        y = np.sin(3 * X[:, 0])
+        model = KernelRidge(alpha=1e-4, gamma=5.0).fit(X, y)
+        X_test = np.linspace(-0.9, 0.9, 50)[:, None]
+        np.testing.assert_allclose(
+            model.predict(X_test), np.sin(3 * X_test[:, 0]), atol=0.05
+        )
+
+    def test_scale_gamma_heuristic(self, rng):
+        X = rng.normal(size=(30, 4))
+        model = KernelRidge(gamma="scale").fit(X, rng.normal(size=30))
+        expected = 1.0 / (4 * X.var())
+        assert model.gamma_ == pytest.approx(expected)
+
+    def test_linear_kernel_fits_linear_map(self, rng):
+        # Linear kernel ridge has no intercept term, so use a
+        # zero-intercept target.
+        X = rng.normal(size=(80, 4))
+        y = X @ np.array([1.0, -2.0, 0.5, 3.0])
+        model = KernelRidge(alpha=1e-6, kernel="linear").fit(X, y)
+        assert model.score(X, y) > 0.999
+
+    def test_unknown_kernel_raises(self, rng):
+        with pytest.raises(ValueError):
+            KernelRidge(kernel="sigmoid").fit(rng.normal(size=(4, 1)), np.ones(4))
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self, rng):
+        X = rng.uniform(-1, 1, size=(25, 1))
+        y = np.cos(2 * X[:, 0])
+        model = GaussianProcessRegressor(noise=1e-8).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 1))
+        y = np.sin(X[:, 0])
+        model = GaussianProcessRegressor(noise=1e-6).fit(X, y)
+        _, std_near = model.predict(np.array([[0.0]]), return_std=True)
+        _, std_far = model.predict(np.array([[50.0]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_length_scale_selected_by_likelihood(self, rng):
+        X = np.linspace(-3, 3, 60)[:, None]
+        y = np.sin(X[:, 0])  # smooth: long length scales should win
+        model = GaussianProcessRegressor(
+            length_scales=(0.01, 1.0, 3.0), noise=1e-4
+        ).fit(X, y)
+        assert model.length_scale_ >= 1.0
+
+    def test_invalid_noise_raises(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=-1.0).fit(np.ones((3, 1)), np.ones(3))
+
+    def test_std_nonnegative(self, rng):
+        X = rng.normal(size=(20, 2))
+        model = GaussianProcessRegressor().fit(X, rng.normal(size=20))
+        _, std = model.predict(rng.normal(size=(10, 2)), return_std=True)
+        assert np.all(std >= 0)
+
+
+class TestMLP:
+    def test_learns_linear_function(self, rng):
+        X = rng.normal(size=(400, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 3.0
+        model = MLPRegressor(
+            hidden_layer_sizes=(32,), max_iter=200, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.98
+
+    def test_learns_nonlinear_function(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = MLPRegressor(
+            hidden_layer_sizes=(64, 64), max_iter=300, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_reproducible(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = MLPRegressor(max_iter=20, random_state=4).fit(X, y).predict(X)
+        b = MLPRegressor(max_iter=20, random_state=4).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_tanh_activation(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = MLPRegressor(
+            activation="tanh", max_iter=200, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_early_stopping_stops_and_restores(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = rng.normal(size=200)  # pure noise: validation should stall
+        model = MLPRegressor(
+            max_iter=500,
+            early_stopping=True,
+            n_iter_no_change=5,
+            random_state=0,
+        ).fit(X, y)
+        assert len(model.loss_curve_) < 500
+
+    def test_loss_curve_decreases_on_learnable_problem(self, nonlinear_data):
+        X, y = nonlinear_data
+        model = MLPRegressor(max_iter=60, random_state=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_invalid_params_raise(self):
+        X, y = np.ones((4, 1)), np.ones(4)
+        with pytest.raises(ValueError):
+            MLPRegressor(max_iter=0).fit(X, y)
+        with pytest.raises(ValueError):
+            MLPRegressor(learning_rate=0).fit(X, y)
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_layer_sizes=(0,)).fit(X, y)
+        with pytest.raises(ValueError):
+            MLPRegressor(activation="gelu").fit(X, y)
+
+    def test_predictions_in_original_units(self, rng):
+        X = rng.normal(size=(300, 1))
+        y = 1000.0 + 500.0 * X[:, 0]
+        model = MLPRegressor(max_iter=200, random_state=0).fit(X, y)
+        pred = model.predict(X)
+        assert abs(pred.mean() - 1000.0) < 50.0

@@ -1,0 +1,135 @@
+"""Tests for OLS and ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, Ridge, RidgeCV
+
+
+class TestLinearRegression:
+    def test_exact_recovery_noise_free(self, rng):
+        X = rng.normal(size=(50, 4))
+        w = np.array([1.0, -2.0, 0.5, 3.0])
+        y = X @ w + 7.0
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, w, atol=1e-10)
+        assert model.intercept_ == pytest.approx(7.0, abs=1e-10)
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([2.0, -1.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        np.testing.assert_allclose(model.coef_, [2.0, -1.0], atol=1e-10)
+
+    def test_rank_deficient_uses_min_norm(self):
+        # Two identical columns: infinitely many solutions; lstsq picks
+        # the minimum-norm one, splitting the weight evenly.
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        np.testing.assert_allclose(model.coef_, [1.0, 1.0], atol=1e-10)
+        assert model.rank_ == 1
+
+    def test_multi_output(self, rng):
+        X = rng.normal(size=(40, 3))
+        W = rng.normal(size=(3, 2))
+        Y = X @ W + np.array([1.0, -1.0])
+        model = LinearRegression().fit(X, Y)
+        assert model.coef_.shape == (2, 3)
+        np.testing.assert_allclose(model.predict(X), Y, atol=1e-10)
+
+    def test_sample_weight_zero_ignores_rows(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = X @ np.array([1.0, 2.0])
+        # Corrupt 10 rows but give them zero weight.
+        y2 = y.copy()
+        y2[:10] += 100.0
+        w = np.ones(30)
+        w[:10] = 0.0
+        model = LinearRegression().fit(X, y2, sample_weight=w)
+        np.testing.assert_allclose(model.coef_, [1.0, 2.0], atol=1e-8)
+
+    def test_negative_sample_weight_raises(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            LinearRegression().fit(X, np.ones(5), sample_weight=-np.ones(5))
+
+    def test_wrong_feature_count_predict_raises(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict(X[:, :3])
+
+    def test_score_r2(self, linear_data):
+        X, y, _ = linear_data
+        assert LinearRegression().fit(X, y).score(X, y) > 0.999
+
+
+class TestRidge:
+    def test_alpha_zero_matches_ols(self, linear_data):
+        X, y, _ = linear_data
+        r = Ridge(alpha=0.0).fit(X, y)
+        o = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(r.coef_, o.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone_in_alpha(self, linear_data):
+        X, y, _ = linear_data
+        norms = [
+            np.linalg.norm(Ridge(alpha=a).fit(X, y).coef_)
+            for a in [0.0, 1.0, 10.0, 100.0]
+        ]
+        assert norms == sorted(norms, reverse=True)
+
+    def test_intercept_not_penalized(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([0.1, -0.1]) + 1000.0
+        model = Ridge(alpha=100.0).fit(X, y)
+        assert model.intercept_ == pytest.approx(1000.0, rel=1e-3)
+
+    def test_negative_alpha_raises(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0).fit(np.ones((3, 1)), np.ones(3))
+
+    def test_multi_output_shapes(self, rng):
+        X = rng.normal(size=(20, 3))
+        Y = rng.normal(size=(20, 2))
+        model = Ridge(alpha=1.0).fit(X, Y)
+        assert model.predict(X).shape == (20, 2)
+
+    def test_solves_normal_equations(self, rng):
+        X = rng.normal(size=(30, 4))
+        y = rng.normal(size=30)
+        alpha = 2.5
+        model = Ridge(alpha=alpha, fit_intercept=False).fit(X, y)
+        lhs = (X.T @ X + alpha * np.eye(4)) @ model.coef_
+        np.testing.assert_allclose(lhs, X.T @ y, atol=1e-8)
+
+
+class TestRidgeCV:
+    def test_selects_small_alpha_for_clean_data(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X @ np.array([1.0, 2.0, 3.0])
+        model = RidgeCV(alphas=(1e-4, 1.0, 100.0)).fit(X, y)
+        assert model.alpha_ == 1e-4
+
+    def test_selects_large_alpha_for_pure_noise(self, rng):
+        X = rng.normal(size=(30, 20))
+        y = rng.normal(size=30)
+        model = RidgeCV(alphas=(1e-6, 1e4)).fit(X, y)
+        assert model.alpha_ == 1e4
+
+    def test_prediction_matches_refit_ridge(self, linear_data):
+        X, y, _ = linear_data
+        cv = RidgeCV(alphas=(0.5,)).fit(X, y)
+        direct = Ridge(alpha=0.5).fit(X, y)
+        np.testing.assert_allclose(cv.predict(X), direct.predict(X), atol=1e-10)
+
+    def test_empty_alphas_raises(self):
+        with pytest.raises(ValueError):
+            RidgeCV(alphas=()).fit(np.ones((4, 1)), np.ones(4))
+
+    def test_loo_error_recorded(self, linear_data):
+        X, y, _ = linear_data
+        model = RidgeCV().fit(X, y)
+        assert model.loo_error_ >= 0.0

@@ -1,0 +1,173 @@
+"""Tests for regression/clustering metrics, including property-based
+invariants (scale behavior, bounds, perfect-prediction zeros)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    explained_variance_score,
+    max_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    median_absolute_percentage_error,
+    pairwise_distances,
+    r2_score,
+    root_mean_squared_error,
+    silhouette_score,
+    symmetric_mean_absolute_percentage_error,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+positive = st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def vec(elements, min_size=1, max_size=30):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=elements)
+
+
+class TestKnownValues:
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_mse_rmse(self):
+        assert mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(12.5)
+        assert root_mean_squared_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error([10.0, 20.0], [11.0, 18.0]) == (
+            pytest.approx(0.1)
+        )
+
+    def test_median_ape(self):
+        got = median_absolute_percentage_error([10, 10, 10], [11, 15, 10])
+        assert got == pytest.approx(0.1)
+
+    def test_smape_bounds_value(self):
+        assert symmetric_mean_absolute_percentage_error([1.0], [3.0]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_max_error(self):
+        assert max_error([1.0, 5.0], [1.5, 2.0]) == pytest.approx(3.0)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_explained_variance_ignores_bias(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert explained_variance_score(y, y + 5.0) == pytest.approx(1.0)
+        assert r2_score(y, y + 5.0) < 0.0
+
+
+class TestEdgeCases:
+    def test_mape_zero_true_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            mean_absolute_percentage_error([0.0, 1.0], [1.0, 1.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_smape_double_zero_raises(self):
+        with pytest.raises(ValueError):
+            symmetric_mean_absolute_percentage_error([0.0], [0.0])
+
+
+class TestProperties:
+    @given(vec(finite))
+    def test_perfect_prediction_zero_errors(self, y):
+        assert mean_absolute_error(y, y) == 0.0
+        assert mean_squared_error(y, y) == 0.0
+        assert max_error(y, y) == 0.0
+
+    @given(vec(positive), st.floats(0.1, 10.0))
+    def test_mape_scale_invariant(self, y, c):
+        pred = y * 1.07
+        a = mean_absolute_percentage_error(y, pred)
+        b = mean_absolute_percentage_error(c * y, c * pred)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @given(vec(finite, min_size=2), vec(finite, min_size=2))
+    @settings(max_examples=50)
+    def test_r2_at_most_one(self, y, p):
+        if len(y) != len(p):
+            n = min(len(y), len(p))
+            y, p = y[:n], p[:n]
+        assert r2_score(y, p) <= 1.0 + 1e-12
+
+    @given(vec(positive, min_size=2), vec(positive, min_size=2))
+    @settings(max_examples=50)
+    def test_smape_bounded(self, y, p):
+        n = min(len(y), len(p))
+        s = symmetric_mean_absolute_percentage_error(y[:n], p[:n])
+        assert 0.0 <= s <= 2.0 + 1e-12
+
+    @given(vec(finite, min_size=2), vec(finite, min_size=2))
+    @settings(max_examples=50)
+    def test_rmse_at_least_mae(self, y, p):
+        n = min(len(y), len(p))
+        y, p = y[:n], p[:n]
+        assert root_mean_squared_error(y, p) >= mean_absolute_error(y, p) - 1e-9
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        A = rng.normal(size=(7, 3))
+        B = rng.normal(size=(5, 3))
+        D = pairwise_distances(A, B)
+        naive = np.sqrt(((A[:, None, :] - B[None, :, :]) ** 2).sum(-1))
+        np.testing.assert_allclose(D, naive, atol=1e-10)
+
+    def test_self_distance_zero_diagonal(self, rng):
+        A = rng.normal(size=(6, 4))
+        D = pairwise_distances(A)
+        np.testing.assert_allclose(np.diag(D), 0.0, atol=1e-7)
+
+    def test_symmetry(self, rng):
+        A = rng.normal(size=(6, 2))
+        D = pairwise_distances(A)
+        np.testing.assert_allclose(D, D.T, atol=1e-10)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.ones(3))
+
+
+class TestSilhouette:
+    def test_well_separated_high_score(self, rng):
+        X = np.vstack(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(10, 0.1, (20, 2))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(X, labels) > 0.9
+
+    def test_random_labels_low_score(self, rng):
+        X = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, size=40)
+        assert silhouette_score(X, labels) < 0.5
+
+    def test_single_cluster_raises(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.ones((5, 2)), np.zeros(5))
+
+    def test_range(self, rng):
+        X = rng.normal(size=(30, 3))
+        labels = rng.integers(0, 3, size=30)
+        s = silhouette_score(X, labels)
+        assert -1.0 <= s <= 1.0

@@ -1,0 +1,175 @@
+"""Tests for CV splitters, train/test split, scorers, and grid search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    Ridge,
+    cross_val_predict,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.model_selection import get_scorer
+
+
+class TestKFold:
+    @given(st.integers(5, 60), st.integers(2, 5), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_partition_property(self, n, k, shuffle):
+        if n < k:
+            return
+        kf = KFold(n_splits=k, shuffle=shuffle, random_state=0)
+        X = np.zeros(n)
+        all_test = np.concatenate([te for _, te in kf.split(X)])
+        assert sorted(all_test.tolist()) == list(range(n))
+
+    def test_fold_sizes_balanced(self):
+        kf = KFold(n_splits=3)
+        sizes = [len(te) for _, te in kf.split(np.zeros(10))]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_train_test_disjoint(self):
+        kf = KFold(n_splits=4, shuffle=True, random_state=1)
+        for tr, te in kf.split(np.zeros(20)):
+            assert not set(tr) & set(te)
+
+    def test_shuffle_changes_order(self):
+        a = [te.tolist() for _, te in KFold(3).split(np.zeros(9))]
+        b = [
+            te.tolist()
+            for _, te in KFold(3, shuffle=True, random_state=0).split(np.zeros(9))
+        ]
+        assert a != b
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.zeros(3)))
+
+    def test_single_split_raises(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.normal(size=40)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25)
+        assert len(X_te) == 10 and len(X_tr) == 30
+        assert len(y_te) == 10 and len(y_tr) == 30
+
+    def test_rows_stay_aligned(self, rng):
+        X = np.arange(20).reshape(-1, 1).astype(float)
+        y = np.arange(20).astype(float)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=0)
+        np.testing.assert_array_equal(X_tr[:, 0], y_tr)
+        np.testing.assert_array_equal(X_te[:, 0], y_te)
+
+    def test_reproducible(self, rng):
+        X = rng.normal(size=(30, 1))
+        a = train_test_split(X, random_state=3)[1]
+        b = train_test_split(X, random_state=3)[1]
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_test_size_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), test_size=1.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros(4))
+
+
+class TestScorers:
+    def test_known_names(self):
+        for name in ["r2", "neg_mean_squared_error", "neg_mape"]:
+            assert callable(get_scorer(name))
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: 1.0
+        assert get_scorer(fn) is fn
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="Unknown scoring"):
+            get_scorer("accuracy")
+
+    def test_neg_metrics_are_negative(self):
+        s = get_scorer("neg_mean_squared_error")
+        assert s(np.array([1.0, 2.0]), np.array([2.0, 3.0])) < 0
+
+
+class TestCrossVal:
+    def test_scores_shape(self, linear_data):
+        X, y, _ = linear_data
+        scores = cross_val_score(Ridge(alpha=0.1), X, y, cv=5)
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.99
+
+    def test_estimator_not_mutated(self, linear_data):
+        X, y, _ = linear_data
+        model = Ridge()
+        cross_val_score(model, X, y, cv=3)
+        assert not hasattr(model, "coef_")
+
+    def test_cross_val_predict_covers_all(self, linear_data):
+        X, y, _ = linear_data
+        preds = cross_val_predict(Ridge(alpha=0.1), X, y, cv=4)
+        assert preds.shape == y.shape
+        assert np.corrcoef(preds, y)[0, 1] > 0.99
+
+    def test_custom_splitter_accepted(self, linear_data):
+        X, y, _ = linear_data
+        kf = KFold(n_splits=3, shuffle=True, random_state=0)
+        scores = cross_val_score(Ridge(), X, y, cv=kf)
+        assert len(scores) == 3
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(combos) == len(grid) == 6
+        assert {"a": 1, "b": "z"} in combos
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+
+class TestGridSearchCV:
+    def test_picks_best_alpha(self, rng):
+        # Noisy overparameterized problem: moderate ridge wins over
+        # near-zero and huge alphas.
+        X = rng.normal(size=(60, 30))
+        w = rng.normal(size=30)
+        y = X @ w + 5.0 * rng.normal(size=60)
+        gs = GridSearchCV(Ridge(), {"alpha": [1e-8, 10.0, 1e6]}, cv=4).fit(X, y)
+        assert gs.best_params_["alpha"] == 10.0
+
+    def test_refits_on_full_data(self, linear_data):
+        X, y, _ = linear_data
+        gs = GridSearchCV(Ridge(), {"alpha": [0.1, 1.0]}, cv=3).fit(X, y)
+        direct = Ridge(alpha=gs.best_params_["alpha"]).fit(X, y)
+        np.testing.assert_allclose(gs.predict(X), direct.predict(X), atol=1e-10)
+
+    def test_cv_results_complete(self, linear_data):
+        X, y, _ = linear_data
+        gs = GridSearchCV(Ridge(), {"alpha": [0.1, 1.0, 10.0]}, cv=3).fit(X, y)
+        assert len(gs.cv_results_) == 3
+        assert all("mean_score" in r for r in gs.cv_results_)
+
+    def test_score_uses_configured_scorer(self, linear_data):
+        X, y, _ = linear_data
+        gs = GridSearchCV(
+            Ridge(), {"alpha": [0.1]}, cv=3, scoring="neg_mean_squared_error"
+        ).fit(X, y)
+        assert gs.score(X, y) <= 0.0

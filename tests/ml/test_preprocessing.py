@@ -1,0 +1,162 @@
+"""Tests for scalers, log transform, polynomial features, and Pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    LinearRegression,
+    LogTransformer,
+    MinMaxScaler,
+    Pipeline,
+    PolynomialFeatures,
+    StandardScaler,
+)
+
+mat = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 20), st.integers(1, 5)),
+    elements=st.floats(-100, 100, allow_nan=False),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.normal(3.0, 5.0, size=(100, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_passthrough(self):
+        X = np.column_stack([np.full(5, 7.0), np.arange(5.0)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    @given(mat)
+    @settings(max_examples=30)
+    def test_inverse_roundtrip(self, X):
+        sc = StandardScaler().fit(X)
+        np.testing.assert_allclose(
+            sc.inverse_transform(sc.transform(X)), X, atol=1e-8
+        )
+
+    def test_feature_count_mismatch_raises(self, rng):
+        sc = StandardScaler().fit(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            sc.transform(rng.normal(size=(5, 2)))
+
+    def test_without_mean_or_std(self, rng):
+        X = rng.normal(2.0, 3.0, size=(50, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert abs(Z.mean()) > 0.1  # mean not removed
+        Z2 = StandardScaler(with_std=False).fit_transform(X)
+        np.testing.assert_allclose(Z2.mean(axis=0), 0.0, atol=1e-10)
+        assert Z2.std() > 1.5  # std untouched
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        X = rng.normal(size=(40, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(30, 2))
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 1)).fit(np.ones((3, 1)))
+
+    @given(mat)
+    @settings(max_examples=30)
+    def test_inverse_roundtrip(self, X):
+        sc = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(
+            sc.inverse_transform(sc.transform(X)), X, atol=1e-7
+        )
+
+
+class TestLogTransformer:
+    def test_roundtrip(self, rng):
+        X = rng.uniform(0.1, 100.0, size=(20, 3))
+        tr = LogTransformer().fit(X)
+        np.testing.assert_allclose(tr.inverse_transform(tr.transform(X)), X)
+
+    def test_base_2(self):
+        X = np.array([[8.0]])
+        assert LogTransformer(base=2).fit_transform(X)[0, 0] == pytest.approx(3.0)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            LogTransformer().fit(np.array([[0.0]]))
+
+    def test_shift_allows_zero(self):
+        out = LogTransformer(shift=1.0).fit_transform(np.array([[0.0]]))
+        assert out[0, 0] == pytest.approx(0.0)
+
+
+class TestPolynomialFeatures:
+    def test_degree_two_columns(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        # bias, x0, x1, x0^2, x0*x1, x1^2
+        np.testing.assert_allclose(out[0], [1, 2, 3, 4, 6, 9])
+
+    def test_no_bias(self):
+        out = PolynomialFeatures(degree=1, include_bias=False).fit_transform(
+            np.array([[5.0]])
+        )
+        np.testing.assert_allclose(out, [[5.0]])
+
+    def test_interaction_only_drops_squares(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2, interaction_only=True).fit_transform(X)
+        np.testing.assert_allclose(out[0], [1, 2, 3, 6])
+
+    def test_n_output_features_matches(self, rng):
+        X = rng.normal(size=(4, 3))
+        pf = PolynomialFeatures(degree=3).fit(X)
+        assert pf.transform(X).shape[1] == pf.n_output_features_
+
+    def test_degree_zero_raises(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(degree=0).fit(np.ones((2, 2)))
+
+
+class TestPipeline:
+    def test_fit_predict_chains(self, linear_data):
+        X, y, _ = linear_data
+        pipe = Pipeline(
+            [("scale", StandardScaler()), ("ols", LinearRegression())]
+        ).fit(X, y)
+        assert pipe.score(X, y) > 0.99
+
+    def test_named_steps(self):
+        pipe = Pipeline([("s", StandardScaler()), ("m", LinearRegression())])
+        assert isinstance(pipe.named_steps["s"], StandardScaler)
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="unique"):
+            Pipeline([("a", StandardScaler()), ("a", LinearRegression())])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_predict_before_fit_raises(self, linear_data):
+        X, _, _ = linear_data
+        pipe = Pipeline([("s", StandardScaler()), ("m", LinearRegression())])
+        with pytest.raises(Exception):
+            pipe.predict(X)
+
+    def test_transform_only_pipeline_end(self, rng):
+        X = rng.normal(size=(10, 2)) * 5 + 3
+        pipe = Pipeline([("a", StandardScaler()), ("b", MinMaxScaler())]).fit(X)
+        out = pipe.transform(X)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)

@@ -1,0 +1,149 @@
+"""Cross-cutting property-based tests of core ML invariants.
+
+These complement the per-module tests with randomized invariants that
+must hold for *any* input: prediction ranges of averaging learners,
+scale equivariance of linear models, idempotence of transforms, and
+determinism under fixed seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    KMeans,
+    KNeighborsRegressor,
+    Lasso,
+    LinearRegression,
+    MultiTaskLasso,
+    RandomForestRegressor,
+    Ridge,
+    StandardScaler,
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def make_problem(seed, n=40, f=4):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, f))
+    y = rng.normal(size=n)
+    return X, y
+
+
+class TestAveragingLearnersPredictInRange:
+    """Learners that average training targets can never predict outside
+    [min(y), max(y)] — the very property that breaks them under scale
+    extrapolation (the paper's motivation)."""
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_tree_in_range(self, seed):
+        X, y = make_problem(seed)
+        model = DecisionTreeRegressor(max_depth=4, random_state=0).fit(X, y)
+        far = np.full((5, X.shape[1]), 100.0)
+        preds = model.predict(far)
+        assert np.all(preds >= y.min() - 1e-12)
+        assert np.all(preds <= y.max() + 1e-12)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_forest_in_range(self, seed):
+        X, y = make_problem(seed)
+        model = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        far = np.full((5, X.shape[1]), -100.0)
+        preds = model.predict(far)
+        assert np.all(preds >= y.min() - 1e-12)
+        assert np.all(preds <= y.max() + 1e-12)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_knn_in_range(self, seed):
+        X, y = make_problem(seed)
+        model = KNeighborsRegressor(n_neighbors=3).fit(X, y)
+        far = np.full((5, X.shape[1]), 50.0)
+        preds = model.predict(far)
+        assert np.all(preds >= y.min() - 1e-12)
+        assert np.all(preds <= y.max() + 1e-12)
+
+
+class TestLinearModelEquivariance:
+    @given(seeds, st.floats(0.1, 100.0))
+    @settings(max_examples=15, deadline=None)
+    def test_ols_target_scale_equivariant(self, seed, c):
+        X, y = make_problem(seed)
+        a = LinearRegression().fit(X, y)
+        b = LinearRegression().fit(X, c * y)
+        np.testing.assert_allclose(b.coef_, c * a.coef_, rtol=1e-6, atol=1e-9)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_ridge_between_zero_and_ols(self, seed):
+        X, y = make_problem(seed)
+        ols = np.linalg.norm(LinearRegression().fit(X, y).coef_)
+        ridge = np.linalg.norm(Ridge(alpha=5.0).fit(X, y).coef_)
+        assert ridge <= ols + 1e-9
+
+    @given(seeds, st.floats(0.01, 1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_lasso_subset_of_smaller_alpha_cost(self, seed, alpha):
+        # Objective value at the solution must not exceed the objective
+        # at w = 0 (optimality sanity).
+        X, y = make_problem(seed)
+        model = Lasso(alpha=alpha, tol=1e-9).fit(X, y)
+        n = len(y)
+        r = y - model.predict(X)
+        obj = (r @ r) / (2 * n) + alpha * np.abs(model.coef_).sum()
+        yc = y - y.mean()
+        obj_zero = (yc @ yc) / (2 * n)
+        assert obj <= obj_zero + 1e-9
+
+    @given(seeds, st.floats(0.01, 1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_multitask_objective_no_worse_than_zero(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 4))
+        Y = rng.normal(size=(30, 2))
+        model = MultiTaskLasso(alpha=alpha, tol=1e-9).fit(X, Y)
+        n = len(Y)
+        R = Y - model.predict(X)
+        row_norms = np.sqrt((model.coef_.T**2).sum(axis=1))
+        obj = np.sum(R * R) / (2 * n) + alpha * row_norms.sum()
+        Yc = Y - Y.mean(axis=0)
+        obj_zero = np.sum(Yc * Yc) / (2 * n)
+        assert obj <= obj_zero + 1e-9
+
+
+class TestTransformIdempotence:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_standardizing_twice_is_stable(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(3.0, 2.0, size=(30, 3))
+        once = StandardScaler().fit_transform(X)
+        twice = StandardScaler().fit_transform(once)
+        np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+class TestKMeansInvariants:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_assignment_is_nearest_center(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 2))
+        km = KMeans(n_clusters=3, n_init=2, random_state=seed).fit(X)
+        D = np.linalg.norm(
+            X[:, None, :] - km.cluster_centers_[None, :, :], axis=2
+        )
+        np.testing.assert_array_equal(km.labels_, np.argmin(D, axis=1))
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_translation_invariance_of_inertia(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(25, 2))
+        a = KMeans(n_clusters=2, n_init=3, random_state=0).fit(X).inertia_
+        b = KMeans(n_clusters=2, n_init=3, random_state=0).fit(X + 37.0).inertia_
+        assert a == pytest.approx(b, rel=1e-6)

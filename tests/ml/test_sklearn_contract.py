@@ -1,0 +1,109 @@
+"""Estimator-contract conformance tests applied to every regressor.
+
+A single parametrized battery mirroring (a small subset of)
+scikit-learn's estimator checks: clonability, parameter round trips,
+fit-returns-self, fitted-attribute conventions, pickling, and
+input-validation behavior.  Catches contract drift in any estimator
+without writing the same boilerplate per module.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaptiveLasso,
+    DecisionTreeRegressor,
+    ElasticNet,
+    GaussianProcessRegressor,
+    GradientBoostingRegressor,
+    KernelRidge,
+    KNeighborsRegressor,
+    Lasso,
+    LinearRegression,
+    MLPRegressor,
+    RandomForestRegressor,
+    Ridge,
+    clone,
+)
+
+REGRESSORS = [
+    LinearRegression(),
+    Ridge(alpha=0.5),
+    Lasso(alpha=0.05),
+    ElasticNet(alpha=0.05, l1_ratio=0.5),
+    AdaptiveLasso(alpha=0.05),
+    DecisionTreeRegressor(max_depth=4, random_state=0),
+    RandomForestRegressor(n_estimators=8, random_state=0),
+    GradientBoostingRegressor(n_estimators=8, random_state=0),
+    KNeighborsRegressor(n_neighbors=3),
+    KernelRidge(alpha=0.1),
+    GaussianProcessRegressor(noise=1e-4),
+    MLPRegressor(hidden_layer_sizes=(16,), max_iter=80, random_state=0),
+]
+
+IDS = [type(r).__name__ for r in REGRESSORS]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 3))
+    y = X @ np.array([1.0, -0.5, 2.0]) + 0.05 * rng.normal(size=60)
+    return X, y
+
+
+@pytest.mark.parametrize("estimator", REGRESSORS, ids=IDS)
+class TestEstimatorContract:
+    def test_fit_returns_self(self, estimator, data):
+        X, y = data
+        model = clone(estimator)
+        assert model.fit(X, y) is model
+
+    def test_predict_shape_and_finiteness(self, estimator, data):
+        X, y = data
+        model = clone(estimator).fit(X, y)
+        pred = model.predict(X[:7])
+        assert pred.shape == (7,)
+        assert np.all(np.isfinite(pred))
+
+    def test_params_roundtrip(self, estimator, data):
+        params = estimator.get_params(deep=False)
+        rebuilt = type(estimator)(**params)
+        assert rebuilt.get_params(deep=False).keys() == params.keys()
+
+    def test_clone_is_unfitted_copy(self, estimator, data):
+        X, y = data
+        fitted = clone(estimator).fit(X, y)
+        fresh = clone(fitted)
+        fitted_attrs = [
+            a for a in vars(fresh)
+            if a.endswith("_") and not a.endswith("__")
+        ]
+        assert not fitted_attrs
+
+    def test_pickle_roundtrip_preserves_predictions(self, estimator, data):
+        X, y = data
+        model = clone(estimator).fit(X, y)
+        expected = model.predict(X[:5])
+        restored = pickle.loads(pickle.dumps(model))
+        np.testing.assert_allclose(restored.predict(X[:5]), expected)
+
+    def test_rejects_nan_input(self, estimator, data):
+        X, y = data
+        model = clone(estimator)
+        X_bad = X.copy()
+        X_bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            model.fit(X_bad, y)
+
+    def test_rejects_length_mismatch(self, estimator, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            clone(estimator).fit(X, y[:-3])
+
+    def test_learns_signal_better_than_mean(self, estimator, data):
+        X, y = data
+        model = clone(estimator).fit(X, y)
+        assert model.score(X, y) > 0.5

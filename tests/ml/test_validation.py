@@ -1,0 +1,134 @@
+"""Tests for input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.validation import (
+    check_array,
+    check_consistent_length,
+    check_random_state,
+    check_X_y,
+    column_or_1d,
+    spawn_rngs,
+)
+
+
+class TestCheckArray:
+    def test_returns_contiguous_float64(self):
+        out = check_array([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_1d_raises_with_hint(self):
+        with pytest.raises(ValueError, match="reshape"):
+            check_array([1.0, 2.0])
+
+    def test_3d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_zero_features_raises(self):
+        with pytest.raises(ValueError, match="0 features"):
+            check_array(np.zeros((3, 0)))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_array([[1.0, np.nan]])
+
+    def test_inf_raises(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_array([[np.inf, 1.0]])
+
+    def test_nan_allowed_when_requested(self):
+        out = check_array([[1.0, np.nan]], allow_nan=True)
+        assert np.isnan(out[0, 1])
+
+    def test_min_samples_enforced(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            check_array([[1.0], [2.0]], min_samples=3)
+
+    def test_1d_allowed_when_ensure_2d_false(self):
+        out = check_array([1.0, 2.0], ensure_2d=False)
+        assert out.shape == (2,)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="weights"):
+            check_array([[np.nan]], name="weights")
+
+
+class TestColumnOr1d:
+    def test_flattens_single_column(self):
+        assert column_or_1d(np.ones((4, 1))).shape == (4,)
+
+    def test_wide_2d_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            column_or_1d(np.ones((4, 2)))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            column_or_1d([1.0, np.nan])
+
+
+class TestCheckXY:
+    def test_joint_validation(self):
+        X, y = check_X_y([[1.0], [2.0]], [1.0, 2.0])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="Inconsistent"):
+            check_X_y([[1.0], [2.0]], [1.0])
+
+    def test_multi_output_promotes_1d(self):
+        _, y = check_X_y([[1.0], [2.0]], [1.0, 2.0], multi_output=True)
+        assert y.shape == (2, 1)
+
+    def test_multi_output_keeps_2d(self):
+        _, y = check_X_y([[1.0], [2.0]], [[1.0, 2.0], [3.0, 4.0]], multi_output=True)
+        assert y.shape == (2, 2)
+
+    def test_multi_output_nan_raises(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0]], [[np.nan]], multi_output=True)
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(5).random(3)
+        b = check_random_state(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert check_random_state(g) is g
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            check_random_state("seed")
+
+
+class TestSpawnRngs:
+    def test_spawned_streams_differ(self):
+        rng = np.random.default_rng(0)
+        children = spawn_rngs(rng, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible_given_same_parent_seed(self):
+        a = [g.random() for g in spawn_rngs(np.random.default_rng(1), 4)]
+        b = [g.random() for g in spawn_rngs(np.random.default_rng(1), 4)]
+        assert a == b
+
+
+class TestConsistentLength:
+    def test_passes_on_equal(self):
+        check_consistent_length([1, 2], [3, 4])
+
+    def test_ignores_none(self):
+        check_consistent_length([1, 2], None, [3, 4])
+
+    def test_raises_on_mismatch(self):
+        with pytest.raises(ValueError):
+            check_consistent_length([1], [1, 2])

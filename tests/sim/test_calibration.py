@@ -1,0 +1,124 @@
+"""Tests for machine-model calibration (parameter recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    LogGPParams,
+    Machine,
+    NetworkModel,
+    NodeSpec,
+    calibrate_machine,
+    fit_loggp,
+    fit_node,
+    get_machine,
+    measure_node,
+    measure_pingpong,
+)
+from repro.sim.calibration import NodeSample, PingPongSample
+
+
+class TestPingPongFit:
+    def test_exact_recovery_noise_free(self):
+        machine = get_machine("default-cluster")
+        samples = measure_pingpong(machine)
+        fitted = fit_loggp(samples,
+                           eager_limit=machine.network.params.eager_limit)
+        true = machine.network.params
+        assert fitted.latency == pytest.approx(true.latency, rel=1e-6)
+        assert fitted.overhead == pytest.approx(true.overhead, rel=1e-6)
+        assert fitted.gap_per_byte == pytest.approx(true.gap_per_byte,
+                                                    rel=1e-6)
+
+    def test_recovery_under_noise(self):
+        machine = get_machine("default-cluster")
+        rng = np.random.default_rng(3)
+        samples = measure_pingpong(machine, noise_sigma=0.03, rng=rng)
+        fitted = fit_loggp(samples,
+                           eager_limit=machine.network.params.eager_limit)
+        true = machine.network.params
+        assert fitted.latency == pytest.approx(true.latency, rel=0.25)
+        assert fitted.gap_per_byte == pytest.approx(true.gap_per_byte,
+                                                    rel=0.1)
+
+    def test_single_hop_distance_rejected(self):
+        machine = get_machine("default-cluster")
+        samples = measure_pingpong(machine, hop_distances=(2.0,))
+        with pytest.raises(ValueError, match="hop distances"):
+            fit_loggp(samples)
+
+    def test_one_sided_sizes_rejected(self):
+        machine = get_machine("default-cluster")
+        samples = measure_pingpong(machine, sizes=(0, 64, 512))
+        with pytest.raises(ValueError, match="eager limit"):
+            fit_loggp(samples)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            fit_loggp([PingPongSample(0, 1e-6)])
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ValueError):
+            PingPongSample(-1, 1e-6)
+        with pytest.raises(ValueError):
+            PingPongSample(0, 0.0)
+        with pytest.raises(ValueError):
+            PingPongSample(0, 1e-6, hops=0.5)
+
+
+class TestNodeFit:
+    def test_recovers_effective_rates(self):
+        machine = get_machine("default-cluster")
+        samples = measure_node(machine)
+        node = fit_node(samples, cores=machine.node.cores)
+        true_flops = (machine.node.flops_per_core
+                      * machine.node.compute_efficiency)
+        assert node.flops_per_core * node.compute_efficiency == pytest.approx(
+            true_flops, rel=0.05
+        )
+        assert node.mem_bandwidth == pytest.approx(
+            machine.node.mem_bandwidth, rel=0.05
+        )
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_node([], cores=32)
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_node([NodeSample(1e9, 1e6, 1, 0.0)], cores=32)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("sigma", [0.0, 0.02])
+    def test_calibrated_machine_predicts_like_reference(self, sigma):
+        ref = get_machine("default-cluster")
+        cal = calibrate_machine(ref, noise_sigma=sigma, seed=1)
+        # Compare an application runtime prediction on both machines.
+        from repro.apps import get_app
+        from repro.sim import Executor, NoiseModel
+
+        app = get_app("stencil3d")
+        params = {"nx": 256, "iterations": 200, "ghost": 2, "check_freq": 10}
+        quiet = NoiseModel(sigma=0, jitter_prob=0)
+        for p in [64, 512, 4096]:
+            t_ref = Executor(machine=ref, noise=quiet).model_time(app, params, p)
+            t_cal = Executor(machine=cal, noise=quiet).model_time(app, params, p)
+            assert t_cal == pytest.approx(t_ref, rel=0.15), p
+
+    def test_topology_carried_over(self):
+        ref = get_machine("torus-cluster")
+        cal = calibrate_machine(ref)
+        assert cal.topology is ref.topology
+        assert cal.name.startswith("calibrated-")
+
+    def test_custom_machine_roundtrip(self):
+        ref = Machine(
+            node=NodeSpec(cores=16, flops_per_core=8e9, mem_bandwidth=80e9,
+                          compute_efficiency=0.5),
+            network=NetworkModel(LogGPParams(latency=3e-6, overhead=1e-6,
+                                             gap_per_byte=1e-9)),
+        )
+        cal = calibrate_machine(ref)
+        assert cal.network.params.latency == pytest.approx(3e-6, rel=1e-6)
+        assert cal.network.params.gap_per_byte == pytest.approx(1e-9, rel=1e-6)

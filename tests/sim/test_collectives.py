@@ -1,0 +1,111 @@
+"""Tests for MPI collective cost models."""
+
+import math
+
+import pytest
+
+from repro.sim import (
+    Machine,
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    broadcast,
+    ptp,
+    reduce,
+)
+from repro.sim.collectives import COLLECTIVES
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+ALL_OPS = [barrier, broadcast, reduce, allreduce, allgather, alltoall]
+
+
+class TestDegenerateCases:
+    @pytest.mark.parametrize("op", ALL_OPS)
+    def test_single_process_free(self, machine, op):
+        assert op(machine, 1024.0, 1) == 0.0
+
+    def test_ptp_zero_count(self, machine):
+        assert ptp(machine, 1024.0, 8, count=0) == 0.0
+
+    def test_ptp_negative_count_raises(self, machine):
+        with pytest.raises(ValueError):
+            ptp(machine, 1024.0, 8, count=-1)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("op", [broadcast, reduce, allreduce, allgather, alltoall])
+    def test_monotone_in_bytes(self, machine, op):
+        times = [op(machine, n, 64) for n in [8, 1024, 65536, 1048576]]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize("op", ALL_OPS)
+    def test_monotone_in_procs(self, machine, op):
+        times = [op(machine, 1024.0, p) for p in [2, 8, 64, 512]]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+class TestStructure:
+    def test_barrier_log_rounds(self, machine):
+        # Barrier cost ratio between p=256 and p=2 equals the round ratio
+        # up to the hop-count increase.
+        t2 = barrier(machine, 0.0, 2)
+        t256 = barrier(machine, 0.0, 256)
+        assert t256 / t2 >= math.log2(256) / math.log2(2) * 0.9
+
+    def test_broadcast_is_log2_rounds_of_ptp(self, machine):
+        for p in [2, 64, 1000, 1024]:
+            rounds = math.ceil(math.log2(p))
+            assert broadcast(machine, 4096, p) == pytest.approx(
+                rounds * ptp(machine, 4096, p)
+            )
+
+    def test_reduce_costs_at_least_broadcast(self, machine):
+        # Same tree, plus arithmetic.
+        assert reduce(machine, 65536, 64) >= broadcast(machine, 65536, 64)
+
+    def test_allreduce_bandwidth_term_scale_free(self, machine):
+        # Rabenseifner: bytes moved ~ 2n(p-1)/p, nearly independent of p;
+        # doubling p far less than doubles the time for large payloads.
+        big = 64 * 1024 * 1024
+        t64 = allreduce(machine, big, 64)
+        t128 = allreduce(machine, big, 128)
+        assert t128 < 1.2 * t64
+
+    def test_allreduce_small_uses_latency_algorithm(self, machine):
+        small = allreduce(machine, 8.0, 1024)
+        rounds = math.ceil(math.log2(1024))
+        # Latency-dominated: roughly rounds x one small message.
+        one_msg = ptp(machine, 8.0, 1024)
+        assert small == pytest.approx(rounds * one_msg, rel=0.5)
+
+    def test_allgather_linear_in_procs(self, machine):
+        t8 = allgather(machine, 4096, 8)
+        t64 = allgather(machine, 4096, 64)
+        # Ring: (p-1) steps; hop growth makes it slightly superlinear.
+        assert t64 / t8 >= (63 / 7) * 0.9
+
+    def test_alltoall_per_step_block_shrinks(self, machine):
+        # Total payload fixed: doubling p doubles steps but halves block
+        # size, so growth is sub-linear in p for bandwidth-dominated
+        # payloads.
+        payload = 8 * 1024 * 1024
+        t64 = alltoall(machine, payload, 64)
+        t128 = alltoall(machine, payload, 128)
+        assert t128 < 1.9 * t64
+
+    def test_registry_complete(self):
+        assert set(COLLECTIVES) == {
+            "ptp",
+            "barrier",
+            "broadcast",
+            "reduce",
+            "allreduce",
+            "allgather",
+            "alltoall",
+        }

@@ -1,0 +1,153 @@
+"""Tests for the per-rank detailed executor and load-imbalance model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.data import HistoryGenerator
+from repro.sim import (
+    DetailedExecutor,
+    Executor,
+    LoadImbalanceModel,
+    NoiseModel,
+)
+from repro.sim.detailed import _neighbor_sync
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("stencil3d")
+
+
+@pytest.fixture(scope="module")
+def params():
+    return {"nx": 128, "iterations": 100, "ghost": 1, "check_freq": 10}
+
+
+ZERO_IMBALANCE = LoadImbalanceModel(
+    static_sigma=0.0, dynamic_sigma=0.0, straggler_prob=0.0,
+    straggler_factor=1.0,
+)
+
+
+class TestLoadImbalanceModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadImbalanceModel(static_sigma=-0.1)
+        with pytest.raises(ValueError):
+            LoadImbalanceModel(straggler_prob=2.0)
+        with pytest.raises(ValueError):
+            LoadImbalanceModel(straggler_factor=0.5)
+
+    def test_zero_model_gives_unit_factors(self):
+        rng = np.random.default_rng(0)
+        f = ZERO_IMBALANCE.static_factors(100, rng)
+        np.testing.assert_array_equal(f, 1.0)
+        np.testing.assert_array_equal(
+            ZERO_IMBALANCE.dynamic_factors(100, rng), 1.0
+        )
+
+    def test_factors_centered_near_one(self):
+        rng = np.random.default_rng(0)
+        model = LoadImbalanceModel(static_sigma=0.05, straggler_prob=0.0)
+        f = model.static_factors(5000, rng)
+        assert abs(np.log(f).mean()) < 0.01
+
+    def test_stragglers_appear(self):
+        rng = np.random.default_rng(0)
+        model = LoadImbalanceModel(
+            static_sigma=0.0, straggler_prob=0.5, straggler_factor=2.0
+        )
+        f = model.static_factors(1000, rng)
+        assert 0.3 < np.mean(f > 1.5) < 0.7
+
+
+class TestNeighborSync:
+    def test_propagates_max_locally(self):
+        t = np.zeros(10)
+        t[4] = 5.0
+        out = _neighbor_sync(t, rounds=1)
+        assert out[3] == out[4] == out[5] == 5.0
+        assert out[0] == 0.0  # only one hop of diffusion
+
+    def test_rounds_widen_diffusion(self):
+        t = np.zeros(10)
+        t[0] = 3.0
+        out = _neighbor_sync(t, rounds=4)
+        # Wrap-around ring: 4 hops each way.
+        assert np.sum(out == 3.0) >= 9
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        t = rng.random(20)
+        out = _neighbor_sync(t, rounds=2)
+        assert np.all(out >= t)
+
+
+class TestDetailedExecutor:
+    def test_zero_imbalance_matches_quiet_model(self, app, params):
+        det = DetailedExecutor(imbalance=ZERO_IMBALANCE, seed=1)
+        quiet = Executor(noise=NoiseModel(sigma=0, jitter_prob=0))
+        for p in [1, 64, 512]:
+            rec = det.run(app, params, p)
+            assert rec.runtime == pytest.approx(
+                quiet.model_time(app, params, p), rel=1e-9
+            )
+
+    def test_imbalance_never_speeds_up(self, app, params):
+        det = DetailedExecutor(seed=1)
+        for p in [64, 512]:
+            rec = det.run(app, params, p)
+            assert rec.runtime >= rec.model_runtime * 0.999
+
+    def test_deterministic_per_identity(self, app, params):
+        det = DetailedExecutor(seed=3)
+        a = det.run(app, params, 64).runtime
+        b = det.run(app, params, 64).runtime
+        assert a == b
+        assert det.run(app, params, 64, rep=1).runtime != a
+
+    def test_more_imbalance_more_slowdown(self, app, params):
+        mild = DetailedExecutor(
+            imbalance=LoadImbalanceModel(static_sigma=0.01,
+                                         dynamic_sigma=0.0,
+                                         straggler_prob=0.0), seed=1
+        )
+        heavy = DetailedExecutor(
+            imbalance=LoadImbalanceModel(static_sigma=0.2,
+                                         dynamic_sigma=0.0,
+                                         straggler_prob=0.0), seed=1
+        )
+        p = 512
+        assert heavy.run(app, params, p).runtime > mild.run(
+            app, params, p
+        ).runtime
+
+    def test_phase_breakdown_consistent(self, app, params):
+        det = DetailedExecutor(seed=1)
+        rec = det.run(app, params, 256)
+        assert rec.phases
+        total = sum(ph.total for ph in rec.phases)
+        # Per-rank mean accounting approximates (not exceeds by much)
+        # the critical-path runtime.
+        assert total <= rec.runtime * 1.05
+
+    def test_works_with_history_generator(self, app):
+        det = DetailedExecutor(seed=4)
+        gen = HistoryGenerator(app, executor=det, seed=4)
+        ds = gen.generate(4, scales=[32, 64], repetitions=1)
+        assert len(ds) == 8
+        assert np.all(ds.runtime > 0)
+
+    def test_rank_cap_respected(self, app, params):
+        det = DetailedExecutor(seed=1, max_tracked_ranks=64)
+        rec = det.run(app, params, 4096)
+        assert rec.runtime > 0
+
+    def test_invalid_args(self, app, params):
+        with pytest.raises(ValueError):
+            DetailedExecutor(max_tracked_ranks=0)
+        with pytest.raises(ValueError):
+            DetailedExecutor().run(app, params, 0)
+        with pytest.raises(ValueError):
+            DetailedExecutor().run(app, {"nx": 1}, 4)

@@ -1,0 +1,138 @@
+"""Tests for the executor and noise model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.sim import Executor, NoiseModel
+from repro.sim.trace import ExecutionRecord, PhaseTiming
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("stencil3d")
+
+
+@pytest.fixture(scope="module")
+def params(app):
+    return {"nx": 128, "iterations": 100, "ghost": 1, "check_freq": 10}
+
+
+class TestNoiseModel:
+    def test_zero_noise_identity(self):
+        nm = NoiseModel(sigma=0.0, jitter_prob=0.0)
+        rng = np.random.default_rng(0)
+        assert nm.apply(3.0, rng) == 3.0
+
+    def test_noise_centered(self):
+        nm = NoiseModel(sigma=0.05, jitter_prob=0.0)
+        rng = np.random.default_rng(0)
+        samples = np.array([nm.apply(1.0, rng) for _ in range(4000)])
+        assert samples.mean() == pytest.approx(1.0, rel=0.02)
+        assert samples.std() == pytest.approx(0.05, rel=0.2)
+
+    def test_jitter_only_inflates(self):
+        nm = NoiseModel(sigma=0.0, jitter_prob=1.0, jitter_scale=0.2)
+        rng = np.random.default_rng(0)
+        samples = [nm.apply(1.0, rng) for _ in range(100)]
+        assert all(1.0 <= s <= 1.2 for s in samples)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(jitter_prob=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(jitter_scale=-1.0)
+
+
+class TestExecutor:
+    def test_noise_free_run_matches_model(self, app, params):
+        ex = Executor(noise=NoiseModel(sigma=0.0, jitter_prob=0.0))
+        rec = ex.run(app, params, 64)
+        assert rec.runtime == pytest.approx(rec.model_runtime)
+        assert rec.model_runtime == pytest.approx(ex.model_time(app, params, 64))
+
+    def test_runs_deterministic_per_identity(self, app, params):
+        ex = Executor(seed=5)
+        a = ex.run(app, params, 64, rep=0)
+        b = ex.run(app, params, 64, rep=0)
+        assert a.runtime == b.runtime
+
+    def test_reps_differ(self, app, params):
+        ex = Executor(seed=5)
+        assert ex.run(app, params, 64, rep=0).runtime != ex.run(
+            app, params, 64, rep=1
+        ).runtime
+
+    def test_order_independence(self, app, params):
+        ex = Executor(seed=9)
+        first = ex.run(app, params, 128).runtime
+        ex.run(app, params, 64)  # interleave another run
+        again = ex.run(app, params, 128).runtime
+        assert first == again
+
+    def test_different_seeds_differ(self, app, params):
+        a = Executor(seed=1).run(app, params, 64).runtime
+        b = Executor(seed=2).run(app, params, 64).runtime
+        assert a != b
+
+    def test_invalid_params_rejected(self, app):
+        ex = Executor()
+        with pytest.raises(ValueError, match="missing"):
+            ex.run(app, {"nx": 128}, 64)
+        with pytest.raises(ValueError, match="unknown"):
+            ex.run(
+                app,
+                {"nx": 128, "iterations": 100, "ghost": 1, "check_freq": 10,
+                 "bogus": 1},
+                64,
+            )
+
+    def test_invalid_nprocs_raises(self, app, params):
+        with pytest.raises(ValueError):
+            Executor().run(app, params, 0)
+
+    def test_record_phases_sum_to_model(self, app, params):
+        ex = Executor()
+        rec = ex.run(app, params, 64)
+        assert sum(p.total for p in rec.phases) == pytest.approx(
+            rec.model_runtime
+        )
+
+    def test_unknown_comm_op_rejected(self, params):
+        from repro.apps.base import Application, CommOp, ParamSpec, PhaseSpec
+
+        class Bad(Application):
+            name = "bad"
+
+            def param_specs(self):
+                return (ParamSpec("x", 0, 1),)
+
+            def phases(self, params, nprocs):
+                return [PhaseSpec("p", 1.0, 1.0, (CommOp("gatherv", 8.0),))]
+
+        with pytest.raises(ValueError, match="Unknown communication op"):
+            Executor().run(Bad(), {"x": 0.5}, 4)
+
+
+class TestTraceRecords:
+    def test_phase_timing_validation(self):
+        with pytest.raises(ValueError):
+            PhaseTiming("x", -1.0, 0.0)
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionRecord("a", {}, 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ExecutionRecord("a", {}, 4, -1.0, 1.0)
+
+    def test_comm_fraction_bounds(self, app, params):
+        rec = Executor().run(app, params, 256)
+        assert 0.0 <= rec.comm_fraction <= 1.0
+
+    def test_comm_fraction_zero_single_proc(self, app, params):
+        # Single process: halo message count is zero.
+        small = dict(params)
+        rec = Executor().run(app, small, 1)
+        assert rec.comm_fraction == pytest.approx(0.0)

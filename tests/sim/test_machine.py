@@ -1,0 +1,98 @@
+"""Tests for the node/machine roofline model."""
+
+import pytest
+
+from repro.sim import FatTree, Machine, NodeSpec
+
+
+class TestNodeSpec:
+    def test_defaults_valid(self):
+        spec = NodeSpec()
+        assert spec.cores >= 1
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(flops_per_core=0)
+        with pytest.raises(ValueError):
+            NodeSpec(mem_bandwidth=-1)
+        with pytest.raises(ValueError):
+            NodeSpec(compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            NodeSpec(compute_efficiency=1.5)
+
+
+class TestMachineAllocation:
+    def test_nodes_for_rounds_up(self):
+        m = Machine(node=NodeSpec(cores=32))
+        assert m.nodes_for(1) == 1
+        assert m.nodes_for(32) == 1
+        assert m.nodes_for(33) == 2
+        assert m.nodes_for(64) == 2
+
+    def test_capacity_enforced(self):
+        m = Machine(node=NodeSpec(cores=2), topology=FatTree(k=2))
+        with pytest.raises(ValueError, match="capacity"):
+            m.nodes_for(m.max_procs() + 1)
+
+    def test_invalid_nprocs_raises(self):
+        with pytest.raises(ValueError):
+            Machine().nodes_for(0)
+
+    def test_single_node_detection(self):
+        m = Machine(node=NodeSpec(cores=16))
+        assert m.job_is_single_node(16)
+        assert not m.job_is_single_node(17)
+
+
+class TestRoofline:
+    def test_flop_bound_phase(self):
+        m = Machine(node=NodeSpec(cores=4, flops_per_core=1e9,
+                                  mem_bandwidth=1e12, compute_efficiency=1.0))
+        # 1e9 flops, negligible memory: exactly one second.
+        assert m.compute_time(1e9, 1.0, nprocs=1) == pytest.approx(1.0)
+
+    def test_memory_bound_phase(self):
+        m = Machine(node=NodeSpec(cores=4, flops_per_core=1e15,
+                                  mem_bandwidth=1e9, compute_efficiency=1.0))
+        # 1e9 bytes on a fully packed node: bandwidth shared by 4 cores.
+        assert m.compute_time(1.0, 1e9, nprocs=4) == pytest.approx(4.0)
+
+    def test_bandwidth_shared_by_residents_only(self):
+        m = Machine(node=NodeSpec(cores=4, flops_per_core=1e15,
+                                  mem_bandwidth=1e9, compute_efficiency=1.0))
+        t_alone = m.compute_time(1.0, 1e9, nprocs=1)
+        t_packed = m.compute_time(1.0, 1e9, nprocs=4)
+        assert t_packed == pytest.approx(4.0 * t_alone)
+
+    def test_efficiency_scales_flop_bound(self):
+        fast = Machine(node=NodeSpec(compute_efficiency=1.0))
+        slow = Machine(node=NodeSpec(compute_efficiency=0.25))
+        assert slow.compute_time(1e12, 0.0, 1) == pytest.approx(
+            4.0 * fast.compute_time(1e12, 0.0, 1)
+        )
+
+    def test_max_of_bounds(self):
+        m = Machine(node=NodeSpec(cores=1, flops_per_core=1e9,
+                                  mem_bandwidth=1e9, compute_efficiency=1.0))
+        # 2 s of flops vs 1 s of memory -> flop bound wins.
+        assert m.compute_time(2e9, 1e9, 1) == pytest.approx(2.0)
+
+    def test_negative_work_raises(self):
+        with pytest.raises(ValueError):
+            Machine().compute_time(-1.0, 0.0, 1)
+
+
+class TestMachineTopologyGlue:
+    def test_single_node_hops_is_one(self):
+        m = Machine(node=NodeSpec(cores=8))
+        assert m.hops(8) == 1.0
+
+    def test_multi_node_hops_at_least_wire(self):
+        m = Machine(node=NodeSpec(cores=8))
+        assert m.hops(64) >= 2.0
+
+    def test_contention_default_fat_tree_is_one(self):
+        m = Machine()
+        assert m.contention(4096) == 1.0

@@ -1,0 +1,32 @@
+"""Tests for the machine preset registry."""
+
+import pytest
+
+from repro.sim import MACHINE_PRESETS, get_machine
+
+
+class TestPresets:
+    def test_expected_presets(self):
+        assert {"default-cluster", "torus-cluster", "dragonfly-cluster"} == set(
+            MACHINE_PRESETS
+        )
+
+    @pytest.mark.parametrize("name", sorted(MACHINE_PRESETS))
+    def test_presets_instantiate_and_allocate(self, name):
+        m = get_machine(name)
+        assert m.max_procs() >= 4096
+        assert m.compute_time(1e9, 1e6, 64) > 0
+        assert m.hops(m.node.cores * 4) >= 1.0
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="Unknown machine"):
+            get_machine("summit")
+
+    def test_fresh_instances(self):
+        a = get_machine("default-cluster")
+        b = get_machine("default-cluster")
+        assert a is not b
+
+    def test_default_capacity_covers_evaluation_scales(self):
+        m = get_machine("default-cluster")
+        assert m.max_procs() >= 8192

@@ -1,0 +1,90 @@
+"""Tests for the LogGP network model."""
+
+import pytest
+
+from repro.sim import LogGPParams, NetworkModel
+from repro.sim.network import PRESETS
+
+
+class TestLogGPParams:
+    def test_defaults_valid(self):
+        p = LogGPParams()
+        assert p.latency > 0 and p.gap_per_byte > 0
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            LogGPParams(latency=0.0)
+        with pytest.raises(ValueError):
+            LogGPParams(gap_per_byte=-1.0)
+        with pytest.raises(ValueError):
+            LogGPParams(eager_limit=-1)
+
+    def test_presets_exist(self):
+        assert {"infiniband-edr", "omnipath", "ethernet-10g"} <= set(PRESETS)
+
+    def test_ethernet_slower_than_infiniband(self):
+        eth, ib = PRESETS["ethernet-10g"], PRESETS["infiniband-edr"]
+        assert eth.latency > ib.latency
+        assert eth.gap_per_byte > ib.gap_per_byte
+
+
+class TestNetworkModel:
+    def test_preset_by_name(self):
+        net = NetworkModel("omnipath")
+        assert net.params == PRESETS["omnipath"]
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="Unknown interconnect"):
+            NetworkModel("carrier-pigeon")
+
+    def test_time_monotone_in_size(self):
+        net = NetworkModel()
+        sizes = [0, 100, 10_000, 1_000_000]
+        times = [net.ptp_time(s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_time_monotone_in_hops(self):
+        net = NetworkModel()
+        assert net.ptp_time(1000, hops=4.0) > net.ptp_time(1000, hops=1.0)
+
+    def test_contention_slows_large_messages(self):
+        net = NetworkModel()
+        assert net.ptp_time(1_000_000, contention=4.0) > net.ptp_time(
+            1_000_000, contention=1.0
+        )
+
+    def test_intra_node_faster(self):
+        net = NetworkModel()
+        assert net.ptp_time(10_000, intra_node=True) < net.ptp_time(10_000)
+
+    def test_rendezvous_jump_at_eager_limit(self):
+        net = NetworkModel()
+        limit = net.params.eager_limit
+        below = net.ptp_time(limit)
+        above = net.ptp_time(limit + 1)
+        # Crossing the limit adds a round trip, far more than one byte.
+        assert above - below > net.params.latency
+
+    def test_bandwidth_dominates_large_messages(self):
+        net = NetworkModel()
+        t = net.ptp_time(100_000_000)
+        expected_bw_term = 100_000_000 * net.params.gap_per_byte
+        assert t == pytest.approx(expected_bw_term, rel=0.01)
+
+    def test_latency_dominates_small_messages(self):
+        net = NetworkModel()
+        t = net.ptp_time(0)
+        assert t == pytest.approx(
+            net.params.latency + net.params.overhead, rel=1e-9
+        )
+
+    def test_invalid_args_raise(self):
+        net = NetworkModel()
+        with pytest.raises(ValueError):
+            net.ptp_time(-1)
+        with pytest.raises(ValueError):
+            net.ptp_time(10, hops=0.5)
+        with pytest.raises(ValueError):
+            net.ptp_time(10, contention=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(intra_node_speedup=0.5)

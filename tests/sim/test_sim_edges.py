@@ -1,0 +1,116 @@
+"""Additional edge-case tests for the simulator substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.sim import (
+    Executor,
+    Machine,
+    NodeSpec,
+    NoiseModel,
+    allreduce,
+    get_machine,
+    ptp,
+)
+
+
+class TestAllreduceAlgorithmSwitch:
+    def test_small_payload_latency_scaling(self):
+        """Below the eager limit: recursive doubling, cost ~ log2(p)
+        full-size messages."""
+        m = Machine()
+        t = allreduce(m, 8.0, 1024)
+        rounds = math.ceil(math.log2(1024))
+        assert t == pytest.approx(
+            rounds * ptp(m, 8.0, 1024) + rounds * 8.0 / 4e9, rel=1e-6
+        )
+
+    def test_large_payload_bandwidth_bound(self):
+        """Above the eager limit: Rabenseifner — ~2n bytes moved plus
+        the local reduction arithmetic; latency is negligible."""
+        m = Machine()
+        n = 64 * 1024 * 1024
+        t = allreduce(m, n, 256)
+        frac = 255 / 256
+        bw_term = 2.0 * n * frac * m.network.params.gap_per_byte
+        combine = n * frac / 4e9
+        assert t == pytest.approx(bw_term + combine, rel=0.01)
+
+    def test_crossover_continuity_order(self):
+        """The algorithm switch must not make a slightly larger payload
+        orders of magnitude cheaper."""
+        m = Machine()
+        limit = m.network.params.eager_limit
+        below = allreduce(m, float(limit), 512)
+        above = allreduce(m, float(limit + 1), 512)
+        assert above > 0.05 * below
+
+
+class TestMachinePresetExecution:
+    @pytest.mark.parametrize(
+        "preset", ["default-cluster", "torus-cluster", "dragonfly-cluster"]
+    )
+    def test_apps_run_on_every_preset(self, preset):
+        machine = get_machine(preset)
+        ex = Executor(machine=machine, noise=NoiseModel(0, 0, 0))
+        app = get_app("cg")
+        params = {"n": 1e6, "nnz_per_row": 27, "iterations": 100}
+        times = [ex.model_time(app, params, p) for p in [32, 256, 2048]]
+        assert all(t > 0 for t in times)
+        # Strong scaling holds initially on every preset.
+        assert times[1] < times[0]
+
+    def test_torus_slower_collectives_than_fat_tree(self):
+        # At large scale the torus pays more hops than the fat tree.
+        ft = get_machine("default-cluster")
+        torus = get_machine("torus-cluster")
+        p = 4096
+        assert allreduce(torus, 8.0, p) > allreduce(ft, 8.0, p) * 0.5
+
+
+class TestExtremeShapes:
+    def test_single_core_node_machine(self):
+        m = Machine(node=NodeSpec(cores=1))
+        assert m.nodes_for(8) == 8
+        assert not m.job_is_single_node(2)
+
+    def test_tiny_job_on_big_machine(self):
+        ex = Executor(noise=NoiseModel(0, 0, 0))
+        app = get_app("stencil3d")
+        params = {"nx": 48, "iterations": 50, "ghost": 1, "check_freq": 50}
+        t = ex.model_time(app, params, 1)
+        assert t > 0
+
+    def test_noise_model_only_scales_runtime(self):
+        ex_quiet = Executor(noise=NoiseModel(0, 0, 0), seed=5)
+        ex_noisy = Executor(noise=NoiseModel(sigma=0.5, jitter_prob=0.0),
+                            seed=5)
+        app = get_app("fft2d")
+        params = {"n": 1024, "batches": 4}
+        quiet = ex_quiet.run(app, params, 64)
+        noisy = ex_noisy.run(app, params, 64)
+        assert quiet.model_runtime == pytest.approx(noisy.model_runtime)
+        assert noisy.runtime != noisy.model_runtime
+
+    def test_phase_volumes_additive_over_batches(self):
+        app = get_app("fft2d")
+        one = app.phases({"n": 1024, "batches": 1}, 64)
+        four = app.phases({"n": 1024, "batches": 4}, 64)
+        assert four[0].flops == pytest.approx(4 * one[0].flops)
+
+    def test_runtime_scales_with_machine_speed(self):
+        fast = Machine(node=NodeSpec(flops_per_core=32e9))
+        slow = Machine(node=NodeSpec(flops_per_core=8e9))
+        app = get_app("nbody")
+        params = {"n_particles": 2e5, "timesteps": 50, "cutoff": 4.0,
+                  "density": 1.0, "rebuild_every": 10}
+        t_fast = Executor(machine=fast, noise=NoiseModel(0, 0, 0)).model_time(
+            app, params, 32
+        )
+        t_slow = Executor(machine=slow, noise=NoiseModel(0, 0, 0)).model_time(
+            app, params, 32
+        )
+        assert t_slow > t_fast

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface (driven in-process via main())."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListing:
+    def test_list_apps(self):
+        code, out = run_cli("list-apps")
+        assert code == 0
+        for name in ["stencil3d", "nbody", "cg", "fft2d", "wavefront"]:
+            assert name in out
+
+    def test_list_machines(self):
+        code, out = run_cli("list-machines")
+        assert code == 0
+        assert "default-cluster" in out and "fat-tree" in out
+
+    def test_list_baselines(self):
+        code, out = run_cli("list-baselines")
+        assert code == 0
+        assert "direct-rf" in out
+
+
+class TestGenerateDescribe:
+    def test_generate_and_describe(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, out = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "5",
+            "--scales", "32,64", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        assert "wrote 10 runs" in out
+        code, out = run_cli("describe", "--data", str(data))
+        assert code == 0
+        assert "stencil3d" in out and "configs     : 5" in out
+
+    def test_generate_unknown_app_fails(self, tmp_path):
+        code, _ = run_cli(
+            "generate", "--app", "hpl", "--out", str(tmp_path / "h.json")
+        )
+        assert code == 1
+
+    def test_generate_npz(self, tmp_path):
+        data = tmp_path / "h.npz"
+        code, _ = run_cli(
+            "generate", "--app", "fft2d", "--configs", "4",
+            "--scales", "32,64", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0 and data.exists()
+
+    def test_describe_missing_file_fails(self, tmp_path):
+        code, _ = run_cli("describe", "--data", str(tmp_path / "no.json"))
+        assert code == 1
+
+    def test_bad_scales_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--app", "cg", "--scales", "a,b",
+                 "--out", "x.json"]
+            )
+
+
+class TestFitPredict:
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli")
+        data = tmp / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "fft2d", "--configs", "10",
+            "--scales", "32,64,128,256", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        model = tmp / "m.pkl"
+        code, out = run_cli(
+            "fit", "--data", str(data), "--clusters", "2",
+            "--out", str(model),
+        )
+        assert code == 0 and "cluster" in out
+        return model
+
+    def test_predict(self, model_path):
+        code, out = run_cli(
+            "predict", "--model", str(model_path),
+            "--set", "n=2048", "--set", "batches=8",
+            "--scales", "512,1024",
+        )
+        assert code == 0
+        assert "t(512 procs)" in out and "t(1024 procs)" in out
+
+    def test_predict_missing_param_fails(self, model_path):
+        code, _ = run_cli(
+            "predict", "--model", str(model_path),
+            "--set", "n=2048", "--scales", "512",
+        )
+        assert code == 2
+
+    def test_predict_unknown_param_fails(self, model_path):
+        code, _ = run_cli(
+            "predict", "--model", str(model_path),
+            "--set", "n=2048", "--set", "batches=8", "--set", "depth=3",
+            "--scales", "512",
+        )
+        assert code == 2
+
+    def test_predict_malformed_set_fails(self, model_path):
+        code, _ = run_cli(
+            "predict", "--model", str(model_path),
+            "--set", "n2048", "--scales", "512",
+        )
+        assert code == 2
+
+
+class TestCompare:
+    def test_compare_small(self):
+        code, out = run_cli(
+            "compare", "--app", "fft2d", "--configs", "12",
+            "--test-configs", "4", "--small-scales", "32,64,128",
+            "--large-scales", "256", "--reps", "1",
+            "--baselines", "direct-ridge",
+        )
+        assert code == 0
+        assert "two-level" in out and "direct-ridge" in out
+
+
+class TestPredictInterval:
+    def test_interval_output(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "10",
+            "--scales", "32,64,128", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        model = tmp_path / "m.pkl"
+        code, _ = run_cli(
+            "fit", "--data", str(data), "--clusters", "2", "--out", str(model)
+        )
+        assert code == 0
+        code, out = run_cli(
+            "predict", "--model", str(model),
+            "--set", "nx=128", "--set", "iterations=100",
+            "--set", "ghost=1", "--set", "check_freq=10",
+            "--scales", "512", "--interval", "0.9", "--samples", "15",
+        )
+        assert code == 0
+        assert "90% interpolation-noise bands" in out
+        assert "in [" in out

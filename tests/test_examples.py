@@ -1,0 +1,68 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable without side effects (work happens under
+``if __name__ == "__main__"`` / ``main()``), so importing catches
+syntax errors, missing symbols, and API drift without paying the
+multi-minute cost of running the studies.  The quickstart additionally
+runs end-to-end at a reduced size by monkeypatching its constants.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    name = f"example_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "capacity_planning",
+            "topology_study",
+            "transfer_mode",
+            "history_planning",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_importable_without_side_effects(self, path):
+        module = load_example(path)
+        assert hasattr(module, "main"), path.stem
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_has_module_docstring(self, path):
+        module = load_example(path)
+        assert module.__doc__ and len(module.__doc__) > 50
+
+
+class TestCapacityPlanningReduced:
+    def test_runs_end_to_end_small(self, capsys, monkeypatch):
+        module = load_example(EXAMPLES_DIR / "capacity_planning.py")
+        monkeypatch.setattr(module, "SMALL_SCALES", [32, 64, 128])
+        monkeypatch.setattr(module, "CANDIDATE_SCALES", [128, 256, 512])
+        # Shrink the history by intercepting the generator's sampler.
+        from repro.data import HistoryGenerator
+
+        orig = HistoryGenerator.sample_configs
+
+        def small_sample(self, n, method="lhs"):
+            return orig(self, min(n, 12), method=method)
+
+        monkeypatch.setattr(HistoryGenerator, "sample_configs", small_sample)
+        module.main()
+        out = capsys.readouterr().out
+        assert "Capacity plan" in out
+        assert "interpolation-noise bands" in out

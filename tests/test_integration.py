@@ -1,0 +1,100 @@
+"""End-to-end integration tests: the full pipeline on every shipped
+application, at miniature sizes.
+
+These guard the contract the benchmarks and examples rely on — history
+generation -> two-level fit -> large-scale prediction -> evaluation —
+across all applications, not just the two primary ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.core import TwoLevelModel
+from repro.data import HistoryGenerator, load_dataset, save_dataset, scale_split
+from repro.ml.metrics import mean_absolute_percentage_error as mape
+from repro.sim import Executor, NoiseModel
+
+SMALL = [32, 64, 128]
+LARGE = [256, 512]
+
+
+@pytest.fixture(scope="module", params=sorted(ALL_APPS))
+def app_pipeline(request):
+    """Tiny fitted pipeline per application."""
+    app = get_app(request.param)
+    ex = Executor(noise=NoiseModel(sigma=0.02, jitter_prob=0.0), seed=17)
+    gen = HistoryGenerator(app, executor=ex, seed=17)
+    train = gen.collect(gen.sample_configs(40), SMALL, repetitions=1)
+    test = gen.collect(gen.sample_configs(8), LARGE, repetitions=1)
+    model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                          random_state=0).fit(train)
+    return request.param, model, train, test
+
+
+class TestFullPipelinePerApp:
+    def test_predictions_positive_and_finite(self, app_pipeline):
+        _, model, _, test = app_pipeline
+        preds = model.predict_dataset(test)
+        assert np.all(preds > 0)
+        assert np.all(np.isfinite(preds))
+
+    def test_error_bounded(self, app_pipeline):
+        name, model, _, test = app_pipeline
+        for s in LARGE:
+            sub = test.at_scale(s)
+            pred = model.predict(sub.X, [s])[:, 0]
+            err = mape(sub.runtime, pred)
+            # Tiny training set and 2-4x extrapolation: generous bound,
+            # but catastrophic blowups (order-of-magnitude) must not
+            # happen on any application.
+            assert err < 2.0, f"{name} p={s}: {err:.2f}"
+
+    def test_right_order_of_magnitude(self, app_pipeline):
+        name, model, _, test = app_pipeline
+        sub = test.at_scale(512)
+        pred = model.predict(sub.X, [512])[:, 0]
+        ratio = pred / sub.runtime
+        assert np.median(np.maximum(ratio, 1.0 / ratio)) < 3.0, name
+
+
+class TestPipelineWithPersistence:
+    def test_roundtrip_through_disk(self, tmp_path):
+        app = get_app("stencil3d")
+        gen = HistoryGenerator(app, seed=3)
+        train = gen.collect(gen.sample_configs(15), SMALL, repetitions=1)
+        path = tmp_path / "train.npz"
+        save_dataset(train, path)
+        loaded = load_dataset(path)
+        model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                              random_state=0).fit(loaded)
+        pred = model.predict(loaded.unique_configs()[:3], [512])
+        assert np.all(pred > 0)
+
+    def test_model_pickle_roundtrip(self, tmp_path):
+        import pickle
+
+        app = get_app("cg")
+        gen = HistoryGenerator(app, seed=4)
+        train = gen.collect(gen.sample_configs(12), SMALL, repetitions=1)
+        model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                              random_state=0).fit(train)
+        X = train.unique_configs()[:4]
+        expected = model.predict(X, LARGE)
+        blob = pickle.dumps(model)
+        restored = pickle.loads(blob)
+        np.testing.assert_allclose(restored.predict(X, LARGE), expected)
+
+
+class TestScaleSplitProtocol:
+    def test_split_then_fit_then_evaluate(self):
+        app = get_app("nbody")
+        gen = HistoryGenerator(app, seed=6)
+        full = gen.collect(gen.sample_configs(15), SMALL + LARGE,
+                           repetitions=1)
+        split = scale_split(full, SMALL, LARGE)
+        model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                              random_state=0).fit(split.train)
+        scores = model.evaluate_split(split)
+        assert set(scores) == set(LARGE)
+        assert all(0 < v < 5 for v in scores.values())

@@ -1,0 +1,67 @@
+"""Packaging and public-surface sanity tests."""
+
+import importlib
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.ml",
+    "repro.sim",
+    "repro.apps",
+    "repro.data",
+    "repro.core",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_top_level_exports_two_level_model(self):
+        from repro import TwoLevelModel
+
+        assert TwoLevelModel is importlib.import_module(
+            "repro.core"
+        ).TwoLevelModel
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_importable(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__
+
+    @pytest.mark.parametrize(
+        "name", [n for n in SUBPACKAGES if n != "repro.cli"]
+    )
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), (name, symbol)
+
+    def test_py_typed_marker_shipped(self):
+        pkg_dir = Path(repro.__file__).parent
+        assert (pkg_dir / "py.typed").exists()
+
+    def test_no_sklearn_dependency(self):
+        """The environment constraint this build was written under: the
+        whole ML stack must work without scikit-learn."""
+        import sys
+
+        # Importing everything must not have pulled sklearn in.
+        for name in SUBPACKAGES:
+            importlib.import_module(name)
+        assert "sklearn" not in sys.modules
+
+    @pytest.mark.parametrize("name", SUBPACKAGES[:-1])
+    def test_public_classes_have_docstrings(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
