@@ -20,10 +20,34 @@ Subpackages
     Direct-ML extrapolation and curve-fitting comparison methods.
 ``repro.analysis``
     Experiment protocol and reporting used by the benchmark harness.
+``repro.robustness``
+    Fault injection, dataset sanitization, and fallback reporting.
+``repro.errors``
+    Structured exception taxonomy (everything derives from
+    :class:`~repro.errors.ReproError`).
 """
 
 from .core import TwoLevelModel
+from .errors import (
+    ConfigurationError,
+    DataValidationError,
+    DatasetFormatError,
+    ExtrapolationError,
+    FitDegenerateError,
+    NotFittedError,
+    ReproError,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["TwoLevelModel", "__version__"]
+__all__ = [
+    "TwoLevelModel",
+    "ReproError",
+    "ConfigurationError",
+    "DataValidationError",
+    "DatasetFormatError",
+    "ExtrapolationError",
+    "FitDegenerateError",
+    "NotFittedError",
+    "__version__",
+]

@@ -24,6 +24,9 @@ import sys
 
 import numpy as np
 
+from .errors import ReproError
+from .log import configure_logging
+
 __all__ = ["main", "build_parser"]
 
 
@@ -45,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Two-level large-scale HPC performance prediction "
         "(reproduction of Zhou et al., IPDPSW 2020).",
     )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="enable debug logging on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-apps", help="list available applications")
@@ -64,6 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     d = sub.add_parser("describe", help="summarize a stored history")
     d.add_argument("--data", required=True)
+
+    v = sub.add_parser(
+        "validate", help="check a stored history for dirty data"
+    )
+    v.add_argument("--data", required=True)
+    v.add_argument("--sanitize", metavar="OUT",
+                   help="also write a cleaned copy to this path")
+    v.add_argument("--spike-ratio", type=float, default=5.0,
+                   help="outlier threshold vs per-config minimum")
+    v.add_argument("--censor-limit", type=float, default=None,
+                   help="known wall-clock limit for censoring detection")
 
     f = sub.add_parser("fit", help="fit a two-level model on a history")
     f.add_argument("--data", required=True)
@@ -160,6 +178,30 @@ def _cmd_describe(args, out) -> int:
 
     print(load_dataset(args.data).summary(), file=out)
     return 0
+
+
+def _cmd_validate(args, out) -> int:
+    from .data import load_dataset, save_dataset
+    from .robustness import sanitize_dataset, validate_dataset
+
+    dataset = load_dataset(args.data)
+    report = validate_dataset(
+        dataset,
+        spike_ratio=args.spike_ratio,
+        censor_limit=args.censor_limit,
+    )
+    print(report.summary(), file=out)
+    if args.sanitize:
+        clean, srep = sanitize_dataset(
+            dataset,
+            spike_ratio=args.spike_ratio,
+            censor_limit=args.censor_limit,
+        )
+        save_dataset(clean, args.sanitize)
+        print(srep.summary(), file=out)
+        print(f"wrote {len(clean)} runs to {args.sanitize}", file=out)
+        return 0
+    return 0 if report.ok else 2
 
 
 def _cmd_fit(args, out) -> int:
@@ -281,6 +323,7 @@ _COMMANDS = {
     "list-baselines": _cmd_list_baselines,
     "generate": _cmd_generate,
     "describe": _cmd_describe,
+    "validate": _cmd_validate,
     "fit": _cmd_fit,
     "predict": _cmd_predict,
     "compare": _cmd_compare,
@@ -288,11 +331,21 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Structured library failures (:class:`~repro.errors.ReproError`) exit
+    with code 2 and a one-line ``error [Type]: message`` on stderr —
+    never a traceback.  Other anticipated failures (unknown app, missing
+    file) keep their historical exit code 1.
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose)
     try:
         return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error [{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -8,7 +8,11 @@
 * :class:`TwoLevelModel` — the full pipeline.
 """
 
-from .extrapolation import ClusteredScalingExtrapolator, TransferExtrapolator
+from .extrapolation import (
+    AnalyticSpeedupExtrapolator,
+    ClusteredScalingExtrapolator,
+    TransferExtrapolator,
+)
 from .interpolation import (
     INTERPOLATION_FACTORIES,
     PerScaleInterpolator,
@@ -22,6 +26,7 @@ from .scaling_features import DEFAULT_BASIS_TERMS, ScaleBasis
 from .two_level import TwoLevelModel
 
 __all__ = [
+    "AnalyticSpeedupExtrapolator",
     "ClusteredScalingExtrapolator",
     "TransferExtrapolator",
     "PerScaleInterpolator",

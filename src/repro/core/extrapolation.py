@@ -33,13 +33,27 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import nnls
 
+from ..errors import (
+    ConfigurationError,
+    DataValidationError,
+    FitDegenerateError,
+    NotFittedError,
+)
+from ..log import get_logger
 from ..ml.cluster.kmeans import KMeans
 from ..ml.linear.coordinate_descent import Lasso, alpha_max
 from ..ml.linear.multitask import MultiTaskLasso, multitask_alpha_max
 from ..ml.linear.multitask import MultiTaskLassoCV
+from ..robustness.report import FitReport
 from .scaling_features import ScaleBasis
 
-__all__ = ["ClusteredScalingExtrapolator", "TransferExtrapolator"]
+__all__ = [
+    "ClusteredScalingExtrapolator",
+    "TransferExtrapolator",
+    "AnalyticSpeedupExtrapolator",
+]
+
+logger = get_logger("core.extrapolation")
 
 
 def _log_shape(S: np.ndarray) -> np.ndarray:
@@ -48,8 +62,10 @@ def _log_shape(S: np.ndarray) -> np.ndarray:
     Two configurations whose runtimes differ by a constant factor but
     scale identically map to the same shape vector.
     """
-    if np.any(S <= 0):
-        raise ValueError("Small-scale runtimes must be positive.")
+    if not np.all(np.isfinite(S)) or np.any(S <= 0):
+        raise DataValidationError(
+            "Small-scale runtimes must be finite and positive."
+        )
     Z = np.log(S)
     return Z - Z.mean(axis=1, keepdims=True)
 
@@ -106,17 +122,19 @@ class ClusteredScalingExtrapolator:
     ) -> None:
         self.small_scales = tuple(int(s) for s in small_scales)
         if len(self.small_scales) < 2:
-            raise ValueError("Need at least two small scales.")
+            raise ConfigurationError("Need at least two small scales.")
         if len(set(self.small_scales)) != len(self.small_scales):
-            raise ValueError("Duplicate small scales.")
+            raise ConfigurationError("Duplicate small scales.")
         if selection not in ("multitask", "independent", "none"):
-            raise ValueError("selection must be multitask|independent|none.")
+            raise ConfigurationError(
+                "selection must be multitask|independent|none."
+            )
         if refit not in ("nnls", "ols"):
-            raise ValueError("refit must be nnls|ols.")
+            raise ConfigurationError("refit must be nnls|ols.")
         if n_clusters < 1:
-            raise ValueError("n_clusters must be >= 1.")
+            raise ConfigurationError("n_clusters must be >= 1.")
         if max_terms < 1:
-            raise ValueError("max_terms must be >= 1.")
+            raise ConfigurationError("max_terms must be >= 1.")
         self.basis = basis if basis is not None else ScaleBasis()
         self.n_clusters = n_clusters
         self.max_terms = min(max_terms, len(self.small_scales) - 1)
@@ -124,7 +142,7 @@ class ClusteredScalingExtrapolator:
         self.refit = refit
         self.n_alphas = n_alphas
         if val_ratio < 1.0:
-            raise ValueError("val_ratio must be >= 1.")
+            raise ConfigurationError("val_ratio must be >= 1.")
         self.val_ratio = val_ratio
         self.random_state = random_state
 
@@ -275,10 +293,11 @@ class ClusteredScalingExtrapolator:
 
     def _select_hypothesis(
         self, candidates: list[np.ndarray], S_cluster: np.ndarray
-    ) -> tuple[np.ndarray, bool]:
+    ) -> tuple[np.ndarray, bool, float]:
         """Pick the (support, intercept) pair with the best internal-
         extrapolation score; ties break toward fewer coefficients
-        (simplicity prior)."""
+        (simplicity prior).  Also returns the winning score so callers
+        can detect a fully infeasible selection (score = inf)."""
         all_cands = candidates + self._baseline_candidates()
         seen: set[tuple[bool, ...]] = set()
         best: tuple[np.ndarray, bool] | None = None
@@ -294,8 +313,8 @@ class ClusteredScalingExtrapolator:
                 if best_key is None or rank < best_key:
                     best_key = rank
                     best = (support, intercept)
-        assert best is not None
-        return best
+        assert best is not None and best_key is not None
+        return best[0], best[1], best_key[0]
 
     def _fallback_support(self) -> np.ndarray:
         """Degenerate-path fallback: the two workhorse terms (1/p, log p)
@@ -338,7 +357,9 @@ class ClusteredScalingExtrapolator:
 
     # -- fit / predict ----------------------------------------------------------
 
-    def fit(self, S: np.ndarray) -> "ClusteredScalingExtrapolator":
+    def fit(
+        self, S: np.ndarray, report: FitReport | None = None
+    ) -> "ClusteredScalingExtrapolator":
         """Learn cluster structure and per-cluster supports.
 
         Parameters
@@ -347,14 +368,20 @@ class ClusteredScalingExtrapolator:
             (n_configs, n_small) small-scale runtimes of the training
             configurations — measured means, or interpolation-level
             predictions.
+        report:
+            Fit report receiving a ``fallback_support`` event for every
+            cluster whose hypothesis selection degenerates.
         """
+        report = report if report is not None else FitReport()
         S = np.asarray(S, dtype=np.float64)
         if S.ndim != 2 or S.shape[1] != len(self.small_scales):
-            raise ValueError(
+            raise DataValidationError(
                 f"S must have shape (n_configs, {len(self.small_scales)})."
             )
         if S.shape[0] < 1:
-            raise ValueError("Need at least one training configuration.")
+            raise FitDegenerateError(
+                "Need at least one training configuration."
+            )
         self._design_small = self.basis.design_matrix(self.small_scales)
 
         shapes = _log_shape(S)
@@ -383,17 +410,50 @@ class ClusteredScalingExtrapolator:
                 self.supports_[c] = full.copy()
                 self.intercepts_[c] = True
             elif self.selection == "multitask":
-                candidates = self._path_supports_multitask(Y_norm_all[:, members])
-                support, intercept = self._select_hypothesis(
-                    candidates, S[members]
-                )
+                try:
+                    candidates = self._path_supports_multitask(
+                        Y_norm_all[:, members]
+                    )
+                    support, intercept, score = self._select_hypothesis(
+                        candidates, S[members]
+                    )
+                except Exception as exc:
+                    report.record(
+                        "extrapolation",
+                        "fallback_support",
+                        f"cluster {c}: hypothesis selection failed "
+                        f"({type(exc).__name__}: {exc}); using workhorse "
+                        "terms",
+                        cluster=c,
+                        n_members=int(len(members)),
+                        reason="selection_failed",
+                    )
+                    logger.warning(
+                        "cluster %d selection failed (%s); fallback support",
+                        c,
+                        exc,
+                    )
+                    support, intercept = self._fallback_support(), True
+                else:
+                    if not np.isfinite(score):
+                        report.record(
+                            "extrapolation",
+                            "fallback_support",
+                            f"cluster {c}: no feasible scalability "
+                            "hypothesis scored finitely; using workhorse "
+                            "terms",
+                            cluster=c,
+                            n_members=int(len(members)),
+                            reason="no_feasible_hypothesis",
+                        )
+                        support, intercept = self._fallback_support(), True
                 self.supports_[c] = support
                 self.intercepts_[c] = intercept
             else:  # independent (ablation): per-config selection, no sharing
                 votes = np.zeros(len(self.basis))
                 for m in members:
                     cands = self._path_supports_independent(Y_norm_all[:, m])
-                    sup_m, _ = self._select_hypothesis(cands, S[m : m + 1])
+                    sup_m, _, _ = self._select_hypothesis(cands, S[m : m + 1])
                     votes += sup_m
                 # The stored (majority) support is only used as a label
                 # for diagnostics; predict() reselects per configuration.
@@ -403,11 +463,16 @@ class ClusteredScalingExtrapolator:
                 )
                 self.intercepts_[c] = True
         self._train_S = S
+        logger.debug(
+            "extrapolator fitted: %d cluster(s), supports %s",
+            k,
+            {c: int(m.sum()) for c, m in self.supports_.items()},
+        )
         return self
 
     def _check_fitted(self) -> None:
         if not hasattr(self, "supports_"):
-            raise RuntimeError("Extrapolator is not fitted.")
+            raise NotFittedError("Extrapolator is not fitted.")
 
     def assign_clusters(self, S: np.ndarray) -> np.ndarray:
         """Cluster index for each configuration's curve."""
@@ -435,12 +500,12 @@ class ClusteredScalingExtrapolator:
         self._check_fitted()
         S = np.asarray(S, dtype=np.float64)
         if S.ndim != 2 or S.shape[1] != len(self.small_scales):
-            raise ValueError(
+            raise DataValidationError(
                 f"S must have shape (n_configs, {len(self.small_scales)})."
             )
         large = [int(p) for p in large_scales]
         if any(p < 1 for p in large):
-            raise ValueError("Target scales must be >= 1.")
+            raise ConfigurationError("Target scales must be >= 1.")
         design_large = self.basis.design_matrix(large)
         labels = self.assign_clusters(S)
 
@@ -449,7 +514,7 @@ class ClusteredScalingExtrapolator:
             if self.selection == "independent":
                 mag = float(S[i].mean())
                 cands = self._path_supports_independent(S[i] / mag)
-                support, intercept = self._select_hypothesis(
+                support, intercept, _ = self._select_hypothesis(
                     cands, S[i : i + 1]
                 )
             else:
@@ -501,11 +566,11 @@ class TransferExtrapolator:
         self.small_scales = tuple(int(s) for s in small_scales)
         self.large_scales = tuple(int(s) for s in large_scales)
         if len(self.small_scales) < 2:
-            raise ValueError("Need at least two small scales.")
+            raise ConfigurationError("Need at least two small scales.")
         if not self.large_scales:
-            raise ValueError("Need at least one large scale.")
+            raise ConfigurationError("Need at least one large scale.")
         if n_clusters < 1:
-            raise ValueError("n_clusters must be >= 1.")
+            raise ConfigurationError("n_clusters must be >= 1.")
         self.n_clusters = n_clusters
         self.cv = cv
         self.random_state = random_state
@@ -514,11 +579,16 @@ class TransferExtrapolator:
         S = np.asarray(S, dtype=np.float64)
         Y_large = np.asarray(Y_large, dtype=np.float64)
         if S.ndim != 2 or S.shape[1] != len(self.small_scales):
-            raise ValueError("S has wrong shape.")
+            raise DataValidationError("S has wrong shape.")
         if Y_large.shape != (S.shape[0], len(self.large_scales)):
-            raise ValueError("Y_large has wrong shape.")
-        if np.any(S <= 0) or np.any(Y_large <= 0):
-            raise ValueError("Runtimes must be positive.")
+            raise DataValidationError("Y_large has wrong shape.")
+        if (
+            not np.all(np.isfinite(S))
+            or not np.all(np.isfinite(Y_large))
+            or np.any(S <= 0)
+            or np.any(Y_large <= 0)
+        ):
+            raise DataValidationError("Runtimes must be finite and positive.")
 
         shapes = _log_shape(S)
         k = min(self.n_clusters, S.shape[0])
@@ -554,10 +624,10 @@ class TransferExtrapolator:
     def predict(self, S: np.ndarray) -> np.ndarray:
         """(n_configs, n_large) predicted large-scale runtimes."""
         if not hasattr(self, "models_"):
-            raise RuntimeError("TransferExtrapolator is not fitted.")
+            raise NotFittedError("TransferExtrapolator is not fitted.")
         S = np.asarray(S, dtype=np.float64)
-        if np.any(S <= 0):
-            raise ValueError("Runtimes must be positive.")
+        if not np.all(np.isfinite(S)) or np.any(S <= 0):
+            raise DataValidationError("Runtimes must be finite and positive.")
         if self.kmeans_ is None:
             labels = np.zeros(S.shape[0], dtype=np.int64)
         else:
@@ -569,3 +639,92 @@ class TransferExtrapolator:
             if np.any(mask):
                 out[mask] = model.predict(logS[mask])
         return np.exp(out)
+
+
+class AnalyticSpeedupExtrapolator:
+    """Last-resort extrapolation level: per-configuration Amdahl fits.
+
+    When the clustered scalability machinery cannot be fitted at all
+    (degenerate or heavily corrupted small-scale curves), the two-level
+    model degrades to this baseline: each configuration's small-scale
+    curve is fitted with Amdahl's law in relative-error metric and
+    evaluated at the target scales.  A pooled shape (the geometric-mean
+    curve over all valid training configurations) covers rows whose own
+    curve is unusable.
+
+    Implements the ``fit(S)`` / ``predict(S, large_scales)`` subset of
+    the :class:`ClusteredScalingExtrapolator` interface that
+    :class:`~repro.core.TwoLevelModel` relies on.
+    """
+
+    def __init__(self, small_scales: Sequence[int]) -> None:
+        self.small_scales = tuple(int(s) for s in small_scales)
+        if len(self.small_scales) < 2:
+            raise ConfigurationError("Need at least two small scales.")
+
+    @staticmethod
+    def _valid_curve(curve: np.ndarray) -> bool:
+        return bool(np.all(np.isfinite(curve)) and np.all(curve > 0))
+
+    def fit(self, S: np.ndarray) -> "AnalyticSpeedupExtrapolator":
+        from ..baselines.analytic import fit_amdahl
+
+        S = np.asarray(S, dtype=np.float64)
+        if S.ndim != 2 or S.shape[1] != len(self.small_scales):
+            raise DataValidationError(
+                f"S must have shape (n_configs, {len(self.small_scales)})."
+            )
+        valid = [row for row in S if self._valid_curve(row)]
+        if not valid:
+            raise FitDegenerateError(
+                "No training configuration has a usable small-scale curve "
+                "for the analytic fallback."
+            )
+        pooled_curve = np.exp(np.mean(np.log(np.vstack(valid)), axis=0))
+        self.pooled_model_ = fit_amdahl(self.small_scales, pooled_curve)
+        logger.info(
+            "analytic fallback fitted on %d/%d usable curves "
+            "(pooled serial fraction %.3g)",
+            len(valid),
+            S.shape[0],
+            self.pooled_model_.serial_fraction,
+        )
+        return self
+
+    def predict(
+        self, S: np.ndarray, large_scales: Sequence[int]
+    ) -> np.ndarray:
+        from ..baselines.analytic import fit_amdahl
+
+        if not hasattr(self, "pooled_model_"):
+            raise NotFittedError("AnalyticSpeedupExtrapolator is not fitted.")
+        S = np.asarray(S, dtype=np.float64)
+        if S.ndim != 2 or S.shape[1] != len(self.small_scales):
+            raise DataValidationError(
+                f"S must have shape (n_configs, {len(self.small_scales)})."
+            )
+        large = [int(p) for p in large_scales]
+        if any(p < 1 for p in large):
+            raise ConfigurationError("Target scales must be >= 1.")
+        p = np.asarray(large, dtype=np.float64)
+        out = np.empty((S.shape[0], len(large)))
+        pooled_shape = self.pooled_model_(p) / self.pooled_model_(
+            float(self.small_scales[0])
+        )
+        for i, curve in enumerate(S):
+            if self._valid_curve(curve):
+                out[i] = fit_amdahl(self.small_scales, curve)(p)
+            else:
+                # Anchor the pooled shape on whatever finite point exists.
+                finite = np.isfinite(curve) & (curve > 0)
+                anchor = (
+                    float(curve[finite][0])
+                    if np.any(finite)
+                    else float(self.pooled_model_(float(self.small_scales[0])))
+                )
+                out[i] = anchor * pooled_shape
+        return np.maximum(out, 1e-9)
+
+    def support_names(self) -> dict[int, tuple[str, ...]]:
+        """Interface parity with the clustered extrapolator."""
+        return {0: ("amdahl",)}

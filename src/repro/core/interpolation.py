@@ -18,10 +18,16 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..data.dataset import ExecutionDataset
+from ..errors import ExtrapolationError, FitDegenerateError, NotFittedError
+from ..log import get_logger
 from ..ml.base import BaseEstimator
 from ..ml.metrics import mean_absolute_percentage_error
 from ..ml.model_selection import KFold
 from ..ml.tree.random_forest import RandomForestRegressor
+from ..robustness.report import FitReport
+from ..robustness.sanitize import drop_invalid_rows
+
+logger = get_logger("core.interpolation")
 
 __all__ = [
     "PerScaleInterpolator",
@@ -90,55 +96,148 @@ class PerScaleInterpolator:
         learner; defaults to :func:`default_interpolation_model`.
     log_target:
         Fit log(runtime) instead of raw runtime.
+    min_scale_samples:
+        A scale with fewer training rows than this does not get its own
+        model; it is served by the pooled fallback model instead (see
+        below), and the degradation is recorded in the fit report.
     random_state:
         Seed; each scale's model gets an independent derived stream.
+
+    Graceful degradation
+    --------------------
+    Scales whose dedicated fit is impossible (too few samples) or fails
+    outright fall back to a single *pooled* model fitted on every
+    training row with ``log2(p)`` appended as an extra feature.  Each
+    fallback is recorded as a ``pooled_interpolator`` event on the
+    :class:`~repro.robustness.report.FitReport` passed to :meth:`fit`.
     """
 
     def __init__(
         self,
         model_factory: Callable[[object], BaseEstimator] | None = None,
         log_target: bool = True,
+        min_scale_samples: int = 2,
         random_state: int | None = 0,
     ) -> None:
         self.model_factory = (
             model_factory if model_factory is not None else default_interpolation_model
         )
         self.log_target = log_target
+        self.min_scale_samples = max(int(min_scale_samples), 1)
         self.random_state = random_state
 
-    def fit(self, train: ExecutionDataset) -> "PerScaleInterpolator":
-        """Fit one model per scale present in ``train``."""
+    def fit(
+        self, train: ExecutionDataset, report: FitReport | None = None
+    ) -> "PerScaleInterpolator":
+        """Fit one model per scale present in ``train``.
+
+        Rows with non-finite runtimes or parameters are dropped up
+        front; degradations are appended to ``report`` when given.
+        """
+        report = report if report is not None else FitReport()
+        train, scrubbed = drop_invalid_rows(train)
+        if scrubbed:
+            report.record(
+                "sanitize",
+                "dropped_invalid_rows",
+                f"interpolation training data: dropped {sum(scrubbed.values())} "
+                "non-finite rows",
+                **scrubbed,
+            )
+            logger.warning(
+                "dropped non-finite interpolation rows: %s", scrubbed
+            )
         if len(train) == 0:
-            raise ValueError("Empty training dataset.")
+            raise FitDegenerateError(
+                "No usable interpolation training rows remain."
+            )
         rng = np.random.default_rng(self.random_state)
         self.scales_ = tuple(int(s) for s in train.scales)
         self.param_names_ = train.param_names
         self.models_: dict[int, BaseEstimator] = {}
+        self.fallback_scales_: tuple[int, ...] = ()
+        self._pooled_model: BaseEstimator | None = None
         self._train = train
+        fallback: list[int] = []
         for scale in self.scales_:
             sub = train.at_scale(scale)
+            if len(sub) < self.min_scale_samples:
+                report.record(
+                    "interpolation",
+                    "pooled_interpolator",
+                    f"scale {scale} has {len(sub)} sample(s) "
+                    f"(< {self.min_scale_samples}); served by pooled model",
+                    scale=scale,
+                    n_samples=len(sub),
+                    reason="too_few_samples",
+                )
+                fallback.append(scale)
+                continue
             y = np.log(sub.runtime) if self.log_target else sub.runtime
             seed = int(rng.integers(0, 2**63 - 1))
             model = self.model_factory(seed)
-            model.fit(sub.X, y)
+            try:
+                model.fit(sub.X, y)
+            except Exception as exc:
+                report.record(
+                    "interpolation",
+                    "pooled_interpolator",
+                    f"per-scale fit failed at scale {scale} "
+                    f"({type(exc).__name__}: {exc}); served by pooled model",
+                    scale=scale,
+                    n_samples=len(sub),
+                    reason="fit_failed",
+                )
+                logger.warning("per-scale fit failed at p=%d: %s", scale, exc)
+                fallback.append(scale)
+                continue
             self.models_[scale] = model
+        if fallback:
+            self.fallback_scales_ = tuple(fallback)
+            self._fit_pooled(train, seed=int(rng.integers(0, 2**63 - 1)))
+            logger.info(
+                "pooled fallback interpolator covers scales %s", fallback
+            )
         return self
+
+    def _fit_pooled(self, train: ExecutionDataset, seed: int) -> None:
+        """Fit the pooled fallback model over all rows with log2(p) as an
+        extra feature."""
+        Xp = np.column_stack([train.X, np.log2(train.nprocs)])
+        y = np.log(train.runtime) if self.log_target else train.runtime
+        model = self.model_factory(seed)
+        try:
+            model.fit(Xp, y)
+        except Exception as exc:  # no further fallback exists
+            raise FitDegenerateError(
+                f"Pooled fallback interpolator failed to fit: {exc}"
+            ) from exc
+        self._pooled_model = model
 
     def _check_fitted(self) -> None:
         if not hasattr(self, "models_"):
-            raise RuntimeError("PerScaleInterpolator is not fitted.")
+            raise NotFittedError("PerScaleInterpolator is not fitted.")
 
     def predict_scale(self, X: np.ndarray, scale: int) -> np.ndarray:
         """Runtime predictions at one small scale."""
         self._check_fitted()
-        try:
-            model = self.models_[int(scale)]
-        except KeyError:
-            raise ValueError(
+        scale = int(scale)
+        X = np.asarray(X, dtype=np.float64)
+        model = self.models_.get(scale)
+        if model is None:
+            if scale in self.fallback_scales_ and self._pooled_model is not None:
+                Xp = np.column_stack(
+                    [X, np.full(X.shape[0], np.log2(scale))]
+                )
+                pred = self._pooled_model.predict(Xp)
+                return (
+                    np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
+                )
+            raise ExtrapolationError(
                 f"No interpolation model for scale {scale}; "
                 f"fitted scales: {self.scales_}"
-            ) from None
-        pred = model.predict(np.asarray(X, dtype=np.float64))
+            )
+        pred = model.predict(X)
         return np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
 
     def predict_matrix(self, X: np.ndarray) -> np.ndarray:
@@ -161,6 +260,9 @@ class PerScaleInterpolator:
         out: dict[int, float] = {}
         rng = np.random.default_rng(self.random_state)
         for scale in self.scales_:
+            if scale not in self.models_:
+                out[scale] = float("nan")  # pooled-fallback scale
+                continue
             sub = self._train.at_scale(scale)
             n = len(sub)
             splits = min(n_splits, n)

@@ -24,12 +24,29 @@ import numpy as np
 
 from ..data.dataset import ExecutionDataset
 from ..data.splits import ScaleSplit
+from ..errors import (
+    ConfigurationError,
+    DataValidationError,
+    ExtrapolationError,
+    FitDegenerateError,
+    NotFittedError,
+    ReproError,
+)
+from ..log import get_logger
 from ..ml.base import BaseEstimator
-from .extrapolation import ClusteredScalingExtrapolator, TransferExtrapolator
+from ..robustness.report import FitReport
+from ..robustness.sanitize import drop_invalid_rows
+from .extrapolation import (
+    AnalyticSpeedupExtrapolator,
+    ClusteredScalingExtrapolator,
+    TransferExtrapolator,
+)
 from .interpolation import PerScaleInterpolator
 from .scaling_features import ScaleBasis
 
 __all__ = ["TwoLevelModel"]
+
+logger = get_logger("core.two_level")
 
 
 class TwoLevelModel:
@@ -58,6 +75,18 @@ class TwoLevelModel:
         (interpolation outputs for the training configurations — the
         paper's pipeline, so level 2 sees the same kind of input at fit
         and predict time) or "measurements" (mean measured runtimes).
+    strict:
+        When True, any degradation condition raises instead of falling
+        back (useful in tests and offline analysis).  When False (the
+        default) the model survives dirty input: non-finite rows are
+        dropped, missing/under-populated scales degrade to fallback
+        models, and a degenerate extrapolation fit falls back to the
+        analytic speedup baseline — every fallback recorded on
+        :attr:`fit_report`.
+    min_scale_samples:
+        Minimum training rows a scale needs for its own interpolation
+        model (fewer -> pooled fallback; see
+        :class:`~repro.core.interpolation.PerScaleInterpolator`).
     random_state:
         Master seed for both levels.
     """
@@ -75,14 +104,18 @@ class TwoLevelModel:
         selection: str = "multitask",
         refit: str = "nnls",
         fit_curves_on: str = "predictions",
+        strict: bool = False,
+        min_scale_samples: int = 2,
         random_state: int | None = 0,
     ) -> None:
         if mode not in ("basis", "transfer"):
-            raise ValueError("mode must be 'basis' or 'transfer'.")
+            raise ConfigurationError("mode must be 'basis' or 'transfer'.")
         if mode == "transfer" and not large_scales:
-            raise ValueError("transfer mode requires large_scales.")
+            raise ConfigurationError("transfer mode requires large_scales.")
         if fit_curves_on not in ("predictions", "measurements"):
-            raise ValueError("fit_curves_on must be predictions|measurements.")
+            raise ConfigurationError(
+                "fit_curves_on must be predictions|measurements."
+            )
         self.small_scales = tuple(int(s) for s in sorted(small_scales))
         self.mode = mode
         self.large_scales = (
@@ -96,6 +129,8 @@ class TwoLevelModel:
         self.selection = selection
         self.refit = refit
         self.fit_curves_on = fit_curves_on
+        self.strict = strict
+        self.min_scale_samples = min_scale_samples
         self.random_state = random_state
 
     # -- fitting ---------------------------------------------------------
@@ -117,24 +152,71 @@ class TwoLevelModel:
             Transfer mode only: history of configurations that also ran
             at the large scales.
         """
-        present = set(int(s) for s in train.scales)
-        missing = set(self.small_scales) - present
-        if missing:
-            raise ValueError(
-                f"Training data lacks small scales {sorted(missing)}."
+        report = FitReport()
+        self.fit_report_ = report
+        self.used_analytic_fallback_ = False
+
+        train, scrubbed = drop_invalid_rows(train)
+        if scrubbed:
+            if self.strict:
+                raise DataValidationError(
+                    f"Training data contains invalid rows: {scrubbed} "
+                    "(strict mode)."
+                )
+            report.record(
+                "sanitize",
+                "dropped_invalid_rows",
+                f"dropped {sum(scrubbed.values())} rows with non-finite "
+                "runtimes/parameters from the training history",
+                **scrubbed,
             )
-        small_data = train.at_scales(self.small_scales)
+            logger.warning("training history scrubbed: %s", scrubbed)
+
+        present = set(int(s) for s in train.scales)
+        missing = sorted(set(self.small_scales) - present)
+        if missing:
+            if self.strict:
+                raise DataValidationError(
+                    f"Training data lacks small scales {missing}."
+                )
+            effective = tuple(
+                s for s in self.small_scales if s in present
+            )
+            if len(effective) < 2:
+                raise FitDegenerateError(
+                    f"Training data lacks small scales {missing}; only "
+                    f"{list(effective)} remain — need at least two to fit "
+                    "scalability curves."
+                )
+            report.record(
+                "sanitize",
+                "scale_dropped",
+                f"small scales {missing} have no usable runs; fitting on "
+                f"{list(effective)}",
+                missing_scales=missing,
+                effective_scales=list(effective),
+            )
+            logger.warning(
+                "small scales %s missing; continuing with %s",
+                missing,
+                list(effective),
+            )
+        else:
+            effective = self.small_scales
+        self.effective_small_scales_ = effective
+        small_data = train.at_scales(effective)
 
         self.interpolator_ = PerScaleInterpolator(
             model_factory=self.interp_factory,
             log_target=self.log_target,
+            min_scale_samples=1 if self.strict else self.min_scale_samples,
             random_state=self.random_state,
-        ).fit(small_data)
+        ).fit(small_data, report=report)
 
         # Training configurations' small-scale curves.
-        configs, measured = small_data.runtime_matrix(self.small_scales)
+        configs, measured = small_data.runtime_matrix(effective)
         if configs.shape[0] == 0:
-            raise ValueError(
+            raise FitDegenerateError(
                 "No training configuration has runs at every small scale."
             )
         if self.fit_curves_on == "predictions":
@@ -144,21 +226,60 @@ class TwoLevelModel:
         self.train_configs_ = configs
 
         if self.mode == "basis":
-            self.extrapolator_ = ClusteredScalingExtrapolator(
-                small_scales=self.small_scales,
+            extrapolator = ClusteredScalingExtrapolator(
+                small_scales=effective,
                 basis=self.basis,
                 n_clusters=self.n_clusters,
                 max_terms=self.max_terms,
                 selection=self.selection,
                 refit=self.refit,
                 random_state=self.random_state,
-            ).fit(S_train)
+            )
+            try:
+                extrapolator.fit(S_train, report=report)
+            except ReproError as exc:
+                if self.strict:
+                    raise
+                report.record(
+                    "extrapolation",
+                    "analytic_extrapolator",
+                    f"clustered scalability fit degenerate "
+                    f"({type(exc).__name__}: {exc}); falling back to the "
+                    "analytic speedup baseline",
+                    reason=type(exc).__name__,
+                )
+                logger.warning(
+                    "extrapolation level degenerate (%s); using analytic "
+                    "fallback",
+                    exc,
+                )
+                extrapolator = AnalyticSpeedupExtrapolator(effective).fit(
+                    S_train
+                )
+                self.used_analytic_fallback_ = True
+            self.extrapolator_ = extrapolator
         else:
             if large_train is None:
-                raise ValueError("transfer mode requires large_train data.")
+                raise ConfigurationError(
+                    "transfer mode requires large_train data."
+                )
             assert self.large_scales is not None
-            lt_small = large_train.at_scales(self.small_scales)
-            cfg_l, S_l = lt_small.runtime_matrix(self.small_scales)
+            large_train, lt_scrubbed = drop_invalid_rows(large_train)
+            if lt_scrubbed:
+                if self.strict:
+                    raise DataValidationError(
+                        f"large_train contains invalid rows: {lt_scrubbed} "
+                        "(strict mode)."
+                    )
+                report.record(
+                    "sanitize",
+                    "dropped_invalid_rows",
+                    f"dropped {sum(lt_scrubbed.values())} non-finite rows "
+                    "from large_train",
+                    **lt_scrubbed,
+                )
+            lt_small = large_train.at_scales(effective)
+            cfg_l, S_l = lt_small.runtime_matrix(effective)
             lt_large = large_train.at_scales(self.large_scales)
             cfg_y, Y_l = lt_large.runtime_matrix(self.large_scales)
             # Align configurations present on both sides.
@@ -169,23 +290,48 @@ class TwoLevelModel:
                 if tuple(r) in rows_l
             ]
             if not pairs:
-                raise ValueError(
+                raise FitDegenerateError(
                     "No configuration in large_train has runs at every "
                     "small and large scale."
                 )
             i_idx = [i for i, _ in pairs]
             j_idx = [j for _, j in pairs]
-            self.extrapolator_ = TransferExtrapolator(
-                small_scales=self.small_scales,
-                large_scales=self.large_scales,
-                n_clusters=self.n_clusters,
-                random_state=self.random_state,
-            ).fit(S_l[i_idx], Y_l[j_idx])
+            try:
+                self.extrapolator_ = TransferExtrapolator(
+                    small_scales=effective,
+                    large_scales=self.large_scales,
+                    n_clusters=self.n_clusters,
+                    random_state=self.random_state,
+                ).fit(S_l[i_idx], Y_l[j_idx])
+            except ReproError as exc:
+                if self.strict:
+                    raise
+                report.record(
+                    "extrapolation",
+                    "analytic_extrapolator",
+                    f"transfer fit degenerate ({type(exc).__name__}: {exc}); "
+                    "falling back to the analytic speedup baseline",
+                    reason=type(exc).__name__,
+                )
+                self.extrapolator_ = AnalyticSpeedupExtrapolator(
+                    effective
+                ).fit(S_train)
+                self.used_analytic_fallback_ = True
+        if report.degraded:
+            logger.info("%s", report.summary())
         return self
 
     def _check_fitted(self) -> None:
         if not hasattr(self, "extrapolator_"):
-            raise RuntimeError("TwoLevelModel is not fitted.")
+            raise NotFittedError("TwoLevelModel is not fitted.")
+
+    @property
+    def fit_report(self) -> FitReport:
+        """Every fallback taken while fitting (and why) — empty when the
+        fit was clean.  See :class:`~repro.robustness.report.FitReport`."""
+        if not hasattr(self, "fit_report_"):
+            raise NotFittedError("TwoLevelModel is not fitted.")
+        return self.fit_report_
 
     # -- prediction --------------------------------------------------------
 
@@ -205,25 +351,27 @@ class TwoLevelModel:
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2:
-            raise ValueError("X must be 2-D (configs x params).")
+            raise ConfigurationError("X must be 2-D (configs x params).")
+        interp_scales = self._interp_scales()
         scales = [int(s) for s in scales]
         out = np.empty((X.shape[0], len(scales)))
 
         extrap_cols = [
-            j for j, s in enumerate(scales) if s not in self.small_scales
+            j for j, s in enumerate(scales) if s not in interp_scales
         ]
         if extrap_cols:
             targets = [scales[j] for j in extrap_cols]
-            if self.mode == "transfer":
+            direct = self.mode == "basis" or self.used_analytic_fallback_
+            if not direct:
                 assert self.large_scales is not None
                 unknown = set(targets) - set(self.large_scales)
                 if unknown:
-                    raise ValueError(
+                    raise ExtrapolationError(
                         f"Transfer mode can only predict its fitted large "
                         f"scales {self.large_scales}; got {sorted(unknown)}."
                     )
             S = self.predict_small_matrix(X)
-            if self.mode == "basis":
+            if direct:
                 preds = self.extrapolator_.predict(S, targets)
             else:
                 all_preds = self.extrapolator_.predict(S)
@@ -232,9 +380,14 @@ class TwoLevelModel:
             for k, j in enumerate(extrap_cols):
                 out[:, j] = preds[:, k]
         for j, s in enumerate(scales):
-            if s in self.small_scales:
+            if s in interp_scales:
                 out[:, j] = self.interpolator_.predict_scale(X, s)
         return out
+
+    def _interp_scales(self) -> tuple[int, ...]:
+        """Scales the interpolation level answers directly (the
+        effective small scales after any degradation)."""
+        return getattr(self, "effective_small_scales_", self.small_scales)
 
     def predict_speedup(
         self, X: np.ndarray, scales: Sequence[int], base_scale: int | None = None
@@ -244,7 +397,11 @@ class TwoLevelModel:
         ``base_scale`` defaults to the smallest fitted small scale.
         """
         self._check_fitted()
-        base = int(base_scale) if base_scale is not None else self.small_scales[0]
+        base = (
+            int(base_scale)
+            if base_scale is not None
+            else self._interp_scales()[0]
+        )
         t_base = self.predict(X, [base])[:, 0]
         t = self.predict(X, scales)
         return t_base[:, None] / t
@@ -253,7 +410,11 @@ class TwoLevelModel:
         self, X: np.ndarray, scales: Sequence[int], base_scale: int | None = None
     ) -> np.ndarray:
         """Predicted parallel efficiency ``speedup(p) * base / p``."""
-        base = int(base_scale) if base_scale is not None else self.small_scales[0]
+        base = (
+            int(base_scale)
+            if base_scale is not None
+            else self._interp_scales()[0]
+        )
         speedup = self.predict_speedup(X, scales, base_scale=base)
         ratio = np.asarray([int(s) for s in scales], dtype=np.float64) / base
         return speedup / ratio[None, :]
@@ -272,10 +433,10 @@ class TwoLevelModel:
         floor.
         """
         if not 0.0 < efficiency_floor <= 1.0:
-            raise ValueError("efficiency_floor must be in (0, 1].")
+            raise ConfigurationError("efficiency_floor must be in (0, 1].")
         candidates = sorted(int(s) for s in candidate_scales)
         if not candidates:
-            raise ValueError("candidate_scales must be non-empty.")
+            raise ConfigurationError("candidate_scales must be non-empty.")
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 1:
             x = x[None, :]
@@ -315,8 +476,11 @@ class TwoLevelModel:
         return self.interpolator_.cv_mape(n_splits=n_splits)
 
     def support_names(self) -> dict[int, tuple[str, ...]]:
-        """Basis terms selected per cluster (basis mode only)."""
+        """Basis terms selected per cluster (basis mode only; the
+        analytic fallback reports a single pseudo-cluster ``amdahl``)."""
         self._check_fitted()
+        if self.used_analytic_fallback_:
+            return self.extrapolator_.support_names()
         if self.mode != "basis":
             raise RuntimeError("support_names is only defined in basis mode.")
         return self.extrapolator_.support_names()
@@ -325,6 +489,8 @@ class TwoLevelModel:
     def cluster_sizes_(self) -> np.ndarray:
         """Number of training configurations per cluster."""
         self._check_fitted()
+        if self.used_analytic_fallback_:
+            return np.array([self.train_configs_.shape[0]])
         if self.mode == "basis":
             return np.bincount(
                 self.extrapolator_.labels_, minlength=self.extrapolator_.n_clusters_
@@ -348,6 +514,8 @@ class TwoLevelModel:
         interp = self.interpolator_
         out: dict[int, dict[str, float]] = {}
         for scale in interp.scales_:
+            if scale not in interp.models_:
+                continue  # pooled-fallback scale has no dedicated model
             sub = interp._train.at_scale(scale)
             y = np.log(sub.runtime) if interp.log_target else sub.runtime
             imp = permutation_importance(
@@ -374,13 +542,17 @@ class TwoLevelModel:
         self._check_fitted()
         lines = [
             f"TwoLevelModel ({self.mode} mode)",
-            f"  small scales : {list(self.small_scales)}",
+            f"  small scales : {list(self._interp_scales())}",
             f"  training cfgs: {self.train_configs_.shape[0]}",
             "  interpolation level (per-scale CV MAPE):",
         ]
         for scale, err in self.interpolation_cv_mape(n_splits=cv_splits).items():
             lines.append(f"    p={scale:<6d} {100 * err:5.1f}%")
-        if self.mode == "basis":
+        if self.used_analytic_fallback_:
+            lines.append(
+                "  extrapolation level: analytic speedup fallback (Amdahl)"
+            )
+        elif self.mode == "basis":
             lines.append("  extrapolation level (clustered scalability models):")
             sizes = self.cluster_sizes_
             for cluster, terms in self.support_names().items():
@@ -395,4 +567,6 @@ class TwoLevelModel:
                 f"{list(self.large_scales)} "
                 f"({self.extrapolator_.n_clusters_} cluster(s))"
             )
+        if self.fit_report_.degraded:
+            lines.append("  " + self.fit_report_.summary().replace("\n", "\n  "))
         return "\n".join(lines)

@@ -13,6 +13,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..errors import DataValidationError
 from ..sim.trace import ExecutionRecord
 
 __all__ = ["ExecutionDataset"]
@@ -52,10 +53,10 @@ class ExecutionDataset:
     def __post_init__(self) -> None:
         X = np.asarray(self.X, dtype=np.float64)
         if X.ndim != 2:
-            raise ValueError("X must be 2-D.")
+            raise DataValidationError("X must be 2-D.")
         n = X.shape[0]
         if X.shape[1] != len(self.param_names):
-            raise ValueError(
+            raise DataValidationError(
                 f"X has {X.shape[1]} columns but {len(self.param_names)} "
                 "param names were given."
             )
@@ -63,7 +64,7 @@ class ExecutionDataset:
         for name in ("nprocs", "runtime", "model_runtime"):
             arr = np.asarray(getattr(self, name))
             if arr.shape != (n,):
-                raise ValueError(f"{name} must have shape ({n},).")
+                raise DataValidationError(f"{name} must have shape ({n},).")
             object.__setattr__(
                 self,
                 name,
@@ -74,12 +75,15 @@ class ExecutionDataset:
         else:
             rep = np.asarray(self.rep, dtype=np.int64)
             if rep.shape != (n,):
-                raise ValueError(f"rep must have shape ({n},).")
+                raise DataValidationError(f"rep must have shape ({n},).")
             object.__setattr__(self, "rep", rep)
+        # NaN runtimes are allowed: real logs record failed runs that
+        # way, and the robustness layer (validate/sanitize) handles
+        # them.  Zero/negative runtimes are unconditionally invalid.
         if n and np.any(self.runtime <= 0):
-            raise ValueError("All runtimes must be positive.")
+            raise DataValidationError("All runtimes must be positive.")
         if n and np.any(self.nprocs < 1):
-            raise ValueError("All nprocs must be >= 1.")
+            raise DataValidationError("All nprocs must be >= 1.")
 
     # -- construction -----------------------------------------------------
 
@@ -92,16 +96,16 @@ class ExecutionDataset:
         """Build a dataset from execution records (one app only)."""
         records = list(records)
         if not records:
-            raise ValueError("No records given.")
+            raise DataValidationError("No records given.")
         app_names = {r.app_name for r in records}
         if len(app_names) != 1:
-            raise ValueError(f"Mixed applications in records: {sorted(app_names)}")
+            raise DataValidationError(f"Mixed applications in records: {sorted(app_names)}")
         if param_names is None:
             param_names = tuple(sorted(records[0].params))
         param_names = tuple(param_names)
         for r in records:
             if set(r.params) != set(param_names):
-                raise ValueError(
+                raise DataValidationError(
                     f"Record params {sorted(r.params)} do not match "
                     f"{sorted(param_names)}"
                 )
@@ -158,9 +162,9 @@ class ExecutionDataset:
     def merge(self, other: "ExecutionDataset") -> "ExecutionDataset":
         """Concatenate two histories of the same application."""
         if other.app_name != self.app_name:
-            raise ValueError("Cannot merge histories of different applications.")
+            raise DataValidationError("Cannot merge histories of different applications.")
         if other.param_names != self.param_names:
-            raise ValueError("Param name mismatch in merge.")
+            raise DataValidationError("Param name mismatch in merge.")
         return ExecutionDataset(
             app_name=self.app_name,
             param_names=self.param_names,

@@ -8,6 +8,13 @@ Two formats:
   arrays round-trip exactly).
 
 Both embed a format version so future layout changes stay loadable.
+
+Loading is hardened against dirty files: a missing key, unknown format
+version, undecodable payload, or mis-shaped column raises
+:class:`~repro.errors.DatasetFormatError` with a message naming the
+problem (never a bare ``KeyError``).  Content-level validation and
+repair are opt-in via ``load_dataset(..., validate=True)`` /
+``sanitize=True``, backed by :mod:`repro.robustness.sanitize`.
 """
 
 from __future__ import annotations
@@ -17,11 +24,28 @@ from pathlib import Path
 
 import numpy as np
 
+from ..errors import DatasetFormatError
+from ..log import get_logger
 from .dataset import ExecutionDataset
 
 __all__ = ["save_dataset", "load_dataset"]
 
+logger = get_logger("data.io")
+
 _FORMAT_VERSION = 1
+
+#: Required payload keys and the dtype their column is decoded as
+#: (None = non-array metadata).
+_REQUIRED_KEYS = {
+    "format_version": None,
+    "app_name": None,
+    "param_names": None,
+    "X": np.float64,
+    "nprocs": np.int64,
+    "runtime": np.float64,
+    "model_runtime": np.float64,
+    "rep": np.int64,
+}
 
 
 def _to_payload(dataset: ExecutionDataset) -> dict:
@@ -37,22 +61,50 @@ def _to_payload(dataset: ExecutionDataset) -> dict:
     }
 
 
-def _from_payload(payload: dict) -> ExecutionDataset:
-    version = payload.get("format_version")
+def _check_keys(present: set[str], path: Path) -> None:
+    missing = sorted(set(_REQUIRED_KEYS) - present)
+    if missing:
+        raise DatasetFormatError(
+            f"{path}: dataset payload is missing keys {missing}."
+        )
+
+
+def _check_version(version: object, path: Path) -> None:
+    try:
+        version = int(version)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise DatasetFormatError(
+            f"{path}: format_version {version!r} is not an integer."
+        ) from None
     if version != _FORMAT_VERSION:
-        raise ValueError(
-            f"Unsupported dataset format version {version!r}; "
+        raise DatasetFormatError(
+            f"{path}: unsupported dataset format version {version}; "
             f"this build reads version {_FORMAT_VERSION}."
         )
-    return ExecutionDataset(
-        app_name=payload["app_name"],
-        param_names=tuple(payload["param_names"]),
-        X=np.asarray(payload["X"], dtype=np.float64),
-        nprocs=np.asarray(payload["nprocs"], dtype=np.int64),
-        runtime=np.asarray(payload["runtime"], dtype=np.float64),
-        model_runtime=np.asarray(payload["model_runtime"], dtype=np.float64),
-        rep=np.asarray(payload["rep"], dtype=np.int64),
-    )
+
+
+def _from_payload(payload: object, path: Path) -> ExecutionDataset:
+    if not isinstance(payload, dict):
+        raise DatasetFormatError(
+            f"{path}: dataset payload must be a JSON object, "
+            f"got {type(payload).__name__}."
+        )
+    _check_keys(set(payload), path)
+    _check_version(payload.get("format_version"), path)
+    try:
+        return ExecutionDataset(
+            app_name=str(payload["app_name"]),
+            param_names=tuple(payload["param_names"]),
+            X=np.asarray(payload["X"], dtype=np.float64),
+            nprocs=np.asarray(payload["nprocs"], dtype=np.int64),
+            runtime=np.asarray(payload["runtime"], dtype=np.float64),
+            model_runtime=np.asarray(payload["model_runtime"], dtype=np.float64),
+            rep=np.asarray(payload["rep"], dtype=np.int64),
+        )
+    except DatasetFormatError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise DatasetFormatError(f"{path}: malformed dataset payload: {exc}") from exc
 
 
 def save_dataset(dataset: ExecutionDataset, path: str | Path) -> None:
@@ -75,34 +127,83 @@ def save_dataset(dataset: ExecutionDataset, path: str | Path) -> None:
             rep=dataset.rep,
         )
     else:
-        raise ValueError(
+        raise DatasetFormatError(
             f"Unknown dataset format {path.suffix!r}; use .json or .npz."
         )
+    logger.debug("wrote %d runs to %s", len(dataset), path)
 
 
-def load_dataset(path: str | Path) -> ExecutionDataset:
-    """Read a dataset written by :func:`save_dataset`."""
+def load_dataset(
+    path: str | Path,
+    validate: bool = False,
+    sanitize: bool = False,
+) -> ExecutionDataset:
+    """Read a dataset written by :func:`save_dataset`.
+
+    Structural problems (missing keys, bad version, undecodable file)
+    always raise :class:`~repro.errors.DatasetFormatError`.
+
+    Parameters
+    ----------
+    validate:
+        Also run the content rules of
+        :func:`repro.robustness.validate_dataset` and raise
+        :class:`~repro.errors.DataValidationError` on error-severity
+        findings (NaN runtimes, non-finite parameters).
+    sanitize:
+        Repair instead of reject: run
+        :func:`repro.robustness.sanitize_dataset` and return the
+        cleaned dataset (implies content checking; drops are logged).
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
     if path.suffix == ".json":
-        with open(path) as fh:
-            return _from_payload(json.load(fh))
-    if path.suffix == ".npz":
-        with np.load(path, allow_pickle=False) as data:
-            version = int(data["format_version"])
-            if version != _FORMAT_VERSION:
-                raise ValueError(
-                    f"Unsupported dataset format version {version}; "
-                    f"this build reads version {_FORMAT_VERSION}."
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DatasetFormatError(f"{path}: not valid JSON: {exc}") from exc
+        dataset = _from_payload(payload, path)
+    elif path.suffix == ".npz":
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise DatasetFormatError(
+                f"{path}: not a readable NPZ archive: {exc}"
+            ) from exc
+        with data:
+            _check_keys(set(data.files), path)
+            _check_version(data["format_version"], path)
+            try:
+                dataset = ExecutionDataset(
+                    app_name=str(data["app_name"]),
+                    param_names=tuple(str(n) for n in data["param_names"]),
+                    X=data["X"],
+                    nprocs=data["nprocs"],
+                    runtime=data["runtime"],
+                    model_runtime=data["model_runtime"],
+                    rep=data["rep"],
                 )
-            return ExecutionDataset(
-                app_name=str(data["app_name"]),
-                param_names=tuple(str(n) for n in data["param_names"]),
-                X=data["X"],
-                nprocs=data["nprocs"],
-                runtime=data["runtime"],
-                model_runtime=data["model_runtime"],
-                rep=data["rep"],
-            )
-    raise ValueError(f"Unknown dataset format {path.suffix!r}; use .json or .npz.")
+            except (TypeError, ValueError) as exc:
+                raise DatasetFormatError(
+                    f"{path}: malformed dataset payload: {exc}"
+                ) from exc
+    else:
+        raise DatasetFormatError(
+            f"Unknown dataset format {path.suffix!r}; use .json or .npz."
+        )
+    logger.debug("loaded %d runs from %s", len(dataset), path)
+
+    if sanitize:
+        from ..robustness.sanitize import sanitize_dataset
+
+        dataset, report = sanitize_dataset(dataset)
+        if report.rows_dropped:
+            logger.warning("%s: %s", path, report.summary())
+        return dataset
+    if validate:
+        from ..robustness.sanitize import validate_dataset
+
+        validate_dataset(dataset).raise_on_error()
+    return dataset

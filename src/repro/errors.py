@@ -1,0 +1,63 @@
+"""Structured exception taxonomy for the whole pipeline.
+
+Every error the library raises on purpose derives from
+:class:`ReproError`, so callers (and the CLI) can catch one type and
+get a machine-classifiable failure instead of a bare ``ValueError``
+bubbling out of numpy code.  Each subclass also inherits the builtin
+exception it historically replaced (``ValueError`` or
+``RuntimeError``), so pre-taxonomy callers keep working unchanged.
+
+Hierarchy::
+
+    ReproError
+    ├── ConfigurationError  (ValueError)   bad constructor/call arguments
+    ├── DataValidationError (ValueError)   corrupt or malformed input data
+    │   └── DatasetFormatError             unreadable persisted dataset
+    ├── FitDegenerateError  (ValueError)   training data cannot support a fit
+    ├── ExtrapolationError  (ValueError)   prediction target outside what the
+    │                                      fitted model can answer
+    └── NotFittedError      (RuntimeError) predict/transform before fit
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataValidationError",
+    "DatasetFormatError",
+    "FitDegenerateError",
+    "ExtrapolationError",
+    "NotFittedError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An argument to a constructor or method is invalid (caller bug)."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data is corrupt, malformed, or violates an invariant."""
+
+
+class DatasetFormatError(DataValidationError):
+    """A persisted dataset cannot be decoded (missing keys, unknown
+    format version, unreadable payload)."""
+
+
+class FitDegenerateError(ReproError, ValueError):
+    """The training data cannot support the requested fit, and no
+    fallback remains (e.g. fewer than two usable scales)."""
+
+
+class ExtrapolationError(ReproError, ValueError):
+    """A prediction was requested that the fitted model cannot answer
+    (e.g. a scale outside a transfer model's fitted targets)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """``predict``/``transform`` was called before ``fit``."""

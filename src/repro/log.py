@@ -1,0 +1,64 @@
+"""Structured logging for the pipeline.
+
+Every module logs under the ``repro`` namespace (``repro.data.io``,
+``repro.core.two_level``, ``repro.robustness.sanitize``, ...), so an
+application embedding the library controls verbosity with one line::
+
+    logging.getLogger("repro").setLevel(logging.DEBUG)
+
+The library itself never installs handlers on import (standard library
+etiquette); :func:`configure_logging` is the opt-in used by the CLI's
+``--verbose`` flag and by scripts that want readable diagnostics.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace.
+
+    ``get_logger("core.two_level")`` and ``get_logger(__name__)`` (from
+    inside the package) both resolve to ``repro.core.two_level``.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    verbose: bool = False, stream: object | None = None
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger.
+
+    Idempotent: a second call reconfigures the level instead of stacking
+    handlers.  Returns the configured root library logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = logging.DEBUG if verbose else logging.WARNING
+    handler = next(
+        (
+            h
+            for h in logger.handlers
+            if isinstance(h, logging.StreamHandler)
+            and getattr(h, "_repro_cli", False)
+        ),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream)  # type: ignore[arg-type]
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

@@ -18,6 +18,8 @@ from typing import Any
 
 import numpy as np
 
+from ..errors import NotFittedError
+
 __all__ = [
     "BaseEstimator",
     "RegressorMixin",
@@ -27,10 +29,6 @@ __all__ = [
     "clone",
     "check_is_fitted",
 ]
-
-
-class NotFittedError(RuntimeError):
-    """Raised when ``predict``/``transform`` is called before ``fit``."""
 
 
 class BaseEstimator:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DataValidationError
 from .validation import check_consistent_length
 
 __all__ = [
@@ -32,9 +33,9 @@ def _validate(y_true: object, y_pred: object) -> tuple[np.ndarray, np.ndarray]:
     yp = np.asarray(y_pred, dtype=np.float64)
     check_consistent_length(yt, yp)
     if yt.shape != yp.shape:
-        raise ValueError(f"Shape mismatch: {yt.shape} vs {yp.shape}")
+        raise DataValidationError(f"Shape mismatch: {yt.shape} vs {yp.shape}")
     if yt.size == 0:
-        raise ValueError("Empty input to metric.")
+        raise DataValidationError("Empty input to metric.")
     return yt, yp
 
 

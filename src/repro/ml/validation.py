@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DataValidationError
+
 __all__ = [
     "check_array",
     "check_X_y",
@@ -46,20 +48,20 @@ def check_array(
     arr = np.ascontiguousarray(X, dtype=np.float64)
     if ensure_2d:
         if arr.ndim == 1:
-            raise ValueError(
+            raise DataValidationError(
                 f"{name} must be 2-D; got 1-D array. Reshape with "
                 f"X.reshape(-1, 1) for a single feature."
             )
         if arr.ndim != 2:
-            raise ValueError(f"{name} must be 2-D; got {arr.ndim}-D array.")
+            raise DataValidationError(f"{name} must be 2-D; got {arr.ndim}-D array.")
         if arr.shape[1] == 0:
-            raise ValueError(f"{name} has 0 features.")
+            raise DataValidationError(f"{name} has 0 features.")
     if arr.shape[0] < min_samples:
-        raise ValueError(
+        raise DataValidationError(
             f"{name} needs at least {min_samples} sample(s); got {arr.shape[0]}."
         )
     if not allow_nan and not np.all(np.isfinite(arr)):
-        raise ValueError(f"{name} contains NaN or infinity.")
+        raise DataValidationError(f"{name} contains NaN or infinity.")
     return arr
 
 
@@ -72,9 +74,9 @@ def column_or_1d(y: object, *, name: str = "y") -> np.ndarray:
     if arr.ndim == 2 and arr.shape[1] == 1:
         arr = arr.ravel()
     if arr.ndim != 1:
-        raise ValueError(f"{name} must be 1-D; got shape {arr.shape}.")
+        raise DataValidationError(f"{name} must be 1-D; got shape {arr.shape}.")
     if not np.all(np.isfinite(arr)):
-        raise ValueError(f"{name} contains NaN or infinity.")
+        raise DataValidationError(f"{name} contains NaN or infinity.")
     return np.ascontiguousarray(arr)
 
 
@@ -82,7 +84,7 @@ def check_consistent_length(*arrays: object) -> None:
     """Raise if the given array-likes differ in their first dimension."""
     lengths = [len(np.asarray(a)) for a in arrays if a is not None]
     if len(set(lengths)) > 1:
-        raise ValueError(f"Inconsistent sample counts: {lengths}")
+        raise DataValidationError(f"Inconsistent sample counts: {lengths}")
 
 
 def check_X_y(
@@ -103,9 +105,9 @@ def check_X_y(
         if y_arr.ndim == 1:
             y_arr = y_arr.reshape(-1, 1)
         if y_arr.ndim != 2:
-            raise ValueError(f"y must be 1-D or 2-D; got {y_arr.ndim}-D.")
+            raise DataValidationError(f"y must be 1-D or 2-D; got {y_arr.ndim}-D.")
         if not np.all(np.isfinite(y_arr)):
-            raise ValueError("y contains NaN or infinity.")
+            raise DataValidationError("y contains NaN or infinity.")
     else:
         y_arr = column_or_1d(y)
     check_consistent_length(X, y_arr)
@@ -123,7 +125,7 @@ def check_random_state(seed: object) -> np.random.Generator:
         return np.random.default_rng(seed)
     if isinstance(seed, np.random.Generator):
         return seed
-    raise ValueError(f"Cannot build a Generator from {seed!r}")
+    raise DataValidationError(f"Cannot build a Generator from {seed!r}")
 
 
 def spawn_rngs(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

@@ -1,0 +1,38 @@
+"""Robustness layer: fault injection, dataset sanitization, and the
+fallback reporting that keeps the two-level pipeline serving predictions
+on dirty history data.
+
+* :class:`FaultInjector` / :class:`FaultSpec` — turn a pristine history
+  into a realistic dirty one (NaN/censored runtimes, spikes, duplicate
+  records, missing scales, truncated repeats).
+* :func:`validate_dataset` / :func:`sanitize_dataset` — detect and
+  repair exactly those faults, with per-rule reports.
+* :class:`FitReport` / :class:`FallbackEvent` — machine-readable record
+  of every graceful-degradation decision a model fit took.
+"""
+
+from .faults import FaultInjector, FaultLog, FaultSpec, corrupt_runtimes
+from .report import FallbackEvent, FitReport
+from .sanitize import (
+    RuleResult,
+    SanitizeReport,
+    ValidationReport,
+    drop_invalid_rows,
+    sanitize_dataset,
+    validate_dataset,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultLog",
+    "FaultSpec",
+    "corrupt_runtimes",
+    "FallbackEvent",
+    "FitReport",
+    "RuleResult",
+    "SanitizeReport",
+    "ValidationReport",
+    "drop_invalid_rows",
+    "sanitize_dataset",
+    "validate_dataset",
+]

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for execution histories.
+
+Turns a pristine simulated :class:`~repro.data.dataset.ExecutionDataset`
+into the kind of history a production scheduler actually logs: failed
+runs recorded as NaN, jobs killed at the time limit (censored), node
+interference spikes, heavy-tailed timing noise, duplicated accounting
+records, a decommissioned scale missing entirely, and repeat sets cut
+short.  Used by the fault-tolerance benchmark (Ext. G) and the
+robustness tests; the sanitizer (:mod:`repro.robustness.sanitize`) is
+its adversary.
+
+All faults are driven by one seeded generator, so a given
+``(spec, seed, dataset)`` triple always yields the same dirty history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..errors import ConfigurationError
+from ..log import get_logger
+
+__all__ = ["FaultSpec", "FaultLog", "FaultInjector", "corrupt_runtimes"]
+
+logger = get_logger("robustness.faults")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and shapes of the injected faults (all rates are row or
+    group fractions in ``[0, 1]``).
+
+    Attributes
+    ----------
+    nan_rate:
+        Fraction of rows whose runtime becomes NaN (failed run with no
+        usable measurement).
+    censor_rate:
+        Fraction of rows clipped at a shared time limit.  The limit is
+        the ``1 - censor_rate`` runtime quantile unless
+        ``censor_limit`` pins it explicitly.
+    censor_limit:
+        Explicit time limit in seconds (optional).
+    spike_rate, spike_factor:
+        Fraction of rows multiplied by ``spike_factor`` (node
+        interference / congestion spike).
+    heavy_tail_rate, heavy_tail_sigma:
+        Fraction of rows multiplied by ``exp(|N(0,1)| * sigma)`` —
+        log-normal right tail typical of shared-network interference.
+    duplicate_rate:
+        Fraction of rows appended again verbatim (double-logged
+        accounting records).
+    drop_scales:
+        Number of scales removed from the history entirely (interior
+        scales preferred, mimicking a decommissioned partition size).
+    truncate_repeat_rate:
+        Fraction of (config, scale) repeat groups reduced to a single
+        surviving repeat.
+    """
+
+    nan_rate: float = 0.0
+    censor_rate: float = 0.0
+    censor_limit: float | None = None
+    spike_rate: float = 0.0
+    spike_factor: float = 8.0
+    heavy_tail_rate: float = 0.0
+    heavy_tail_sigma: float = 1.5
+    duplicate_rate: float = 0.0
+    drop_scales: int = 0
+    truncate_repeat_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name.endswith("_rate"):
+                v = getattr(self, f.name)
+                if not 0.0 <= v <= 1.0:
+                    raise ConfigurationError(
+                        f"{f.name} must be in [0, 1]; got {v!r}"
+                    )
+        if self.spike_factor <= 0:
+            raise ConfigurationError("spike_factor must be positive.")
+        if self.heavy_tail_sigma < 0:
+            raise ConfigurationError("heavy_tail_sigma must be >= 0.")
+        if self.drop_scales < 0:
+            raise ConfigurationError("drop_scales must be >= 0.")
+        if self.censor_limit is not None and self.censor_limit <= 0:
+            raise ConfigurationError("censor_limit must be positive.")
+
+    @classmethod
+    def runtime_corruption(cls, rate: float) -> "FaultSpec":
+        """Spec corrupting ``rate`` of rows, split evenly between NaN
+        failures, interference spikes, and heavy-tailed noise — the
+        Ext. G benchmark's definition of "X % runtime corruption"."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1]; got {rate!r}")
+        third = rate / 3.0
+        return cls(nan_rate=third, spike_rate=third, heavy_tail_rate=third)
+
+
+@dataclass
+class FaultLog:
+    """What the injector actually touched (row counts per fault)."""
+
+    affected: dict[str, int] = field(default_factory=dict)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_affected(self) -> int:
+        return sum(self.affected.values())
+
+    def summary(self) -> str:
+        if not self.affected:
+            return "fault injection: no faults applied"
+        parts = ", ".join(f"{k}={v}" for k, v in self.affected.items() if v)
+        return f"fault injection: {parts or 'nothing touched'}"
+
+
+class FaultInjector:
+    """Apply a :class:`FaultSpec` to a dataset, deterministically.
+
+    Parameters
+    ----------
+    spec:
+        Fault rates; keyword overrides build/modify one in place, so
+        ``FaultInjector(nan_rate=0.1, seed=3)`` works without
+        constructing a spec first.
+    seed:
+        Seed of the private random stream.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec | None = None,
+        seed: int | None = 0,
+        **overrides: Any,
+    ) -> None:
+        base = spec if spec is not None else FaultSpec()
+        self.spec = replace(base, **overrides) if overrides else base
+        self.seed = seed
+
+    def inject(
+        self, dataset: ExecutionDataset
+    ) -> tuple[ExecutionDataset, FaultLog]:
+        """Return ``(dirty, log)``; ``dataset`` itself is untouched."""
+        rng = np.random.default_rng(self.seed)
+        spec = self.spec
+        log = FaultLog()
+
+        X = dataset.X.copy()
+        nprocs = dataset.nprocs.copy()
+        runtime = dataset.runtime.copy()
+        model_runtime = dataset.model_runtime.copy()
+        rep = dataset.rep.copy()
+
+        keep = np.ones(len(runtime), dtype=bool)
+
+        # 1. Truncated repeat sets: some (config, scale) groups keep only
+        #    their first repeat.
+        if spec.truncate_repeat_rate > 0:
+            groups: dict[bytes, list[int]] = {}
+            for i in range(len(runtime)):
+                key = X[i].tobytes() + nprocs[i].tobytes()
+                groups.setdefault(key, []).append(i)
+            multi = [rows for rows in groups.values() if len(rows) > 1]
+            n_pick = int(round(spec.truncate_repeat_rate * len(multi)))
+            lost = 0
+            for gi in rng.permutation(len(multi))[:n_pick]:
+                rows = multi[gi]
+                keep[rows[1:]] = False
+                lost += len(rows) - 1
+            log.affected["truncate_repeats"] = lost
+            log.details["truncated_groups"] = n_pick
+
+        # 2. Dropped scales (decommissioned partition sizes); interior
+        #    scales first so the history's range survives.
+        if spec.drop_scales > 0:
+            scales = [int(s) for s in np.unique(nprocs[keep])]
+            interior = scales[1:-1] if len(scales) > 2 else list(scales)
+            n_drop = min(spec.drop_scales, len(interior))
+            chosen = sorted(
+                int(interior[i])
+                for i in rng.permutation(len(interior))[:n_drop]
+            )
+            dropped_rows = 0
+            for s in chosen:
+                rows = keep & (nprocs == s)
+                dropped_rows += int(rows.sum())
+                keep[rows] = False
+            log.affected["drop_scales"] = dropped_rows
+            log.details["dropped_scales"] = chosen
+
+        # 3. Row-level runtime corruption over surviving rows.  NaN,
+        #    spike, and heavy-tail sets are disjoint by construction.
+        alive = np.nonzero(keep)[0]
+        order = rng.permutation(alive)
+        n_alive = len(alive)
+        n_nan = int(round(spec.nan_rate * n_alive))
+        n_spike = int(round(spec.spike_rate * n_alive))
+        n_tail = int(round(spec.heavy_tail_rate * n_alive))
+        nan_rows = order[:n_nan]
+        spike_rows = order[n_nan : n_nan + n_spike]
+        tail_rows = order[n_nan + n_spike : n_nan + n_spike + n_tail]
+
+        runtime[nan_rows] = np.nan
+        runtime[spike_rows] *= spec.spike_factor
+        if n_tail:
+            runtime[tail_rows] *= np.exp(
+                np.abs(rng.standard_normal(n_tail)) * spec.heavy_tail_sigma
+            )
+        log.affected["nan_runtime"] = int(n_nan)
+        log.affected["spike_runtime"] = int(n_spike)
+        log.affected["heavy_tail_runtime"] = int(n_tail)
+
+        # 4. Censoring at a shared time limit (after spikes: an inflated
+        #    run that exceeds the limit is exactly what gets killed).
+        if spec.censor_rate > 0 or spec.censor_limit is not None:
+            finite = keep & np.isfinite(runtime)
+            if np.any(finite):
+                if spec.censor_limit is not None:
+                    limit = float(spec.censor_limit)
+                else:
+                    limit = float(
+                        np.quantile(runtime[finite], 1.0 - spec.censor_rate)
+                    )
+                hit = finite & (runtime > limit)
+                runtime[hit] = limit
+                log.affected["censor_runtime"] = int(hit.sum())
+                log.details["censor_limit"] = limit
+
+        # 5. Duplicated accounting records (appended verbatim).
+        n_dup = int(round(spec.duplicate_rate * n_alive))
+        dup_rows = rng.choice(alive, size=n_dup, replace=True) if n_dup else []
+        log.affected["duplicate_rows"] = int(n_dup)
+
+        sel = np.concatenate([np.nonzero(keep)[0], np.asarray(dup_rows, int)])
+        dirty = ExecutionDataset(
+            app_name=dataset.app_name,
+            param_names=dataset.param_names,
+            X=X[sel],
+            nprocs=nprocs[sel],
+            runtime=runtime[sel],
+            model_runtime=model_runtime[sel],
+            rep=rep[sel],
+        )
+        logger.info("%s", log.summary())
+        return dirty, log
+
+
+def corrupt_runtimes(
+    dataset: ExecutionDataset, rate: float, seed: int | None = 0
+) -> tuple[ExecutionDataset, FaultLog]:
+    """Convenience wrapper: ``rate`` of rows corrupted (NaN / spike /
+    heavy tail in equal parts), deterministic in ``seed``."""
+    injector = FaultInjector(FaultSpec.runtime_corruption(rate), seed=seed)
+    return injector.inject(dataset)

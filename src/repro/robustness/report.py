@@ -1,0 +1,112 @@
+"""Machine-readable record of every degradation a fit survived.
+
+The graceful-degradation contract of the pipeline is *no silent
+fallback*: whenever a component substitutes a weaker model or discards
+data, it appends a :class:`FallbackEvent` to the :class:`FitReport`
+exposed on :attr:`repro.core.TwoLevelModel.fit_report`.  Operators can
+alert on ``report.degraded`` while still serving predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["FallbackEvent", "FitReport"]
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One degradation decision taken during fit or predict.
+
+    Attributes
+    ----------
+    stage:
+        Pipeline stage that degraded: ``"sanitize"``,
+        ``"interpolation"``, or ``"extrapolation"``.
+    kind:
+        Stable machine-readable identifier of the fallback (e.g.
+        ``"scale_dropped"``, ``"pooled_interpolator"``,
+        ``"analytic_extrapolator"``).
+    detail:
+        Human-readable explanation.
+    context:
+        Structured payload (counts, scale numbers, cluster ids, ...).
+    """
+
+    stage: str
+    kind: str
+    detail: str
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "detail": self.detail,
+            "context": dict(self.context),
+        }
+
+
+@dataclass
+class FitReport:
+    """Ordered collection of the fallbacks taken while fitting a model."""
+
+    events: list[FallbackEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        stage: str,
+        kind: str,
+        detail: str,
+        **context: Any,
+    ) -> FallbackEvent:
+        """Append (and return) a new event."""
+        event = FallbackEvent(
+            stage=stage, kind=kind, detail=detail, context=context
+        )
+        self.events.append(event)
+        return event
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one fallback was taken."""
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FallbackEvent]:
+        return iter(self.events)
+
+    def by_stage(self, stage: str) -> list[FallbackEvent]:
+        return [e for e in self.events if e.stage == stage]
+
+    def by_kind(self, kind: str) -> list[FallbackEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> tuple[str, ...]:
+        """Distinct event kinds, in first-occurrence order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.kind, None)
+        return tuple(seen)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "degraded": self.degraded,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (empty fit -> one line)."""
+        if not self.events:
+            return "fit report: clean (no fallbacks)"
+        lines = [f"fit report: {len(self.events)} fallback(s)"]
+        for e in self.events:
+            lines.append(f"  [{e.stage}] {e.kind}: {e.detail}")
+        return "\n".join(lines)

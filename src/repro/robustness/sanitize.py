@@ -1,0 +1,404 @@
+"""Dataset validation and sanitization for dirty execution histories.
+
+Real HPC history logs contain failed runs (NaN or censored runtimes),
+duplicated records, and interference spikes.  :func:`validate_dataset`
+detects these without modifying anything and returns a per-rule report;
+:func:`sanitize_dataset` applies the safe repairs (dropping corrupt
+rows, deduplicating, removing spikes) and reports exactly what it
+removed.
+
+Rules (identifiers are stable — tests and operators key on them):
+
+===================== ========= =======================================
+rule                  severity  trigger
+===================== ========= =======================================
+``nonfinite_params``  error     a parameter value is NaN/inf
+``nonfinite_runtime`` error     a recorded runtime is NaN/inf
+``censored_runtime``  warning   runtime clipped at a shared time limit
+``duplicate_row``     warning   identical (params, scale, rep, runtime)
+``outlier_runtime``   warning   > ``spike_ratio`` x its repeat group's
+                                minimum (interference spike)
+``sparse_scale``      warning   a scale has < ``min_scale_runs`` rows
+===================== ========= =======================================
+
+``sparse_scale`` is report-only: the two-level model degrades around
+missing scales itself (see :mod:`repro.core.two_level`), so the
+sanitizer never silently shrinks the scale axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..errors import DataValidationError
+from ..log import get_logger
+
+__all__ = [
+    "RuleResult",
+    "ValidationReport",
+    "SanitizeReport",
+    "validate_dataset",
+    "sanitize_dataset",
+    "drop_invalid_rows",
+]
+
+logger = get_logger("robustness.sanitize")
+
+#: Severity per rule identifier.
+RULE_SEVERITY = {
+    "nonfinite_params": "error",
+    "nonfinite_runtime": "error",
+    "censored_runtime": "warning",
+    "duplicate_row": "warning",
+    "outlier_runtime": "warning",
+    "sparse_scale": "warning",
+}
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """Outcome of one validation rule."""
+
+    rule: str
+    severity: str
+    n_rows: int
+    row_indices: tuple[int, ...]
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "n_rows": self.n_rows,
+            "row_indices": list(self.row_indices),
+            "message": self.message,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Per-rule findings over one dataset (nothing modified)."""
+
+    n_rows: int
+    results: list[RuleResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[RuleResult]:
+        return [r for r in self.results if r.n_rows > 0]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity rule fired (warnings allowed)."""
+        return not any(r.severity == "error" for r in self.violations)
+
+    @property
+    def clean(self) -> bool:
+        """True when no rule fired at all."""
+        return not self.violations
+
+    def by_rule(self, rule: str) -> RuleResult | None:
+        for r in self.results:
+            if r.rule == rule:
+                return r
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_rows": self.n_rows,
+            "ok": self.ok,
+            "clean": self.clean,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"validation: clean ({self.n_rows} rows, all rules pass)"
+        lines = [
+            f"validation: {len(self.violations)} rule(s) fired "
+            f"over {self.n_rows} rows "
+            f"({'errors present' if not self.ok else 'warnings only'})"
+        ]
+        for r in self.violations:
+            lines.append(
+                f"  {r.severity:<7s} {r.rule:<18s} {r.n_rows:>5d} rows  {r.message}"
+            )
+        return "\n".join(lines)
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`DataValidationError` if an error rule fired."""
+        bad = [r for r in self.violations if r.severity == "error"]
+        if bad:
+            msgs = "; ".join(f"{r.rule}: {r.message}" for r in bad)
+            raise DataValidationError(f"Dataset failed validation — {msgs}")
+
+
+@dataclass
+class SanitizeReport:
+    """What :func:`sanitize_dataset` removed, per rule."""
+
+    rows_in: int
+    rows_out: int
+    dropped: dict[str, int] = field(default_factory=dict)
+    validation: ValidationReport | None = None
+
+    @property
+    def rows_dropped(self) -> int:
+        return self.rows_in - self.rows_out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "dropped": dict(self.dropped),
+        }
+
+    def summary(self) -> str:
+        if not self.rows_dropped:
+            return f"sanitize: clean ({self.rows_in} rows kept)"
+        per_rule = ", ".join(
+            f"{rule}={n}" for rule, n in self.dropped.items() if n
+        )
+        return (
+            f"sanitize: dropped {self.rows_dropped}/{self.rows_in} rows "
+            f"({per_rule})"
+        )
+
+
+# -- rule detectors ----------------------------------------------------------
+#
+# Each detector returns a boolean mask over the dataset's rows, computed
+# only over rows still alive (``alive`` mask) so that e.g. the outlier
+# rule does not key on repeats already discarded as NaN.
+
+
+def _mask_nonfinite_params(ds: ExecutionDataset, alive: np.ndarray) -> np.ndarray:
+    return alive & ~np.isfinite(ds.X).all(axis=1)
+
+
+def _mask_nonfinite_runtime(ds: ExecutionDataset, alive: np.ndarray) -> np.ndarray:
+    return alive & ~np.isfinite(ds.runtime)
+
+
+def _mask_censored(
+    ds: ExecutionDataset,
+    alive: np.ndarray,
+    censor_limit: float | None,
+    min_repeats: int = 3,
+) -> np.ndarray:
+    """Rows whose runtime sits at a shared ceiling.
+
+    With an explicit ``censor_limit`` every runtime >= the limit is
+    censored.  Without one, censoring is inferred when the *maximum*
+    finite runtime repeats exactly (bit-identical) at least
+    ``min_repeats`` times — independent measurements never collide
+    exactly, but jobs killed at a time limit all record the limit.
+    """
+    runtime = ds.runtime
+    finite = alive & np.isfinite(runtime)
+    if censor_limit is not None:
+        return finite & (runtime >= censor_limit)
+    if not np.any(finite):
+        return np.zeros(len(ds), dtype=bool)
+    vmax = runtime[finite].max()
+    at_max = finite & (runtime == vmax)
+    if int(at_max.sum()) >= min_repeats:
+        return at_max
+    return np.zeros(len(ds), dtype=bool)
+
+
+def _mask_duplicates(ds: ExecutionDataset, alive: np.ndarray) -> np.ndarray:
+    """Later copies of byte-identical (params, scale, rep, runtime) rows."""
+    mask = np.zeros(len(ds), dtype=bool)
+    seen: set[bytes] = set()
+    for i in np.nonzero(alive)[0]:
+        key = (
+            ds.X[i].tobytes()
+            + ds.nprocs[i].tobytes()
+            + ds.rep[i].tobytes()
+            + ds.runtime[i].tobytes()
+        )
+        if key in seen:
+            mask[i] = True
+        else:
+            seen.add(key)
+    return mask
+
+
+def _mask_outliers(
+    ds: ExecutionDataset, alive: np.ndarray, spike_ratio: float
+) -> np.ndarray:
+    """Interference spikes: a repeat > ``spike_ratio`` x its (config,
+    scale) group's minimum.  Groups need >= 2 finite repeats — with a
+    single observation there is no within-group evidence."""
+    runtime = ds.runtime
+    usable = alive & np.isfinite(runtime)
+    groups: dict[bytes, list[int]] = {}
+    for i in np.nonzero(usable)[0]:
+        key = ds.X[i].tobytes() + ds.nprocs[i].tobytes()
+        groups.setdefault(key, []).append(i)
+    mask = np.zeros(len(ds), dtype=bool)
+    for rows in groups.values():
+        if len(rows) < 2:
+            continue
+        ref = min(runtime[i] for i in rows)
+        if ref <= 0:
+            continue
+        for i in rows:
+            if runtime[i] > spike_ratio * ref:
+                mask[i] = True
+    return mask
+
+
+def _sparse_scales(
+    ds: ExecutionDataset, alive: np.ndarray, min_scale_runs: int
+) -> tuple[np.ndarray, list[int]]:
+    mask = np.zeros(len(ds), dtype=bool)
+    sparse: list[int] = []
+    nprocs = ds.nprocs
+    for s in np.unique(nprocs[alive]):
+        rows = alive & (nprocs == s)
+        if int(rows.sum()) < min_scale_runs:
+            sparse.append(int(s))
+            mask |= rows
+    return mask, sparse
+
+
+# -- public API --------------------------------------------------------------
+
+
+def validate_dataset(
+    dataset: ExecutionDataset,
+    spike_ratio: float = 5.0,
+    censor_limit: float | None = None,
+    min_scale_runs: int = 2,
+) -> ValidationReport:
+    """Run every rule against ``dataset`` without modifying it.
+
+    Parameters
+    ----------
+    spike_ratio:
+        A repeat more than this factor above its (config, scale) group
+        minimum is flagged as an interference spike.
+    censor_limit:
+        Known job time limit; when None, censoring is inferred from
+        repeated bit-identical maxima.
+    min_scale_runs:
+        Scales with fewer rows are flagged ``sparse_scale``.
+    """
+    alive = np.ones(len(dataset), dtype=bool)
+    report = ValidationReport(n_rows=len(dataset))
+
+    def add(rule: str, mask: np.ndarray, message: str) -> None:
+        idx = tuple(int(i) for i in np.nonzero(mask)[0])
+        report.results.append(
+            RuleResult(
+                rule=rule,
+                severity=RULE_SEVERITY[rule],
+                n_rows=len(idx),
+                row_indices=idx,
+                message=message,
+            )
+        )
+
+    bad_x = _mask_nonfinite_params(dataset, alive)
+    add("nonfinite_params", bad_x, "parameter values are NaN/inf")
+    bad_t = _mask_nonfinite_runtime(dataset, alive)
+    add("nonfinite_runtime", bad_t, "recorded runtimes are NaN/inf")
+    usable = alive & ~bad_x & ~bad_t
+
+    cens = _mask_censored(dataset, usable, censor_limit)
+    add(
+        "censored_runtime",
+        cens,
+        "runtimes sit at a shared ceiling (job time limit?)",
+    )
+    dup = _mask_duplicates(dataset, usable)
+    add("duplicate_row", dup, "byte-identical duplicate records")
+    out = _mask_outliers(dataset, usable & ~cens & ~dup, spike_ratio)
+    add(
+        "outlier_runtime",
+        out,
+        f"repeats > {spike_ratio:g}x their repeat-group minimum",
+    )
+    sparse_mask, sparse = _sparse_scales(
+        dataset, usable & ~cens & ~dup & ~out, min_scale_runs
+    )
+    add(
+        "sparse_scale",
+        sparse_mask,
+        f"scales {sparse} have < {min_scale_runs} usable rows",
+    )
+    if not report.clean:
+        logger.info("validation found issues: %s", report.summary())
+    return report
+
+
+def sanitize_dataset(
+    dataset: ExecutionDataset,
+    spike_ratio: float = 5.0,
+    censor_limit: float | None = None,
+    min_scale_runs: int = 2,
+) -> tuple[ExecutionDataset, SanitizeReport]:
+    """Return a cleaned copy of ``dataset`` plus a per-rule drop report.
+
+    Drops rows flagged by ``nonfinite_params``, ``nonfinite_runtime``,
+    ``censored_runtime``, ``duplicate_row``, and ``outlier_runtime``.
+    ``sparse_scale`` findings are carried in the report but never cause
+    drops (the model layer decides how to degrade around thin scales).
+    """
+    validation = validate_dataset(
+        dataset,
+        spike_ratio=spike_ratio,
+        censor_limit=censor_limit,
+        min_scale_runs=min_scale_runs,
+    )
+    drop = np.zeros(len(dataset), dtype=bool)
+    dropped: dict[str, int] = {}
+    for rule in (
+        "nonfinite_params",
+        "nonfinite_runtime",
+        "censored_runtime",
+        "duplicate_row",
+        "outlier_runtime",
+    ):
+        result = validation.by_rule(rule)
+        if result is None or not result.n_rows:
+            dropped[rule] = 0
+            continue
+        idx = np.asarray(result.row_indices, dtype=np.int64)
+        fresh = idx[~drop[idx]]
+        dropped[rule] = int(len(fresh))
+        drop[fresh] = True
+
+    clean = dataset.select(~drop)
+    report = SanitizeReport(
+        rows_in=len(dataset),
+        rows_out=len(clean),
+        dropped=dropped,
+        validation=validation,
+    )
+    if report.rows_dropped:
+        logger.info("%s", report.summary())
+    return clean, report
+
+
+def drop_invalid_rows(
+    dataset: ExecutionDataset,
+) -> tuple[ExecutionDataset, dict[str, int]]:
+    """Minimal scrub used inside model fitting: drop rows whose runtime
+    or parameters are non-finite.  Returns ``(clean, {rule: n})`` with
+    only the rules that fired."""
+    bad_x = ~np.isfinite(dataset.X).all(axis=1)
+    bad_t = ~np.isfinite(dataset.runtime)
+    counts: dict[str, int] = {}
+    if np.any(bad_x):
+        counts["nonfinite_params"] = int(bad_x.sum())
+    if np.any(bad_t & ~bad_x):
+        counts["nonfinite_runtime"] = int((bad_t & ~bad_x).sum())
+    if not counts:
+        return dataset, counts
+    return dataset.select(~(bad_x | bad_t)), counts

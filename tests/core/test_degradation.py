@@ -1,0 +1,188 @@
+"""Tests for graceful degradation in the two-level model.
+
+Every fallback the model takes must appear on ``model.fit_report``;
+strict mode must refuse to degrade and raise instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticSpeedupExtrapolator, TwoLevelModel
+from repro.core.extrapolation import ClusteredScalingExtrapolator
+from repro.data.dataset import ExecutionDataset
+from repro.errors import (
+    DataValidationError,
+    FitDegenerateError,
+    NotFittedError,
+    ReproError,
+)
+
+SCALES = [32, 64, 128, 256]
+
+
+def _with_runtime(ds, runtime):
+    return ExecutionDataset(
+        app_name=ds.app_name,
+        param_names=ds.param_names,
+        X=ds.X,
+        nprocs=ds.nprocs,
+        runtime=runtime,
+        model_runtime=ds.model_runtime,
+        rep=ds.rep,
+    )
+
+
+class TestCleanFit:
+    def test_clean_fit_has_empty_report(self, tiny_history):
+        model = TwoLevelModel(small_scales=SCALES).fit(tiny_history)
+        assert not model.fit_report.degraded
+        assert len(model.fit_report) == 0
+        assert "clean" in model.fit_report.summary()
+
+    def test_fit_report_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TwoLevelModel(small_scales=SCALES).fit_report
+
+
+class TestNaNRows:
+    def test_scattered_nans_are_scrubbed(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        runtime[[0, 7, 13]] = np.nan
+        model = TwoLevelModel(small_scales=SCALES).fit(
+            _with_runtime(tiny_history, runtime)
+        )
+        events = model.fit_report.by_kind("dropped_invalid_rows")
+        assert len(events) == 1
+        assert events[0].context["nonfinite_runtime"] == 3
+        preds = model.predict(tiny_history.unique_configs()[:3], [512])
+        assert np.isfinite(preds).all()
+
+    def test_strict_mode_rejects_nans(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        runtime[0] = np.nan
+        with pytest.raises(DataValidationError, match="strict"):
+            TwoLevelModel(small_scales=SCALES, strict=True).fit(
+                _with_runtime(tiny_history, runtime)
+            )
+
+
+class TestAllNaNScale:
+    def test_all_nan_scale_is_dropped(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        runtime[tiny_history.nprocs == 64] = np.nan
+        model = TwoLevelModel(small_scales=SCALES).fit(
+            _with_runtime(tiny_history, runtime)
+        )
+        assert list(model.effective_small_scales_) == [32, 128, 256]
+        dropped = model.fit_report.by_kind("scale_dropped")
+        assert len(dropped) == 1
+        assert dropped[0].context["missing_scales"] == [64]
+        preds = model.predict(tiny_history.unique_configs()[:3], [1024])
+        assert np.isfinite(preds).all() and (preds > 0).all()
+
+    def test_too_few_surviving_scales_is_degenerate(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        runtime[np.isin(tiny_history.nprocs, [64, 128, 256])] = np.nan
+        with pytest.raises(FitDegenerateError, match="at least two"):
+            TwoLevelModel(small_scales=SCALES).fit(
+                _with_runtime(tiny_history, runtime)
+            )
+
+
+class TestThinScale:
+    def test_single_sample_scale_uses_pooled_fallback(self, tiny_history):
+        keep = np.ones(len(tiny_history), dtype=bool)
+        at_64 = np.nonzero(tiny_history.nprocs == 64)[0]
+        keep[at_64[1:]] = False  # a single training row at p=64
+        model = TwoLevelModel(small_scales=SCALES).fit(
+            tiny_history.select(keep)
+        )
+        pooled = model.fit_report.by_kind("pooled_interpolator")
+        assert len(pooled) == 1
+        assert pooled[0].context["scale"] == 64
+        assert 64 in model.interpolator_.fallback_scales_
+        # The degraded scale still answers predictions.
+        preds = model.predict(tiny_history.unique_configs()[:3], [64, 512])
+        assert np.isfinite(preds).all() and (preds > 0).all()
+
+    def test_strict_mode_fits_thin_scale_directly(self, tiny_history):
+        keep = np.ones(len(tiny_history), dtype=bool)
+        at_64 = np.nonzero(tiny_history.nprocs == 64)[0]
+        keep[at_64[1:]] = False
+        model = TwoLevelModel(small_scales=SCALES, strict=True).fit(
+            tiny_history.select(keep)
+        )
+        assert 64 not in model.interpolator_.fallback_scales_
+
+
+class TestAnalyticFallback:
+    def test_degenerate_extrapolation_falls_back_to_amdahl(
+        self, tiny_history, monkeypatch
+    ):
+        def boom(self, S, report=None):
+            raise FitDegenerateError("forced degeneracy")
+
+        monkeypatch.setattr(ClusteredScalingExtrapolator, "fit", boom)
+        model = TwoLevelModel(small_scales=SCALES).fit(tiny_history)
+        assert model.used_analytic_fallback_
+        events = model.fit_report.by_kind("analytic_extrapolator")
+        assert len(events) == 1
+        assert events[0].context["reason"] == "FitDegenerateError"
+        assert model.support_names() == {0: ("amdahl",)}
+        assert model.cluster_sizes_.tolist() == [20]
+        preds = model.predict(tiny_history.unique_configs()[:4], [1024, 2048])
+        assert np.isfinite(preds).all() and (preds > 0).all()
+        assert "Amdahl" in model.report(cv_splits=2)
+
+    def test_strict_mode_propagates_degeneracy(self, tiny_history, monkeypatch):
+        def boom(self, S, report=None):
+            raise FitDegenerateError("forced degeneracy")
+
+        monkeypatch.setattr(ClusteredScalingExtrapolator, "fit", boom)
+        with pytest.raises(ReproError):
+            TwoLevelModel(small_scales=SCALES, strict=True).fit(tiny_history)
+
+
+class TestAnalyticExtrapolator:
+    def test_fits_amdahl_per_config(self, tiny_history):
+        configs, S = tiny_history.runtime_matrix(SCALES)
+        ext = AnalyticSpeedupExtrapolator(SCALES).fit(S)
+        preds = ext.predict(S, [512, 1024])
+        assert preds.shape == (S.shape[0], 2)
+        assert np.isfinite(preds).all() and (preds > 0).all()
+        # Runtimes keep falling (or at worst flatten) as p grows for a
+        # strong-scaling stencil.
+        assert np.median(preds[:, 1] / S[:, -1]) < 1.0
+
+    def test_handles_invalid_curves_via_pooled_shape(self, tiny_history):
+        _, S = tiny_history.runtime_matrix(SCALES)
+        S = S.copy()
+        S[0] = np.nan
+        ext = AnalyticSpeedupExtrapolator(SCALES).fit(S)
+        preds = ext.predict(S, [1024])
+        assert np.isfinite(preds).all()
+
+    def test_all_invalid_is_degenerate(self):
+        S = np.full((3, 4), np.nan)
+        with pytest.raises(FitDegenerateError):
+            AnalyticSpeedupExtrapolator(SCALES).fit(S)
+
+
+class TestSingleClusterHistories:
+    def test_fewer_configs_than_clusters_still_fits(self, tiny_history):
+        # 3 configurations with n_clusters=3 leaves at most one config
+        # per cluster; the fit must complete (possibly via fallbacks)
+        # and every degradation must be enumerable from the report.
+        configs = tiny_history.unique_configs()[:3]
+        mask = np.zeros(len(tiny_history), dtype=bool)
+        for cfg in configs:
+            mask |= np.all(tiny_history.X == cfg, axis=1)
+        model = TwoLevelModel(small_scales=SCALES, n_clusters=3).fit(
+            tiny_history.select(mask)
+        )
+        preds = model.predict(configs, [512, 1024])
+        assert np.isfinite(preds).all() and (preds > 0).all()
+        for event in model.fit_report:
+            assert event.stage in {
+                "sanitize", "interpolation", "extrapolation"
+            }

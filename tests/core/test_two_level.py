@@ -149,11 +149,18 @@ class TestValidation:
         with pytest.raises(ValueError):
             TwoLevelModel(small_scales=SMALL, mode="hybrid")
 
-    def test_missing_small_scale_raises(self, histories):
+    def test_missing_small_scale_raises_in_strict_mode(self, histories):
         train, _, _ = histories
-        model = TwoLevelModel(small_scales=[32, 64, 999])
+        model = TwoLevelModel(small_scales=[32, 64, 999], strict=True)
         with pytest.raises(ValueError, match="lacks small scales"):
             model.fit(train)
+
+    def test_missing_small_scale_degrades_by_default(self, histories):
+        train, _, _ = histories
+        model = TwoLevelModel(small_scales=[32, 64, 128, 999])
+        model.fit(train)
+        assert list(model.effective_small_scales_) == [32, 64, 128]
+        assert any(e.kind == "scale_dropped" for e in model.fit_report)
 
     def test_predict_before_fit_raises(self):
         model = TwoLevelModel(small_scales=SMALL)

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.data import load_dataset, save_dataset
+from repro.errors import DatasetFormatError
 
 
 class TestRoundTrip:
@@ -60,5 +61,99 @@ class TestErrors:
         payload = json.loads(path.read_text())
         payload["format_version"] = 99
         path.write_text(json.dumps(payload))
-        with pytest.raises(ValueError, match="version"):
+        with pytest.raises(DatasetFormatError, match="version"):
             load_dataset(path)
+
+
+class TestMalformedPayloads:
+    def _payload(self, tiny_history, tmp_path):
+        path = tmp_path / "h.json"
+        save_dataset(tiny_history, path)
+        return path, json.loads(path.read_text())
+
+    @pytest.mark.parametrize(
+        "key", ["format_version", "app_name", "X", "runtime", "rep"]
+    )
+    def test_missing_key_names_it(self, tiny_history, tmp_path, key):
+        path, payload = self._payload(tiny_history, tmp_path)
+        del payload[key]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatasetFormatError, match=key):
+            load_dataset(path)
+
+    def test_non_integer_version(self, tiny_history, tmp_path):
+        path, payload = self._payload(tiny_history, tmp_path)
+        payload["format_version"] = "new"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatasetFormatError, match="not an integer"):
+            load_dataset(path)
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{not json!")
+        with pytest.raises(DatasetFormatError, match="JSON"):
+            load_dataset(path)
+
+    def test_json_array_payload(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DatasetFormatError, match="object"):
+            load_dataset(path)
+
+    def test_shape_mismatch(self, tiny_history, tmp_path):
+        path, payload = self._payload(tiny_history, tmp_path)
+        payload["runtime"] = payload["runtime"][:-2]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DatasetFormatError, match="malformed"):
+            load_dataset(path)
+
+    def test_garbage_npz(self, tmp_path):
+        path = tmp_path / "h.npz"
+        path.write_bytes(b"\x00\x01\x02 not a zip archive")
+        with pytest.raises(DatasetFormatError):
+            load_dataset(path)
+
+    def test_npz_missing_key(self, tiny_history, tmp_path):
+        path = tmp_path / "h.npz"
+        np.savez_compressed(
+            path, X=tiny_history.X, runtime=tiny_history.runtime
+        )
+        with pytest.raises(DatasetFormatError, match="missing keys"):
+            load_dataset(path)
+
+    def test_format_error_is_still_a_value_error(self, tmp_path):
+        # Compatibility: callers catching ValueError keep working.
+        path = tmp_path / "h.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+
+class TestLoadTimeValidation:
+    def _dirty_file(self, tiny_history, tmp_path):
+        import json as _json
+
+        path = tmp_path / "h.json"
+        save_dataset(tiny_history, path)
+        payload = _json.loads(path.read_text())
+        payload["runtime"][0] = None  # json null -> NaN
+        path.write_text(_json.dumps(payload))
+        return path
+
+    def test_load_accepts_nan_by_default(self, tiny_history, tmp_path):
+        path = self._dirty_file(tiny_history, tmp_path)
+        loaded = load_dataset(path)
+        assert np.isnan(loaded.runtime[0])
+
+    def test_validate_flag_rejects_nan(self, tiny_history, tmp_path):
+        from repro.errors import DataValidationError
+
+        path = self._dirty_file(tiny_history, tmp_path)
+        with pytest.raises(DataValidationError, match="nonfinite_runtime"):
+            load_dataset(path, validate=True)
+
+    def test_sanitize_flag_repairs(self, tiny_history, tmp_path):
+        path = self._dirty_file(tiny_history, tmp_path)
+        loaded = load_dataset(path, sanitize=True)
+        assert len(loaded) == len(tiny_history) - 1
+        assert np.isfinite(loaded.runtime).all()

@@ -1,0 +1,115 @@
+"""Tests for the fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.robustness import FaultInjector, FaultSpec, corrupt_runtimes
+
+
+class TestFaultSpec:
+    def test_defaults_are_no_faults(self):
+        spec = FaultSpec()
+        assert spec.nan_rate == 0.0 and spec.drop_scales == 0
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5])
+    def test_rates_validated(self, rate):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(nan_rate=rate)
+
+    def test_negative_drop_scales_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(drop_scales=-1)
+
+    def test_runtime_corruption_splits_rate(self):
+        spec = FaultSpec.runtime_corruption(0.3)
+        assert spec.nan_rate == pytest.approx(0.1)
+        assert spec.spike_rate == pytest.approx(0.1)
+        assert spec.heavy_tail_rate == pytest.approx(0.1)
+
+
+class TestInjection:
+    def test_noop_spec_returns_identical_data(self, tiny_history):
+        dirty, log = FaultInjector(FaultSpec(), seed=0).inject(tiny_history)
+        np.testing.assert_array_equal(dirty.runtime, tiny_history.runtime)
+        assert log.total_affected == 0
+
+    def test_original_dataset_untouched(self, tiny_history):
+        before = tiny_history.runtime.copy()
+        FaultInjector(nan_rate=0.5, seed=1).inject(tiny_history)
+        np.testing.assert_array_equal(tiny_history.runtime, before)
+
+    def test_deterministic_in_seed(self, tiny_history):
+        spec = FaultSpec(nan_rate=0.1, spike_rate=0.1, duplicate_rate=0.05)
+        a, _ = FaultInjector(spec, seed=9).inject(tiny_history)
+        b, _ = FaultInjector(spec, seed=9).inject(tiny_history)
+        np.testing.assert_array_equal(a.runtime, b.runtime)
+        c, _ = FaultInjector(spec, seed=10).inject(tiny_history)
+        assert not np.array_equal(
+            np.isnan(a.runtime), np.isnan(c.runtime)
+        ) or not np.allclose(
+            a.runtime[~np.isnan(a.runtime)], c.runtime[~np.isnan(c.runtime)]
+        )
+
+    def test_nan_rate_hits_expected_count(self, tiny_history):
+        dirty, log = FaultInjector(nan_rate=0.25, seed=2).inject(tiny_history)
+        expected = round(0.25 * len(tiny_history))
+        assert int(np.isnan(dirty.runtime).sum()) == expected
+        assert log.affected["nan_runtime"] == expected
+
+    def test_spikes_inflate_runtimes(self, tiny_history):
+        dirty, log = FaultInjector(
+            spike_rate=0.2, spike_factor=10.0, seed=3
+        ).inject(tiny_history)
+        n_spiked = int((dirty.runtime > 5 * tiny_history.runtime).sum())
+        assert n_spiked == log.affected["spike_runtime"] > 0
+
+    def test_censoring_clips_at_limit(self, tiny_history):
+        dirty, log = FaultInjector(censor_rate=0.2, seed=4).inject(tiny_history)
+        limit = log.details["censor_limit"]
+        assert np.nanmax(dirty.runtime) <= limit
+        assert log.affected["censor_runtime"] > 0
+
+    def test_explicit_censor_limit(self, tiny_history):
+        limit = float(np.median(tiny_history.runtime))
+        dirty, log = FaultInjector(
+            censor_rate=0.0, censor_limit=limit, seed=4
+        ).inject(tiny_history)
+        assert np.nanmax(dirty.runtime) <= limit
+        assert log.details["censor_limit"] == limit
+
+    def test_drop_scales_removes_interior_scale(self, tiny_history):
+        dirty, log = FaultInjector(drop_scales=1, seed=5).inject(tiny_history)
+        gone = log.details["dropped_scales"]
+        assert len(gone) == 1
+        remaining = set(int(s) for s in dirty.scales)
+        assert gone[0] not in remaining
+        # Endpoints survive so the scale range is preserved.
+        assert {32, 256} <= remaining
+
+    def test_duplicates_appended(self, tiny_history):
+        dirty, log = FaultInjector(duplicate_rate=0.1, seed=6).inject(
+            tiny_history
+        )
+        assert len(dirty) == len(tiny_history) + log.affected["duplicate_rows"]
+        assert log.affected["duplicate_rows"] > 0
+
+    def test_truncate_repeats(self, noisy_history):
+        dirty, log = FaultInjector(
+            truncate_repeat_rate=0.5, seed=7
+        ).inject(noisy_history)
+        assert log.affected["truncate_repeats"] > 0
+        assert len(dirty) < len(noisy_history)
+
+    def test_kwarg_overrides_build_spec(self, tiny_history):
+        injector = FaultInjector(nan_rate=0.1, seed=0)
+        assert injector.spec.nan_rate == 0.1
+
+    def test_corrupt_runtimes_convenience(self, tiny_history):
+        dirty, log = corrupt_runtimes(tiny_history, 0.3, seed=11)
+        assert len(dirty) == len(tiny_history)
+        assert log.total_affected > 0
+
+    def test_log_summary_mentions_faults(self, tiny_history):
+        _, log = FaultInjector(nan_rate=0.2, seed=1).inject(tiny_history)
+        assert "nan_runtime" in log.summary()

@@ -1,0 +1,142 @@
+"""Tests for dataset validation and sanitization."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ExecutionDataset
+from repro.errors import DataValidationError
+from repro.robustness import (
+    FaultInjector,
+    drop_invalid_rows,
+    sanitize_dataset,
+    validate_dataset,
+)
+
+
+def _with_runtime(ds, runtime):
+    return ExecutionDataset(
+        app_name=ds.app_name,
+        param_names=ds.param_names,
+        X=ds.X,
+        nprocs=ds.nprocs,
+        runtime=runtime,
+        model_runtime=ds.model_runtime,
+        rep=ds.rep,
+    )
+
+
+class TestValidate:
+    def test_clean_dataset_passes_all_rules(self, tiny_history):
+        report = validate_dataset(tiny_history)
+        assert report.ok and report.clean
+        assert "clean" in report.summary()
+        report.raise_on_error()  # must not raise
+
+    def test_nan_runtime_is_error(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        runtime[[1, 5]] = np.nan
+        report = validate_dataset(_with_runtime(tiny_history, runtime))
+        result = report.by_rule("nonfinite_runtime")
+        assert result.n_rows == 2 and set(result.row_indices) == {1, 5}
+        assert not report.ok
+        with pytest.raises(DataValidationError, match="nonfinite_runtime"):
+            report.raise_on_error()
+
+    def test_censoring_detected_from_repeated_maxima(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        limit = float(np.quantile(runtime, 0.9))
+        runtime[runtime >= limit] = limit
+        report = validate_dataset(_with_runtime(tiny_history, runtime))
+        result = report.by_rule("censored_runtime")
+        assert result.n_rows >= 3
+        assert report.ok  # warning severity, not error
+
+    def test_explicit_censor_limit(self, tiny_history):
+        limit = float(np.median(tiny_history.runtime))
+        report = validate_dataset(tiny_history, censor_limit=limit)
+        assert report.by_rule("censored_runtime").n_rows > 0
+
+    def test_duplicates_detected(self, tiny_history):
+        dup = tiny_history.merge(tiny_history.select(np.array([0, 3])))
+        report = validate_dataset(dup)
+        assert report.by_rule("duplicate_row").n_rows == 2
+
+    def test_outlier_spike_detected(self, noisy_history):
+        runtime = noisy_history.runtime.copy()
+        runtime[0] *= 50.0
+        report = validate_dataset(_with_runtime(noisy_history, runtime))
+        assert 0 in report.by_rule("outlier_runtime").row_indices
+
+    def test_sparse_scale_flagged(self, tiny_history):
+        keep = np.ones(len(tiny_history), dtype=bool)
+        at_64 = np.nonzero(tiny_history.nprocs == 64)[0]
+        keep[at_64[1:]] = False  # leave a single row at p=64
+        report = validate_dataset(tiny_history.select(keep))
+        result = report.by_rule("sparse_scale")
+        assert result.n_rows == 1
+        assert "64" in result.message
+
+    def test_report_to_dict_round_trips(self, tiny_history):
+        d = validate_dataset(tiny_history).to_dict()
+        assert d["ok"] and d["clean"]
+        assert len(d["results"]) == 6
+
+
+class TestSanitize:
+    def test_clean_dataset_untouched(self, tiny_history):
+        clean, report = sanitize_dataset(tiny_history)
+        assert len(clean) == len(tiny_history)
+        assert report.rows_dropped == 0
+        assert "clean" in report.summary()
+
+    def test_drops_nan_and_duplicates(self, tiny_history):
+        dirty, _ = FaultInjector(
+            nan_rate=0.1, duplicate_rate=0.1, seed=13
+        ).inject(tiny_history)
+        clean, report = sanitize_dataset(dirty)
+        assert np.isfinite(clean.runtime).all()
+        assert report.dropped["nonfinite_runtime"] > 0
+        assert report.dropped["duplicate_row"] > 0
+        assert report.rows_out == len(clean)
+
+    def test_sparse_scale_never_dropped(self, tiny_history):
+        keep = np.ones(len(tiny_history), dtype=bool)
+        at_64 = np.nonzero(tiny_history.nprocs == 64)[0]
+        keep[at_64[1:]] = False
+        ds = tiny_history.select(keep)
+        clean, report = sanitize_dataset(ds)
+        assert 64 in clean.scales
+        assert len(clean) == len(ds)
+        assert report.validation.by_rule("sparse_scale").n_rows == 1
+
+    def test_rules_do_not_double_count(self, tiny_history):
+        # A duplicated row that is also censored may fire two rules; the
+        # drop accounting must still sum to the rows actually removed.
+        dirty, _ = FaultInjector(
+            nan_rate=0.1, censor_rate=0.1, duplicate_rate=0.2, seed=17
+        ).inject(tiny_history)
+        clean, report = sanitize_dataset(dirty)
+        assert sum(report.dropped.values()) == report.rows_dropped
+        assert report.rows_in - report.rows_dropped == len(clean)
+
+    def test_sanitized_injected_history_is_mostly_clean(self, noisy_history):
+        dirty, _ = FaultInjector(
+            nan_rate=0.1, spike_rate=0.1, spike_factor=20.0, seed=19
+        ).inject(noisy_history)
+        clean, _ = sanitize_dataset(dirty)
+        report = validate_dataset(clean)
+        assert report.ok
+        assert report.by_rule("outlier_runtime").n_rows == 0
+
+
+class TestDropInvalidRows:
+    def test_noop_on_clean_data(self, tiny_history):
+        clean, counts = drop_invalid_rows(tiny_history)
+        assert clean is tiny_history and counts == {}
+
+    def test_drops_only_nonfinite(self, tiny_history):
+        runtime = tiny_history.runtime.copy()
+        runtime[2] = np.nan
+        clean, counts = drop_invalid_rows(_with_runtime(tiny_history, runtime))
+        assert counts == {"nonfinite_runtime": 1}
+        assert len(clean) == len(tiny_history) - 1

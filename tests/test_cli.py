@@ -120,6 +120,61 @@ class TestFitPredict:
         assert code == 2
 
 
+class TestValidate:
+    @pytest.fixture
+    def history_path(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "5",
+            "--scales", "32,64", "--reps", "2", "--out", str(data),
+        )
+        assert code == 0
+        return data
+
+    def _corrupt(self, path):
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["runtime"][0] = None  # NaN after decoding
+        path.write_text(json.dumps(payload))
+
+    def test_validate_clean_history(self, history_path):
+        code, out = run_cli("validate", "--data", str(history_path))
+        assert code == 0
+        assert "clean" in out
+
+    def test_validate_dirty_history_exits_2(self, history_path):
+        self._corrupt(history_path)
+        code, out = run_cli("validate", "--data", str(history_path))
+        assert code == 2
+        assert "nonfinite_runtime" in out
+
+    def test_validate_sanitize_writes_clean_copy(self, history_path, tmp_path):
+        self._corrupt(history_path)
+        clean_path = tmp_path / "clean.json"
+        code, out = run_cli(
+            "validate", "--data", str(history_path),
+            "--sanitize", str(clean_path),
+        )
+        assert code == 0
+        assert clean_path.exists()
+        assert "dropped 1" in out
+        code, out = run_cli("validate", "--data", str(clean_path))
+        assert code == 0
+
+    def test_structured_error_exits_2(self, history_path, capsys):
+        history_path.write_text("{not json!")
+        code, _ = run_cli("describe", "--data", str(history_path))
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [DatasetFormatError]" in err
+        assert "Traceback" not in err
+
+    def test_verbose_flag_accepted(self, history_path):
+        code, _ = run_cli("--verbose", "describe", "--data", str(history_path))
+        assert code == 0
+
+
 class TestCompare:
     def test_compare_small(self):
         code, out = run_cli(

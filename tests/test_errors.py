@@ -1,0 +1,83 @@
+"""Tests for the structured exception taxonomy.
+
+The taxonomy has a compatibility contract: every new exception that
+replaced a historical ``ValueError`` / ``RuntimeError`` must still be
+caught by code (and tests) expecting the old type.
+"""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DataValidationError,
+    DatasetFormatError,
+    ExtrapolationError,
+    FitDegenerateError,
+    NotFittedError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            DataValidationError,
+            DatasetFormatError,
+            ExtrapolationError,
+            FitDegenerateError,
+            NotFittedError,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            DataValidationError,
+            DatasetFormatError,
+            ExtrapolationError,
+            FitDegenerateError,
+        ],
+    )
+    def test_value_error_compatibility(self, exc_type):
+        assert issubclass(exc_type, ValueError)
+        with pytest.raises(ValueError):
+            raise exc_type("boom")
+
+    def test_not_fitted_is_a_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+        with pytest.raises(RuntimeError):
+            raise NotFittedError("not fitted")
+
+    def test_format_error_is_a_validation_error(self):
+        assert issubclass(DatasetFormatError, DataValidationError)
+
+    def test_catching_repro_error_covers_all(self):
+        for exc_type in (
+            ConfigurationError,
+            DataValidationError,
+            DatasetFormatError,
+            ExtrapolationError,
+            FitDegenerateError,
+            NotFittedError,
+        ):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
+
+
+class TestExports:
+    def test_taxonomy_reexported_at_top_level(self):
+        import repro
+
+        assert repro.ReproError is ReproError
+        assert repro.DataValidationError is DataValidationError
+        assert repro.NotFittedError is NotFittedError
+
+    def test_ml_base_reexports_not_fitted(self):
+        from repro.ml.base import NotFittedError as MLNotFitted
+
+        assert MLNotFitted is NotFittedError
