@@ -1,0 +1,97 @@
+"""Extension H — history collection under a wall-clock budget.
+
+Recollects the small-scale training history with the executor running
+under an :class:`repro.sim.ExecutionBudget` (runs killed at the limit,
+resubmitted with escalated budgets), then fits the two-level model on
+the resulting partially-censored history.  Expected shape: the model
+drops the censored rows (``censored_rows_dropped`` on the fit report),
+degrades around any thinned scales, and large-scale accuracy recovers
+toward the unbudgeted baseline as the limit loosens.
+
+The limit is swept over quantiles of the true runtime distribution so
+the censoring pressure is comparable across sizings.
+"""
+
+import numpy as np
+from conftest import experiment_config, cached_histories, report
+
+from repro.analysis import Histories, evaluate_predictor, fit_two_level, series_block
+from repro.apps import get_app
+from repro.data import HistoryGenerator
+from repro.sim import ExecutionBudget, Executor, NoiseModel, RetryPolicy
+
+LIMIT_QUANTILES = [0.5, 0.75, 0.9]
+MAX_RETRIES = 2
+ESCALATION = 1.5
+
+
+def _budgeted_train(config, limit):
+    """Recollect the training history with a per-run wall-clock limit."""
+    app = get_app(config.app_name)
+    noise = NoiseModel(sigma=config.noise_sigma, jitter_prob=config.jitter_prob)
+    executor = Executor(
+        noise=noise,
+        seed=config.seed,
+        budget=ExecutionBudget(limit=limit),
+        retry=RetryPolicy(max_attempts=MAX_RETRIES + 1, escalation=ESCALATION),
+    )
+    gen = HistoryGenerator(app, executor=executor, seed=config.seed)
+    configs = gen.sample_configs(config.n_train_configs)
+    train = gen.collect(configs, config.small_scales,
+                        repetitions=config.repetitions)
+    return train, gen.timeout_log
+
+
+def _mape_with(histories, train):
+    model = fit_two_level(
+        Histories(train=train, test=histories.test, config=histories.config)
+    )
+    score = evaluate_predictor(
+        "two-level",
+        lambda X, s, m=model: m.predict(X, [s])[:, 0],
+        histories.test,
+        histories.config.large_scales,
+    )
+    return 100.0 * score.overall_mape
+
+
+def _sweep():
+    histories = cached_histories(experiment_config("stencil3d"))
+    baseline = _mape_with(histories, histories.train)
+    mapes, censored, resubmitted = [], [], []
+    for q in LIMIT_QUANTILES:
+        limit = float(np.quantile(histories.train.runtime, q))
+        train, log = _budgeted_train(histories.config, limit)
+        mapes.append(_mape_with(histories, train))
+        censored.append(log.censored)
+        resubmitted.append(log.resubmitted)
+    return baseline, mapes, censored, resubmitted
+
+
+def test_extH_budget_retry(benchmark):
+    baseline, mapes, censored, resubmitted = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    report(
+        series_block(
+            "Extension H (stencil3d) — overall MAPE [%] vs wall-clock "
+            f"limit quantile (retries={MAX_RETRIES}, "
+            f"escalation={ESCALATION}; unbudgeted baseline "
+            f"{baseline:.1f} %)",
+            "limit q",
+            LIMIT_QUANTILES,
+            {
+                "budgeted": mapes,
+                "censored rows": [float(c) for c in censored],
+                "resubmitted": [float(r) for r in resubmitted],
+            },
+            y_format="{:.1f}",
+        )
+    )
+    # Tighter limits censor more runs; resubmission recovers some.
+    assert censored[0] >= censored[-1]
+    assert all(r > 0 for r in resubmitted)
+    # The pipeline completes at every limit, and once 90 % of runs fit
+    # inside the budget accuracy is within 2x the unbudgeted baseline.
+    assert all(np.isfinite(m) for m in mapes)
+    assert mapes[-1] <= 2.0 * max(baseline, 5.0)

@@ -23,6 +23,7 @@ from ..ml.metrics import (
     median_absolute_percentage_error,
     root_mean_squared_error,
 )
+from ..robustness.report import FitReport
 from ..sim import Executor, Machine, NoiseModel
 
 __all__ = [
@@ -106,16 +107,28 @@ def fit_two_level(
 
 @dataclass(frozen=True)
 class MethodScores:
-    """Accuracy of one method across the large target scales."""
+    """Accuracy of one method across the large target scales.
+
+    ``fit_report`` carries the fitting model's
+    :class:`~repro.robustness.FitReport` when the method exposes one
+    (the two-level model), so comparison rows produced by degraded fits
+    are identifiable instead of silently blending in.
+    """
 
     name: str
     mape_by_scale: dict[int, float]
     rmse_by_scale: dict[int, float]
     medape_by_scale: dict[int, float] = field(default_factory=dict)
+    fit_report: FitReport | None = None
 
     @property
     def overall_mape(self) -> float:
         return float(np.mean(list(self.mape_by_scale.values())))
+
+    @property
+    def degraded(self) -> bool:
+        """True when the fit behind these scores took any fallback."""
+        return self.fit_report is not None and self.fit_report.degraded
 
 
 PredictFn = Callable[[np.ndarray, int], np.ndarray]
@@ -126,8 +139,13 @@ def evaluate_predictor(
     predict: PredictFn,
     test: ExecutionDataset,
     large_scales: Sequence[int],
+    fit_report: FitReport | None = None,
 ) -> MethodScores:
-    """Score ``predict(X, scale)`` against the test history."""
+    """Score ``predict(X, scale)`` against the test history.
+
+    Pass the fitting model's ``fit_report`` so degraded fits stay
+    visible in the comparison row.
+    """
     mape_s: dict[int, float] = {}
     rmse_s: dict[int, float] = {}
     med_s: dict[int, float] = {}
@@ -142,7 +160,11 @@ def evaluate_predictor(
     if not mape_s:
         raise ValueError("Test data contains none of the requested scales.")
     return MethodScores(
-        name=name, mape_by_scale=mape_s, rmse_by_scale=rmse_s, medape_by_scale=med_s
+        name=name,
+        mape_by_scale=mape_s,
+        rmse_by_scale=rmse_s,
+        medape_by_scale=med_s,
+        fit_report=fit_report,
     )
 
 
@@ -169,6 +191,7 @@ def run_method_comparison(
                 lambda X, s: model.predict(X, [s])[:, 0],
                 histories.test,
                 cfg.large_scales,
+                fit_report=model.fit_report,
             )
         )
 
@@ -180,6 +203,7 @@ def run_method_comparison(
                 lambda X, s, bl=bl: bl.predict(X, s),
                 histories.test,
                 cfg.large_scales,
+                fit_report=getattr(bl, "fit_report", None),
             )
         )
     results.sort(key=lambda r: r.overall_mape)

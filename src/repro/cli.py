@@ -67,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--machine", default="default-cluster")
     g.add_argument("--noise", type=float, default=0.03)
+    g.add_argument("--time-limit", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget per run; runs over the limit "
+                   "are killed and resubmitted (default: unlimited)")
+    g.add_argument("--max-retries", type=int, default=0,
+                   help="resubmissions granted to a timed-out run")
+    g.add_argument("--escalation", type=float, default=1.0,
+                   help="budget multiplier per resubmission (>= 1)")
+    g.add_argument("--on-timeout", choices=["keep", "drop", "raise"],
+                   default="keep",
+                   help="timed-out-on-every-attempt runs: keep as "
+                   "censored rows, drop, or abort (default: keep)")
     g.add_argument("--out", required=True, help=".json or .npz path")
 
     d = sub.add_parser("describe", help="summarize a stored history")
@@ -82,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="outlier threshold vs per-config minimum")
     v.add_argument("--censor-limit", type=float, default=None,
                    help="known wall-clock limit for censoring detection")
+    v.add_argument("--min-scale-runs", type=int, default=2,
+                   help="scales with fewer usable rows are flagged sparse")
 
     f = sub.add_parser("fit", help="fit a two-level model on a history")
     f.add_argument("--data", required=True)
@@ -90,6 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--clusters", type=int, default=3)
     f.add_argument("--max-terms", type=int, default=3)
     f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--sanitize", action="store_true",
+                   help="repair the history before fitting (same rules "
+                   "as `repro validate --sanitize`); without it the "
+                   "history is only validated and warnings printed")
+    f.add_argument("--spike-ratio", type=float, default=5.0,
+                   help="outlier threshold vs per-config minimum")
+    f.add_argument("--censor-limit", type=float, default=None,
+                   help="known wall-clock limit for censoring detection")
+    f.add_argument("--min-scale-runs", type=int, default=2,
+                   help="scales with fewer usable rows are flagged sparse")
     f.add_argument("--out", required=True, help="pickle path for the model")
 
     p = sub.add_parser("predict", help="predict runtimes with a fitted model")
@@ -157,19 +180,41 @@ def _cmd_list_baselines(args, out) -> int:
 def _cmd_generate(args, out) -> int:
     from .apps import get_app
     from .data import HistoryGenerator, save_dataset
-    from .sim import Executor, NoiseModel, get_machine
+    from .sim import (
+        ExecutionBudget,
+        Executor,
+        NoiseModel,
+        RetryPolicy,
+        get_machine,
+    )
 
     app = get_app(args.app)
+    budget = (
+        ExecutionBudget(limit=args.time_limit)
+        if args.time_limit is not None
+        else None
+    )
+    retry = (
+        RetryPolicy(max_attempts=args.max_retries + 1,
+                    escalation=args.escalation)
+        if budget is not None
+        else None
+    )
     executor = Executor(
         machine=get_machine(args.machine),
         noise=NoiseModel(sigma=args.noise),
         seed=args.seed,
+        budget=budget,
+        retry=retry,
     )
-    gen = HistoryGenerator(app, executor=executor, seed=args.seed)
+    gen = HistoryGenerator(app, executor=executor, seed=args.seed,
+                           on_timeout=args.on_timeout)
     dataset = gen.generate(args.configs, scales=args.scales,
                            repetitions=args.reps)
     save_dataset(dataset, args.out)
     print(f"wrote {len(dataset)} runs to {args.out}", file=out)
+    if budget is not None:
+        print(gen.timeout_log.summary(), file=out)
     return 0
 
 
@@ -189,6 +234,7 @@ def _cmd_validate(args, out) -> int:
         dataset,
         spike_ratio=args.spike_ratio,
         censor_limit=args.censor_limit,
+        min_scale_runs=args.min_scale_runs,
     )
     print(report.summary(), file=out)
     if args.sanitize:
@@ -196,6 +242,7 @@ def _cmd_validate(args, out) -> int:
             dataset,
             spike_ratio=args.spike_ratio,
             censor_limit=args.censor_limit,
+            min_scale_runs=args.min_scale_runs,
         )
         save_dataset(clean, args.sanitize)
         print(srep.summary(), file=out)
@@ -207,8 +254,31 @@ def _cmd_validate(args, out) -> int:
 def _cmd_fit(args, out) -> int:
     from .core import TwoLevelModel
     from .data import load_dataset
+    from .robustness import sanitize_dataset, validate_dataset
 
     dataset = load_dataset(args.data)
+    if args.sanitize:
+        dataset, srep = sanitize_dataset(
+            dataset,
+            spike_ratio=args.spike_ratio,
+            censor_limit=args.censor_limit,
+            min_scale_runs=args.min_scale_runs,
+        )
+        if srep.rows_dropped:
+            print(srep.summary(), file=out)
+    else:
+        report = validate_dataset(
+            dataset,
+            spike_ratio=args.spike_ratio,
+            censor_limit=args.censor_limit,
+            min_scale_runs=args.min_scale_runs,
+        )
+        if not report.clean:
+            print(
+                "warning: history is dirty (rerun with --sanitize to "
+                "repair):\n" + report.summary(),
+                file=sys.stderr,
+            )
     small = args.small_scales or [int(s) for s in dataset.scales]
     model = TwoLevelModel(
         small_scales=small,
@@ -216,6 +286,8 @@ def _cmd_fit(args, out) -> int:
         max_terms=args.max_terms,
         random_state=args.seed,
     ).fit(dataset)
+    if model.fit_report.degraded:
+        print(model.fit_report.summary(), file=out)
     payload = {"app_name": dataset.app_name,
                "param_names": dataset.param_names,
                "model": model}
@@ -300,7 +372,7 @@ def _cmd_compare(args, out) -> int:
     baselines = args.baselines.split(",") if args.baselines else None
     results = run_method_comparison(histories, baselines=baselines)
     rows = [
-        [r.name]
+        [r.name + (" *" if r.degraded else "")]
         + [format_percent(r.mape_by_scale[s]) for s in cfg.large_scales]
         + [format_percent(r.overall_mape)]
         for r in results
@@ -314,6 +386,15 @@ def _cmd_compare(args, out) -> int:
         ),
         file=out,
     )
+    for r in results:
+        if r.degraded:
+            print(
+                f"* {r.name}: degraded fit — "
+                + "; ".join(
+                    f"[{e.stage}] {e.kind}" for e in r.fit_report
+                ),
+                file=out,
+            )
     return 0
 
 

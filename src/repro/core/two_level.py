@@ -35,7 +35,7 @@ from ..errors import (
 from ..log import get_logger
 from ..ml.base import BaseEstimator
 from ..robustness.report import FitReport
-from ..robustness.sanitize import drop_invalid_rows
+from ..robustness.sanitize import drop_censored_rows, drop_invalid_rows
 from .extrapolation import (
     AnalyticSpeedupExtrapolator,
     ClusteredScalingExtrapolator,
@@ -171,6 +171,28 @@ class TwoLevelModel:
                 **scrubbed,
             )
             logger.warning("training history scrubbed: %s", scrubbed)
+
+        # Budget-censored rows record a lower bound, not a runtime;
+        # keeping them biases the scalability curves downward.  Drop
+        # them, accounting for runs the history effectively recovered
+        # via resubmission (a surviving repeat at the same point).
+        train, censored = drop_censored_rows(train)
+        if censored:
+            if self.strict:
+                raise DataValidationError(
+                    f"Training data contains censored rows: {censored} "
+                    "(strict mode)."
+                )
+            report.record(
+                "sanitize",
+                "censored_rows_dropped",
+                f"dropped {censored['censored']} wall-clock-censored rows "
+                f"({censored['resubmitted']} had a surviving resubmitted "
+                f"repeat; {censored['lost_groups']} (config, scale) points "
+                "lost entirely)",
+                **censored,
+            )
+            logger.warning("censored rows dropped: %s", censored)
 
         present = set(int(s) for s in train.scales)
         missing = sorted(set(self.small_scales) - present)

@@ -3,6 +3,7 @@
 from .dataset import ExecutionDataset
 from .generator import (
     HistoryGenerator,
+    TimeoutLog,
     sample_grid,
     sample_latin_hypercube,
     sample_random,
@@ -13,6 +14,7 @@ from .splits import ScaleSplit, config_split, scale_split
 __all__ = [
     "ExecutionDataset",
     "HistoryGenerator",
+    "TimeoutLog",
     "sample_grid",
     "sample_latin_hypercube",
     "sample_random",

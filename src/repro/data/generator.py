@@ -4,15 +4,25 @@
 data": it samples application configurations and simulates them at the
 requested scales (with repetitions), returning an
 :class:`~repro.data.ExecutionDataset`.
+
+When the executor runs under a finite wall-clock budget, histories stop
+being silently pristine: runs killed at the limit on every attempt are
+kept as *censored* rows (runtime = the final limit, exactly what a
+scheduler log records), dropped, or re-raised, per ``on_timeout``.  The
+per-collect :class:`TimeoutLog` accounts for every censored and
+resubmitted run so downstream validation can be checked against it.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from ..apps.base import Application
+from ..errors import ConfigurationError, ExecutionTimeoutError
+from ..log import get_logger
 from ..sim.execution import Executor
 from .dataset import ExecutionDataset
 
@@ -21,7 +31,10 @@ __all__ = [
     "sample_latin_hypercube",
     "sample_grid",
     "HistoryGenerator",
+    "TimeoutLog",
 ]
+
+logger = get_logger("data.generator")
 
 
 def sample_random(
@@ -83,6 +96,49 @@ def sample_grid(app: Application, points_per_dim: int) -> list[dict[str, float]]
     ]
 
 
+@dataclass
+class TimeoutLog:
+    """Budget/retry accounting for one ``collect`` call.
+
+    Attributes
+    ----------
+    censored:
+        Runs that timed out on every attempt and were kept as censored
+        rows (``on_timeout="keep"``).
+    dropped:
+        Runs that timed out on every attempt and were discarded
+        (``on_timeout="drop"``).
+    resubmitted:
+        Runs that succeeded only after >= 1 resubmission.
+    extra_attempts:
+        Total resubmissions across all runs (killed attempts included).
+    """
+
+    censored: int = 0
+    dropped: int = 0
+    resubmitted: int = 0
+    extra_attempts: int = 0
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def timed_out(self) -> int:
+        """Runs whose every attempt was killed at the limit."""
+        return self.censored + self.dropped
+
+    @property
+    def affected(self) -> int:
+        return self.timed_out + self.resubmitted
+
+    def summary(self) -> str:
+        if not self.affected:
+            return "timeouts: none (all runs finished within budget)"
+        return (
+            f"timeouts: {self.censored} censored, {self.dropped} dropped, "
+            f"{self.resubmitted} resubmitted-and-finished "
+            f"({self.extra_attempts} extra attempts)"
+        )
+
+
 class HistoryGenerator:
     """Collects simulated execution histories.
 
@@ -91,10 +147,17 @@ class HistoryGenerator:
     app:
         Application to run.
     executor:
-        Simulator; defaults to a fresh default-machine executor.
+        Simulator; defaults to a fresh default-machine executor.  Give
+        it an :class:`~repro.sim.ExecutionBudget` / ``RetryPolicy`` to
+        produce histories with censored and resubmitted runs.
     seed:
         Seed for configuration sampling (noise seeding lives in the
         executor).
+    on_timeout:
+        What to do with a run that timed out on every attempt:
+        ``"keep"`` (default) records the censored run at its final
+        limit, ``"drop"`` discards it, ``"raise"`` propagates the
+        :class:`~repro.errors.ExecutionTimeoutError`.
     """
 
     def __init__(
@@ -102,10 +165,18 @@ class HistoryGenerator:
         app: Application,
         executor: Executor | None = None,
         seed: int = 0,
+        on_timeout: str = "keep",
     ) -> None:
+        if on_timeout not in ("keep", "drop", "raise"):
+            raise ConfigurationError(
+                f"on_timeout must be 'keep', 'drop', or 'raise'; "
+                f"got {on_timeout!r}"
+            )
         self.app = app
         self.executor = executor if executor is not None else Executor(seed=seed)
         self.rng = np.random.default_rng(seed)
+        self.on_timeout = on_timeout
+        self.timeout_log: TimeoutLog = TimeoutLog()
 
     def sample_configs(
         self, n: int, method: str = "lhs"
@@ -135,12 +206,35 @@ class HistoryGenerator:
             raise ValueError("No scales given.")
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1.")
-        records = [
-            self.executor.run(self.app, params, int(s), rep=r)
-            for params in configs
-            for s in scales
-            for r in range(repetitions)
-        ]
+        log = TimeoutLog()
+        records = []
+        for params in configs:
+            for s in scales:
+                for r in range(repetitions):
+                    try:
+                        rec = self.executor.run(self.app, params, int(s), rep=r)
+                    except ExecutionTimeoutError as exc:
+                        if self.on_timeout == "raise" or exc.record is None:
+                            raise
+                        log.extra_attempts += exc.record.n_attempts - 1
+                        if self.on_timeout == "drop":
+                            log.dropped += 1
+                            continue
+                        log.censored += 1
+                        rec = exc.record
+                    else:
+                        if rec.resubmitted:
+                            log.resubmitted += 1
+                            log.extra_attempts += rec.n_attempts - 1
+                    records.append(rec)
+        self.timeout_log = log
+        if log.affected:
+            logger.info("%s", log.summary())
+        if not records:
+            raise ExecutionTimeoutError(
+                "Every simulated run exceeded its wall-clock budget; "
+                "history is empty (raise the budget or retries)."
+            )
         return ExecutionDataset.from_records(
             records, param_names=self.app.param_names
         )

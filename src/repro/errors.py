@@ -16,10 +16,20 @@ Hierarchy::
     ├── FitDegenerateError  (ValueError)   training data cannot support a fit
     ├── ExtrapolationError  (ValueError)   prediction target outside what the
     │                                      fitted model can answer
-    └── NotFittedError      (RuntimeError) predict/transform before fit
+    ├── NotFittedError      (RuntimeError) predict/transform before fit
+    └── SimulationError     (RuntimeError) the simulator produced an invalid
+        │                                  result for a valid request
+        └── ExecutionTimeoutError          a run exceeded its wall-clock
+                                           budget on every allowed attempt
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .sim.budget import AttemptTrace
+    from .sim.trace import ExecutionRecord
 
 __all__ = [
     "ReproError",
@@ -29,6 +39,8 @@ __all__ = [
     "FitDegenerateError",
     "ExtrapolationError",
     "NotFittedError",
+    "SimulationError",
+    "ExecutionTimeoutError",
 ]
 
 
@@ -61,3 +73,51 @@ class ExtrapolationError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """``predict``/``transform`` was called before ``fit``."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator produced an invalid result for a valid request
+    (e.g. a cost model yielding a non-positive runtime)."""
+
+
+class ExecutionTimeoutError(SimulationError):
+    """A simulated run exceeded its wall-clock budget on every allowed
+    attempt.
+
+    Structured payload (all optional, ``None`` when unknown):
+
+    Attributes
+    ----------
+    partial_runtime:
+        Censored wall-clock seconds observed before the final kill —
+        i.e. the budget limit in force on the last attempt.  This is a
+        *lower bound* on the true runtime, exactly what a scheduler log
+        records for a killed job.
+    attempts:
+        Full :class:`~repro.sim.budget.AttemptTrace` of every
+        submission, including backoff delays and per-attempt limits.
+    record:
+        The censored :class:`~repro.sim.trace.ExecutionRecord` a caller
+        may keep in a history instead of losing the run (its ``runtime``
+        equals ``partial_runtime`` and ``censored`` is True).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        partial_runtime: float | None = None,
+        attempts: "AttemptTrace | None" = None,
+        record: "ExecutionRecord | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.partial_runtime = partial_runtime
+        self.attempts = attempts
+        self.record = record
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "message": str(self),
+            "partial_runtime": self.partial_runtime,
+            "n_attempts": None if self.attempts is None else len(self.attempts),
+        }

@@ -24,6 +24,29 @@ __all__ = [
 ]
 
 
+def _handle_zeros_in_scale(
+    scale: np.ndarray, reference: np.ndarray | None = None
+) -> np.ndarray:
+    """Replace (near-)zero per-feature scales with 1.0, in place.
+
+    An exact-zero guard is not enough: a subnormal span such as
+    ``2.2e-311`` passes ``scale == 0.0`` untouched but overflows to inf
+    when its reciprocal is taken, so transform/inverse_transform emit
+    non-finite values.  Like sklearn's ``_handle_zeros_in_scale``, treat
+    any scale within ~10 machine epsilons of the feature's magnitude
+    (``reference``, e.g. ``max(|min|, |max|)``) as a constant feature.
+    """
+    eps = 10.0 * np.finfo(scale.dtype).eps
+    ref = np.maximum(np.abs(reference), 1.0) if reference is not None else 1.0
+    constant = scale <= eps * ref
+    # Even above the relative threshold, a span whose reciprocal is not
+    # finite (overflowed span, or subnormal span -> inf) cannot scale.
+    with np.errstate(divide="ignore", over="ignore"):
+        constant |= ~np.isfinite(scale) | ~np.isfinite(1.0 / scale)
+    scale[constant] = 1.0
+    return scale
+
+
 class StandardScaler(BaseEstimator, TransformerMixin):
     """Standardize features to zero mean and unit variance.
 
@@ -40,8 +63,7 @@ class StandardScaler(BaseEstimator, TransformerMixin):
         self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
         if self.with_std:
             std = X.std(axis=0)
-            std[std == 0.0] = 1.0
-            self.scale_ = std
+            self.scale_ = _handle_zeros_in_scale(std, np.abs(X).max(axis=0))
         else:
             self.scale_ = np.ones(X.shape[1])
         self.n_features_in_ = X.shape[1]
@@ -75,8 +97,10 @@ class MinMaxScaler(BaseEstimator, TransformerMixin):
         X = check_array(X)
         self.data_min_ = X.min(axis=0)
         self.data_max_ = X.max(axis=0)
-        span = self.data_max_ - self.data_min_
-        span[span == 0.0] = 1.0
+        span = _handle_zeros_in_scale(
+            self.data_max_ - self.data_min_,
+            np.maximum(np.abs(self.data_min_), np.abs(self.data_max_)),
+        )
         self.scale_ = (hi - lo) / span
         self.min_ = lo - self.data_min_ * self.scale_
         self.n_features_in_ = X.shape[1]

@@ -17,6 +17,7 @@ from .sanitize import (
     RuleResult,
     SanitizeReport,
     ValidationReport,
+    drop_censored_rows,
     drop_invalid_rows,
     sanitize_dataset,
     validate_dataset,
@@ -32,6 +33,7 @@ __all__ = [
     "RuleResult",
     "SanitizeReport",
     "ValidationReport",
+    "drop_censored_rows",
     "drop_invalid_rows",
     "sanitize_dataset",
     "validate_dataset",

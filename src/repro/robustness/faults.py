@@ -40,11 +40,22 @@ class FaultSpec:
         Fraction of rows whose runtime becomes NaN (failed run with no
         usable measurement).
     censor_rate:
-        Fraction of rows clipped at a shared time limit.  The limit is
-        the ``1 - censor_rate`` runtime quantile unless
-        ``censor_limit`` pins it explicitly.
+        Fraction of rows killed at a shared wall-clock limit.  The
+        limit is the ``1 - censor_rate`` runtime quantile unless
+        ``censor_limit`` pins it explicitly.  Killed rows record the
+        limit itself (budget-driven censoring, not post-hoc clipping).
     censor_limit:
         Explicit time limit in seconds (optional).
+    censor_retries:
+        Resubmissions granted to each killed run.  Each retry redraws
+        the runtime around the run's true (model) runtime and succeeds
+        when it fits under the escalated limit; successful reruns are
+        *appended* as new rows (the scheduler log keeps both the killed
+        attempt and the rerun).
+    censor_escalation:
+        Limit multiplier per resubmission (>= 1; 1 = fixed limit).
+    resubmit_sigma:
+        Log-normal noise scale of redrawn rerun runtimes.
     spike_rate, spike_factor:
         Fraction of rows multiplied by ``spike_factor`` (node
         interference / congestion spike).
@@ -65,6 +76,9 @@ class FaultSpec:
     nan_rate: float = 0.0
     censor_rate: float = 0.0
     censor_limit: float | None = None
+    censor_retries: int = 0
+    censor_escalation: float = 1.0
+    resubmit_sigma: float = 0.05
     spike_rate: float = 0.0
     spike_factor: float = 8.0
     heavy_tail_rate: float = 0.0
@@ -89,6 +103,12 @@ class FaultSpec:
             raise ConfigurationError("drop_scales must be >= 0.")
         if self.censor_limit is not None and self.censor_limit <= 0:
             raise ConfigurationError("censor_limit must be positive.")
+        if self.censor_retries < 0:
+            raise ConfigurationError("censor_retries must be >= 0.")
+        if self.censor_escalation < 1.0:
+            raise ConfigurationError("censor_escalation must be >= 1.")
+        if self.resubmit_sigma < 0:
+            raise ConfigurationError("resubmit_sigma must be >= 0.")
 
     @classmethod
     def runtime_corruption(cls, rate: float) -> "FaultSpec":
@@ -215,8 +235,14 @@ class FaultInjector:
         log.affected["spike_runtime"] = int(n_spike)
         log.affected["heavy_tail_runtime"] = int(n_tail)
 
-        # 4. Censoring at a shared time limit (after spikes: an inflated
-        #    run that exceeds the limit is exactly what gets killed).
+        # 4. Budget-driven censoring at a shared wall-clock limit (after
+        #    spikes: an inflated run that exceeds the limit is exactly
+        #    what gets killed).  A killed row records the limit; with
+        #    ``censor_retries`` the run is resubmitted under an escalated
+        #    limit, and a successful rerun is *appended* as a new row —
+        #    schedulers log both the kill and the rerun.
+        resub_rows: list[int] = []
+        resub_runtimes: list[float] = []
         if spec.censor_rate > 0 or spec.censor_limit is not None:
             finite = keep & np.isfinite(runtime)
             if np.any(finite):
@@ -227,24 +253,55 @@ class FaultInjector:
                         np.quantile(runtime[finite], 1.0 - spec.censor_rate)
                     )
                 hit = finite & (runtime > limit)
+                for i in np.nonzero(hit)[0]:
+                    for attempt in range(1, spec.censor_retries + 1):
+                        attempt_limit = limit * spec.censor_escalation**attempt
+                        redrawn = float(
+                            model_runtime[i]
+                            * np.exp(
+                                rng.standard_normal() * spec.resubmit_sigma
+                            )
+                        )
+                        if redrawn <= attempt_limit:
+                            resub_rows.append(int(i))
+                            resub_runtimes.append(redrawn)
+                            break
                 runtime[hit] = limit
                 log.affected["censor_runtime"] = int(hit.sum())
+                log.affected["censor_resubmitted"] = len(resub_rows)
                 log.details["censor_limit"] = limit
+                log.details["censor_retries"] = spec.censor_retries
 
         # 5. Duplicated accounting records (appended verbatim).
         n_dup = int(round(spec.duplicate_rate * n_alive))
         dup_rows = rng.choice(alive, size=n_dup, replace=True) if n_dup else []
         log.affected["duplicate_rows"] = int(n_dup)
 
-        sel = np.concatenate([np.nonzero(keep)[0], np.asarray(dup_rows, int)])
+        sel = np.concatenate(
+            [
+                np.nonzero(keep)[0],
+                np.asarray(resub_rows, int),
+                np.asarray(dup_rows, int),
+            ]
+        )
+        out_runtime = runtime[sel]
+        out_rep = rep[sel].copy()
+        if resub_rows:
+            # Reruns carry their redrawn runtime and fresh repetition
+            # indices so they never collide with the killed attempts.
+            n_keep = int(keep.sum())
+            rep_base = int(rep.max()) + 1 if len(rep) else 0
+            for j, rt in enumerate(resub_runtimes):
+                out_runtime[n_keep + j] = rt
+                out_rep[n_keep + j] = rep_base + j
         dirty = ExecutionDataset(
             app_name=dataset.app_name,
             param_names=dataset.param_names,
             X=X[sel],
             nprocs=nprocs[sel],
-            runtime=runtime[sel],
+            runtime=out_runtime,
             model_runtime=model_runtime[sel],
-            rep=rep[sel],
+            rep=out_rep,
         )
         logger.info("%s", log.summary())
         return dirty, log

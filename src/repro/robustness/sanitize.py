@@ -44,6 +44,7 @@ __all__ = [
     "validate_dataset",
     "sanitize_dataset",
     "drop_invalid_rows",
+    "drop_censored_rows",
 ]
 
 logger = get_logger("robustness.sanitize")
@@ -384,6 +385,48 @@ def sanitize_dataset(
     if report.rows_dropped:
         logger.info("%s", report.summary())
     return clean, report
+
+
+def drop_censored_rows(
+    dataset: ExecutionDataset, censor_limit: float | None = None
+) -> tuple[ExecutionDataset, dict[str, int]]:
+    """Drop rows recorded at a shared wall-clock ceiling, with
+    resubmission accounting.
+
+    A censored runtime is a lower bound, not a measurement; keeping it
+    silently biases scalability fits downward.  Returns ``(clean,
+    info)`` where ``info`` (empty when nothing fired) counts:
+
+    * ``censored`` — rows dropped at the ceiling,
+    * ``resubmitted`` — dropped rows whose (config, scale) group keeps
+      at least one surviving finite repeat, i.e. the run was
+      effectively resubmitted and the history retains a usable
+      measurement for that point,
+    * ``lost_groups`` — (config, scale) groups with no surviving row.
+    """
+    alive = np.isfinite(dataset.runtime)
+    cens = _mask_censored(dataset, alive, censor_limit)
+    if not np.any(cens):
+        return dataset, {}
+    survivor = alive & ~cens
+    resubmitted = 0
+    lost: set[bytes] = set()
+    surviving_keys = {
+        dataset.X[i].tobytes() + dataset.nprocs[i].tobytes()
+        for i in np.nonzero(survivor)[0]
+    }
+    for i in np.nonzero(cens)[0]:
+        key = dataset.X[i].tobytes() + dataset.nprocs[i].tobytes()
+        if key in surviving_keys:
+            resubmitted += 1
+        else:
+            lost.add(key)
+    info = {
+        "censored": int(cens.sum()),
+        "resubmitted": resubmitted,
+        "lost_groups": len(lost),
+    }
+    return dataset.select(~cens), info
 
 
 def drop_invalid_rows(

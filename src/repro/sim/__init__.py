@@ -24,6 +24,7 @@ from .collectives import (
     ptp,
     reduce,
 )
+from .budget import Attempt, AttemptTrace, ExecutionBudget, RetryPolicy
 from .detailed import DetailedExecutor, LoadImbalanceModel
 from .execution import Executor, NoiseModel
 from .machine import Machine, NodeSpec
@@ -56,6 +57,10 @@ __all__ = [
     "broadcast",
     "ptp",
     "reduce",
+    "Attempt",
+    "AttemptTrace",
+    "ExecutionBudget",
+    "RetryPolicy",
     "DetailedExecutor",
     "LoadImbalanceModel",
     "Executor",

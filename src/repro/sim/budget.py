@@ -1,0 +1,264 @@
+"""Wall-clock budgets and retry/resubmission policy for simulated runs.
+
+Real scheduler logs are full of jobs killed at the partition time limit
+and resubmitted with a longer one.  This module gives the simulator the
+same vocabulary:
+
+* :class:`ExecutionBudget` — the per-run wall-clock limit, either a flat
+  number of seconds or a node-second allocation divided by the nodes a
+  run occupies (so bigger jobs get less wall-clock, like a real
+  core-hour account).
+* :class:`RetryPolicy` — how many submissions a run gets, how long the
+  resubmission backoff waits (exponential, with deterministic jitter),
+  and whether each resubmission escalates the budget.
+* :class:`Attempt` / :class:`AttemptTrace` — the per-submission record
+  kept on the final :class:`~repro.sim.trace.ExecutionRecord`, so
+  censored-then-resubmitted runs stay auditable end to end.
+
+Everything here is deterministic: the same ``(seed, run identity,
+policy)`` always yields the same attempt seeds, backoff delays, and
+outcome, which keeps history datasets reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .machine import Machine
+
+__all__ = ["ExecutionBudget", "RetryPolicy", "Attempt", "AttemptTrace"]
+
+
+@dataclass(frozen=True)
+class ExecutionBudget:
+    """Per-run wall-clock budget.
+
+    Exactly one of the two shapes is active:
+
+    * ``limit`` — flat wall-clock seconds per run, regardless of size
+      (a partition time limit).
+    * ``node_seconds`` — an allocation divided by the number of nodes a
+      run occupies, so the effective limit shrinks as jobs grow (a
+      core-hour account).  Requires a machine to resolve.
+
+    With both ``None`` the budget is unlimited (the executor's historical
+    behavior).
+    """
+
+    limit: float | None = None
+    node_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit <= 0:
+            raise ConfigurationError("limit must be positive seconds.")
+        if self.node_seconds is not None and self.node_seconds <= 0:
+            raise ConfigurationError("node_seconds must be positive.")
+        if self.limit is not None and self.node_seconds is not None:
+            raise ConfigurationError(
+                "Give either a flat limit or node_seconds, not both."
+            )
+
+    @classmethod
+    def unlimited(cls) -> "ExecutionBudget":
+        return cls()
+
+    @classmethod
+    def from_machine(
+        cls, machine: "Machine", node_hours: float = 1.0
+    ) -> "ExecutionBudget":
+        """Budget derived from the machine: ``node_hours`` node-hours per
+        run, spread over however many nodes the run occupies.  Rejects
+        allocations so small that a full-machine run would be killed in
+        under a second."""
+        if node_hours <= 0:
+            raise ConfigurationError("node_hours must be positive.")
+        node_seconds = node_hours * 3600.0
+        if node_seconds / machine.topology.n_hosts() < 1.0:
+            raise ConfigurationError(
+                f"{node_hours:g} node-hours gives a full-machine run on "
+                f"{machine.name} less than one second of wall clock."
+            )
+        return cls(node_seconds=node_seconds)
+
+    @property
+    def bounded(self) -> bool:
+        return self.limit is not None or self.node_seconds is not None
+
+    def limit_for(self, machine: "Machine", nprocs: int) -> float | None:
+        """Effective wall-clock limit (seconds) for one run, or None."""
+        if self.limit is not None:
+            return self.limit
+        if self.node_seconds is not None:
+            return self.node_seconds / machine.nodes_for(nprocs)
+        return None
+
+    def scaled(self, factor: float) -> "ExecutionBudget":
+        """Budget with every limit multiplied by ``factor`` (>= 1 for
+        escalated resubmissions)."""
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive.")
+        return ExecutionBudget(
+            limit=None if self.limit is None else self.limit * factor,
+            node_seconds=(
+                None if self.node_seconds is None else self.node_seconds * factor
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resubmission policy for runs killed at the budget limit.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total submissions a run gets (1 = no resubmission).
+    backoff_base:
+        Queue-wait seconds before the first resubmission.
+    backoff_factor:
+        Multiplier applied to the backoff for each further resubmission
+        (exponential backoff).
+    backoff_jitter:
+        Relative jitter on each backoff delay, drawn deterministically
+        from the attempt's seed (0.1 = up to ±10 %).
+    escalation:
+        Budget multiplier per resubmission: attempt ``k`` (0-based) runs
+        under ``budget.scaled(escalation ** k)``.  1.0 keeps the budget
+        fixed; > 1 models "resubmit with a longer time limit".
+    """
+
+    max_attempts: int = 1
+    backoff_base: float = 60.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    escalation: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1.")
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be >= 0.")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1.")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ConfigurationError("backoff_jitter must be in [0, 1).")
+        if self.escalation < 1.0:
+            raise ConfigurationError("escalation must be >= 1.")
+
+    def budget_factor(self, attempt: int) -> float:
+        """Budget escalation factor in force on 0-based ``attempt``."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0.")
+        return self.escalation**attempt
+
+    def backoff_delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Queue-wait seconds before 0-based ``attempt`` starts.
+
+        Attempt 0 is the original submission (no wait).  Jitter is drawn
+        from ``rng`` so the delay is deterministic per attempt seed.
+        """
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0.")
+        if attempt == 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter > 0:
+            delay *= 1.0 + self.backoff_jitter * float(
+                rng.uniform(-1.0, 1.0)
+            )
+        return delay
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One submission of one run.
+
+    Attributes
+    ----------
+    index:
+        0-based attempt number (0 = original submission).
+    seed:
+        Noise-stream seed this attempt ran under.
+    limit:
+        Wall-clock limit in force (None = unlimited).
+    runtime:
+        Observed wall-clock seconds.  For a timed-out attempt this is
+        the limit itself — the censored value a scheduler log records.
+    timed_out:
+        True when the attempt was killed at the limit.
+    backoff:
+        Queue-wait seconds between the previous kill and this
+        submission (0 for the original submission).
+    """
+
+    index: int
+    seed: int
+    limit: float | None
+    runtime: float
+    timed_out: bool
+    backoff: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "limit": self.limit,
+            "runtime": self.runtime,
+            "timed_out": self.timed_out,
+            "backoff": self.backoff,
+        }
+
+
+@dataclass(frozen=True)
+class AttemptTrace:
+    """Every submission one run went through, in order."""
+
+    attempts: tuple[Attempt, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attempts:
+            raise ConfigurationError("AttemptTrace needs >= 1 attempt.")
+
+    def __len__(self) -> int:
+        return len(self.attempts)
+
+    def __iter__(self) -> Iterator[Attempt]:
+        return iter(self.attempts)
+
+    @property
+    def final(self) -> Attempt:
+        return self.attempts[-1]
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def resubmissions(self) -> int:
+        return len(self.attempts) - 1
+
+    @property
+    def timed_out(self) -> bool:
+        """True when even the final attempt hit its limit."""
+        return self.final.timed_out
+
+    @property
+    def total_wall_clock(self) -> float:
+        """Seconds of machine + queue time consumed across all attempts
+        (what the run actually cost, not what the history records)."""
+        return sum(a.runtime + a.backoff for a in self.attempts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_attempts": self.n_attempts,
+            "resubmissions": self.resubmissions,
+            "timed_out": self.timed_out,
+            "total_wall_clock": self.total_wall_clock,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }

@@ -5,6 +5,16 @@ the collective cost models and applies a run-to-run noise model.  Noise
 is a deterministic function of ``(seed, app, params, nprocs, rep)`` so a
 history dataset is reproducible regardless of the order in which runs are
 simulated — important for benchmark stability.
+
+Runs can execute under a wall-clock :class:`~repro.sim.budget.ExecutionBudget`
+with a :class:`~repro.sim.budget.RetryPolicy`: an attempt whose noisy
+runtime exceeds the limit is killed (its censored runtime is the limit
+itself) and resubmitted with a fresh deterministic noise seed, an
+exponential-backoff queue wait, and an optionally escalated budget.  A
+run that times out on every attempt raises
+:class:`~repro.errors.ExecutionTimeoutError` carrying the censored
+record, so callers can keep the partial observation instead of losing
+the run.
 """
 
 from __future__ import annotations
@@ -14,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError, ExecutionTimeoutError, SimulationError
+from .budget import Attempt, AttemptTrace, ExecutionBudget, RetryPolicy
 from .collectives import COLLECTIVES
 from .machine import Machine
 from .trace import ExecutionRecord, PhaseTiming
@@ -57,10 +69,22 @@ class NoiseModel:
 
 
 def _run_seed(
-    base_seed: int, app_name: str, params: dict[str, float], nprocs: int, rep: int
+    base_seed: int,
+    app_name: str,
+    params: dict[str, float],
+    nprocs: int,
+    rep: int,
+    attempt: int = 0,
 ) -> int:
-    """Stable per-run seed derived from the run's identity."""
+    """Stable per-run seed derived from the run's identity.
+
+    Resubmissions (attempt > 0) fold the attempt index into the key so
+    each retry sees fresh-but-reproducible noise; attempt 0 keeps the
+    original key so pre-budget histories are bit-identical.
+    """
     key = f"{base_seed}|{app_name}|{sorted(params.items())}|{nprocs}|{rep}"
+    if attempt:
+        key += f"|attempt={attempt}"
     digest = hashlib.sha256(key.encode()).digest()
     return int.from_bytes(digest[:8], "little")
 
@@ -77,6 +101,11 @@ class Executor:
         for noise-free ground truth.
     seed:
         Base seed from which every run's noise stream is derived.
+    budget:
+        Default wall-clock budget per run (unlimited when None).
+    retry:
+        Default resubmission policy for timed-out runs (single attempt
+        when None).
     """
 
     def __init__(
@@ -84,10 +113,14 @@ class Executor:
         machine: Machine | None = None,
         noise: NoiseModel | None = None,
         seed: int = 0,
+        budget: ExecutionBudget | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.machine = machine if machine is not None else Machine()
         self.noise = noise if noise is not None else NoiseModel()
         self.seed = seed
+        self.budget = budget if budget is not None else ExecutionBudget.unlimited()
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def model_phases(self, app, params: dict[str, float], nprocs: int) -> list[PhaseTiming]:
         """Noise-free per-phase timings for one configuration."""
@@ -115,29 +148,89 @@ class Executor:
         return sum(t.total for t in self.model_phases(app, params, nprocs))
 
     def run(
-        self, app, params: dict[str, float], nprocs: int, rep: int = 0
+        self,
+        app,
+        params: dict[str, float],
+        nprocs: int,
+        rep: int = 0,
+        budget: ExecutionBudget | None = None,
+        retry: RetryPolicy | None = None,
     ) -> ExecutionRecord:
-        """Simulate one execution and return its trace record."""
+        """Simulate one execution and return its trace record.
+
+        ``budget``/``retry`` override the executor-level defaults for
+        this run only.  Under a finite budget the run is resubmitted (up
+        to ``retry.max_attempts`` total submissions) whenever its noisy
+        runtime exceeds the limit in force; when every attempt times
+        out, :class:`~repro.errors.ExecutionTimeoutError` is raised with
+        the censored record attached.
+        """
         app.validate_params(params)
         if nprocs < 1:
-            raise ValueError("nprocs must be >= 1.")
+            raise ConfigurationError("nprocs must be >= 1.")
+        budget = budget if budget is not None else self.budget
+        retry = retry if retry is not None else self.retry
         phases = self.model_phases(app, params, nprocs)
         model_runtime = sum(t.total for t in phases)
         if model_runtime <= 0:
-            raise RuntimeError(
+            raise SimulationError(
                 f"{app.name} produced non-positive model runtime for "
                 f"params={params}, nprocs={nprocs}."
             )
-        rng = np.random.default_rng(
-            _run_seed(self.seed, app.name, params, nprocs, rep)
-        )
-        runtime = self.noise.apply(model_runtime, rng)
-        return ExecutionRecord(
-            app_name=app.name,
-            params=dict(params),
-            nprocs=nprocs,
-            runtime=runtime,
-            model_runtime=model_runtime,
-            phases=tuple(phases),
-            rep=rep,
+
+        def record_for(
+            runtime: float, censored: bool, trace: AttemptTrace | None
+        ) -> ExecutionRecord:
+            return ExecutionRecord(
+                app_name=app.name,
+                params=dict(params),
+                nprocs=nprocs,
+                runtime=runtime,
+                model_runtime=model_runtime,
+                phases=tuple(phases),
+                rep=rep,
+                censored=censored,
+                attempts=trace,
+            )
+
+        if not budget.bounded:
+            rng = np.random.default_rng(
+                _run_seed(self.seed, app.name, params, nprocs, rep)
+            )
+            return record_for(self.noise.apply(model_runtime, rng), False, None)
+
+        attempts: list[Attempt] = []
+        for attempt in range(retry.max_attempts):
+            seed = _run_seed(
+                self.seed, app.name, params, nprocs, rep, attempt=attempt
+            )
+            rng = np.random.default_rng(seed)
+            limit = budget.scaled(retry.budget_factor(attempt)).limit_for(
+                self.machine, nprocs
+            )
+            backoff = retry.backoff_delay(attempt, rng)
+            runtime = self.noise.apply(model_runtime, rng)
+            timed_out = limit is not None and runtime > limit
+            attempts.append(
+                Attempt(
+                    index=attempt,
+                    seed=seed,
+                    limit=limit,
+                    runtime=float(limit) if timed_out else runtime,
+                    timed_out=timed_out,
+                    backoff=backoff,
+                )
+            )
+            if not timed_out:
+                return record_for(runtime, False, AttemptTrace(tuple(attempts)))
+
+        trace = AttemptTrace(tuple(attempts))
+        censored = record_for(trace.final.runtime, True, trace)
+        raise ExecutionTimeoutError(
+            f"{app.name} at nprocs={nprocs} (rep={rep}) exceeded its "
+            f"{trace.final.limit:g} s wall-clock budget on all "
+            f"{retry.max_attempts} attempt(s).",
+            partial_runtime=trace.final.runtime,
+            attempts=trace,
+            record=censored,
         )

@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import DataValidationError
+from .budget import AttemptTrace
+
 __all__ = ["PhaseTiming", "ExecutionRecord"]
 
 
@@ -36,7 +39,7 @@ class PhaseTiming:
 
     def __post_init__(self) -> None:
         if self.compute_time < 0 or self.comm_time < 0:
-            raise ValueError("Phase times must be non-negative.")
+            raise DataValidationError("Phase times must be non-negative.")
 
 
 @dataclass(frozen=True)
@@ -59,6 +62,13 @@ class ExecutionRecord:
         Per-phase noise-free breakdown.
     rep:
         Repetition index when the same configuration ran multiple times.
+    censored:
+        True when the run was killed at its wall-clock budget on every
+        allowed attempt; ``runtime`` then records the final limit (a
+        lower bound on the true runtime), like a scheduler log does.
+    attempts:
+        Budget/retry audit trail (None when the run executed under an
+        unlimited budget and needed no resubmission bookkeeping).
     """
 
     app_name: str
@@ -68,12 +78,14 @@ class ExecutionRecord:
     model_runtime: float
     phases: tuple[PhaseTiming, ...] = field(default_factory=tuple)
     rep: int = 0
+    censored: bool = False
+    attempts: AttemptTrace | None = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
-            raise ValueError("nprocs must be >= 1.")
+            raise DataValidationError("nprocs must be >= 1.")
         if self.runtime <= 0 or self.model_runtime <= 0:
-            raise ValueError("Runtimes must be positive.")
+            raise DataValidationError("Runtimes must be positive.")
 
     @property
     def compute_time(self) -> float:
@@ -88,3 +100,13 @@ class ExecutionRecord:
         """Fraction of modeled time spent communicating."""
         total = self.compute_time + self.comm_time
         return self.comm_time / total if total > 0 else 0.0
+
+    @property
+    def n_attempts(self) -> int:
+        """Submissions this run took (1 when no retry bookkeeping)."""
+        return 1 if self.attempts is None else self.attempts.n_attempts
+
+    @property
+    def resubmitted(self) -> bool:
+        """True when the run succeeded only after >= 1 resubmission."""
+        return self.attempts is not None and self.attempts.resubmissions > 0

@@ -86,3 +86,54 @@ class TestEvaluate:
             tiny_histories, baselines=["direct-ridge"], include_two_level=False
         )
         assert [r.name for r in results] == ["direct-ridge"]
+
+
+class TestFitReportPropagation:
+    def test_clean_comparison_reports_no_degradation(self, tiny_histories):
+        results = run_method_comparison(tiny_histories, baselines=["direct-ridge"])
+        by_name = {r.name: r for r in results}
+        two_level = by_name["two-level"]
+        assert two_level.fit_report is not None
+        assert not two_level.degraded
+        # Baselines without a fit_report attribute degrade gracefully to None.
+        assert by_name["direct-ridge"].degraded is False
+
+    def test_degraded_fit_surfaces_in_scores(self, tiny_histories):
+        import dataclasses
+
+        from repro.data.dataset import ExecutionDataset
+
+        train = tiny_histories.train
+        runtime = train.runtime.copy()
+        runtime[[0, 3]] = np.nan
+        dirty = dataclasses.replace(
+            tiny_histories,
+            train=ExecutionDataset(
+                app_name=train.app_name,
+                param_names=train.param_names,
+                X=train.X,
+                nprocs=train.nprocs,
+                runtime=runtime,
+                model_runtime=train.model_runtime,
+                rep=train.rep,
+            ),
+        )
+        results = run_method_comparison(dirty, baselines=[])
+        (scores,) = results
+        assert scores.degraded
+        assert scores.fit_report.by_kind("dropped_invalid_rows")
+
+    def test_explicit_fit_report_round_trips(self, tiny_histories):
+        from repro.robustness.report import FitReport
+
+        report = FitReport()
+        report.record("sanitize", "dropped_invalid_rows", "x", n=1)
+        scores = evaluate_predictor(
+            "x",
+            lambda X, s: np.ones(len(X)),
+            tiny_histories.test,
+            TINY.large_scales,
+            fit_report=report,
+        )
+        assert scores.fit_report is report
+        assert scores.degraded

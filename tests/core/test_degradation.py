@@ -33,6 +33,7 @@ def _with_runtime(ds, runtime):
 
 
 class TestCleanFit:
+    @pytest.mark.slow
     def test_clean_fit_has_empty_report(self, tiny_history):
         model = TwoLevelModel(small_scales=SCALES).fit(tiny_history)
         assert not model.fit_report.degraded
@@ -87,6 +88,50 @@ class TestAllNaNScale:
             TwoLevelModel(small_scales=SCALES).fit(
                 _with_runtime(tiny_history, runtime)
             )
+
+
+class TestCensoredRows:
+    @pytest.fixture()
+    def censored_history(self, tiny_history):
+        """History whose slowest rows were killed at a shared limit."""
+        limit = float(np.quantile(tiny_history.runtime, 0.9))
+        runtime = np.minimum(tiny_history.runtime, limit)
+        return _with_runtime(tiny_history, runtime), limit
+
+    def test_censored_rows_dropped_and_reported(self, censored_history):
+        ds, limit = censored_history
+        model = TwoLevelModel(small_scales=SCALES).fit(ds)
+        events = model.fit_report.by_kind("censored_rows_dropped")
+        assert len(events) == 1
+        ctx = events[0].context
+        assert ctx["censored"] == int(np.sum(ds.runtime == limit))
+        assert ctx["censored"] >= 3
+        assert "resubmitted" in ctx and "lost_groups" in ctx
+
+    def test_strict_mode_refuses_censored_rows(self, censored_history):
+        ds, _ = censored_history
+        with pytest.raises(DataValidationError, match="censored"):
+            TwoLevelModel(small_scales=SCALES, strict=True).fit(ds)
+
+    def test_resubmitted_repeats_accounted(self, tiny_history):
+        # Censor one row of a (config, scale) pair that keeps a healthy
+        # "resubmitted" repeat: the drop report must count the recovery.
+        from repro.robustness import drop_censored_rows
+
+        ds = tiny_history.merge(tiny_history.select(np.arange(4)))
+        runtime = ds.runtime.copy()
+        limit = float(runtime.max() * 2.0)
+        runtime[-4:] = limit  # 4 bit-identical ceiling rows
+        rep = ds.rep.copy()
+        rep[-4:] = 1
+        ds = ExecutionDataset(
+            app_name=ds.app_name, param_names=ds.param_names, X=ds.X,
+            nprocs=ds.nprocs, runtime=runtime,
+            model_runtime=ds.model_runtime, rep=rep,
+        )
+        clean, info = drop_censored_rows(ds)
+        assert info == {"censored": 4, "resubmitted": 4, "lost_groups": 0}
+        assert len(clean) == len(ds) - 4
 
 
 class TestThinScale:
@@ -169,6 +214,7 @@ class TestAnalyticExtrapolator:
 
 
 class TestSingleClusterHistories:
+    @pytest.mark.slow
     def test_fewer_configs_than_clusters_still_fits(self, tiny_history):
         # 3 configurations with n_clusters=3 leaves at most one config
         # per cluster; the fit must complete (possibly via fallbacks)

@@ -73,6 +73,7 @@ class TestExactRecovery:
 
 
 class TestPositivityProperty:
+    @pytest.mark.slow
     @given(st.integers(0, 30))
     @settings(max_examples=15, deadline=None)
     def test_predictions_always_positive(self, seed):

@@ -44,6 +44,7 @@ class TestAlternativeLearnersEndToEnd:
         assert np.all(S > 0)
         assert np.all(np.isfinite(S))
 
+    @pytest.mark.slow
     def test_two_level_fit_predict(self, tiny_history, factory):
         model = TwoLevelModel(
             small_scales=[32, 64, 128, 256],

@@ -73,6 +73,7 @@ class TestValidation:
         with pytest.raises(ValueError, match="fitted"):
             HistoryPlanner(TwoLevelModel(small_scales=SMALL), app)
 
+    @pytest.mark.slow
     def test_non_ensemble_interpolator_rejected(self):
         app = get_app("stencil3d")
         gen = HistoryGenerator(app, seed=8)

@@ -97,6 +97,7 @@ class TestDiagnostics:
         sizes = fitted.cluster_sizes_
         assert sizes.sum() == 50
 
+    @pytest.mark.slow
     def test_reproducible(self, histories):
         train, test, _ = histories
         X = test.unique_configs()
@@ -130,6 +131,7 @@ class TestTransferMode:
         with pytest.raises(ValueError, match="large_train"):
             model.fit(train)
 
+    @pytest.mark.slow
     def test_rejects_unfitted_target_scale(self, histories):
         train, test, full = histories
         model = TwoLevelModel(
@@ -155,6 +157,7 @@ class TestValidation:
         with pytest.raises(ValueError, match="lacks small scales"):
             model.fit(train)
 
+    @pytest.mark.slow
     def test_missing_small_scale_degrades_by_default(self, histories):
         train, _, _ = histories
         model = TwoLevelModel(small_scales=[32, 64, 128, 999])
@@ -175,6 +178,7 @@ class TestValidation:
         with pytest.raises(ValueError):
             TwoLevelModel(small_scales=SMALL, fit_curves_on="oracle")
 
+    @pytest.mark.slow
     def test_measurements_mode_fits(self, histories):
         train, test, _ = histories
         model = TwoLevelModel(

@@ -101,6 +101,7 @@ class TestValidation:
         with pytest.raises(ValueError, match="basis"):
             EnsembleUncertainty(tm)
 
+    @pytest.mark.slow
     def test_non_ensemble_interpolator_rejected(self):
         app = get_app("stencil3d")
         gen = HistoryGenerator(app, seed=5)

@@ -1,0 +1,126 @@
+"""Generator histories under a wall-clock budget: censored and
+resubmitted runs, timeout accounting, and validation consistency."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.data import HistoryGenerator
+from repro.errors import ConfigurationError, ExecutionTimeoutError
+from repro.robustness import validate_dataset
+from repro.sim import Executor, ExecutionBudget, NoiseModel, RetryPolicy
+
+SCALES = [32, 64, 128]
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("stencil3d")
+
+
+def budgeted_generator(app, limit, on_timeout="keep", max_attempts=3,
+                       escalation=1.5, seed=3):
+    ex = Executor(
+        seed=seed,
+        budget=ExecutionBudget(limit=limit),
+        retry=RetryPolicy(max_attempts=max_attempts, escalation=escalation),
+    )
+    return HistoryGenerator(app, executor=ex, seed=seed, on_timeout=on_timeout)
+
+
+@pytest.fixture(scope="module")
+def tight_limit(app):
+    """A limit chosen so a meaningful fraction of runs times out."""
+    gen = HistoryGenerator(app, seed=3)
+    ds = gen.generate(12, scales=SCALES, repetitions=2)
+    return float(np.quantile(ds.runtime, 0.6))
+
+
+class TestOnTimeoutModes:
+    def test_keep_records_censored_rows_at_final_limit(self, app, tight_limit):
+        gen = budgeted_generator(app, tight_limit)
+        ds = gen.generate(12, scales=SCALES, repetitions=2)
+        log = gen.timeout_log
+        assert log.censored > 0
+        assert len(ds) == 12 * len(SCALES) * 2
+        final_limit = tight_limit * 1.5**2
+        n_at_limit = int(np.sum(ds.runtime == final_limit))
+        assert n_at_limit == log.censored
+
+    def test_drop_removes_exhausted_runs(self, app, tight_limit):
+        gen = budgeted_generator(app, tight_limit, on_timeout="drop")
+        ds = gen.generate(12, scales=SCALES, repetitions=2)
+        log = gen.timeout_log
+        assert log.dropped > 0 and log.censored == 0
+        assert len(ds) == 12 * len(SCALES) * 2 - log.dropped
+
+    def test_raise_propagates(self, app, tight_limit):
+        gen = budgeted_generator(app, tight_limit, on_timeout="raise")
+        with pytest.raises(ExecutionTimeoutError):
+            gen.generate(12, scales=SCALES, repetitions=2)
+
+    def test_invalid_mode_rejected(self, app):
+        with pytest.raises(ConfigurationError):
+            HistoryGenerator(app, on_timeout="ignore")
+
+    def test_all_runs_censored_still_builds_history(self, app):
+        # A limit below every runtime: with keep, the history is all
+        # censored rows rather than empty.
+        gen = budgeted_generator(app, 1e-9, max_attempts=2, escalation=1.0)
+        ds = gen.generate(3, scales=[32], repetitions=1)
+        assert gen.timeout_log.censored == len(ds) == 3
+
+    def test_all_runs_dropped_raises(self, app):
+        gen = budgeted_generator(app, 1e-9, on_timeout="drop",
+                                 max_attempts=2, escalation=1.0)
+        with pytest.raises(ExecutionTimeoutError, match="history is empty"):
+            gen.generate(3, scales=[32], repetitions=1)
+
+
+class TestDeterminismAndAccounting:
+    def test_histories_reproducible(self, app, tight_limit):
+        a = budgeted_generator(app, tight_limit).generate(
+            10, scales=SCALES, repetitions=2
+        )
+        b = budgeted_generator(app, tight_limit).generate(
+            10, scales=SCALES, repetitions=2
+        )
+        np.testing.assert_array_equal(a.runtime, b.runtime)
+        np.testing.assert_array_equal(a.rep, b.rep)
+
+    def test_resubmitted_runs_counted(self, app, tight_limit):
+        gen = budgeted_generator(app, tight_limit)
+        gen.generate(12, scales=SCALES, repetitions=2)
+        log = gen.timeout_log
+        assert log.resubmitted > 0
+        assert log.extra_attempts >= log.resubmitted
+        assert log.affected == log.censored + log.resubmitted
+        assert "censored" in log.summary()
+
+    def test_unbudgeted_collect_logs_nothing(self, app):
+        gen = HistoryGenerator(app, seed=3)
+        gen.generate(5, scales=[32], repetitions=1)
+        assert gen.timeout_log.affected == 0
+        assert "none" in gen.timeout_log.summary()
+
+
+class TestValidationConsistency:
+    def test_validate_flags_exactly_the_censored_rows(self, app, tight_limit):
+        gen = budgeted_generator(app, tight_limit)
+        ds = gen.generate(12, scales=SCALES, repetitions=2)
+        final_limit = tight_limit * 1.5**2
+        report = validate_dataset(ds, censor_limit=final_limit)
+        cens = report.by_rule("censored_runtime")
+        assert cens.n_rows == gen.timeout_log.censored
+        # Censoring is a warning, never an error: the history stays usable.
+        assert report.ok
+
+    def test_inference_without_explicit_limit(self, app, tight_limit):
+        # Exhausted runs all record the same final limit, so the shared
+        # ceiling is inferable from repeated bit-identical maxima alone.
+        gen = budgeted_generator(app, tight_limit)
+        ds = gen.generate(12, scales=SCALES, repetitions=2)
+        if gen.timeout_log.censored < 3:
+            pytest.skip("too few censored rows for ceiling inference")
+        report = validate_dataset(ds)
+        assert report.by_rule("censored_runtime").n_rows == gen.timeout_log.censored

@@ -81,6 +81,36 @@ class TestMinMaxScaler:
             sc.inverse_transform(sc.transform(X)), X, atol=1e-7
         )
 
+    def test_subnormal_span_stays_finite(self):
+        # Regression: a subnormal span passed the exact-zero guard and
+        # overflowed scale_ to inf, so inverse_transform emitted
+        # non-finite values that check_array rejects.
+        subnormal = 2.2e-311
+        X = np.column_stack([
+            np.array([0.0, subnormal]),      # subnormal span
+            np.array([7.0, 7.0]),            # exactly constant
+            np.array([50.0, 50.0 + 1e-13]),  # span below relative epsilon
+            np.array([0.0, 1.0]),            # healthy column
+        ])
+        sc = MinMaxScaler().fit(X)
+        assert np.all(np.isfinite(sc.scale_))
+        Z = sc.transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(sc.inverse_transform(Z), X, atol=1e-7)
+        # The healthy column still maps onto [0, 1].
+        np.testing.assert_allclose(Z[:, 3], [0.0, 1.0], atol=1e-12)
+
+    def test_standard_scaler_subnormal_std_stays_finite(self):
+        X = np.column_stack([
+            np.array([0.0, 2.2e-311, 0.0]),
+            np.array([1.0, 2.0, 3.0]),
+        ])
+        sc = StandardScaler().fit(X)
+        assert np.all(np.isfinite(sc.scale_))
+        Z = sc.transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(sc.inverse_transform(Z), X, atol=1e-8)
+
 
 class TestLogTransformer:
     def test_roundtrip(self, rng):

@@ -78,6 +78,38 @@ class TestInjection:
         assert np.nanmax(dirty.runtime) <= limit
         assert log.details["censor_limit"] == limit
 
+    def test_censor_retries_append_resubmitted_rows(self, tiny_history):
+        dirty, log = FaultInjector(
+            censor_rate=0.2, censor_retries=3, censor_escalation=2.0,
+            seed=4,
+        ).inject(tiny_history)
+        n_resub = log.affected["censor_resubmitted"]
+        assert n_resub > 0
+        assert len(dirty) == len(tiny_history) + n_resub
+        limit = log.details["censor_limit"]
+        # Killed attempts sit exactly at the base limit; successful
+        # reruns fit under the escalated limit and got fresh rep ids.
+        n_at_limit = int(np.sum(dirty.runtime == limit))
+        assert n_at_limit == log.affected["censor_runtime"]
+        resub = dirty.runtime[len(tiny_history):]
+        assert np.all(resub <= limit * 2.0**3)
+        assert np.all(dirty.rep[len(tiny_history):] > tiny_history.rep.max())
+
+    def test_censor_retries_deterministic(self, tiny_history):
+        spec = dict(censor_rate=0.2, censor_retries=2, censor_escalation=1.5)
+        a, _ = FaultInjector(seed=4, **spec).inject(tiny_history)
+        b, _ = FaultInjector(seed=4, **spec).inject(tiny_history)
+        np.testing.assert_array_equal(a.runtime, b.runtime)
+        np.testing.assert_array_equal(a.rep, b.rep)
+
+    def test_censor_retry_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(censor_retries=-1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(censor_escalation=0.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(resubmit_sigma=-0.1)
+
     def test_drop_scales_removes_interior_scale(self, tiny_history):
         dirty, log = FaultInjector(drop_scales=1, seed=5).inject(tiny_history)
         gone = log.details["dropped_scales"]

@@ -1,0 +1,224 @@
+"""Tests for the wall-clock budget / retry / resubmission subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.errors import (
+    ConfigurationError,
+    ExecutionTimeoutError,
+    SimulationError,
+)
+from repro.sim import (
+    Executor,
+    ExecutionBudget,
+    Machine,
+    NoiseModel,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return get_app("stencil3d")
+
+
+@pytest.fixture(scope="module")
+def params(app):
+    return {"nx": 128, "iterations": 100, "ghost": 1, "check_freq": 10}
+
+
+@pytest.fixture(scope="module")
+def baseline(app, params):
+    """Unbudgeted reference run (seed 5, rep 0)."""
+    return Executor(seed=5).run(app, params, 64)
+
+
+class TestExecutionBudget:
+    def test_unlimited_by_default(self):
+        b = ExecutionBudget()
+        assert not b.bounded
+        assert b.limit_for(Machine(), 64) is None
+
+    def test_flat_limit(self):
+        b = ExecutionBudget(limit=10.0)
+        assert b.bounded
+        assert b.limit_for(Machine(), 64) == 10.0
+        assert b.limit_for(Machine(), 4096) == 10.0
+
+    def test_node_seconds_shrink_with_job_size(self):
+        m = Machine()
+        b = ExecutionBudget(node_seconds=3600.0)
+        small = b.limit_for(m, m.node.cores)          # 1 node
+        large = b.limit_for(m, 4 * m.node.cores)      # 4 nodes
+        assert small == pytest.approx(3600.0)
+        assert large == pytest.approx(900.0)
+
+    def test_from_machine(self):
+        m = Machine()
+        b = ExecutionBudget.from_machine(m, node_hours=2.0)
+        assert b.limit_for(m, m.node.cores) == pytest.approx(7200.0)
+
+    def test_from_machine_rejects_starvation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionBudget.from_machine(Machine(), node_hours=1e-6)
+
+    def test_scaled(self):
+        b = ExecutionBudget(limit=10.0).scaled(1.5)
+        assert b.limit == pytest.approx(15.0)
+        assert ExecutionBudget().scaled(2.0).limit is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionBudget(limit=0.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionBudget(node_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionBudget(limit=1.0, node_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionBudget(limit=1.0).scaled(0.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(escalation=0.9)
+
+    def test_budget_factor_escalates(self):
+        p = RetryPolicy(max_attempts=3, escalation=2.0)
+        assert [p.budget_factor(k) for k in range(3)] == [1.0, 2.0, 4.0]
+
+    def test_backoff_exponential_with_bounded_jitter(self):
+        p = RetryPolicy(max_attempts=4, backoff_base=60.0,
+                        backoff_factor=2.0, backoff_jitter=0.1)
+        rng = np.random.default_rng(0)
+        assert p.backoff_delay(0, rng) == 0.0
+        for k, nominal in [(1, 60.0), (2, 120.0), (3, 240.0)]:
+            d = p.backoff_delay(k, np.random.default_rng(k))
+            assert nominal * 0.9 <= d <= nominal * 1.1
+
+    def test_backoff_deterministic_per_seed(self):
+        p = RetryPolicy(max_attempts=2)
+        a = p.backoff_delay(1, np.random.default_rng(42))
+        b = p.backoff_delay(1, np.random.default_rng(42))
+        assert a == b
+
+
+class TestBudgetedExecutor:
+    def test_generous_budget_matches_unbudgeted_run(self, app, params, baseline):
+        ex = Executor(seed=5, budget=ExecutionBudget(limit=baseline.runtime * 10))
+        rec = ex.run(app, params, 64)
+        assert rec.runtime == baseline.runtime
+        assert not rec.censored
+        assert rec.n_attempts == 1
+        assert rec.attempts.final.timed_out is False
+
+    def test_timeout_without_retries_raises(self, app, params, baseline):
+        ex = Executor(seed=5, budget=ExecutionBudget(limit=baseline.runtime / 2))
+        with pytest.raises(ExecutionTimeoutError) as ei:
+            ex.run(app, params, 64)
+        exc = ei.value
+        assert exc.partial_runtime == pytest.approx(baseline.runtime / 2)
+        assert exc.attempts.n_attempts == 1
+        assert exc.record is not None
+        assert exc.record.censored
+        assert exc.record.runtime == pytest.approx(baseline.runtime / 2)
+
+    def test_resubmission_succeeds_with_escalation(self, app, params, baseline):
+        # Attempt 0 is killed just under the observed runtime; escalation
+        # then grants enough headroom for a retry to finish.
+        ex = Executor(
+            seed=5,
+            budget=ExecutionBudget(limit=baseline.runtime * 0.999),
+            retry=RetryPolicy(max_attempts=4, escalation=1.5),
+        )
+        rec = ex.run(app, params, 64)
+        assert not rec.censored
+        assert rec.resubmitted
+        assert rec.attempts.attempts[0].timed_out
+        assert rec.attempts.final.timed_out is False
+        # The killed attempt records the limit itself (censored value).
+        first = rec.attempts.attempts[0]
+        assert first.runtime == pytest.approx(first.limit)
+        # Escalated limits grow geometrically.
+        limits = [a.limit for a in rec.attempts]
+        assert all(b == pytest.approx(a * 1.5) for a, b in zip(limits, limits[1:]))
+        # Resubmissions wait in the queue (backoff recorded).
+        assert all(a.backoff > 0 for a in rec.attempts.attempts[1:])
+        assert rec.attempts.total_wall_clock > rec.runtime
+
+    def test_attempt_trace_deterministic(self, app, params):
+        def trace():
+            ex = Executor(
+                seed=5,
+                budget=ExecutionBudget(limit=0.02),
+                retry=RetryPolicy(max_attempts=3, escalation=1.3),
+            )
+            try:
+                return ex.run(app, params, 64).attempts
+            except ExecutionTimeoutError as exc:
+                return exc.attempts
+
+        assert trace() == trace()
+
+    def test_attempts_use_distinct_seeds(self, app, params, baseline):
+        ex = Executor(
+            seed=5,
+            budget=ExecutionBudget(limit=baseline.runtime * 0.5),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        try:
+            rec = ex.run(app, params, 64)
+            seeds = [a.seed for a in rec.attempts]
+        except ExecutionTimeoutError as exc:
+            seeds = [a.seed for a in exc.attempts]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_exhausted_retries_raise_with_full_trace(self, app, params, baseline):
+        ex = Executor(
+            seed=5,
+            budget=ExecutionBudget(limit=baseline.runtime / 100),
+            retry=RetryPolicy(max_attempts=3, escalation=1.01),
+        )
+        with pytest.raises(ExecutionTimeoutError) as ei:
+            ex.run(app, params, 64)
+        trace = ei.value.attempts
+        assert trace.n_attempts == 3
+        assert trace.timed_out
+        assert all(a.timed_out for a in trace)
+        rec = ei.value.record
+        assert rec.censored and rec.attempts is trace
+        # The history value is the final (escalated) limit.
+        assert rec.runtime == pytest.approx(trace.final.limit)
+
+    def test_per_call_override_beats_executor_default(self, app, params, baseline):
+        ex = Executor(seed=5, budget=ExecutionBudget(limit=baseline.runtime / 2))
+        rec = ex.run(app, params, 64, budget=ExecutionBudget.unlimited())
+        assert rec.runtime == baseline.runtime
+
+    def test_budget_errors_are_structured(self, app, params):
+        with pytest.raises(ConfigurationError):
+            Executor().run(app, params, 0)
+
+    def test_zero_runtime_app_raises_simulation_error(self):
+        from repro.apps.base import Application, ParamSpec, PhaseSpec
+
+        class Degenerate(Application):
+            name = "degenerate"
+
+            def param_specs(self):
+                return (ParamSpec("x", 0, 1),)
+
+            def phases(self, params, nprocs):
+                return [PhaseSpec("empty", 0.0, 0.0, ())]
+
+        with pytest.raises(SimulationError):
+            Executor().run(Degenerate(), {"x": 0.5}, 4)

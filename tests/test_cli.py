@@ -175,6 +175,110 @@ class TestValidate:
         assert code == 0
 
 
+class TestBudgetedGenerate:
+    def test_time_limit_censors_and_validate_roundtrips(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, out = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "4",
+            "--scales", "32,64", "--reps", "1", "--time-limit", "1e-6",
+            "--max-retries", "2", "--escalation", "1.5",
+            "--out", str(data),
+        )
+        assert code == 0
+        assert "timeouts:" in out and "censored" in out
+        final_limit = 1e-6 * 1.5**2
+        code, out = run_cli(
+            "validate", "--data", str(data),
+            "--censor-limit", str(final_limit),
+        )
+        # Censoring is a warning, never an error.
+        assert code == 0
+        assert "censored_runtime" in out
+
+    def test_on_timeout_drop_keeps_finished_runs(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, out = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "4",
+            "--scales", "32,64,128", "--reps", "1",
+            "--time-limit", "1e6", "--on-timeout", "drop",
+            "--out", str(data),
+        )
+        assert code == 0 and "wrote 12 runs" in out
+
+    def test_generous_limit_matches_unbudgeted_history(self, tmp_path):
+        import json
+
+        plain = tmp_path / "plain.json"
+        budgeted = tmp_path / "budgeted.json"
+        argv = ["generate", "--app", "fft2d", "--configs", "4",
+                "--scales", "32,64", "--reps", "1"]
+        assert run_cli(*argv, "--out", str(plain))[0] == 0
+        assert run_cli(*argv, "--time-limit", "1e9",
+                       "--out", str(budgeted))[0] == 0
+        a = json.loads(plain.read_text())["runtime"]
+        b = json.loads(budgeted.read_text())["runtime"]
+        assert a == b
+
+    def test_on_timeout_raise_exits_structured(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "2",
+            "--scales", "32", "--reps", "1", "--time-limit", "1e-9",
+            "--on-timeout", "raise", "--out", str(tmp_path / "h.json"),
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "ExecutionTimeoutError" in err
+
+
+class TestFitSanitize:
+    @pytest.fixture
+    def dirty_path(self, tmp_path):
+        import json
+
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "8",
+            "--scales", "32,64,128", "--reps", "2", "--out", str(data),
+        )
+        assert code == 0
+        payload = json.loads(data.read_text())
+        payload["runtime"][0] = None
+        payload["runtime"][5] = payload["runtime"][5] * 50.0  # spike
+        data.write_text(json.dumps(payload))
+        return data
+
+    def test_fit_sanitize_repairs_before_fitting(self, dirty_path, tmp_path):
+        model = tmp_path / "m.pkl"
+        code, out = run_cli(
+            "fit", "--data", str(dirty_path), "--clusters", "2",
+            "--sanitize", "--spike-ratio", "4.0", "--out", str(model),
+        )
+        assert code == 0 and model.exists()
+        assert "dropped" in out
+
+    def test_fit_without_sanitize_warns_on_dirty_history(
+        self, dirty_path, tmp_path, capsys
+    ):
+        model = tmp_path / "m.pkl"
+        code, _ = run_cli(
+            "fit", "--data", str(dirty_path), "--clusters", "2",
+            "--out", str(model),
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "history is dirty" in err and "--sanitize" in err
+
+    def test_fit_min_scale_runs_threaded(self, dirty_path, tmp_path, capsys):
+        # An absurd sparsity threshold flags every scale when the knob
+        # actually reaches the validator.
+        code, _ = run_cli(
+            "fit", "--data", str(dirty_path), "--min-scale-runs", "999",
+            "--clusters", "2", "--out", str(tmp_path / "m.pkl"),
+        )
+        assert code == 0
+        assert "sparse_scale" in capsys.readouterr().err
+
+
 class TestCompare:
     def test_compare_small(self):
         code, out = run_cli(
