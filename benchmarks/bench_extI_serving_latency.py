@@ -1,0 +1,117 @@
+"""Extension I — prediction-serving latency.
+
+Measures the query path added by :mod:`repro.serve`: a fitted two-level
+model wrapped in a :class:`~repro.serve.service.PredictionService` is
+driven with a scheduler-like workload (the same job mix re-evaluated
+round after round).  Three regimes are timed per query:
+
+* **uncached single** — one (config, scale) request each, cold cache
+  (cleared between queries): the full forest + scalability-curve path;
+* **cached single** — the same requests repeated with the cache warm;
+* **cached batch** — the whole mix in one ``predict_batch`` call with
+  the cache warm.
+
+Expected shape (and the acceptance bar of the serving extension): warm
+cached queries are at least an order of magnitude cheaper per
+prediction than the uncached path, and batching adds amortization on
+top of that.
+"""
+
+import time
+
+import numpy as np
+from conftest import cached_histories, experiment_config, report
+
+from repro.analysis import fit_two_level, series_block
+from repro.serve import ModelArtifact, PredictionService
+
+N_CONFIGS = 16  # distinct jobs in the scheduler's mix
+N_ROUNDS = 30  # re-evaluation rounds timed per regime
+SCALES = [1024, 2048]
+
+
+def _p50_us(samples):
+    return float(np.percentile(np.asarray(samples) * 1e6, 50))
+
+
+def _setup():
+    histories = cached_histories(experiment_config("stencil3d"))
+    model = fit_two_level(histories)
+    artifact = ModelArtifact.create(
+        model,
+        app_name=histories.train.app_name,
+        param_names=histories.train.param_names,
+        train=histories.train,
+    )
+    service = PredictionService(artifact, name="bench", version=1)
+    X = histories.test.unique_configs()[:N_CONFIGS]
+    requests = [
+        (dict(zip(histories.train.param_names, row)), SCALES) for row in X
+    ]
+    return service, requests
+
+
+def _sweep():
+    service, requests = _setup()
+
+    uncached = []
+    for _ in range(N_ROUNDS):
+        for params, scales in requests:
+            service.clear_cache()
+            t0 = time.perf_counter()
+            service.predict_one(params, scales)
+            uncached.append(
+                (time.perf_counter() - t0) / len(scales)
+            )
+
+    service.clear_cache()
+    service.predict_batch(requests)  # warm the cache once
+    cached_single = []
+    for _ in range(N_ROUNDS):
+        for params, scales in requests:
+            t0 = time.perf_counter()
+            service.predict_one(params, scales)
+            cached_single.append(
+                (time.perf_counter() - t0) / len(scales)
+            )
+
+    cached_batch = []
+    n_preds = sum(len(s) for _, s in requests)
+    for _ in range(N_ROUNDS):
+        t0 = time.perf_counter()
+        service.predict_batch(requests)
+        cached_batch.append((time.perf_counter() - t0) / n_preds)
+
+    metrics = service.metrics()
+    return (
+        _p50_us(uncached),
+        _p50_us(cached_single),
+        _p50_us(cached_batch),
+        metrics["cache"]["hit_rate"],
+    )
+
+
+def test_extI_serving_latency(benchmark):
+    p50_uncached, p50_cached, p50_batch, hit_rate = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    report(
+        series_block(
+            "Extension I (stencil3d) — serving latency per prediction "
+            f"[us, p50] over {N_CONFIGS} configs x {SCALES} "
+            f"({N_ROUNDS} rounds; warm cache hit rate "
+            f"{100 * hit_rate:.0f} %)",
+            "regime",
+            ["uncached-1", "cached-1", "cached-batch"],
+            {"p50 [us]": [p50_uncached, p50_cached, p50_batch]},
+            y_format="{:.1f}",
+        )
+    )
+    # The serving extension's acceptance bar: a warm cached batch is at
+    # least 10x cheaper per prediction than the uncached model path.
+    assert p50_batch * 10.0 <= p50_uncached, (
+        f"cached batch p50 {p50_batch:.1f}us not 10x below "
+        f"uncached p50 {p50_uncached:.1f}us"
+    )
+    assert p50_cached * 5.0 <= p50_uncached
+    assert hit_rate > 0.5

@@ -9,18 +9,37 @@ so the output survives pytest's capture.
 Set ``REPRO_BENCH_SCALE=full`` for paper-sized runs (slower); the
 default "quick" sizing preserves every qualitative conclusion at a
 fraction of the cost.
+
+To diagnose slow sweeps, run with ``-v`` (or ``REPRO_BENCH_VERBOSE=1``)
+— the harness then turns on the library's debug logging and times every
+history build, so the expensive phase (simulation vs fitting) is
+visible per benchmark.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import ExperimentConfig, Histories, build_histories
+from repro.log import configure_logging, get_logger
 
 FULL = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+logger = get_logger("bench.harness")
+
+
+def pytest_configure(config) -> None:
+    """Wire pytest verbosity into the library's debug logging."""
+    if config.option.verbose > 0 or os.environ.get("REPRO_BENCH_VERBOSE"):
+        configure_logging(verbose=True)
+        logger.debug(
+            "benchmark harness: scale=%s sizing=%s small=%s large=%s",
+            "full" if FULL else "quick", SIZING, SMALL_SCALES, LARGE_SCALES,
+        )
 
 #: Experiment sizing: (n_train, n_test, repetitions).
 SIZING = (150, 50, 3) if FULL else (80, 30, 2)
@@ -52,7 +71,19 @@ _HISTORY_CACHE: dict[ExperimentConfig, Histories] = {}
 def cached_histories(config: ExperimentConfig) -> Histories:
     """Build (or reuse) the simulated histories for a config."""
     if config not in _HISTORY_CACHE:
-        _HISTORY_CACHE[config] = build_histories(config)
+        logger.debug("building histories for %s ...", config.app_name)
+        start = time.perf_counter()
+        histories = build_histories(config)
+        logger.debug(
+            "histories for %s built in %.2fs (train=%d rows, test=%d rows)",
+            config.app_name,
+            time.perf_counter() - start,
+            len(histories.train),
+            len(histories.test),
+        )
+        _HISTORY_CACHE[config] = histories
+    else:
+        logger.debug("history cache hit for %s", config.app_name)
     return _HISTORY_CACHE[config]
 
 

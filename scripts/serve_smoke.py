@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the serving stack, via the real CLI.
+
+Drives cold ``repro`` subprocesses the way an operator would::
+
+    repro generate -> repro fit -> repro save -> repro serve
+
+then hits the live HTTP server with ``/healthz`` and one ``/predict``
+round-trip and checks the answer is a finite runtime.  Exits non-zero
+on any failure; used by the CI ``serve-smoke`` lane.
+
+Usage: python scripts/serve_smoke.py  (no arguments; uses a temp dir
+and an ephemeral port, so it is safe to run anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+TIMEOUT = 120  # generous: CI runners are slow
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=ENV,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"FAIL: repro {' '.join(args)} exited {proc.returncode}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+        )
+    return proc.stdout
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def post_json(url: str, payload: dict) -> dict:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        tmp = Path(tmp)
+        data, model, registry = tmp / "h.json", tmp / "m.pkl", tmp / "registry"
+
+        print("== generate ==")
+        run_cli(
+            "generate", "--app", "fft2d", "--configs", "8",
+            "--scales", "32,64,128,256", "--reps", "1", "--out", str(data),
+        )
+        print("== fit ==")
+        run_cli(
+            "fit", "--data", str(data), "--clusters", "2", "--out", str(model)
+        )
+        print("== save ==")
+        out = run_cli(
+            "save", "--model", str(model), "--registry", str(registry),
+            "--name", "smoke", "--meta", "source=serve_smoke",
+        )
+        assert "registered smoke v0001" in out, out
+
+        print("== serve ==")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--registry", str(registry), "--port", "0"],
+            env=ENV,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # The CLI prints the bound address once the socket is up.
+            deadline = time.time() + TIMEOUT
+            line = ""
+            while time.time() < deadline:
+                line = server.stdout.readline()
+                if "listening on" in line or not line:
+                    break
+            m = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            if not m:
+                server.kill()
+                sys.exit(f"FAIL: server never reported its address: {line!r}")
+            base = m.group(1)
+            print(f"   {base}")
+
+            health = get_json(f"{base}/healthz")
+            assert health["status"] == "ok", health
+            assert health["models"] == ["smoke"], health
+            print(f"== /healthz ok: {health}")
+
+            answer = post_json(
+                f"{base}/predict",
+                {
+                    "params": {"n": 2048, "batches": 8},
+                    "scales": [512, 1024],
+                },
+            )
+            assert answer["model"] == "smoke", answer
+            preds = answer["predictions"]
+            assert len(preds) == 2, answer
+            assert all(
+                isinstance(t, float) and t > 0 for t in preds
+            ), answer
+            print(f"== /predict ok: {preds}")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

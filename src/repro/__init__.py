@@ -22,6 +22,9 @@ Subpackages
     Experiment protocol and reporting used by the benchmark harness.
 ``repro.robustness``
     Fault injection, dataset sanitization, and fallback reporting.
+``repro.serve``
+    Model persistence (versioned artifacts), the model registry, and
+    the batch/online prediction service + HTTP server.
 ``repro.errors``
     Structured exception taxonomy (everything derives from
     :class:`~repro.errors.ReproError`).
@@ -29,16 +32,22 @@ Subpackages
 
 from .core import TwoLevelModel
 from .errors import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    ArtifactVersionError,
     ConfigurationError,
     DataValidationError,
     DatasetFormatError,
     ExtrapolationError,
     FitDegenerateError,
     NotFittedError,
+    PredictionRequestError,
+    RegistryError,
     ReproError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TwoLevelModel",
@@ -49,5 +58,11 @@ __all__ = [
     "ExtrapolationError",
     "FitDegenerateError",
     "NotFittedError",
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactIntegrityError",
+    "ArtifactVersionError",
+    "RegistryError",
+    "PredictionRequestError",
     "__version__",
 ]

@@ -12,19 +12,31 @@ Drives the library end to end without writing Python::
         --scales 1024,2048,4096
     python -m repro compare --app stencil3d --configs 60 --test-configs 20
 
-Models are persisted with pickle (they are plain numpy-backed Python
-objects); datasets use the JSON/NPZ formats of :mod:`repro.data.io`.
+    # serving loop: register a fitted model, inspect, serve over HTTP
+    python -m repro save --model model.pkl --registry reg/ --name stencil
+    python -m repro models --registry reg/
+    python -m repro predict --registry reg/ --name stencil \
+        --set nx=256 --set iterations=300 --set ghost=2 --set check_freq=10 \
+        --scales 1024,2048,4096
+    python -m repro serve --registry reg/ --port 8080
+
+``fit`` writes a plain pickle (a working file); ``save`` turns it into
+a versioned, checksummed registry artifact (see :mod:`repro.serve` and
+``docs/serving.md``).  Datasets use the JSON/NPZ formats of
+:mod:`repro.data.io`.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
+from pathlib import Path
 
 import numpy as np
 
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .log import configure_logging
 
 __all__ = ["main", "build_parser"]
@@ -40,6 +52,27 @@ def _parse_scales(text: str) -> list[int]:
     if not scales:
         raise argparse.ArgumentTypeError("at least one scale required")
     return scales
+
+
+def _require_writable_parent(path_str: str) -> Path:
+    """Fail fast (exit 2) when an output path cannot possibly be
+    written, instead of discovering it after minutes of fitting."""
+    path = Path(path_str)
+    parent = path.resolve().parent
+    if not parent.is_dir():
+        raise ConfigurationError(
+            f"Output directory {parent} does not exist (or is not a "
+            "directory)."
+        )
+    if not os.access(parent, os.W_OK | os.X_OK):
+        raise ConfigurationError(
+            f"Output directory {parent} is not writable."
+        )
+    if path.is_dir():
+        raise ConfigurationError(
+            f"Output path {path} is a directory, not a file."
+        )
+    return path
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="known wall-clock limit for censoring detection")
     v.add_argument("--min-scale-runs", type=int, default=2,
                    help="scales with fewer usable rows are flagged sparse")
+    v.add_argument("--repair", choices=["drop", "impute"], default="drop",
+                   help="with --sanitize: drop dirty rows, or impute "
+                   "NaN/censored runtimes from repeat-group medians")
 
     f = sub.add_parser("fit", help="fit a two-level model on a history")
     f.add_argument("--data", required=True)
@@ -113,10 +149,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="known wall-clock limit for censoring detection")
     f.add_argument("--min-scale-runs", type=int, default=2,
                    help="scales with fewer usable rows are flagged sparse")
+    f.add_argument("--repair", choices=["drop", "impute"], default="drop",
+                   help="with --sanitize: drop dirty rows, or impute "
+                   "NaN/censored runtimes from repeat-group medians")
     f.add_argument("--out", required=True, help="pickle path for the model")
 
+    s = sub.add_parser(
+        "save", help="register a fitted model in a model registry"
+    )
+    s.add_argument("--model", required=True,
+                   help="pickle written by `repro fit`")
+    s.add_argument("--registry", required=True,
+                   help="registry directory (created if missing)")
+    s.add_argument("--name", required=True, help="model name to register as")
+    s.add_argument("--meta", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="extra manifest metadata (repeatable)")
+    s.add_argument("--pin", action="store_true",
+                   help="pin the name to the new version")
+
+    m = sub.add_parser(
+        "models", help="list/inspect/manage a model registry"
+    )
+    m.add_argument("--registry", required=True)
+    m.add_argument("--name", default=None,
+                   help="inspect (or manage) one model")
+    m.add_argument("--version", type=int, default=None,
+                   help="a specific version (default: pin/latest)")
+    m.add_argument("--delete", action="store_true",
+                   help="delete the named model (or one --version of it)")
+    m.add_argument("--pin-version", type=int, default=None, metavar="V",
+                   help="pin the named model to version V")
+    m.add_argument("--unpin", action="store_true",
+                   help="remove the named model's pin")
+
     p = sub.add_parser("predict", help="predict runtimes with a fitted model")
-    p.add_argument("--model", required=True)
+    p.add_argument("--model", default=None,
+                   help="pickle written by `repro fit`")
+    p.add_argument("--registry", default=None,
+                   help="predict from a registry instead of a pickle")
+    p.add_argument("--name", default=None,
+                   help="registry model name (with --registry)")
+    p.add_argument("--version", type=int, default=None,
+                   help="registry model version (default: pin/latest)")
     p.add_argument("--set", action="append", default=[], metavar="NAME=VALUE",
                    help="application parameter (repeatable)")
     p.add_argument("--scales", type=_parse_scales, required=True)
@@ -140,6 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=42)
     c.add_argument("--baselines", default=None,
                    help="comma-separated subset (default: all)")
+
+    sv = sub.add_parser(
+        "serve", help="serve registry models over HTTP (JSON endpoints)"
+    )
+    sv.add_argument("--registry", required=True)
+    sv.add_argument("--name", default=None,
+                    help="default model for requests that omit one")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8080,
+                    help="TCP port (0 = ephemeral; the bound port is "
+                    "printed on startup)")
+    sv.add_argument("--cache-size", type=int, default=4096,
+                    help="LRU prediction-cache entries per model")
     return parser
 
 
@@ -243,6 +331,7 @@ def _cmd_validate(args, out) -> int:
             spike_ratio=args.spike_ratio,
             censor_limit=args.censor_limit,
             min_scale_runs=args.min_scale_runs,
+            repair=args.repair,
         )
         save_dataset(clean, args.sanitize)
         print(srep.summary(), file=out)
@@ -253,9 +342,10 @@ def _cmd_validate(args, out) -> int:
 
 def _cmd_fit(args, out) -> int:
     from .core import TwoLevelModel
-    from .data import load_dataset
+    from .data import dataset_fingerprint, load_dataset
     from .robustness import sanitize_dataset, validate_dataset
 
+    _require_writable_parent(args.out)
     dataset = load_dataset(args.data)
     if args.sanitize:
         dataset, srep = sanitize_dataset(
@@ -263,8 +353,9 @@ def _cmd_fit(args, out) -> int:
             spike_ratio=args.spike_ratio,
             censor_limit=args.censor_limit,
             min_scale_runs=args.min_scale_runs,
+            repair=args.repair,
         )
-        if srep.rows_dropped:
+        if srep.rows_dropped or srep.rows_imputed:
             print(srep.summary(), file=out)
     else:
         report = validate_dataset(
@@ -290,9 +381,17 @@ def _cmd_fit(args, out) -> int:
         print(model.fit_report.summary(), file=out)
     payload = {"app_name": dataset.app_name,
                "param_names": dataset.param_names,
-               "model": model}
-    with open(args.out, "wb") as fh:
-        pickle.dump(payload, fh)
+               "model": model,
+               "small_scales": small,
+               "train_hash": dataset_fingerprint(dataset),
+               "n_train_rows": len(dataset)}
+    try:
+        with open(args.out, "wb") as fh:
+            pickle.dump(payload, fh)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"Cannot write model to {args.out}: {exc}"
+        ) from exc
     print(f"fitted on {len(dataset)} runs at scales {small}", file=out)
     for cluster, terms in model.support_names().items():
         print(f"cluster {cluster}: {', '.join(terms) or '(constant)'}",
@@ -301,11 +400,138 @@ def _cmd_fit(args, out) -> int:
     return 0
 
 
+def _load_fit_payload(path: str) -> dict:
+    """Read a `repro fit` pickle, with a clear error on junk files."""
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        raise ConfigurationError(
+            f"{path} is not a model file written by `repro fit`: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "model" not in payload:
+        raise ConfigurationError(
+            f"{path} is not a model file written by `repro fit` "
+            "(missing 'model' entry)."
+        )
+    return payload
+
+
+def _cmd_save(args, out) -> int:
+    from .serve import ModelArtifact, ModelRegistry
+
+    payload = _load_fit_payload(args.model)
+    metadata: dict[str, str] = {}
+    for item in args.meta:
+        if "=" not in item:
+            print(f"error: --meta expects KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        key, _, value = item.partition("=")
+        metadata[key] = value
+    artifact = ModelArtifact.create(
+        payload["model"],
+        app_name=payload["app_name"],
+        param_names=payload["param_names"],
+        scales=payload.get("small_scales"),
+        train_hash=payload.get("train_hash"),
+        n_train_rows=payload.get("n_train_rows"),
+        metadata=metadata,
+    )
+    registry = ModelRegistry(args.registry)
+    version = registry.register(args.name, artifact)
+    if args.pin:
+        registry.pin(args.name, version)
+    print(
+        f"registered {args.name} v{version:04d}"
+        + (" (pinned)" if args.pin else "")
+        + f" in {args.registry}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_models(args, out) -> int:
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry, create=False)
+    managing = args.delete or args.unpin or args.pin_version is not None
+    if managing and not args.name:
+        print("error: --delete/--pin-version/--unpin require --name",
+              file=sys.stderr)
+        return 2
+    if args.delete:
+        registry.delete(args.name, args.version)
+        what = (
+            f"{args.name} v{args.version:04d}"
+            if args.version is not None
+            else f"model {args.name}"
+        )
+        print(f"deleted {what}", file=out)
+        return 0
+    if args.pin_version is not None:
+        registry.pin(args.name, args.pin_version)
+        print(f"pinned {args.name} to v{args.pin_version:04d}", file=out)
+        return 0
+    if args.unpin:
+        registry.unpin(args.name)
+        print(f"unpinned {args.name}", file=out)
+        return 0
+    if args.name:
+        version = registry.resolve(args.name, args.version)
+        print(f"{args.name} v{version:04d} "
+              f"(versions: {registry.versions(args.name)}, "
+              f"pinned: {registry.pinned(args.name)})", file=out)
+        print(registry.inspect(args.name, version).describe(), file=out)
+        return 0
+    print(registry.describe(), file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from .serve import create_server
+
+    server = create_server(
+        args.registry,
+        host=args.host,
+        port=args.port,
+        default_model=args.name,
+        cache_size=args.cache_size,
+    )
+    host, port = server.server_address[:2]
+    print(f"listening on http://{host}:{port}", file=out, flush=True)
+    print("endpoints: GET /healthz /models /metrics; "
+          "POST /predict /batch (Ctrl-C to stop)", file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_predict(args, out) -> int:
-    with open(args.model, "rb") as fh:
-        payload = pickle.load(fh)
-    model = payload["model"]
-    param_names = payload["param_names"]
+    if (args.model is None) == (args.registry is None):
+        print("error: predict needs exactly one of --model or --registry",
+              file=sys.stderr)
+        return 2
+    artifact = None
+    if args.registry is not None:
+        from .serve import ModelRegistry
+
+        if not args.name:
+            print("error: --registry requires --name", file=sys.stderr)
+            return 2
+        registry = ModelRegistry(args.registry, create=False)
+        artifact = registry.load(args.name, args.version)
+        model = artifact.predictor
+        param_names = artifact.info.param_names
+    else:
+        payload = _load_fit_payload(args.model)
+        model = payload["model"]
+        param_names = payload["param_names"]
 
     params: dict[str, float] = {}
     for item in args.set:
@@ -325,12 +551,23 @@ def _cmd_predict(args, out) -> int:
         return 2
 
     x = np.array([[params[n] for n in param_names]])
-    preds = model.predict(x, args.scales)[0]
+    if artifact is not None:
+        preds = artifact.predict_matrix(x, args.scales)[0]
+    else:
+        preds = model.predict(x, args.scales)[0]
     for scale, t in zip(args.scales, preds):
         print(f"t({scale} procs) = {t:.6g} s", file=out)
 
     if args.interval is not None:
-        from .core import EnsembleUncertainty
+        from .core import EnsembleUncertainty, TwoLevelModel
+
+        if not isinstance(model, TwoLevelModel):
+            print(
+                "error: --interval needs a two-level model "
+                f"(got a {type(model).__name__})",
+                file=sys.stderr,
+            )
+            return 2
 
         unc = EnsembleUncertainty(
             model, n_samples=args.samples, level=args.interval, random_state=0
@@ -406,8 +643,11 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "validate": _cmd_validate,
     "fit": _cmd_fit,
+    "save": _cmd_save,
+    "models": _cmd_models,
     "predict": _cmd_predict,
     "compare": _cmd_compare,
+    "serve": _cmd_serve,
 }
 
 

@@ -347,6 +347,66 @@ class TwoLevelModel:
         if not hasattr(self, "extrapolator_"):
             raise NotFittedError("TwoLevelModel is not fitted.")
 
+    # -- persistence hooks -------------------------------------------------
+
+    #: Constructor arguments, in signature order (see :meth:`get_params`).
+    _INIT_PARAMS = (
+        "small_scales", "mode", "large_scales", "interp_factory",
+        "log_target", "basis", "n_clusters", "max_terms", "selection",
+        "refit", "fit_curves_on", "strict", "min_scale_samples",
+        "random_state",
+    )
+
+    #: Attributes :meth:`fit` sets (the model's entire learned state).
+    _FITTED_ATTRS = (
+        "fit_report_", "used_analytic_fallback_", "effective_small_scales_",
+        "interpolator_", "train_configs_", "extrapolator_",
+    )
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return hasattr(self, "extrapolator_")
+
+    def get_params(self) -> dict:
+        """Constructor arguments, suitable for ``TwoLevelModel(**params)``."""
+        return {name: getattr(self, name) for name in self._INIT_PARAMS}
+
+    def get_fitted_state(self) -> dict:
+        """Everything :meth:`fit` learned, as a plain dict.
+
+        Together with :meth:`get_params` this is the model's complete
+        serializable identity: ``TwoLevelModel(**params)
+        .set_fitted_state(state)`` reproduces predictions bit-exactly.
+        Used by :mod:`repro.serve.artifacts` for versioned persistence.
+        """
+        self._check_fitted()
+        return {
+            name: getattr(self, name)
+            for name in self._FITTED_ATTRS
+            if hasattr(self, name)
+        }
+
+    def set_fitted_state(self, state: dict) -> "TwoLevelModel":
+        """Restore a state captured by :meth:`get_fitted_state`."""
+        missing = [
+            name
+            for name in ("extrapolator_", "interpolator_", "fit_report_")
+            if name not in state
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"Fitted state is missing attributes {missing}."
+            )
+        unknown = sorted(set(state) - set(self._FITTED_ATTRS))
+        if unknown:
+            raise ConfigurationError(
+                f"Fitted state has unknown attributes {unknown}."
+            )
+        for name, value in state.items():
+            setattr(self, name, value)
+        return self
+
     @property
     def fit_report(self) -> FitReport:
         """Every fallback taken while fitting (and why) — empty when the

@@ -8,7 +8,7 @@ from .generator import (
     sample_latin_hypercube,
     sample_random,
 )
-from .io import load_dataset, save_dataset
+from .io import dataset_fingerprint, load_dataset, save_dataset
 from .splits import ScaleSplit, config_split, scale_split
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "sample_grid",
     "sample_latin_hypercube",
     "sample_random",
+    "dataset_fingerprint",
     "load_dataset",
     "save_dataset",
     "ScaleSplit",

@@ -19,6 +19,7 @@ repair are opt-in via ``load_dataset(..., validate=True)`` /
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -28,7 +29,7 @@ from ..errors import DatasetFormatError
 from ..log import get_logger
 from .dataset import ExecutionDataset
 
-__all__ = ["save_dataset", "load_dataset"]
+__all__ = ["save_dataset", "load_dataset", "dataset_fingerprint"]
 
 logger = get_logger("data.io")
 
@@ -105,6 +106,28 @@ def _from_payload(payload: object, path: Path) -> ExecutionDataset:
         raise
     except (TypeError, ValueError) as exc:
         raise DatasetFormatError(f"{path}: malformed dataset payload: {exc}") from exc
+
+
+def dataset_fingerprint(dataset: ExecutionDataset) -> str:
+    """Deterministic content hash of a dataset (``sha256:<hex>``).
+
+    Covers the application name, parameter names, and the raw bytes of
+    every column, so two histories hash equal iff they are bit-identical
+    — the provenance key stored in model artifacts (see
+    :mod:`repro.serve.artifacts`).
+    """
+    h = hashlib.sha256()
+    h.update(dataset.app_name.encode())
+    h.update(b"\x00".join(n.encode() for n in dataset.param_names))
+    for col in (
+        np.ascontiguousarray(dataset.X),
+        np.ascontiguousarray(dataset.nprocs),
+        np.ascontiguousarray(dataset.runtime),
+        np.ascontiguousarray(dataset.model_runtime),
+        np.ascontiguousarray(dataset.rep),
+    ):
+        h.update(col.tobytes())
+    return f"sha256:{h.hexdigest()}"
 
 
 def save_dataset(dataset: ExecutionDataset, path: str | Path) -> None:

@@ -17,10 +17,17 @@ Hierarchy::
     ├── ExtrapolationError  (ValueError)   prediction target outside what the
     │                                      fitted model can answer
     ├── NotFittedError      (RuntimeError) predict/transform before fit
-    └── SimulationError     (RuntimeError) the simulator produced an invalid
-        │                                  result for a valid request
-        └── ExecutionTimeoutError          a run exceeded its wall-clock
-                                           budget on every allowed attempt
+    ├── SimulationError     (RuntimeError) the simulator produced an invalid
+    │   │                                  result for a valid request
+    │   └── ExecutionTimeoutError          a run exceeded its wall-clock
+    │                                      budget on every allowed attempt
+    ├── ArtifactError       (ValueError)   persisted-model problems
+    │   ├── ArtifactFormatError            artifact cannot be decoded
+    │   │   └── ArtifactVersionError       schema newer than this build reads
+    │   └── ArtifactIntegrityError         payload checksum mismatch
+    ├── RegistryError       (ValueError)   unknown model/version in a registry
+    └── PredictionRequestError (ValueError) invalid request to the
+                                           prediction service
 """
 
 from __future__ import annotations
@@ -41,6 +48,12 @@ __all__ = [
     "NotFittedError",
     "SimulationError",
     "ExecutionTimeoutError",
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactVersionError",
+    "ArtifactIntegrityError",
+    "RegistryError",
+    "PredictionRequestError",
 ]
 
 
@@ -121,3 +134,32 @@ class ExecutionTimeoutError(SimulationError):
             "partial_runtime": self.partial_runtime,
             "n_attempts": None if self.attempts is None else len(self.attempts),
         }
+
+
+class ArtifactError(ReproError, ValueError):
+    """A persisted model artifact cannot be saved or loaded."""
+
+
+class ArtifactFormatError(ArtifactError):
+    """An artifact on disk cannot be decoded (missing manifest, missing
+    keys, unreadable payload)."""
+
+
+class ArtifactVersionError(ArtifactFormatError):
+    """An artifact was written with a schema version newer than this
+    build understands."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An artifact's payload does not match the checksum recorded in its
+    manifest (bit rot, truncation, or tampering)."""
+
+
+class RegistryError(ReproError, ValueError):
+    """A model registry operation referenced an unknown model or
+    version, or the registry directory is unusable."""
+
+
+class PredictionRequestError(ReproError, ValueError):
+    """A prediction request is malformed (unknown/missing/non-finite
+    parameters, invalid scales, or a model that cannot serve it)."""

@@ -5,7 +5,10 @@ duplicated records, and interference spikes.  :func:`validate_dataset`
 detects these without modifying anything and returns a per-rule report;
 :func:`sanitize_dataset` applies the safe repairs (dropping corrupt
 rows, deduplicating, removing spikes) and reports exactly what it
-removed.
+removed.  With ``repair="impute"`` the runtime-only defects
+(NaN/censored runtimes) are *filled from their repeat group's median*
+instead of dropped, keeping thin scales fittable; every imputation is
+counted in the report.
 
 Rules (identifiers are stable — tests and operators key on them):
 
@@ -34,7 +37,7 @@ from typing import Any
 import numpy as np
 
 from ..data.dataset import ExecutionDataset
-from ..errors import DataValidationError
+from ..errors import ConfigurationError, DataValidationError
 from ..log import get_logger
 
 __all__ = [
@@ -139,34 +142,51 @@ class ValidationReport:
 
 @dataclass
 class SanitizeReport:
-    """What :func:`sanitize_dataset` removed, per rule."""
+    """What :func:`sanitize_dataset` removed or repaired, per rule."""
 
     rows_in: int
     rows_out: int
     dropped: dict[str, int] = field(default_factory=dict)
     validation: ValidationReport | None = None
+    imputed: dict[str, int] = field(default_factory=dict)
 
     @property
     def rows_dropped(self) -> int:
         return self.rows_in - self.rows_out
+
+    @property
+    def rows_imputed(self) -> int:
+        return sum(self.imputed.values())
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "dropped": dict(self.dropped),
+            "imputed": dict(self.imputed),
         }
 
     def summary(self) -> str:
-        if not self.rows_dropped:
+        if not self.rows_dropped and not self.rows_imputed:
             return f"sanitize: clean ({self.rows_in} rows kept)"
-        per_rule = ", ".join(
-            f"{rule}={n}" for rule, n in self.dropped.items() if n
-        )
-        return (
-            f"sanitize: dropped {self.rows_dropped}/{self.rows_in} rows "
-            f"({per_rule})"
-        )
+        parts = []
+        if self.rows_dropped:
+            per_rule = ", ".join(
+                f"{rule}={n}" for rule, n in self.dropped.items() if n
+            )
+            parts.append(
+                f"dropped {self.rows_dropped}/{self.rows_in} rows "
+                f"({per_rule})"
+            )
+        if self.rows_imputed:
+            per_rule = ", ".join(
+                f"{rule}={n}" for rule, n in self.imputed.items() if n
+            )
+            parts.append(
+                f"imputed {self.rows_imputed} rows from repeat-group "
+                f"medians ({per_rule})"
+            )
+        return "sanitize: " + "; ".join(parts)
 
 
 # -- rule detectors ----------------------------------------------------------
@@ -338,51 +358,115 @@ def validate_dataset(
     return report
 
 
+#: Rules whose defect lives only in the runtime value — repairable by
+#: imputation.  Everything else (corrupt params, duplicates, spikes)
+#: is dropped in every repair mode.
+_IMPUTABLE_RULES = ("nonfinite_runtime", "censored_runtime")
+
+_DROP_RULES = (
+    "nonfinite_params",
+    "nonfinite_runtime",
+    "censored_runtime",
+    "duplicate_row",
+    "outlier_runtime",
+)
+
+
 def sanitize_dataset(
     dataset: ExecutionDataset,
     spike_ratio: float = 5.0,
     censor_limit: float | None = None,
     min_scale_runs: int = 2,
+    repair: str = "drop",
 ) -> tuple[ExecutionDataset, SanitizeReport]:
-    """Return a cleaned copy of ``dataset`` plus a per-rule drop report.
+    """Return a cleaned copy of ``dataset`` plus a per-rule repair report.
 
-    Drops rows flagged by ``nonfinite_params``, ``nonfinite_runtime``,
-    ``censored_runtime``, ``duplicate_row``, and ``outlier_runtime``.
-    ``sparse_scale`` findings are carried in the report but never cause
-    drops (the model layer decides how to degrade around thin scales).
+    ``repair="drop"`` (default) drops rows flagged by
+    ``nonfinite_params``, ``nonfinite_runtime``, ``censored_runtime``,
+    ``duplicate_row``, and ``outlier_runtime``.  ``repair="impute"``
+    instead *fills* NaN/censored runtimes with the median runtime of
+    the row's (config, scale) repeat group, computed over the group's
+    un-flagged rows — keeping thin scales fittable where dropping would
+    starve them; rows whose group has no usable repeat are still
+    dropped.  Imputation counts are reported per rule on
+    :attr:`SanitizeReport.imputed`.  ``sparse_scale`` findings are
+    carried in the report but never cause drops (the model layer
+    decides how to degrade around thin scales).
     """
+    if repair not in ("drop", "impute"):
+        raise ConfigurationError(
+            f"repair must be 'drop' or 'impute', got {repair!r}."
+        )
     validation = validate_dataset(
         dataset,
         spike_ratio=spike_ratio,
         censor_limit=censor_limit,
         min_scale_runs=min_scale_runs,
     )
-    drop = np.zeros(len(dataset), dtype=bool)
-    dropped: dict[str, int] = {}
-    for rule in (
-        "nonfinite_params",
-        "nonfinite_runtime",
-        "censored_runtime",
-        "duplicate_row",
-        "outlier_runtime",
-    ):
+
+    flagged = np.zeros(len(dataset), dtype=bool)
+    for rule in _DROP_RULES:
         result = validation.by_rule(rule)
+        if result is not None and result.n_rows:
+            flagged[np.asarray(result.row_indices, dtype=np.int64)] = True
+
+    # Median donor per (config, scale) repeat group, over clean rows only.
+    medians: dict[bytes, float] = {}
+    if repair == "impute":
+        groups: dict[bytes, list[int]] = {}
+        for i in np.nonzero(~flagged)[0]:
+            key = dataset.X[i].tobytes() + dataset.nprocs[i].tobytes()
+            groups.setdefault(key, []).append(i)
+        medians = {
+            key: float(np.median(dataset.runtime[rows]))
+            for key, rows in groups.items()
+        }
+
+    drop = np.zeros(len(dataset), dtype=bool)
+    handled = np.zeros(len(dataset), dtype=bool)
+    runtime = dataset.runtime.copy()
+    dropped: dict[str, int] = {}
+    imputed: dict[str, int] = {}
+    for rule in _DROP_RULES:
+        result = validation.by_rule(rule)
+        dropped[rule] = 0
         if result is None or not result.n_rows:
-            dropped[rule] = 0
             continue
         idx = np.asarray(result.row_indices, dtype=np.int64)
-        fresh = idx[~drop[idx]]
-        dropped[rule] = int(len(fresh))
-        drop[fresh] = True
+        fresh = idx[~handled[idx]]
+        handled[fresh] = True
+        if repair == "impute" and rule in _IMPUTABLE_RULES:
+            for i in fresh:
+                key = dataset.X[i].tobytes() + dataset.nprocs[i].tobytes()
+                donor = medians.get(key)
+                if donor is not None:
+                    runtime[i] = donor
+                    imputed[rule] = imputed.get(rule, 0) + 1
+                else:
+                    drop[i] = True
+                    dropped[rule] += 1
+        else:
+            dropped[rule] = int(len(fresh))
+            drop[fresh] = True
 
-    clean = dataset.select(~drop)
+    repaired = dataset if not imputed else ExecutionDataset(
+        app_name=dataset.app_name,
+        param_names=dataset.param_names,
+        X=dataset.X,
+        nprocs=dataset.nprocs,
+        runtime=runtime,
+        model_runtime=dataset.model_runtime,
+        rep=dataset.rep,
+    )
+    clean = repaired.select(~drop)
     report = SanitizeReport(
         rows_in=len(dataset),
         rows_out=len(clean),
         dropped=dropped,
         validation=validation,
+        imputed=imputed,
     )
-    if report.rows_dropped:
+    if report.rows_dropped or report.rows_imputed:
         logger.info("%s", report.summary())
     return clean, report
 

@@ -1,0 +1,35 @@
+"""Model serving: artifacts, registry, prediction service, HTTP server.
+
+The train -> register -> serve -> query loop (see ``docs/serving.md``)::
+
+    from repro.serve import ModelArtifact, ModelRegistry, PredictionService
+
+    artifact = ModelArtifact.create(model, app_name=ds.app_name,
+                                    param_names=ds.param_names, train=ds)
+    registry = ModelRegistry("registry/")
+    version = registry.register("stencil-prod", artifact)
+
+    service = PredictionService(registry.load("stencil-prod"))
+    service.predict_one({"nx": 256, ...}, [1024, 2048, 4096])
+
+    # or over HTTP (CLI: `repro serve --registry registry/`):
+    from repro.serve import create_server
+    create_server(registry, port=8080).serve_forever()
+"""
+
+from .artifacts import SCHEMA_VERSION, ArtifactInfo, ModelArtifact, detect_kind
+from .registry import ModelRegistry, RegistryEntry
+from .server import PredictionServer, create_server
+from .service import PredictionService
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactInfo",
+    "ModelArtifact",
+    "detect_kind",
+    "ModelRegistry",
+    "RegistryEntry",
+    "PredictionService",
+    "PredictionServer",
+    "create_server",
+]

@@ -1,0 +1,426 @@
+"""Versioned on-disk persistence of fitted models.
+
+An *artifact* is a self-describing directory holding one fitted
+predictor::
+
+    artifact/
+        manifest.json   # schema version, provenance, payload checksum
+        payload.pkl     # the fitted estimator state (pickle)
+
+The manifest is plain JSON so operators can inspect an artifact without
+unpickling anything; the payload carries the numpy-backed fitted state
+(interpolation forests, multitask-lasso scalability fits, cluster
+labels, scalers, :class:`~repro.robustness.report.FitReport`, ...).
+Loading verifies, in order:
+
+1. the manifest decodes and has every required key
+   (:class:`~repro.errors.ArtifactFormatError` otherwise),
+2. the schema version is one this build reads
+   (:class:`~repro.errors.ArtifactVersionError` on artifacts from the
+   future),
+3. the payload's SHA-256 matches the manifest
+   (:class:`~repro.errors.ArtifactIntegrityError` on bit rot or
+   truncation).
+
+:class:`TwoLevelModel` artifacts are stored through the model's
+persistence hooks (``get_params`` / ``get_fitted_state``) rather than by
+pickling the object wholesale, so the payload survives refactors of the
+class's non-fitted surface.  Round-trips are bit-exact: a loaded
+artifact predicts the same floats as the in-process model it was saved
+from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines import CurveFitBaseline, DirectMLBaseline, EnsembleOfBaselines
+from ..core import TwoLevelModel
+from ..data.dataset import ExecutionDataset
+from ..data.io import dataset_fingerprint
+from ..errors import (
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    ArtifactVersionError,
+    ConfigurationError,
+    PredictionRequestError,
+)
+from ..log import get_logger
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactInfo",
+    "ModelArtifact",
+    "detect_kind",
+]
+
+logger = get_logger("serve.artifacts")
+
+#: Current artifact schema.  Bump on any manifest/payload layout change;
+#: loaders accept every version <= this one.
+SCHEMA_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_NAME = "payload.pkl"
+
+#: Predictor kinds and how :meth:`ModelArtifact.predict_matrix`
+#: dispatches on them.  ``curve-fit`` artifacts persist fine but cannot
+#: answer (params, scale) queries (they have no parameter model).
+KIND_TWO_LEVEL = "two-level"
+KIND_DIRECT_ML = "direct-ml"
+KIND_CURVE_FIT = "curve-fit"
+KIND_PICKLE = "pickle"
+
+_MANIFEST_KEYS = (
+    "schema_version",
+    "kind",
+    "app_name",
+    "param_names",
+    "scales",
+    "train_hash",
+    "n_train_rows",
+    "degraded",
+    "created_unix",
+    "repro_version",
+    "payload_sha256",
+    "metadata",
+)
+
+
+def detect_kind(predictor: object) -> str:
+    """Classify a predictor for artifact dispatch."""
+    if isinstance(predictor, TwoLevelModel):
+        return KIND_TWO_LEVEL
+    if isinstance(predictor, (DirectMLBaseline, EnsembleOfBaselines)):
+        return KIND_DIRECT_ML
+    if isinstance(predictor, CurveFitBaseline):
+        return KIND_CURVE_FIT
+    return KIND_PICKLE
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """Parsed artifact manifest (everything except the payload)."""
+
+    kind: str
+    app_name: str
+    param_names: tuple[str, ...]
+    scales: tuple[int, ...]
+    train_hash: str | None = None
+    n_train_rows: int | None = None
+    degraded: bool = False
+    created_unix: float = 0.0
+    repro_version: str = ""
+    schema_version: int = SCHEMA_VERSION
+    payload_sha256: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_manifest(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "app_name": self.app_name,
+            "param_names": list(self.param_names),
+            "scales": [int(s) for s in self.scales],
+            "train_hash": self.train_hash,
+            "n_train_rows": self.n_train_rows,
+            "degraded": bool(self.degraded),
+            "created_unix": float(self.created_unix),
+            "repro_version": self.repro_version,
+            "payload_sha256": self.payload_sha256,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: object, where: Path) -> "ArtifactInfo":
+        if not isinstance(manifest, dict):
+            raise ArtifactFormatError(
+                f"{where}: manifest must be a JSON object, "
+                f"got {type(manifest).__name__}."
+            )
+        missing = sorted(set(_MANIFEST_KEYS) - set(manifest))
+        if missing:
+            raise ArtifactFormatError(
+                f"{where}: manifest is missing keys {missing}."
+            )
+        try:
+            version = int(manifest["schema_version"])
+        except (TypeError, ValueError):
+            raise ArtifactFormatError(
+                f"{where}: schema_version "
+                f"{manifest['schema_version']!r} is not an integer."
+            ) from None
+        if version > SCHEMA_VERSION:
+            raise ArtifactVersionError(
+                f"{where}: artifact schema version {version} is newer than "
+                f"this build reads (<= {SCHEMA_VERSION}); upgrade repro to "
+                "load it."
+            )
+        try:
+            return cls(
+                schema_version=version,
+                kind=str(manifest["kind"]),
+                app_name=str(manifest["app_name"]),
+                param_names=tuple(str(n) for n in manifest["param_names"]),
+                scales=tuple(int(s) for s in manifest["scales"]),
+                train_hash=(
+                    None
+                    if manifest["train_hash"] is None
+                    else str(manifest["train_hash"])
+                ),
+                n_train_rows=(
+                    None
+                    if manifest["n_train_rows"] is None
+                    else int(manifest["n_train_rows"])
+                ),
+                degraded=bool(manifest["degraded"]),
+                created_unix=float(manifest["created_unix"]),
+                repro_version=str(manifest["repro_version"]),
+                payload_sha256=str(manifest["payload_sha256"]),
+                metadata=dict(manifest["metadata"] or {}),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"{where}: malformed manifest: {exc}"
+            ) from exc
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        when = (
+            time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.gmtime(self.created_unix)
+            )
+            + "Z"
+            if self.created_unix
+            else "unknown"
+        )
+        lines = [
+            f"kind        : {self.kind}"
+            + (" (degraded fit)" if self.degraded else ""),
+            f"application : {self.app_name}",
+            f"params      : {', '.join(self.param_names)}",
+            f"scales      : {list(self.scales)}",
+            f"trained on  : {self.n_train_rows} rows "
+            f"[{self.train_hash or 'unhashed'}]",
+            f"created     : {when} (repro {self.repro_version}, "
+            f"schema v{self.schema_version})",
+        ]
+        if self.metadata:
+            pairs = ", ".join(f"{k}={v}" for k, v in self.metadata.items())
+            lines.append(f"metadata    : {pairs}")
+        return "\n".join(lines)
+
+
+class ModelArtifact:
+    """A fitted predictor plus its provenance manifest.
+
+    Build one with :meth:`create` (from a live fitted model) or
+    :meth:`load` (from disk); persist with :meth:`save`.  The uniform
+    :meth:`predict_matrix` answers ``(configs, scales)`` queries for
+    every parameter-aware kind, which is what
+    :class:`~repro.serve.service.PredictionService` serves.
+    """
+
+    def __init__(self, predictor: object, info: ArtifactInfo) -> None:
+        self.predictor = predictor
+        self.info = info
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        predictor: object,
+        app_name: str,
+        param_names: Sequence[str],
+        train: ExecutionDataset | None = None,
+        scales: Sequence[int] | None = None,
+        metadata: Mapping[str, Any] | None = None,
+        train_hash: str | None = None,
+        n_train_rows: int | None = None,
+    ) -> "ModelArtifact":
+        """Wrap a fitted predictor with a provenance manifest.
+
+        ``train`` (the training history) is the preferred provenance
+        source — it fills ``train_hash``, ``n_train_rows``, and the
+        scale list; pass ``train_hash``/``n_train_rows``/``scales``
+        directly when the history is no longer in memory.
+        """
+        from .. import __version__
+
+        kind = detect_kind(predictor)
+        if train is not None:
+            train_hash = train_hash or dataset_fingerprint(train)
+            n_train_rows = n_train_rows or len(train)
+            if scales is None:
+                scales = [int(s) for s in train.scales]
+        if scales is None:
+            if isinstance(predictor, TwoLevelModel) and predictor.is_fitted:
+                scales = predictor.effective_small_scales_
+            elif isinstance(predictor, CurveFitBaseline):
+                scales = predictor.small_scales
+            else:
+                scales = ()
+        degraded = False
+        if isinstance(predictor, TwoLevelModel):
+            if not predictor.is_fitted:
+                raise ConfigurationError(
+                    "Cannot create an artifact from an unfitted model."
+                )
+            degraded = predictor.fit_report.degraded
+        info = ArtifactInfo(
+            kind=kind,
+            app_name=str(app_name),
+            param_names=tuple(str(n) for n in param_names),
+            scales=tuple(int(s) for s in scales),
+            train_hash=train_hash,
+            n_train_rows=n_train_rows,
+            degraded=degraded,
+            created_unix=time.time(),
+            repro_version=__version__,
+            metadata=dict(metadata or {}),
+        )
+        return cls(predictor, info)
+
+    # -- persistence -------------------------------------------------------
+
+    def _payload(self) -> dict[str, Any]:
+        if isinstance(self.predictor, TwoLevelModel):
+            return {
+                "format": KIND_TWO_LEVEL,
+                "params": self.predictor.get_params(),
+                "state": self.predictor.get_fitted_state(),
+            }
+        return {"format": self.info.kind, "predictor": self.predictor}
+
+    def save(self, path: str | Path, overwrite: bool = False) -> Path:
+        """Write the artifact directory; returns its path."""
+        path = Path(path)
+        if (path / MANIFEST_NAME).exists() and not overwrite:
+            raise ArtifactFormatError(
+                f"{path}: an artifact already exists here "
+                "(pass overwrite=True to replace it)."
+            )
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(
+                self._payload(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            (path / PAYLOAD_NAME).write_bytes(payload)
+            manifest = self.info.to_manifest()
+            manifest["payload_sha256"] = _sha256(payload)
+            with open(path / MANIFEST_NAME, "w") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            raise ArtifactFormatError(
+                f"{path}: cannot write artifact: {exc}"
+            ) from exc
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise ArtifactFormatError(
+                f"{path}: predictor is not picklable: {exc}"
+            ) from exc
+        self.info = ArtifactInfo.from_manifest(manifest, path)
+        logger.debug("saved %s artifact to %s", self.info.kind, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelArtifact":
+        """Read and verify an artifact directory."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ArtifactFormatError(
+                f"{path}: not a model artifact (no {MANIFEST_NAME})."
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ArtifactFormatError(
+                f"{path}: manifest is not valid JSON: {exc}"
+            ) from exc
+        info = ArtifactInfo.from_manifest(manifest, path)
+        try:
+            payload = (path / PAYLOAD_NAME).read_bytes()
+        except OSError as exc:
+            raise ArtifactFormatError(
+                f"{path}: cannot read payload: {exc}"
+            ) from exc
+        digest = _sha256(payload)
+        if digest != info.payload_sha256:
+            raise ArtifactIntegrityError(
+                f"{path}: payload checksum mismatch (manifest records "
+                f"{info.payload_sha256[:12]}…, payload hashes to "
+                f"{digest[:12]}…); refusing to unpickle."
+            )
+        try:
+            decoded = pickle.loads(payload)
+        except Exception as exc:  # pickle raises wildly varied types
+            raise ArtifactFormatError(
+                f"{path}: payload does not unpickle: {exc}"
+            ) from exc
+        predictor = cls._decode_predictor(decoded, path)
+        logger.debug("loaded %s artifact from %s", info.kind, path)
+        return cls(predictor, info)
+
+    @staticmethod
+    def _decode_predictor(decoded: object, path: Path) -> object:
+        if not isinstance(decoded, dict) or "format" not in decoded:
+            raise ArtifactFormatError(
+                f"{path}: payload is not an artifact payload dict."
+            )
+        if decoded["format"] == KIND_TWO_LEVEL:
+            try:
+                model = TwoLevelModel(**decoded["params"])
+                return model.set_fitted_state(decoded["state"])
+            except (KeyError, TypeError, ConfigurationError) as exc:
+                raise ArtifactFormatError(
+                    f"{path}: two-level payload is malformed: {exc}"
+                ) from exc
+        try:
+            return decoded["predictor"]
+        except KeyError:
+            raise ArtifactFormatError(
+                f"{path}: payload has no predictor."
+            ) from None
+
+    # -- prediction --------------------------------------------------------
+
+    @property
+    def servable(self) -> bool:
+        """True when the artifact answers (params, scale) queries."""
+        return self.info.kind in (KIND_TWO_LEVEL, KIND_DIRECT_ML)
+
+    def predict_matrix(
+        self, X: np.ndarray, scales: Sequence[int]
+    ) -> np.ndarray:
+        """Uniform ``(n_configs, n_scales)`` prediction across kinds."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self.info.param_names):
+            raise PredictionRequestError(
+                f"X must have shape (n, {len(self.info.param_names)}) for "
+                f"parameters {list(self.info.param_names)}."
+            )
+        scales = [int(s) for s in scales]
+        if self.info.kind == KIND_TWO_LEVEL:
+            return self.predictor.predict(X, scales)
+        if self.info.kind == KIND_DIRECT_ML:
+            return np.column_stack(
+                [self.predictor.predict(X, s) for s in scales]
+            )
+        raise PredictionRequestError(
+            f"Artifact kind {self.info.kind!r} has no parameter model and "
+            "cannot answer (params, scale) queries."
+        )

@@ -1,0 +1,274 @@
+"""Directory-backed model registry with monotonic versions.
+
+Layout (everything human-inspectable)::
+
+    registry/
+        stencil3d-prod/
+            PINNED          # optional: version number this name is pinned to
+            v0001/          # one ModelArtifact directory per version
+                manifest.json
+                payload.pkl
+            v0002/
+            ...
+
+Versions are monotonically increasing integers assigned at
+registration; deleting a version never renumbers the others (and a
+re-registration after deleting the latest continues past the highest
+version ever used is *not* guaranteed — the next version is one past the
+current maximum).  Name resolution order is *explicit version* >
+*pin* > *latest*.
+
+Registration is atomic: the artifact is written to a staging directory
+and renamed into place, so a crashed ``register`` never leaves a
+half-written version visible.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ArtifactFormatError, RegistryError
+from ..log import get_logger
+from .artifacts import MANIFEST_NAME, ArtifactInfo, ModelArtifact
+
+__all__ = ["ModelRegistry", "RegistryEntry"]
+
+logger = get_logger("serve.registry")
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+_PIN_FILE = "PINNED"
+
+
+def _version_dir(version: int) -> str:
+    return f"v{version:04d}"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One (name, version) row of a registry listing."""
+
+    name: str
+    version: int
+    path: Path
+    info: ArtifactInfo
+    pinned: bool
+    latest: bool
+
+
+class ModelRegistry:
+    """Named, versioned storage of model artifacts under one root."""
+
+    def __init__(self, root: str | Path, create: bool = True) -> None:
+        self.root = Path(root)
+        if create:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise RegistryError(
+                    f"Cannot create registry root {self.root}: {exc}"
+                ) from exc
+        if not self.root.is_dir():
+            raise RegistryError(
+                f"Registry root {self.root} is not a directory."
+            )
+
+    # -- naming ------------------------------------------------------------
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"Invalid model name {name!r}: use letters, digits, "
+                "'.', '_', '-' (max 64 chars, no leading separator)."
+            )
+        return name
+
+    def _model_dir(self, name: str, must_exist: bool = True) -> Path:
+        path = self.root / self._check_name(name)
+        if must_exist and not path.is_dir():
+            raise RegistryError(
+                f"Unknown model {name!r}; registry has {self.models()}."
+            )
+        return path
+
+    # -- write side --------------------------------------------------------
+
+    def register(self, name: str, artifact: ModelArtifact) -> int:
+        """Store ``artifact`` as the next version of ``name``."""
+        model_dir = self._model_dir(name, must_exist=False)
+        try:
+            model_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise RegistryError(
+                f"Cannot create model directory {model_dir}: {exc}"
+            ) from exc
+        versions = self._scan_versions(model_dir)
+        version = (max(versions) if versions else 0) + 1
+        staging = model_dir / f".staging-{_version_dir(version)}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        artifact.save(staging, overwrite=True)
+        target = model_dir / _version_dir(version)
+        try:
+            staging.rename(target)
+        except OSError as exc:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise RegistryError(
+                f"Cannot finalize version {version} of {name!r}: {exc}"
+            ) from exc
+        logger.info("registered %s %s", name, _version_dir(version))
+        return version
+
+    def delete(self, name: str, version: int | None = None) -> None:
+        """Remove one version, or the whole model when ``version`` is
+        None.  Deleting a pinned version clears the pin."""
+        model_dir = self._model_dir(name)
+        if version is None:
+            shutil.rmtree(model_dir)
+            logger.info("deleted model %s", name)
+            return
+        target = model_dir / _version_dir(self._check_version(name, version))
+        shutil.rmtree(target)
+        if self.pinned(name) == version:
+            self.unpin(name)
+        if not self._scan_versions(model_dir):
+            shutil.rmtree(model_dir)
+        logger.info("deleted %s %s", name, _version_dir(version))
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, name: str, version: int) -> None:
+        """Make ``resolve(name)`` return ``version`` until unpinned."""
+        version = self._check_version(name, version)
+        (self._model_dir(name) / _PIN_FILE).write_text(f"{version}\n")
+
+    def unpin(self, name: str) -> None:
+        pin = self._model_dir(name) / _PIN_FILE
+        if pin.exists():
+            pin.unlink()
+
+    def pinned(self, name: str) -> int | None:
+        """The pinned version of ``name``, or None."""
+        pin = self._model_dir(name) / _PIN_FILE
+        if not pin.exists():
+            return None
+        try:
+            return int(pin.read_text().strip())
+        except ValueError:
+            raise RegistryError(
+                f"Corrupt pin file for {name!r}: {pin.read_text()!r}."
+            ) from None
+
+    # -- read side ---------------------------------------------------------
+
+    @staticmethod
+    def _scan_versions(model_dir: Path) -> list[int]:
+        found = []
+        for child in model_dir.iterdir():
+            m = _VERSION_RE.match(child.name)
+            if m and child.is_dir():
+                found.append(int(m.group(1)))
+        return sorted(found)
+
+    def models(self) -> list[str]:
+        """Registered model names, sorted."""
+        return sorted(
+            child.name
+            for child in self.root.iterdir()
+            if child.is_dir() and self._scan_versions(child)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Stored versions of ``name``, ascending."""
+        versions = self._scan_versions(self._model_dir(name))
+        if not versions:
+            raise RegistryError(f"Model {name!r} has no stored versions.")
+        return versions
+
+    def latest(self, name: str) -> int:
+        return self.versions(name)[-1]
+
+    def _check_version(self, name: str, version: int) -> int:
+        version = int(version)
+        if version not in self.versions(name):
+            raise RegistryError(
+                f"Model {name!r} has no version {version}; stored: "
+                f"{self.versions(name)}."
+            )
+        return version
+
+    def resolve(self, name: str, version: int | None = None) -> int:
+        """Resolve a version request: explicit > pinned > latest."""
+        if version is not None:
+            return self._check_version(name, version)
+        pinned = self.pinned(name)
+        if pinned is not None:
+            return self._check_version(name, pinned)
+        return self.latest(name)
+
+    def path(self, name: str, version: int | None = None) -> Path:
+        """Artifact directory of a resolved (name, version)."""
+        return self._model_dir(name) / _version_dir(
+            self.resolve(name, version)
+        )
+
+    def inspect(
+        self, name: str, version: int | None = None
+    ) -> ArtifactInfo:
+        """Read a version's manifest without unpickling its payload."""
+        path = self.path(name, version)
+        try:
+            manifest = json.loads((path / MANIFEST_NAME).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ArtifactFormatError(
+                f"{path}: manifest unreadable: {exc}"
+            ) from exc
+        return ArtifactInfo.from_manifest(manifest, path)
+
+    def load(self, name: str, version: int | None = None) -> ModelArtifact:
+        """Load (and checksum-verify) a stored artifact."""
+        return ModelArtifact.load(self.path(name, version))
+
+    def entries(self, name: str | None = None) -> list[RegistryEntry]:
+        """Full listing (one entry per stored version)."""
+        names = [self._check_name(name)] if name else self.models()
+        out: list[RegistryEntry] = []
+        for n in names:
+            versions = self.versions(n)
+            pinned = self.pinned(n)
+            for v in versions:
+                out.append(
+                    RegistryEntry(
+                        name=n,
+                        version=v,
+                        path=self._model_dir(n) / _version_dir(v),
+                        info=self.inspect(n, v),
+                        pinned=v == pinned,
+                        latest=v == versions[-1],
+                    )
+                )
+        return out
+
+    def describe(self) -> str:
+        """Human-readable registry listing."""
+        entries = self.entries()
+        if not entries:
+            return f"registry {self.root}: empty"
+        lines = [f"registry {self.root}: {len(self.models())} model(s)"]
+        for e in entries:
+            marks = "".join(
+                m for m, on in (("*", e.latest), ("!", e.pinned)) if on
+            )
+            lines.append(
+                f"  {e.name:24s} v{e.version:04d}{marks:<2s} "
+                f"{e.info.kind:10s} {e.info.app_name:12s} "
+                f"{e.info.n_train_rows or 0:>6d} rows"
+                + ("  degraded" if e.info.degraded else "")
+            )
+        lines.append("  (* latest, ! pinned)")
+        return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""Stdlib HTTP front end for the prediction service.
+
+A :class:`PredictionServer` is a ``ThreadingHTTPServer`` that serves
+models out of a :class:`~repro.serve.registry.ModelRegistry` (services
+are created lazily per (name, version) and cached).  JSON endpoints:
+
+=======================  ====  =========================================
+``/healthz``             GET   liveness + model names
+``/models``              GET   registry listing with manifests
+``/metrics``             GET   per-service cache/latency snapshots
+``/predict``             POST  one configuration, many scales
+``/batch``               POST  many (params, scales) requests at once
+=======================  ====  =========================================
+
+Request bodies::
+
+    POST /predict {"params": {"nx": 256, ...}, "scales": [1024, 2048],
+                   "model": "stencil-prod", "version": 3}
+    POST /batch   {"requests": [{"params": {...}, "scales": [...]}, ...],
+                   "model": "stencil-prod"}
+
+``model`` may be omitted when the registry holds exactly one model;
+``version`` defaults to the registry's pin/latest resolution.  Request
+errors return HTTP 400 (422 for unknown models/versions -> 404) with
+``{"error": <exception type>, "message": ...}``; nothing in this module
+ever renders a traceback to the client.
+
+No third-party web framework is used on purpose: the stdlib threading
+server is enough for the paper-scale workloads benchmarked here, and it
+keeps the serving layer importable everywhere the library is.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..errors import (
+    PredictionRequestError,
+    RegistryError,
+    ReproError,
+)
+from ..log import get_logger
+from .registry import ModelRegistry
+from .service import PredictionService
+
+__all__ = ["PredictionServer", "create_server"]
+
+logger = get_logger("serve.server")
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one model registry."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: ModelRegistry,
+        default_model: str | None = None,
+        cache_size: int = 4096,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.registry = registry
+        self.default_model = default_model
+        self.cache_size = cache_size
+        self._services: dict[tuple[str, int], PredictionService] = {}
+        self._services_lock = threading.Lock()
+
+    # -- model resolution --------------------------------------------------
+
+    def service_for(
+        self, model: str | None, version: int | None
+    ) -> PredictionService:
+        """Resolve (and lazily load) the service for a request."""
+        name = model or self.default_model
+        if name is None:
+            models = self.registry.models()
+            if len(models) == 1:
+                name = models[0]
+            else:
+                raise PredictionRequestError(
+                    "Request must name a model ('model' field); registry "
+                    f"holds {models or 'no models'}."
+                )
+        resolved = self.registry.resolve(name, version)
+        key = (name, resolved)
+        with self._services_lock:
+            service = self._services.get(key)
+        if service is None:
+            artifact = self.registry.load(name, resolved)
+            with self._services_lock:
+                service = self._services.setdefault(
+                    key,
+                    PredictionService(
+                        artifact,
+                        name=name,
+                        version=resolved,
+                        cache_size=self.cache_size,
+                    ),
+                )
+        return service
+
+    def loaded_services(self) -> list[PredictionService]:
+        with self._services_lock:
+            return list(self._services.values())
+
+
+def create_server(
+    registry: ModelRegistry | str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    default_model: str | None = None,
+    cache_size: int = 4096,
+) -> PredictionServer:
+    """Bind a :class:`PredictionServer` (``port=0`` = ephemeral).
+
+    The caller owns the serve loop: ``server.serve_forever()`` to block,
+    or drive it from a thread in tests.  ``server.server_address``
+    reports the actually-bound port.
+    """
+    if not isinstance(registry, ModelRegistry):
+        registry = ModelRegistry(registry, create=False)
+    if default_model is not None:
+        registry.versions(default_model)  # fail fast on unknown names
+    return PredictionServer(
+        (host, port),
+        registry,
+        default_model=default_model,
+        cache_size=cache_size,
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PredictionServer  # narrowed for type checkers
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: Exception) -> None:
+        self._send_json(
+            status,
+            {"error": type(exc).__name__, "message": str(exc)},
+        )
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise PredictionRequestError("Request body is required.")
+        if length > _MAX_BODY_BYTES:
+            raise PredictionRequestError(
+                f"Request body too large ({length} bytes)."
+            )
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise PredictionRequestError(
+                f"Request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(body, dict):
+            raise PredictionRequestError(
+                "Request body must be a JSON object."
+            )
+        return body
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except RegistryError as exc:
+            self._send_error_json(404, exc)
+        except PredictionRequestError as exc:
+            self._send_error_json(400, exc)
+        except ReproError as exc:
+            self._send_error_json(500, exc)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # never leak a traceback to the wire
+            logger.exception("unhandled error serving %s", self.path)
+            self._send_error_json(500, exc)
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        routes = {
+            "/healthz": self._get_healthz,
+            "/models": self._get_models,
+            "/metrics": self._get_metrics,
+        }
+        handler = routes.get(self.path.split("?", 1)[0])
+        if handler is None:
+            self._send_json(
+                404,
+                {"error": "NotFound", "message": f"No route {self.path}."},
+            )
+            return
+        self._dispatch(handler)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        routes = {"/predict": self._post_predict, "/batch": self._post_batch}
+        handler = routes.get(self.path.split("?", 1)[0])
+        if handler is None:
+            self._send_json(
+                404,
+                {"error": "NotFound", "message": f"No route {self.path}."},
+            )
+            return
+        self._dispatch(handler)
+
+    def _get_healthz(self) -> None:
+        self._send_json(
+            200,
+            {"status": "ok", "models": self.server.registry.models()},
+        )
+
+    def _get_models(self) -> None:
+        entries = [
+            {
+                "name": e.name,
+                "version": e.version,
+                "latest": e.latest,
+                "pinned": e.pinned,
+                "manifest": e.info.to_manifest(),
+            }
+            for e in self.server.registry.entries()
+        ]
+        self._send_json(200, {"models": entries})
+
+    def _get_metrics(self) -> None:
+        self._send_json(
+            200,
+            {
+                "services": [
+                    s.metrics() for s in self.server.loaded_services()
+                ]
+            },
+        )
+
+    def _post_predict(self) -> None:
+        body = self._read_body()
+        service = self.server.service_for(
+            body.get("model"), body.get("version")
+        )
+        predictions = service.predict_one(
+            body.get("params", {}), body.get("scales", [])
+        )
+        self._send_json(
+            200,
+            {
+                "model": service.name,
+                "version": service.version,
+                "scales": service.validate_scales(body.get("scales", [])),
+                "predictions": predictions,
+            },
+        )
+
+    def _post_batch(self) -> None:
+        body = self._read_body()
+        requests = body.get("requests")
+        if not isinstance(requests, list) or not requests:
+            raise PredictionRequestError(
+                "'requests' must be a non-empty list of "
+                "{params, scales} objects."
+            )
+        service = self.server.service_for(
+            body.get("model"), body.get("version")
+        )
+        pairs = []
+        for item in requests:
+            if not isinstance(item, dict):
+                raise PredictionRequestError(
+                    "each request must be a {params, scales} object."
+                )
+            pairs.append((item.get("params", {}), item.get("scales", [])))
+        results = service.predict_batch(pairs)
+        self._send_json(
+            200,
+            {
+                "model": service.name,
+                "version": service.version,
+                "results": results,
+            },
+        )

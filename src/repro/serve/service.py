@@ -1,0 +1,292 @@
+"""In-process prediction service over a loaded model artifact.
+
+Wraps one :class:`~repro.serve.artifacts.ModelArtifact` with the three
+things a query path needs that the model itself does not provide:
+
+* **input validation** — named parameters are checked against the
+  artifact's schema (missing / unknown / non-finite values raise
+  :class:`~repro.errors.PredictionRequestError`, never a numpy error
+  three layers down);
+* **an LRU prediction cache** — keyed on ``(model version, parameter
+  bytes, scale)``, so repeated queries (schedulers re-evaluating the
+  same job mix) skip both forests and scalability curves; hits and
+  misses are counted;
+* **metrics** — per-request wall-clock latency over a sliding window,
+  exposed as a snapshot dict (count / mean / p50 / p95 / max) next to
+  the cache counters, ready for a ``/metrics`` endpoint.
+
+Batch prediction is vectorized: all cache-missing cells of a batch are
+answered by a *single* ``predict_matrix`` call over the distinct
+parameter rows and the union of requested scales, then cached cell by
+cell.  The service is thread-safe (the HTTP server runs one thread per
+connection).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, PredictionRequestError
+from ..log import get_logger
+from .artifacts import ModelArtifact
+
+__all__ = ["PredictionService"]
+
+logger = get_logger("serve.service")
+
+
+def _latency_snapshot(samples: Sequence[float]) -> dict[str, float]:
+    if not samples:
+        return {"count": 0}
+    arr = np.asarray(samples, dtype=np.float64) * 1e3  # -> milliseconds
+    return {
+        "count": int(arr.size),
+        "mean_ms": float(arr.mean()),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "max_ms": float(arr.max()),
+    }
+
+
+class PredictionService:
+    """Validated, cached, metered predictions from one artifact.
+
+    Parameters
+    ----------
+    artifact:
+        A servable artifact (two-level or direct-ML kind).
+    name, version:
+        Identity used in cache keys and metrics; pass the registry
+        coordinates when the artifact came from a
+        :class:`~repro.serve.registry.ModelRegistry`.
+    cache_size:
+        Maximum cached (params, scale) cells; 0 disables caching.
+    latency_window:
+        Requests kept for the latency percentiles.
+    """
+
+    def __init__(
+        self,
+        artifact: ModelArtifact,
+        name: str = "model",
+        version: int = 1,
+        cache_size: int = 4096,
+        latency_window: int = 2048,
+    ) -> None:
+        if not artifact.servable:
+            raise ConfigurationError(
+                f"Artifact kind {artifact.info.kind!r} cannot serve "
+                "(params, scale) queries."
+            )
+        if cache_size < 0:
+            raise ConfigurationError("cache_size must be >= 0.")
+        self.artifact = artifact
+        self.name = name
+        self.version = int(version)
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple, float] = OrderedDict()
+        self._latencies: deque[float] = deque(maxlen=int(latency_window))
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._requests = 0
+        self._predictions = 0
+
+    # -- validation --------------------------------------------------------
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return self.artifact.info.param_names
+
+    def validate_params(self, params: Mapping[str, Any]) -> np.ndarray:
+        """Check a named-parameter mapping; returns the ordered vector."""
+        if not isinstance(params, Mapping):
+            raise PredictionRequestError(
+                f"params must be a mapping of name -> value, "
+                f"got {type(params).__name__}."
+            )
+        names = self.param_names
+        missing = sorted(set(names) - set(params))
+        if missing:
+            raise PredictionRequestError(
+                f"Missing parameters {missing}; model expects "
+                f"{list(names)}."
+            )
+        extra = sorted(set(params) - set(names))
+        if extra:
+            raise PredictionRequestError(
+                f"Unknown parameters {extra}; model expects {list(names)}."
+            )
+        try:
+            x = np.array([float(params[n]) for n in names])
+        except (TypeError, ValueError):
+            raise PredictionRequestError(
+                "Parameter values must be numbers; got "
+                f"{ {n: params[n] for n in names} }."
+            ) from None
+        if not np.all(np.isfinite(x)):
+            bad = [n for n, v in zip(names, x) if not np.isfinite(v)]
+            raise PredictionRequestError(
+                f"Parameters {bad} are not finite."
+            )
+        return x
+
+    @staticmethod
+    def validate_scales(scales: Sequence[Any]) -> list[int]:
+        if isinstance(scales, (str, bytes)) or not isinstance(
+            scales, Sequence
+        ):
+            raise PredictionRequestError(
+                "scales must be a list of positive integers."
+            )
+        if not scales:
+            raise PredictionRequestError("scales must be non-empty.")
+        out = []
+        for s in scales:
+            if isinstance(s, bool) or not isinstance(s, (int, float)):
+                raise PredictionRequestError(
+                    f"Scale {s!r} is not an integer."
+                )
+            if float(s) != int(s) or int(s) < 1:
+                raise PredictionRequestError(
+                    f"Scale {s!r} must be a positive integer."
+                )
+            out.append(int(s))
+        return out
+
+    # -- prediction --------------------------------------------------------
+
+    def predict_one(
+        self, params: Mapping[str, Any], scales: Sequence[Any]
+    ) -> list[float]:
+        """Runtimes of one configuration at each requested scale."""
+        return self.predict_batch([(params, scales)])[0]
+
+    def predict_batch(
+        self,
+        requests: Sequence[tuple[Mapping[str, Any], Sequence[Any]]],
+    ) -> list[list[float]]:
+        """Answer many (params, scales) requests in one vectorized pass.
+
+        Returns one runtime list per request, in order.  All requests
+        are validated before anything is predicted, so a bad request in
+        a batch fails the whole batch without side effects.
+        """
+        start = time.perf_counter()
+        if not isinstance(requests, Sequence) or isinstance(
+            requests, (str, bytes)
+        ):
+            raise PredictionRequestError("batch must be a sequence.")
+        if not requests:
+            raise PredictionRequestError("batch must be non-empty.")
+        parsed: list[tuple[np.ndarray, list[int]]] = []
+        for item in requests:
+            try:
+                params, scales = item
+            except (TypeError, ValueError):
+                raise PredictionRequestError(
+                    "each batch item must be a (params, scales) pair."
+                ) from None
+            parsed.append(
+                (self.validate_params(params), self.validate_scales(scales))
+            )
+
+        # Cache pass: resolve every (x, p) cell or mark it missing.
+        results: list[list[float | None]] = []
+        missing: dict[tuple, tuple[bytes, int]] = {}
+        with self._lock:
+            for x, scales in parsed:
+                xb = x.tobytes()
+                row: list[float | None] = []
+                for p in scales:
+                    key = (self.version, xb, p)
+                    if key in self._cache:
+                        self._cache.move_to_end(key)
+                        row.append(self._cache[key])
+                        self._hits += 1
+                    else:
+                        row.append(None)
+                        missing[key] = (xb, p)
+                        self._misses += 1
+                results.append(row)
+
+        if missing:
+            # One vectorized model call over the distinct parameter rows
+            # and the union of missing scales (the extra cells it
+            # computes are cached too — they are valid predictions).
+            xbs = list(dict.fromkeys(xb for xb, _ in missing.values()))
+            union_scales = sorted({p for _, p in missing.values()})
+            X = np.vstack(
+                [np.frombuffer(xb, dtype=np.float64) for xb in xbs]
+            )
+            T = self.artifact.predict_matrix(X, union_scales)
+            row_of = {xb: i for i, xb in enumerate(xbs)}
+            col_of = {p: j for j, p in enumerate(union_scales)}
+            with self._lock:
+                for i, xb in enumerate(xbs):
+                    for j, p in enumerate(union_scales):
+                        self._store((self.version, xb, p), float(T[i, j]))
+                for ri, (x, scales) in enumerate(parsed):
+                    xb = x.tobytes()
+                    for ci, p in enumerate(scales):
+                        if results[ri][ci] is None:
+                            results[ri][ci] = float(
+                                T[row_of[xb], col_of[p]]
+                            )
+
+        n_cells = sum(len(r) for r in results)
+        with self._lock:
+            self._requests += 1
+            self._predictions += n_cells
+            self._latencies.append(time.perf_counter() - start)
+        return [[float(v) for v in row] for row in results]
+
+    def _store(self, key: tuple, value: float) -> None:
+        # Caller holds the lock.
+        if self.cache_size == 0:
+            return
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot of counters and latency stats (JSON-ready)."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            snapshot = {
+                "model": self.name,
+                "version": self.version,
+                "kind": self.artifact.info.kind,
+                "requests": self._requests,
+                "predictions": self._predictions,
+                "cache": {
+                    "size": len(self._cache),
+                    "capacity": self.cache_size,
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": (
+                        hits / (hits + misses) if hits + misses else 0.0
+                    ),
+                },
+                "latency": _latency_snapshot(list(self._latencies)),
+            }
+        return snapshot
+
+    def reset_metrics(self) -> None:
+        """Zero the counters and latency window (cache kept)."""
+        with self._lock:
+            self._hits = self._misses = 0
+            self._requests = self._predictions = 0
+            self._latencies.clear()
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()

@@ -129,6 +129,119 @@ class TestSanitize:
         assert report.by_rule("outlier_runtime").n_rows == 0
 
 
+class TestImputeRepair:
+    def test_nan_runtime_imputed_from_group_median(self, noisy_history):
+        # noisy_history has 2 reps per (config, scale): killing one rep
+        # leaves exactly one donor, so the median IS the donor value.
+        runtime = noisy_history.runtime.copy()
+        victim = 0
+        donors = np.nonzero(
+            np.all(noisy_history.X == noisy_history.X[victim], axis=1)
+            & (noisy_history.nprocs == noisy_history.nprocs[victim])
+        )[0]
+        donors = donors[donors != victim]
+        assert len(donors) == 1
+        runtime[victim] = np.nan
+        clean, report = sanitize_dataset(
+            _with_runtime(noisy_history, runtime), repair="impute"
+        )
+        assert len(clean) == len(noisy_history)  # nothing dropped
+        assert report.imputed == {"nonfinite_runtime": 1}
+        assert report.rows_imputed == 1
+        assert clean.runtime[victim] == noisy_history.runtime[donors[0]]
+
+    def test_censored_runtime_imputed(self, noisy_history):
+        # Censor exactly one rep (clamped to a ceiling above everything
+        # else) so its un-censored partner rep remains as donor.
+        runtime = noisy_history.runtime.copy()
+        victim = 0
+        donors = np.nonzero(
+            np.all(noisy_history.X == noisy_history.X[victim], axis=1)
+            & (noisy_history.nprocs == noisy_history.nprocs[victim])
+        )[0]
+        donors = donors[donors != victim]
+        limit = float(runtime.max()) * 2.0
+        runtime[victim] = limit
+        clean, report = sanitize_dataset(
+            _with_runtime(noisy_history, runtime),
+            censor_limit=limit,
+            repair="impute",
+        )
+        assert report.imputed == {"censored_runtime": 1}
+        assert report.dropped["censored_runtime"] == 0
+        assert len(clean) == len(noisy_history)
+        assert clean.runtime[victim] == noisy_history.runtime[donors[0]]
+
+    def test_no_donor_rows_are_still_dropped(self, tiny_history):
+        # tiny_history has a single rep per (config, scale) — a NaN row
+        # has no repeat group left to impute from.
+        runtime = tiny_history.runtime.copy()
+        runtime[3] = np.nan
+        clean, report = sanitize_dataset(
+            _with_runtime(tiny_history, runtime), repair="impute"
+        )
+        assert len(clean) == len(tiny_history) - 1
+        assert report.imputed == {}
+        assert report.dropped["nonfinite_runtime"] == 1
+
+    def test_non_runtime_defects_still_dropped_in_impute_mode(
+        self, noisy_history
+    ):
+        dup = noisy_history.merge(noisy_history.select(np.array([0, 3])))
+        clean, report = sanitize_dataset(dup, repair="impute")
+        assert report.dropped["duplicate_row"] == 2
+        assert len(clean) == len(noisy_history)
+
+    def test_flagged_rows_never_donate(self, noisy_history):
+        # Kill BOTH reps of a group: neither can serve as the other's
+        # donor, so both must be dropped, not imputed from garbage.
+        runtime = noisy_history.runtime.copy()
+        victim = 0
+        group = np.nonzero(
+            np.all(noisy_history.X == noisy_history.X[victim], axis=1)
+            & (noisy_history.nprocs == noisy_history.nprocs[victim])
+        )[0]
+        runtime[group] = np.nan
+        clean, report = sanitize_dataset(
+            _with_runtime(noisy_history, runtime), repair="impute"
+        )
+        assert report.dropped["nonfinite_runtime"] == len(group)
+        assert report.imputed == {}
+        assert len(clean) == len(noisy_history) - len(group)
+
+    def test_summary_mentions_imputation(self, noisy_history):
+        runtime = noisy_history.runtime.copy()
+        runtime[0] = np.nan
+        _, report = sanitize_dataset(
+            _with_runtime(noisy_history, runtime), repair="impute"
+        )
+        text = report.summary()
+        assert "imputed 1 rows from repeat-group medians" in text
+        assert "nonfinite_runtime=1" in text
+        assert report.to_dict()["imputed"] == {"nonfinite_runtime": 1}
+
+    def test_drop_mode_unchanged_by_default(self, noisy_history):
+        runtime = noisy_history.runtime.copy()
+        runtime[0] = np.nan
+        clean, report = sanitize_dataset(_with_runtime(noisy_history, runtime))
+        assert len(clean) == len(noisy_history) - 1
+        assert report.imputed == {} and report.rows_imputed == 0
+
+    def test_bad_repair_value_rejected(self, tiny_history):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="repair"):
+            sanitize_dataset(tiny_history, repair="fix")
+
+    def test_imputed_history_passes_validation(self, noisy_history):
+        runtime = noisy_history.runtime.copy()
+        runtime[[0, 7, 20]] = np.nan
+        clean, _ = sanitize_dataset(
+            _with_runtime(noisy_history, runtime), repair="impute"
+        )
+        assert validate_dataset(clean).ok
+
+
 class TestDropInvalidRows:
     def test_noop_on_clean_data(self, tiny_history):
         clean, counts = drop_invalid_rows(tiny_history)

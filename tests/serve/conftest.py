@@ -1,0 +1,50 @@
+"""Fixtures for the serving-layer tests.
+
+The fitted model and its artifact are session-scoped (fitting is the
+slow part); tests that mutate artifacts on disk re-save into their own
+tmp_path first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TwoLevelModel
+from repro.serve import ModelArtifact, ModelRegistry
+
+SMALL_SCALES = [32, 64, 128, 256]
+LARGE_SCALES = [512, 1024]
+
+
+@pytest.fixture(scope="session")
+def fitted_model(tiny_history):
+    return TwoLevelModel(
+        small_scales=SMALL_SCALES, n_clusters=2, random_state=0
+    ).fit(tiny_history)
+
+
+@pytest.fixture(scope="session")
+def artifact(tiny_history, fitted_model):
+    return ModelArtifact.create(
+        fitted_model,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+        train=tiny_history,
+    )
+
+
+@pytest.fixture(scope="session")
+def query_X(tiny_history):
+    """A handful of held-out query configurations."""
+    rng = np.random.default_rng(99)
+    lo = tiny_history.X.min(axis=0)
+    hi = tiny_history.X.max(axis=0)
+    return np.round(lo + (hi - lo) * rng.uniform(size=(4, len(lo))))
+
+
+@pytest.fixture
+def registry(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "registry")
+    reg.register("stencil", artifact)
+    return reg

@@ -1,0 +1,224 @@
+"""Artifact round-trip and corruption tests.
+
+The acceptance bar is *bit-identical* predictions: a loaded artifact
+must return exactly the same floats as the live model it was saved
+from, for every predictor kind the library ships.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_FACTORIES, CurveFitBaseline, make_baseline
+from repro.core import TwoLevelModel
+from repro.errors import (
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    ArtifactVersionError,
+    ConfigurationError,
+    PredictionRequestError,
+)
+from repro.serve import SCHEMA_VERSION, ModelArtifact, detect_kind
+from repro.serve.artifacts import (
+    KIND_CURVE_FIT,
+    KIND_DIRECT_ML,
+    KIND_TWO_LEVEL,
+    MANIFEST_NAME,
+    PAYLOAD_NAME,
+)
+
+from .conftest import LARGE_SCALES, SMALL_SCALES
+
+
+def _roundtrip(artifact, tmp_path):
+    artifact.save(tmp_path / "art")
+    return ModelArtifact.load(tmp_path / "art")
+
+
+# -- round-trips -----------------------------------------------------------
+
+
+def test_two_level_roundtrip_bit_identical(
+    tiny_history, fitted_model, artifact, tmp_path, query_X
+):
+    loaded = _roundtrip(artifact, tmp_path)
+    want = fitted_model.predict(query_X, LARGE_SCALES)
+    got = loaded.predict_matrix(query_X, LARGE_SCALES)
+    np.testing.assert_array_equal(got, want)
+    assert loaded.info.kind == KIND_TWO_LEVEL
+    assert loaded.info.app_name == tiny_history.app_name
+    assert loaded.info.param_names == tuple(tiny_history.param_names)
+
+
+@pytest.mark.parametrize("name", sorted(BASELINE_FACTORIES))
+def test_every_baseline_roundtrip_bit_identical(
+    name, tiny_history, tmp_path, query_X
+):
+    baseline = make_baseline(name, seed=0).fit(tiny_history)
+    art = ModelArtifact.create(
+        baseline,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+        train=tiny_history,
+    )
+    loaded = _roundtrip(art, tmp_path)
+    for p in LARGE_SCALES:
+        np.testing.assert_array_equal(
+            loaded.predictor.predict(query_X, p),
+            baseline.predict(query_X, p),
+        )
+    np.testing.assert_array_equal(
+        loaded.predict_matrix(query_X, LARGE_SCALES),
+        np.column_stack([baseline.predict(query_X, p) for p in LARGE_SCALES]),
+    )
+    assert loaded.info.kind == KIND_DIRECT_ML
+
+
+def test_curve_fit_roundtrip(tiny_history, tmp_path):
+    _, S = tiny_history.runtime_matrix(SMALL_SCALES)
+    cf = CurveFitBaseline(SMALL_SCALES).fit(S)
+    art = ModelArtifact.create(
+        cf,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+    )
+    loaded = _roundtrip(art, tmp_path)
+    np.testing.assert_array_equal(
+        loaded.predictor.predict(LARGE_SCALES), cf.predict(LARGE_SCALES)
+    )
+    assert loaded.info.kind == KIND_CURVE_FIT
+    assert not loaded.servable
+    with pytest.raises(PredictionRequestError, match="no parameter model"):
+        loaded.predict_matrix(np.zeros((1, len(tiny_history.param_names))), [512])
+
+
+def test_degraded_fit_roundtrip(tiny_history, tmp_path, query_X):
+    # 16 is absent from the history -> degraded fit with a FallbackEvent.
+    model = TwoLevelModel(
+        small_scales=[16] + list(SMALL_SCALES),
+        n_clusters=2,
+        random_state=0,
+        strict=False,
+    ).fit(tiny_history)
+    assert model.fit_report.degraded
+    art = ModelArtifact.create(
+        model,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+        train=tiny_history,
+    )
+    assert art.info.degraded
+    loaded = _roundtrip(art, tmp_path)
+    assert loaded.info.degraded
+    assert loaded.predictor.fit_report.degraded
+    np.testing.assert_array_equal(
+        loaded.predict_matrix(query_X, LARGE_SCALES),
+        model.predict(query_X, LARGE_SCALES),
+    )
+
+
+def test_manifest_provenance(tiny_history, artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    assert manifest["schema_version"] == SCHEMA_VERSION
+    assert manifest["app_name"] == tiny_history.app_name
+    assert manifest["train_hash"].startswith("sha256:")
+    assert manifest["n_train_rows"] == len(tiny_history)
+    assert manifest["scales"] == list(SMALL_SCALES)
+    assert manifest["payload_sha256"]
+    # describe() renders without touching the payload
+    assert tiny_history.app_name in artifact.info.describe()
+
+
+# -- rejection paths -------------------------------------------------------
+
+
+def test_corrupt_payload_is_refused(artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    payload = (path / PAYLOAD_NAME).read_bytes()
+    (path / PAYLOAD_NAME).write_bytes(payload[:-1] + bytes([payload[-1] ^ 1]))
+    with pytest.raises(ArtifactIntegrityError, match="refusing to unpickle"):
+        ModelArtifact.load(path)
+
+
+def test_truncated_payload_is_refused(artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    payload = (path / PAYLOAD_NAME).read_bytes()
+    (path / PAYLOAD_NAME).write_bytes(payload[: len(payload) // 2])
+    with pytest.raises(ArtifactIntegrityError):
+        ModelArtifact.load(path)
+
+
+def test_future_schema_version_is_refused(artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["schema_version"] = SCHEMA_VERSION + 1
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ArtifactVersionError, match="newer than"):
+        ModelArtifact.load(path)
+
+
+def test_missing_manifest_keys_are_refused(artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    del manifest["payload_sha256"]
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ArtifactFormatError, match="missing keys"):
+        ModelArtifact.load(path)
+
+
+def test_garbage_manifest_is_refused(artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    (path / MANIFEST_NAME).write_text("not json {")
+    with pytest.raises(ArtifactFormatError, match="not valid JSON"):
+        ModelArtifact.load(path)
+
+
+def test_not_an_artifact_dir(tmp_path):
+    with pytest.raises(ArtifactFormatError, match="no manifest.json"):
+        ModelArtifact.load(tmp_path)
+
+
+def test_non_payload_pickle_is_refused(artifact, tmp_path):
+    path = artifact.save(tmp_path / "art")
+    payload = pickle.dumps({"oops": 1})
+    (path / PAYLOAD_NAME).write_bytes(payload)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    import hashlib
+
+    manifest["payload_sha256"] = hashlib.sha256(payload).hexdigest()
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ArtifactFormatError, match="payload"):
+        ModelArtifact.load(path)
+
+
+def test_save_refuses_overwrite_by_default(artifact, tmp_path):
+    artifact.save(tmp_path / "art")
+    with pytest.raises(ArtifactFormatError, match="already exists"):
+        artifact.save(tmp_path / "art")
+    artifact.save(tmp_path / "art", overwrite=True)  # explicit is fine
+
+
+def test_unfitted_model_cannot_become_artifact(tiny_history):
+    with pytest.raises(ConfigurationError, match="unfitted"):
+        ModelArtifact.create(
+            TwoLevelModel(small_scales=SMALL_SCALES),
+            app_name=tiny_history.app_name,
+            param_names=tiny_history.param_names,
+        )
+
+
+def test_predict_matrix_validates_shape(artifact):
+    with pytest.raises(PredictionRequestError, match="shape"):
+        artifact.predict_matrix(np.zeros((2, 99)), [512])
+
+
+def test_detect_kind(fitted_model):
+    assert detect_kind(fitted_model) == KIND_TWO_LEVEL
+    assert detect_kind(make_baseline("direct-rf")) == KIND_DIRECT_ML
+    assert detect_kind(CurveFitBaseline(SMALL_SCALES)) == KIND_CURVE_FIT
+    assert detect_kind(object()) == "pickle"

@@ -1,0 +1,138 @@
+"""Registry versioning, resolution, pinning, and deletion semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.serve import ModelArtifact, ModelRegistry
+
+
+def test_register_assigns_monotonic_versions(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    assert reg.register("m", artifact) == 1
+    assert reg.register("m", artifact) == 2
+    assert reg.register("m", artifact) == 3
+    assert reg.versions("m") == [1, 2, 3]
+    assert reg.latest("m") == 3
+
+
+def test_layout_is_human_inspectable(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.register("m", artifact)
+    assert (tmp_path / "reg" / "m" / "v0001" / "manifest.json").exists()
+    assert (tmp_path / "reg" / "m" / "v0001" / "payload.pkl").exists()
+
+
+def test_resolution_order_explicit_pin_latest(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    for _ in range(3):
+        reg.register("m", artifact)
+    assert reg.resolve("m") == 3  # latest
+    reg.pin("m", 2)
+    assert reg.pinned("m") == 2
+    assert reg.resolve("m") == 2  # pin beats latest
+    assert reg.resolve("m", 1) == 1  # explicit beats pin
+    reg.unpin("m")
+    assert reg.pinned("m") is None
+    assert reg.resolve("m") == 3
+
+
+def test_delete_version_and_model(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    for _ in range(2):
+        reg.register("m", artifact)
+    reg.pin("m", 1)
+    reg.delete("m", 1)  # deleting the pinned version clears the pin
+    assert reg.versions("m") == [2]
+    assert reg.pinned("m") is None
+    reg.delete("m")
+    assert reg.models() == []
+    with pytest.raises(RegistryError, match="Unknown model"):
+        reg.versions("m")
+
+
+def test_delete_last_version_removes_model(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.register("m", artifact)
+    reg.delete("m", 1)
+    assert reg.models() == []
+
+
+def test_versions_never_renumber_after_delete(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    for _ in range(3):
+        reg.register("m", artifact)
+    reg.delete("m", 2)
+    assert reg.versions("m") == [1, 3]
+    assert reg.register("m", artifact) == 4
+
+
+def test_unknown_lookups_raise_registry_error(registry):
+    with pytest.raises(RegistryError, match="Unknown model"):
+        registry.resolve("nope")
+    with pytest.raises(RegistryError, match="no version 42"):
+        registry.resolve("stencil", 42)
+    with pytest.raises(RegistryError, match="no version"):
+        registry.pin("stencil", 42)
+
+
+@pytest.mark.parametrize(
+    "bad", ["", ".hidden", "has space", "a/b", "x" * 65, "-lead"]
+)
+def test_invalid_names_are_rejected(tmp_path, artifact, bad):
+    reg = ModelRegistry(tmp_path / "reg")
+    with pytest.raises(RegistryError, match="Invalid model name"):
+        reg.register(bad, artifact)
+
+
+def test_missing_root_without_create(tmp_path):
+    with pytest.raises(RegistryError, match="not a directory"):
+        ModelRegistry(tmp_path / "absent", create=False)
+
+
+def test_inspect_reads_manifest_only(registry, tiny_history):
+    info = registry.inspect("stencil")
+    assert info.app_name == tiny_history.app_name
+    assert info.n_train_rows == len(tiny_history)
+
+
+def test_load_roundtrips_through_registry(registry, artifact, query_X):
+    loaded = registry.load("stencil")
+    assert isinstance(loaded, ModelArtifact)
+    import numpy as np
+
+    np.testing.assert_array_equal(
+        loaded.predict_matrix(query_X, [512]),
+        artifact.predict_matrix(query_X, [512]),
+    )
+
+
+def test_entries_and_describe(registry, artifact):
+    registry.register("stencil", artifact)
+    registry.pin("stencil", 1)
+    entries = registry.entries()
+    assert [(e.name, e.version) for e in entries] == [
+        ("stencil", 1),
+        ("stencil", 2),
+    ]
+    assert entries[0].pinned and not entries[0].latest
+    assert entries[1].latest and not entries[1].pinned
+    text = registry.describe()
+    assert "stencil" in text and "v0001" in text and "v0002" in text
+
+
+def test_corrupt_pin_file(registry):
+    (registry.root / "stencil" / "PINNED").write_text("garbage")
+    with pytest.raises(RegistryError, match="Corrupt pin"):
+        registry.pinned("stencil")
+
+
+def test_staging_dirs_are_invisible(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.register("m", artifact)
+    # Simulate a crashed registration: a leftover staging dir must not
+    # show up as a version or break the next registration.
+    (tmp_path / "reg" / "m" / ".staging-v0002").mkdir()
+    assert reg.versions("m") == [1]
+    assert reg.register("m", artifact) == 2

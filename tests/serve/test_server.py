@@ -1,0 +1,209 @@
+"""HTTP server endpoint tests (real socket, ephemeral port)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import create_server
+
+from .conftest import LARGE_SCALES
+
+
+@pytest.fixture
+def server(registry):
+    srv = create_server(registry, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(_url(server, path), timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(server, path, payload):
+    req = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _params(tiny_history, row=0):
+    return {
+        name: float(v)
+        for name, v in zip(tiny_history.param_names, tiny_history.X[row])
+    }
+
+
+def test_healthz(server):
+    status, body = _get(server, "/healthz")
+    assert status == 200
+    assert body == {"status": "ok", "models": ["stencil"]}
+
+
+def test_models_listing(server, tiny_history):
+    status, body = _get(server, "/models")
+    assert status == 200
+    (entry,) = body["models"]
+    assert entry["name"] == "stencil"
+    assert entry["version"] == 1 and entry["latest"]
+    assert entry["manifest"]["app_name"] == tiny_history.app_name
+
+
+def test_predict_roundtrip(server, tiny_history, fitted_model):
+    status, body = _post(
+        server,
+        "/predict",
+        {"params": _params(tiny_history), "scales": list(LARGE_SCALES)},
+    )
+    assert status == 200
+    assert body["model"] == "stencil" and body["version"] == 1
+    assert body["scales"] == list(LARGE_SCALES)
+    want = fitted_model.predict(tiny_history.X[:1], LARGE_SCALES)[0]
+    assert body["predictions"] == [float(v) for v in want]
+
+
+def test_batch_roundtrip(server, tiny_history):
+    reqs = [
+        {"params": _params(tiny_history, i), "scales": [512, 1024]}
+        for i in range(3)
+    ]
+    status, body = _post(server, "/batch", {"requests": reqs})
+    assert status == 200
+    assert len(body["results"]) == 3
+    assert all(len(row) == 2 for row in body["results"])
+    # Same request through /predict agrees bit-for-bit.
+    status, single = _post(server, "/predict", reqs[0])
+    assert single["predictions"] == body["results"][0]
+
+
+def test_metrics_after_traffic(server, tiny_history):
+    payload = {"params": _params(tiny_history), "scales": [512]}
+    _post(server, "/predict", payload)
+    _post(server, "/predict", payload)
+    status, body = _get(server, "/metrics")
+    assert status == 200
+    (svc,) = body["services"]
+    assert svc["model"] == "stencil"
+    assert svc["cache"]["hits"] == 1 and svc["cache"]["misses"] == 1
+    assert svc["latency"]["count"] == 2
+
+
+def test_missing_param_is_400(server, tiny_history):
+    params = _params(tiny_history)
+    params.pop(next(iter(params)))
+    status, body = _post(
+        server, "/predict", {"params": params, "scales": [512]}
+    )
+    assert status == 400
+    assert body["error"] == "PredictionRequestError"
+    assert "Missing parameters" in body["message"]
+
+
+def test_unknown_model_is_404(server, tiny_history):
+    status, body = _post(
+        server,
+        "/predict",
+        {
+            "params": _params(tiny_history),
+            "scales": [512],
+            "model": "nope",
+        },
+    )
+    assert status == 404
+    assert body["error"] == "RegistryError"
+
+
+def test_unknown_version_is_404(server, tiny_history):
+    status, body = _post(
+        server,
+        "/predict",
+        {
+            "params": _params(tiny_history),
+            "scales": [512],
+            "version": 99,
+        },
+    )
+    assert status == 404
+
+
+def test_unknown_route_is_404(server):
+    status, body = _get(server, "/nope")
+    assert status == 404
+    assert body["error"] == "NotFound"
+    status, body = _post(server, "/nope", {})
+    assert status == 404
+
+
+def test_invalid_json_body_is_400(server):
+    req = urllib.request.Request(
+        _url(server, "/predict"),
+        data=b"not json",
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=10)
+    assert exc_info.value.code == 400
+
+
+def test_empty_body_is_400(server):
+    req = urllib.request.Request(
+        _url(server, "/predict"), data=b"", method="POST"
+    )
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=10)
+    assert exc_info.value.code == 400
+
+
+def test_bad_batch_shape_is_400(server):
+    status, body = _post(server, "/batch", {"requests": "nope"})
+    assert status == 400
+    status, body = _post(server, "/batch", {"requests": [1, 2]})
+    assert status == 400
+
+
+def test_model_field_optional_with_single_model(server, tiny_history):
+    # The registry holds exactly one model, so 'model' can be omitted
+    # (covered by test_predict_roundtrip) AND named explicitly:
+    status, body = _post(
+        server,
+        "/predict",
+        {
+            "params": _params(tiny_history),
+            "scales": [512],
+            "model": "stencil",
+        },
+    )
+    assert status == 200
+
+
+def test_default_model_failfast_on_unknown(registry):
+    from repro.errors import RegistryError
+
+    with pytest.raises(RegistryError):
+        create_server(registry, port=0, default_model="nope")

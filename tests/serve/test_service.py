@@ -1,0 +1,220 @@
+"""PredictionService: validation, caching, batching, and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CurveFitBaseline
+from repro.errors import ConfigurationError, PredictionRequestError
+from repro.serve import ModelArtifact, PredictionService
+
+from .conftest import LARGE_SCALES, SMALL_SCALES
+
+
+@pytest.fixture
+def service(artifact):
+    return PredictionService(artifact, name="stencil", version=1)
+
+
+def _params(tiny_history, row=0):
+    return dict(zip(tiny_history.param_names, tiny_history.X[row]))
+
+
+# -- validation ------------------------------------------------------------
+
+
+def test_validate_params_orders_by_schema(service, tiny_history):
+    params = _params(tiny_history)
+    shuffled = dict(reversed(list(params.items())))
+    np.testing.assert_array_equal(
+        service.validate_params(shuffled), tiny_history.X[0]
+    )
+
+
+@pytest.mark.parametrize(
+    "mutate, match",
+    [
+        (lambda p: p.pop(next(iter(p))), "Missing parameters"),
+        (lambda p: p.update(bogus=1), "Unknown parameters"),
+        (lambda p: p.update({next(iter(p)): "abc"}), "must be numbers"),
+        (lambda p: p.update({next(iter(p)): float("nan")}), "not finite"),
+        (lambda p: p.update({next(iter(p)): float("inf")}), "not finite"),
+    ],
+)
+def test_bad_params_raise(service, tiny_history, mutate, match):
+    params = _params(tiny_history)
+    mutate(params)
+    with pytest.raises(PredictionRequestError, match=match):
+        service.validate_params(params)
+
+
+def test_params_must_be_mapping(service):
+    with pytest.raises(PredictionRequestError, match="mapping"):
+        service.validate_params([1, 2, 3])
+
+
+@pytest.mark.parametrize("bad", [[], [0], [-4], [1.5], ["512"], "512", [True]])
+def test_bad_scales_raise(service, bad):
+    with pytest.raises(PredictionRequestError):
+        service.validate_scales(bad)
+
+
+def test_scales_accept_integral_floats(service):
+    assert service.validate_scales([512.0, 1024]) == [512, 1024]
+
+
+def test_non_servable_artifact_is_refused(tiny_history):
+    _, S = tiny_history.runtime_matrix(SMALL_SCALES)
+    cf = CurveFitBaseline(SMALL_SCALES).fit(S)
+    art = ModelArtifact.create(
+        cf,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+    )
+    with pytest.raises(ConfigurationError, match="cannot serve"):
+        PredictionService(art)
+
+
+# -- prediction + cache ----------------------------------------------------
+
+
+def test_predict_one_matches_model(service, fitted_model, tiny_history):
+    params = _params(tiny_history)
+    got = service.predict_one(params, LARGE_SCALES)
+    want = fitted_model.predict(tiny_history.X[:1], LARGE_SCALES)[0]
+    np.testing.assert_array_equal(got, want)
+
+
+def test_cache_hits_and_misses_are_counted(service, tiny_history):
+    params = _params(tiny_history)
+    service.predict_one(params, [512, 1024])
+    m = service.metrics()
+    assert m["cache"] == {
+        "size": 2,
+        "capacity": service.cache_size,
+        "hits": 0,
+        "misses": 2,
+        "hit_rate": 0.0,
+    }
+    service.predict_one(params, [512, 1024])
+    m = service.metrics()
+    assert m["cache"]["hits"] == 2
+    assert m["cache"]["misses"] == 2
+    assert m["cache"]["hit_rate"] == 0.5
+    assert m["requests"] == 2
+    assert m["predictions"] == 4
+
+
+def test_cached_values_are_bit_identical(service, tiny_history):
+    params = _params(tiny_history)
+    first = service.predict_one(params, LARGE_SCALES)
+    second = service.predict_one(params, LARGE_SCALES)
+    assert first == second
+
+
+def test_batch_matches_singles(service, tiny_history):
+    reqs = [
+        (_params(tiny_history, i), LARGE_SCALES) for i in range(0, 12, 4)
+    ]
+    batched = service.predict_batch(reqs)
+    service.clear_cache()
+    singles = [service.predict_one(p, s) for p, s in reqs]
+    assert batched == singles
+
+
+def test_batch_miss_fill_is_one_model_call(service, tiny_history, monkeypatch):
+    calls = []
+    real = service.artifact.predict_matrix
+
+    def spy(X, scales):
+        calls.append((len(X), list(scales)))
+        return real(X, scales)
+
+    monkeypatch.setattr(service.artifact, "predict_matrix", spy)
+    # Rows 0 and 4 are distinct configs (the history has 4 rows per
+    # config, one per scale).
+    reqs = [
+        (_params(tiny_history, 0), [512]),
+        (_params(tiny_history, 4), [1024]),
+        (_params(tiny_history, 0), [512, 2048]),
+    ]
+    service.predict_batch(reqs)
+    # Distinct rows x union of missing scales, answered in one call.
+    assert calls == [(2, [512, 1024, 2048])]
+
+
+def test_bad_request_fails_whole_batch_without_side_effects(
+    service, tiny_history
+):
+    reqs = [
+        (_params(tiny_history, 0), [512]),
+        ({"bogus": 1}, [512]),
+    ]
+    with pytest.raises(PredictionRequestError):
+        service.predict_batch(reqs)
+    m = service.metrics()
+    assert m["requests"] == 0
+    assert m["cache"]["size"] == 0
+
+
+def test_empty_batch_rejected(service):
+    with pytest.raises(PredictionRequestError, match="non-empty"):
+        service.predict_batch([])
+
+
+def test_lru_eviction(artifact, tiny_history):
+    service = PredictionService(artifact, cache_size=2)
+    a, b, c = (_params(tiny_history, i) for i in (0, 4, 8))  # distinct configs
+    service.predict_one(a, [512])
+    service.predict_one(b, [512])
+    service.predict_one(a, [512])  # refresh a; b is now LRU
+    service.predict_one(c, [512])  # evicts b
+    service.reset_metrics()
+    service.predict_one(a, [512])
+    assert service.metrics()["cache"]["hits"] == 1
+    service.predict_one(b, [512])
+    assert service.metrics()["cache"]["misses"] == 1
+
+
+def test_zero_cache_size_disables_caching(artifact, tiny_history):
+    service = PredictionService(artifact, cache_size=0)
+    params = _params(tiny_history)
+    service.predict_one(params, [512])
+    service.predict_one(params, [512])
+    m = service.metrics()
+    assert m["cache"]["size"] == 0
+    assert m["cache"]["hits"] == 0
+    assert m["cache"]["misses"] == 2
+
+
+def test_cache_keys_include_version(artifact, tiny_history):
+    s1 = PredictionService(artifact, version=1)
+    s2 = PredictionService(artifact, version=2)
+    params = _params(tiny_history)
+    k1 = (s1.version, s1.validate_params(params).tobytes(), 512)
+    k2 = (s2.version, s2.validate_params(params).tobytes(), 512)
+    assert k1 != k2
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def test_metrics_latency_snapshot(service, tiny_history):
+    for i in range(3):
+        service.predict_one(_params(tiny_history, i), [512])
+    lat = service.metrics()["latency"]
+    assert lat["count"] == 3
+    assert 0 <= lat["p50_ms"] <= lat["p95_ms"] <= lat["max_ms"]
+    assert lat["mean_ms"] > 0
+
+
+def test_reset_metrics_keeps_cache(service, tiny_history):
+    params = _params(tiny_history)
+    service.predict_one(params, [512])
+    service.reset_metrics()
+    m = service.metrics()
+    assert m["requests"] == 0 and m["latency"] == {"count": 0}
+    assert m["cache"]["size"] == 1  # cache survives the reset
+    service.predict_one(params, [512])
+    assert service.metrics()["cache"]["hits"] == 1

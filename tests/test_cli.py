@@ -291,6 +291,250 @@ class TestCompare:
         assert "two-level" in out and "direct-ridge" in out
 
 
+class TestServeWorkflow:
+    """fit -> save -> models -> predict from the registry."""
+
+    PARAMS = ["--set", "n=2048", "--set", "batches=8"]
+
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serve-cli")
+        data = tmp / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "fft2d", "--configs", "10",
+            "--scales", "32,64,128,256", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        model = tmp / "m.pkl"
+        code, _ = run_cli(
+            "fit", "--data", str(data), "--clusters", "2", "--out", str(model)
+        )
+        assert code == 0
+        registry = tmp / "registry"
+        code, out = run_cli(
+            "save", "--model", str(model), "--registry", str(registry),
+            "--name", "fft", "--meta", "owner=ci", "--meta", "run=42",
+        )
+        assert code == 0
+        assert "registered fft v0001" in out
+        return {"model": model, "registry": registry}
+
+    def test_save_second_version_and_listing(self, workspace):
+        code, out = run_cli(
+            "save", "--model", str(workspace["model"]),
+            "--registry", str(workspace["registry"]), "--name", "fft",
+        )
+        assert code == 0 and "v0002" in out
+        code, out = run_cli("models", "--registry", str(workspace["registry"]))
+        assert code == 0
+        assert "fft" in out and "v0001" in out and "v0002" in out
+
+    def test_models_inspect_shows_manifest(self, workspace):
+        code, out = run_cli(
+            "models", "--registry", str(workspace["registry"]),
+            "--name", "fft", "--version", "1",
+        )
+        assert code == 0
+        assert "fft2d" in out and "two-level" in out
+        assert "owner=ci" in out
+
+    def test_models_pin_and_unpin(self, workspace):
+        registry = str(workspace["registry"])
+        code, _ = run_cli(
+            "models", "--registry", registry, "--name", "fft",
+            "--pin-version", "1",
+        )
+        assert code == 0
+        code, out = run_cli("models", "--registry", registry)
+        assert code == 0 and "!" in out
+        code, _ = run_cli(
+            "models", "--registry", registry, "--name", "fft", "--unpin"
+        )
+        assert code == 0
+
+    def test_registry_predict_matches_pickle_predict(self, workspace):
+        argv = [*self.PARAMS, "--scales", "512,1024"]
+        code, from_pickle = run_cli(
+            "predict", "--model", str(workspace["model"]), *argv
+        )
+        assert code == 0
+        code, from_registry = run_cli(
+            "predict", "--registry", str(workspace["registry"]),
+            "--name", "fft", *argv,
+        )
+        assert code == 0
+        # Same floats, character for character.
+        assert from_registry == from_pickle
+
+    def test_registry_predict_cold_process_exact(self, workspace):
+        """The acceptance bar: a cold process reproduces the same floats."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        code, inprocess = run_cli(
+            "predict", "--registry", str(workspace["registry"]),
+            "--name", "fft", *self.PARAMS, "--scales", "512,1024",
+        )
+        assert code == 0
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "predict",
+             "--registry", str(workspace["registry"]), "--name", "fft",
+             *self.PARAMS, "--scales", "512,1024"],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": src_dir},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout == inprocess
+
+    def test_predict_needs_exactly_one_source(self, workspace, capsys):
+        code, _ = run_cli(
+            "predict", *self.PARAMS, "--scales", "512",
+        )
+        assert code == 2
+        assert "exactly one of --model or --registry" in capsys.readouterr().err
+        code, _ = run_cli(
+            "predict", "--model", str(workspace["model"]),
+            "--registry", str(workspace["registry"]), "--name", "fft",
+            *self.PARAMS, "--scales", "512",
+        )
+        assert code == 2
+
+    def test_predict_registry_requires_name(self, workspace, capsys):
+        code, _ = run_cli(
+            "predict", "--registry", str(workspace["registry"]),
+            *self.PARAMS, "--scales", "512",
+        )
+        assert code == 2
+        assert "--name" in capsys.readouterr().err
+
+    def test_predict_unknown_registry_model_exits_2(self, workspace, capsys):
+        code, _ = run_cli(
+            "predict", "--registry", str(workspace["registry"]),
+            "--name", "nope", *self.PARAMS, "--scales", "512",
+        )
+        assert code == 2
+        assert "error [RegistryError]" in capsys.readouterr().err
+
+    def test_models_delete_version(self, workspace):
+        registry = str(workspace["registry"])
+        code, _ = run_cli(
+            "save", "--model", str(workspace["model"]),
+            "--registry", registry, "--name", "doomed",
+        )
+        assert code == 0
+        code, out = run_cli(
+            "models", "--registry", registry, "--name", "doomed", "--delete"
+        )
+        assert code == 0
+        code, out = run_cli("models", "--registry", registry)
+        assert code == 0 and "doomed" not in out
+
+    def test_save_rejects_non_model_pickle(self, workspace, tmp_path, capsys):
+        import pickle
+
+        bogus = tmp_path / "bogus.pkl"
+        bogus.write_bytes(pickle.dumps({"nope": 1}))
+        code, _ = run_cli(
+            "save", "--model", str(bogus),
+            "--registry", str(workspace["registry"]), "--name", "x",
+        )
+        assert code == 2
+        assert "repro fit" in capsys.readouterr().err
+
+
+class TestFitOutputErrors:
+    @pytest.fixture
+    def history_path(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "5",
+            "--scales", "32,64,128", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        return data
+
+    def test_fit_nonexistent_out_dir_exits_2(self, history_path, capsys):
+        code, _ = run_cli(
+            "fit", "--data", str(history_path),
+            "--out", "/nonexistent-dir/sub/m.pkl",
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error [ConfigurationError]" in err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+    def test_fit_out_parent_is_file_exits_2(self, history_path, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        code, _ = run_cli(
+            "fit", "--data", str(history_path),
+            "--out", str(blocker / "m.pkl"),
+        )
+        assert code == 2
+        assert "error [ConfigurationError]" in capsys.readouterr().err
+
+    def test_fit_out_is_directory_exits_2(self, history_path, tmp_path, capsys):
+        code, _ = run_cli(
+            "fit", "--data", str(history_path), "--out", str(tmp_path)
+        )
+        assert code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_fit_fails_before_fitting(self, history_path, capsys):
+        # The writability check runs before data loading/fitting, so the
+        # error arrives instantly even with a bad --data path too.
+        code, _ = run_cli(
+            "fit", "--data", "/nonexistent-data.json",
+            "--out", "/nonexistent-dir/m.pkl",
+        )
+        assert code == 2
+        assert "ConfigurationError" in capsys.readouterr().err
+
+
+class TestValidateImpute:
+    @pytest.fixture
+    def dirty_path(self, tmp_path):
+        import json
+
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "5",
+            "--scales", "32,64", "--reps", "3", "--out", str(data),
+        )
+        assert code == 0
+        payload = json.loads(data.read_text())
+        payload["runtime"][0] = None
+        data.write_text(json.dumps(payload))
+        return data
+
+    def test_validate_repair_impute(self, dirty_path, tmp_path):
+        clean = tmp_path / "clean.json"
+        code, out = run_cli(
+            "validate", "--data", str(dirty_path),
+            "--sanitize", str(clean), "--repair", "impute",
+        )
+        assert code == 0
+        assert "imputed 1 rows" in out
+        # No rows lost: the NaN was filled from its repeat group.
+        code, out = run_cli("describe", "--data", str(clean))
+        assert code == 0 and "runs        : 30" in out
+
+    def test_fit_repair_impute(self, dirty_path, tmp_path):
+        model = tmp_path / "m.pkl"
+        code, out = run_cli(
+            "fit", "--data", str(dirty_path), "--sanitize",
+            "--repair", "impute", "--clusters", "2", "--out", str(model),
+        )
+        assert code == 0 and model.exists()
+        assert "imputed" in out
+
+
 class TestPredictInterval:
     def test_interval_output(self, tmp_path):
         data = tmp_path / "h.json"
