@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the campaign loop's resume guarantee.
+
+Runs a tiny two-round collection campaign twice:
+
+* once uninterrupted, and
+* once killed after two bundles (via the failure-injection hook the
+  test suite uses) and then resumed from its checkpoint.
+
+The resumed campaign must reproduce the uninterrupted run exactly —
+same MAPE trajectory and a byte-identical budget ledger (every charged
+attempt, backoff, and wasted core-second) — and must never exceed its
+allocation.  Exits non-zero on any mismatch; used by the CI
+``campaign-smoke`` lane.
+
+Usage: python scripts/campaign_smoke.py  (no arguments; uses a temp
+dir, so it is safe to run anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign import Campaign, CampaignConfig  # noqa: E402
+
+CONFIG = dict(
+    app_name="stencil3d",
+    allocation_core_seconds=20000.0,
+    round_budget_core_seconds=150.0,
+    small_scales=(32, 64, 128),
+    eval_scales=(512,),
+    max_rounds=2,
+    n_seed_configs=5,
+    n_candidates=30,
+    n_eval_configs=8,
+    time_limit=10.0,
+    n_clusters=2,
+    seed=3,
+)
+
+
+def ledger_bytes(report) -> str:
+    return json.dumps(report.ledger.to_dict(), sort_keys=True)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-smoke-") as tmp:
+        tmp = Path(tmp)
+
+        print("== uninterrupted campaign ==")
+        straight = Campaign(CampaignConfig(**CONFIG), tmp / "straight").run()
+        if not straight.done:
+            sys.exit("FAIL: uninterrupted campaign did not finish")
+        print(straight.summary())
+
+        print("== interrupted campaign (killed after 2 bundles) ==")
+        killed = Campaign(CampaignConfig(**CONFIG), tmp / "killed")
+        partial = killed.run(stop_after_bundles=2)
+        if partial.done:
+            sys.exit("FAIL: interruption hook did not interrupt")
+        print("   interrupted mid-round, resuming from checkpoint ...")
+        resumed = killed.run(resume=True)
+        if not resumed.done:
+            sys.exit("FAIL: resumed campaign did not finish")
+
+        if resumed.mape_trajectory != straight.mape_trajectory:
+            sys.exit(
+                "FAIL: resumed MAPE trajectory diverged\n"
+                f"straight: {straight.mape_trajectory}\n"
+                f"resumed : {resumed.mape_trajectory}"
+            )
+        print("== MAPE trajectory identical ==")
+
+        a, b = ledger_bytes(straight), ledger_bytes(resumed)
+        if a != b:
+            sys.exit(
+                f"FAIL: resumed ledger is not byte-identical\n"
+                f"straight: {a}\nresumed : {b}"
+            )
+        print("== ledger byte-identical across kill/resume ==")
+
+        for rep in (straight, resumed):
+            if rep.ledger.spent > rep.ledger.allocation:
+                sys.exit(
+                    f"FAIL: allocation exceeded: {rep.ledger.spent} > "
+                    f"{rep.ledger.allocation}"
+                )
+        print("== allocation respected ==")
+
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,10 @@ Subpackages
 ``repro.serve``
     Model persistence (versioned artifacts), the model registry, and
     the batch/online prediction service + HTTP server.
+``repro.campaign``
+    Closed-loop, budget-aware history-collection campaigns
+    (plan -> execute -> sanitize -> refit -> register) with resumable
+    checkpointing and core-second ledger accounting.
 ``repro.errors``
     Structured exception taxonomy (everything derives from
     :class:`~repro.errors.ReproError`).
@@ -47,7 +51,7 @@ from .errors import (
     ReproError,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "TwoLevelModel",

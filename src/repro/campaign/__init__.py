@@ -1,0 +1,25 @@
+"""Closed-loop, budget-aware history-collection campaigns.
+
+Turns the paper's one-shot history → model pipeline into an iterative
+process under a total core-hour allocation: plan (acquisition by
+ensemble disagreement per core-second) → execute (every attempt and
+backoff charged) → sanitize → refit → register, with atomic single-file
+checkpointing so a killed campaign resumes to byte-identical ledger
+totals.  See ``docs/campaign.md``.
+"""
+
+from .config import CampaignConfig
+from .ledger import BudgetLedger, RoundLedger, worst_case_run_cost
+from .runner import Campaign, CampaignReport
+from .state import CampaignState, PlannedBundle
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignState",
+    "PlannedBundle",
+    "BudgetLedger",
+    "RoundLedger",
+    "worst_case_run_cost",
+]

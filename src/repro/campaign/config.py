@@ -1,0 +1,227 @@
+"""Configuration of a history-collection campaign.
+
+A :class:`CampaignConfig` pins down everything a campaign needs to be
+*deterministic and resumable*: the application and scales, the total
+core-second allocation, the per-run execution budget and retry policy,
+the acquisition settings, and the stop rules.  The config round-trips
+through JSON (``to_dict`` / ``from_dict``) and its hash is stored in
+every checkpoint, so resuming with a different config is refused
+instead of silently mixing two campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..sim.budget import ExecutionBudget, RetryPolicy
+
+__all__ = ["CampaignConfig"]
+
+#: Bundle-selection strategies: ``planner`` ranks by ensemble
+#: disagreement per core-second (the campaign's point), ``random``
+#: draws bundles uniformly from the same candidate pool (the control
+#: arm of the benchmark), ``grid`` walks a full-factorial grid of the
+#: parameter space in order.
+SELECTION_STRATEGIES = ("planner", "random", "grid")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign run depends on.
+
+    Attributes
+    ----------
+    app_name:
+        Application whose history is being collected.
+    small_scales:
+        Process counts every bundle is executed at.
+    eval_scales:
+        Large target scales the per-round MAPE trajectory is measured
+        at (via a held-out oracle test set — see ``docs/campaign.md``).
+    allocation_core_seconds:
+        Total core-second allocation; every attempt and backoff is
+        charged against it.
+    max_rounds:
+        Planner rounds after the seed round.
+    round_budget_core_seconds:
+        Estimated-cost budget one round's plan may fill (None derives
+        ``allocation / (max_rounds + 1)``).  Budget-based rounds are
+        what makes cost-normalized acquisition comparable across
+        selection strategies: every strategy gets the same core-seconds
+        per round, not the same bundle count.
+    bundles_per_round:
+        Hard cap on bundles per round (a backstop on top of the round
+        budget — also fewer when the remaining allocation cannot
+        afford their worst case).
+    n_seed_configs:
+        Bundles collected up front (round 0) before the first fit.
+    repetitions:
+        Repeats per (configuration, scale).
+    n_candidates:
+        Candidate pool size the planner scores each round.
+    selection:
+        Bundle-selection strategy (see ``SELECTION_STRATEGIES``).
+    time_limit:
+        Per-run wall-clock limit in seconds (required: it is what makes
+        a run's worst-case cost boundable).
+    max_retries:
+        Resubmissions granted to a run killed at the limit.
+    escalation:
+        Budget multiplier per resubmission (>= 1).
+    backoff_base, backoff_jitter:
+        Resubmission queue-wait model (charged against the allocation).
+    mape_target:
+        Stop once the round MAPE reaches this (None disables).
+    plateau_rounds, plateau_tol:
+        Stop after this many consecutive rounds whose planner
+        disagreement improved by less than ``plateau_tol`` (relative).
+    n_eval_configs:
+        Size of the held-out oracle evaluation set.
+    machine:
+        Machine preset name.
+    noise_sigma:
+        Run-to-run noise of the simulated executions.
+    n_clusters:
+        Extrapolation-level clusters of the refitted models.
+    model_name:
+        Registry name each round's model is registered under.
+    keep_last:
+        Registry retention per round (None = no pruning).
+    seed:
+        Master seed (sampling, execution noise, refits).
+    """
+
+    app_name: str
+    allocation_core_seconds: float
+    small_scales: tuple[int, ...] = (32, 64, 128)
+    eval_scales: tuple[int, ...] = (512, 1024)
+    max_rounds: int = 3
+    round_budget_core_seconds: float | None = None
+    bundles_per_round: int = 128
+    n_seed_configs: int = 10
+    repetitions: int = 1
+    n_candidates: int = 100
+    selection: str = "planner"
+    time_limit: float = 60.0
+    max_retries: int = 1
+    escalation: float = 1.5
+    backoff_base: float = 5.0
+    backoff_jitter: float = 0.1
+    mape_target: float | None = None
+    plateau_rounds: int = 2
+    plateau_tol: float = 0.02
+    n_eval_configs: int = 20
+    machine: str = "default-cluster"
+    noise_sigma: float = 0.03
+    n_clusters: int = 3
+    model_name: str = "campaign"
+    keep_last: int | None = None
+    seed: int = 0
+    censor_margin: float = 0.1
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.allocation_core_seconds <= 0:
+            raise ConfigurationError(
+                "allocation_core_seconds must be positive."
+            )
+        if len(self.small_scales) < 2:
+            raise ConfigurationError(
+                "small_scales needs >= 2 scales to fit scalability curves."
+            )
+        if not self.eval_scales:
+            raise ConfigurationError("eval_scales must be non-empty.")
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1.")
+        if self.round_budget_core_seconds is not None and (
+            self.round_budget_core_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "round_budget_core_seconds must be positive (or None)."
+            )
+        if self.bundles_per_round < 1:
+            raise ConfigurationError("bundles_per_round must be >= 1.")
+        if self.n_seed_configs < 2:
+            raise ConfigurationError(
+                "n_seed_configs must be >= 2 (the first fit needs them)."
+            )
+        if self.repetitions < 1:
+            raise ConfigurationError("repetitions must be >= 1.")
+        if self.n_candidates < 1:
+            raise ConfigurationError("n_candidates must be >= 1.")
+        if self.selection not in SELECTION_STRATEGIES:
+            raise ConfigurationError(
+                f"selection must be one of {SELECTION_STRATEGIES}, "
+                f"got {self.selection!r}."
+            )
+        if self.time_limit <= 0:
+            raise ConfigurationError(
+                "time_limit must be positive (it bounds per-run cost)."
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0.")
+        if self.mape_target is not None and self.mape_target <= 0:
+            raise ConfigurationError("mape_target must be positive.")
+        if self.plateau_rounds < 1:
+            raise ConfigurationError("plateau_rounds must be >= 1.")
+        if self.plateau_tol < 0:
+            raise ConfigurationError("plateau_tol must be >= 0.")
+        if self.n_eval_configs < 1:
+            raise ConfigurationError("n_eval_configs must be >= 1.")
+        # Normalize sequences so hashes are stable regardless of the
+        # caller passing lists or tuples.
+        object.__setattr__(
+            self, "small_scales",
+            tuple(int(s) for s in sorted(self.small_scales)),
+        )
+        object.__setattr__(
+            self, "eval_scales",
+            tuple(int(s) for s in sorted(self.eval_scales)),
+        )
+        # Validate the derived policy objects eagerly (fail at config
+        # construction, not mid-campaign).
+        self.execution_budget()
+        self.retry_policy()
+
+    # -- derived execution policy ------------------------------------------
+
+    def effective_round_budget(self) -> float:
+        """Estimated-cost budget one round's plan may fill."""
+        if self.round_budget_core_seconds is not None:
+            return self.round_budget_core_seconds
+        return self.allocation_core_seconds / (self.max_rounds + 1)
+
+    def execution_budget(self) -> ExecutionBudget:
+        return ExecutionBudget(limit=self.time_limit)
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.max_retries + 1,
+            backoff_base=self.backoff_base,
+            backoff_jitter=self.backoff_jitter,
+            escalation=self.escalation,
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["small_scales"] = list(self.small_scales)
+        payload["eval_scales"] = list(self.eval_scales)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignConfig":
+        data = dict(payload)
+        data["small_scales"] = tuple(data["small_scales"])
+        data["eval_scales"] = tuple(data["eval_scales"])
+        return cls(**data)
+
+    def fingerprint(self) -> str:
+        """Stable hash guarding checkpoints against config drift."""
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]

@@ -1,0 +1,271 @@
+"""Core-second accounting for a collection campaign.
+
+The ledger is the campaign's source of truth for "how much of the
+allocation is gone".  Its charging rule closes the ROADMAP's
+"queue-aware budgets" item: **every submission is charged**, not just
+the one that produced a measurement —
+
+* a successful attempt charges ``runtime * nprocs`` core-seconds,
+* a killed attempt charges its full wall-clock limit times ``nprocs``
+  (the machine ran it to the kill),
+* every resubmission backoff charges ``backoff * nprocs`` (the queue
+  wait holds the allocation's reservation),
+
+so censored-and-retried runs drain the allocation exactly as they do a
+real core-hour account.  The split between *useful* and *wasted*
+core-seconds (killed attempts + backoff + fully censored runs) is kept
+per round, which is what the campaign report plots.
+
+:func:`worst_case_run_cost` bounds the cost of one run *before* it is
+submitted — the campaign refuses to start a bundle whose worst case
+does not fit in the remaining allocation, which is how the "never
+exceed the allocation, retries included" guarantee is enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError
+from ..log import get_logger
+from ..sim.budget import ExecutionBudget, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..sim.machine import Machine
+    from ..sim.trace import ExecutionRecord
+
+__all__ = ["RoundLedger", "BudgetLedger", "worst_case_run_cost"]
+
+logger = get_logger("campaign.ledger")
+
+
+def worst_case_run_cost(
+    budget: ExecutionBudget,
+    retry: RetryPolicy,
+    nprocs: int,
+    machine: "Machine | None" = None,
+) -> float:
+    """Upper bound on the core-seconds one run can charge.
+
+    Sums, over every allowed attempt, the escalated wall-clock limit
+    plus the maximum (jitter-inflated) backoff, times ``nprocs``.
+    Requires a bounded budget — an unlimited run has no worst case.
+    """
+    if not budget.bounded:
+        raise ConfigurationError(
+            "worst_case_run_cost needs a bounded ExecutionBudget."
+        )
+    total = 0.0
+    for attempt in range(retry.max_attempts):
+        limit = budget.scaled(retry.budget_factor(attempt)).limit_for(
+            machine, nprocs
+        )
+        assert limit is not None  # bounded budget
+        total += limit * nprocs
+        if attempt > 0:
+            max_backoff = (
+                retry.backoff_base
+                * retry.backoff_factor ** (attempt - 1)
+                * (1.0 + retry.backoff_jitter)
+            )
+            total += max_backoff * nprocs
+    return total
+
+
+@dataclass
+class RoundLedger:
+    """Core-second accounting of one campaign round.
+
+    Attributes
+    ----------
+    round_index:
+        0 for the seed round, 1.. for planner rounds.
+    planned:
+        Predicted cost of the bundles selected for the round.
+    charged:
+        Core-seconds actually charged (useful + wasted).
+    wasted:
+        Charged core-seconds that bought no measurement: killed
+        attempts, backoff waits, and fully censored runs.
+    backoff:
+        The queue-wait share of ``wasted``.
+    n_runs:
+        Runs submitted (each may span several attempts).
+    n_censored:
+        Runs killed on every attempt (no measurement kept).
+    n_resubmitted:
+        Runs that finished only after >= 1 resubmission.
+    """
+
+    round_index: int
+    planned: float = 0.0
+    charged: float = 0.0
+    wasted: float = 0.0
+    backoff: float = 0.0
+    n_runs: int = 0
+    n_censored: int = 0
+    n_resubmitted: int = 0
+
+    @property
+    def useful(self) -> float:
+        return self.charged - self.wasted
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "round_index": self.round_index,
+            "planned": self.planned,
+            "charged": self.charged,
+            "wasted": self.wasted,
+            "backoff": self.backoff,
+            "n_runs": self.n_runs,
+            "n_censored": self.n_censored,
+            "n_resubmitted": self.n_resubmitted,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RoundLedger":
+        return cls(**{k: payload[k] for k in (
+            "round_index", "planned", "charged", "wasted", "backoff",
+            "n_runs", "n_censored", "n_resubmitted",
+        )})
+
+
+class BudgetLedger:
+    """Campaign-wide core-second allocation with per-round accounting.
+
+    Every charge goes to the currently open round (see
+    :meth:`open_round`); cumulative totals are sums over rounds, so a
+    checkpointed ledger restored mid-campaign reports exactly the same
+    numbers as one that never stopped.
+    """
+
+    def __init__(self, allocation_core_seconds: float) -> None:
+        if allocation_core_seconds <= 0:
+            raise ConfigurationError(
+                "allocation_core_seconds must be positive."
+            )
+        self.allocation = float(allocation_core_seconds)
+        self.rounds: list[RoundLedger] = []
+
+    # -- round lifecycle ---------------------------------------------------
+
+    def open_round(self, round_index: int, planned: float = 0.0) -> RoundLedger:
+        """Start (or re-open, on resume) the ledger row for one round."""
+        for row in self.rounds:
+            if row.round_index == round_index:
+                if planned:
+                    row.planned = planned
+                return row
+        row = RoundLedger(round_index=round_index, planned=planned)
+        self.rounds.append(row)
+        return row
+
+    def round(self, round_index: int) -> RoundLedger:
+        for row in self.rounds:
+            if row.round_index == round_index:
+                return row
+        raise ConfigurationError(f"No ledger round {round_index}.")
+
+    @property
+    def _current(self) -> RoundLedger:
+        if not self.rounds:
+            raise ConfigurationError(
+                "No ledger round open; call open_round first."
+            )
+        return self.rounds[-1]
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_record(self, record: "ExecutionRecord") -> float:
+        """Charge one finished run (all its attempts) to the open round.
+
+        Returns the core-seconds charged.  ``record.censored`` runs are
+        fully wasted; runs with an attempt trace charge every killed
+        attempt and backoff on top of the final runtime.
+        """
+        row = self._current
+        nprocs = record.nprocs
+        if record.attempts is None:
+            charged = record.runtime * nprocs
+            wasted = charged if record.censored else 0.0
+            backoff = 0.0
+        else:
+            trace = record.attempts
+            charged = trace.total_cost(nprocs)
+            wasted = trace.wasted_cost(nprocs)
+            backoff = sum(a.backoff for a in trace) * nprocs
+        row.charged += charged
+        row.wasted += wasted
+        row.backoff += backoff
+        row.n_runs += 1
+        if record.censored:
+            row.n_censored += 1
+        elif record.resubmitted:
+            row.n_resubmitted += 1
+        if self.remaining < 0:
+            logger.warning(
+                "ledger overdrawn: spent %.1f of %.1f core-seconds",
+                self.spent, self.allocation,
+            )
+        return charged
+
+    # -- totals ------------------------------------------------------------
+
+    @property
+    def spent(self) -> float:
+        return sum(r.charged for r in self.rounds)
+
+    @property
+    def wasted(self) -> float:
+        return sum(r.wasted for r in self.rounds)
+
+    @property
+    def planned(self) -> float:
+        return sum(r.planned for r in self.rounds)
+
+    @property
+    def remaining(self) -> float:
+        return self.allocation - self.spent
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    def affords(self, worst_case_cost: float) -> bool:
+        """True when the remaining allocation covers a worst case."""
+        return worst_case_cost <= self.remaining
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "allocation": self.allocation,
+            "spent": self.spent,
+            "wasted": self.wasted,
+            "remaining": self.remaining,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "BudgetLedger":
+        ledger = cls(payload["allocation"])
+        ledger.rounds = [
+            RoundLedger.from_dict(r) for r in payload["rounds"]
+        ]
+        return ledger
+
+    def summary(self) -> str:
+        lines = [
+            f"ledger: {self.spent:.1f} / {self.allocation:.1f} core-seconds "
+            f"spent ({self.wasted:.1f} wasted on retries/backoff/censoring)",
+        ]
+        for r in self.rounds:
+            label = "seed " if r.round_index == 0 else f"round {r.round_index}"
+            lines.append(
+                f"  {label}: planned {r.planned:8.1f}  charged "
+                f"{r.charged:8.1f}  wasted {r.wasted:7.1f}  "
+                f"runs {r.n_runs:3d}  censored {r.n_censored:2d}  "
+                f"resubmitted {r.n_resubmitted:2d}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,560 @@
+"""The closed campaign loop: plan → execute → sanitize → refit → register.
+
+A :class:`Campaign` turns the paper's one-shot pipeline into an
+iterative, budget-aware collection process.  Round 0 seeds the history
+with a Latin-hypercube batch; every later round asks the
+:class:`~repro.core.planning.HistoryPlanner` (fitted on everything
+collected so far) which configuration bundles buy the most ensemble
+disagreement per core-second, executes the winners under the campaign's
+wall-clock budget and retry policy — charging *every* attempt and
+backoff to the :class:`~repro.campaign.ledger.BudgetLedger` — then
+sanitizes the merged history, refits the
+:class:`~repro.core.two_level.TwoLevelModel`, measures the large-scale
+error trajectory, and registers the round's model.
+
+Budget guarantee
+----------------
+A bundle is only started when the *worst case* of all its runs —
+escalated wall-clock limits plus maximum jittered backoffs, times
+processes — fits in the remaining allocation, so the campaign can never
+overdraw even when every run times out on every attempt.
+
+Resumability
+------------
+State is checkpointed after every bundle (see
+:mod:`repro.campaign.state`).  All randomness is derived from the
+config seed and the run/round identity, so a killed campaign resumed
+with ``--resume`` re-executes at most the bundle in flight — with the
+same seeds, charging the same core-seconds — and its final ledger is
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..apps import get_app
+from ..core.planning import ConfigRecommendation, HistoryPlanner
+from ..core.two_level import TwoLevelModel
+from ..core.uncertainty import EnsembleUncertainty
+from ..data.dataset import ExecutionDataset
+from ..data.generator import sample_grid, sample_latin_hypercube
+from ..errors import ConfigurationError, ExecutionTimeoutError
+from ..log import get_logger
+from ..robustness.sanitize import sanitize_dataset
+from ..sim.execution import Executor, NoiseModel
+from ..sim.machines import get_machine
+from .config import CampaignConfig
+from .ledger import BudgetLedger, worst_case_run_cost
+from .state import CampaignState, PlannedBundle
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..serve.registry import ModelRegistry
+
+__all__ = ["Campaign", "CampaignReport"]
+
+logger = get_logger("campaign.runner")
+
+#: Offset folded into the seed for the held-out oracle evaluation set,
+#: so it never collides with collection sampling.
+_EVAL_SEED_OFFSET = 424242
+#: Per-round offset for candidate pools (round r uses seed + r * this).
+_ROUND_SEED_STRIDE = 1000
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Outcome of a campaign run (possibly partial, when interrupted).
+
+    Attributes
+    ----------
+    config:
+        The campaign configuration.
+    rounds:
+        One metrics dict per *closed* round: ``round``, ``mape``,
+        ``interval_width``, ``disagreement``, ``history_rows``,
+        ``charged``, ``wasted``, ``version``.
+    ledger:
+        The final budget ledger.
+    stop_reason:
+        Why the campaign stopped (None when interrupted mid-run).
+    registered:
+        Registry versions produced, in round order.
+    done:
+        False when the run was interrupted (``stop_after_bundles``) and
+        a ``--resume`` is expected to continue it.
+    """
+
+    config: CampaignConfig
+    rounds: list[dict[str, Any]]
+    ledger: BudgetLedger
+    stop_reason: str | None
+    registered: list[int] = field(default_factory=list)
+    done: bool = True
+
+    @property
+    def mape_trajectory(self) -> list[float]:
+        return [r["mape"] for r in self.rounds]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "rounds": self.rounds,
+            "ledger": self.ledger.to_dict(),
+            "stop_reason": self.stop_reason,
+            "registered": self.registered,
+            "done": self.done,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign: {self.config.app_name} "
+            f"({self.config.selection} selection, seed {self.config.seed})",
+        ]
+        if not self.done:
+            lines.append("status : INTERRUPTED (resume to continue)")
+        else:
+            lines.append(f"status : finished — {self.stop_reason}")
+        for r in self.rounds:
+            label = "seed " if r["round"] == 0 else f"round {r['round']}"
+            ver = f"v{r['version']:04d}" if r.get("version") else "-"
+            lines.append(
+                f"  {label}: MAPE {100 * r['mape']:6.2f} %  "
+                f"interval {100 * r['interval_width']:6.2f} %  "
+                f"disagreement {r['disagreement']:.4f}  "
+                f"rows {r['history_rows']:4d}  {ver}"
+            )
+        lines.append(self.ledger.summary())
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Closed-loop history-collection campaign (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        Campaign configuration.
+    checkpoint_dir:
+        Directory holding the single-file ``campaign.json`` checkpoint.
+    registry:
+        Optional :class:`~repro.serve.registry.ModelRegistry`; when
+        given, each round's refit model is registered under
+        ``config.model_name`` with campaign provenance metadata, and
+        pruned to ``config.keep_last`` versions.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        checkpoint_dir: str | Path,
+        registry: "ModelRegistry | None" = None,
+    ) -> None:
+        self.config = config
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.registry = registry
+        self.app = get_app(config.app_name)
+        self.machine = get_machine(config.machine)
+        self.executor = Executor(
+            machine=self.machine,
+            noise=NoiseModel(sigma=config.noise_sigma),
+            seed=config.seed,
+            budget=config.execution_budget(),
+            retry=config.retry_policy(),
+        )
+
+    # -- cost bounds --------------------------------------------------------
+
+    def bundle_worst_case(self) -> float:
+        """Upper bound on the core-seconds one bundle can charge."""
+        per_run = [
+            worst_case_run_cost(
+                self.config.execution_budget(),
+                self.config.retry_policy(),
+                nprocs=s,
+                machine=self.machine,
+            )
+            for s in self.config.small_scales
+        ]
+        return self.config.repetitions * float(sum(per_run))
+
+    # -- entry point --------------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        stop_after_bundles: int | None = None,
+    ) -> CampaignReport:
+        """Run (or resume) the campaign to completion.
+
+        ``stop_after_bundles`` is a failure-injection hook for tests
+        and the smoke script: the run checkpoints and returns a partial
+        report (``done=False``) after executing that many bundles,
+        exactly as if the process had been killed there.
+        """
+        if resume:
+            state = CampaignState.load(
+                self.checkpoint_dir, expected_hash=self.config.fingerprint()
+            )
+            if state.done:
+                return self._report(state)
+            logger.info(
+                "resuming campaign at round %d, bundle %d/%d",
+                state.round_index, state.bundle_cursor, len(state.planned),
+            )
+        else:
+            if (self.checkpoint_dir / "campaign.json").exists():
+                raise ConfigurationError(
+                    f"{self.checkpoint_dir} already holds a campaign "
+                    "checkpoint; pass resume=True (or --resume) to "
+                    "continue it, or choose a fresh directory."
+                )
+            state = CampaignState(
+                config_hash=self.config.fingerprint(),
+                ledger=BudgetLedger(self.config.allocation_core_seconds),
+            )
+            state.start_round(0, self._seed_plan())
+            state.ledger.open_round(
+                0, planned=sum(b.est_cost for b in state.planned)
+            )
+            state.save(self.checkpoint_dir)
+
+        executed = 0
+        while True:
+            executed += self._execute_pending(state, stop_after_bundles, executed)
+            if stop_after_bundles is not None and executed >= stop_after_bundles:
+                if state.bundle_cursor < len(state.planned):
+                    return self._report(state, done=False)
+
+            model: TwoLevelModel | None = None
+            if len(state.trajectory) <= state.round_index:
+                if state.history is None:
+                    raise ConfigurationError(
+                        "Seed round collected no usable history — the "
+                        "allocation cannot afford a single bundle's worst "
+                        "case (raise allocation_core_seconds or lower "
+                        "time_limit/max_retries)."
+                    )
+                model = self._close_round(state)
+                state.save(self.checkpoint_dir)
+
+            reason = self._stop_reason(state)
+            if reason is not None:
+                state.finish(reason)
+                state.save(self.checkpoint_dir)
+                logger.info("campaign finished: %s", reason)
+                return self._report(state)
+
+            if model is None:  # resumed after a closed round: refit
+                model = self._fit(state.history)
+            next_round = state.round_index + 1
+            planned = self._plan_round(model, next_round)
+            if not planned:
+                state.finish("budget-exhausted")
+                state.save(self.checkpoint_dir)
+                return self._report(state)
+            state.start_round(next_round, planned)
+            state.ledger.open_round(
+                next_round, planned=sum(b.est_cost for b in planned)
+            )
+            state.save(self.checkpoint_dir)
+
+    # -- round internals ----------------------------------------------------
+
+    def _seed_plan(self) -> list[PlannedBundle]:
+        rng = np.random.default_rng(self.config.seed)
+        configs = sample_latin_hypercube(
+            self.app, self.config.n_seed_configs, rng
+        )
+        wc = self.bundle_worst_case()
+        return [PlannedBundle(params=c, est_cost=wc) for c in configs]
+
+    def _execute_pending(
+        self,
+        state: CampaignState,
+        stop_after_bundles: int | None,
+        already_executed: int,
+    ) -> int:
+        """Execute the current round's remaining bundles; returns how
+        many bundles this call executed.  Charges every attempt; drops
+        censored runs from the history (their cost stays charged)."""
+        ledger = state.ledger
+        assert ledger is not None
+        # Ensure the round's ledger row exists (its `planned` was set
+        # exactly once when the round was planned — never overwritten
+        # here, so an interrupted run resumes to identical totals).
+        row = ledger.open_round(state.round_index)
+        wc = self.bundle_worst_case()
+        round_budget = self.config.effective_round_budget()
+        executed = 0
+        while state.bundle_cursor < len(state.planned):
+            if stop_after_bundles is not None:
+                if already_executed + executed >= stop_after_bundles:
+                    break
+            # Planner rounds are budget-bound on ACTUAL charged cost:
+            # submission stops once the round's budget is gone, so every
+            # selection strategy spends the same core-seconds per round
+            # regardless of how well the model estimated costs.  (The
+            # seed round is count-bound: there is no model to estimate
+            # with yet.)
+            if state.round_index > 0 and row.charged >= round_budget:
+                logger.info(
+                    "round %d: budget filled (%.1f / %.1f core-seconds); "
+                    "%d planned bundle(s) not submitted",
+                    state.round_index, row.charged, round_budget,
+                    len(state.planned) - state.bundle_cursor,
+                )
+                break
+            if not ledger.affords(wc):
+                skipped = len(state.planned) - state.bundle_cursor
+                logger.info(
+                    "round %d: remaining allocation %.1f cannot cover a "
+                    "bundle worst case of %.1f core-seconds; skipping %d "
+                    "planned bundle(s)",
+                    state.round_index, ledger.remaining, wc, skipped,
+                )
+                state.planned = state.planned[: state.bundle_cursor]
+                state.save(self.checkpoint_dir)
+                break
+            bundle = state.planned[state.bundle_cursor]
+            records = []
+            for scale in self.config.small_scales:
+                for rep in range(self.config.repetitions):
+                    try:
+                        rec = self.executor.run(
+                            self.app, bundle.params, int(scale), rep=rep
+                        )
+                    except ExecutionTimeoutError as exc:
+                        assert exc.record is not None
+                        ledger.charge_record(exc.record)
+                        continue  # censored: charged but not kept
+                    ledger.charge_record(rec)
+                    records.append(rec)
+            if records:
+                state.append_history(
+                    ExecutionDataset.from_records(
+                        records, param_names=self.app.param_names
+                    )
+                )
+            state.bundle_cursor += 1
+            state.save(self.checkpoint_dir)
+            executed += 1
+        return executed
+
+    def _fit(self, history: ExecutionDataset) -> TwoLevelModel:
+        clean, report = sanitize_dataset(history, repair="impute")
+        if report.rows_dropped or report.rows_imputed:
+            logger.info("%s", report.summary())
+        model = TwoLevelModel(
+            small_scales=self.config.small_scales,
+            n_clusters=self.config.n_clusters,
+            random_state=self.config.seed,
+        )
+        model.fit(clean)
+        return model
+
+    def _planner(self, model: TwoLevelModel, round_index: int) -> HistoryPlanner:
+        return HistoryPlanner(
+            model,
+            self.app,
+            n_candidates=self.config.n_candidates,
+            time_limit=self.config.time_limit,
+            censor_margin=self.config.censor_margin,
+            random_state=self.config.seed + _ROUND_SEED_STRIDE * round_index,
+        )
+
+    def _score_pool(
+        self, model: TwoLevelModel, round_index: int
+    ) -> list[ConfigRecommendation]:
+        """Deterministic candidate-pool scoring for one round."""
+        return self._planner(model, round_index).score_candidates()
+
+    def _eval_set(self) -> np.ndarray:
+        rng = np.random.default_rng(self.config.seed + _EVAL_SEED_OFFSET)
+        configs = sample_latin_hypercube(
+            self.app, self.config.n_eval_configs, rng
+        )
+        return np.vstack([self.app.params_to_vector(c) for c in configs])
+
+    def _evaluate(self, model: TwoLevelModel) -> tuple[float, float]:
+        """Oracle large-scale MAPE and mean relative interval width.
+
+        Uses the noise-free cost model as ground truth on a held-out
+        evaluation set.  This is an *evaluation oracle* — it is never
+        charged to the allocation (in a real campaign the trajectory
+        would come from a separate validation allocation or be absent).
+        """
+        X = self._eval_set()
+        scales = list(self.config.eval_scales)
+        pred = model.predict(X, scales)
+        truth = np.array(
+            [
+                [
+                    self.executor.model_time(
+                        self.app, self.app.vector_to_params(x), int(s)
+                    )
+                    for s in scales
+                ]
+                for x in X
+            ]
+        )
+        mape = float(np.mean(np.abs(pred - truth) / truth))
+        unc = EnsembleUncertainty(
+            model, n_samples=25, level=0.9, random_state=self.config.seed
+        )
+        width = float(np.mean(unc.predict_interval(X, scales).relative_width))
+        return mape, width
+
+    def _close_round(self, state: CampaignState) -> TwoLevelModel:
+        """Refit, evaluate, register, and record the round's metrics."""
+        assert state.history is not None and state.ledger is not None
+        model = self._fit(state.history)
+        mape, width = self._evaluate(model)
+        pool = self._score_pool(model, state.round_index + 1)
+        disagreement = float(np.mean([r.disagreement for r in pool]))
+        version: int | None = None
+        if self.registry is not None:
+            from ..serve.artifacts import ModelArtifact
+
+            clean, _ = sanitize_dataset(state.history, repair="impute")
+            artifact = ModelArtifact.create(
+                model,
+                app_name=self.config.app_name,
+                param_names=self.app.param_names,
+                train=clean,
+                metadata={
+                    "campaign": self.config.fingerprint(),
+                    "campaign_round": str(state.round_index),
+                    "campaign_spent": f"{state.ledger.spent:.3f}",
+                    "campaign_selection": self.config.selection,
+                },
+            )
+            version = self.registry.register(self.config.model_name, artifact)
+            state.registered.append(version)
+            if self.config.keep_last is not None:
+                self.registry.prune(
+                    self.config.model_name, keep_last=self.config.keep_last
+                )
+        row = state.ledger.round(state.round_index)
+        state.trajectory.append(
+            {
+                "round": state.round_index,
+                "mape": mape,
+                "interval_width": width,
+                "disagreement": disagreement,
+                "history_rows": len(state.history),
+                "charged": row.charged,
+                "wasted": row.wasted,
+                "version": version,
+            }
+        )
+        logger.info(
+            "round %d closed: MAPE %.2f %%, disagreement %.4f, "
+            "%.1f core-seconds charged",
+            state.round_index, 100 * mape, disagreement, row.charged,
+        )
+        return model
+
+    def _plan_round(
+        self, model: TwoLevelModel, round_index: int
+    ) -> list[PlannedBundle]:
+        """Fill the round's estimated-cost budget per the configured
+        selection strategy.
+
+        All strategies draw from / walk the same kind of candidate set
+        and stop at the same budget, so a benchmark comparing them
+        compares *what* was bought, not *how much*.
+        """
+        budget = self.config.effective_round_budget()
+        if self.config.selection == "grid":
+            pool = self._grid_pool(model, round_index)
+        else:
+            pool = self._score_pool(model, round_index)
+            if self.config.selection == "random":
+                rng = np.random.default_rng(
+                    self.config.seed + _ROUND_SEED_STRIDE * round_index + 7
+                )
+                pool = [pool[int(i)] for i in rng.permutation(len(pool))]
+            # "planner": pool is already sorted by utility, descending.
+        selected: list[ConfigRecommendation] = []
+        spent = 0.0
+        for rec in pool:
+            if len(selected) >= self.config.bundles_per_round:
+                break
+            if spent + rec.est_cost_core_seconds > budget:
+                continue
+            selected.append(rec)
+            spent += rec.est_cost_core_seconds
+        return [
+            PlannedBundle(
+                params=r.params,
+                est_cost=r.est_cost_core_seconds,
+                disagreement=r.disagreement,
+            )
+            for r in selected
+        ]
+
+    def _grid_pool(
+        self, model: TwoLevelModel, round_index: int
+    ) -> list[ConfigRecommendation]:
+        """Round ``r``'s slice of a full-factorial grid walk, scored."""
+        k = self.config.bundles_per_round
+        need = k * self.config.max_rounds
+        points = 2
+        n_params = len(self.app.param_names)
+        while n_params and points**n_params < need:
+            points += 1
+        grid = sample_grid(self.app, points_per_dim=points)
+        chunk = grid[(round_index - 1) * k : round_index * k]
+        if not chunk:
+            return []
+        X = np.vstack([self.app.params_to_vector(c) for c in chunk])
+        recs = self._planner(model, round_index).score_candidates(X)
+        by_params = {tuple(sorted(r.params.items())): r for r in recs}
+        return [by_params[tuple(sorted(c.items()))] for c in chunk]
+
+    # -- stopping -----------------------------------------------------------
+
+    def _stop_reason(self, state: CampaignState) -> str | None:
+        assert state.ledger is not None
+        cfg = self.config
+        last = state.trajectory[-1]
+        if (
+            cfg.mape_target is not None
+            and last["mape"] <= cfg.mape_target
+        ):
+            return "mape-target"
+        if state.round_index >= cfg.max_rounds:
+            return "max-rounds"
+        if not state.ledger.affords(self.bundle_worst_case()):
+            return "budget-exhausted"
+        if len(state.trajectory) > cfg.plateau_rounds:
+            flat = 0
+            for i in range(len(state.trajectory) - 1, 0, -1):
+                prev = state.trajectory[i - 1]["disagreement"]
+                cur = state.trajectory[i]["disagreement"]
+                improvement = (prev - cur) / max(prev, 1e-12)
+                if improvement < cfg.plateau_tol:
+                    flat += 1
+                else:
+                    break
+            if flat >= cfg.plateau_rounds:
+                return "plateau"
+        return None
+
+    # -- reporting ----------------------------------------------------------
+
+    def _report(self, state: CampaignState, done: bool = True) -> CampaignReport:
+        assert state.ledger is not None
+        return CampaignReport(
+            config=self.config,
+            rounds=list(state.trajectory),
+            ledger=state.ledger,
+            stop_reason=state.stop_reason,
+            registered=list(state.registered),
+            done=state.done,
+        )

@@ -1,0 +1,251 @@
+"""Resumable campaign state with atomic checkpointing.
+
+Everything a campaign needs to continue after being killed lives in ONE
+JSON file (``campaign.json``): the ledger, the collected history, the
+current round's planned bundles and the cursor into them, the metric
+trajectory, and the registered model versions.  Keeping it in a single
+file matters: the checkpoint is written to a temp file and moved into
+place with :func:`os.replace`, so a reader always sees either the old
+state or the new state — never a ledger that charged a bundle whose
+history rows were lost (or vice versa).
+
+Resume semantics (see ``docs/campaign.md``):
+
+* **ledger charges are exactly-once** — a bundle is charged and its
+  rows appended in the same checkpoint, so a crash between bundles
+  loses at most the bundle in flight (which is then re-executed with
+  the same deterministic seed and charges the same amount);
+* **model registration is at-least-once** — a crash between
+  ``registry.register`` and the checkpoint re-registers the round's
+  model on resume; the registry's monotonic versions make that a
+  harmless extra version, and ``keep_last`` pruning cleans it up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..errors import ConfigurationError
+from ..log import get_logger
+from .ledger import BudgetLedger
+
+__all__ = ["PlannedBundle", "CampaignState"]
+
+logger = get_logger("campaign.state")
+
+CHECKPOINT_NAME = "campaign.json"
+
+#: Campaign phases, in order.  ``seed`` collects the initial history,
+#: ``round`` executes planned bundles, ``done`` is terminal.
+PHASES = ("seed", "round", "done")
+
+
+@dataclass(frozen=True)
+class PlannedBundle:
+    """One bundle queued for execution (JSON-stable, order preserved)."""
+
+    params: dict[str, float]
+    est_cost: float = 0.0
+    disagreement: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "params": dict(self.params),
+            "est_cost": self.est_cost,
+            "disagreement": self.disagreement,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PlannedBundle":
+        return cls(
+            params=dict(payload["params"]),
+            est_cost=float(payload["est_cost"]),
+            disagreement=float(payload["disagreement"]),
+        )
+
+
+def _history_payload(dataset: ExecutionDataset | None) -> dict[str, Any] | None:
+    if dataset is None:
+        return None
+    return {
+        "app_name": dataset.app_name,
+        "param_names": list(dataset.param_names),
+        "X": dataset.X.tolist(),
+        "nprocs": dataset.nprocs.tolist(),
+        "runtime": dataset.runtime.tolist(),
+        "model_runtime": dataset.model_runtime.tolist(),
+        "rep": dataset.rep.tolist(),
+    }
+
+
+def _history_from_payload(payload: dict[str, Any] | None) -> ExecutionDataset | None:
+    if payload is None:
+        return None
+    return ExecutionDataset(
+        app_name=payload["app_name"],
+        param_names=tuple(payload["param_names"]),
+        X=np.asarray(payload["X"], dtype=np.float64),
+        nprocs=np.asarray(payload["nprocs"], dtype=np.int64),
+        runtime=np.asarray(payload["runtime"], dtype=np.float64),
+        model_runtime=np.asarray(payload["model_runtime"], dtype=np.float64),
+        rep=np.asarray(payload["rep"], dtype=np.int64),
+    )
+
+
+@dataclass
+class CampaignState:
+    """Mutable, checkpointable snapshot of a running campaign.
+
+    Attributes
+    ----------
+    config_hash:
+        Fingerprint of the :class:`~repro.campaign.config.CampaignConfig`
+        that started the campaign; a resume with a different config is
+        refused.
+    phase:
+        ``seed`` / ``round`` / ``done``.
+    round_index:
+        Current round (0 = seed round).
+    planned:
+        Bundles queued for the current round (persisted so a resume
+        executes *the same plan*, not a re-plan on different history).
+    bundle_cursor:
+        Bundles of the current plan already executed and charged.
+    ledger:
+        The campaign's :class:`~repro.campaign.ledger.BudgetLedger`.
+    history:
+        All non-censored collected runs so far (None before the first).
+    trajectory:
+        One metrics dict per completed round (see CampaignReport).
+    registered:
+        Registry versions registered so far, in round order.
+    stop_reason:
+        Why the campaign ended (None while running).
+    """
+
+    config_hash: str
+    phase: str = "seed"
+    round_index: int = 0
+    planned: list[PlannedBundle] = field(default_factory=list)
+    bundle_cursor: int = 0
+    ledger: BudgetLedger | None = None
+    history: ExecutionDataset | None = None
+    trajectory: list[dict[str, Any]] = field(default_factory=list)
+    registered: list[int] = field(default_factory=list)
+    stop_reason: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ConfigurationError(
+                f"phase must be one of {PHASES}, got {self.phase!r}."
+            )
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    # -- mutation helpers ---------------------------------------------------
+
+    def append_history(self, batch: ExecutionDataset) -> None:
+        """Merge newly collected (non-censored) rows into the history."""
+        self.history = (
+            batch if self.history is None else self.history.merge(batch)
+        )
+
+    def start_round(self, round_index: int, planned: list[PlannedBundle]) -> None:
+        self.phase = "round" if round_index > 0 else "seed"
+        self.round_index = round_index
+        self.planned = list(planned)
+        self.bundle_cursor = 0
+
+    def finish(self, reason: str) -> None:
+        self.phase = "done"
+        self.stop_reason = reason
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "repro-campaign-state-v1",
+            "config_hash": self.config_hash,
+            "phase": self.phase,
+            "round_index": self.round_index,
+            "planned": [b.to_dict() for b in self.planned],
+            "bundle_cursor": self.bundle_cursor,
+            "ledger": None if self.ledger is None else self.ledger.to_dict(),
+            "history": _history_payload(self.history),
+            "trajectory": self.trajectory,
+            "registered": self.registered,
+            "stop_reason": self.stop_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignState":
+        if payload.get("format") != "repro-campaign-state-v1":
+            raise ConfigurationError(
+                f"Not a campaign checkpoint (format="
+                f"{payload.get('format')!r})."
+            )
+        return cls(
+            config_hash=payload["config_hash"],
+            phase=payload["phase"],
+            round_index=int(payload["round_index"]),
+            planned=[PlannedBundle.from_dict(b) for b in payload["planned"]],
+            bundle_cursor=int(payload["bundle_cursor"]),
+            ledger=(
+                None
+                if payload["ledger"] is None
+                else BudgetLedger.from_dict(payload["ledger"])
+            ),
+            history=_history_from_payload(payload["history"]),
+            trajectory=list(payload["trajectory"]),
+            registered=[int(v) for v in payload["registered"]],
+            stop_reason=payload["stop_reason"],
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Atomically checkpoint to ``directory/campaign.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / CHECKPOINT_NAME
+        tmp = directory / f".{CHECKPOINT_NAME}.tmp"
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        tmp.write_text(blob)
+        os.replace(tmp, target)
+        logger.debug(
+            "checkpointed campaign at %s (phase=%s round=%d cursor=%d)",
+            target, self.phase, self.round_index, self.bundle_cursor,
+        )
+        return target
+
+    @classmethod
+    def load(
+        cls, directory: str | Path, expected_hash: str | None = None
+    ) -> "CampaignState":
+        """Load a checkpoint, refusing config drift."""
+        target = Path(directory) / CHECKPOINT_NAME
+        if not target.is_file():
+            raise ConfigurationError(
+                f"No campaign checkpoint at {target}; nothing to resume."
+            )
+        try:
+            payload = json.loads(target.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"Corrupt campaign checkpoint {target}: {exc}"
+            ) from exc
+        state = cls.from_dict(payload)
+        if expected_hash is not None and state.config_hash != expected_hash:
+            raise ConfigurationError(
+                "Checkpoint was written by a different campaign config "
+                f"(checkpoint hash {state.config_hash}, current "
+                f"{expected_hash}); refusing to resume."
+            )
+        return state

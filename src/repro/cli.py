@@ -20,6 +20,13 @@ Drives the library end to end without writing Python::
         --scales 1024,2048,4096
     python -m repro serve --registry reg/ --port 8080
 
+    # closed-loop collection campaign under a core-second allocation
+    python -m repro campaign --app stencil3d --allocation 20000 \
+        --rounds 3 --time-limit 10 --checkpoint camp/ \
+        --registry reg/ --name stencil-campaign --keep-last 3
+    python -m repro campaign --app stencil3d --allocation 20000 \
+        --rounds 3 --time-limit 10 --checkpoint camp/ --resume
+
 ``fit`` writes a plain pickle (a working file); ``save`` turns it into
 a versioned, checksummed registry artifact (see :mod:`repro.serve` and
 ``docs/serving.md``).  Datasets use the JSON/NPZ formats of
@@ -182,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pin the named model to version V")
     m.add_argument("--unpin", action="store_true",
                    help="remove the named model's pin")
+    m.add_argument("--prune", type=int, default=None, metavar="N",
+                   help="keep only the newest N versions (pinned "
+                   "versions always survive); with --name prunes one "
+                   "model, else the whole registry")
 
     p = sub.add_parser("predict", help="predict runtimes with a fitted model")
     p.add_argument("--model", default=None,
@@ -215,6 +226,65 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=42)
     c.add_argument("--baselines", default=None,
                    help="comma-separated subset (default: all)")
+
+    ca = sub.add_parser(
+        "campaign",
+        help="run a closed-loop history-collection campaign "
+        "(plan -> execute -> sanitize -> refit -> register)",
+    )
+    ca.add_argument("--app", required=True)
+    ca.add_argument("--allocation", type=float, required=True,
+                    metavar="CORE_SECONDS",
+                    help="total core-second allocation; every attempt "
+                    "and backoff is charged against it")
+    ca.add_argument("--rounds", type=int, default=3,
+                    help="planner rounds after the seed round")
+    ca.add_argument("--round-budget", type=float, default=None,
+                    metavar="CORE_SECONDS",
+                    help="core-seconds per planner round (default: "
+                    "allocation / (rounds + 1))")
+    ca.add_argument("--seed-configs", type=int, default=10,
+                    help="Latin-hypercube bundles in the seed round")
+    ca.add_argument("--max-bundles", type=int, default=128,
+                    help="hard cap on bundles per round")
+    ca.add_argument("--small-scales", type=_parse_scales,
+                    default=[32, 64, 128],
+                    help="process counts every bundle is executed at")
+    ca.add_argument("--eval-scales", type=_parse_scales, default=[512, 1024],
+                    help="large scales the MAPE trajectory is measured at")
+    ca.add_argument("--candidates", type=int, default=100,
+                    help="candidate pool scored per round")
+    ca.add_argument("--eval-configs", type=int, default=20,
+                    help="held-out oracle evaluation configurations")
+    ca.add_argument("--selection", choices=["planner", "random", "grid"],
+                    default="planner",
+                    help="bundle-selection strategy (random/grid are "
+                    "benchmark baselines)")
+    ca.add_argument("--time-limit", type=float, default=60.0,
+                    metavar="SECONDS",
+                    help="wall-clock budget per run (bounds worst-case "
+                    "cost; killed runs are charged and retried)")
+    ca.add_argument("--max-retries", type=int, default=1,
+                    help="resubmissions granted to a timed-out run")
+    ca.add_argument("--escalation", type=float, default=1.5,
+                    help="budget multiplier per resubmission (>= 1)")
+    ca.add_argument("--mape-target", type=float, default=None,
+                    help="stop once the round MAPE reaches this")
+    ca.add_argument("--clusters", type=int, default=3)
+    ca.add_argument("--machine", default="default-cluster")
+    ca.add_argument("--noise", type=float, default=0.03)
+    ca.add_argument("--seed", type=int, default=0)
+    ca.add_argument("--checkpoint", required=True, metavar="DIR",
+                    help="directory for the campaign.json checkpoint")
+    ca.add_argument("--resume", action="store_true",
+                    help="continue a killed campaign from its checkpoint")
+    ca.add_argument("--registry", default=None,
+                    help="register each round's model in this registry")
+    ca.add_argument("--name", default="campaign",
+                    help="registry model name (with --registry)")
+    ca.add_argument("--keep-last", type=int, default=None, metavar="N",
+                    help="prune the registry to N versions after each "
+                    "round (with --registry)")
 
     sv = sub.add_parser(
         "serve", help="serve registry models over HTTP (JSON endpoints)"
@@ -461,6 +531,18 @@ def _cmd_models(args, out) -> int:
         print("error: --delete/--pin-version/--unpin require --name",
               file=sys.stderr)
         return 2
+    if args.prune is not None:
+        if managing:
+            print("error: --prune cannot be combined with "
+                  "--delete/--pin-version/--unpin", file=sys.stderr)
+            return 2
+        removed = registry.prune(args.name, keep_last=args.prune)
+        if not removed:
+            print("nothing to prune", file=out)
+        for name, versions in sorted(removed.items()):
+            gone = ", ".join(f"v{v:04d}" for v in versions)
+            print(f"pruned {name}: removed {gone}", file=out)
+        return 0
     if args.delete:
         registry.delete(args.name, args.version)
         what = (
@@ -486,6 +568,43 @@ def _cmd_models(args, out) -> int:
         print(registry.inspect(args.name, version).describe(), file=out)
         return 0
     print(registry.describe(), file=out)
+    return 0
+
+
+def _cmd_campaign(args, out) -> int:
+    from .campaign import Campaign, CampaignConfig
+
+    config = CampaignConfig(
+        app_name=args.app,
+        allocation_core_seconds=args.allocation,
+        small_scales=tuple(args.small_scales),
+        eval_scales=tuple(args.eval_scales),
+        max_rounds=args.rounds,
+        round_budget_core_seconds=args.round_budget,
+        bundles_per_round=args.max_bundles,
+        n_seed_configs=args.seed_configs,
+        n_candidates=args.candidates,
+        n_eval_configs=args.eval_configs,
+        selection=args.selection,
+        time_limit=args.time_limit,
+        max_retries=args.max_retries,
+        escalation=args.escalation,
+        mape_target=args.mape_target,
+        n_clusters=args.clusters,
+        machine=args.machine,
+        noise_sigma=args.noise,
+        model_name=args.name,
+        keep_last=args.keep_last,
+        seed=args.seed,
+    )
+    registry = None
+    if args.registry is not None:
+        from .serve import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+    campaign = Campaign(config, args.checkpoint, registry=registry)
+    report = campaign.run(resume=args.resume)
+    print(report.summary(), file=out)
     return 0
 
 
@@ -647,6 +766,7 @@ _COMMANDS = {
     "models": _cmd_models,
     "predict": _cmd_predict,
     "compare": _cmd_compare,
+    "campaign": _cmd_campaign,
     "serve": _cmd_serve,
 }
 

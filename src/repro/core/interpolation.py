@@ -240,6 +240,72 @@ class PerScaleInterpolator:
         pred = model.predict(X)
         return np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
 
+    # -- ensemble-signal access (pooled-fallback aware) -------------------
+    #
+    # The planner and the uncertainty propagator need per-scale ensemble
+    # signals (spread / per-member predictions).  A scale served by the
+    # pooled fallback has no dedicated model, so these accessors answer
+    # from the pooled ensemble with log2(p) appended — degraded fits must
+    # not crash the consumers, they just get the pooled signal.
+
+    def _pooled_features(self, X: np.ndarray, scale: int) -> np.ndarray:
+        return np.column_stack([X, np.full(X.shape[0], np.log2(scale))])
+
+    def _ensemble_model(self, scale: int, method: str):
+        """The model answering ensemble queries for ``scale`` plus a flag
+        whether it is the pooled fallback; ``None`` when no model at that
+        scale supports ``method``."""
+        scale = int(scale)
+        model = self.models_.get(scale)
+        if model is not None:
+            return (model, False) if hasattr(model, method) else None
+        if scale in self.fallback_scales_ and self._pooled_model is not None:
+            if hasattr(self._pooled_model, method):
+                return self._pooled_model, True
+        return None
+
+    def has_spread(self, scale: int) -> bool:
+        """True when :meth:`prediction_std_at` can answer for ``scale``."""
+        self._check_fitted()
+        return self._ensemble_model(scale, "prediction_std") is not None
+
+    def has_ensemble(self, scale: int) -> bool:
+        """True when :meth:`predict_all_at` can answer for ``scale``."""
+        self._check_fitted()
+        return self._ensemble_model(scale, "predict_all") is not None
+
+    def prediction_std_at(self, X: np.ndarray, scale: int) -> np.ndarray:
+        """Ensemble spread at one scale (pooled-fallback aware), in the
+        fitted target space (log space when ``log_target``)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        answer = self._ensemble_model(scale, "prediction_std")
+        if answer is None:
+            raise ExtrapolationError(
+                f"No ensemble spread available at scale {scale}; "
+                f"fitted scales: {self.scales_}"
+            )
+        model, pooled = answer
+        return model.prediction_std(
+            self._pooled_features(X, int(scale)) if pooled else X
+        )
+
+    def predict_all_at(self, X: np.ndarray, scale: int) -> np.ndarray:
+        """Per-member predictions at one scale (pooled-fallback aware),
+        shape ``(n_members, n_configs)``, in the fitted target space."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        answer = self._ensemble_model(scale, "predict_all")
+        if answer is None:
+            raise ExtrapolationError(
+                f"No ensemble predictions available at scale {scale}; "
+                f"fitted scales: {self.scales_}"
+            )
+        model, pooled = answer
+        return model.predict_all(
+            self._pooled_features(X, int(scale)) if pooled else X
+        )
+
     def predict_matrix(self, X: np.ndarray) -> np.ndarray:
         """Small-scale prediction matrix, shape ``(n_configs,
         n_scales)`` with columns ordered like ``self.scales_``."""

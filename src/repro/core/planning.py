@@ -15,7 +15,17 @@ the pipeline — the planner exists to avoid exactly that trap).
 
 Bundles are scored by ensemble disagreement per core-second: the mean
 relative spread of the interpolation ensembles over the candidate's
-curve, divided by the predicted cost of executing the bundle.
+curve, divided by the predicted cost of executing the bundle.  With a
+``time_limit`` the score is additionally penalized by the candidate's
+*censor risk* — the fraction of its scales whose predicted runtime
+would exceed a per-run wall-clock limit — so a collection campaign does
+not spend allocation on runs that will be killed and record nothing.
+
+Degraded fits are survivable: scales served by the pooled fallback
+interpolator answer spread queries through the pooled ensemble (see
+:meth:`~repro.core.interpolation.PerScaleInterpolator.prediction_std_at`),
+so a planner built on a degraded model still ranks candidates instead
+of crashing.
 """
 
 from __future__ import annotations
@@ -46,7 +56,12 @@ class ConfigRecommendation:
     est_cost_core_seconds:
         Sum over scales of predicted runtime x processes.
     utility:
-        disagreement / cost, the greedy ranking key.
+        ``disagreement * (1 - censor_risk) / cost``, the greedy ranking
+        key.
+    censor_risk:
+        Fraction of the bundle's scales whose predicted runtime exceeds
+        the planner's ``time_limit`` (0 when no limit is set) — runs
+        likely to be killed at the limit and yield no measurement.
     """
 
     params: dict[str, float]
@@ -54,6 +69,7 @@ class ConfigRecommendation:
     disagreement: float
     est_cost_core_seconds: float
     utility: float
+    censor_risk: float = 0.0
 
 
 class HistoryPlanner:
@@ -63,11 +79,22 @@ class HistoryPlanner:
     ----------
     model:
         Fitted basis-mode :class:`TwoLevelModel` with ensemble
-        interpolators (the default random forests qualify).
+        interpolators (the default random forests qualify).  Scales
+        degraded to the pooled fallback are answered through the pooled
+        ensemble.
     app:
         The application (used to sample candidate configurations).
     n_candidates:
         Size of the candidate configuration pool.
+    time_limit:
+        Per-run wall-clock limit of the execution environment, in
+        seconds.  Candidates predicted to exceed it at some scales get
+        their acquisition score penalized proportionally (censoring-
+        aware planning); None disables the penalty.
+    censor_margin:
+        Safety margin on the censor check: a scale is counted at risk
+        when ``predicted_runtime * (1 + censor_margin) > time_limit``,
+        so predictions close to the limit are treated as risky too.
     random_state:
         Seed for candidate sampling.
     """
@@ -77,23 +104,31 @@ class HistoryPlanner:
         model: TwoLevelModel,
         app: Application,
         n_candidates: int = 200,
+        time_limit: float | None = None,
+        censor_margin: float = 0.0,
         random_state: int | None = 0,
     ) -> None:
         if not hasattr(model, "extrapolator_"):
             raise ValueError("model must be fitted first.")
         if model.mode != "basis":
             raise ValueError("HistoryPlanner requires basis mode.")
-        for scale, learner in model.interpolator_.models_.items():
-            if not hasattr(learner, "prediction_std"):
+        for scale in model.interpolator_.scales_:
+            if not model.interpolator_.has_spread(scale):
                 raise ValueError(
                     f"Interpolation model at scale {scale} exposes no "
                     "ensemble spread; the planner needs one."
                 )
         if n_candidates < 1:
             raise ValueError("n_candidates must be >= 1.")
+        if time_limit is not None and time_limit <= 0:
+            raise ValueError("time_limit must be positive seconds.")
+        if censor_margin < 0:
+            raise ValueError("censor_margin must be >= 0.")
         self.model = model
         self.app = app
         self.n_candidates = n_candidates
+        self.time_limit = time_limit
+        self.censor_margin = censor_margin
         self.random_state = random_state
 
     def _candidate_matrix(self) -> np.ndarray:
@@ -115,7 +150,7 @@ class HistoryPlanner:
 
         rel = np.empty_like(S_pred)
         for j, scale in enumerate(scales):
-            spread = interp.models_[scale].prediction_std(X)
+            spread = interp.prediction_std_at(X, scale)
             # Log-target models: ensemble std is already a relative
             # spread; raw-target models are normalized by the prediction.
             rel[:, j] = spread if interp.log_target else spread / np.maximum(
@@ -124,6 +159,11 @@ class HistoryPlanner:
 
         costs = S_pred @ np.asarray(scales, dtype=np.float64)
         disagreement = rel.mean(axis=1)
+        if self.time_limit is not None:
+            at_risk = S_pred * (1.0 + self.censor_margin) > self.time_limit
+            risk = at_risk.mean(axis=1)
+        else:
+            risk = np.zeros(X.shape[0])
 
         recs = [
             ConfigRecommendation(
@@ -131,7 +171,10 @@ class HistoryPlanner:
                 scales=tuple(scales),
                 disagreement=float(disagreement[i]),
                 est_cost_core_seconds=float(costs[i]),
-                utility=float(disagreement[i] / max(costs[i], 1e-12)),
+                utility=float(
+                    disagreement[i] * (1.0 - risk[i]) / max(costs[i], 1e-12)
+                ),
+                censor_risk=float(risk[i]),
             )
             for i in range(X.shape[0])
         ]

@@ -84,8 +84,8 @@ class EnsembleUncertainty:
             raise ValueError("n_samples must be >= 2.")
         if not 0.0 < level < 1.0:
             raise ValueError("level must be in (0, 1).")
-        for scale, learner in model.interpolator_.models_.items():
-            if not hasattr(learner, "predict_all"):
+        for scale in model.interpolator_.scales_:
+            if not model.interpolator_.has_ensemble(scale):
                 raise ValueError(
                     f"Interpolation model at scale {scale} has no "
                     "predict_all; ensemble uncertainty needs an ensemble."
@@ -109,8 +109,8 @@ class EnsembleUncertainty:
         scales = interp.scales_
         out = np.empty((self.n_samples, n, len(scales)))
         for j, scale in enumerate(scales):
-            learner = interp.models_[scale]
-            per_tree = learner.predict_all(X)  # (n_trees, n_configs)
+            # Pooled-fallback scales answer from the pooled ensemble.
+            per_tree = interp.predict_all_at(X, scale)  # (n_trees, n_configs)
             n_trees = per_tree.shape[0]
             picks = rng.integers(0, n_trees, size=(self.n_samples, n))
             sampled = per_tree[picks, np.arange(n)[None, :]]

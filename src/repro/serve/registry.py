@@ -140,6 +140,38 @@ class ModelRegistry:
             shutil.rmtree(model_dir)
         logger.info("deleted %s %s", name, _version_dir(version))
 
+    def prune(
+        self, name: str | None = None, keep_last: int = 1
+    ) -> dict[str, list[int]]:
+        """Retention policy: delete all but the newest ``keep_last``
+        versions of ``name`` (or of every model when ``name`` is None).
+
+        A PINNED version is never deleted, even when it falls outside
+        the retention window.  Returns ``{name: [deleted versions]}``
+        for the models that lost versions (empty dict when nothing was
+        deleted).
+        """
+        if keep_last < 1:
+            raise RegistryError("keep_last must be >= 1.")
+        names = [self._check_name(name)] if name else self.models()
+        removed: dict[str, list[int]] = {}
+        for n in names:
+            versions = self.versions(n)
+            keep = set(versions[-keep_last:])
+            pinned = self.pinned(n)
+            if pinned is not None:
+                keep.add(pinned)
+            doomed = [v for v in versions if v not in keep]
+            for v in doomed:
+                self.delete(n, v)
+            if doomed:
+                removed[n] = doomed
+                logger.info(
+                    "pruned %s: removed versions %s (keep_last=%d)",
+                    n, doomed, keep_last,
+                )
+        return removed
+
     # -- pinning -----------------------------------------------------------
 
     def pin(self, name: str, version: int) -> None:

@@ -254,11 +254,41 @@ class AttemptTrace:
         (what the run actually cost, not what the history records)."""
         return sum(a.runtime + a.backoff for a in self.attempts)
 
+    @property
+    def wasted_wall_clock(self) -> float:
+        """Seconds spent on attempts that produced no usable measurement,
+        plus every queue-wait backoff.  For a run that eventually finished
+        this is ``total_wall_clock`` minus the final attempt's runtime;
+        for a fully censored run every second was wasted."""
+        if self.timed_out:
+            return self.total_wall_clock
+        return self.total_wall_clock - self.final.runtime
+
+    def total_cost(self, cores: int = 1) -> float:
+        """Core-seconds this run consumed across every attempt.
+
+        Each attempt is charged ``(runtime + backoff) * cores``: killed
+        attempts burn their full limit, and the backoff queue wait holds
+        the allocation's reservation (the "queue-aware budget" model the
+        campaign ledger charges against).
+        """
+        if cores < 1:
+            raise ConfigurationError("cores must be >= 1.")
+        return self.total_wall_clock * cores
+
+    def wasted_cost(self, cores: int = 1) -> float:
+        """Core-seconds spent on killed attempts and backoff waits —
+        the part of :meth:`total_cost` that bought no measurement."""
+        if cores < 1:
+            raise ConfigurationError("cores must be >= 1.")
+        return self.wasted_wall_clock * cores
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "n_attempts": self.n_attempts,
             "resubmissions": self.resubmissions,
             "timed_out": self.timed_out,
             "total_wall_clock": self.total_wall_clock,
+            "wasted_wall_clock": self.wasted_wall_clock,
             "attempts": [a.to_dict() for a in self.attempts],
         }

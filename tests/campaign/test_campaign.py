@@ -1,0 +1,214 @@
+"""End-to-end tests of the closed campaign loop.
+
+The settings below (stencil3d, small scales {32, 64, 128}, seed 3,
+budget-bound planner rounds) were chosen so the large-scale MAPE
+trajectory decreases every round — the behavior the subsystem exists
+to deliver — while keeping the whole module in tens of seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig
+from repro.errors import ConfigurationError
+from repro.serve import ModelRegistry
+
+BASE = dict(
+    app_name="stencil3d",
+    allocation_core_seconds=20000.0,
+    round_budget_core_seconds=300.0,
+    small_scales=(32, 64, 128),
+    eval_scales=(512,),
+    max_rounds=3,
+    n_seed_configs=6,
+    bundles_per_round=48,
+    n_candidates=60,
+    n_eval_configs=12,
+    time_limit=10.0,
+    n_clusters=2,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def finished(tmp_path_factory):
+    """One full 3-round campaign, shared by the assertions below."""
+    path = tmp_path_factory.mktemp("camp")
+    campaign = Campaign(CampaignConfig(**BASE), path)
+    return campaign, campaign.run(), path
+
+
+class TestTrajectory:
+    def test_runs_seed_plus_three_rounds(self, finished):
+        _, report, _ = finished
+        assert [r["round"] for r in report.rounds] == [0, 1, 2, 3]
+        assert report.stop_reason == "max-rounds"
+        assert report.done
+
+    def test_mape_strictly_decreases_round_over_round(self, finished):
+        _, report, _ = finished
+        mape = report.mape_trajectory
+        assert all(b < a for a, b in zip(mape, mape[1:])), mape
+
+    def test_history_grows_every_round(self, finished):
+        _, report, _ = finished
+        rows = [r["history_rows"] for r in report.rounds]
+        assert all(b > a for a, b in zip(rows, rows[1:]))
+
+    def test_rounds_carry_uncertainty_and_disagreement(self, finished):
+        _, report, _ = finished
+        for r in report.rounds:
+            assert r["interval_width"] > 0
+            assert r["disagreement"] > 0
+
+
+class TestBudgetGuarantee:
+    def test_allocation_never_exceeded(self, finished):
+        _, report, _ = finished
+        assert report.ledger.spent <= report.ledger.allocation
+
+    def test_every_round_charge_is_positive_and_accounted(self, finished):
+        _, report, _ = finished
+        ledger = report.ledger
+        assert ledger.spent == pytest.approx(
+            sum(r.charged for r in ledger.rounds)
+        )
+        for row in ledger.rounds:
+            assert row.charged > 0
+            assert 0 <= row.wasted <= row.charged
+
+    def test_retry_charges_stay_within_allocation_when_tight(self, tmp_path):
+        """A time limit low enough to censor runs still never overdraws:
+        killed attempts and backoffs are charged, and the worst-case
+        precheck refuses bundles the allocation cannot absorb."""
+        cfg = CampaignConfig(**{
+            **BASE,
+            "allocation_core_seconds": 3000.0,
+            "round_budget_core_seconds": 400.0,
+            "time_limit": 1.0,          # p90 runtimes exceed this
+            "max_retries": 1,
+            "backoff_base": 2.0,
+            "max_rounds": 2,
+            "n_seed_configs": 4,
+        })
+        report = Campaign(cfg, tmp_path).run()
+        assert report.ledger.spent <= report.ledger.allocation
+        # The tight limit must actually have produced waste to charge.
+        assert report.ledger.wasted > 0
+
+    def test_unplannable_round_budget_stops_campaign(self, tmp_path):
+        """A round budget below every bundle's estimated cost means the
+        next round cannot buy anything — the campaign stops cleanly."""
+        cfg = CampaignConfig(**{
+            **BASE,
+            "round_budget_core_seconds": 0.5,
+            "n_seed_configs": 4,
+        })
+        report = Campaign(cfg, tmp_path).run()
+        assert report.stop_reason == "budget-exhausted"
+        assert len(report.rounds) == 1  # only the seed round closed
+        assert report.ledger.spent <= report.ledger.allocation
+
+    def test_drained_allocation_is_a_stop_reason(self, tmp_path):
+        """When the remaining allocation cannot absorb one bundle's
+        worst case, the campaign refuses to start another round."""
+        from repro.campaign import BudgetLedger, CampaignState
+
+        campaign = Campaign(CampaignConfig(**BASE), tmp_path)
+        wc = campaign.bundle_worst_case()
+        ledger = BudgetLedger(wc * 1.5)
+        row = ledger.open_round(0)
+        row.charged = wc  # leaves 0.5 * wc — not enough for a bundle
+        state = CampaignState(
+            config_hash=campaign.config.fingerprint(), ledger=ledger
+        )
+        state.trajectory.append({"round": 0, "mape": 1.0, "disagreement": 1.0})
+        assert campaign._stop_reason(state) == "budget-exhausted"
+
+
+class TestResume:
+    def test_midrun_kill_resumes_to_identical_ledger(self, finished, tmp_path):
+        _, full_report, _ = finished
+        campaign = Campaign(CampaignConfig(**BASE), tmp_path)
+        partial = campaign.run(stop_after_bundles=2)
+        assert not partial.done
+        resumed = campaign.run(resume=True)
+        assert resumed.done
+        assert json.dumps(
+            resumed.ledger.to_dict(), sort_keys=True
+        ) == json.dumps(full_report.ledger.to_dict(), sort_keys=True)
+        assert resumed.mape_trajectory == full_report.mape_trajectory
+
+    def test_resume_after_finish_returns_final_report(self, finished):
+        campaign, report, _ = finished
+        again = campaign.run(resume=True)
+        assert again.done
+        assert again.stop_reason == report.stop_reason
+        assert again.mape_trajectory == report.mape_trajectory
+
+    def test_fresh_run_refuses_existing_checkpoint(self, finished):
+        _, _, path = finished
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            Campaign(CampaignConfig(**BASE), path).run()
+
+    def test_resume_with_different_config_refused(self, finished):
+        _, _, path = finished
+        other = CampaignConfig(**{**BASE, "seed": 4})
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            Campaign(other, path).run(resume=True)
+
+
+class TestRegistryIntegration:
+    def test_each_round_registered_with_provenance_and_pruned(self, tmp_path):
+        cfg = CampaignConfig(**{
+            **BASE,
+            "max_rounds": 2,
+            "round_budget_core_seconds": 150.0,
+            "model_name": "camp-model",
+            "keep_last": 2,
+        })
+        registry = ModelRegistry(tmp_path / "reg")
+        report = Campaign(cfg, tmp_path / "camp", registry=registry).run()
+        # Three models registered (seed + 2 rounds), pruned to the last 2.
+        assert report.registered == [1, 2, 3]
+        assert registry.versions("camp-model") == [2, 3]
+        info = registry.inspect("camp-model", 3)
+        assert info.metadata["campaign"] == cfg.fingerprint()
+        assert info.metadata["campaign_round"] == "2"
+        assert info.metadata["campaign_selection"] == "planner"
+
+
+class TestSelectionStrategies:
+    @pytest.mark.parametrize("selection", ["random", "grid"])
+    def test_baseline_strategies_complete(self, tmp_path, selection):
+        cfg = CampaignConfig(**{
+            **BASE,
+            "selection": selection,
+            "max_rounds": 1,
+            "round_budget_core_seconds": 150.0,
+            "n_candidates": 20,
+        })
+        report = Campaign(cfg, tmp_path).run()
+        assert report.done
+        assert len(report.rounds) == 2
+        assert report.ledger.spent <= report.ledger.allocation
+
+
+class TestStopRules:
+    def test_mape_target_stops_early(self, tmp_path):
+        cfg = CampaignConfig(**{**BASE, "mape_target": 10.0})  # trivially met
+        report = Campaign(cfg, tmp_path).run()
+        assert report.stop_reason == "mape-target"
+        assert len(report.rounds) == 1  # stopped right after the seed round
+
+    def test_plateau_stops_when_disagreement_stalls(self, tmp_path):
+        cfg = CampaignConfig(**{
+            **BASE,
+            "plateau_rounds": 1,
+            "plateau_tol": 10.0,  # any improvement < 1000 % counts as flat
+        })
+        report = Campaign(cfg, tmp_path).run()
+        assert report.stop_reason == "plateau"
+        # Stopped after the first post-seed round, well before max_rounds.
+        assert len(report.rounds) == 2

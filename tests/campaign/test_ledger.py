@@ -1,0 +1,187 @@
+"""Tests for campaign core-second accounting."""
+
+import pytest
+
+from repro.campaign.ledger import (
+    BudgetLedger,
+    RoundLedger,
+    worst_case_run_cost,
+)
+from repro.errors import ConfigurationError
+from repro.sim import ExecutionBudget, RetryPolicy
+from repro.sim.budget import Attempt, AttemptTrace
+from repro.sim.trace import ExecutionRecord
+
+
+def _record(nprocs=32, runtime=2.0, censored=False, attempts=None):
+    return ExecutionRecord(
+        app_name="stencil3d",
+        params={"nx": 64.0},
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime,
+        censored=censored,
+        attempts=attempts,
+    )
+
+
+def _trace(*specs):
+    """Build an AttemptTrace from (runtime, timed_out, backoff) triples."""
+    return AttemptTrace(
+        tuple(
+            Attempt(index=i, seed=i, limit=10.0, runtime=rt,
+                    timed_out=to, backoff=bo)
+            for i, (rt, to, bo) in enumerate(specs)
+        )
+    )
+
+
+class TestWorstCaseRunCost:
+    def test_single_attempt_is_limit_times_procs(self):
+        cost = worst_case_run_cost(
+            ExecutionBudget(limit=10.0), RetryPolicy(max_attempts=1), 32
+        )
+        assert cost == pytest.approx(320.0)
+
+    def test_retries_add_escalated_limits_and_max_backoff(self):
+        retry = RetryPolicy(
+            max_attempts=2, backoff_base=5.0, backoff_jitter=0.1,
+            escalation=1.5,
+        )
+        cost = worst_case_run_cost(ExecutionBudget(limit=10.0), retry, 32)
+        # attempt 0: 10 s; attempt 1: 15 s + max backoff 5 * 1.1 s.
+        assert cost == pytest.approx((10.0 + 15.0 + 5.5) * 32)
+
+    def test_actual_cost_never_exceeds_worst_case(self):
+        budget = ExecutionBudget(limit=10.0)
+        retry = RetryPolicy(
+            max_attempts=3, backoff_base=5.0, backoff_jitter=0.1,
+            escalation=1.5,
+        )
+        wc = worst_case_run_cost(budget, retry, 32)
+        # Pessimal run: every attempt killed at its escalated limit.
+        trace = _trace(
+            (10.0, True, 0.0), (15.0, True, 5.5), (22.5, True, 11.0)
+        )
+        assert trace.total_cost(32) <= wc
+
+    def test_unbounded_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="bounded"):
+            worst_case_run_cost(
+                ExecutionBudget.unlimited(), RetryPolicy(), 32
+            )
+
+
+class TestAttemptTraceCosts:
+    def test_total_cost_includes_killed_attempts_and_backoff(self):
+        trace = _trace((10.0, True, 0.0), (3.0, False, 5.0))
+        assert trace.total_cost(4) == pytest.approx((10.0 + 5.0 + 3.0) * 4)
+
+    def test_wasted_cost_excludes_final_useful_runtime(self):
+        trace = _trace((10.0, True, 0.0), (3.0, False, 5.0))
+        assert trace.wasted_cost(4) == pytest.approx((10.0 + 5.0) * 4)
+
+    def test_fully_censored_trace_is_all_waste(self):
+        trace = _trace((10.0, True, 0.0), (10.0, True, 5.0))
+        assert trace.wasted_cost(2) == pytest.approx(trace.total_cost(2))
+
+    def test_invalid_cores_rejected(self):
+        trace = _trace((1.0, False, 0.0))
+        with pytest.raises(ConfigurationError):
+            trace.total_cost(0)
+        with pytest.raises(ConfigurationError):
+            trace.wasted_cost(-1)
+
+
+class TestBudgetLedger:
+    def test_requires_positive_allocation(self):
+        with pytest.raises(ConfigurationError):
+            BudgetLedger(0.0)
+
+    def test_charge_without_trace_uses_runtime_times_procs(self):
+        ledger = BudgetLedger(1000.0)
+        ledger.open_round(0)
+        charged = ledger.charge_record(_record(nprocs=32, runtime=2.0))
+        assert charged == pytest.approx(64.0)
+        assert ledger.spent == pytest.approx(64.0)
+        assert ledger.wasted == 0.0
+        assert ledger.remaining == pytest.approx(936.0)
+
+    def test_charge_with_trace_includes_retry_and_backoff(self):
+        ledger = BudgetLedger(10000.0)
+        ledger.open_round(0)
+        trace = _trace((10.0, True, 0.0), (3.0, False, 5.0))
+        rec = _record(nprocs=4, runtime=3.0, attempts=trace)
+        ledger.charge_record(rec)
+        row = ledger.round(0)
+        assert row.charged == pytest.approx(18.0 * 4)
+        assert row.wasted == pytest.approx(15.0 * 4)
+        assert row.backoff == pytest.approx(5.0 * 4)
+        assert row.n_resubmitted == 1
+        assert row.useful == pytest.approx(3.0 * 4)
+
+    def test_censored_record_is_fully_wasted(self):
+        ledger = BudgetLedger(10000.0)
+        ledger.open_round(0)
+        trace = _trace((10.0, True, 0.0), (10.0, True, 5.0))
+        rec = _record(nprocs=4, runtime=10.0, censored=True, attempts=trace)
+        ledger.charge_record(rec)
+        row = ledger.round(0)
+        assert row.wasted == pytest.approx(row.charged)
+        assert row.n_censored == 1
+
+    def test_censored_record_without_trace_fully_wasted(self):
+        ledger = BudgetLedger(1000.0)
+        ledger.open_round(0)
+        ledger.charge_record(_record(nprocs=8, runtime=5.0, censored=True))
+        assert ledger.wasted == pytest.approx(40.0)
+
+    def test_rounds_accumulate_and_affords(self):
+        ledger = BudgetLedger(100.0)
+        ledger.open_round(0)
+        ledger.charge_record(_record(nprocs=8, runtime=5.0))  # 40
+        ledger.open_round(1)
+        ledger.charge_record(_record(nprocs=8, runtime=5.0))  # 40
+        assert ledger.spent == pytest.approx(80.0)
+        assert ledger.affords(20.0)
+        assert not ledger.affords(20.1)
+        assert not ledger.exhausted
+
+    def test_open_round_is_idempotent_on_resume(self):
+        ledger = BudgetLedger(100.0)
+        ledger.open_round(0, planned=50.0)
+        ledger.charge_record(_record(nprocs=4, runtime=1.0))
+        row = ledger.open_round(0)  # resume: planned not overwritten
+        assert row.planned == pytest.approx(50.0)
+        assert len(ledger.rounds) == 1
+
+    def test_roundtrip_preserves_everything(self):
+        ledger = BudgetLedger(500.0)
+        ledger.open_round(0, planned=100.0)
+        trace = _trace((10.0, True, 0.0), (3.0, False, 5.0))
+        ledger.charge_record(_record(nprocs=4, runtime=3.0, attempts=trace))
+        clone = BudgetLedger.from_dict(ledger.to_dict())
+        assert clone.to_dict() == ledger.to_dict()
+        assert clone.spent == pytest.approx(ledger.spent)
+
+    def test_charge_without_open_round_raises(self):
+        ledger = BudgetLedger(100.0)
+        with pytest.raises(ConfigurationError, match="open_round"):
+            ledger.charge_record(_record())
+
+    def test_summary_mentions_rounds(self):
+        ledger = BudgetLedger(100.0)
+        ledger.open_round(0)
+        ledger.charge_record(_record(nprocs=4, runtime=1.0))
+        text = ledger.summary()
+        assert "core-seconds" in text
+        assert "seed" in text
+
+
+class TestRoundLedger:
+    def test_roundtrip(self):
+        row = RoundLedger(
+            round_index=2, planned=10.0, charged=8.0, wasted=1.0,
+            backoff=0.5, n_runs=3, n_censored=1, n_resubmitted=1,
+        )
+        assert RoundLedger.from_dict(row.to_dict()) == row

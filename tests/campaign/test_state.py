@@ -1,0 +1,116 @@
+"""Tests for campaign checkpointing (atomicity, resume guards)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.ledger import BudgetLedger
+from repro.campaign.state import CHECKPOINT_NAME, CampaignState, PlannedBundle
+from repro.data import ExecutionDataset
+from repro.errors import ConfigurationError
+
+
+def _history(n=6):
+    rng = np.random.default_rng(0)
+    return ExecutionDataset(
+        app_name="stencil3d",
+        param_names=("nx", "iterations"),
+        X=rng.uniform(1, 10, size=(n, 2)),
+        nprocs=np.repeat([32, 64], n // 2),
+        runtime=rng.uniform(0.5, 2.0, size=n),
+        model_runtime=rng.uniform(0.5, 2.0, size=n),
+        rep=np.zeros(n, dtype=int),
+    )
+
+
+def _state():
+    ledger = BudgetLedger(1000.0)
+    ledger.open_round(0, planned=100.0)
+    state = CampaignState(config_hash="abc123", ledger=ledger)
+    state.start_round(0, [
+        PlannedBundle(params={"nx": 4.0, "iterations": 100.0},
+                      est_cost=12.0, disagreement=0.5),
+    ])
+    state.append_history(_history())
+    state.trajectory.append({"round": 0, "mape": 0.4})
+    state.registered.append(1)
+    return state
+
+
+class TestRoundtrip:
+    def test_save_load_identical(self, tmp_path):
+        state = _state()
+        state.save(tmp_path)
+        loaded = CampaignState.load(tmp_path, expected_hash="abc123")
+        assert loaded.to_dict() == state.to_dict()
+        assert np.allclose(loaded.history.X, state.history.X)
+        assert loaded.ledger.spent == state.ledger.spent
+
+    def test_checkpoint_is_single_file_no_tmp_left(self, tmp_path):
+        state = _state()
+        state.save(tmp_path)
+        state.save(tmp_path)  # overwrite path
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == [CHECKPOINT_NAME]
+
+    def test_checkpoint_is_stable_json(self, tmp_path):
+        state = _state()
+        a = state.save(tmp_path).read_text()
+        state.save(tmp_path)
+        b = (tmp_path / CHECKPOINT_NAME).read_text()
+        assert a == b
+        json.loads(a)  # valid JSON
+
+    def test_empty_history_roundtrip(self, tmp_path):
+        state = CampaignState(config_hash="x", ledger=BudgetLedger(10.0))
+        state.save(tmp_path)
+        loaded = CampaignState.load(tmp_path)
+        assert loaded.history is None
+
+
+class TestGuards:
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="resume"):
+            CampaignState.load(tmp_path / "nowhere")
+
+    def test_config_hash_mismatch_refused(self, tmp_path):
+        _state().save(tmp_path)
+        with pytest.raises(ConfigurationError, match="different campaign"):
+            CampaignState.load(tmp_path, expected_hash="otherhash")
+
+    def test_corrupt_json_raises_structured(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text("{not json")
+        with pytest.raises(ConfigurationError, match="Corrupt"):
+            CampaignState.load(tmp_path)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        (tmp_path / CHECKPOINT_NAME).write_text(json.dumps({"format": "v0"}))
+        with pytest.raises(ConfigurationError, match="format"):
+            CampaignState.load(tmp_path)
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ConfigurationError, match="phase"):
+            CampaignState(config_hash="x", phase="weird")
+
+
+class TestLifecycle:
+    def test_start_round_resets_cursor(self):
+        state = _state()
+        state.bundle_cursor = 1
+        state.start_round(1, [PlannedBundle(params={"nx": 1.0})])
+        assert state.phase == "round"
+        assert state.round_index == 1
+        assert state.bundle_cursor == 0
+
+    def test_finish_marks_done(self):
+        state = _state()
+        state.finish("max-rounds")
+        assert state.done
+        assert state.stop_reason == "max-rounds"
+
+    def test_append_history_merges(self):
+        state = CampaignState(config_hash="x")
+        state.append_history(_history(4))
+        state.append_history(_history(4))
+        assert len(state.history) == 8

@@ -67,6 +67,111 @@ class TestPlanning:
             planner.plan(0.0)
 
 
+class TestCensorAwarePlanning:
+    def test_no_limit_means_no_risk(self, fitted):
+        app, model = fitted
+        planner = HistoryPlanner(model, app, n_candidates=20, random_state=0)
+        assert all(r.censor_risk == 0.0 for r in planner.score_candidates())
+
+    def test_tight_limit_flags_risky_bundles(self, fitted):
+        app, model = fitted
+        free = HistoryPlanner(model, app, n_candidates=40, random_state=0)
+        runtimes = [
+            r.est_cost_core_seconds / sum(r.scales)
+            for r in free.score_candidates()
+        ]
+        # A limit below the median predicted runtime must put a real
+        # fraction of the pool at risk — and never the whole pool at 0.
+        limit = float(np.median(runtimes))
+        tight = HistoryPlanner(
+            model, app, n_candidates=40, time_limit=limit, random_state=0
+        )
+        risks = [r.censor_risk for r in tight.score_candidates()]
+        assert any(r > 0 for r in risks)
+        assert all(0.0 <= r <= 1.0 for r in risks)
+
+    def test_risk_discounts_utility(self, fitted):
+        app, model = fitted
+        free = HistoryPlanner(model, app, n_candidates=40, random_state=0)
+        limit = float(
+            np.median(
+                [
+                    r.est_cost_core_seconds / sum(r.scales)
+                    for r in free.score_candidates()
+                ]
+            )
+        )
+        tight = HistoryPlanner(
+            model, app, n_candidates=40, time_limit=limit, random_state=0
+        )
+        for r in tight.score_candidates():
+            expected = (
+                r.disagreement
+                * (1.0 - r.censor_risk)
+                / max(r.est_cost_core_seconds, 1e-12)
+            )
+            assert r.utility == pytest.approx(expected)
+            if r.censor_risk == 1.0:
+                assert r.utility == 0.0
+
+    def test_margin_widens_the_risk_band(self, fitted):
+        app, model = fitted
+        limit = 2.0
+        plain = HistoryPlanner(
+            model, app, n_candidates=40, time_limit=limit, random_state=0
+        )
+        cautious = HistoryPlanner(
+            model, app, n_candidates=40, time_limit=limit,
+            censor_margin=0.5, random_state=0,
+        )
+        by_key = {
+            tuple(sorted(r.params.items())): r.censor_risk
+            for r in plain.score_candidates()
+        }
+        for r in cautious.score_candidates():
+            assert r.censor_risk >= by_key[tuple(sorted(r.params.items()))]
+
+    def test_invalid_censor_settings_rejected(self, fitted):
+        app, model = fitted
+        with pytest.raises(ValueError, match="time_limit"):
+            HistoryPlanner(model, app, time_limit=0.0)
+        with pytest.raises(ValueError, match="censor_margin"):
+            HistoryPlanner(model, app, censor_margin=-0.1)
+
+
+class TestDegradedFitPlanning:
+    @pytest.fixture(scope="class")
+    def degraded(self):
+        """Model whose scale 64 degraded to the pooled fallback."""
+        app = get_app("stencil3d")
+        gen = HistoryGenerator(app, seed=8)
+        train = gen.collect(gen.sample_configs(20), SMALL, repetitions=1)
+        keep = np.ones(len(train), dtype=bool)
+        at_64 = np.nonzero(train.nprocs == 64)[0]
+        keep[at_64[1:]] = False  # a single training row at p=64
+        model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                              random_state=0).fit(train.select(keep))
+        assert 64 in model.interpolator_.fallback_scales_
+        return app, model
+
+    def test_planner_accepts_pooled_fallback_fit(self, degraded):
+        app, model = degraded
+        planner = HistoryPlanner(model, app, n_candidates=15, random_state=1)
+        recs = planner.score_candidates()
+        assert len(recs) == 15
+        for r in recs:
+            assert np.isfinite(r.utility)
+            assert np.isfinite(r.disagreement) and r.disagreement >= 0
+            assert r.est_cost_core_seconds > 0
+
+    def test_plan_on_degraded_fit_respects_budget(self, degraded):
+        app, model = degraded
+        planner = HistoryPlanner(model, app, n_candidates=25, random_state=1)
+        plan = planner.plan(300.0)
+        assert plan
+        assert sum(r.est_cost_core_seconds for r in plan) <= 300.0
+
+
 class TestValidation:
     def test_unfitted_model_rejected(self, fitted):
         app, _ = fitted

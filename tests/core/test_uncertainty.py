@@ -86,6 +86,47 @@ class TestPredictInterval:
         )
 
 
+class TestDegradedFit:
+    @pytest.fixture(scope="class")
+    def degraded_model(self):
+        """Fit whose scale 64 fell back to the pooled interpolator."""
+        app = get_app("stencil3d")
+        gen = HistoryGenerator(app, seed=5)
+        train = gen.collect(gen.sample_configs(20), SMALL, repetitions=1)
+        keep = np.ones(len(train), dtype=bool)
+        at_64 = np.nonzero(train.nprocs == 64)[0]
+        keep[at_64[1:]] = False  # single row at p=64 -> pooled fallback
+        model = TwoLevelModel(small_scales=SMALL, n_clusters=2,
+                              random_state=0).fit(train.select(keep))
+        assert 64 in model.interpolator_.fallback_scales_
+        return model, gen
+
+    def test_intervals_survive_pooled_fallback(self, degraded_model):
+        model, gen = degraded_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(4)]
+        )
+        unc = EnsembleUncertainty(model, n_samples=15, random_state=0)
+        interval = unc.predict_interval(X, LARGE)
+        assert np.isfinite(interval.median).all()
+        assert np.all(interval.lower > 0)
+        assert np.all(interval.lower <= interval.upper + 1e-15)
+
+    def test_degraded_intervals_reproducible(self, degraded_model):
+        model, gen = degraded_model
+        X = np.vstack(
+            [get_app("stencil3d").params_to_vector(c)
+             for c in gen.sample_configs(3)]
+        )
+        a = EnsembleUncertainty(model, n_samples=12, random_state=7)
+        b = EnsembleUncertainty(model, n_samples=12, random_state=7)
+        np.testing.assert_array_equal(
+            a.predict_interval(X, LARGE).median,
+            b.predict_interval(X, LARGE).median,
+        )
+
+
 class TestValidation:
     def test_unfitted_model_rejected(self):
         model = TwoLevelModel(small_scales=SMALL)

@@ -136,3 +136,50 @@ def test_staging_dirs_are_invisible(tmp_path, artifact):
     (tmp_path / "reg" / "m" / ".staging-v0002").mkdir()
     assert reg.versions("m") == [1]
     assert reg.register("m", artifact) == 2
+
+
+def test_prune_keeps_newest_and_reports_removals(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    for _ in range(5):
+        reg.register("m", artifact)
+    removed = reg.prune("m", keep_last=2)
+    assert removed == {"m": [1, 2, 3]}
+    assert reg.versions("m") == [4, 5]
+    # Version numbering keeps advancing past pruned versions.
+    assert reg.register("m", artifact) == 6
+
+
+def test_prune_never_deletes_pinned_version(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    for _ in range(4):
+        reg.register("m", artifact)
+    reg.pin("m", 1)
+    removed = reg.prune("m", keep_last=1)
+    assert removed == {"m": [2, 3]}
+    assert reg.versions("m") == [1, 4]  # pin survived outside the window
+    assert reg.pinned("m") == 1
+
+
+def test_prune_all_models_when_unnamed(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    for _ in range(3):
+        reg.register("a", artifact)
+    reg.register("b", artifact)
+    removed = reg.prune(keep_last=1)
+    assert removed == {"a": [1, 2]}  # "b" had nothing to lose
+    assert reg.versions("a") == [3]
+    assert reg.versions("b") == [1]
+
+
+def test_prune_noop_returns_empty(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.register("m", artifact)
+    assert reg.prune("m", keep_last=3) == {}
+    assert reg.versions("m") == [1]
+
+
+def test_prune_rejects_nonpositive_retention(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.register("m", artifact)
+    with pytest.raises(RegistryError, match="keep_last"):
+        reg.prune("m", keep_last=0)

@@ -557,3 +557,111 @@ class TestPredictInterval:
         assert code == 0
         assert "90% interpolation-noise bands" in out
         assert "in [" in out
+
+
+class TestModelsPrune:
+    @pytest.fixture()
+    def stocked_registry(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "fft2d", "--configs", "8",
+            "--scales", "32,64,128", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        model = tmp_path / "m.pkl"
+        code, _ = run_cli(
+            "fit", "--data", str(data), "--clusters", "2", "--out", str(model)
+        )
+        assert code == 0
+        registry = tmp_path / "registry"
+        for _ in range(3):
+            code, _ = run_cli(
+                "save", "--model", str(model),
+                "--registry", str(registry), "--name", "fft",
+            )
+            assert code == 0
+        return registry
+
+    def test_prune_removes_old_versions(self, stocked_registry):
+        code, out = run_cli(
+            "models", "--registry", str(stocked_registry),
+            "--name", "fft", "--prune", "1",
+        )
+        assert code == 0
+        assert "pruned fft" in out
+        assert "v0001" in out and "v0002" in out
+        code, out = run_cli("models", "--registry", str(stocked_registry))
+        assert code == 0
+        assert "v0003" in out and "v0001" not in out
+
+    def test_prune_noop_says_so(self, stocked_registry):
+        code, out = run_cli(
+            "models", "--registry", str(stocked_registry),
+            "--name", "fft", "--prune", "5",
+        )
+        assert code == 0
+        assert "nothing to prune" in out
+
+    def test_prune_cannot_combine_with_delete(self, stocked_registry):
+        code, _ = run_cli(
+            "models", "--registry", str(stocked_registry),
+            "--name", "fft", "--prune", "1", "--delete",
+        )
+        assert code == 2
+
+
+class TestCampaignCLI:
+    ARGS = [
+        "--app", "stencil3d", "--allocation", "20000",
+        "--rounds", "1", "--round-budget", "150",
+        "--seed-configs", "5", "--candidates", "30",
+        "--eval-configs", "8", "--small-scales", "32,64,128",
+        "--eval-scales", "512", "--time-limit", "10",
+        "--clusters", "2", "--seed", "3",
+    ]
+
+    def test_campaign_runs_registers_and_prunes(self, tmp_path):
+        code, out = run_cli(
+            "campaign", *self.ARGS,
+            "--checkpoint", str(tmp_path / "camp"),
+            "--registry", str(tmp_path / "reg"),
+            "--name", "camp", "--keep-last", "1",
+        )
+        assert code == 0
+        assert "finished" in out
+        assert "seed" in out and "round 1" in out
+        assert "core-seconds" in out
+        code, out = run_cli("models", "--registry", str(tmp_path / "reg"))
+        assert code == 0
+        assert "camp" in out and "v0002" in out and "v0001" not in out
+
+    def test_campaign_refuses_to_clobber_checkpoint(self, tmp_path):
+        checkpoint = tmp_path / "camp"
+        code, _ = run_cli(
+            "campaign", *self.ARGS, "--checkpoint", str(checkpoint)
+        )
+        assert code == 0
+        code, _ = run_cli(
+            "campaign", *self.ARGS, "--checkpoint", str(checkpoint)
+        )
+        assert code == 2  # ConfigurationError: pass --resume
+
+    def test_campaign_resume_finished_reprints_report(self, tmp_path):
+        checkpoint = tmp_path / "camp"
+        code, first = run_cli(
+            "campaign", *self.ARGS, "--checkpoint", str(checkpoint)
+        )
+        assert code == 0
+        code, again = run_cli(
+            "campaign", *self.ARGS, "--checkpoint", str(checkpoint),
+            "--resume",
+        )
+        assert code == 0
+        assert again == first
+
+    def test_campaign_resume_without_checkpoint_fails(self, tmp_path):
+        code, _ = run_cli(
+            "campaign", *self.ARGS,
+            "--checkpoint", str(tmp_path / "void"), "--resume",
+        )
+        assert code == 2
