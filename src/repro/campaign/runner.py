@@ -146,6 +146,13 @@ class Campaign:
         given, each round's refit model is registered under
         ``config.model_name`` with campaign provenance metadata, and
         pruned to ``config.keep_last`` versions.
+    store_dir:
+        Optional directory for a :class:`~repro.store.HistoryStore`.
+        When given, every bundle's rows are appended to the store
+        (tagged ``round-R/bundle-B`` for exactly-once resume semantics)
+        and the per-bundle checkpoint stays O(metadata) — the rows are
+        never duplicated into ``campaign.json``.  Registered artifacts
+        carry the store's manifest fingerprint as provenance.
     """
 
     def __init__(
@@ -153,10 +160,14 @@ class Campaign:
         config: CampaignConfig,
         checkpoint_dir: str | Path,
         registry: "ModelRegistry | None" = None,
+        store_dir: str | Path | None = None,
     ) -> None:
         self.config = config
         self.checkpoint_dir = Path(checkpoint_dir)
         self.registry = registry
+        self.store_dir = Path(store_dir) if store_dir is not None else None
+        self._store = None  # opened/created in run()
+        self._warm: TwoLevelModel | None = None
         self.app = get_app(config.app_name)
         self.machine = get_machine(config.machine)
         self.executor = Executor(
@@ -200,6 +211,16 @@ class Campaign:
             state = CampaignState.load(
                 self.checkpoint_dir, expected_hash=self.config.fingerprint()
             )
+            if (state.store_path is None) != (self.store_dir is None) or (
+                self.store_dir is not None
+                and Path(state.store_path or "") != self.store_dir
+            ):
+                raise ConfigurationError(
+                    f"Checkpoint store path {state.store_path!r} does not "
+                    f"match this campaign's store_dir "
+                    f"{str(self.store_dir) if self.store_dir else None!r}."
+                )
+            self._open_store(state)
             if state.done:
                 return self._report(state)
             logger.info(
@@ -216,7 +237,11 @@ class Campaign:
             state = CampaignState(
                 config_hash=self.config.fingerprint(),
                 ledger=BudgetLedger(self.config.allocation_core_seconds),
+                store_path=(
+                    str(self.store_dir) if self.store_dir is not None else None
+                ),
             )
+            self._open_store(state)
             state.start_round(0, self._seed_plan())
             state.ledger.open_round(
                 0, planned=sum(b.est_cost for b in state.planned)
@@ -264,6 +289,19 @@ class Campaign:
             state.save(self.checkpoint_dir)
 
     # -- round internals ----------------------------------------------------
+
+    def _open_store(self, state: CampaignState) -> None:
+        """Open (or create) the campaign's history store, if store-backed."""
+        if self.store_dir is None:
+            return
+        from ..store import HistoryStore
+
+        if HistoryStore.is_store(self.store_dir):
+            self._store = HistoryStore.open(self.store_dir)
+        else:
+            self._store = HistoryStore.create(
+                self.store_dir, self.config.app_name, self.app.param_names
+            )
 
     def _seed_plan(self) -> list[PlannedBundle]:
         rng = np.random.default_rng(self.config.seed)
@@ -335,11 +373,26 @@ class Campaign:
                     ledger.charge_record(rec)
                     records.append(rec)
             if records:
-                state.append_history(
-                    ExecutionDataset.from_records(
-                        records, param_names=self.app.param_names
-                    )
+                batch = ExecutionDataset.from_records(
+                    records, param_names=self.app.param_names
                 )
+                source = (
+                    f"round-{state.round_index}/bundle-{state.bundle_cursor}"
+                )
+                if self._store is not None and self._store.has_source(source):
+                    # A crash landed between the store append and the
+                    # checkpoint: the rows are already in the store (and
+                    # in the history loaded from it on resume).  The
+                    # deterministic re-execution above re-charged the
+                    # ledger; appending again would duplicate the rows.
+                    logger.info(
+                        "store already holds %s; skipping duplicate append",
+                        source,
+                    )
+                else:
+                    if self._store is not None:
+                        self._store.append(batch, source=source)
+                    state.append_history(batch)
             state.bundle_cursor += 1
             state.save(self.checkpoint_dir)
             executed += 1
@@ -354,7 +407,13 @@ class Campaign:
             n_clusters=self.config.n_clusters,
             random_state=self.config.seed,
         )
-        model.fit(clean)
+        # Warm-start from the previous round's model: scales whose data
+        # did not change this round reuse their fitted interpolators.
+        # Bit-identical to a cold fit, so a resumed campaign (which has
+        # no previous model in memory) still reproduces the same
+        # trajectory exactly.
+        model.fit(clean, warm_start_from=self._warm)
+        self._warm = model
         return model
 
     def _planner(self, model: TwoLevelModel, round_index: int) -> HistoryPlanner:
@@ -421,17 +480,27 @@ class Campaign:
             from ..serve.artifacts import ModelArtifact
 
             clean, _ = sanitize_dataset(state.history, repair="impute")
+            metadata = {
+                "campaign": self.config.fingerprint(),
+                "campaign_round": str(state.round_index),
+                "campaign_spent": f"{state.ledger.spent:.3f}",
+                "campaign_selection": self.config.selection,
+            }
+            if self._store is not None:
+                # Tie the artifact to the exact store contents it was
+                # trained from (manifest fingerprint = chunking-invariant
+                # content hash of every collected row).
+                metadata["store_path"] = str(self._store.root)
+                store_fp = self._store.fingerprint
+                if store_fp is not None:
+                    metadata["store_fingerprint"] = store_fp
+                metadata["store_rows"] = str(self._store.n_rows)
             artifact = ModelArtifact.create(
                 model,
                 app_name=self.config.app_name,
                 param_names=self.app.param_names,
                 train=clean,
-                metadata={
-                    "campaign": self.config.fingerprint(),
-                    "campaign_round": str(state.round_index),
-                    "campaign_spent": f"{state.ledger.spent:.3f}",
-                    "campaign_selection": self.config.selection,
-                },
+                metadata=metadata,
             )
             version = self.registry.register(self.config.model_name, artifact)
             state.registered.append(version)

@@ -128,6 +128,12 @@ class CampaignState:
         Registry versions registered so far, in round order.
     stop_reason:
         Why the campaign ended (None while running).
+    store_path:
+        When set, the campaign is *store-backed*: collected rows live in
+        a :class:`~repro.store.HistoryStore` at this path and the
+        checkpoint does not duplicate them — ``campaign.json`` stays
+        O(metadata) instead of O(rows), and :meth:`load` reconstructs
+        ``history`` from the store.
     """
 
     config_hash: str
@@ -140,6 +146,7 @@ class CampaignState:
     trajectory: list[dict[str, Any]] = field(default_factory=list)
     registered: list[int] = field(default_factory=list)
     stop_reason: str | None = None
+    store_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.phase not in PHASES:
@@ -156,7 +163,9 @@ class CampaignState:
     def append_history(self, batch: ExecutionDataset) -> None:
         """Merge newly collected (non-censored) rows into the history."""
         self.history = (
-            batch if self.history is None else self.history.merge(batch)
+            batch
+            if self.history is None
+            else ExecutionDataset.concat([self.history, batch])
         )
 
     def start_round(self, round_index: int, planned: list[PlannedBundle]) -> None:
@@ -180,7 +189,14 @@ class CampaignState:
             "planned": [b.to_dict() for b in self.planned],
             "bundle_cursor": self.bundle_cursor,
             "ledger": None if self.ledger is None else self.ledger.to_dict(),
-            "history": _history_payload(self.history),
+            # Store-backed campaigns keep the rows in the shard store;
+            # duplicating them into every per-bundle checkpoint would
+            # make saves O(rows) again.
+            "history": (
+                None if self.store_path is not None
+                else _history_payload(self.history)
+            ),
+            "store_path": self.store_path,
             "trajectory": self.trajectory,
             "registered": self.registered,
             "stop_reason": self.stop_reason,
@@ -208,6 +224,7 @@ class CampaignState:
             trajectory=list(payload["trajectory"]),
             registered=[int(v) for v in payload["registered"]],
             stop_reason=payload["stop_reason"],
+            store_path=payload.get("store_path"),
         )
 
     def save(self, directory: str | Path) -> Path:
@@ -248,4 +265,22 @@ class CampaignState:
                 f"(checkpoint hash {state.config_hash}, current "
                 f"{expected_hash}); refusing to resume."
             )
+        if state.store_path is not None and state.history is None:
+            # Store-backed checkpoint: the rows live in the shard store.
+            # The store may hold rows of a bundle whose checkpoint was
+            # lost to a crash; its deterministic re-execution is skipped
+            # via the store's source tags (see Campaign._execute_pending).
+            from ..store import HistoryStore
+
+            store_dir = Path(state.store_path)
+            if not HistoryStore.is_store(store_dir):
+                raise ConfigurationError(
+                    f"Checkpoint references a history store at "
+                    f"{store_dir} which does not exist; cannot resume."
+                )
+            store = HistoryStore.open(store_dir)
+            if store.n_rows:
+                history = store.to_dataset()
+                assert isinstance(history, ExecutionDataset)
+                state.history = history
         return state

@@ -27,10 +27,19 @@ Drives the library end to end without writing Python::
     python -m repro campaign --app stencil3d --allocation 20000 \
         --rounds 3 --time-limit 10 --checkpoint camp/ --resume
 
+    # trace-scale histories: stream logs into a columnar shard store,
+    # inspect/verify it, fit straight from the store directory
+    python -m repro ingest --store hist/ --data runs.jsonl --data more.csv
+    python -m repro store --store hist/
+    python -m repro store --store hist/ --verify
+    python -m repro store --store hist/ --export slice.json --scales 32,64
+    python -m repro fit --data hist/ --out model.pkl
+
 ``fit`` writes a plain pickle (a working file); ``save`` turns it into
 a versioned, checksummed registry artifact (see :mod:`repro.serve` and
 ``docs/serving.md``).  Datasets use the JSON/NPZ formats of
-:mod:`repro.data.io`.
+:mod:`repro.data.io` or a :mod:`repro.store` directory (see
+``docs/data_plane.md``).
 """
 
 from __future__ import annotations
@@ -138,6 +147,52 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--repair", choices=["drop", "impute"], default="drop",
                    help="with --sanitize: drop dirty rows, or impute "
                    "NaN/censored runtimes from repeat-group medians")
+
+    i = sub.add_parser(
+        "ingest",
+        help="stream history files into a columnar shard store "
+        "(out-of-core; bounded memory)",
+    )
+    i.add_argument("--store", required=True, metavar="DIR",
+                   help="store directory (created on first ingest)")
+    i.add_argument("--data", required=True, action="append",
+                   metavar="FILE",
+                   help="source file: .jsonl/.ndjson (one record per "
+                   "line), .csv (header-addressed), or a legacy "
+                   ".json/.npz dataset (repeatable)")
+    i.add_argument("--format", choices=["auto", "jsonl", "csv"],
+                   default="auto",
+                   help="force a source format (default: by suffix)")
+    i.add_argument("--chunk-rows", type=int, default=65536,
+                   help="rows per ETL chunk (bounds peak memory)")
+    i.add_argument("--app", default=None,
+                   help="application name when the sources carry none")
+    i.add_argument("--censor-limit", type=float, default=None,
+                   help="known wall-clock limit; enables the (row-local) "
+                   "censoring rule during ingest")
+    i.add_argument("--repair", choices=["drop", "impute"], default="drop",
+                   help="per-chunk sanitize repair mode")
+    i.add_argument("--no-sanitize", action="store_true",
+                   help="append raw rows without per-chunk sanitization")
+    i.add_argument("--source", default=None, metavar="TAG",
+                   help="provenance tag recorded on the appended shards "
+                   "(default: the file name)")
+
+    st = sub.add_parser(
+        "store", help="inspect, verify, or export a history store"
+    )
+    st.add_argument("--store", required=True, metavar="DIR")
+    st.add_argument("--verify", action="store_true",
+                    help="recompute every shard fingerprint and the "
+                    "store hash against the manifest")
+    st.add_argument("--export", default=None, metavar="OUT",
+                    help="write a .json/.npz copy in the legacy dataset "
+                    "format")
+    st.add_argument("--export-parquet", default=None, metavar="OUT",
+                    help="stream the store into a Parquet file "
+                    "(requires the optional pyarrow)")
+    st.add_argument("--scales", type=_parse_scales, default=None,
+                    help="restrict --export to these process counts")
 
     f = sub.add_parser("fit", help="fit a two-level model on a history")
     f.add_argument("--data", required=True)
@@ -276,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     ca.add_argument("--seed", type=int, default=0)
     ca.add_argument("--checkpoint", required=True, metavar="DIR",
                     help="directory for the campaign.json checkpoint")
+    ca.add_argument("--store", default=None, metavar="DIR",
+                    help="back the campaign's history with a shard "
+                    "store at DIR: rows land there (exactly-once on "
+                    "resume) and checkpoints stay O(metadata)")
     ca.add_argument("--resume", action="store_true",
                     help="continue a killed campaign from its checkpoint")
     ca.add_argument("--registry", default=None,
@@ -408,6 +467,67 @@ def _cmd_validate(args, out) -> int:
         print(f"wrote {len(clean)} runs to {args.sanitize}", file=out)
         return 0
     return 0 if report.ok else 2
+
+
+def _cmd_ingest(args, out) -> int:
+    from .data import load_dataset
+    from .store import DatasetExtractor, IngestPipeline, extractor_for_path
+
+    pipeline = IngestPipeline(
+        args.store,
+        app_name=args.app,
+        chunk_rows=args.chunk_rows,
+        sanitize=not args.no_sanitize,
+        censor_limit=args.censor_limit,
+        repair=args.repair,
+    )
+    for path_str in args.data:
+        path = Path(path_str)
+        if args.format == "auto" and path.suffix in (".json", ".npz"):
+            # Legacy whole-dataset formats have no streaming reader;
+            # load once and re-chunk through the pipeline.
+            extractor = DatasetExtractor(load_dataset(path))
+        else:
+            extractor = extractor_for_path(path, args.format)
+        report = pipeline.run(extractor, source=args.source or path.name)
+        print(report.summary(), file=out)
+    store = pipeline.store
+    if store is not None:
+        print(
+            f"store now holds {store.n_rows} rows in {store.n_shards} "
+            f"shard(s) at {store.root}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_store(args, out) -> int:
+    from .store import HistoryStore
+
+    store = HistoryStore.open(args.store)
+    acted = False
+    if args.verify:
+        summary = store.verify()
+        print(
+            f"verified {summary['shards']} shard(s), {summary['rows']} "
+            f"rows: all fingerprints match"
+            + (" (store hash STALE)" if summary["stale"] else ""),
+            file=out,
+        )
+        acted = True
+    if args.export is not None:
+        _require_writable_parent(args.export)
+        written = store.export_json(args.export, scales=args.scales)
+        print(f"exported store slice to {written}", file=out)
+        acted = True
+    if args.export_parquet is not None:
+        _require_writable_parent(args.export_parquet)
+        written = store.export_parquet(args.export_parquet)
+        print(f"exported store to {written}", file=out)
+        acted = True
+    if not acted:
+        print(store.describe(), file=out)
+    return 0
 
 
 def _cmd_fit(args, out) -> int:
@@ -602,7 +722,9 @@ def _cmd_campaign(args, out) -> int:
         from .serve import ModelRegistry
 
         registry = ModelRegistry(args.registry)
-    campaign = Campaign(config, args.checkpoint, registry=registry)
+    campaign = Campaign(
+        config, args.checkpoint, registry=registry, store_dir=args.store
+    )
     report = campaign.run(resume=args.resume)
     print(report.summary(), file=out)
     return 0
@@ -761,6 +883,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "describe": _cmd_describe,
     "validate": _cmd_validate,
+    "ingest": _cmd_ingest,
+    "store": _cmd_store,
     "fit": _cmd_fit,
     "save": _cmd_save,
     "models": _cmd_models,

@@ -127,12 +127,25 @@ class PerScaleInterpolator:
         self.random_state = random_state
 
     def fit(
-        self, train: ExecutionDataset, report: FitReport | None = None
+        self,
+        train: ExecutionDataset,
+        report: FitReport | None = None,
+        warm_models: dict[int, BaseEstimator] | None = None,
     ) -> "PerScaleInterpolator":
         """Fit one model per scale present in ``train``.
 
         Rows with non-finite runtimes or parameters are dropped up
         front; degradations are appended to ``report`` when given.
+
+        ``warm_models`` maps scales to already-fitted per-scale models
+        to reuse instead of refitting.  The caller is responsible for
+        only offering models whose training data is unchanged (see
+        :meth:`repro.core.TwoLevelModel.fit`'s ``warm_start_from``,
+        which keys on per-scale data fingerprints).  Reuse preserves
+        the RNG seed stream — a reused scale consumes its seed exactly
+        as a cold fit would — so a warm fit over unchanged data equals
+        the cold fit bit-for-bit.  Scales actually reused are recorded
+        on ``warm_reused_scales_``.
         """
         report = report if report is not None else FitReport()
         train, scrubbed = drop_invalid_rows(train)
@@ -156,9 +169,11 @@ class PerScaleInterpolator:
         self.param_names_ = train.param_names
         self.models_: dict[int, BaseEstimator] = {}
         self.fallback_scales_: tuple[int, ...] = ()
+        self.warm_reused_scales_: tuple[int, ...] = ()
         self._pooled_model: BaseEstimator | None = None
         self._train = train
         fallback: list[int] = []
+        reused: list[int] = []
         for scale in self.scales_:
             sub = train.at_scale(scale)
             if len(sub) < self.min_scale_samples:
@@ -173,8 +188,15 @@ class PerScaleInterpolator:
                 )
                 fallback.append(scale)
                 continue
-            y = np.log(sub.runtime) if self.log_target else sub.runtime
+            # Draw the seed before the warm-reuse branch: a reused scale
+            # must consume its seed so later scales see the same stream
+            # as in a cold fit.
             seed = int(rng.integers(0, 2**63 - 1))
+            if warm_models is not None and scale in warm_models:
+                self.models_[scale] = warm_models[scale]
+                reused.append(scale)
+                continue
+            y = np.log(sub.runtime) if self.log_target else sub.runtime
             model = self.model_factory(seed)
             try:
                 model.fit(sub.X, y)
@@ -192,6 +214,7 @@ class PerScaleInterpolator:
                 fallback.append(scale)
                 continue
             self.models_[scale] = model
+        self.warm_reused_scales_ = tuple(reused)
         if fallback:
             self.fallback_scales_ = tuple(fallback)
             self._fit_pooled(train, seed=int(rng.integers(0, 2**63 - 1)))

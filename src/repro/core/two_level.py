@@ -139,6 +139,7 @@ class TwoLevelModel:
         self,
         train: ExecutionDataset,
         large_train: ExecutionDataset | None = None,
+        warm_start_from: "TwoLevelModel | dict | None" = None,
     ) -> "TwoLevelModel":
         """Fit both levels.
 
@@ -151,6 +152,18 @@ class TwoLevelModel:
         large_train:
             Transfer mode only: history of configurations that also ran
             at the large scales.
+        warm_start_from:
+            A previously fitted :class:`TwoLevelModel` (or its
+            :meth:`get_fitted_state` dict) to warm-start from.  Every
+            fit records a content fingerprint per small scale
+            (``scale_data_fingerprints_``); a warm start reuses the
+            previous per-scale interpolators for scales whose
+            fingerprint is unchanged and refits only the rest plus the
+            extrapolation level.  Seed streams are preserved, so a warm
+            refit over unchanged data is bit-identical to a cold fit —
+            reuse is an optimization, never an approximation, and is
+            recorded on the fit report as a non-degrading
+            ``warm_start`` event.
         """
         report = FitReport()
         self.fit_report_ = report
@@ -228,12 +241,35 @@ class TwoLevelModel:
         self.effective_small_scales_ = effective
         small_data = train.at_scales(effective)
 
+        # Content hash per small scale *as the interpolator sees it*
+        # (post-scrub).  These are the warm-start keys of the next fit.
+        from ..data.io import dataset_fingerprint
+
+        self.scale_data_fingerprints_ = {
+            int(s): dataset_fingerprint(small_data.at_scale(int(s)))
+            for s in effective
+        }
+        warm_models = self._warm_models(warm_start_from, report)
+
         self.interpolator_ = PerScaleInterpolator(
             model_factory=self.interp_factory,
             log_target=self.log_target,
             min_scale_samples=1 if self.strict else self.min_scale_samples,
             random_state=self.random_state,
-        ).fit(small_data, report=report)
+        ).fit(small_data, report=report, warm_models=warm_models)
+        reused = getattr(self.interpolator_, "warm_reused_scales_", ())
+        if reused:
+            report.record(
+                "interpolation",
+                "warm_start",
+                f"reused fitted interpolators for {len(reused)} scale(s) "
+                f"{list(reused)} with unchanged training data",
+                degrades=False,
+                scales=list(reused),
+            )
+            logger.info(
+                "warm start: reused interpolators for scales %s", list(reused)
+            )
 
         # Training configurations' small-scale curves.
         configs, measured = small_data.runtime_matrix(effective)
@@ -343,6 +379,56 @@ class TwoLevelModel:
             logger.info("%s", report.summary())
         return self
 
+    def _warm_models(
+        self,
+        warm_start_from: "TwoLevelModel | dict | None",
+        report: FitReport,
+    ) -> dict | None:
+        """Per-scale models safe to reuse from a previous fit: those
+        whose scale's data fingerprint matches the current one and that
+        had a dedicated (non-pooled) model.  Returns ``None`` when
+        nothing is reusable."""
+        if warm_start_from is None:
+            return None
+        if isinstance(warm_start_from, TwoLevelModel):
+            for name in (
+                "mode", "interp_factory", "log_target", "min_scale_samples",
+                "strict", "random_state",
+            ):
+                if getattr(warm_start_from, name) != getattr(self, name):
+                    raise ConfigurationError(
+                        f"warm_start_from model differs in {name!r}; warm "
+                        "starts require an identically configured model."
+                    )
+            state = warm_start_from.get_fitted_state()
+        elif isinstance(warm_start_from, dict):
+            state = warm_start_from
+        else:
+            raise ConfigurationError(
+                "warm_start_from must be a fitted TwoLevelModel or a "
+                "get_fitted_state() dict."
+            )
+        prev_fps = state.get("scale_data_fingerprints_") or {}
+        prev_interp = state.get("interpolator_")
+        prev_models = getattr(prev_interp, "models_", None) or {}
+        # No param-name/app check needed: the fingerprints hash app name
+        # and param names too, so a match implies an identical schema.
+        if not prev_fps or not prev_models:
+            report.record(
+                "interpolation",
+                "warm_start_unusable",
+                "warm-start state carries no per-scale fingerprints or "
+                "fitted models; performing a cold fit",
+                degrades=False,
+            )
+            return None
+        warm = {
+            s: prev_models[s]
+            for s, fp in self.scale_data_fingerprints_.items()
+            if prev_fps.get(s) == fp and s in prev_models
+        }
+        return warm or None
+
     def _check_fitted(self) -> None:
         if not hasattr(self, "extrapolator_"):
             raise NotFittedError("TwoLevelModel is not fitted.")
@@ -360,7 +446,8 @@ class TwoLevelModel:
     #: Attributes :meth:`fit` sets (the model's entire learned state).
     _FITTED_ATTRS = (
         "fit_report_", "used_analytic_fallback_", "effective_small_scales_",
-        "interpolator_", "train_configs_", "extrapolator_",
+        "scale_data_fingerprints_", "interpolator_", "train_configs_",
+        "extrapolator_",
     )
 
     @property

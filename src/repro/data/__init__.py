@@ -8,7 +8,13 @@ from .generator import (
     sample_latin_hypercube,
     sample_random,
 )
-from .io import dataset_fingerprint, load_dataset, save_dataset
+from .io import (
+    FINGERPRINT_COLUMNS,
+    FingerprintStream,
+    dataset_fingerprint,
+    load_dataset,
+    save_dataset,
+)
 from .splits import ScaleSplit, config_split, scale_split
 
 __all__ = [
@@ -19,6 +25,8 @@ __all__ = [
     "sample_latin_hypercube",
     "sample_random",
     "dataset_fingerprint",
+    "FingerprintStream",
+    "FINGERPRINT_COLUMNS",
     "load_dataset",
     "save_dataset",
     "ScaleSplit",

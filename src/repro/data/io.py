@@ -22,14 +22,21 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
+from typing import Iterable
 
 import numpy as np
 
-from ..errors import DatasetFormatError
+from ..errors import ConfigurationError, DatasetFormatError
 from ..log import get_logger
 from .dataset import ExecutionDataset
 
-__all__ = ["save_dataset", "load_dataset", "dataset_fingerprint"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "dataset_fingerprint",
+    "FingerprintStream",
+    "FINGERPRINT_COLUMNS",
+]
 
 logger = get_logger("data.io")
 
@@ -108,26 +115,97 @@ def _from_payload(payload: object, path: Path) -> ExecutionDataset:
         raise DatasetFormatError(f"{path}: malformed dataset payload: {exc}") from exc
 
 
-def dataset_fingerprint(dataset: ExecutionDataset) -> str:
+#: Canonical column order and dtype used by every fingerprint.  The
+#: digest is defined over the columns' raw bytes *in this order*, so a
+#: chunked (streaming) computation and an in-memory one agree exactly.
+FINGERPRINT_COLUMNS = (
+    ("X", np.float64),
+    ("nprocs", np.int64),
+    ("runtime", np.float64),
+    ("model_runtime", np.float64),
+    ("rep", np.int64),
+)
+
+
+class FingerprintStream:
+    """Incremental dataset fingerprint with constant memory.
+
+    Feed each column's data — possibly in many row-chunks — in the
+    canonical :data:`FINGERPRINT_COLUMNS` order; the resulting digest is
+    byte-identical to :func:`dataset_fingerprint` over the equivalent
+    in-memory dataset.  Chunk boundaries never affect the digest (the
+    hash sees one contiguous byte stream per column), which is what
+    makes shard-store fingerprints invariant to ingestion chunking.
+    """
+
+    def __init__(self, app_name: str, param_names: Iterable[str]) -> None:
+        self._h = hashlib.sha256()
+        self._h.update(str(app_name).encode())
+        self._h.update(b"\x00".join(str(n).encode() for n in param_names))
+        self._cursor = 0
+
+    def update_column(
+        self, name: str, chunks: Iterable[np.ndarray]
+    ) -> "FingerprintStream":
+        """Hash one column's row-chunks; columns must arrive in
+        canonical order."""
+        if self._cursor >= len(FINGERPRINT_COLUMNS):
+            raise ConfigurationError(
+                "FingerprintStream already consumed every column."
+            )
+        expected, dtype = FINGERPRINT_COLUMNS[self._cursor]
+        if name != expected:
+            raise ConfigurationError(
+                f"Fingerprint columns must arrive in canonical order "
+                f"{[c for c, _ in FINGERPRINT_COLUMNS]}; expected "
+                f"{expected!r}, got {name!r}."
+            )
+        for chunk in chunks:
+            arr = np.ascontiguousarray(chunk, dtype=dtype)
+            self._h.update(arr.tobytes())
+        self._cursor += 1
+        return self
+
+    def fingerprint(self) -> str:
+        """Final ``sha256:<hex>`` digest (every column must be fed)."""
+        if self._cursor != len(FINGERPRINT_COLUMNS):
+            missing = [c for c, _ in FINGERPRINT_COLUMNS[self._cursor:]]
+            raise ConfigurationError(
+                f"Fingerprint is incomplete: columns {missing} were "
+                "never fed."
+            )
+        return f"sha256:{self._h.hexdigest()}"
+
+
+def dataset_fingerprint(
+    dataset: ExecutionDataset, chunk_rows: int | None = None
+) -> str:
     """Deterministic content hash of a dataset (``sha256:<hex>``).
 
     Covers the application name, parameter names, and the raw bytes of
     every column, so two histories hash equal iff they are bit-identical
     — the provenance key stored in model artifacts (see
-    :mod:`repro.serve.artifacts`).
+    :mod:`repro.serve.artifacts`) and shard-store manifests (see
+    :mod:`repro.store`).
+
+    ``chunk_rows`` streams each column through the hash in row-chunks of
+    that size (constant memory) and produces the *same* digest as the
+    in-memory computation — the property the chunked shard store relies
+    on.
     """
-    h = hashlib.sha256()
-    h.update(dataset.app_name.encode())
-    h.update(b"\x00".join(n.encode() for n in dataset.param_names))
-    for col in (
-        np.ascontiguousarray(dataset.X),
-        np.ascontiguousarray(dataset.nprocs),
-        np.ascontiguousarray(dataset.runtime),
-        np.ascontiguousarray(dataset.model_runtime),
-        np.ascontiguousarray(dataset.rep),
-    ):
-        h.update(col.tobytes())
-    return f"sha256:{h.hexdigest()}"
+    if chunk_rows is not None and chunk_rows < 1:
+        raise ConfigurationError("chunk_rows must be >= 1.")
+    stream = FingerprintStream(dataset.app_name, dataset.param_names)
+    n = len(dataset)
+    for name, _ in FINGERPRINT_COLUMNS:
+        col = getattr(dataset, name)
+        if chunk_rows is None:
+            stream.update_column(name, (col,))
+        else:
+            stream.update_column(
+                name, (col[i : i + chunk_rows] for i in range(0, max(n, 1), chunk_rows))
+            )
+    return stream.fingerprint()
 
 
 def save_dataset(dataset: ExecutionDataset, path: str | Path) -> None:
@@ -181,7 +259,18 @@ def load_dataset(
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
-    if path.suffix == ".json":
+    if path.is_dir():
+        # Columnar shard stores (see repro.store) load transparently, so
+        # `repro describe/fit --data <store-dir>` works like a file.
+        from ..store import HistoryStore
+
+        if not HistoryStore.is_store(path):
+            raise DatasetFormatError(
+                f"{path} is a directory but not a history store "
+                "(no store manifest)."
+            )
+        dataset = HistoryStore.open(path).to_dataset()
+    elif path.suffix == ".json":
         try:
             with open(path) as fh:
                 payload = json.load(fh)

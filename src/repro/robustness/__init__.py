@@ -14,6 +14,7 @@ on dirty history data.
 from .faults import FaultInjector, FaultLog, FaultSpec, corrupt_runtimes
 from .report import FallbackEvent, FitReport
 from .sanitize import (
+    ROW_LOCAL_RULES,
     RuleResult,
     SanitizeReport,
     ValidationReport,
@@ -30,6 +31,7 @@ __all__ = [
     "corrupt_runtimes",
     "FallbackEvent",
     "FitReport",
+    "ROW_LOCAL_RULES",
     "RuleResult",
     "SanitizeReport",
     "ValidationReport",

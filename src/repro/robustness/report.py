@@ -38,6 +38,9 @@ class FallbackEvent:
     kind: str
     detail: str
     context: dict[str, Any] = field(default_factory=dict)
+    #: False for purely informational events (e.g. ``warm_start`` reuse)
+    #: that must not mark the fit as degraded.
+    degrades: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -45,6 +48,7 @@ class FallbackEvent:
             "kind": self.kind,
             "detail": self.detail,
             "context": dict(self.context),
+            "degrades": self.degrades,
         }
 
 
@@ -59,11 +63,18 @@ class FitReport:
         stage: str,
         kind: str,
         detail: str,
+        degrades: bool = True,
         **context: Any,
     ) -> FallbackEvent:
-        """Append (and return) a new event."""
+        """Append (and return) a new event.
+
+        ``degrades=False`` records an informational event (a warm-start
+        reuse, say) that is listed in summaries but does not flip
+        :attr:`degraded`.
+        """
         event = FallbackEvent(
-            stage=stage, kind=kind, detail=detail, context=context
+            stage=stage, kind=kind, detail=detail, context=context,
+            degrades=degrades,
         )
         self.events.append(event)
         return event
@@ -72,8 +83,9 @@ class FitReport:
 
     @property
     def degraded(self) -> bool:
-        """True when at least one fallback was taken."""
-        return bool(self.events)
+        """True when at least one *degrading* fallback was taken
+        (informational events do not count)."""
+        return any(e.degrades for e in self.events)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -32,7 +32,7 @@ sanitizer never silently shrinks the scale axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -44,6 +44,7 @@ __all__ = [
     "RuleResult",
     "ValidationReport",
     "SanitizeReport",
+    "ROW_LOCAL_RULES",
     "validate_dataset",
     "sanitize_dataset",
     "drop_invalid_rows",
@@ -165,6 +166,29 @@ class SanitizeReport:
             "dropped": dict(self.dropped),
             "imputed": dict(self.imputed),
         }
+
+    def merge(self, other: "SanitizeReport") -> "SanitizeReport":
+        """Combine two chunk-level reports into one aggregate.
+
+        Row counts add and per-rule drop/impute counters sum, so a
+        chunked ETL pass (see :mod:`repro.store.etl`) reports exactly
+        what a whole-dataset pass over the concatenation of clean chunks
+        would.  Per-chunk :class:`ValidationReport` details are not
+        aggregatable row-index-wise and are dropped from the merge.
+        """
+        dropped = dict(self.dropped)
+        for rule, n in other.dropped.items():
+            dropped[rule] = dropped.get(rule, 0) + n
+        imputed = dict(self.imputed)
+        for rule, n in other.imputed.items():
+            imputed[rule] = imputed.get(rule, 0) + n
+        return SanitizeReport(
+            rows_in=self.rows_in + other.rows_in,
+            rows_out=self.rows_out + other.rows_out,
+            dropped=dropped,
+            validation=None,
+            imputed=imputed,
+        )
 
     def summary(self) -> str:
         if not self.rows_dropped and not self.rows_imputed:
@@ -372,12 +396,21 @@ _DROP_RULES = (
 )
 
 
+#: Rules whose verdict depends only on the row itself (given an explicit
+#: censor limit) — the subset a chunked sanitizer can apply with results
+#: independent of how the stream was chunked.  ``censored_runtime`` is
+#: row-local only when ``censor_limit`` is given; without one, censoring
+#: is *inferred* from the dataset-wide maximum and is chunk-dependent.
+ROW_LOCAL_RULES = ("nonfinite_params", "nonfinite_runtime", "censored_runtime")
+
+
 def sanitize_dataset(
     dataset: ExecutionDataset,
     spike_ratio: float = 5.0,
     censor_limit: float | None = None,
     min_scale_runs: int = 2,
     repair: str = "drop",
+    rules: Sequence[str] | None = None,
 ) -> tuple[ExecutionDataset, SanitizeReport]:
     """Return a cleaned copy of ``dataset`` plus a per-rule repair report.
 
@@ -392,11 +425,27 @@ def sanitize_dataset(
     :attr:`SanitizeReport.imputed`.  ``sparse_scale`` findings are
     carried in the report but never cause drops (the model layer
     decides how to degrade around thin scales).
+
+    ``rules`` restricts which rules may *drop or repair* rows (default:
+    all of them); validation still runs every rule, so the report keeps
+    the full picture.  The chunked ETL pipeline passes
+    :data:`ROW_LOCAL_RULES` here so that the surviving rows are
+    independent of chunk boundaries.
     """
     if repair not in ("drop", "impute"):
         raise ConfigurationError(
             f"repair must be 'drop' or 'impute', got {repair!r}."
         )
+    if rules is None:
+        active = _DROP_RULES
+    else:
+        unknown = sorted(set(rules) - set(_DROP_RULES))
+        if unknown:
+            raise ConfigurationError(
+                f"Unknown sanitize rules {unknown}; valid rules are "
+                f"{list(_DROP_RULES)}."
+            )
+        active = tuple(r for r in _DROP_RULES if r in set(rules))
     validation = validate_dataset(
         dataset,
         spike_ratio=spike_ratio,
@@ -405,7 +454,7 @@ def sanitize_dataset(
     )
 
     flagged = np.zeros(len(dataset), dtype=bool)
-    for rule in _DROP_RULES:
+    for rule in active:
         result = validation.by_rule(rule)
         if result is not None and result.n_rows:
             flagged[np.asarray(result.row_indices, dtype=np.int64)] = True
@@ -427,7 +476,7 @@ def sanitize_dataset(
     runtime = dataset.runtime.copy()
     dropped: dict[str, int] = {}
     imputed: dict[str, int] = {}
-    for rule in _DROP_RULES:
+    for rule in active:
         result = validation.by_rule(rule)
         dropped[rule] = 0
         if result is None or not result.n_rows:

@@ -245,7 +245,7 @@ class ModelArtifact:
         predictor: object,
         app_name: str,
         param_names: Sequence[str],
-        train: ExecutionDataset | None = None,
+        train: "ExecutionDataset | HistoryStore | None" = None,
         scales: Sequence[int] | None = None,
         metadata: Mapping[str, Any] | None = None,
         train_hash: str | None = None,
@@ -256,12 +256,21 @@ class ModelArtifact:
         ``train`` (the training history) is the preferred provenance
         source — it fills ``train_hash``, ``n_train_rows``, and the
         scale list; pass ``train_hash``/``n_train_rows``/``scales``
-        directly when the history is no longer in memory.
+        directly when the history is no longer in memory.  ``train``
+        may also be a :class:`~repro.store.HistoryStore`: the hash,
+        row count, and scales then come straight from the store
+        manifest without materializing a single row.
         """
         from .. import __version__
+        from ..store import HistoryStore
 
         kind = detect_kind(predictor)
-        if train is not None:
+        if isinstance(train, HistoryStore):
+            train_hash = train_hash or train.fingerprint
+            n_train_rows = n_train_rows or train.n_rows
+            if scales is None:
+                scales = train.scales
+        elif train is not None:
             train_hash = train_hash or dataset_fingerprint(train)
             n_train_rows = n_train_rows or len(train)
             if scales is None:

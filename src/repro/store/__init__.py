@@ -1,0 +1,61 @@
+"""Trace-scale history data plane.
+
+The :mod:`repro.store` subsystem moves history handling from "one JSON
+file in memory" to an out-of-core data plane sized for real trace
+archives:
+
+* :class:`HistoryStore` — a columnar on-disk shard store (one numpy
+  file per column per shard) with a manifest carrying schema version,
+  row counts, per-shard SHA-256 fingerprints, and sanitize provenance.
+  Reads are memory-mapped; ``to_dataset(scales=..., columns=...)``
+  materializes only the slice a fit needs, bit-identical to the
+  in-memory build of the same rows.
+* :class:`IngestPipeline` — streaming ETL with pluggable extractors
+  (:class:`JSONLExtractor`, :class:`CSVExtractor`,
+  :class:`DatasetExtractor`, :class:`RecordStreamExtractor`):
+  extract → transform → per-chunk validate/sanitize → append, with
+  peak memory bounded by the chunk size.
+* Chunking-invariant fingerprints — the store hash and the per-scale
+  hashes depend only on row content and order, never on chunk
+  boundaries; warm-start refits
+  (:meth:`repro.core.TwoLevelModel.fit` with ``warm_start_from=``) key
+  on the per-scale hashes to skip refitting unchanged scales.
+
+Parquet export (:meth:`HistoryStore.export_parquet`) activates only
+when ``pyarrow`` is importable; nothing here requires it.
+"""
+
+from .etl import IngestPipeline, IngestReport
+from .extract import (
+    CSVExtractor,
+    DatasetExtractor,
+    JSONLExtractor,
+    RecordStreamExtractor,
+    extractor_for_path,
+    normalize_record,
+)
+from .schema import COLUMN_NAMES, COLUMNS, STORE_FORMAT, STORE_FORMAT_VERSION
+from .shards import ShardReader, open_shard_column, shard_nrows, write_shard
+from .store import DEFAULT_CHUNK_ROWS, MANIFEST_NAME, HistoryStore
+
+__all__ = [
+    "HistoryStore",
+    "IngestPipeline",
+    "IngestReport",
+    "JSONLExtractor",
+    "CSVExtractor",
+    "DatasetExtractor",
+    "RecordStreamExtractor",
+    "extractor_for_path",
+    "normalize_record",
+    "ShardReader",
+    "write_shard",
+    "open_shard_column",
+    "shard_nrows",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "COLUMNS",
+    "COLUMN_NAMES",
+    "MANIFEST_NAME",
+    "DEFAULT_CHUNK_ROWS",
+]

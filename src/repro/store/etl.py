@@ -1,0 +1,329 @@
+"""Streaming ETL: extractor chunks → validate/sanitize → shard appends.
+
+:class:`IngestPipeline` is the write path of the history data plane.  It
+pulls bounded chunks from an extractor (see :mod:`repro.store.extract`),
+coerces them into :class:`~repro.data.ExecutionDataset` chunks (rejecting
+rows that cannot even be represented — non-numeric fields, nonpositive
+runtimes), sanitizes each chunk through :mod:`repro.robustness`, and
+appends the survivors to a :class:`~repro.store.HistoryStore`.  Peak
+memory is bounded by the chunk size regardless of source size.
+
+Chunking-invariance contract: by default only *row-local* sanitize rules
+run (:data:`~repro.robustness.ROW_LOCAL_RULES`, with the censoring rule
+active only under an explicit ``censor_limit``), so the surviving rows —
+and therefore the store fingerprints — are identical for any chunk size.
+Group-based rules (duplicates, spikes) need the whole history in view;
+run them post-hoc on ``store.to_dataset()`` instead, or opt in
+explicitly via ``rules=`` accepting chunk-dependent results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..errors import ConfigurationError, DatasetFormatError, DataValidationError
+from ..log import get_logger
+from ..robustness.sanitize import ROW_LOCAL_RULES, SanitizeReport, sanitize_dataset
+from .store import DEFAULT_CHUNK_ROWS, HistoryStore
+
+__all__ = ["IngestPipeline", "IngestReport"]
+
+logger = get_logger("store.etl")
+
+
+@dataclass
+class IngestReport:
+    """Aggregate outcome of one :meth:`IngestPipeline.run`."""
+
+    store_path: str
+    rows_read: int = 0
+    rows_rejected: int = 0
+    rows_appended: int = 0
+    chunks: int = 0
+    shards_written: int = 0
+    sanitize: SanitizeReport | None = None
+    fingerprint: str | None = None
+    rejections: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def rows_dropped(self) -> int:
+        return self.sanitize.rows_dropped if self.sanitize else 0
+
+    @property
+    def rows_imputed(self) -> int:
+        return self.sanitize.rows_imputed if self.sanitize else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "store_path": self.store_path,
+            "rows_read": self.rows_read,
+            "rows_rejected": self.rows_rejected,
+            "rows_appended": self.rows_appended,
+            "chunks": self.chunks,
+            "shards_written": self.shards_written,
+            "sanitize": self.sanitize.to_dict() if self.sanitize else None,
+            "fingerprint": self.fingerprint,
+            "rejections": dict(self.rejections),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"ingest: {self.rows_read} rows read -> "
+            f"{self.rows_appended} appended "
+            f"({self.shards_written} shard(s), {self.chunks} chunk(s))"
+        ]
+        if self.rows_rejected:
+            per = ", ".join(f"{k}={n}" for k, n in self.rejections.items())
+            lines.append(f"  rejected {self.rows_rejected} malformed rows ({per})")
+        if self.sanitize and (self.rows_dropped or self.rows_imputed):
+            lines.append("  " + self.sanitize.summary())
+        if self.fingerprint:
+            lines.append(f"  store fingerprint: {self.fingerprint}")
+        return "\n".join(lines)
+
+
+class IngestPipeline:
+    """Chunked extract → transform → sanitize → append pipeline.
+
+    Parameters
+    ----------
+    store:
+        An open :class:`HistoryStore`, or a directory path.  A path that
+        already holds a store is opened; otherwise the store is created
+        lazily from the first chunk (or from explicit ``app_name`` /
+        ``param_names``).
+    chunk_rows:
+        Rows pulled from the extractor per chunk; bounds peak memory.
+    sanitize:
+        Run per-chunk sanitization (default on).
+    censor_limit:
+        Known job wall-clock limit; enables the (row-local) censoring
+        rule.
+    repair:
+        Sanitize repair mode, ``"drop"`` or ``"impute"``.
+    rules:
+        Explicit sanitize rule subset.  Default: the row-local rules,
+        which keep the stored rows independent of chunk boundaries.
+        Passing group-based rules here makes results chunk-dependent —
+        only do so when each chunk is a complete repeat group.
+    """
+
+    def __init__(
+        self,
+        store: HistoryStore | str | Path,
+        app_name: str | None = None,
+        param_names: Sequence[str] | None = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        sanitize: bool = True,
+        censor_limit: float | None = None,
+        repair: str = "drop",
+        rules: Sequence[str] | None = None,
+    ) -> None:
+        if chunk_rows < 1:
+            raise ConfigurationError("chunk_rows must be >= 1.")
+        if isinstance(store, HistoryStore):
+            self._store: HistoryStore | None = store
+            self._store_path = store.root
+        else:
+            path = Path(store)
+            self._store = HistoryStore.open(path) if HistoryStore.is_store(path) else None
+            self._store_path = path
+        self._app_name = app_name
+        self._param_names = tuple(param_names) if param_names is not None else None
+        self.chunk_rows = int(chunk_rows)
+        self.sanitize = bool(sanitize)
+        self.censor_limit = censor_limit
+        self.repair = repair
+        if rules is not None:
+            self._rules: tuple[str, ...] = tuple(rules)
+        elif censor_limit is not None:
+            self._rules = ROW_LOCAL_RULES
+        else:
+            # Without a known limit the censoring rule would *infer* a
+            # ceiling from each chunk's maximum — chunk-dependent, so off.
+            self._rules = tuple(r for r in ROW_LOCAL_RULES if r != "censored_runtime")
+
+    @property
+    def store(self) -> HistoryStore | None:
+        """The target store (``None`` until the first chunk creates it)."""
+        return self._store
+
+    # -- pipeline ----------------------------------------------------------
+
+    def run(self, extractor, source: str | None = None) -> IngestReport:
+        """Stream ``extractor`` into the store and return the report.
+
+        Shard fingerprint refreshes are deferred until the end of the
+        run, so ingest cost is linear in source size with one final
+        hashing pass.
+        """
+        report = IngestReport(store_path=str(self._store_path))
+        appended = False
+        for chunk in extractor.chunks(self.chunk_rows):
+            report.chunks += 1
+            report.rows_read += len(chunk)
+            dataset = self._transform(chunk, report)
+            if dataset is None:
+                continue
+            sanitize_payload = None
+            if self.sanitize:
+                dataset, chunk_report = sanitize_dataset(
+                    dataset,
+                    censor_limit=self.censor_limit,
+                    repair=self.repair,
+                    rules=self._rules,
+                )
+                sanitize_payload = chunk_report.to_dict()
+                report.sanitize = (
+                    chunk_report
+                    if report.sanitize is None
+                    else report.sanitize.merge(chunk_report)
+                )
+                if len(dataset) == 0:
+                    continue
+            entry = self._ensure_store(dataset).append(
+                dataset,
+                source=source,
+                sanitize=sanitize_payload,
+                defer_fingerprints=True,
+            )
+            if entry is not None:
+                appended = True
+                report.shards_written += 1
+                report.rows_appended += entry["rows"]
+        if self._store is None:
+            raise DataValidationError(
+                f"Ingest produced no usable rows ({report.rows_read} read, "
+                f"{report.rows_rejected} rejected); store not created."
+            )
+        if appended:
+            report.fingerprint = self._store.refresh_fingerprints()
+        else:
+            report.fingerprint = self._store.fingerprint
+        logger.info("%s", report.summary())
+        return report
+
+    # -- transform ---------------------------------------------------------
+
+    def _ensure_store(self, dataset: ExecutionDataset) -> HistoryStore:
+        if self._store is None:
+            self._store = HistoryStore.create(
+                self._store_path, dataset.app_name, dataset.param_names
+            )
+        return self._store
+
+    def _target_schema(
+        self, first: dict[str, Any]
+    ) -> tuple[str | None, tuple[str, ...]]:
+        """Resolve (app_name, param_names) from, in priority order: the
+        open store, explicit constructor args, the first record."""
+        if self._store is not None:
+            return self._store.app_name, self._store.param_names
+        app = self._app_name
+        if app is None:
+            app = first.get("app_name")
+        params = self._param_names
+        if params is None:
+            params = tuple(sorted(first["params"]))
+        return app, params
+
+    def _transform(
+        self, chunk: list[dict[str, Any]], report: IngestReport
+    ) -> ExecutionDataset | None:
+        """Coerce one raw chunk into an ExecutionDataset, rejecting rows
+        that cannot be represented and counting them per reason."""
+        if not chunk:
+            return None
+        app_name, param_names = self._target_schema(chunk[0])
+        n = len(chunk)
+        X = np.empty((n, len(param_names)), dtype=np.float64)
+        nprocs = np.empty(n, dtype=np.int64)
+        runtime = np.empty(n, dtype=np.float64)
+        model_runtime = np.empty(n, dtype=np.float64)
+        rep = np.empty(n, dtype=np.int64)
+        keep = np.zeros(n, dtype=bool)
+
+        def reject(reason: str) -> None:
+            report.rows_rejected += 1
+            report.rejections[reason] = report.rejections.get(reason, 0) + 1
+
+        for i, rec in enumerate(chunk):
+            origin = rec.get("origin", "<record>")
+            rec_app = rec.get("app_name")
+            if rec_app is not None and app_name is not None and str(rec_app) != app_name:
+                raise DataValidationError(
+                    f"{origin}: record belongs to application {rec_app!r} "
+                    f"but the store holds {app_name!r}."
+                )
+            if app_name is None:
+                app_name = str(rec_app) if rec_app is not None else None
+            params = rec["params"]
+            if set(params) != set(param_names):
+                raise DatasetFormatError(
+                    f"{origin}: record parameters {sorted(params)} do not "
+                    f"match the store schema {sorted(param_names)}."
+                )
+            try:
+                row = [float(params[p]) for p in param_names]
+            except (TypeError, ValueError):
+                reject("bad_param_value")
+                continue
+            try:
+                np_ = int(float(rec["nprocs"]))
+            except (TypeError, ValueError):
+                reject("bad_nprocs")
+                continue
+            if np_ < 1:
+                reject("bad_nprocs")
+                continue
+            raw_rt = rec.get("runtime")
+            try:
+                rt = math.nan if raw_rt is None else float(raw_rt)
+            except (TypeError, ValueError):
+                reject("bad_runtime")
+                continue
+            if math.isfinite(rt) and rt <= 0:
+                reject("nonpositive_runtime")
+                continue
+            raw_mrt = rec.get("model_runtime")
+            try:
+                mrt = rt if raw_mrt is None else float(raw_mrt)
+            except (TypeError, ValueError):
+                reject("bad_model_runtime")
+                continue
+            raw_rep = rec.get("rep")
+            try:
+                rp = 0 if raw_rep is None else int(float(raw_rep))
+            except (TypeError, ValueError):
+                reject("bad_rep")
+                continue
+            X[i] = row
+            nprocs[i] = np_
+            runtime[i] = rt
+            model_runtime[i] = mrt
+            rep[i] = rp
+            keep[i] = True
+
+        if not keep.any():
+            return None
+        if app_name is None:
+            raise DataValidationError(
+                "Cannot determine the application name: records carry no "
+                "app_name and none was configured (pass app_name= to "
+                "IngestPipeline or create the store first)."
+            )
+        return ExecutionDataset(
+            app_name=app_name,
+            param_names=tuple(param_names),
+            X=X[keep],
+            nprocs=nprocs[keep],
+            runtime=runtime[keep],
+            model_runtime=model_runtime[keep],
+            rep=rep[keep],
+        )

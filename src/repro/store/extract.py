@@ -1,0 +1,236 @@
+"""Pluggable extractors: raw history sources → streams of record chunks.
+
+An extractor is anything with a ``chunks(chunk_rows)`` method yielding
+lists of *raw record mappings* — plain dicts with the fields
+
+======================= ======================================================
+``params``              mapping of parameter name → value (a flat source may
+                        instead carry parameters as extra top-level keys)
+``nprocs``              process count of the run
+``runtime``             observed runtime (``None``/NaN for failed runs)
+``model_runtime``       noise-free model runtime; optional, falls back to
+                        ``runtime``
+``rep``                 repetition index; optional, defaults to 0
+``app_name``            optional; checked for consistency when present
+======================= ======================================================
+
+Extractors only *parse and chunk*; type coercion, schema checks, and
+row-level rejection live in :class:`repro.store.etl.IngestPipeline`, so
+every source format gets identical validation.  Each built-in extractor
+streams its source — no extractor ever holds more than one chunk.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..data.dataset import ExecutionDataset
+from ..errors import ConfigurationError, DatasetFormatError
+from ..sim.trace import ExecutionRecord
+
+__all__ = [
+    "RESERVED_FIELDS",
+    "normalize_record",
+    "JSONLExtractor",
+    "CSVExtractor",
+    "DatasetExtractor",
+    "RecordStreamExtractor",
+    "extractor_for_path",
+]
+
+#: Top-level keys with fixed meaning; anything else in a flat record is
+#: treated as a parameter column.
+RESERVED_FIELDS = frozenset(
+    {"app_name", "params", "nprocs", "runtime", "model_runtime", "rep"}
+)
+
+
+def normalize_record(obj: Mapping[str, Any], origin: str) -> dict[str, Any]:
+    """Normalize one raw mapping into the canonical record-dict shape.
+
+    Nested ``params`` dicts pass through; flat records (CSV rows, flat
+    JSON objects) have their non-reserved keys gathered into ``params``.
+    ``origin`` names the source location (file:line) for error messages.
+    """
+    if not isinstance(obj, Mapping):
+        raise DatasetFormatError(
+            f"{origin}: record is {type(obj).__name__}, expected an object."
+        )
+    params = obj.get("params")
+    if params is None:
+        params = {k: v for k, v in obj.items() if k not in RESERVED_FIELDS}
+    elif not isinstance(params, Mapping):
+        raise DatasetFormatError(
+            f"{origin}: 'params' is {type(params).__name__}, expected an "
+            "object."
+        )
+    return {
+        "app_name": obj.get("app_name"),
+        "params": dict(params),
+        "nprocs": obj.get("nprocs"),
+        "runtime": obj.get("runtime"),
+        "model_runtime": obj.get("model_runtime"),
+        "rep": obj.get("rep"),
+        "origin": origin,
+    }
+
+
+class JSONLExtractor:
+    """One JSON object per line (the streaming sibling of the legacy
+    record-list JSON format)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def chunks(self, chunk_rows: int) -> Iterator[list[dict[str, Any]]]:
+        chunk: list[dict[str, Any]] = []
+        with open(self.path) as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                origin = f"{self.path}:{line_no}"
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise DatasetFormatError(
+                        f"{origin}: invalid JSON: {exc}"
+                    ) from exc
+                chunk.append(normalize_record(obj, origin))
+                if len(chunk) >= chunk_rows:
+                    yield chunk
+                    chunk = []
+        if chunk:
+            yield chunk
+
+
+class CSVExtractor:
+    """Header-addressed CSV: ``nprocs`` and ``runtime`` columns are
+    required; ``app_name``, ``model_runtime``, ``rep`` are optional; any
+    other column is a parameter."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def chunks(self, chunk_rows: int) -> Iterator[list[dict[str, Any]]]:
+        chunk: list[dict[str, Any]] = []
+        with open(self.path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames is None:
+                raise DatasetFormatError(f"{self.path}: empty CSV (no header).")
+            missing = {"nprocs", "runtime"} - set(reader.fieldnames)
+            if missing:
+                raise DatasetFormatError(
+                    f"{self.path}: CSV header is missing required "
+                    f"column(s) {sorted(missing)}."
+                )
+            for row in reader:
+                origin = f"{self.path}:{reader.line_num}"
+                cleaned = {
+                    k: (None if v == "" else v)
+                    for k, v in row.items()
+                    if k is not None
+                }
+                chunk.append(normalize_record(cleaned, origin))
+                if len(chunk) >= chunk_rows:
+                    yield chunk
+                    chunk = []
+        if chunk:
+            yield chunk
+
+
+class DatasetExtractor:
+    """Re-chunk an in-memory :class:`~repro.data.ExecutionDataset` —
+    used to pour legacy JSON/NPZ histories into a store, and by the
+    equivalence tests (same rows, any chunking, same fingerprints)."""
+
+    def __init__(self, dataset: ExecutionDataset) -> None:
+        self.dataset = dataset
+
+    def chunks(self, chunk_rows: int) -> Iterator[list[dict[str, Any]]]:
+        ds = self.dataset
+        for start in range(0, len(ds), chunk_rows):
+            stop = min(start + chunk_rows, len(ds))
+            chunk = []
+            for i in range(start, stop):
+                chunk.append(
+                    {
+                        "app_name": ds.app_name,
+                        "params": {
+                            name: float(ds.X[i, j])
+                            for j, name in enumerate(ds.param_names)
+                        },
+                        "nprocs": int(ds.nprocs[i]),
+                        "runtime": float(ds.runtime[i]),
+                        "model_runtime": float(ds.model_runtime[i]),
+                        "rep": int(ds.rep[i]),
+                        "origin": f"<dataset row {i}>",
+                    }
+                )
+            yield chunk
+
+
+class RecordStreamExtractor:
+    """Adapt an iterable of :class:`~repro.sim.ExecutionRecord` (e.g. a
+    simulator run stream) into the extractor protocol."""
+
+    def __init__(self, records: Iterable[ExecutionRecord]) -> None:
+        self._records = records
+        self._consumed = False
+
+    def chunks(self, chunk_rows: int) -> Iterator[list[dict[str, Any]]]:
+        if self._consumed:
+            raise ConfigurationError(
+                "RecordStreamExtractor streams its source once; build a "
+                "new extractor to re-ingest."
+            )
+        self._consumed = True
+        chunk: list[dict[str, Any]] = []
+        for i, r in enumerate(self._records):
+            chunk.append(
+                {
+                    "app_name": r.app_name,
+                    "params": dict(r.params),
+                    "nprocs": r.nprocs,
+                    "runtime": r.runtime,
+                    "model_runtime": r.model_runtime,
+                    "rep": r.rep,
+                    "origin": f"<record {i}>",
+                }
+            )
+            if len(chunk) >= chunk_rows:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+
+_SUFFIX_EXTRACTORS = {
+    ".jsonl": JSONLExtractor,
+    ".ndjson": JSONLExtractor,
+    ".csv": CSVExtractor,
+}
+
+
+def extractor_for_path(path: str | Path, fmt: str = "auto"):
+    """Pick an extractor for a file: by ``fmt`` (``jsonl``/``csv``) or,
+    with ``auto``, by suffix."""
+    path = Path(path)
+    if fmt == "jsonl":
+        return JSONLExtractor(path)
+    if fmt == "csv":
+        return CSVExtractor(path)
+    if fmt != "auto":
+        raise ConfigurationError(
+            f"Unknown ingest format {fmt!r}; use 'jsonl', 'csv', or 'auto'."
+        )
+    try:
+        return _SUFFIX_EXTRACTORS[path.suffix.lower()](path)
+    except KeyError:
+        raise DatasetFormatError(
+            f"{path}: cannot infer ingest format from suffix "
+            f"{path.suffix!r}; pass fmt='jsonl' or fmt='csv'."
+        ) from None

@@ -1,0 +1,46 @@
+"""Column schema of the history shard store.
+
+A history store persists the exact columns of an
+:class:`~repro.data.ExecutionDataset` — a parameter matrix plus four
+fixed-width vectors — as one numpy file per column per shard.  The
+schema (column names, dtypes, dimensionality) is versioned in the store
+manifest so future layout changes stay loadable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "COLUMNS",
+    "COLUMN_NAMES",
+    "column_dtype",
+]
+
+#: Manifest ``format`` marker identifying a directory as a history store.
+STORE_FORMAT = "repro-history-store"
+
+#: Bump on any manifest/shard layout change.
+STORE_FORMAT_VERSION = 1
+
+#: Canonical column order: ``(name, dtype, ndim)``.  The order matches
+#: :data:`repro.data.io.FINGERPRINT_COLUMNS` so store fingerprints and
+#: dataset fingerprints agree byte-for-byte.
+COLUMNS = (
+    ("X", np.float64, 2),
+    ("nprocs", np.int64, 1),
+    ("runtime", np.float64, 1),
+    ("model_runtime", np.float64, 1),
+    ("rep", np.int64, 1),
+)
+
+COLUMN_NAMES = tuple(name for name, _, _ in COLUMNS)
+
+_DTYPES = {name: dtype for name, dtype, _ in COLUMNS}
+
+
+def column_dtype(name: str) -> np.dtype:
+    """Canonical dtype of a schema column."""
+    return np.dtype(_DTYPES[name])

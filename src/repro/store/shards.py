@@ -1,0 +1,108 @@
+"""Columnar shard I/O.
+
+A *shard* is one append's worth of history rows, stored as a directory
+of fixed-width numpy column files::
+
+    shards/shard-00000/
+        X.npy             float64 (rows, n_params)
+        nprocs.npy        int64   (rows,)
+        runtime.npy       float64 (rows,)
+        model_runtime.npy float64 (rows,)
+        rep.npy           int64   (rows,)
+
+Columns are written atomically (temp directory + ``os.replace``) and
+read back memory-mapped, so consumers stream slices without ever
+materializing a shard — the primitive the out-of-core history build is
+made of.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..errors import DatasetFormatError
+from ..log import get_logger
+from .schema import COLUMNS, column_dtype
+
+__all__ = ["write_shard", "open_shard_column", "shard_nrows", "ShardReader"]
+
+logger = get_logger("store.shards")
+
+
+def write_shard(directory: Path, dataset: ExecutionDataset) -> Path:
+    """Write ``dataset``'s columns to ``directory`` atomically.
+
+    The columns land in a sibling temp directory first and are moved
+    into place with :func:`os.replace`, so a crash mid-write never
+    leaves a half-shard under the final name.
+    """
+    directory = Path(directory)
+    tmp = directory.parent / f".tmp-{directory.name}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        for name, dtype, _ in COLUMNS:
+            arr = np.ascontiguousarray(getattr(dataset, name), dtype=dtype)
+            np.save(tmp / f"{name}.npy", arr, allow_pickle=False)
+        if directory.exists():
+            shutil.rmtree(directory)
+        os.replace(tmp, directory)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    logger.debug("wrote shard %s (%d rows)", directory.name, len(dataset))
+    return directory
+
+
+def open_shard_column(directory: Path, name: str) -> np.ndarray:
+    """Memory-map one column of a shard (read-only, no copy)."""
+    path = Path(directory) / f"{name}.npy"
+    if not path.is_file():
+        raise DatasetFormatError(
+            f"Shard {directory} is missing column file {name}.npy."
+        )
+    try:
+        arr = np.load(path, mmap_mode="r", allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise DatasetFormatError(
+            f"{path}: unreadable shard column: {exc}"
+        ) from exc
+    if arr.dtype != column_dtype(name):
+        raise DatasetFormatError(
+            f"{path}: column dtype {arr.dtype} does not match the "
+            f"schema dtype {column_dtype(name)}."
+        )
+    return arr
+
+
+def shard_nrows(directory: Path) -> int:
+    """Row count of a shard (from its ``nprocs`` column header)."""
+    return int(open_shard_column(directory, "nprocs").shape[0])
+
+
+class ShardReader:
+    """Lazy, memory-mapped view over one shard's columns."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self._columns: dict[str, np.ndarray] = {}
+
+    def column(self, name: str) -> np.ndarray:
+        """The named column, memory-mapped and cached."""
+        if name not in self._columns:
+            self._columns[name] = open_shard_column(self.directory, name)
+        return self._columns[name]
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.column("nprocs").shape[0])
+
+    def scale_mask(self, scales) -> np.ndarray:
+        """Boolean mask of rows whose nprocs is in ``scales``."""
+        return np.isin(self.column("nprocs"), np.asarray(list(scales)))

@@ -1,0 +1,603 @@
+"""The columnar history store: manifest + shard directory.
+
+Layout::
+
+    store/
+        manifest.json           # schema version, row counts, fingerprints
+        shards/
+            shard-00000/        # one append each (see repro.store.shards)
+            shard-00001/
+            ...
+
+The manifest is the store's single source of truth: which shards exist
+(orphan directories from a crashed append are ignored), how many rows
+each holds, each shard's content fingerprint, the sanitize provenance of
+the chunk it came from, and two *chunking-invariant* content hashes —
+the whole-store ``dataset_fingerprint`` and one fingerprint per scale.
+Chunking-invariant means: ingesting the same records through any chunk
+sizes produces byte-identical fingerprints, because the hash streams
+the store column-major in row order (see
+:class:`~repro.data.io.FingerprintStream`).  The per-scale fingerprints
+are what warm-start refits key on — a scale whose fingerprint is
+unchanged still has exactly the data its interpolator was fitted on.
+
+Manifest updates are atomic (temp file + ``os.replace``) and shard
+writes land before the manifest references them, so a reader always
+sees a consistent store and a crash loses at most the append in
+flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..data.dataset import ExecutionDataset
+from ..data.io import FINGERPRINT_COLUMNS, FingerprintStream, save_dataset
+from ..errors import ConfigurationError, DataValidationError, DatasetFormatError
+from ..log import get_logger
+from .schema import COLUMN_NAMES, STORE_FORMAT, STORE_FORMAT_VERSION, column_dtype
+from .shards import ShardReader, write_shard
+
+__all__ = ["HistoryStore", "MANIFEST_NAME", "DEFAULT_CHUNK_ROWS"]
+
+logger = get_logger("store.store")
+
+MANIFEST_NAME = "manifest.json"
+SHARDS_DIR = "shards"
+
+#: Row-chunk size used when streaming shards (hashing, export, chunked
+#: reads).  Bounds peak memory at roughly ``chunk * row_width`` bytes.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+def _shard_name(index: int) -> str:
+    return f"shard-{index:05d}"
+
+
+class HistoryStore:
+    """A trace-scale execution history on disk (see module docstring).
+
+    Create one with :meth:`create`, reopen with :meth:`open`; both are
+    cheap (only the manifest is read — shard columns are memory-mapped
+    lazily).
+    """
+
+    def __init__(self, root: Path, manifest: dict[str, Any]) -> None:
+        self.root = Path(root)
+        self._manifest = manifest
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        app_name: str,
+        param_names: Sequence[str],
+    ) -> "HistoryStore":
+        """Initialize an empty store at ``root`` (refuses an existing one)."""
+        root = Path(root)
+        if (root / MANIFEST_NAME).exists():
+            raise ConfigurationError(
+                f"{root} already holds a history store; open() it instead."
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        (root / SHARDS_DIR).mkdir(exist_ok=True)
+        manifest = {
+            "format": STORE_FORMAT,
+            "format_version": STORE_FORMAT_VERSION,
+            "app_name": str(app_name),
+            "param_names": [str(n) for n in param_names],
+            "created_unix": time.time(),
+            "n_rows": 0,
+            "scales": [],
+            "dataset_fingerprint": None,
+            "scale_fingerprints": {},
+            "fingerprints_stale": False,
+            "shards": [],
+        }
+        store = cls(root, manifest)
+        store._write_manifest()
+        logger.info("created history store at %s (app=%s)", root, app_name)
+        return store
+
+    @classmethod
+    def open(cls, root: str | Path) -> "HistoryStore":
+        """Open an existing store, validating its manifest."""
+        root = Path(root)
+        path = root / MANIFEST_NAME
+        if not path.is_file():
+            raise DatasetFormatError(
+                f"{root} is not a history store (no {MANIFEST_NAME})."
+            )
+        try:
+            manifest = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DatasetFormatError(
+                f"{path}: manifest is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
+            raise DatasetFormatError(
+                f"{path}: not a history-store manifest "
+                f"(format={manifest.get('format') if isinstance(manifest, dict) else None!r})."
+            )
+        try:
+            version = int(manifest["format_version"])
+        except (KeyError, TypeError, ValueError):
+            raise DatasetFormatError(
+                f"{path}: manifest has no integer format_version."
+            ) from None
+        if version > STORE_FORMAT_VERSION:
+            raise DatasetFormatError(
+                f"{path}: store format version {version} is newer than "
+                f"this build reads (<= {STORE_FORMAT_VERSION})."
+            )
+        missing = sorted(
+            {"app_name", "param_names", "n_rows", "shards"} - set(manifest)
+        )
+        if missing:
+            raise DatasetFormatError(
+                f"{path}: manifest is missing keys {missing}."
+            )
+        if manifest.get("fingerprints_stale"):
+            logger.warning(
+                "%s: fingerprints are stale (interrupted ingest?); run "
+                "refresh_fingerprints() to recompute them", root
+            )
+        return cls(root, manifest)
+
+    @staticmethod
+    def is_store(root: str | Path) -> bool:
+        """True when ``root`` looks like a history store directory."""
+        path = Path(root) / MANIFEST_NAME
+        if not path.is_file():
+            return False
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        return isinstance(manifest, dict) and manifest.get("format") == STORE_FORMAT
+
+    # -- manifest accessors ------------------------------------------------
+
+    @property
+    def app_name(self) -> str:
+        return str(self._manifest["app_name"])
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(self._manifest["param_names"])
+
+    @property
+    def n_rows(self) -> int:
+        return int(self._manifest["n_rows"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._manifest["shards"])
+
+    @property
+    def scales(self) -> tuple[int, ...]:
+        return tuple(int(s) for s in self._manifest["scales"])
+
+    @property
+    def fingerprint(self) -> str | None:
+        """Whole-store content hash — equals
+        ``dataset_fingerprint(store.to_dataset())`` and is invariant to
+        how the rows were chunked into shards.  ``None`` while stale."""
+        if self._manifest.get("fingerprints_stale"):
+            return None
+        return self._manifest["dataset_fingerprint"]
+
+    @property
+    def scale_fingerprints(self) -> dict[int, str]:
+        """Per-scale content hashes (the warm-start refit keys)."""
+        if self._manifest.get("fingerprints_stale"):
+            return {}
+        return {
+            int(s): str(v)
+            for s, v in self._manifest["scale_fingerprints"].items()
+        }
+
+    @property
+    def shard_infos(self) -> list[dict[str, Any]]:
+        """Per-shard manifest entries (name, rows, scales, fingerprint,
+        source, sanitize provenance)."""
+        return [dict(e) for e in self._manifest["shards"]]
+
+    def sources(self) -> list[str]:
+        """Distinct non-null shard sources, in append order."""
+        out: list[str] = []
+        for entry in self._manifest["shards"]:
+            src = entry.get("source")
+            if src is not None and src not in out:
+                out.append(src)
+        return out
+
+    def has_source(self, source: str) -> bool:
+        """True when some shard was appended under this source tag —
+        the exactly-once guard incremental producers (campaign rounds)
+        use to make re-appends after a crash idempotent."""
+        return any(
+            entry.get("source") == source
+            for entry in self._manifest["shards"]
+        )
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    # -- append ------------------------------------------------------------
+
+    def append(
+        self,
+        dataset: ExecutionDataset,
+        source: str | None = None,
+        sanitize: dict[str, Any] | None = None,
+        defer_fingerprints: bool = False,
+    ) -> dict[str, Any] | None:
+        """Append one chunk of history as a new shard.
+
+        Returns the new shard's manifest entry (``None`` for an empty
+        chunk).  ``sanitize`` carries the chunk's sanitize-report dict
+        into the manifest as provenance.  ``defer_fingerprints=True``
+        skips the store-level fingerprint recompute (the manifest is
+        marked stale); bulk ingesters use it and call
+        :meth:`refresh_fingerprints` once at the end.
+        """
+        if dataset.app_name != self.app_name:
+            raise DataValidationError(
+                f"Cannot append {dataset.app_name!r} rows to a "
+                f"{self.app_name!r} store."
+            )
+        if dataset.param_names != self.param_names:
+            raise DataValidationError(
+                f"Param names {list(dataset.param_names)} do not match "
+                f"the store schema {list(self.param_names)}."
+            )
+        if len(dataset) == 0:
+            return None
+        name = _shard_name(self.n_shards)
+        shard_dir = self.root / SHARDS_DIR / name
+        write_shard(shard_dir, dataset)
+
+        from ..data.io import dataset_fingerprint
+
+        entry = {
+            "name": name,
+            "rows": len(dataset),
+            "scales": [int(s) for s in dataset.scales],
+            "fingerprint": dataset_fingerprint(dataset),
+            "source": source,
+            "sanitize": dict(sanitize) if sanitize is not None else None,
+            "created_unix": time.time(),
+        }
+        self._manifest["shards"].append(entry)
+        self._manifest["n_rows"] = self.n_rows + len(dataset)
+        scales = sorted(
+            set(self.scales) | {int(s) for s in dataset.scales}
+        )
+        self._manifest["scales"] = scales
+        if defer_fingerprints:
+            self._manifest["fingerprints_stale"] = True
+        else:
+            self._refresh_fingerprints(
+                touched=[int(s) for s in dataset.scales]
+            )
+        self._write_manifest()
+        logger.debug(
+            "appended %s: %d rows (source=%s, store now %d rows)",
+            name, len(dataset), source, self.n_rows,
+        )
+        return dict(entry)
+
+    def refresh_fingerprints(self) -> str:
+        """Recompute the store and per-scale fingerprints from the
+        shards (clears a stale marker) and return the store hash."""
+        self._refresh_fingerprints(touched=None)
+        self._write_manifest()
+        fp = self._manifest["dataset_fingerprint"]
+        assert fp is not None
+        return fp
+
+    def _refresh_fingerprints(self, touched: Sequence[int] | None) -> None:
+        """Recompute the whole-store hash, plus the per-scale hashes of
+        ``touched`` scales (all scales when ``None`` or when stale)."""
+        stale = bool(self._manifest.get("fingerprints_stale"))
+        self._manifest["dataset_fingerprint"] = self._stream_fingerprint(None)
+        if touched is None or stale:
+            targets = list(self.scales)
+            per_scale: dict[str, str] = {}
+        else:
+            targets = sorted(set(int(s) for s in touched))
+            per_scale = dict(self._manifest.get("scale_fingerprints", {}))
+        for s in targets:
+            per_scale[str(s)] = self._stream_fingerprint([s])
+        self._manifest["scale_fingerprints"] = per_scale
+        self._manifest["fingerprints_stale"] = False
+
+    # -- reading -----------------------------------------------------------
+
+    def _readers(self) -> list[ShardReader]:
+        return [
+            ShardReader(self.root / SHARDS_DIR / entry["name"])
+            for entry in self._manifest["shards"]
+        ]
+
+    def _stream_fingerprint(
+        self,
+        scales: Sequence[int] | None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> str:
+        """Chunking-invariant content hash of a (scale-sliced) store,
+        streamed column-major with constant memory."""
+        readers = self._readers()
+        stream = FingerprintStream(self.app_name, self.param_names)
+        for name, _ in FINGERPRINT_COLUMNS:
+            def chunks() -> Iterator[np.ndarray]:
+                for reader in readers:
+                    col = reader.column(name)
+                    if scales is None:
+                        for i in range(0, reader.n_rows, chunk_rows):
+                            yield col[i : i + chunk_rows]
+                    else:
+                        mask = reader.scale_mask(scales)
+                        idx = np.nonzero(mask)[0]
+                        for i in range(0, len(idx), chunk_rows):
+                            yield col[idx[i : i + chunk_rows]]
+            stream.update_column(name, chunks())
+        return stream.fingerprint()
+
+    def iter_chunks(
+        self,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        scales: Sequence[int] | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> Iterator[dict[str, np.ndarray]]:
+        """Stream the (scale-sliced) store as column dicts of at most
+        ``chunk_rows`` rows each, in row order, without materializing
+        the whole history."""
+        use = self._check_columns(columns)
+        if chunk_rows < 1:
+            raise ConfigurationError("chunk_rows must be >= 1.")
+        for reader in self._readers():
+            if scales is None:
+                idx = None
+                n = reader.n_rows
+            else:
+                idx = np.nonzero(reader.scale_mask(scales))[0]
+                n = len(idx)
+            for i in range(0, n, chunk_rows):
+                sel = (
+                    slice(i, i + chunk_rows)
+                    if idx is None
+                    else idx[i : i + chunk_rows]
+                )
+                chunk = {
+                    name: np.asarray(
+                        reader.column(name)[sel], dtype=column_dtype(name)
+                    )
+                    for name in use
+                }
+                if chunk[use[0]].shape[0]:
+                    yield chunk
+
+    def _check_columns(self, columns: Sequence[str] | None) -> tuple[str, ...]:
+        if columns is None:
+            return COLUMN_NAMES
+        unknown = sorted(set(columns) - set(COLUMN_NAMES))
+        if unknown:
+            raise ConfigurationError(
+                f"Unknown store columns {unknown}; schema columns are "
+                f"{list(COLUMN_NAMES)}."
+            )
+        if not columns:
+            raise ConfigurationError("columns must be non-empty.")
+        return tuple(columns)
+
+    def load_columns(
+        self,
+        columns: Sequence[str],
+        scales: Sequence[int] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Materialize only the named columns (optionally scale-sliced)
+        — each is allocated once and filled shard by shard."""
+        use = self._check_columns(columns)
+        readers = self._readers()
+        if scales is None:
+            masks: list[np.ndarray | None] = [None] * len(readers)
+            counts = [r.n_rows for r in readers]
+        else:
+            masks = [r.scale_mask(scales) for r in readers]
+            counts = [int(m.sum()) for m in masks]  # type: ignore[union-attr]
+        total = int(sum(counts))
+        n_params = len(self.param_names)
+        out: dict[str, np.ndarray] = {}
+        for name in use:
+            shape = (total, n_params) if name == "X" else (total,)
+            out[name] = np.empty(shape, dtype=column_dtype(name))
+        cursor = 0
+        for reader, mask, count in zip(readers, masks, counts):
+            if count == 0:
+                continue
+            for name in use:
+                col = reader.column(name)
+                out[name][cursor : cursor + count] = (
+                    col if mask is None else col[mask]
+                )
+            cursor += count
+        return out
+
+    def to_dataset(
+        self,
+        scales: Sequence[int] | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> ExecutionDataset | dict[str, np.ndarray]:
+        """Materialize the slice a fit needs.
+
+        With ``columns=None`` (default) returns an
+        :class:`~repro.data.ExecutionDataset` of every row (optionally
+        restricted to ``scales``), bit-identical to the in-memory
+        concatenation of the appended chunks.  With a ``columns``
+        subset, returns just those columns as a dict of arrays — the
+        other column files are never read.
+        """
+        if columns is not None:
+            return self.load_columns(columns, scales=scales)
+        cols = self.load_columns(COLUMN_NAMES, scales=scales)
+        if cols["nprocs"].shape[0] == 0:
+            raise DataValidationError(
+                f"Store slice is empty (scales={scales}); nothing to "
+                "materialize."
+            )
+        return ExecutionDataset(
+            app_name=self.app_name,
+            param_names=self.param_names,
+            **cols,
+        )
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self) -> dict[str, Any]:
+        """Recompute every shard fingerprint and the store hash; raise
+        :class:`~repro.errors.DatasetFormatError` on any mismatch.
+
+        Returns a summary dict (shards checked, rows hashed) on success.
+        """
+        from ..data.io import dataset_fingerprint
+
+        rows = 0
+        for entry in self._manifest["shards"]:
+            reader = ShardReader(self.root / SHARDS_DIR / entry["name"])
+            if reader.n_rows != int(entry["rows"]):
+                raise DatasetFormatError(
+                    f"{entry['name']}: manifest says {entry['rows']} rows "
+                    f"but the shard holds {reader.n_rows}."
+                )
+            shard_ds = ExecutionDataset(
+                app_name=self.app_name,
+                param_names=self.param_names,
+                **{name: np.asarray(reader.column(name)) for name in COLUMN_NAMES},
+            )
+            actual = dataset_fingerprint(shard_ds)
+            if actual != entry["fingerprint"]:
+                raise DatasetFormatError(
+                    f"{entry['name']}: content hash {actual} does not "
+                    f"match the manifest ({entry['fingerprint']}) — the "
+                    "shard was modified or corrupted."
+                )
+            rows += reader.n_rows
+        if rows != self.n_rows:
+            raise DatasetFormatError(
+                f"Manifest row count {self.n_rows} != shard total {rows}."
+            )
+        if not self._manifest.get("fingerprints_stale"):
+            actual = self._stream_fingerprint(None) if rows else None
+            if actual != self._manifest["dataset_fingerprint"]:
+                raise DatasetFormatError(
+                    f"Store content hash {actual} does not match the "
+                    f"manifest ({self._manifest['dataset_fingerprint']})."
+                )
+        return {
+            "shards": self.n_shards,
+            "rows": rows,
+            "fingerprint": self._manifest["dataset_fingerprint"],
+            "stale": bool(self._manifest.get("fingerprints_stale")),
+        }
+
+    # -- export ------------------------------------------------------------
+
+    def export_json(
+        self, path: str | Path, scales: Sequence[int] | None = None
+    ) -> Path:
+        """Export a (scale-sliced) copy in the legacy JSON/NPZ dataset
+        format of :mod:`repro.data.io` (chosen by suffix)."""
+        path = Path(path)
+        dataset = self.to_dataset(scales=scales)
+        assert isinstance(dataset, ExecutionDataset)
+        save_dataset(dataset, path)
+        return path
+
+    def export_parquet(
+        self,
+        path: str | Path,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ) -> Path:
+        """Stream the store into one Parquet file (optional feature:
+        needs ``pyarrow``, which is never required elsewhere).
+
+        Parameter columns are exported one per parameter name, so the
+        file is directly queryable by external tools.
+        """
+        try:
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise ConfigurationError(
+                "Parquet export needs the optional dependency pyarrow "
+                "(pip install pyarrow)."
+            ) from exc
+        path = Path(path)
+        fields = [pa.field(n, pa.float64()) for n in self.param_names]
+        fields += [
+            pa.field("nprocs", pa.int64()),
+            pa.field("runtime", pa.float64()),
+            pa.field("model_runtime", pa.float64()),
+            pa.field("rep", pa.int64()),
+        ]
+        schema = pa.schema(fields)
+        with pq.ParquetWriter(path, schema) as writer:
+            for chunk in self.iter_chunks(chunk_rows=chunk_rows):
+                arrays = [
+                    pa.array(chunk["X"][:, j])
+                    for j in range(len(self.param_names))
+                ]
+                arrays += [
+                    pa.array(chunk["nprocs"]),
+                    pa.array(chunk["runtime"]),
+                    pa.array(chunk["model_runtime"]),
+                    pa.array(chunk["rep"]),
+                ]
+                writer.write_table(pa.Table.from_arrays(arrays, schema=schema))
+        return path
+
+    # -- reporting ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable manifest summary."""
+        fp = self.fingerprint
+        lines = [
+            f"history store : {self.root}",
+            f"application   : {self.app_name}",
+            f"params        : {', '.join(self.param_names)}",
+            f"rows          : {self.n_rows} across {self.n_shards} shard(s)",
+            f"scales        : {list(self.scales)}",
+            f"fingerprint   : {fp if fp else 'STALE (refresh needed)'}",
+        ]
+        for entry in self._manifest["shards"]:
+            san = entry.get("sanitize")
+            extra = ""
+            if san:
+                dropped = sum((san.get("dropped") or {}).values())
+                imputed = sum((san.get("imputed") or {}).values())
+                if dropped or imputed:
+                    extra = f"  [sanitize: -{dropped} rows, ~{imputed} imputed]"
+            src = f"  <- {entry['source']}" if entry.get("source") else ""
+            lines.append(
+                f"  {entry['name']}: {entry['rows']:>8d} rows, "
+                f"scales {entry['scales']}{src}{extra}"
+            )
+        return "\n".join(lines)
+
+    # -- manifest persistence ----------------------------------------------
+
+    def _write_manifest(self) -> None:
+        target = self.root / MANIFEST_NAME
+        tmp = self.root / f".{MANIFEST_NAME}.tmp"
+        tmp.write_text(json.dumps(self._manifest, sort_keys=True, indent=1))
+        os.replace(tmp, target)

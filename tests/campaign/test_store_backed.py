@@ -1,0 +1,121 @@
+"""Store-backed campaigns: shard-store history, O(metadata) checkpoints,
+exactly-once appends across crash/resume, and equivalence with the plain
+JSON-checkpoint mode."""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig
+from repro.errors import ConfigurationError
+from repro.store import HistoryStore
+
+BASE = dict(
+    app_name="stencil3d",
+    allocation_core_seconds=20000.0,
+    round_budget_core_seconds=300.0,
+    small_scales=(32, 64, 128),
+    eval_scales=(512,),
+    max_rounds=2,
+    n_seed_configs=6,
+    bundles_per_round=48,
+    n_candidates=60,
+    n_eval_configs=12,
+    time_limit=10.0,
+    n_clusters=2,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def plain_and_backed(tmp_path_factory):
+    """The same campaign run twice: JSON-checkpoint mode vs store-backed."""
+    plain_dir = tmp_path_factory.mktemp("plain")
+    backed_dir = tmp_path_factory.mktemp("backed")
+    plain = Campaign(CampaignConfig(**BASE), plain_dir)
+    plain_report = plain.run()
+    backed = Campaign(
+        CampaignConfig(**BASE), backed_dir, store_dir=backed_dir / "store"
+    )
+    backed_report = backed.run()
+    return plain_report, backed_report, plain_dir, backed_dir
+
+
+class TestEquivalence:
+    def test_trajectories_identical_to_plain_mode(self, plain_and_backed):
+        plain_report, backed_report, _, _ = plain_and_backed
+        assert backed_report.mape_trajectory == plain_report.mape_trajectory
+
+    def test_ledgers_identical_to_plain_mode(self, plain_and_backed):
+        plain_report, backed_report, _, _ = plain_and_backed
+        assert json.dumps(
+            backed_report.ledger.to_dict(), sort_keys=True
+        ) == json.dumps(plain_report.ledger.to_dict(), sort_keys=True)
+
+
+class TestStoreContents:
+    def test_store_holds_all_history_rows(self, plain_and_backed):
+        _, backed_report, _, backed_dir = plain_and_backed
+        store = HistoryStore.open(backed_dir / "store")
+        assert store.n_rows == backed_report.rounds[-1]["history_rows"]
+
+    def test_shards_tagged_with_round_and_bundle(self, plain_and_backed):
+        _, _, _, backed_dir = plain_and_backed
+        store = HistoryStore.open(backed_dir / "store")
+        sources = store.sources()
+        assert sources, "store-backed campaign wrote no tagged shards"
+        assert all("round-" in s and "/bundle-" in s for s in sources)
+        assert store.has_source("round-0/bundle-0")
+
+    def test_checkpoint_is_metadata_only(self, plain_and_backed):
+        _, _, plain_dir, backed_dir = plain_and_backed
+        backed_blob = json.loads((backed_dir / "campaign.json").read_text())
+        plain_blob = json.loads((plain_dir / "campaign.json").read_text())
+        assert backed_blob["history"] is None
+        assert backed_blob["store_path"] == str(backed_dir / "store")
+        assert plain_blob["history"] is not None
+
+
+class TestResume:
+    def test_interrupted_store_backed_run_resumes_identically(
+        self, plain_and_backed, tmp_path
+    ):
+        plain_report, _, _, _ = plain_and_backed
+        campaign = Campaign(
+            CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+        )
+        partial = campaign.run(stop_after_bundles=2)
+        assert not partial.done
+        # the interrupted checkpoint is already store-backed
+        blob = json.loads((tmp_path / "campaign.json").read_text())
+        assert blob["history"] is None
+        resumed = Campaign(
+            CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+        ).run(resume=True)
+        assert resumed.done
+        assert resumed.mape_trajectory == plain_report.mape_trajectory
+
+    def test_resume_with_mismatched_store_dir_refused(
+        self, plain_and_backed, tmp_path
+    ):
+        campaign = Campaign(
+            CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+        )
+        campaign.run(stop_after_bundles=1)
+        with pytest.raises(ConfigurationError, match="store"):
+            Campaign(
+                CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "other"
+            ).run(resume=True)
+
+    def test_missing_store_on_resume_refused(self, tmp_path):
+        import shutil
+
+        campaign = Campaign(
+            CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+        )
+        campaign.run(stop_after_bundles=1)
+        shutil.rmtree(tmp_path / "store")
+        with pytest.raises(ConfigurationError, match="store"):
+            Campaign(
+                CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+            ).run(resume=True)

@@ -1,0 +1,120 @@
+"""Warm-start refits: reuse per-scale interpolators whose training
+slice is unchanged (matched by per-scale dataset fingerprints) and
+stay bit-identical to a cold fit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TwoLevelModel
+from repro.data import ExecutionDataset
+from repro.errors import ConfigurationError
+
+SCALES = (8, 16, 32, 64)
+
+
+def make_history(n_configs=40, scales=SCALES, seed=0):
+    rng = np.random.default_rng(seed)
+    configs = rng.uniform(1.0, 10.0, size=(n_configs, 3))
+    X = np.repeat(configs, len(scales), axis=0)
+    nprocs = np.tile(np.asarray(scales, dtype=np.int64), n_configs)
+    runtime = (
+        200.0 / nprocs
+        + X[:, 0] * 0.4
+        + 0.02 * X[:, 1]
+        + rng.uniform(0.01, 0.05, len(nprocs))
+    )
+    return ExecutionDataset(
+        app_name="synth",
+        param_names=("a", "b", "c"),
+        X=X,
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime,
+        rep=np.zeros(len(nprocs), dtype=np.int64),
+    )
+
+
+@pytest.fixture(scope="module")
+def history():
+    return make_history()
+
+
+@pytest.fixture(scope="module")
+def test_points():
+    return make_history(n_configs=10, scales=(128,), seed=9)
+
+
+def fit_model(history, warm=None, **kwargs):
+    model = TwoLevelModel(small_scales=SCALES, random_state=0, **kwargs)
+    model.fit(history, warm_start_from=warm)
+    return model
+
+
+class TestWarmStartIdentity:
+    def test_warm_fit_identical_on_unchanged_data(self, history, test_points):
+        cold = fit_model(history)
+        warm = fit_model(history, warm=cold)
+        np.testing.assert_array_equal(
+            cold.predict(test_points.X, [128]),
+            warm.predict(test_points.X, [128]),
+        )
+
+    def test_all_scales_reused_on_unchanged_data(self, history):
+        cold = fit_model(history)
+        warm = fit_model(history, warm=cold)
+        assert warm.interpolator_.warm_reused_scales_ == SCALES
+        assert cold.interpolator_.warm_reused_scales_ == ()
+
+    def test_warm_fit_after_single_scale_append(self, history, test_points):
+        extra = make_history(n_configs=6, scales=(64,), seed=7)
+        grown = ExecutionDataset.concat([history, extra])
+        prev = fit_model(history)
+        warm = fit_model(grown, warm=prev)
+        cold = fit_model(grown)
+        # only the untouched scales are reused...
+        assert warm.interpolator_.warm_reused_scales_ == (8, 16, 32)
+        # ...and the result is still bit-identical to a cold fit
+        np.testing.assert_array_equal(
+            cold.predict(test_points.X, [128]),
+            warm.predict(test_points.X, [128]),
+        )
+
+    def test_warm_start_records_non_degrading_event(self, history):
+        cold = fit_model(history)
+        warm = fit_model(history, warm=cold)
+        assert not warm.fit_report_.degraded
+        kinds = [e.kind for e in warm.fit_report_.events]
+        assert "warm_start" in kinds
+
+    def test_fingerprints_stored_per_scale(self, history):
+        model = fit_model(history)
+        assert set(model.scale_data_fingerprints_) == set(SCALES)
+
+
+class TestWarmStartGuards:
+    def test_mismatched_hyperparams_raise(self, history):
+        cold = fit_model(history)
+        other = TwoLevelModel(small_scales=SCALES, random_state=1)
+        with pytest.raises(ConfigurationError):
+            other.fit(history, warm_start_from=cold)
+
+    def test_empty_state_is_unusable_not_fatal(self, history):
+        model = TwoLevelModel(small_scales=SCALES, random_state=0)
+        model.fit(history, warm_start_from={})
+        assert model.interpolator_.warm_reused_scales_ == ()
+        kinds = [e.kind for e in model.fit_report_.events]
+        assert "warm_start_unusable" in kinds
+        assert not model.fit_report_.degraded
+
+    def test_bogus_warm_source_raises(self, history):
+        model = TwoLevelModel(small_scales=SCALES, random_state=0)
+        with pytest.raises(ConfigurationError):
+            model.fit(history, warm_start_from=42)
+
+    def test_state_dict_round_trip_still_warm_starts(self, history):
+        cold = fit_model(history)
+        state = cold.get_fitted_state()
+        warm = fit_model(history, warm=state)
+        assert warm.interpolator_.warm_reused_scales_ == SCALES

@@ -1,0 +1,96 @@
+"""Rule-scoped sanitization, chunk-report merging, and informational
+(non-degrading) fit-report events — the robustness surface the chunked
+ETL (repro.store) builds on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ExecutionDataset
+from repro.errors import ConfigurationError
+from repro.robustness import ROW_LOCAL_RULES, sanitize_dataset
+from repro.robustness.report import FitReport
+
+
+def make_dirty(n=40, seed=0):
+    """History with one NaN runtime, one NaN param, and duplicates."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(1, 10, size=(n, 2))
+    nprocs = np.full(n, 8, dtype=np.int64)
+    runtime = rng.uniform(1.0, 2.0, n)
+    runtime[0] = np.nan
+    X[1, 0] = np.nan
+    X[3] = X[2]
+    runtime[3] = runtime[2]  # exact duplicate of row 2
+    return ExecutionDataset(
+        app_name="synth",
+        param_names=("a", "b"),
+        X=X,
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime,
+        rep=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestRuleScoping:
+    def test_default_applies_all_drop_rules(self):
+        clean, report = sanitize_dataset(make_dirty())
+        assert report.dropped.get("nonfinite_runtime", 0) == 1
+        assert report.dropped.get("nonfinite_params", 0) == 1
+        assert report.dropped.get("duplicate_row", 0) == 1
+
+    def test_row_local_subset_skips_global_rules(self):
+        clean, report = sanitize_dataset(make_dirty(), rules=ROW_LOCAL_RULES)
+        assert report.dropped.get("nonfinite_runtime", 0) == 1
+        assert report.dropped.get("nonfinite_params", 0) == 1
+        # duplicate detection is a whole-dataset rule; scoped out here
+        assert "duplicate_row" not in report.dropped
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ConfigurationError, match="Unknown sanitize"):
+            sanitize_dataset(make_dirty(), rules=("bogus_rule",))
+
+    def test_row_local_sanitize_is_chunking_invariant(self):
+        dirty = make_dirty(60)
+        whole, _ = sanitize_dataset(dirty, rules=ROW_LOCAL_RULES)
+        parts = [
+            sanitize_dataset(
+                dirty.select(np.arange(a, b)), rules=ROW_LOCAL_RULES
+            )[0]
+            for a, b in ((0, 13), (13, 41), (41, 60))
+        ]
+        chunked = ExecutionDataset.concat(parts)
+        np.testing.assert_array_equal(whole.X, chunked.X)
+        np.testing.assert_array_equal(whole.runtime, chunked.runtime)
+
+
+class TestReportMerge:
+    def test_merge_sums_counts(self):
+        dirty = make_dirty(60)
+        _, whole = sanitize_dataset(dirty, rules=ROW_LOCAL_RULES)
+        _, r1 = sanitize_dataset(
+            dirty.select(np.arange(0, 30)), rules=ROW_LOCAL_RULES
+        )
+        _, r2 = sanitize_dataset(
+            dirty.select(np.arange(30, 60)), rules=ROW_LOCAL_RULES
+        )
+        merged = r1.merge(r2)
+        assert merged.rows_in == whole.rows_in
+        assert merged.rows_out == whole.rows_out
+        assert merged.dropped == whole.dropped
+
+
+class TestNonDegradingEvents:
+    def test_informational_event_does_not_degrade(self):
+        report = FitReport()
+        report.record("interpolation", "warm_start", "reused", degrades=False)
+        assert not report.degraded
+        assert len(report.events) == 1
+
+    def test_degrading_event_still_degrades(self):
+        report = FitReport()
+        report.record("interpolation", "warm_start", "x", degrades=False)
+        report.record("interpolation", "pooled_fallback", "y")
+        assert report.degraded

@@ -1,0 +1,70 @@
+"""Shared fixtures for the history-store test suite."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import ExecutionDataset
+
+
+def make_dataset(
+    n: int = 60,
+    scales=(8, 16, 32),
+    seed: int = 0,
+    app_name: str = "synth",
+    param_names=("alpha", "beta"),
+) -> ExecutionDataset:
+    """Small deterministic synthetic history (no simulator needed).
+
+    Every configuration is run at every scale (the two-level fit needs
+    scale-complete configs), so the row count is rounded to a multiple
+    of ``len(scales)``.
+    """
+    rng = np.random.default_rng(seed)
+    n_configs = max(1, n // len(scales))
+    configs = rng.uniform(1.0, 10.0, size=(n_configs, len(param_names)))
+    X = np.repeat(configs, len(scales), axis=0)
+    nprocs = np.tile(np.asarray(scales, dtype=np.int64), n_configs)
+    n = len(nprocs)
+    runtime = 100.0 / nprocs + X[:, 0] * 0.5 + rng.uniform(0.01, 0.1, n)
+    return ExecutionDataset(
+        app_name=app_name,
+        param_names=tuple(param_names),
+        X=X,
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime * 0.97,
+        rep=np.zeros(n, dtype=np.int64),
+    )
+
+
+def write_jsonl(path, dataset: ExecutionDataset, mutate=None):
+    """Dump a dataset as one-record-per-line JSON; ``mutate(i, rec)``
+    can corrupt individual records for rejection tests."""
+    with open(path, "w") as fh:
+        for i in range(len(dataset)):
+            rec = {
+                "app_name": dataset.app_name,
+                "params": {
+                    name: float(v)
+                    for name, v in zip(dataset.param_names, dataset.X[i])
+                },
+                "nprocs": int(dataset.nprocs[i]),
+                "runtime": float(dataset.runtime[i]),
+                "model_runtime": float(dataset.model_runtime[i]),
+                "rep": int(dataset.rep[i]),
+            }
+            if mutate is not None:
+                rec = mutate(i, rec)
+                if rec is None:
+                    continue
+            fh.write(json.dumps(rec) + "\n")
+    return path
+
+
+@pytest.fixture
+def dataset() -> ExecutionDataset:
+    return make_dataset()

@@ -1,0 +1,206 @@
+"""Tests for the streaming ETL layer (extractors + IngestPipeline)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_fingerprint
+from repro.errors import (
+    ConfigurationError,
+    DatasetFormatError,
+    DataValidationError,
+)
+from repro.store import (
+    CSVExtractor,
+    DatasetExtractor,
+    HistoryStore,
+    IngestPipeline,
+    JSONLExtractor,
+    RecordStreamExtractor,
+    extractor_for_path,
+    normalize_record,
+)
+
+from .conftest import make_dataset, write_jsonl
+
+
+class TestNormalizeRecord:
+    def test_nested_params_pass_through(self):
+        rec = normalize_record(
+            {"app_name": "a", "params": {"x": 1.0}, "nprocs": 8, "runtime": 2.0},
+            origin="t",
+        )
+        assert rec["params"] == {"x": 1.0}
+
+    def test_flat_record_gathers_params(self):
+        rec = normalize_record(
+            {"app_name": "a", "x": 1.0, "y": 2.0, "nprocs": 8, "runtime": 2.0},
+            origin="t",
+        )
+        assert rec["params"] == {"x": 1.0, "y": 2.0}
+
+
+class TestExtractors:
+    def test_jsonl_chunks_respect_chunk_rows(self, tmp_path, dataset):
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset)
+        chunks = list(JSONLExtractor(path).chunks(chunk_rows=13))
+        assert all(len(c) <= 13 for c in chunks)
+        assert sum(len(c) for c in chunks) == len(dataset)
+
+    def test_jsonl_bad_line_reports_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n')
+        with pytest.raises(DatasetFormatError, match=r"bad\.jsonl:2"):
+            list(JSONLExtractor(path).chunks(chunk_rows=10))
+
+    def test_jsonl_skips_blank_lines(self, tmp_path, dataset):
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset)
+        text = path.read_text().replace("\n", "\n\n", 3)
+        path.write_text(text)
+        total = sum(len(c) for c in JSONLExtractor(path).chunks(chunk_rows=50))
+        assert total == len(dataset)
+
+    def test_csv_requires_nprocs_and_runtime(self, tmp_path):
+        path = tmp_path / "runs.csv"
+        path.write_text("alpha,beta\n1,2\n")
+        with pytest.raises(DatasetFormatError, match="nprocs"):
+            list(CSVExtractor(path).chunks(chunk_rows=10))
+
+    def test_record_stream_extractor_is_single_use(self, dataset):
+        ex = RecordStreamExtractor(iter([]))
+        list(ex.chunks(chunk_rows=10))
+        with pytest.raises(ConfigurationError):
+            list(ex.chunks(chunk_rows=10))
+
+    def test_extractor_for_path_by_suffix(self, tmp_path):
+        assert isinstance(
+            extractor_for_path(tmp_path / "x.jsonl"), JSONLExtractor
+        )
+        assert isinstance(
+            extractor_for_path(tmp_path / "x.ndjson"), JSONLExtractor
+        )
+        assert isinstance(extractor_for_path(tmp_path / "x.csv"), CSVExtractor)
+        with pytest.raises(DatasetFormatError):
+            extractor_for_path(tmp_path / "x.xml")
+
+
+class TestIngestPipeline:
+    def test_clean_jsonl_round_trip(self, tmp_path, dataset):
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset)
+        pipe = IngestPipeline(tmp_path / "store", chunk_rows=16)
+        report = pipe.run(JSONLExtractor(path), source="batch")
+        assert report.rows_read == len(dataset)
+        assert report.rows_rejected == 0
+        assert report.rows_appended == len(dataset)
+        assert report.fingerprint == dataset_fingerprint(dataset)
+        store = HistoryStore.open(tmp_path / "store")
+        assert store.sources() == ["batch"]
+
+    def test_value_garbage_rejected_and_counted(self, tmp_path, dataset):
+        def mutate(i, rec):
+            if i == 0:
+                rec["nprocs"] = 0  # invalid scale
+            elif i == 1:
+                rec["runtime"] = -3.0  # nonpositive
+            elif i == 2:
+                rec["params"]["alpha"] = "garbage"
+            return rec
+
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset, mutate=mutate)
+        pipe = IngestPipeline(tmp_path / "store", chunk_rows=16)
+        report = pipe.run(JSONLExtractor(path))
+        assert report.rows_read == len(dataset)
+        assert report.rows_rejected == 3
+        assert report.rows_appended == len(dataset) - 3
+        assert report.rejections["bad_nprocs"] == 1
+        assert report.rejections["nonpositive_runtime"] == 1
+        assert report.rejections["bad_param_value"] == 1
+
+    def test_missing_runtime_becomes_nan_then_sanitized(self, tmp_path, dataset):
+        def mutate(i, rec):
+            if i == 0:
+                rec["runtime"] = None
+            return rec
+
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset, mutate=mutate)
+        pipe = IngestPipeline(tmp_path / "store", chunk_rows=100)
+        report = pipe.run(JSONLExtractor(path))
+        # the NaN row is accepted by the transform, then dropped by the
+        # per-chunk sanitizer (nonfinite_runtime rule)
+        assert report.rows_rejected == 0
+        assert report.rows_dropped == 1
+        assert report.rows_appended == len(dataset) - 1
+
+    def test_app_mismatch_across_files_raises(self, tmp_path, dataset):
+        other = make_dataset(10, app_name="different")
+        p1 = write_jsonl(tmp_path / "a.jsonl", dataset)
+        p2 = write_jsonl(tmp_path / "b.jsonl", other)
+        pipe = IngestPipeline(tmp_path / "store")
+        pipe.run(JSONLExtractor(p1))
+        with pytest.raises(DataValidationError):
+            pipe.run(JSONLExtractor(p2))
+
+    def test_param_key_mismatch_raises_format_error(self, tmp_path, dataset):
+        def mutate(i, rec):
+            if i == 5:
+                rec["params"] = {"weird": 1.0}
+            return rec
+
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset, mutate=mutate)
+        pipe = IngestPipeline(tmp_path / "store", chunk_rows=100)
+        with pytest.raises(DatasetFormatError):
+            pipe.run(JSONLExtractor(path))
+
+    def test_all_rows_garbage_raises(self, tmp_path, dataset):
+        def mutate(i, rec):
+            rec["nprocs"] = 0
+            return rec
+
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset, mutate=mutate)
+        pipe = IngestPipeline(tmp_path / "store")
+        with pytest.raises(DataValidationError):
+            pipe.run(JSONLExtractor(path))
+
+    def test_ingest_into_existing_store_appends(self, tmp_path, dataset):
+        pipe = IngestPipeline(tmp_path / "store")
+        pipe.run(DatasetExtractor(dataset))
+        more = make_dataset(20, scales=(64,), seed=5)
+        pipe2 = IngestPipeline(tmp_path / "store")
+        pipe2.run(DatasetExtractor(more))
+        store = HistoryStore.open(tmp_path / "store")
+        assert store.n_rows == len(dataset) + len(more)
+        assert 64 in store.scales
+
+    def test_censor_limit_enables_censoring_rule(self, tmp_path, dataset):
+        limit = float(np.median(dataset.runtime))
+        pipe = IngestPipeline(
+            tmp_path / "store", censor_limit=limit, repair="drop"
+        )
+        report = pipe.run(DatasetExtractor(dataset))
+        censored = int(np.sum(dataset.runtime >= limit))
+        assert report.rows_appended == len(dataset) - censored
+        assert report.rows_dropped == censored
+
+    def test_no_sanitize_keeps_nan_rows(self, tmp_path, dataset):
+        def mutate(i, rec):
+            if i == 0:
+                rec["runtime"] = None
+            return rec
+
+        path = write_jsonl(tmp_path / "runs.jsonl", dataset, mutate=mutate)
+        pipe = IngestPipeline(tmp_path / "store", sanitize=False)
+        report = pipe.run(JSONLExtractor(path))
+        assert report.rows_appended == len(dataset)
+        store = HistoryStore.open(tmp_path / "store")
+        out = store.to_dataset()
+        assert np.isnan(out.runtime).sum() == 1
+
+    def test_report_summary_and_to_dict(self, tmp_path, dataset):
+        pipe = IngestPipeline(tmp_path / "store")
+        report = pipe.run(DatasetExtractor(dataset))
+        blob = json.dumps(report.to_dict())
+        assert "rows_appended" in blob
+        assert str(len(dataset)) in report.summary()

@@ -1,0 +1,238 @@
+"""Tests for the columnar history store (repro.store.HistoryStore)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import dataset_fingerprint, load_dataset
+from repro.errors import (
+    ConfigurationError,
+    DatasetFormatError,
+    DataValidationError,
+)
+from repro.store import DEFAULT_CHUNK_ROWS, MANIFEST_NAME, HistoryStore
+
+from .conftest import make_dataset
+
+
+class TestCreateOpen:
+    def test_create_then_open_round_trips_schema(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        reopened = HistoryStore.open(tmp_path / "s")
+        assert reopened.app_name == "synth"
+        assert reopened.param_names == ("alpha", "beta")
+        assert reopened.n_rows == len(dataset)
+        assert reopened.fingerprint == store.fingerprint
+
+    def test_create_refuses_existing_store(self, tmp_path):
+        HistoryStore.create(tmp_path / "s", "synth", ("a",))
+        with pytest.raises(ConfigurationError):
+            HistoryStore.create(tmp_path / "s", "synth", ("a",))
+
+    def test_open_non_store_dir_raises_format_error(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        with pytest.raises(DatasetFormatError):
+            HistoryStore.open(tmp_path / "d")
+
+    def test_open_corrupt_manifest_raises_format_error(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(DatasetFormatError):
+            HistoryStore.open(root)
+
+    def test_is_store(self, tmp_path):
+        assert not HistoryStore.is_store(tmp_path)
+        HistoryStore.create(tmp_path / "s", "synth", ("a",))
+        assert HistoryStore.is_store(tmp_path / "s")
+
+    def test_empty_store_properties(self, tmp_path):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("a",))
+        assert store.n_rows == 0
+        assert store.n_shards == 0
+        assert store.scales == ()
+        assert len(store) == 0
+
+
+class TestAppend:
+    def test_append_updates_rows_scales_and_fingerprint(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        assert store.n_rows == len(dataset)
+        assert store.scales == tuple(int(s) for s in dataset.scales)
+        assert store.fingerprint == dataset_fingerprint(dataset)
+
+    def test_append_wrong_app_raises(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "other", ("alpha", "beta"))
+        with pytest.raises(DataValidationError):
+            store.append(dataset)
+
+    def test_append_wrong_params_raises(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("x", "y"))
+        with pytest.raises(DataValidationError):
+            store.append(dataset)
+
+    def test_source_tags_enable_exactly_once(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset, source="round-0/bundle-0")
+        assert store.has_source("round-0/bundle-0")
+        assert not store.has_source("round-0/bundle-1")
+        assert store.sources() == ["round-0/bundle-0"]
+
+    def test_deferred_fingerprints_stale_until_refreshed(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset, defer_fingerprints=True)
+        assert store.fingerprint is None
+        assert store.scale_fingerprints == {}
+        fp = store.refresh_fingerprints()
+        assert fp == dataset_fingerprint(dataset)
+
+    def test_per_scale_fingerprints_match_sliced_datasets(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        for scale, fp in store.scale_fingerprints.items():
+            assert fp == dataset_fingerprint(dataset.at_scale(scale))
+
+    def test_append_only_recomputes_touched_scales(self, tmp_path):
+        a = make_dataset(30, scales=(8, 16), seed=1)
+        b = make_dataset(10, scales=(32,), seed=2)
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(a)
+        before = dict(store.scale_fingerprints)
+        store.append(b)
+        after = store.scale_fingerprints
+        assert after[8] == before[8] and after[16] == before[16]
+        assert after[32] == dataset_fingerprint(b.at_scale(32))
+
+
+class TestReads:
+    def test_to_dataset_round_trips_exactly(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        out = store.to_dataset()
+        np.testing.assert_array_equal(out.X, dataset.X)
+        np.testing.assert_array_equal(out.nprocs, dataset.nprocs)
+        np.testing.assert_array_equal(out.runtime, dataset.runtime)
+        np.testing.assert_array_equal(out.model_runtime, dataset.model_runtime)
+        np.testing.assert_array_equal(out.rep, dataset.rep)
+
+    def test_scale_slice_matches_at_scales(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        sliced = store.to_dataset(scales=[8, 32])
+        expected = dataset.at_scales([8, 32])
+        np.testing.assert_array_equal(sliced.X, expected.X)
+        np.testing.assert_array_equal(sliced.runtime, expected.runtime)
+
+    def test_to_dataset_empty_slice_raises(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        with pytest.raises(DataValidationError):
+            store.to_dataset(scales=[4096])
+
+    def test_column_subset_returns_dict(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        cols = store.to_dataset(columns=["nprocs", "runtime"])
+        assert isinstance(cols, dict)
+        assert set(cols) == {"nprocs", "runtime"}
+        np.testing.assert_array_equal(cols["runtime"], dataset.runtime)
+
+    def test_load_columns_unknown_column_raises(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        with pytest.raises(ConfigurationError):
+            store.load_columns(["bogus"])
+
+    def test_iter_chunks_covers_every_row_in_order(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        chunks = list(store.iter_chunks(chunk_rows=7))
+        assert all(len(c["runtime"]) <= 7 for c in chunks)
+        runtime = np.concatenate([c["runtime"] for c in chunks])
+        np.testing.assert_array_equal(runtime, dataset.runtime)
+
+    def test_iter_chunks_respects_scale_filter(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        rows = sum(
+            len(c["nprocs"])
+            for c in store.iter_chunks(chunk_rows=11, scales=[16])
+        )
+        assert rows == int(np.sum(dataset.nprocs == 16))
+
+
+class TestIntegrity:
+    def test_verify_passes_on_clean_store(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        summary = store.verify()
+        assert summary["shards"] == 1
+        assert summary["rows"] == len(dataset)
+        assert not summary["stale"]
+
+    def test_verify_detects_flipped_bytes(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        victim = tmp_path / "s" / "shards" / "shard-00000" / "runtime.npy"
+        blob = bytearray(victim.read_bytes())
+        blob[-8] ^= 0xFF  # corrupt one float in place
+        victim.write_bytes(bytes(blob))
+        store = HistoryStore.open(tmp_path / "s")
+        with pytest.raises(DatasetFormatError, match="hash"):
+            store.verify()
+
+    def test_verify_detects_truncated_shard(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        manifest_path = tmp_path / "s" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"][0]["rows"] += 5
+        manifest_path.write_text(json.dumps(manifest))
+        store = HistoryStore.open(tmp_path / "s")
+        with pytest.raises(DatasetFormatError, match="rows"):
+            store.verify()
+
+
+class TestExport:
+    def test_export_json_round_trips_via_load_dataset(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        out = store.export_json(tmp_path / "copy.json")
+        loaded = load_dataset(out)
+        assert dataset_fingerprint(loaded) == store.fingerprint
+
+    def test_load_dataset_reads_store_directory(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        loaded = load_dataset(tmp_path / "s")
+        assert dataset_fingerprint(loaded) == store.fingerprint
+
+    def test_export_parquet_gated_without_pyarrow(self, tmp_path, dataset):
+        try:
+            import pyarrow  # noqa: F401
+
+            pytest.skip("pyarrow available; gate not exercised")
+        except ImportError:
+            pass
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset)
+        with pytest.raises(ConfigurationError, match="pyarrow"):
+            store.export_parquet(tmp_path / "out.parquet")
+
+    def test_describe_mentions_rows_and_sources(self, tmp_path, dataset):
+        store = HistoryStore.create(tmp_path / "s", "synth", ("alpha", "beta"))
+        store.append(dataset, source="batch-1")
+        text = store.describe()
+        assert "synth" in text
+        assert str(len(dataset)) in text
+        assert "batch-1" in text
+
+
+class TestChunkDefaults:
+    def test_default_chunk_rows_is_sane(self):
+        assert DEFAULT_CHUNK_ROWS >= 1024

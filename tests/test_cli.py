@@ -665,3 +665,119 @@ class TestCampaignCLI:
             "--checkpoint", str(tmp_path / "void"), "--resume",
         )
         assert code == 2
+
+
+class TestIngestStoreCLI:
+    @pytest.fixture
+    def jsonl_path(self, tmp_path):
+        import json as _json
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        path = tmp_path / "runs.jsonl"
+        with open(path, "w") as fh:
+            for _ in range(20):  # 20 configs x 3 scales = 60 rows
+                params = {"alpha": float(rng.uniform(1, 10)),
+                          "beta": float(rng.uniform(1, 10))}
+                for scale in (8, 16, 32):
+                    fh.write(_json.dumps({
+                        "app_name": "synth",
+                        "params": params,
+                        "nprocs": scale,
+                        "runtime": float(
+                            100.0 / scale + params["alpha"] * 0.5
+                            + rng.uniform(0.01, 0.1)
+                        ),
+                    }) + "\n")
+        return path
+
+    def test_ingest_then_verify_and_describe(self, tmp_path, jsonl_path):
+        store_dir = tmp_path / "hist"
+        code, out = run_cli(
+            "ingest", "--store", str(store_dir), "--data", str(jsonl_path),
+        )
+        assert code == 0
+        assert "60 rows read" in out and "60 appended" in out
+        code, out = run_cli("store", "--store", str(store_dir), "--verify")
+        assert code == 0
+        assert "all fingerprints match" in out
+        code, out = run_cli("store", "--store", str(store_dir))
+        assert code == 0
+        assert "synth" in out and "60" in out
+
+    def test_ingest_legacy_json_dataset(self, tmp_path):
+        data = tmp_path / "h.json"
+        code, _ = run_cli(
+            "generate", "--app", "stencil3d", "--configs", "4",
+            "--scales", "32,64", "--reps", "1", "--out", str(data),
+        )
+        assert code == 0
+        store_dir = tmp_path / "hist"
+        code, out = run_cli(
+            "ingest", "--store", str(store_dir), "--data", str(data),
+        )
+        assert code == 0
+        assert "8 appended" in out
+
+    def test_store_export_round_trips_through_fit(self, tmp_path, jsonl_path):
+        store_dir = tmp_path / "hist"
+        code, _ = run_cli(
+            "ingest", "--store", str(store_dir), "--data", str(jsonl_path),
+        )
+        assert code == 0
+        out_json = tmp_path / "copy.json"
+        code, out = run_cli(
+            "store", "--store", str(store_dir), "--export", str(out_json),
+        )
+        assert code == 0 and out_json.exists()
+        # a store directory is a first-class --data argument
+        model = tmp_path / "model.json"
+        code, out = run_cli(
+            "fit", "--data", str(store_dir), "--out", str(model),
+        )
+        assert code == 0 and model.exists()
+
+    def test_ingest_unknown_suffix_exits_2(self, tmp_path):
+        bad = tmp_path / "runs.xml"
+        bad.write_text("<run/>")
+        code, _ = run_cli(
+            "ingest", "--store", str(tmp_path / "s"), "--data", str(bad),
+        )
+        assert code == 2
+
+    def test_store_on_non_store_dir_exits_2(self, tmp_path):
+        code, _ = run_cli("store", "--store", str(tmp_path))
+        assert code == 2
+
+    def test_export_parquet_without_pyarrow_exits_2(self, tmp_path, jsonl_path):
+        try:
+            import pyarrow  # noqa: F401
+            pytest.skip("pyarrow available; gate not exercised")
+        except ImportError:
+            pass
+        store_dir = tmp_path / "hist"
+        run_cli("ingest", "--store", str(store_dir), "--data", str(jsonl_path))
+        code, _ = run_cli(
+            "store", "--store", str(store_dir),
+            "--export-parquet", str(tmp_path / "o.parquet"),
+        )
+        assert code == 2
+
+    def test_campaign_store_flag(self, tmp_path):
+        code, out = run_cli(
+            "campaign", "--app", "stencil3d",
+            "--allocation", "20000", "--round-budget", "150",
+            "--small-scales", "32,64,128", "--eval-scales", "512",
+            "--rounds", "1", "--seed-configs", "5", "--candidates", "30",
+            "--eval-configs", "8", "--time-limit", "10",
+            "--clusters", "2", "--seed", "3",
+            "--checkpoint", str(tmp_path / "camp"),
+            "--store", str(tmp_path / "store"),
+        )
+        assert code == 0
+        from repro.store import HistoryStore
+
+        store = HistoryStore.open(tmp_path / "store")
+        assert store.n_rows > 0
+        assert store.has_source("round-0/bundle-0")
