@@ -1,0 +1,216 @@
+"""Extension L — crash recovery and overload shedding.
+
+Two robustness costs are measured:
+
+* **store recovery** — a 100k-row history store is damaged with N
+  faults (bit flips, truncation, garbage, an orphaned tmp dir) and
+  healed with ``HistoryStore.fsck()``; reported numbers are the fsck
+  wall time (clean vs damaged) and the rows retained.  The acceptance
+  bar: fsck quarantines exactly the damaged shards — every intact row
+  survives and ``verify()`` passes afterwards.
+* **overload shedding** — the HTTP server is hammered by a thread pool
+  far above its configured token-bucket rate, against a baseline run
+  with no limiter.  Reported numbers are the served (HTTP 200) latency
+  p50/p99 and the rejected (HTTP 429) p50.  The acceptance bar: a 429
+  is much cheaper than a served prediction (rejects shed load instead
+  of queueing), and the limiter actually sheds under overload.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+from conftest import cached_histories, experiment_config, report
+
+from repro.analysis import fit_two_level, series_block
+from repro.chaos import corrupt_file
+from repro.data import ExecutionDataset
+from repro.serve import ModelArtifact, ModelRegistry, create_server
+from repro.store import HistoryStore
+
+ROWS = 100_000
+N_SHARDS = 10
+N_FAULTS = 5  # shards damaged (out of N_SHARDS)
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 25
+OVERLOAD_RATE = 20.0  # tokens/s, far below the offered load
+OVERLOAD_BURST = 10
+
+
+def _chunk(n_rows: int, seed: int) -> ExecutionDataset:
+    scales = (8, 16, 32)
+    rng = np.random.default_rng(seed)
+    configs = rng.uniform(1.0, 10.0, size=(n_rows // len(scales), 2))
+    X = np.repeat(configs, len(scales), axis=0)
+    nprocs = np.tile(np.asarray(scales, dtype=np.int64), len(configs))
+    runtime = 100.0 / nprocs + X[:, 0] * 0.5 + rng.uniform(0.01, 0.1, len(nprocs))
+    return ExecutionDataset(
+        app_name="synth",
+        param_names=("alpha", "beta"),
+        X=X,
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime * 0.97,
+        rep=np.zeros(len(nprocs), dtype=np.int64),
+    )
+
+
+def _recovery_sweep(root):
+    store = HistoryStore.create(root / "store", "synth", ("alpha", "beta"))
+    for i in range(N_SHARDS):
+        store.append(_chunk(ROWS // N_SHARDS, seed=i), source=f"chunk-{i}")
+    rows_before = store.n_rows
+
+    t0 = time.perf_counter()
+    clean = store.fsck(repair=True)
+    t_clean = time.perf_counter() - t0
+    assert clean.clean
+
+    shards = sorted(p.name for p in (store.root / "shards").iterdir())
+    faults = [
+        (shards[1], "bitflip", 1),
+        (shards[3], "bitflip", 4),
+        (shards[5], "truncate", 4096),
+        (shards[7], "garbage", 256),
+        (shards[9], "bitflip", 1),
+    ]
+    for name, mode, amount in faults:
+        corrupt_file(
+            store.root / "shards" / name / "runtime.npy",
+            mode=mode, amount=amount, seed=1,
+        )
+    (store.root / "shards" / ".tmp-shard-junk").mkdir()
+
+    t0 = time.perf_counter()
+    damaged = HistoryStore.open(store.root).fsck(repair=True)
+    t_repair = time.perf_counter() - t0
+
+    healed = HistoryStore.open(store.root)
+    healed.verify()
+    assert len(damaged.quarantined) == N_FAULTS, damaged.damaged
+    assert healed.n_rows == damaged.rows_retained
+    assert healed.n_rows == rows_before - N_FAULTS * (ROWS // N_SHARDS // 3 * 3)
+    return rows_before, healed.n_rows, t_clean, t_repair
+
+
+def test_extL_store_recovery(benchmark, tmp_path):
+    rows_before, rows_after, t_clean, t_repair = benchmark.pedantic(
+        _recovery_sweep, args=(tmp_path,), rounds=1, iterations=1
+    )
+    report(
+        series_block(
+            f"Extension L (synth) — fsck recovery of a {rows_before}-row "
+            f"store, {N_FAULTS} of {N_SHARDS} shards damaged "
+            f"({rows_after} rows retained)",
+            "pass",
+            ["fsck-clean", "fsck-repair"],
+            {"wall [ms]": [t_clean * 1e3, t_repair * 1e3]},
+            y_format="{:.1f}",
+        )
+    )
+
+
+def _percentiles_ms(samples, qs=(50, 99)):
+    return [float(np.percentile(np.asarray(samples) * 1e3, q)) for q in qs]
+
+
+def _hammer(server, request):
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}/predict"
+    data = json.dumps(request).encode()
+
+    def one():
+        req = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                status = resp.status
+                resp.read()
+        except urllib.error.HTTPError as exc:
+            status = exc.code
+            exc.read()
+        return status, time.perf_counter() - t0
+
+    def client(_):
+        return [one() for _ in range(REQUESTS_PER_CLIENT)]
+
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        results = [r for batch in pool.map(client, range(CLIENTS)) for r in batch]
+    return (
+        [dt for status, dt in results if status == 200],
+        [dt for status, dt in results if status == 429],
+    )
+
+
+def _overload_sweep(root):
+    histories = cached_histories(experiment_config("stencil3d"))
+    artifact = ModelArtifact.create(
+        fit_two_level(histories),
+        app_name=histories.train.app_name,
+        param_names=histories.train.param_names,
+        train=histories.train,
+    )
+    registry = ModelRegistry(root / "registry")
+    registry.register("bench", artifact)
+    request = {
+        "params": dict(
+            zip(histories.train.param_names, histories.test.X[0])
+        ),
+        "scales": [1024, 2048],
+    }
+
+    out = {}
+    for label, kwargs in (
+        ("baseline", {}),
+        ("limited", {"rate": OVERLOAD_RATE, "burst": OVERLOAD_BURST}),
+    ):
+        server = create_server(registry, port=0, **kwargs)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            out[label] = _hammer(server, request)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+    return out
+
+
+def test_extL_overload_shedding(benchmark, tmp_path):
+    out = benchmark.pedantic(
+        _overload_sweep, args=(tmp_path,), rounds=1, iterations=1
+    )
+    base_ok, base_shed = out["baseline"]
+    lim_ok, lim_shed = out["limited"]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    base_p50, base_p99 = _percentiles_ms(base_ok)
+    lim_p50, lim_p99 = _percentiles_ms(lim_ok)
+    shed_p50, _ = _percentiles_ms(lim_shed)
+    report(
+        series_block(
+            f"Extension L (stencil3d) — /predict under overload "
+            f"({CLIENTS} clients x {REQUESTS_PER_CLIENT} requests; "
+            f"limiter {OVERLOAD_RATE:g}/s burst {OVERLOAD_BURST}; "
+            f"limited run served {len(lim_ok)}, shed {len(lim_shed)} "
+            f"of {total})",
+            "regime",
+            ["baseline-p50", "baseline-p99", "limited-p50", "limited-p99",
+             "rejected-p50"],
+            {"latency [ms]": [base_p50, base_p99, lim_p50, lim_p99, shed_p50]},
+            y_format="{:.2f}",
+        )
+    )
+    assert not base_shed  # no limiter -> nothing is ever shed
+    # under ~8x overload the limiter must shed most of the offered load
+    assert len(lim_shed) > total // 3, f"only {len(lim_shed)} of {total} shed"
+    # and a reject must be cheaper than a served prediction: the 429
+    # path does no model work (the remaining cost is HTTP plumbing)
+    assert shed_p50 < lim_p50, (shed_p50, lim_p50)

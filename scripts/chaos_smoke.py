@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the chaos harness and recovery paths.
+
+Exercises the failure story in one pass:
+
+* a seeded crash sweep over a history-store append (every filesystem
+  step killed once; recover-to-old-or-new asserted at each),
+* on-disk corruption healed by ``HistoryStore.fsck()``,
+* a crash inside ``ModelRegistry.register`` healed by registry fsck,
+* a store-backed campaign killed at a checkpoint write, fsck'd and
+  resumed to a byte-identical ledger, and
+* serving from the recovered registry with the newest artifact
+  corrupted: the server answers stale from the previous version,
+  reports ``degraded`` health, and throttles overload with 429.
+
+Exits non-zero on any failure; used by the CI ``chaos-smoke`` lane.
+
+Usage: python scripts/chaos_smoke.py  (no arguments; uses a temp dir
+and an ephemeral port, so it is safe to run anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.campaign import Campaign, CampaignConfig  # noqa: E402
+from repro.chaos import ChaosCrash, ChaosFS, corrupt_file, crash_sweep  # noqa: E402
+from repro.data import ExecutionDataset  # noqa: E402
+from repro.serve import ModelRegistry, create_server  # noqa: E402
+from repro.store import HistoryStore  # noqa: E402
+
+CAMPAIGN = dict(
+    app_name="stencil3d",
+    allocation_core_seconds=20000.0,
+    round_budget_core_seconds=150.0,
+    small_scales=(32, 64, 128),
+    eval_scales=(512,),
+    max_rounds=2,
+    n_seed_configs=5,
+    n_candidates=30,
+    n_eval_configs=8,
+    time_limit=10.0,
+    n_clusters=2,
+    seed=3,
+)
+
+
+def make_dataset(n: int = 30, seed: int = 0) -> ExecutionDataset:
+    """Tiny deterministic synthetic history (no simulator needed)."""
+    scales = (8, 16, 32)
+    rng = np.random.default_rng(seed)
+    configs = rng.uniform(1.0, 10.0, size=(max(1, n // len(scales)), 2))
+    X = np.repeat(configs, len(scales), axis=0)
+    nprocs = np.tile(np.asarray(scales, dtype=np.int64), len(configs))
+    runtime = 100.0 / nprocs + X[:, 0] * 0.5 + rng.uniform(0.01, 0.1, len(nprocs))
+    return ExecutionDataset(
+        app_name="synth",
+        param_names=("alpha", "beta"),
+        X=X,
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime * 0.97,
+        rep=np.zeros(len(nprocs), dtype=np.int64),
+    )
+
+
+def ledger_bytes(report) -> str:
+    return json.dumps(report.ledger.to_dict(), sort_keys=True)
+
+
+def store_crash_sweep(tmp: Path) -> None:
+    print("== store append crash sweep ==")
+    new_chunk = make_dataset(seed=2)
+
+    def setup(root):
+        store = HistoryStore.create(root / "store", "synth", ("alpha", "beta"))
+        store.append(make_dataset(seed=1), source="seed")
+        return {"rows_old": store.n_rows, "rows_new": store.n_rows + len(new_chunk)}
+
+    def workload(root, ctx):
+        HistoryStore.open(root / "store").append(new_chunk, source="chunk-1")
+
+    def check(root, ctx):
+        store = HistoryStore.open(root / "store")
+        store.fsck(repair=True)
+        store = HistoryStore.open(root / "store")
+        assert store.n_rows in (ctx["rows_old"], ctx["rows_new"]), (
+            f"torn store: {store.n_rows} rows"
+        )
+        store.verify()
+
+    report = crash_sweep(setup, workload, check, tmp / "sweep", seed=7)
+    if not report.ok:
+        sys.exit(f"FAIL: store crash sweep\n{report.summary()}")
+    print(f"   {report.summary()}")
+
+
+def store_fsck(tmp: Path) -> None:
+    print("== corruption + store fsck ==")
+    store = HistoryStore.create(tmp / "fsck-store", "synth", ("alpha", "beta"))
+    for i in range(3):
+        store.append(make_dataset(seed=i), source=f"chunk-{i}")
+    rows = store.n_rows
+    corrupt_file(
+        store.root / "shards" / "shard-00001" / "runtime.npy",
+        mode="bitflip", seed=3,
+    )
+    report = store.fsck(repair=True)
+    print(f"   {report.summary()}")
+    if report.clean or report.quarantined != ["shard-00001"]:
+        sys.exit(f"FAIL: fsck did not quarantine the flipped shard: {report.to_dict()}")
+    healed = HistoryStore.open(store.root)
+    healed.verify()
+    if healed.n_rows != rows - 30:
+        sys.exit(f"FAIL: expected {rows - 30} surviving rows, got {healed.n_rows}")
+
+
+def campaign_crash_resume(tmp: Path) -> ModelRegistry:
+    print("== uninterrupted reference campaign ==")
+    reference = Campaign(
+        CampaignConfig(**CAMPAIGN), tmp / "ref", store_dir=tmp / "ref" / "store"
+    ).run()
+    if not reference.done:
+        sys.exit("FAIL: reference campaign did not finish")
+
+    print("== campaign killed at a checkpoint write ==")
+    registry = ModelRegistry(tmp / "registry")
+    campaign = Campaign(
+        CampaignConfig(**CAMPAIGN), tmp / "chaos",
+        store_dir=tmp / "chaos" / "store", registry=registry,
+    )
+    fs = ChaosFS(seed=0).crash_at("campaign.checkpoint:write", occurrence=2)
+    try:
+        with fs.install():
+            campaign.run()
+    except ChaosCrash as crash:
+        print(f"   killed at step {crash.step_index} ({crash.step_id})")
+    else:
+        sys.exit("FAIL: the scheduled crash never fired")
+
+    print("== fsck + resume ==")
+    store_report = HistoryStore.open(tmp / "chaos" / "store").fsck(repair=True)
+    print(f"   store:    {store_report.summary()}")
+    registry_report = ModelRegistry(tmp / "registry", create=False).fsck(repair=True)
+    print(f"   registry: {registry_report.summary()}")
+    resumed = Campaign(
+        CampaignConfig(**CAMPAIGN), tmp / "chaos",
+        store_dir=tmp / "chaos" / "store",
+        registry=ModelRegistry(tmp / "registry", create=False),
+    ).run(resume=True)
+    if not resumed.done:
+        sys.exit("FAIL: resumed campaign did not finish")
+    if resumed.mape_trajectory != reference.mape_trajectory:
+        sys.exit(
+            "FAIL: resumed MAPE trajectory diverged\n"
+            f"reference: {reference.mape_trajectory}\n"
+            f"resumed  : {resumed.mape_trajectory}"
+        )
+    if ledger_bytes(resumed) != ledger_bytes(reference):
+        sys.exit("FAIL: resumed ledger is not byte-identical to the reference")
+    HistoryStore.open(tmp / "chaos" / "store").verify()
+    print("== ledger byte-identical across crash/fsck/resume ==")
+    return ModelRegistry(tmp / "registry", create=False)
+
+
+def get_json(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post_json(url: str, payload: dict):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def degraded_serving(tmp: Path, registry: ModelRegistry) -> None:
+    print("== degraded serving from the recovered registry ==")
+    name = registry.models()[0]
+    versions = registry.versions(name)
+    if len(versions) < 2:
+        sys.exit(f"FAIL: campaign registered too few versions: {versions}")
+    latest = versions[-1]
+    corrupt_file(
+        registry.root / name / f"v{latest:04d}" / "payload.pkl",
+        mode="bitflip", seed=5,
+    )
+    info = registry.inspect(name, versions[0])
+    params = {p: 64.0 for p in info.param_names}
+    request = {"params": params, "scales": [512], "model": name}
+
+    server = create_server(
+        registry, port=0, breaker_threshold=1, rate=0.001, burst=2
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        status, body = post_json(f"{base}/predict", request)
+        if status != 200 or not body.get("stale") or body["version"] == latest:
+            sys.exit(f"FAIL: expected a stale fallback answer, got {status}: {body}")
+        print(
+            f"   stale fallback ok: v{body['version']} served "
+            f"(v{body['requested_version']} corrupt)"
+        )
+        status, health = get_json(f"{base}/healthz")
+        if health.get("status") != "degraded":
+            sys.exit(f"FAIL: /healthz not degraded: {health}")
+        print(f"   /healthz degraded ok: {health['stale']}")
+        status, body = post_json(f"{base}/predict", request)  # token 2 of 2
+        status, body = post_json(f"{base}/predict", request)
+        if status != 429:
+            sys.exit(f"FAIL: expected 429 once the burst is spent, got {status}")
+        print("   rate limit ok: 429 once the burst is spent")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as tmp:
+        tmp = Path(tmp)
+        store_crash_sweep(tmp)
+        store_fsck(tmp)
+        registry = campaign_crash_resume(tmp)
+        degraded_serving(tmp, registry)
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,11 @@ Everything a campaign needs to continue after being killed lives in ONE
 JSON file (``campaign.json``): the ledger, the collected history, the
 current round's planned bundles and the cursor into them, the metric
 trajectory, and the registered model versions.  Keeping it in a single
-file matters: the checkpoint is written to a temp file and moved into
-place with :func:`os.replace`, so a reader always sees either the old
-state or the new state — never a ledger that charged a bundle whose
-history rows were lost (or vice versa).
+file matters: the checkpoint is written through
+:func:`repro.store.atomic.atomic_replace` (fsynced temp file +
+``os.replace`` + parent-dir fsync), so a reader always sees either the
+old state or the new state — even across a power cut — never a ledger
+that charged a bundle whose history rows were lost (or vice versa).
 
 Resume semantics (see ``docs/campaign.md``):
 
@@ -24,7 +25,6 @@ Resume semantics (see ``docs/campaign.md``):
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -34,6 +34,7 @@ import numpy as np
 from ..data.dataset import ExecutionDataset
 from ..errors import ConfigurationError
 from ..log import get_logger
+from ..store import atomic
 from .ledger import BudgetLedger
 
 __all__ = ["PlannedBundle", "CampaignState"]
@@ -232,10 +233,8 @@ class CampaignState:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         target = directory / CHECKPOINT_NAME
-        tmp = directory / f".{CHECKPOINT_NAME}.tmp"
         blob = json.dumps(self.to_dict(), sort_keys=True)
-        tmp.write_text(blob)
-        os.replace(tmp, target)
+        atomic.atomic_replace(target, blob, op="campaign.checkpoint")
         logger.debug(
             "checkpointed campaign at %s (phase=%s round=%d cursor=%d)",
             target, self.phase, self.round_index, self.bundle_cursor,

@@ -1,0 +1,34 @@
+"""Deterministic crash-consistency chaos harness.
+
+``repro.chaos`` answers one question about every durable write in the
+system: *if the process dies here, does the data survive?*  It wraps
+the filesystem boundary all writers already share
+(:mod:`repro.store.atomic`) with a seeded fault injector and sweeps
+scripted crash schedules over the durability-critical paths — store
+shard appends, manifest updates, registry ``register``, campaign
+checkpoints — asserting the recovered state is always either the
+complete old state or the complete new state, never in-between.
+
+* :class:`ChaosFS` — fault-injecting backend: scripted crashes at
+  named crashpoints, torn writes, ENOSPC/EIO, bit flips on read.
+* :class:`ChaosCrash` — the simulated kill (a ``BaseException``; the
+  code under test cannot catch it).
+* :func:`crash_sweep` — record a workload's crash surface, then crash
+  it at every step and run a recovery check per case.
+* :func:`corrupt_file` — deterministic on-disk damage for
+  ``fsck``/quarantine tests.
+
+See ``docs/chaos.md`` for the schedule format and fsck semantics.
+"""
+
+from .fs import ChaosCrash, ChaosFS, corrupt_file
+from .harness import CrashOutcome, CrashSweepReport, crash_sweep
+
+__all__ = [
+    "ChaosFS",
+    "ChaosCrash",
+    "corrupt_file",
+    "crash_sweep",
+    "CrashOutcome",
+    "CrashSweepReport",
+]

@@ -1,0 +1,255 @@
+"""Deterministic filesystem fault injection.
+
+:class:`ChaosFS` is a drop-in :class:`~repro.store.atomic.FilesystemBackend`
+that every durable writer in the library already routes through.  It
+can, from one integer seed and a scripted schedule:
+
+* **crash** at any named crashpoint (``store.manifest:before-rename``,
+  ``registry.register:after-rename``, ...) by raising
+  :class:`ChaosCrash` — a ``BaseException`` subclass, so library
+  ``except Exception``/``except OSError`` handlers cannot swallow the
+  simulated process death;
+* **tear writes**: a crash scheduled at a write step leaves a seeded
+  random *prefix* of the payload on disk — exactly what a power cut
+  mid-``write(2)`` leaves;
+* **fail operations** with real errnos (ENOSPC on write, EIO on read)
+  a scripted number of times;
+* **flip bits** on read, and (module function :func:`corrupt_file`)
+  deterministically damage files on disk for recovery tests.
+
+Every primitive the backend executes is recorded as an ordered *step*
+``(index, step_id)``; a recording pass over a workload enumerates its
+crash surface, and :func:`repro.chaos.harness.crash_sweep` then
+re-runs the workload once per step with ``crash_at_step(i)`` armed.
+
+After a crash the instance is *dead*: further filesystem calls raise
+:class:`ChaosCrash` again, modelling code that (incorrectly) tries to
+keep writing from an exception handler after the process was "killed".
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import fnmatch
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..log import get_logger
+from ..store import atomic
+
+__all__ = ["ChaosCrash", "ChaosFS", "corrupt_file"]
+
+logger = get_logger("chaos.fs")
+
+
+class ChaosCrash(BaseException):
+    """Simulated process death at a crashpoint.
+
+    Deliberately **not** an :class:`Exception`: recovery code under
+    test must never be able to catch-and-continue past a kill, the way
+    it couldn't catch ``SIGKILL``.
+    """
+
+    def __init__(self, step_id: str, step_index: int) -> None:
+        super().__init__(f"chaos crash at step {step_index} ({step_id})")
+        self.step_id = step_id
+        self.step_index = step_index
+
+
+class _FaultRule:
+    """Inject an OSError into ops matching a glob pattern, N times."""
+
+    def __init__(self, pattern: str, err: int, count: int) -> None:
+        self.pattern = pattern
+        self.err = err
+        self.remaining = count
+
+    def matches(self, step_id: str) -> bool:
+        return self.remaining != 0 and fnmatch.fnmatch(step_id, self.pattern)
+
+    def fire(self, step_id: str) -> None:
+        if self.remaining > 0:
+            self.remaining -= 1
+        raise OSError(self.err, os.strerror(self.err), step_id)
+
+
+class ChaosFS(atomic.FilesystemBackend):
+    """Seeded fault-injecting filesystem backend (see module docstring).
+
+    Step ids follow the protocol of :mod:`repro.store.atomic`:
+    ``"<op>:before-write"`` / ``"<op>:write"`` (the data hits disk
+    here) / ``"<op>:before-rename"`` / ``"<op>:rename"`` /
+    ``"<op>:after-rename"`` / ``"<op>:read"``.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+        #: ordered (step_index, step_id) trace of every primitive run
+        self.steps: list[tuple[int, str]] = []
+        self.crashed: ChaosCrash | None = None
+        self._crash_step: int | None = None
+        self._crash_ids: dict[str, int] = {}
+        self._faults: list[_FaultRule] = []
+        self._flip_read_bits = False
+
+    # -- scheduling --------------------------------------------------------
+
+    def crash_at_step(self, index: int) -> "ChaosFS":
+        """Arm a crash at the ``index``-th primitive step (as numbered
+        by a previous recording pass)."""
+        self._crash_step = int(index)
+        return self
+
+    def crash_at(self, step_id: str, occurrence: int = 1) -> "ChaosFS":
+        """Arm a crash at the n-th occurrence of a step id (glob
+        patterns allowed, e.g. ``"store.manifest:*-rename"``)."""
+        self._crash_ids[step_id] = int(occurrence)
+        return self
+
+    def fail_op(
+        self, pattern: str, err: int = _errno.ENOSPC, count: int = 1
+    ) -> "ChaosFS":
+        """Make ops matching ``pattern`` raise ``OSError(err)`` the
+        next ``count`` times (``count=-1``: every time)."""
+        self._faults.append(_FaultRule(pattern, err, count))
+        return self
+
+    def flip_read_bits(self, enable: bool = True) -> "ChaosFS":
+        """Corrupt every subsequent :meth:`read_bytes` result by one
+        deterministic bit flip (models silent media bit rot)."""
+        self._flip_read_bits = enable
+        return self
+
+    # -- step accounting ---------------------------------------------------
+
+    def _step(self, step_id: str) -> int:
+        """Record one primitive step; fire any scheduled crash/fault."""
+        if self.crashed is not None:
+            # the process is "dead" — nothing runs after a kill
+            raise self.crashed
+        index = len(self.steps)
+        self.steps.append((index, step_id))
+        for rule in self._faults:
+            if rule.matches(step_id):
+                logger.debug("chaos: injecting errno %d at %s", rule.err, step_id)
+                rule.fire(step_id)
+        crash = self._crash_step == index
+        if not crash:
+            for pattern, occurrence in list(self._crash_ids.items()):
+                if fnmatch.fnmatch(step_id, pattern):
+                    occurrence -= 1
+                    self._crash_ids[pattern] = occurrence
+                    if occurrence <= 0:
+                        del self._crash_ids[pattern]
+                        crash = True
+                    break
+        if crash:
+            self.crashed = ChaosCrash(step_id, index)
+            logger.debug("chaos: crash at step %d (%s)", index, step_id)
+            raise self.crashed
+        return index
+
+    # -- FilesystemBackend primitives --------------------------------------
+
+    def checkpoint(self, step: str) -> None:
+        self._step(step)
+
+    def write_bytes(self, path: Path, data: bytes, op: str = "file") -> None:
+        step_id = f"{op}:write"
+        try:
+            self._step(step_id)
+        except ChaosCrash:
+            # torn write: a seeded prefix of the payload is on disk
+            n = int(self.rng.integers(0, len(data) + 1)) if data else 0
+            with open(path, "wb") as fh:
+                fh.write(data[:n])
+                fh.flush()
+                os.fsync(fh.fileno())
+            logger.debug(
+                "chaos: torn write of %s (%d/%d bytes)", path, n, len(data)
+            )
+            raise
+        super().write_bytes(path, data, op=op)
+
+    def replace(self, src: Path, dst: Path, op: str = "file") -> None:
+        self._step(f"{op}:rename")
+        super().replace(src, dst, op=op)
+
+    def read_bytes(self, path: Path, op: str = "file") -> bytes:
+        self._step(f"{op}:read-bytes")
+        data = super().read_bytes(path, op=op)
+        if self._flip_read_bits and data:
+            pos = int(self.rng.integers(0, len(data)))
+            bit = 1 << int(self.rng.integers(0, 8))
+            data = data[:pos] + bytes([data[pos] ^ bit]) + data[pos + 1:]
+        return data
+
+    # -- installation ------------------------------------------------------
+
+    @contextmanager
+    def install(self) -> Iterator["ChaosFS"]:
+        """Swap this backend in for the scope of a ``with`` block."""
+        previous = atomic.set_backend(self)
+        try:
+            yield self
+        finally:
+            atomic.set_backend(previous)
+
+    # -- reporting ---------------------------------------------------------
+
+    def step_ids(self) -> list[str]:
+        return [step_id for _, step_id in self.steps]
+
+    def describe(self) -> str:
+        lines = [f"ChaosFS: {len(self.steps)} step(s) recorded"]
+        lines += [f"  {i:4d}  {step_id}" for i, step_id in self.steps]
+        if self.crashed is not None:
+            lines.append(f"  crashed: {self.crashed}")
+        return "\n".join(lines)
+
+
+def corrupt_file(
+    path: str | Path,
+    mode: str = "bitflip",
+    amount: int = 1,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Deterministically damage one on-disk file (for recovery tests).
+
+    ``mode``: ``"bitflip"`` flips ``amount`` seeded random bits in
+    place; ``"truncate"`` drops the last ``amount`` bytes (min 1 left
+    removed even for tiny files); ``"garbage"`` overwrites the whole
+    file with ``amount`` seeded random bytes.  Returns a description
+    of what was done.
+    """
+    path = Path(path)
+    rng = np.random.default_rng(seed)
+    data = bytearray(path.read_bytes())
+    before = len(data)
+    if mode == "bitflip":
+        if not data:
+            raise ValueError(f"{path} is empty; nothing to bit-flip.")
+        for _ in range(int(amount)):
+            pos = int(rng.integers(0, len(data)))
+            data[pos] ^= 1 << int(rng.integers(0, 8))
+        path.write_bytes(bytes(data))
+    elif mode == "truncate":
+        keep = max(0, len(data) - max(1, int(amount)))
+        path.write_bytes(bytes(data[:keep]))
+    elif mode == "garbage":
+        path.write_bytes(rng.integers(0, 256, size=int(amount), dtype=np.uint8).tobytes())
+    else:
+        raise ValueError(
+            f"Unknown corruption mode {mode!r}; use bitflip/truncate/garbage."
+        )
+    return {
+        "path": str(path),
+        "mode": mode,
+        "amount": int(amount),
+        "bytes_before": before,
+        "bytes_after": path.stat().st_size,
+    }

@@ -1,0 +1,147 @@
+"""Record-then-sweep crash schedules over durable workloads.
+
+The harness turns the *recover-to-old-or-new, never in-between*
+invariant into an exhaustive, deterministic test:
+
+1. **Record** — run the workload once under a :class:`ChaosFS` with no
+   crash armed, collecting the ordered list of filesystem steps it
+   executes (its *crash surface*).
+2. **Sweep** — for each step ``i``, re-run setup + workload in a fresh
+   directory with ``crash_at_step(i)`` armed.  The workload dies with
+   :class:`~repro.chaos.fs.ChaosCrash` at that exact primitive.
+3. **Check** — with the real filesystem restored (the "reboot"), call
+   the caller's ``check(root)`` — typically reopen + ``fsck()`` +
+   assert the state equals either the pre-workload or the
+   post-workload state.
+
+Every case is deterministic: same seed, same workload, same crash
+schedule, same bytes.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..log import get_logger
+from .fs import ChaosCrash, ChaosFS
+
+__all__ = ["CrashOutcome", "CrashSweepReport", "crash_sweep"]
+
+logger = get_logger("chaos.harness")
+
+
+@dataclass
+class CrashOutcome:
+    """One swept crashpoint: where the workload died and what the
+    post-reboot check concluded."""
+
+    step_index: int
+    step_id: str
+    crashed: bool
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class CrashSweepReport:
+    """Aggregate of a full sweep (one outcome per recorded step)."""
+
+    steps_recorded: int = 0
+    step_ids: list[str] = field(default_factory=list)
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CrashOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return self.steps_recorded > 0 and not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"crash sweep: {len(self.outcomes)}/{self.steps_recorded} "
+            f"crashpoints checked, {len(self.failures)} failure(s)"
+        ]
+        for o in self.failures:
+            lines.append(
+                f"  FAIL step {o.step_index} ({o.step_id}): {o.detail}"
+            )
+        return "\n".join(lines)
+
+
+def crash_sweep(
+    setup: Callable[[Path], Any],
+    workload: Callable[[Path, Any], Any],
+    check: Callable[[Path, Any], Any],
+    base_dir: str | Path,
+    seed: int = 0,
+    step_filter: Callable[[str], bool] | None = None,
+) -> CrashSweepReport:
+    """Crash a workload at every filesystem step it performs and check
+    recovery after each (see module docstring).
+
+    ``setup(root)`` builds the pre-workload state and returns an
+    opaque context; ``workload(root, ctx)`` performs the durable
+    operation under test; ``check(root, ctx)`` runs after the
+    simulated reboot and must raise (e.g. ``assert``) when the
+    recovered state is neither old nor new.  ``step_filter`` narrows
+    the sweep to matching step ids.  Each case gets a fresh directory
+    under ``base_dir``.
+    """
+    base_dir = Path(base_dir)
+    base_dir.mkdir(parents=True, exist_ok=True)
+
+    def _case_dir(tag: str) -> Path:
+        root = base_dir / tag
+        if root.exists():
+            shutil.rmtree(root)
+        root.mkdir()
+        return root
+
+    # pass 0: record the crash surface (no crash armed)
+    record_root = _case_dir("record")
+    ctx = setup(record_root)
+    recorder = ChaosFS(seed=seed)
+    with recorder.install():
+        workload(record_root, ctx)
+    check(record_root, ctx)  # the uninterrupted run must itself pass
+    report = CrashSweepReport(
+        steps_recorded=len(recorder.steps),
+        step_ids=recorder.step_ids(),
+    )
+    logger.info(
+        "chaos sweep: recorded %d step(s): %s",
+        report.steps_recorded, ", ".join(report.step_ids),
+    )
+
+    for index, step_id in recorder.steps:
+        if step_filter is not None and not step_filter(step_id):
+            continue
+        root = _case_dir(f"case-{index:03d}")
+        ctx = setup(root)
+        fs = ChaosFS(seed=seed).crash_at_step(index)
+        crashed = False
+        try:
+            with fs.install():
+                workload(root, ctx)
+        except ChaosCrash:
+            crashed = True
+        # reboot: the real filesystem is back; recovery runs clean
+        try:
+            check(root, ctx)
+            outcome = CrashOutcome(index, step_id, crashed, ok=True)
+        except BaseException as exc:  # asserts, ReproError, anything
+            outcome = CrashOutcome(
+                index, step_id, crashed, ok=False,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+            logger.warning(
+                "chaos sweep: step %d (%s) failed recovery: %s",
+                index, step_id, outcome.detail,
+            )
+        report.outcomes.append(outcome)
+    return report

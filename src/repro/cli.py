@@ -185,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--verify", action="store_true",
                     help="recompute every shard fingerprint and the "
                     "store hash against the manifest")
+    st.add_argument("--fsck", action="store_true",
+                    help="classify damage per shard, quarantine broken "
+                    "shards, and repair the manifest (exit 2 when "
+                    "anything was quarantined)")
     st.add_argument("--export", default=None, metavar="OUT",
                     help="write a .json/.npz copy in the legacy dataset "
                     "format")
@@ -248,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep only the newest N versions (pinned "
                    "versions always survive); with --name prunes one "
                    "model, else the whole registry")
+    m.add_argument("--fsck", action="store_true",
+                   help="check every stored version, quarantine damaged "
+                   "ones (exit 2 when anything was quarantined)")
 
     p = sub.add_parser("predict", help="predict runtimes with a fitted model")
     p.add_argument("--model", default=None,
@@ -357,6 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
                     "printed on startup)")
     sv.add_argument("--cache-size", type=int, default=4096,
                     help="LRU prediction-cache entries per model")
+    sv.add_argument("--rate-limit", type=float, default=None, metavar="R",
+                    help="token-bucket rate limit in requests/second "
+                    "for the prediction routes (429 over budget; "
+                    "default: unlimited)")
+    sv.add_argument("--burst", type=float, default=None,
+                    help="token-bucket burst capacity (default: "
+                    "max(1, rate))")
+    sv.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                    help="per-request deadline in seconds (504 when "
+                    "blown; default: none)")
+    sv.add_argument("--reload-interval", type=float, default=1.0,
+                    metavar="SEC",
+                    help="how often name resolution re-checks the "
+                    "registry for new versions (hot reload)")
+    sv.add_argument("--no-stale", action="store_true",
+                    help="fail (503) instead of serving the "
+                    "last-known-good version when a model load fails")
     return parser
 
 
@@ -506,6 +530,12 @@ def _cmd_store(args, out) -> int:
 
     store = HistoryStore.open(args.store)
     acted = False
+    if args.fsck:
+        report = store.fsck(repair=True)
+        print(report.summary(), file=out)
+        if not report.clean:
+            return 2
+        acted = True
     if args.verify:
         summary = store.verify()
         print(
@@ -646,6 +676,10 @@ def _cmd_models(args, out) -> int:
     from .serve import ModelRegistry
 
     registry = ModelRegistry(args.registry, create=False)
+    if args.fsck:
+        report = registry.fsck(repair=True)
+        print(report.summary(), file=out)
+        return 0 if report.clean else 2
     managing = args.delete or args.unpin or args.pin_version is not None
     if managing and not args.name:
         print("error: --delete/--pin-version/--unpin require --name",
@@ -739,9 +773,17 @@ def _cmd_serve(args, out) -> int:
         port=args.port,
         default_model=args.name,
         cache_size=args.cache_size,
+        deadline=args.deadline,
+        rate=args.rate_limit,
+        burst=args.burst,
+        reload_interval=args.reload_interval,
+        allow_stale=not args.no_stale,
     )
     host, port = server.server_address[:2]
     print(f"listening on http://{host}:{port}", file=out, flush=True)
+    if args.rate_limit:
+        print(f"rate limit: {args.rate_limit:g} req/s "
+              f"(burst {server.limiter.burst:g})", file=out, flush=True)
     print("endpoints: GET /healthz /models /metrics; "
           "POST /predict /batch (Ctrl-C to stop)", file=out, flush=True)
     try:

@@ -26,8 +26,14 @@ Hierarchy::
     │   │   └── ArtifactVersionError       schema newer than this build reads
     │   └── ArtifactIntegrityError         payload checksum mismatch
     ├── RegistryError       (ValueError)   unknown model/version in a registry
-    └── PredictionRequestError (ValueError) invalid request to the
-                                           prediction service
+    ├── PredictionRequestError (ValueError) invalid request to the
+    │                                      prediction service
+    └── ServingError        (RuntimeError) the serving layer refused or
+        │                                  abandoned a request
+        ├── RateLimitedError               over the request-rate budget (429)
+        ├── DeadlineExceededError          per-request deadline blown (504)
+        └── ServiceUnavailableError        no servable artifact, even
+                                           degraded (503)
 """
 
 from __future__ import annotations
@@ -54,6 +60,10 @@ __all__ = [
     "ArtifactIntegrityError",
     "RegistryError",
     "PredictionRequestError",
+    "ServingError",
+    "RateLimitedError",
+    "DeadlineExceededError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -163,3 +173,28 @@ class RegistryError(ReproError, ValueError):
 class PredictionRequestError(ReproError, ValueError):
     """A prediction request is malformed (unknown/missing/non-finite
     parameters, invalid scales, or a model that cannot serve it)."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The serving layer refused or abandoned an otherwise valid
+    request (overload protection, deadlines, total artifact loss)."""
+
+
+class RateLimitedError(ServingError):
+    """The request was rejected by the server's token-bucket rate
+    limiter (HTTP 429).  ``retry_after`` is the suggested wait in
+    seconds before retrying."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(ServingError):
+    """The per-request deadline elapsed before a response was ready
+    (HTTP 504)."""
+
+
+class ServiceUnavailableError(ServingError):
+    """No artifact — not even a stale last-known-good one — could be
+    served for the requested model (HTTP 503)."""

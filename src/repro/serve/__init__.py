@@ -18,7 +18,8 @@ The train -> register -> serve -> query loop (see ``docs/serving.md``)::
 """
 
 from .artifacts import SCHEMA_VERSION, ArtifactInfo, ModelArtifact, detect_kind
-from .registry import ModelRegistry, RegistryEntry
+from .overload import CircuitBreaker, TokenBucket
+from .registry import ModelRegistry, RegistryEntry, RegistryFsckReport
 from .server import PredictionServer, create_server
 from .service import PredictionService
 
@@ -29,7 +30,10 @@ __all__ = [
     "detect_kind",
     "ModelRegistry",
     "RegistryEntry",
+    "RegistryFsckReport",
     "PredictionService",
     "PredictionServer",
     "create_server",
+    "TokenBucket",
+    "CircuitBreaker",
 ]

@@ -54,6 +54,7 @@ from ..errors import (
     PredictionRequestError,
 )
 from ..log import get_logger
+from ..store import atomic
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -327,12 +328,19 @@ class ModelArtifact:
             payload = pickle.dumps(
                 self._payload(), protocol=pickle.HIGHEST_PROTOCOL
             )
-            (path / PAYLOAD_NAME).write_bytes(payload)
+            # payload first, manifest last: a crash mid-save leaves a
+            # directory with no (or the old) manifest, never a manifest
+            # describing a payload that isn't fully on disk
+            atomic.write_file_bytes(
+                path / PAYLOAD_NAME, payload, op="artifact.payload"
+            )
             manifest = self.info.to_manifest()
             manifest["payload_sha256"] = _sha256(payload)
-            with open(path / MANIFEST_NAME, "w") as fh:
-                json.dump(manifest, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            atomic.atomic_replace(
+                path / MANIFEST_NAME,
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                op="artifact.manifest",
+            )
         except OSError as exc:
             raise ArtifactFormatError(
                 f"{path}: cannot write artifact: {exc}"

@@ -1,0 +1,164 @@
+"""Overload-protection primitives for the serving layer.
+
+Two small, thread-safe, dependency-free mechanisms
+:class:`~repro.serve.server.PredictionServer` composes:
+
+* :class:`TokenBucket` — classic token-bucket admission control.
+  ``rate`` tokens/second refill up to a ``burst`` ceiling; a request
+  that finds the bucket empty is rejected (HTTP 429) with a
+  ``Retry-After`` hint instead of queueing unboundedly.
+* :class:`CircuitBreaker` — per-model load-failure breaker.
+  ``threshold`` consecutive load failures *open* the circuit: load
+  attempts stop (the server falls back to the last-known-good
+  artifact) until ``cooldown`` elapses, after which a single
+  *half-open* probe is allowed through; success re-closes the circuit,
+  failure re-opens it for another cooldown.
+
+Both take an injectable ``clock`` (``time.monotonic`` by default) so
+tests can drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["TokenBucket", "CircuitBreaker"]
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 (got {rate}).")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(1.0, rate))
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1 (got {burst}).")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+        self.allowed = 0
+        self.throttled = 0
+
+    def _refill(self, now: float) -> None:
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= n:
+                self._tokens -= n
+                self.allowed += 1
+                return True
+            self.throttled += 1
+            return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have refilled."""
+        with self._lock:
+            self._refill(self._clock())
+            missing = max(0.0, n - self._tokens)
+        return missing / self.rate
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            self._refill(self._clock())
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "tokens": round(self._tokens, 3),
+                "allowed": self.allowed,
+                "throttled": self.throttled,
+            }
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probes."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1 (got {threshold}).")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be > 0 (got {cooldown}).")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """May a (load) attempt proceed right now?
+
+        Closed: always.  Open: no.  Half-open: exactly one in-flight
+        probe at a time.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self._failures >= self.threshold:
+                if self._opened_at is None:
+                    self.trips += 1
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "failures": self._failures,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "trips": self.trips,
+            }

@@ -18,30 +18,45 @@ version ever used is *not* guaranteed — the next version is one past the
 current maximum).  Name resolution order is *explicit version* >
 *pin* > *latest*.
 
-Registration is atomic: the artifact is written to a staging directory
-and renamed into place, so a crashed ``register`` never leaves a
-half-written version visible.
+Registration is atomic and durable: the artifact is fsynced into a
+staging directory and renamed into place (with a parent-directory
+fsync, via :mod:`repro.store.atomic`), so a crashed ``register`` never
+leaves a half-written version visible.
+
+Self-healing: version scans *skip* (with a warning) directories whose
+manifest is unreadable, so one corrupt version can never take down
+``models()``/``latest()``/service startup; :meth:`ModelRegistry.fsck`
+goes further and moves damaged versions into ``quarantine/`` (a
+reserved top-level directory, invisible to listings) so ``latest``
+resolution lands on the newest *intact* version.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
-from ..errors import ArtifactFormatError, RegistryError
+from ..errors import ArtifactFormatError, RegistryError, ReproError
 from ..log import get_logger
-from .artifacts import MANIFEST_NAME, ArtifactInfo, ModelArtifact
+from ..store import atomic
+from .artifacts import MANIFEST_NAME, PAYLOAD_NAME, ArtifactInfo, ModelArtifact
 
-__all__ = ["ModelRegistry", "RegistryEntry"]
+__all__ = ["ModelRegistry", "RegistryEntry", "RegistryFsckReport"]
 
 logger = get_logger("serve.registry")
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _VERSION_RE = re.compile(r"^v(\d{4,})$")
 _PIN_FILE = "PINNED"
+
+#: Reserved top-level directory damaged versions are moved into; never
+#: a legal model name.
+QUARANTINE_DIR = "quarantine"
 
 
 def _version_dir(version: int) -> str:
@@ -58,6 +73,46 @@ class RegistryEntry:
     info: ArtifactInfo
     pinned: bool
     latest: bool
+
+
+@dataclass
+class RegistryFsckReport:
+    """What :meth:`ModelRegistry.fsck` found/fixed.  ``damaged`` maps
+    ``"name/vNNNN"`` -> reason string."""
+
+    root: str
+    versions_checked: int = 0
+    damaged: dict[str, str] = field(default_factory=dict)
+    quarantined: list[str] = field(default_factory=list)
+    pins_cleared: list[str] = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.damaged
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "versions_checked": self.versions_checked,
+            "damaged": dict(self.damaged),
+            "quarantined": list(self.quarantined),
+            "pins_cleared": list(self.pins_cleared),
+            "repaired": self.repaired,
+            "clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"fsck: clean ({self.versions_checked} version(s))"
+        lines = [f"fsck: {len(self.damaged)} damaged version(s)"]
+        for key, reason in sorted(self.damaged.items()):
+            lines.append(f"  {key}: {reason}")
+        lines.append(
+            f"  quarantined: {len(self.quarantined)} "
+            f"({'repaired' if self.repaired else 'NOT repaired'})"
+        )
+        return "\n".join(lines)
 
 
 class ModelRegistry:
@@ -86,6 +141,11 @@ class ModelRegistry:
                 f"Invalid model name {name!r}: use letters, digits, "
                 "'.', '_', '-' (max 64 chars, no leading separator)."
             )
+        if name == QUARANTINE_DIR:
+            raise RegistryError(
+                f"Model name {QUARANTINE_DIR!r} is reserved for "
+                "fsck-quarantined versions."
+            )
         return name
 
     def _model_dir(self, name: str, must_exist: bool = True) -> Path:
@@ -107,7 +167,9 @@ class ModelRegistry:
             raise RegistryError(
                 f"Cannot create model directory {model_dir}: {exc}"
             ) from exc
-        versions = self._scan_versions(model_dir)
+        # number past every version directory, damaged ones included,
+        # so a quarantine-skipped version's number is never reused
+        versions = self._scan_versions(model_dir, include_damaged=True)
         version = (max(versions) if versions else 0) + 1
         staging = model_dir / f".staging-{_version_dir(version)}"
         if staging.exists():
@@ -115,7 +177,7 @@ class ModelRegistry:
         artifact.save(staging, overwrite=True)
         target = model_dir / _version_dir(version)
         try:
-            staging.rename(target)
+            atomic.commit_dir(staging, target, op="registry.register")
         except OSError as exc:
             shutil.rmtree(staging, ignore_errors=True)
             raise RegistryError(
@@ -177,7 +239,10 @@ class ModelRegistry:
     def pin(self, name: str, version: int) -> None:
         """Make ``resolve(name)`` return ``version`` until unpinned."""
         version = self._check_version(name, version)
-        (self._model_dir(name) / _PIN_FILE).write_text(f"{version}\n")
+        atomic.atomic_replace(
+            self._model_dir(name) / _PIN_FILE, f"{version}\n",
+            op="registry.pin",
+        )
 
     def unpin(self, name: str) -> None:
         pin = self._model_dir(name) / _PIN_FILE
@@ -199,20 +264,59 @@ class ModelRegistry:
     # -- read side ---------------------------------------------------------
 
     @staticmethod
-    def _scan_versions(model_dir: Path) -> list[int]:
+    def _version_readable(version_dir: Path) -> str | None:
+        """Reason string when a version directory is too damaged to
+        serve, else ``None`` (cheap check: manifest parses as a JSON
+        object and the payload file exists — no unpickling)."""
+        manifest_path = version_dir / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return f"manifest unreadable: {exc}"
+        if not isinstance(manifest, dict):
+            return "manifest is not a JSON object"
+        if not (version_dir / PAYLOAD_NAME).is_file():
+            return f"missing {PAYLOAD_NAME}"
+        return None
+
+    @classmethod
+    def _scan_versions(
+        cls, model_dir: Path, include_damaged: bool = False
+    ) -> list[int]:
+        """Version numbers under ``model_dir``.
+
+        By default versions whose manifest is unreadable are skipped
+        with a warning, so one corrupt directory can never take down
+        listing/``latest``/service startup.  ``include_damaged=True``
+        counts them anyway (registration numbering must never reuse a
+        damaged version's number).
+        """
         found = []
         for child in model_dir.iterdir():
             m = _VERSION_RE.match(child.name)
-            if m and child.is_dir():
-                found.append(int(m.group(1)))
+            if not (m and child.is_dir()):
+                continue
+            if not include_damaged:
+                reason = cls._version_readable(child)
+                if reason is not None:
+                    logger.warning(
+                        "%s: skipping damaged version %s (%s); run "
+                        "fsck() to quarantine it",
+                        model_dir.name, child.name, reason,
+                    )
+                    continue
+            found.append(int(m.group(1)))
         return sorted(found)
 
     def models(self) -> list[str]:
-        """Registered model names, sorted."""
+        """Registered model names, sorted (the reserved quarantine
+        directory is never listed)."""
         return sorted(
             child.name
             for child in self.root.iterdir()
-            if child.is_dir() and self._scan_versions(child)
+            if child.is_dir()
+            and child.name != QUARANTINE_DIR
+            and self._scan_versions(child)
         )
 
     def versions(self, name: str) -> list[int]:
@@ -285,6 +389,97 @@ class ModelRegistry:
                     )
                 )
         return out
+
+    # -- integrity ---------------------------------------------------------
+
+    def _classify_version(self, version_dir: Path) -> str | None:
+        """Damage reason for one version directory, or ``None`` when
+        intact (manifest parses + payload SHA-256 matches; the payload
+        is never unpickled)."""
+        reason = self._version_readable(version_dir)
+        if reason is not None:
+            return reason
+        try:
+            manifest = json.loads((version_dir / MANIFEST_NAME).read_text())
+            info = ArtifactInfo.from_manifest(manifest, version_dir)
+        except (ReproError, OSError, json.JSONDecodeError) as exc:
+            return f"manifest invalid: {exc}"
+        try:
+            payload = (version_dir / PAYLOAD_NAME).read_bytes()
+        except OSError as exc:
+            return f"payload unreadable: {exc}"
+        if hashlib.sha256(payload).hexdigest() != info.payload_sha256:
+            return "payload checksum mismatch"
+        return None
+
+    def fsck(self, repair: bool = True) -> RegistryFsckReport:
+        """Check every stored version; quarantine the damaged ones.
+
+        Damaged versions (unreadable/invalid manifest, missing payload,
+        checksum mismatch) move to ``quarantine/<name>/vNNNN`` — never
+        deleted — so ``latest`` resolution lands on the newest intact
+        version.  Pins pointing at a quarantined version (and corrupt
+        pin files) are cleared.  ``repair=False`` only reports.
+        """
+        report = RegistryFsckReport(root=str(self.root))
+        for model_dir in sorted(self.root.iterdir()):
+            if not model_dir.is_dir() or model_dir.name == QUARANTINE_DIR:
+                continue
+            name = model_dir.name
+            for child in sorted(model_dir.iterdir()):
+                m = _VERSION_RE.match(child.name)
+                if not (m and child.is_dir()):
+                    continue
+                report.versions_checked += 1
+                reason = self._classify_version(child)
+                if reason is None:
+                    continue
+                key = f"{name}/{child.name}"
+                report.damaged[key] = reason
+                if not repair:
+                    continue
+                self._quarantine_version(name, child)
+                report.quarantined.append(key)
+                pin = model_dir / _PIN_FILE
+                if pin.exists():
+                    try:
+                        pinned = int(pin.read_text().strip())
+                    except (OSError, ValueError):
+                        pinned = None
+                    if pinned == int(m.group(1)):
+                        pin.unlink()
+                        report.pins_cleared.append(name)
+            pin = model_dir / _PIN_FILE
+            if repair and pin.exists():
+                try:
+                    int(pin.read_text().strip())
+                except (OSError, ValueError):
+                    pin.unlink()
+                    if name not in report.pins_cleared:
+                        report.pins_cleared.append(name)
+                        report.damaged.setdefault(
+                            f"{name}/{_PIN_FILE}", "corrupt pin file"
+                        )
+        if repair and report.quarantined:
+            report.repaired = True
+            logger.warning(
+                "%s: fsck quarantined %d damaged version(s): %s",
+                self.root, len(report.quarantined),
+                ", ".join(report.quarantined),
+            )
+        return report
+
+    def _quarantine_version(self, name: str, version_dir: Path) -> None:
+        qdir = self.root / QUARANTINE_DIR / name
+        qdir.mkdir(parents=True, exist_ok=True)
+        dst = qdir / version_dir.name
+        suffix = 0
+        while dst.exists():
+            suffix += 1
+            dst = qdir / f"{version_dir.name}.{suffix}"
+        version_dir.rename(dst)
+        atomic.fsync_dir(qdir)
+        atomic.fsync_dir(version_dir.parent)
 
     def describe(self) -> str:
         """Human-readable registry listing."""

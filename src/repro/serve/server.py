@@ -5,9 +5,9 @@ models out of a :class:`~repro.serve.registry.ModelRegistry` (services
 are created lazily per (name, version) and cached).  JSON endpoints:
 
 =======================  ====  =========================================
-``/healthz``             GET   liveness + model names
+``/healthz``             GET   liveness + degraded flag + model names
 ``/models``              GET   registry listing with manifests
-``/metrics``             GET   per-service cache/latency snapshots
+``/metrics``             GET   per-service snapshots + server health
 ``/predict``             POST  one configuration, many scales
 ``/batch``               POST  many (params, scales) requests at once
 =======================  ====  =========================================
@@ -21,9 +21,31 @@ Request bodies::
 
 ``model`` may be omitted when the registry holds exactly one model;
 ``version`` defaults to the registry's pin/latest resolution.  Request
-errors return HTTP 400 (422 for unknown models/versions -> 404) with
+errors return HTTP 400 (unknown models/versions -> 404) with
 ``{"error": <exception type>, "message": ...}``; nothing in this module
 ever renders a traceback to the client.
+
+Degraded operation (all optional, see :func:`create_server`):
+
+* **rate limiting** — a :class:`~repro.serve.overload.TokenBucket`
+  gates the prediction routes; over-budget requests get HTTP 429 with
+  a ``Retry-After`` header instead of queueing unboundedly.
+* **deadlines** — a per-request budget checked *cooperatively* at the
+  request pipeline's stages (body parsed, model resolved, prediction
+  done); a blown deadline returns HTTP 504.  A stdlib thread cannot be
+  preempted mid-predict, so an in-flight numpy call is never killed —
+  the check fires at the next stage boundary.
+* **circuit breaker + stale-while-revalidate** — model-load failures
+  trip a per-model :class:`~repro.serve.overload.CircuitBreaker`;
+  while it is open (and on any load failure, when ``allow_stale``) the
+  server answers from the newest cached in-memory service, or failing
+  that an older intact on-disk version, marking responses ``"stale":
+  true`` and ``/healthz`` ``"degraded": true`` — one corrupt artifact
+  never turns into an outage.
+* **hot reload** — name resolution is cached for ``reload_interval``
+  seconds and re-checked against the model directory's mtime, so a
+  newly registered version is picked up within one interval without
+  restarting, and without a registry scan per request.
 
 No third-party web framework is used on purpose: the stdlib threading
 server is enough for the paper-scale workloads benchmarked here, and it
@@ -34,15 +56,20 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import (
+    DeadlineExceededError,
     PredictionRequestError,
+    RateLimitedError,
     RegistryError,
     ReproError,
+    ServiceUnavailableError,
 )
 from ..log import get_logger
+from .overload import CircuitBreaker, TokenBucket
 from .registry import ModelRegistry
 from .service import PredictionService
 
@@ -64,20 +91,85 @@ class PredictionServer(ThreadingHTTPServer):
         registry: ModelRegistry,
         default_model: str | None = None,
         cache_size: int = 4096,
+        deadline: float | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+        reload_interval: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        allow_stale: bool = True,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         super().__init__(address, _Handler)
         self.registry = registry
         self.default_model = default_model
         self.cache_size = cache_size
+        self.deadline = deadline
+        self.reload_interval = float(reload_interval)
+        self.allow_stale = bool(allow_stale)
+        self.clock = clock
+        self.limiter = (
+            TokenBucket(rate, burst, clock=clock) if rate else None
+        )
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_cooldown = float(breaker_cooldown)
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._services: dict[tuple[str, int], PredictionService] = {}
         self._services_lock = threading.Lock()
+        #: per-name resolution cache: version + when checked + dir mtime
+        self._resolved: dict[str, dict[str, Any]] = {}
+        #: models currently served from a non-requested (stale) version
+        self._stale: dict[str, dict[str, int]] = {}
+        self.reloads = 0
 
     # -- model resolution --------------------------------------------------
 
-    def service_for(
-        self, model: str | None, version: int | None
-    ) -> PredictionService:
-        """Resolve (and lazily load) the service for a request."""
+    def _breaker(self, name: str) -> CircuitBreaker:
+        with self._services_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    threshold=self._breaker_threshold,
+                    cooldown=self._breaker_cooldown,
+                    clock=self.clock,
+                )
+        return breaker
+
+    def _resolve(self, name: str, version: int | None) -> int:
+        """Pin/latest resolution with an mtime-validated cache.
+
+        Explicit versions bypass the cache.  Otherwise the cached
+        answer is trusted for ``reload_interval`` seconds; after that
+        the model directory's mtime is compared and a change (a new
+        version registered, a pin moved, a quarantine) triggers a full
+        re-resolution — that is the hot-reload path.
+        """
+        if version is not None:
+            return self.registry.resolve(name, version)
+        now = self.clock()
+        entry = self._resolved.get(name)
+        if entry is not None and now - entry["checked"] < self.reload_interval:
+            return entry["version"]
+        try:
+            mtime_ns = self.registry.root.joinpath(name).stat().st_mtime_ns
+        except OSError:
+            mtime_ns = None
+        if entry is not None and entry["mtime_ns"] == mtime_ns:
+            entry["checked"] = now
+            return entry["version"]
+        resolved = self.registry.resolve(name, None)
+        if entry is not None and entry["version"] != resolved:
+            self.reloads += 1
+            logger.info(
+                "hot reload: %s now resolves to v%04d (was v%04d)",
+                name, resolved, entry["version"],
+            )
+        self._resolved[name] = {
+            "version": resolved, "checked": now, "mtime_ns": mtime_ns,
+        }
+        return resolved
+
+    def _request_name(self, model: str | None) -> str:
         name = model or self.default_model
         if name is None:
             models = self.registry.models()
@@ -88,23 +180,138 @@ class PredictionServer(ThreadingHTTPServer):
                     "Request must name a model ('model' field); registry "
                     f"holds {models or 'no models'}."
                 )
-        resolved = self.registry.resolve(name, version)
+        return name
+
+    def service_for(
+        self, model: str | None, version: int | None
+    ) -> PredictionService:
+        """Resolve (and lazily load) the service for a request.
+
+        On a load failure the per-model circuit breaker records it and
+        the server falls back to the last-known-good service — the
+        newest already-loaded in-memory one, else the newest older
+        intact version on disk — rather than failing the request.
+        :class:`~repro.errors.ServiceUnavailableError` (HTTP 503) is
+        raised only when nothing at all is servable.
+        """
+        name = self._request_name(model)
+        resolved = self._resolve(name, version)  # RegistryError -> 404
         key = (name, resolved)
         with self._services_lock:
             service = self._services.get(key)
-        if service is None:
-            artifact = self.registry.load(name, resolved)
+        if service is not None:
+            self._stale.pop(name, None)
+            return service
+
+        breaker = self._breaker(name)
+        if breaker.allow():
+            try:
+                artifact = self.registry.load(name, resolved)
+            except Exception as exc:
+                breaker.record_failure()
+                logger.warning(
+                    "load failed for %s v%04d (%s: %s); serving "
+                    "last-known-good", name, resolved,
+                    type(exc).__name__, exc,
+                )
+            else:
+                breaker.record_success()
+                with self._services_lock:
+                    service = self._services.setdefault(
+                        key,
+                        PredictionService(
+                            artifact,
+                            name=name,
+                            version=resolved,
+                            cache_size=self.cache_size,
+                        ),
+                    )
+                self._stale.pop(name, None)
+                return service
+        if not self.allow_stale:
+            raise ServiceUnavailableError(
+                f"Model {name!r} v{resolved:04d} failed to load and stale "
+                "fallback is disabled."
+            )
+        return self._last_known_good(name, resolved)
+
+    def _last_known_good(self, name: str, requested: int) -> PredictionService:
+        """Newest cached in-memory service, else the newest older
+        intact on-disk version."""
+        with self._services_lock:
+            cached = [
+                (v, s) for (n, v), s in self._services.items() if n == name
+            ]
+        if cached:
+            version, service = max(cached, key=lambda pair: pair[0])
+            self._mark_stale(name, requested, version)
+            return service
+        try:
+            versions = self.registry.versions(name)
+        except RegistryError:
+            versions = []
+        for version in sorted(versions, reverse=True):
+            if version == requested:
+                continue
+            try:
+                artifact = self.registry.load(name, version)
+            except Exception:
+                continue
             with self._services_lock:
                 service = self._services.setdefault(
-                    key,
+                    (name, version),
                     PredictionService(
                         artifact,
                         name=name,
-                        version=resolved,
+                        version=version,
                         cache_size=self.cache_size,
                     ),
                 )
-        return service
+            self._mark_stale(name, requested, version)
+            return service
+        raise ServiceUnavailableError(
+            f"Model {name!r} has no servable version: v{requested:04d} "
+            "failed to load and no last-known-good fallback exists."
+        )
+
+    def _mark_stale(self, name: str, requested: int, serving: int) -> None:
+        if serving != requested:
+            self._stale[name] = {"requested": requested, "serving": serving}
+            logger.warning(
+                "%s: serving stale v%04d (requested v%04d)",
+                name, serving, requested,
+            )
+
+    # -- health ------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while any model serves stale or has an open breaker."""
+        if self._stale:
+            return True
+        with self._services_lock:
+            breakers = list(self._breakers.values())
+        return any(b.state != CircuitBreaker.CLOSED for b in breakers)
+
+    def stale_models(self) -> dict[str, dict[str, int]]:
+        return {name: dict(info) for name, info in self._stale.items()}
+
+    def server_metrics(self) -> dict[str, Any]:
+        with self._services_lock:
+            breakers = {
+                name: b.snapshot() for name, b in self._breakers.items()
+            }
+        return {
+            "degraded": self.degraded,
+            "stale": self.stale_models(),
+            "breakers": breakers,
+            "rate_limiter": (
+                self.limiter.snapshot() if self.limiter else None
+            ),
+            "deadline": self.deadline,
+            "reload_interval": self.reload_interval,
+            "reloads": self.reloads,
+        }
 
     def loaded_services(self) -> list[PredictionService]:
         with self._services_lock:
@@ -117,12 +324,21 @@ def create_server(
     port: int = 0,
     default_model: str | None = None,
     cache_size: int = 4096,
+    deadline: float | None = None,
+    rate: float | None = None,
+    burst: float | None = None,
+    reload_interval: float = 1.0,
+    breaker_threshold: int = 3,
+    breaker_cooldown: float = 30.0,
+    allow_stale: bool = True,
 ) -> PredictionServer:
     """Bind a :class:`PredictionServer` (``port=0`` = ephemeral).
 
     The caller owns the serve loop: ``server.serve_forever()`` to block,
     or drive it from a thread in tests.  ``server.server_address``
-    reports the actually-bound port.
+    reports the actually-bound port.  ``rate``/``burst`` enable the
+    token-bucket limiter, ``deadline`` the per-request budget (seconds);
+    both are off by default.
     """
     if not isinstance(registry, ModelRegistry):
         registry = ModelRegistry(registry, create=False)
@@ -133,6 +349,13 @@ def create_server(
         registry,
         default_model=default_model,
         cache_size=cache_size,
+        deadline=deadline,
+        rate=rate,
+        burst=burst,
+        reload_interval=reload_interval,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
+        allow_stale=allow_stale,
     )
 
 
@@ -144,18 +367,31 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, exc: Exception) -> None:
+    def _send_error_json(
+        self,
+        status: int,
+        exc: Exception,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._send_json(
             status,
             {"error": type(exc).__name__, "message": str(exc)},
+            headers=headers,
         )
 
     def _read_body(self) -> dict[str, Any]:
@@ -182,6 +418,15 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, handler) -> None:
         try:
             handler()
+        except RateLimitedError as exc:
+            self._send_error_json(
+                429, exc,
+                headers={"Retry-After": f"{max(exc.retry_after, 0.001):.3f}"},
+            )
+        except DeadlineExceededError as exc:
+            self._send_error_json(504, exc)
+        except ServiceUnavailableError as exc:
+            self._send_error_json(503, exc)
         except RegistryError as exc:
             self._send_error_json(404, exc)
         except PredictionRequestError as exc:
@@ -193,6 +438,32 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # never leak a traceback to the wire
             logger.exception("unhandled error serving %s", self.path)
             self._send_error_json(500, exc)
+
+    # -- overload guards ---------------------------------------------------
+
+    def _admit(self) -> float:
+        """Rate-limit gate + deadline start for a prediction route."""
+        limiter = self.server.limiter
+        if limiter is not None and not limiter.try_acquire():
+            retry = limiter.retry_after()
+            raise RateLimitedError(
+                "Request rate over budget "
+                f"({limiter.rate:g}/s, burst {limiter.burst:g}); retry in "
+                f"{retry:.3f}s.",
+                retry_after=retry,
+            )
+        return self.server.clock()
+
+    def _check_deadline(self, started: float, stage: str) -> None:
+        deadline = self.server.deadline
+        if deadline is None:
+            return
+        elapsed = self.server.clock() - started
+        if elapsed > deadline:
+            raise DeadlineExceededError(
+                f"Deadline of {deadline:g}s exceeded after {elapsed:.3f}s "
+                f"({stage})."
+            )
 
     # -- routes ------------------------------------------------------------
 
@@ -223,9 +494,15 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     def _get_healthz(self) -> None:
+        degraded = self.server.degraded
         self._send_json(
             200,
-            {"status": "ok", "models": self.server.registry.models()},
+            {
+                "status": "degraded" if degraded else "ok",
+                "degraded": degraded,
+                "models": self.server.registry.models(),
+                "stale": self.server.stale_models(),
+            },
         )
 
     def _get_models(self) -> None:
@@ -247,18 +524,29 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "services": [
                     s.metrics() for s in self.server.loaded_services()
-                ]
+                ],
+                "server": self.server.server_metrics(),
             },
         )
 
+    def _stale_fields(self, service: PredictionService) -> dict[str, Any]:
+        info = self.server.stale_models().get(service.name)
+        if info and info["serving"] == service.version:
+            return {"stale": True, "requested_version": info["requested"]}
+        return {}
+
     def _post_predict(self) -> None:
+        started = self._admit()
         body = self._read_body()
+        self._check_deadline(started, "request parsed")
         service = self.server.service_for(
             body.get("model"), body.get("version")
         )
+        self._check_deadline(started, "model resolved")
         predictions = service.predict_one(
             body.get("params", {}), body.get("scales", [])
         )
+        self._check_deadline(started, "prediction done")
         self._send_json(
             200,
             {
@@ -266,11 +554,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": service.version,
                 "scales": service.validate_scales(body.get("scales", [])),
                 "predictions": predictions,
+                **self._stale_fields(service),
             },
         )
 
     def _post_batch(self) -> None:
+        started = self._admit()
         body = self._read_body()
+        self._check_deadline(started, "request parsed")
         requests = body.get("requests")
         if not isinstance(requests, list) or not requests:
             raise PredictionRequestError(
@@ -280,6 +571,7 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service_for(
             body.get("model"), body.get("version")
         )
+        self._check_deadline(started, "model resolved")
         pairs = []
         for item in requests:
             if not isinstance(item, dict):
@@ -288,11 +580,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             pairs.append((item.get("params", {}), item.get("scales", [])))
         results = service.predict_batch(pairs)
+        self._check_deadline(started, "prediction done")
         self._send_json(
             200,
             {
                 "model": service.name,
                 "version": service.version,
                 "results": results,
+                **self._stale_fields(service),
             },
         )

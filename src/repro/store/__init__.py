@@ -23,8 +23,23 @@ archives:
 
 Parquet export (:meth:`HistoryStore.export_parquet`) activates only
 when ``pyarrow`` is importable; nothing here requires it.
+
+Durability: every writer in the package goes through
+:mod:`repro.store.atomic` (fsynced tmp + rename + parent-dir fsync,
+re-exported here as :func:`atomic_replace` and friends), and
+:meth:`HistoryStore.fsck` classifies/quarantines damaged shards so a
+corrupted store reopens with its surviving rows.
 """
 
+from .atomic import (
+    FilesystemBackend,
+    atomic_replace,
+    atomic_replace_bytes,
+    commit_dir,
+    get_backend,
+    set_backend,
+    write_file_bytes,
+)
 from .etl import IngestPipeline, IngestReport
 from .extract import (
     CSVExtractor,
@@ -36,10 +51,25 @@ from .extract import (
 )
 from .schema import COLUMN_NAMES, COLUMNS, STORE_FORMAT, STORE_FORMAT_VERSION
 from .shards import ShardReader, open_shard_column, shard_nrows, write_shard
-from .store import DEFAULT_CHUNK_ROWS, MANIFEST_NAME, HistoryStore
+from .store import (
+    DEFAULT_CHUNK_ROWS,
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    FsckReport,
+    HistoryStore,
+)
 
 __all__ = [
     "HistoryStore",
+    "FsckReport",
+    "FilesystemBackend",
+    "get_backend",
+    "set_backend",
+    "atomic_replace",
+    "atomic_replace_bytes",
+    "write_file_bytes",
+    "commit_dir",
+    "QUARANTINE_DIR",
     "IngestPipeline",
     "IngestReport",
     "JSONLExtractor",

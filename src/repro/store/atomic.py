@@ -1,0 +1,188 @@
+"""Crash-consistent filesystem primitives shared by every durable writer.
+
+Every tmp+rename path in the library — store shard commits, manifest
+updates, registry registrations, artifact saves, campaign checkpoints —
+goes through this one module, so the durability protocol cannot drift
+between subsystems.  The protocol is the full crash-safe sequence, not
+just ``os.replace``:
+
+1. write the payload to a temp name **and fsync the file**, so the
+   bytes are on the platter before anything points at them;
+2. ``os.replace`` onto the final name (atomic on POSIX);
+3. **fsync the parent directory**, so the rename itself survives a
+   power cut.
+
+Without steps 1 and 3, a crash shortly after the rename can resurface
+as a zero-length or garbage file under the *final* name — the classic
+torn-rename bug this module exists to close.
+
+All primitive operations route through a process-global
+:class:`FilesystemBackend`.  The default backend talks to the real
+filesystem; :class:`repro.chaos.ChaosFS` swaps itself in to inject
+torn writes, ENOSPC/EIO faults, and scripted crashes at the named
+*crashpoints* each protocol step fires (``"<op>:before-write"``,
+``"<op>:write"``, ``"<op>:before-rename"``, ``"<op>:after-rename"``,
+``"<op>:read"``).  The ``op`` label identifies the logical writer
+(``store.manifest``, ``registry.register``, ``campaign.checkpoint``,
+...), so a chaos schedule can target one durability boundary at a
+time.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+__all__ = [
+    "FilesystemBackend",
+    "get_backend",
+    "set_backend",
+    "atomic_replace",
+    "atomic_replace_bytes",
+    "write_file_bytes",
+    "commit_dir",
+    "read_bytes",
+    "read_text",
+    "fsync_dir",
+]
+
+
+class FilesystemBackend:
+    """Primitive filesystem operations behind the atomic protocol.
+
+    The base class is the real thing; fault injectors subclass it and
+    override individual primitives.  ``checkpoint`` is a no-op hook
+    fired between protocol steps — a chaos backend turns it into a
+    scripted crash site.
+    """
+
+    def checkpoint(self, step: str) -> None:
+        """Crashpoint hook; the real backend does nothing here."""
+
+    def write_bytes(self, path: Path, data: bytes, op: str = "file") -> None:
+        """Write ``data`` to ``path`` and fsync the file."""
+        with open(path, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replace(self, src: Path, dst: Path, op: str = "file") -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path: Path) -> None:
+        """Fsync a directory so renames/creates in it are durable.
+
+        Best-effort: platforms (or filesystems) that cannot open a
+        directory for fsync are silently tolerated — the atomic rename
+        itself still holds there.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: Path, op: str = "file") -> bytes:
+        return Path(path).read_bytes()
+
+
+_BACKEND: FilesystemBackend = FilesystemBackend()
+
+
+def get_backend() -> FilesystemBackend:
+    """The currently installed backend (the real one unless a fault
+    injector swapped itself in)."""
+    return _BACKEND
+
+
+def set_backend(backend: FilesystemBackend) -> FilesystemBackend:
+    """Install ``backend`` and return the previous one (for restore)."""
+    global _BACKEND
+    previous = _BACKEND
+    _BACKEND = backend
+    return previous
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Fsync one directory (exposed for writers that manage their own
+    staging layout)."""
+    _BACKEND.fsync_dir(Path(path))
+
+
+def write_file_bytes(path: str | Path, data: bytes, op: str = "file") -> None:
+    """Durable (fsynced) write of one file, **not** atomic on its own.
+
+    Use inside a staging directory that is later committed with
+    :func:`commit_dir`; use :func:`atomic_replace_bytes` for files that
+    replace a live one in place.
+    """
+    path = Path(path)
+    b = _BACKEND
+    b.checkpoint(f"{op}:before-write")
+    b.write_bytes(path, data, op=op)
+
+
+def atomic_replace_bytes(
+    target: str | Path, data: bytes, op: str = "file"
+) -> None:
+    """Atomically (and durably) replace ``target`` with ``data``.
+
+    A crash at any point leaves either the complete old file or the
+    complete new file under ``target`` — never a prefix.  A stale
+    ``.<name>.tmp`` sibling from an earlier crash is simply
+    overwritten.
+    """
+    target = Path(target)
+    b = _BACKEND
+    tmp = target.parent / f".{target.name}.tmp"
+    b.checkpoint(f"{op}:before-write")
+    b.write_bytes(tmp, data, op=op)
+    b.checkpoint(f"{op}:before-rename")
+    b.replace(tmp, target, op=op)
+    b.checkpoint(f"{op}:after-rename")
+    b.fsync_dir(target.parent)
+
+
+def atomic_replace(
+    target: str | Path, text: str, op: str = "file", encoding: str = "utf-8"
+) -> None:
+    """Text-mode convenience wrapper over :func:`atomic_replace_bytes`."""
+    atomic_replace_bytes(target, text.encode(encoding), op=op)
+
+
+def commit_dir(staging: str | Path, target: str | Path, op: str = "dir") -> None:
+    """Durably move a fully-written staging directory into place.
+
+    The staging directory's entries are fsynced (its files must already
+    have been written through :func:`write_file_bytes`, which fsyncs
+    each one), the directory is renamed onto ``target``, and the parent
+    is fsynced.  An existing ``target`` is removed first — callers only
+    replace *orphan* directories no manifest references, so the
+    non-atomic remove+rename window never exposes a referenced path.
+    """
+    staging, target = Path(staging), Path(target)
+    b = _BACKEND
+    b.fsync_dir(staging)
+    b.checkpoint(f"{op}:before-rename")
+    if target.exists():
+        shutil.rmtree(target)
+    b.replace(staging, target, op=op)
+    b.checkpoint(f"{op}:after-rename")
+    b.fsync_dir(target.parent)
+
+
+def read_bytes(path: str | Path, op: str = "file") -> bytes:
+    """Read a file through the backend (the EIO injection point)."""
+    b = _BACKEND
+    b.checkpoint(f"{op}:read")
+    return b.read_bytes(Path(path), op=op)
+
+
+def read_text(path: str | Path, op: str = "file", encoding: str = "utf-8") -> str:
+    return read_bytes(path, op=op).decode(encoding)

@@ -10,7 +10,8 @@ of fixed-width numpy column files::
         model_runtime.npy float64 (rows,)
         rep.npy           int64   (rows,)
 
-Columns are written atomically (temp directory + ``os.replace``) and
+Columns are written atomically (fsynced temp directory +
+``os.replace`` + parent-dir fsync via :mod:`repro.store.atomic`) and
 read back memory-mapped, so consumers stream slices without ever
 materializing a shard — the primitive the out-of-core history build is
 made of.
@@ -18,7 +19,7 @@ made of.
 
 from __future__ import annotations
 
-import os
+import io
 import shutil
 from pathlib import Path
 
@@ -27,6 +28,7 @@ import numpy as np
 from ..data.dataset import ExecutionDataset
 from ..errors import DatasetFormatError
 from ..log import get_logger
+from . import atomic
 from .schema import COLUMNS, column_dtype
 
 __all__ = ["write_shard", "open_shard_column", "shard_nrows", "ShardReader"]
@@ -37,25 +39,25 @@ logger = get_logger("store.shards")
 def write_shard(directory: Path, dataset: ExecutionDataset) -> Path:
     """Write ``dataset``'s columns to ``directory`` atomically.
 
-    The columns land in a sibling temp directory first and are moved
-    into place with :func:`os.replace`, so a crash mid-write never
-    leaves a half-shard under the final name.
+    The columns are fsynced into a sibling temp directory and moved
+    into place with :func:`repro.store.atomic.commit_dir`, so a crash
+    mid-write never leaves a half-shard under the final name — at
+    worst a ``.tmp-*`` orphan, which the next write (or ``fsck``)
+    sweeps.
     """
     directory = Path(directory)
     tmp = directory.parent / f".tmp-{directory.name}"
     if tmp.exists():
         shutil.rmtree(tmp)
     tmp.mkdir(parents=True)
-    try:
-        for name, dtype, _ in COLUMNS:
-            arr = np.ascontiguousarray(getattr(dataset, name), dtype=dtype)
-            np.save(tmp / f"{name}.npy", arr, allow_pickle=False)
-        if directory.exists():
-            shutil.rmtree(directory)
-        os.replace(tmp, directory)
-    except BaseException:
-        shutil.rmtree(tmp, ignore_errors=True)
-        raise
+    for name, dtype, _ in COLUMNS:
+        arr = np.ascontiguousarray(getattr(dataset, name), dtype=dtype)
+        buf = io.BytesIO()
+        np.save(buf, arr, allow_pickle=False)
+        atomic.write_file_bytes(
+            tmp / f"{name}.npy", buf.getvalue(), op="store.shard.column"
+        )
+    atomic.commit_dir(tmp, directory, op="store.shard")
     logger.debug("wrote shard %s (%d rows)", directory.name, len(dataset))
     return directory
 

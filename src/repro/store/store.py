@@ -21,17 +21,23 @@ the store column-major in row order (see
 are what warm-start refits key on — a scale whose fingerprint is
 unchanged still has exactly the data its interpolator was fitted on.
 
-Manifest updates are atomic (temp file + ``os.replace``) and shard
-writes land before the manifest references them, so a reader always
-sees a consistent store and a crash loses at most the append in
-flight.
+Manifest updates are atomic and durable (fsynced temp file +
+``os.replace`` + parent-dir fsync via :mod:`repro.store.atomic`) and
+shard writes land before the manifest references them, so a reader
+always sees a consistent store and a crash loses at most the append in
+flight.  :meth:`HistoryStore.fsck` repairs the cases atomicity alone
+cannot: shards damaged after commit (bit rot, truncation) are
+classified and quarantined, orphaned temp/shard directories from a
+crash are swept, and the manifest is rewritten to cover exactly the
+surviving rows.
 """
 
 from __future__ import annotations
 
 import json
-import os
+import shutil
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Sequence
 
@@ -41,15 +47,23 @@ from ..data.dataset import ExecutionDataset
 from ..data.io import FINGERPRINT_COLUMNS, FingerprintStream, save_dataset
 from ..errors import ConfigurationError, DataValidationError, DatasetFormatError
 from ..log import get_logger
+from . import atomic
 from .schema import COLUMN_NAMES, STORE_FORMAT, STORE_FORMAT_VERSION, column_dtype
 from .shards import ShardReader, write_shard
 
-__all__ = ["HistoryStore", "MANIFEST_NAME", "DEFAULT_CHUNK_ROWS"]
+__all__ = [
+    "HistoryStore",
+    "FsckReport",
+    "MANIFEST_NAME",
+    "QUARANTINE_DIR",
+    "DEFAULT_CHUNK_ROWS",
+]
 
 logger = get_logger("store.store")
 
 MANIFEST_NAME = "manifest.json"
 SHARDS_DIR = "shards"
+QUARANTINE_DIR = "quarantine"
 
 #: Row-chunk size used when streaming shards (hashing, export, chunked
 #: reads).  Bounds peak memory at roughly ``chunk * row_width`` bytes.
@@ -58,6 +72,59 @@ DEFAULT_CHUNK_ROWS = 65536
 
 def _shard_name(index: int) -> str:
     return f"shard-{index:05d}"
+
+
+@dataclass
+class FsckReport:
+    """What :meth:`HistoryStore.fsck` found (and, with ``repair=True``,
+    fixed).  ``damaged`` maps shard name -> classification, one of
+    ``missing-shard``, ``missing-column``, ``unreadable-column``,
+    ``row-mismatch``, or ``hash-mismatch``; orphans are directories no
+    manifest entry references."""
+
+    root: str
+    shards_checked: int = 0
+    rows_before: int = 0
+    rows_retained: int = 0
+    damaged: dict[str, str] = field(default_factory=dict)
+    quarantined: list[str] = field(default_factory=list)
+    orphans_removed: list[str] = field(default_factory=list)
+    repaired: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not self.damaged and not self.orphans_removed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "shards_checked": self.shards_checked,
+            "rows_before": self.rows_before,
+            "rows_retained": self.rows_retained,
+            "damaged": dict(self.damaged),
+            "quarantined": list(self.quarantined),
+            "orphans_removed": list(self.orphans_removed),
+            "repaired": self.repaired,
+            "clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        if self.clean:
+            return (
+                f"fsck: clean ({self.shards_checked} shard(s), "
+                f"{self.rows_retained} rows)"
+            )
+        parts = [
+            f"fsck: {len(self.damaged)} damaged shard(s), "
+            f"{len(self.orphans_removed)} orphan(s)"
+        ]
+        for name, kind in sorted(self.damaged.items()):
+            parts.append(f"  {name}: {kind}")
+        parts.append(
+            f"  rows: {self.rows_before} -> {self.rows_retained} "
+            f"({'repaired' if self.repaired else 'NOT repaired'})"
+        )
+        return "\n".join(parts)
 
 
 class HistoryStore:
@@ -117,10 +184,10 @@ class HistoryStore:
                 f"{root} is not a history store (no {MANIFEST_NAME})."
             )
         try:
-            manifest = json.loads(path.read_text())
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            manifest = json.loads(atomic.read_text(path, op="store.manifest"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise DatasetFormatError(
-                f"{path}: manifest is not valid JSON: {exc}"
+                f"{path}: manifest is not readable JSON: {exc}"
             ) from exc
         if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
             raise DatasetFormatError(
@@ -510,6 +577,138 @@ class HistoryStore:
             "stale": bool(self._manifest.get("fingerprints_stale")),
         }
 
+    def _classify_shard(self, shard_dir: Path, entry: dict[str, Any]) -> str | None:
+        """One shard's damage class, or ``None`` when intact."""
+        from ..data.io import dataset_fingerprint
+
+        if not shard_dir.is_dir():
+            return "missing-shard"
+        cols: dict[str, np.ndarray] = {}
+        for name in COLUMN_NAMES:
+            path = shard_dir / f"{name}.npy"
+            if not path.is_file():
+                return "missing-column"
+            try:
+                cols[name] = np.load(path, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError):
+                return "unreadable-column"
+            if cols[name].dtype != column_dtype(name):
+                return "unreadable-column"
+        rows = int(cols["nprocs"].shape[0])
+        if rows != int(entry["rows"]) or any(
+            int(c.shape[0]) != rows for c in cols.values()
+        ):
+            return "row-mismatch"
+        try:
+            shard_ds = ExecutionDataset(
+                app_name=self.app_name,
+                param_names=self.param_names,
+                **{n: np.asarray(c) for n, c in cols.items()},
+            )
+            actual = dataset_fingerprint(shard_ds)
+        except Exception:
+            # column files load but the values no longer form a valid
+            # dataset (e.g. a bit flip produced NaN) — content damage
+            return "hash-mismatch"
+        if actual != entry["fingerprint"]:
+            return "hash-mismatch"
+        return None
+
+    def fsck(self, repair: bool = True) -> FsckReport:
+        """Classify damage per shard, quarantine what's broken, and
+        repair the manifest so the store reopens with the surviving
+        rows.
+
+        Unlike :meth:`verify` (detect-only: first mismatch raises),
+        ``fsck`` checks *every* shard and — with ``repair=True`` —
+        moves damaged shards into ``quarantine/`` (never deletes data),
+        sweeps orphaned temp directories from crashed appends,
+        quarantines orphaned shard directories no manifest entry
+        references, rewrites the manifest to cover exactly the intact
+        shards, and recomputes the fingerprints.  With
+        ``repair=False`` it only reports.
+        """
+        report = FsckReport(root=str(self.root), rows_before=self.n_rows)
+        shards_root = self.root / SHARDS_DIR
+
+        survivors: list[dict[str, Any]] = []
+        for entry in self._manifest["shards"]:
+            report.shards_checked += 1
+            kind = self._classify_shard(shards_root / entry["name"], entry)
+            if kind is None:
+                survivors.append(entry)
+                report.rows_retained += int(entry["rows"])
+            else:
+                report.damaged[entry["name"]] = kind
+
+        known = {e["name"] for e in self._manifest["shards"]}
+        orphan_tmps: list[Path] = []
+        orphan_shards: list[Path] = []
+        if shards_root.is_dir():
+            for child in sorted(shards_root.iterdir()):
+                if child.name in known or child.name in report.damaged:
+                    continue
+                if child.name.startswith(".tmp-"):
+                    orphan_tmps.append(child)
+                    report.damaged[child.name] = "orphaned-tmp"
+                elif child.is_dir():
+                    orphan_shards.append(child)
+                    report.damaged[child.name] = "orphaned-shard"
+        tmp_manifest = self.root / f".{MANIFEST_NAME}.tmp"
+        if tmp_manifest.exists():
+            orphan_tmps.append(tmp_manifest)
+            report.damaged[tmp_manifest.name] = "orphaned-tmp"
+
+        if not repair or report.clean:
+            return report
+
+        for name, kind in sorted(report.damaged.items()):
+            if kind in ("missing-shard", "orphaned-tmp"):
+                continue
+            self._quarantine(shards_root / name, report)
+        for child in orphan_tmps:
+            if child.is_dir():
+                shutil.rmtree(child, ignore_errors=True)
+            else:
+                child.unlink(missing_ok=True)
+            report.orphans_removed.append(child.name)
+
+        self._manifest["shards"] = survivors
+        self._manifest["n_rows"] = sum(int(e["rows"]) for e in survivors)
+        self._manifest["scales"] = sorted(
+            {int(s) for e in survivors for s in e["scales"]}
+        )
+        if survivors:
+            self._refresh_fingerprints(touched=None)
+        else:
+            self._manifest["dataset_fingerprint"] = None
+            self._manifest["scale_fingerprints"] = {}
+            self._manifest["fingerprints_stale"] = False
+        self._write_manifest()
+        report.repaired = True
+        logger.warning(
+            "%s: fsck quarantined %d shard(s), removed %d orphan(s); "
+            "%d of %d rows retained",
+            self.root, len(report.quarantined), len(report.orphans_removed),
+            report.rows_retained, report.rows_before,
+        )
+        return report
+
+    def _quarantine(self, src: Path, report: FsckReport) -> None:
+        if not src.exists():
+            return
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        dst = qdir / src.name
+        suffix = 0
+        while dst.exists():
+            suffix += 1
+            dst = qdir / f"{src.name}.{suffix}"
+        src.rename(dst)
+        atomic.fsync_dir(qdir)
+        atomic.fsync_dir(src.parent)
+        report.quarantined.append(dst.name)
+
     # -- export ------------------------------------------------------------
 
     def export_json(
@@ -597,7 +796,8 @@ class HistoryStore:
     # -- manifest persistence ----------------------------------------------
 
     def _write_manifest(self) -> None:
-        target = self.root / MANIFEST_NAME
-        tmp = self.root / f".{MANIFEST_NAME}.tmp"
-        tmp.write_text(json.dumps(self._manifest, sort_keys=True, indent=1))
-        os.replace(tmp, target)
+        atomic.atomic_replace(
+            self.root / MANIFEST_NAME,
+            json.dumps(self._manifest, sort_keys=True, indent=1),
+            op="store.manifest",
+        )

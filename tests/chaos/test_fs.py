@@ -1,0 +1,183 @@
+"""ChaosFS unit behavior: scheduling, torn writes, fault injection,
+deterministic corruption."""
+
+import errno
+
+import pytest
+
+from repro.chaos import ChaosCrash, ChaosFS, corrupt_file
+from repro.store import atomic
+
+
+def _write(path, payload=b"0123456789abcdef"):
+    atomic.atomic_replace_bytes(path, payload, op="demo")
+
+
+class TestCrashScheduling:
+    def test_no_schedule_records_steps_and_succeeds(self, tmp_path):
+        target = tmp_path / "f"
+        with ChaosFS(seed=0).install() as fs:
+            _write(target)
+        assert target.read_bytes() == b"0123456789abcdef"
+        # protocol steps in order: before-write, write, before-rename,
+        # rename, after-rename
+        assert fs.step_ids() == [
+            "demo:before-write", "demo:write", "demo:before-rename",
+            "demo:rename", "demo:after-rename",
+        ]
+
+    def test_crash_at_step_raises_chaoscrash(self, tmp_path):
+        with pytest.raises(ChaosCrash) as exc_info:
+            with ChaosFS(seed=0).crash_at_step(2).install():
+                _write(tmp_path / "f")
+        assert exc_info.value.step_index == 2
+        assert exc_info.value.step_id == "demo:before-rename"
+
+    def test_crash_before_rename_leaves_old_file(self, tmp_path):
+        target = tmp_path / "f"
+        _write(target, b"old")
+        with pytest.raises(ChaosCrash):
+            with ChaosFS(seed=0).crash_at("demo:before-rename").install():
+                _write(target, b"new")
+        assert target.read_bytes() == b"old"
+
+    def test_crash_after_rename_leaves_new_file(self, tmp_path):
+        target = tmp_path / "f"
+        _write(target, b"old")
+        with pytest.raises(ChaosCrash):
+            with ChaosFS(seed=0).crash_at("demo:after-rename").install():
+                _write(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_crash_at_glob_pattern_and_occurrence(self, tmp_path):
+        fs = ChaosFS(seed=0).crash_at("demo:*-rename", occurrence=2)
+        with pytest.raises(ChaosCrash) as exc_info:
+            with fs.install():
+                _write(tmp_path / "f")
+        # occurrence 1 = before-rename, occurrence 2 = after-rename
+        assert exc_info.value.step_id == "demo:after-rename"
+
+    def test_chaoscrash_is_not_an_exception(self):
+        assert not issubclass(ChaosCrash, Exception)
+        with pytest.raises(ChaosCrash):
+            try:
+                raise ChaosCrash("x", 0)
+            except Exception:  # library-style handler must NOT catch it
+                pytest.fail("ChaosCrash was swallowed by except Exception")
+
+    def test_backend_is_dead_after_crash(self, tmp_path):
+        fs = ChaosFS(seed=0).crash_at("demo:before-rename")
+        with pytest.raises(ChaosCrash):
+            with fs.install():
+                _write(tmp_path / "f")
+        assert fs.crashed is not None
+        with pytest.raises(ChaosCrash):
+            fs.checkpoint("anything:else")
+
+    def test_install_restores_previous_backend(self, tmp_path):
+        before = atomic.get_backend()
+        with pytest.raises(ChaosCrash):
+            with ChaosFS(seed=0).crash_at_step(0).install():
+                _write(tmp_path / "f")
+        assert atomic.get_backend() is before
+
+
+class TestTornWrites:
+    def test_crash_at_write_leaves_a_prefix(self, tmp_path):
+        target = tmp_path / "f"
+        payload = bytes(range(200))
+        with pytest.raises(ChaosCrash):
+            with ChaosFS(seed=3).crash_at("demo:write").install():
+                atomic.atomic_replace_bytes(target, payload, op="demo")
+        tmp = tmp_path / ".f.tmp"
+        assert not target.exists()  # rename never happened
+        torn = tmp.read_bytes()
+        assert torn == payload[: len(torn)]
+        assert len(torn) < len(payload)  # seed 3 tears strictly short
+
+    def test_torn_write_is_seed_deterministic(self, tmp_path):
+        sizes = []
+        for case in range(2):
+            target = tmp_path / f"f{case}"
+            with pytest.raises(ChaosCrash):
+                with ChaosFS(seed=42).crash_at("demo:write").install():
+                    atomic.atomic_replace_bytes(
+                        target, bytes(1000), op="demo"
+                    )
+            sizes.append((tmp_path / f".f{case}.tmp").stat().st_size)
+        assert sizes[0] == sizes[1]
+
+
+class TestFaultInjection:
+    def test_enospc_on_write(self, tmp_path):
+        fs = ChaosFS(seed=0).fail_op("demo:write", err=errno.ENOSPC)
+        with pytest.raises(OSError) as exc_info:
+            with fs.install():
+                _write(tmp_path / "f")
+        assert exc_info.value.errno == errno.ENOSPC
+        assert not (tmp_path / "f").exists()
+
+    def test_fault_count_is_consumed(self, tmp_path):
+        fs = ChaosFS(seed=0).fail_op("demo:write", err=errno.EIO, count=1)
+        with fs.install():
+            with pytest.raises(OSError):
+                _write(tmp_path / "f")
+            _write(tmp_path / "f")  # second attempt goes through
+        assert (tmp_path / "f").exists()
+
+    def test_eio_on_read(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"data")
+        fs = ChaosFS(seed=0).fail_op("demo:read-bytes", err=errno.EIO)
+        with fs.install():
+            with pytest.raises(OSError) as exc_info:
+                atomic.read_bytes(tmp_path / "f", op="demo")
+        assert exc_info.value.errno == errno.EIO
+
+    def test_bit_flips_on_read(self, tmp_path):
+        (tmp_path / "f").write_bytes(bytes(64))
+        with ChaosFS(seed=1).flip_read_bits().install():
+            flipped = atomic.read_bytes(tmp_path / "f", op="demo")
+        assert flipped != bytes(64)
+        assert len(flipped) == 64
+        # exactly one bit differs
+        diff = [a ^ b for a, b in zip(flipped, bytes(64))]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+
+class TestCorruptFile:
+    def test_bitflip_changes_exactly_n_bits(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(bytes(128))
+        info = corrupt_file(path, mode="bitflip", amount=3, seed=5)
+        data = path.read_bytes()
+        assert len(data) == 128
+        assert sum(bin(b).count("1") for b in data) == 3
+        assert info["mode"] == "bitflip"
+
+    def test_bitflip_is_deterministic(self, tmp_path):
+        blobs = []
+        for case in range(2):
+            path = tmp_path / f"f{case}"
+            path.write_bytes(bytes(range(100)))
+            corrupt_file(path, mode="bitflip", amount=2, seed=9)
+            blobs.append(path.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_truncate(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(bytes(100))
+        corrupt_file(path, mode="truncate", amount=30)
+        assert path.stat().st_size == 70
+
+    def test_garbage(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"real content")
+        info = corrupt_file(path, mode="garbage", amount=16, seed=1)
+        assert path.stat().st_size == 16
+        assert info["bytes_before"] == 12
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"x")
+        with pytest.raises(ValueError, match="mode"):
+            corrupt_file(path, mode="nuke")

@@ -1,0 +1,149 @@
+"""Crash-consistency and self-healing of the model registry."""
+
+import json
+
+import pytest
+
+from repro.chaos import corrupt_file, crash_sweep
+from repro.errors import RegistryError
+from repro.serve import ModelArtifact, ModelRegistry
+from repro.serve.artifacts import ArtifactInfo
+from repro.serve.registry import QUARANTINE_DIR
+
+
+def _artifact():
+    return ModelArtifact(
+        {"weights": [1.0, 2.0]},
+        ArtifactInfo(
+            kind="pickle", app_name="synth",
+            param_names=("alpha", "beta"), scales=(8, 16),
+        ),
+    )
+
+
+def _setup(root):
+    registry = ModelRegistry(root / "registry")
+    registry.register("m", _artifact())
+    return {}
+
+
+def _workload(root, ctx):
+    ModelRegistry(root / "registry").register("m", _artifact())
+
+
+def _check(root, ctx):
+    registry = ModelRegistry(root / "registry", create=False)
+    registry.fsck(repair=True)
+    versions = ModelRegistry(root / "registry", create=False).versions("m")
+    # old state = [1], new state = [1, 2]; never a torn version visible
+    assert versions in ([1], [1, 2]), versions
+    for v in versions:
+        registry.load("m", v)  # every listed version must fully load
+    # the registry must still accept the next registration
+    registry.register("m", _artifact())
+
+
+class TestRegisterCrashSweep:
+    def test_recover_to_old_or_new_at_every_crashpoint(self, tmp_path):
+        report = crash_sweep(_setup, _workload, _check, tmp_path, seed=11)
+        assert report.ok, report.summary()
+        ids = set(report.step_ids)
+        for expected in (
+            "artifact.payload:write",
+            "artifact.manifest:write",
+            "artifact.manifest:before-rename",
+            "registry.register:before-rename",
+            "registry.register:after-rename",
+        ):
+            assert expected in ids, f"{expected} not exercised"
+
+
+class TestDamagedVersionSkip:
+    def _registry(self, tmp_path, versions=3):
+        registry = ModelRegistry(tmp_path / "registry")
+        for _ in range(versions):
+            registry.register("m", _artifact())
+        return registry
+
+    def test_corrupt_manifest_skipped_with_latest_intact(self, tmp_path):
+        registry = self._registry(tmp_path)
+        (tmp_path / "registry" / "m" / "v0003" / "manifest.json").write_text(
+            "{ torn"
+        )
+        assert registry.versions("m") == [1, 2]
+        assert registry.latest("m") == 2
+        assert registry.models() == ["m"]
+        registry.load("m")  # resolves to v2 and loads
+
+    def test_missing_payload_skipped(self, tmp_path):
+        registry = self._registry(tmp_path)
+        (tmp_path / "registry" / "m" / "v0002" / "payload.pkl").unlink()
+        assert registry.versions("m") == [1, 3]
+
+    def test_registration_numbers_past_damaged_versions(self, tmp_path):
+        registry = self._registry(tmp_path)
+        (tmp_path / "registry" / "m" / "v0003" / "manifest.json").write_text(
+            "{ torn"
+        )
+        assert registry.register("m", _artifact()) == 4
+
+    def test_quarantine_is_a_reserved_name(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(RegistryError, match="reserved"):
+            registry.register(QUARANTINE_DIR, _artifact())
+
+
+class TestRegistryFsck:
+    def _registry(self, tmp_path, versions=3):
+        registry = ModelRegistry(tmp_path / "registry")
+        for _ in range(versions):
+            registry.register("m", _artifact())
+        return registry
+
+    def test_clean_registry_is_clean(self, tmp_path):
+        registry = self._registry(tmp_path)
+        report = registry.fsck(repair=True)
+        assert report.clean and report.versions_checked == 3
+        assert "clean" in report.summary()
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        registry = self._registry(tmp_path)
+        corrupt_file(
+            tmp_path / "registry" / "m" / "v0002" / "payload.pkl",
+            mode="bitflip", seed=1,
+        )
+        report = registry.fsck(repair=True)
+        assert report.damaged == {"m/v0002": "payload checksum mismatch"}
+        assert report.quarantined == ["m/v0002"]
+        assert (tmp_path / "registry" / QUARANTINE_DIR / "m" / "v0002").is_dir()
+        assert registry.versions("m") == [1, 3]
+        # the quarantine directory never shows up as a model
+        assert registry.models() == ["m"]
+
+    def test_pin_to_quarantined_version_cleared(self, tmp_path):
+        registry = self._registry(tmp_path)
+        registry.pin("m", 2)
+        (tmp_path / "registry" / "m" / "v0002" / "manifest.json").write_text(
+            json.dumps(["not", "an", "object"])
+        )
+        report = registry.fsck(repair=True)
+        assert report.pins_cleared == ["m"]
+        assert registry.pinned("m") is None
+        assert registry.resolve("m", None) == 3  # falls back to latest
+
+    def test_corrupt_pin_file_cleared(self, tmp_path):
+        registry = self._registry(tmp_path)
+        (tmp_path / "registry" / "m" / "PINNED").write_text("not-a-number")
+        report = registry.fsck(repair=True)
+        assert report.pins_cleared == ["m"]
+        registry.resolve("m", None)  # no longer raises
+
+    def test_repair_false_only_reports(self, tmp_path):
+        registry = self._registry(tmp_path)
+        corrupt_file(
+            tmp_path / "registry" / "m" / "v0001" / "payload.pkl",
+            mode="truncate", amount=4,
+        )
+        report = registry.fsck(repair=False)
+        assert report.damaged and not report.repaired
+        assert (tmp_path / "registry" / "m" / "v0001").is_dir()

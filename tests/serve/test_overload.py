@@ -1,0 +1,357 @@
+"""Overload hardening: rate limiting, deadlines, circuit breaker,
+stale-while-revalidate fallback, and hot reload.
+
+Unit tests drive :class:`TokenBucket` / :class:`CircuitBreaker` with a
+fake clock; integration tests hit a real socket server whose latest
+artifact is corrupted on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.chaos import corrupt_file
+from repro.serve import CircuitBreaker, TokenBucket, create_server
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_is_time_to_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_snapshot_counts_traffic(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        for _ in range(3):
+            bucket.try_acquire()
+        snap = bucket.snapshot()
+        assert snap["allowed"] == 2 and snap["throttled"] == 1
+        assert snap["rate"] == 1.0 and snap["burst"] == 2.0
+
+    def test_default_burst_is_at_least_one(self):
+        assert TokenBucket(rate=0.5).burst == 1.0
+        assert TokenBucket(rate=8.0).burst == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else waits on it
+
+    def test_probe_success_recloses(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.OPEN  # cooldown restarted
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.trips == 1  # a re-open is not a new trip
+
+    def test_snapshot(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=2.0, clock=FakeClock())
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap == {
+            "state": "closed", "failures": 1, "threshold": 3,
+            "cooldown": 2.0, "trips": 0,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker(cooldown=0.0)
+
+
+# -- integration over a real socket ---------------------------------------
+
+
+@contextmanager
+def _serve(registry, **kwargs):
+    srv = create_server(registry, port=0, **kwargs)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(_url(server, path), timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _post(server, path, payload):
+    req = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _params(tiny_history, row=0):
+    return {
+        name: float(v)
+        for name, v in zip(tiny_history.param_names, tiny_history.X[row])
+    }
+
+
+class TestRateLimiting:
+    def test_over_budget_is_429_with_retry_after(self, registry, tiny_history):
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        # rate so slow that nothing refills during the test
+        with _serve(registry, rate=0.001, burst=1) as srv:
+            status, _, _ = _post(srv, "/predict", payload)
+            assert status == 200
+            status, body, headers = _post(srv, "/predict", payload)
+            assert status == 429
+            assert body["error"] == "RateLimitedError"
+            assert float(headers["Retry-After"]) > 0
+            # health and metrics routes are never rate limited
+            assert _get(srv, "/healthz")[0] == 200
+            _, metrics, _ = _get(srv, "/metrics")
+            limiter = metrics["server"]["rate_limiter"]
+            assert limiter["allowed"] == 1 and limiter["throttled"] == 1
+
+    def test_batch_route_is_gated_too(self, registry, tiny_history):
+        reqs = {"requests": [{"params": _params(tiny_history), "scales": [512]}]}
+        with _serve(registry, rate=0.001, burst=1) as srv:
+            assert _post(srv, "/batch", reqs)[0] == 200
+            assert _post(srv, "/batch", reqs)[0] == 429
+
+    def test_no_limiter_by_default(self, registry, tiny_history):
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry) as srv:
+            for _ in range(5):
+                assert _post(srv, "/predict", payload)[0] == 200
+            assert _get(srv, "/metrics")[1]["server"]["rate_limiter"] is None
+
+
+class TestDeadline:
+    def test_blown_deadline_is_504(self, registry, tiny_history):
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, deadline=0.0) as srv:
+            status, body, _ = _post(srv, "/predict", payload)
+            assert status == 504
+            assert body["error"] == "DeadlineExceededError"
+
+    def test_generous_deadline_passes(self, registry, tiny_history):
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, deadline=30.0) as srv:
+            assert _post(srv, "/predict", payload)[0] == 200
+
+
+class TestStaleFallback:
+    def test_corrupt_latest_serves_previous_version_stale(
+        self, registry, artifact, tiny_history
+    ):
+        registry.register("stencil", artifact)  # v2 = latest
+        corrupt_file(
+            registry.root / "stencil" / "v0002" / "payload.pkl",
+            mode="bitflip", seed=1,
+        )
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, breaker_threshold=1) as srv:
+            status, body, _ = _post(srv, "/predict", payload)
+            assert status == 200
+            assert body["version"] == 1
+            assert body["stale"] is True
+            assert body["requested_version"] == 2
+            status, health, _ = _get(srv, "/healthz")
+            assert health["status"] == "degraded" and health["degraded"]
+            assert health["stale"] == {
+                "stencil": {"requested": 2, "serving": 1}
+            }
+            _, metrics, _ = _get(srv, "/metrics")
+            breaker = metrics["server"]["breakers"]["stencil"]
+            assert breaker["state"] == "open"
+            assert metrics["server"]["degraded"] is True
+
+    def test_only_version_corrupt_is_503(self, registry, tiny_history):
+        corrupt_file(
+            registry.root / "stencil" / "v0001" / "payload.pkl",
+            mode="bitflip", seed=1,
+        )
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry) as srv:
+            status, body, _ = _post(srv, "/predict", payload)
+            assert status == 503
+            assert body["error"] == "ServiceUnavailableError"
+
+    def test_allow_stale_false_fails_instead_of_falling_back(
+        self, registry, artifact, tiny_history
+    ):
+        registry.register("stencil", artifact)
+        corrupt_file(
+            registry.root / "stencil" / "v0002" / "payload.pkl",
+            mode="bitflip", seed=1,
+        )
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, allow_stale=False) as srv:
+            status, body, _ = _post(srv, "/predict", payload)
+            assert status == 503
+
+    def test_recovery_clears_the_stale_flag(
+        self, registry, artifact, tiny_history
+    ):
+        registry.register("stencil", artifact)
+        victim = registry.root / "stencil" / "v0002" / "payload.pkl"
+        intact = victim.read_bytes()
+        corrupt_file(victim, mode="bitflip", seed=1)
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(
+            registry, breaker_threshold=3, reload_interval=0.0
+        ) as srv:
+            assert _post(srv, "/predict", payload)[1]["stale"] is True
+            victim.write_bytes(intact)  # "operator restores the artifact"
+            status, body, _ = _post(srv, "/predict", payload)
+            assert status == 200
+            assert body["version"] == 2 and "stale" not in body
+            assert _get(srv, "/healthz")[1]["degraded"] is False
+
+
+class TestHotReload:
+    def test_new_version_picked_up_without_restart(
+        self, registry, artifact, tiny_history
+    ):
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, reload_interval=0.0) as srv:
+            assert _post(srv, "/predict", payload)[1]["version"] == 1
+            registry.register("stencil", artifact)
+            status, body, _ = _post(srv, "/predict", payload)
+            assert status == 200 and body["version"] == 2
+            assert srv.reloads == 1
+            assert _get(srv, "/metrics")[1]["server"]["reloads"] == 1
+
+    def test_pin_move_is_picked_up(self, registry, artifact, tiny_history):
+        registry.register("stencil", artifact)
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, reload_interval=0.0) as srv:
+            assert _post(srv, "/predict", payload)[1]["version"] == 2
+            registry.pin("stencil", 1)
+            assert _post(srv, "/predict", payload)[1]["version"] == 1
+
+    def test_long_interval_serves_cached_resolution(
+        self, registry, artifact, tiny_history
+    ):
+        payload = {"params": _params(tiny_history), "scales": [512]}
+        with _serve(registry, reload_interval=3600.0) as srv:
+            assert _post(srv, "/predict", payload)[1]["version"] == 1
+            registry.register("stencil", artifact)
+            # within the interval the cached resolution stands
+            assert _post(srv, "/predict", payload)[1]["version"] == 1
+
+    def test_explicit_version_bypasses_the_cache(
+        self, registry, artifact, tiny_history
+    ):
+        registry.register("stencil", artifact)
+        payload = {
+            "params": _params(tiny_history), "scales": [512], "version": 1
+        }
+        with _serve(registry, reload_interval=3600.0) as srv:
+            assert _post(srv, "/predict", payload)[1]["version"] == 1

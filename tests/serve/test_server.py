@@ -62,7 +62,12 @@ def _params(tiny_history, row=0):
 def test_healthz(server):
     status, body = _get(server, "/healthz")
     assert status == 200
-    assert body == {"status": "ok", "models": ["stencil"]}
+    assert body == {
+        "status": "ok",
+        "degraded": False,
+        "models": ["stencil"],
+        "stale": {},
+    }
 
 
 def test_models_listing(server, tiny_history):
