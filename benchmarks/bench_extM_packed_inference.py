@@ -1,0 +1,136 @@
+"""Extension M — packed-pipeline inference kernels.
+
+Measures the schema-v2 packed serving path end to end: the fitted
+two-level model is exported to a :class:`~repro.core.PackedPipeline`
+(one contiguous tree arena per scale level, pure-numpy traversal) and
+timed against the object path it must match bit for bit.
+
+Four regimes:
+
+* **uncached single, interp** — one config at one fitted small scale
+  (arena traversal only, the cheapest miss the service can take);
+* **uncached single, extrap** — one config at one large scale (arena
+  traversal + cluster assignment + scaling-curve evaluation);
+* **uncached curve** — one config across the full small+large scale
+  curve (the extrapolation solve is shared across all targets, so a
+  whole curve costs barely more than one extrapolated point);
+* **sustained batch** — a scheduler-sized batch through
+  ``predict(X, scales)``, reported as predictions/second.
+
+Acceptance bars (the packed-inference extension): uncached
+single-prediction p50 at or under ~100 us, sustained batch throughput
+at or over 100k predictions/s, and the packed path bit-identical to
+the object path on every cell it serves.
+"""
+
+import time
+
+import numpy as np
+from conftest import cached_histories, experiment_config, report
+
+from repro.analysis import fit_two_level, series_block
+
+N_SINGLE = 300  # timed repetitions per single-query regime
+N_BATCH_ROUNDS = 20  # timed repetitions of the batch regime
+BATCH_CONFIGS = 512
+
+
+def _p50_us(samples):
+    return float(np.percentile(np.asarray(samples) * 1e6, 50))
+
+
+def _time_single(fn, reps):
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return _p50_us(samples)
+
+
+def _sweep():
+    histories = cached_histories(experiment_config("stencil3d"))
+    model = fit_two_level(histories)
+    packed = model.pack()
+    small = list(model.small_scales)
+    curve = small + [1024, 2048, 4096]
+
+    X = histories.test.unique_configs().astype(float)
+    x1 = np.ascontiguousarray(X[:1])
+    Xb = np.ascontiguousarray(
+        np.tile(X, (BATCH_CONFIGS // len(X) + 1, 1))[:BATCH_CONFIGS]
+    )
+
+    # Parity gate first: a fast wrong answer is worthless.
+    for scales in (small, [2048], curve):
+        if not (
+            packed.predict(X, scales) == model.predict(X, scales)
+        ).all():
+            raise AssertionError(
+                f"packed path diverged from object path at {scales}"
+            )
+
+    interp_us = _time_single(
+        lambda: packed.predict(x1, [small[0]]), N_SINGLE
+    )
+    extrap_us = _time_single(lambda: packed.predict(x1, [2048]), N_SINGLE)
+    curve_us = _time_single(lambda: packed.predict(x1, curve), N_SINGLE)
+
+    object_us = _time_single(lambda: model.predict(x1, [2048]), N_SINGLE)
+
+    n_cells = Xb.shape[0] * len(curve)
+    rates = []
+    for _ in range(N_BATCH_ROUNDS):
+        t0 = time.perf_counter()
+        packed.predict(Xb, curve)
+        rates.append(n_cells / (time.perf_counter() - t0))
+    throughput = float(np.percentile(rates, 50))
+
+    return interp_us, extrap_us, curve_us, object_us, throughput, len(curve)
+
+
+def test_extM_packed_inference(benchmark):
+    interp_us, extrap_us, curve_us, object_us, throughput, k = (
+        benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    )
+    report(
+        series_block(
+            "Extension M (stencil3d) — packed-pipeline inference "
+            f"[p50 over {N_SINGLE} reps; batch {BATCH_CONFIGS} configs "
+            f"x {k} scales, {N_BATCH_ROUNDS} rounds]",
+            "regime",
+            [
+                "interp-1 [us]",
+                "extrap-1 [us]",
+                f"curve-{k} [us]",
+                "object-1 [us]",
+                "batch [kpred/s]",
+            ],
+            {
+                "value": [
+                    interp_us,
+                    extrap_us,
+                    curve_us,
+                    object_us,
+                    throughput / 1e3,
+                ]
+            },
+            y_format="{:.1f}",
+        )
+    )
+    # Acceptance bars for the packed extension.
+    assert interp_us <= 100.0, (
+        f"uncached interp p50 {interp_us:.1f}us exceeds the 100us bar"
+    )
+    assert throughput >= 100_000.0, (
+        f"sustained throughput {throughput:.0f} preds/s under 100k/s"
+    )
+    # The packed path must beat the object path it mirrors by a wide
+    # margin (measured ~100x; 10x leaves room for machine noise).
+    assert extrap_us * 10.0 <= object_us, (
+        f"packed extrap p50 {extrap_us:.1f}us not 10x below object "
+        f"path {object_us:.1f}us"
+    )
+    # One shared NNLS solve per row: a whole curve may cost at most a
+    # small multiple of a single extrapolated point.
+    assert curve_us <= 3.0 * extrap_us

@@ -233,6 +233,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra manifest metadata (repeatable)")
     s.add_argument("--pin", action="store_true",
                    help="pin the name to the new version")
+    s.add_argument("--packed", dest="packed", action="store_true",
+                   default=None,
+                   help="require the packed-forest sidecar (error if "
+                   "the model cannot be packed; default: auto)")
+    s.add_argument("--no-packed", dest="packed", action="store_false",
+                   help="save without a packed-forest sidecar")
+    s.add_argument("--packed-compress", action="store_true",
+                   help="compress the sidecar (smaller, but loads "
+                   "eagerly instead of memory-mapping)")
 
     m = sub.add_parser(
         "models", help="list/inspect/manage a model registry"
@@ -381,6 +390,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--no-stale", action="store_true",
                     help="fail (503) instead of serving the "
                     "last-known-good version when a model load fails")
+    sv.add_argument("--no-packed", action="store_true",
+                    help="serve from the object prediction path even "
+                    "when a packed pipeline is available (debugging "
+                    "escape hatch; predictions are bit-identical)")
     return parser
 
 
@@ -660,12 +673,17 @@ def _cmd_save(args, out) -> int:
         metadata=metadata,
     )
     registry = ModelRegistry(args.registry)
-    version = registry.register(args.name, artifact)
+    packed = "auto" if args.packed is None else args.packed
+    version = registry.register(
+        args.name, artifact,
+        packed=packed, packed_compress=args.packed_compress,
+    )
     if args.pin:
         registry.pin(args.name, version)
     print(
         f"registered {args.name} v{version:04d}"
         + (" (pinned)" if args.pin else "")
+        + (" [packed]" if artifact.info.packed else "")
         + f" in {args.registry}",
         file=out,
     )
@@ -778,6 +796,7 @@ def _cmd_serve(args, out) -> int:
         burst=args.burst,
         reload_interval=args.reload_interval,
         allow_stale=not args.no_stale,
+        use_packed=not args.no_packed,
     )
     host, port = server.server_address[:2]
     print(f"listening on http://{host}:{port}", file=out, flush=True)

@@ -20,6 +20,7 @@ from .interpolation import (
     gbdt_interpolation_model,
     kernel_interpolation_model,
 )
+from .packed_pipeline import PackedPipeline
 from .planning import ConfigRecommendation, HistoryPlanner
 from .uncertainty import EnsembleUncertainty, PredictionInterval
 from .scaling_features import DEFAULT_BASIS_TERMS, ScaleBasis
@@ -40,5 +41,6 @@ __all__ = [
     "ConfigRecommendation",
     "DEFAULT_BASIS_TERMS",
     "ScaleBasis",
+    "PackedPipeline",
     "TwoLevelModel",
 ]

@@ -508,20 +508,57 @@ class ClusteredScalingExtrapolator:
             raise ConfigurationError("Target scales must be >= 1.")
         design_large = self.basis.design_matrix(large)
         labels = self.assign_clusters(S)
+        return self._predict_rows(S, design_large, labels)
 
-        out = np.empty((S.shape[0], len(large)))
-        for i in range(S.shape[0]):
-            if self.selection == "independent":
+    def _predict_rows(
+        self,
+        S: np.ndarray,
+        design_large: np.ndarray,
+        labels: np.ndarray,
+        refit_blocks: dict | None = None,
+    ) -> np.ndarray:
+        """Per-configuration refit-and-evaluate loop shared by
+        :meth:`predict` and the packed serving path (which supplies a
+        cached ``design_large`` and lean cluster labels but must produce
+        bit-identical floats).
+
+        The per-cluster design blocks (fit columns ``A`` and evaluation
+        columns ``E``) depend only on the cluster's hypothesis and
+        ``design_large``, so they are hoisted out of the row loop;
+        ``refit_blocks`` lets a caller keep them across calls for a
+        fixed ``design_large``.
+        """
+        out = np.empty((S.shape[0], design_large.shape[0]))
+        if self.selection == "independent":
+            # Per-config reselection: nothing is shareable across rows.
+            for i in range(S.shape[0]):
                 mag = float(S[i].mean())
                 cands = self._path_supports_independent(S[i] / mag)
                 support, intercept, _ = self._select_hypothesis(
                     cands, S[i : i + 1]
                 )
-            else:
-                support = self.supports_[int(labels[i])]
-                intercept = self.intercepts_[int(labels[i])]
-            coef = self._refit_config(support, intercept, S[i])
-            out[i] = self._eval_config(support, intercept, coef, design_large)
+                coef = self._refit_config(support, intercept, S[i])
+                out[i] = self._eval_config(
+                    support, intercept, coef, design_large
+                )
+        else:
+            blocks = refit_blocks if refit_blocks is not None else {}
+            rows = np.arange(len(self.small_scales))
+            for i in range(S.shape[0]):
+                c = int(labels[i])
+                blk = blocks.get(c)
+                if blk is None:
+                    support = self.supports_[c]
+                    intercept = self.intercepts_[c]
+                    A = self._design_columns(rows, support, intercept)
+                    E = design_large[:, support]
+                    if intercept:
+                        E = np.column_stack(
+                            [np.ones(design_large.shape[0]), E]
+                        )
+                    blk = blocks[c] = (A, E)
+                A, E = blk
+                out[i] = E @ self._weighted_fit(A, S[i])
         # Fitted curves are non-negative under NNLS; enforce a strictly
         # positive floor either way so downstream MAPE is defined.
         floor = 1e-9

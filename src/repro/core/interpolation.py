@@ -263,6 +263,29 @@ class PerScaleInterpolator:
         pred = model.predict(X)
         return np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
 
+    def models_for_packing(self):
+        """Fitted learners in the layout the packed pipeline consumes.
+
+        Returns ``(dedicated, pooled, pooled_scales)``: dedicated models
+        keyed by scale in ``scales_`` order, the pooled fallback model
+        (or ``None``), and the scales the pooled model serves.  Raises
+        :class:`ExtrapolationError` if some scale has neither — such an
+        interpolator could not answer ``predict_matrix`` either.
+        """
+        self._check_fitted()
+        dedicated = {
+            int(s): self.models_[s] for s in self.scales_ if s in self.models_
+        }
+        pooled_scales = tuple(
+            int(s) for s in self.scales_ if s not in self.models_
+        )
+        if pooled_scales and self._pooled_model is None:
+            raise ExtrapolationError(
+                f"No interpolation model for scales {pooled_scales}; "
+                f"fitted scales: {self.scales_}"
+            )
+        return dedicated, self._pooled_model, pooled_scales
+
     # -- ensemble-signal access (pooled-fallback aware) -------------------
     #
     # The planner and the uncertainty propagator need per-scale ensemble

@@ -1,0 +1,647 @@
+"""The fitted two-level pipeline exported to plain contiguous ndarrays.
+
+:class:`PackedPipeline` is the serving-side twin of
+:class:`~repro.core.two_level.TwoLevelModel`.  ``from_model`` walks a
+fitted model once and flattens every per-scale random forest (dedicated
+interpolators *and* the pooled degraded fallback) into
+:class:`~repro.ml.tree.packed.PackedForest` arenas; ``predict(X,
+scales)`` then answers exactly like ``TwoLevelModel.predict`` — same
+dispatch between interpolated and extrapolated scales, same fallback
+modes — but in pure numpy with a handful of allocations per call.
+
+Bit-identity contract
+---------------------
+``PackedPipeline.predict`` must return the *same floats* as the object
+path for every fitted-model shape (basis/transfer mode, pooled
+degraded fallback, analytic Amdahl fallback, warm-started fits).  The
+guarantees, layer by layer:
+
+* interpolation — the packed forests reduce per-tree leaf values in the
+  object path's accumulation order (see ``ml.tree.packed``), then apply
+  the identical ``exp`` / ``maximum`` post-transform;
+* clustered extrapolation — the packed path calls the *fitted
+  extrapolator's own* ``assign_clusters`` and ``_predict_rows`` (the
+  per-config NNLS refit loop), only caching the target design matrix,
+  which is deterministic in the targets;
+* transfer mode and the analytic Amdahl fallback delegate to the fitted
+  extrapolator's ``predict`` wholesale (per-row ``minimize_scalar``
+  cannot be vectorized profitably, and transfer predicts all fitted
+  large scales at once anyway).
+
+Only forests are stored in the artifact sidecar (they are ~all of the
+bytes); the extrapolator rides along in the regular pickled payload and
+is re-attached at load time by :meth:`PackedPipeline.from_arrays`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zipfile
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    DataValidationError,
+    ExtrapolationError,
+)
+from ..ml.tree.packed import PackedForest, ordered_sum_axis0
+from ..ml.tree.random_forest import RandomForestRegressor
+from .extrapolation import ClusteredScalingExtrapolator
+
+__all__ = [
+    "PackedPipeline",
+    "save_npz_bytes",
+    "load_npz_arrays",
+]
+
+#: Version tag of the sidecar array layout (independent of the artifact
+#: manifest schema version).
+PACKED_FORMAT = 1
+
+#: Design matrices are tiny; keep a bounded handful per target tuple.
+_DESIGN_CACHE_MAX = 32
+
+
+def _require_forest(model: object, where: str) -> RandomForestRegressor:
+    if not isinstance(model, RandomForestRegressor) or not getattr(
+        model, "estimators_", None
+    ):
+        raise ConfigurationError(
+            "Packed pipelines require fitted random-forest interpolators; "
+            f"{where} uses {type(model).__name__}."
+        )
+    return model
+
+
+class PackedPipeline:
+    """A fitted two-level model flattened for wire-speed prediction."""
+
+    def __init__(
+        self,
+        *,
+        scales: Sequence[int],
+        dedicated_scales: Sequence[int],
+        pooled_scales: Sequence[int],
+        arena: PackedForest | None,
+        forest_tree_starts: np.ndarray | None,
+        pooled: PackedForest | None,
+        log_target: bool,
+        n_features: int,
+        extrapolator: object,
+        direct: bool,
+        large_scales: tuple[int, ...] | None,
+    ) -> None:
+        self.scales = tuple(int(s) for s in scales)
+        self.dedicated_scales = tuple(int(s) for s in dedicated_scales)
+        self.pooled_scales = tuple(int(s) for s in pooled_scales)
+        self.arena = arena
+        self.pooled = pooled
+        self.log_target = bool(log_target)
+        self.n_features = int(n_features)
+        self.extrapolator = extrapolator
+        self.direct = bool(direct)
+        self.large_scales = large_scales
+
+        if set(self.dedicated_scales) | set(self.pooled_scales) != set(
+            self.scales
+        ):
+            raise ConfigurationError(
+                "Packed pipeline scales are inconsistent: "
+                f"{self.dedicated_scales} + {self.pooled_scales} "
+                f"!= {self.scales}."
+            )
+        self._interp_set = frozenset(self.scales)
+        self._col_of = {s: k for k, s in enumerate(self.scales)}
+        if self.dedicated_scales:
+            if arena is None or forest_tree_starts is None:
+                raise ConfigurationError(
+                    "Dedicated scales present but no packed arena given."
+                )
+            starts = np.ascontiguousarray(forest_tree_starts, dtype=np.intp)
+            if (
+                starts.shape != (len(self.dedicated_scales) + 1,)
+                or starts[0] != 0
+                or starts[-1] != arena.n_trees
+                or np.any(np.diff(starts) < 1)
+            ):
+                raise DataValidationError(
+                    "forest_tree_starts must partition the arena's trees."
+                )
+            self.forest_tree_starts = starts
+            self._forest_range = {
+                s: (int(starts[i]), int(starts[i + 1]))
+                for i, s in enumerate(self.dedicated_scales)
+            }
+            diffs = np.diff(starts)
+            # Equal-sized forests allow one fused (reshape + sum)
+            # reduction over the whole arena instead of per-segment
+            # sums; verified bit-identical to the per-segment loop.
+            self._uniform_trees = (
+                int(diffs[0]) if bool((diffs == diffs[0]).all()) else 0
+            )
+        else:
+            self.forest_tree_starts = np.zeros(1, dtype=np.intp)
+            self._forest_range = {}
+            self._uniform_trees = 0
+        if self.pooled_scales and pooled is None:
+            raise ConfigurationError(
+                "Pooled scales present but no packed pooled forest given."
+            )
+        self._lean = isinstance(extrapolator, ClusteredScalingExtrapolator)
+        # Per-target-tuple cache of (design matrix, per-cluster refit
+        # blocks); both are deterministic in the targets + fitted state.
+        self._design_cache: dict[tuple[int, ...], tuple[np.ndarray, dict]] = {}
+        self._subset_cache: dict[tuple[int, ...], np.ndarray | None] = {}
+        if self._lean and extrapolator.kmeans_ is not None:
+            centers = extrapolator.kmeans_.cluster_centers_
+            self._centers = centers
+            # Same floats pairwise_distances recomputes on every call.
+            self._center_sq = np.sum(centers * centers, axis=1)
+        else:
+            self._centers = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_model(cls, model: object) -> "PackedPipeline":
+        """Flatten a fitted :class:`TwoLevelModel`.
+
+        Raises :class:`ConfigurationError` for unfitted models or
+        interpolation learners that are not this package's random
+        forest (kernel-ridge/GBDT interpolators stay on the object
+        path).
+        """
+        from .two_level import TwoLevelModel
+
+        if not isinstance(model, TwoLevelModel):
+            raise ConfigurationError(
+                f"from_model expects a TwoLevelModel; got "
+                f"{type(model).__name__}."
+            )
+        if not model.is_fitted:
+            raise ConfigurationError(
+                "Cannot pack an unfitted TwoLevelModel."
+            )
+        interp = model.interpolator_
+        dedicated, pooled_model, pooled_scales = interp.models_for_packing()
+        scales = tuple(int(s) for s in interp.scales_)
+        if tuple(model._interp_scales()) != scales:
+            raise ConfigurationError(
+                "Model and interpolator disagree on the effective small "
+                f"scales ({model._interp_scales()} vs {scales})."
+            )
+
+        arena = None
+        starts = None
+        n_features = None
+        if dedicated:
+            trees = []
+            starts = np.zeros(len(dedicated) + 1, dtype=np.intp)
+            for i, (scale, forest) in enumerate(dedicated.items()):
+                forest = _require_forest(forest, f"scale {scale}")
+                trees.extend(est.tree_ for est in forest.estimators_)
+                starts[i + 1] = len(trees)
+                if n_features is None:
+                    n_features = int(forest.n_features_in_)
+                elif n_features != int(forest.n_features_in_):
+                    raise ConfigurationError(
+                        "Dedicated forests disagree on n_features."
+                    )
+            arena = PackedForest.from_trees(trees, n_features=n_features)
+        packed_pooled = None
+        if pooled_scales:
+            pooled_forest = _require_forest(pooled_model, "the pooled fallback")
+            packed_pooled = PackedForest.from_forest(pooled_forest)
+            pooled_n = int(pooled_forest.n_features_in_) - 1
+            if n_features is None:
+                n_features = pooled_n
+            elif n_features != pooled_n:
+                raise ConfigurationError(
+                    "Pooled forest n_features disagrees with dedicated "
+                    "forests."
+                )
+        if n_features is None:
+            raise ConfigurationError(
+                "Model has no fitted interpolation forests to pack."
+            )
+
+        extrapolator = model.extrapolator_
+        direct = model.mode == "basis" or model.used_analytic_fallback_
+        if isinstance(extrapolator, ClusteredScalingExtrapolator) and len(
+            extrapolator.small_scales
+        ) != len(scales):
+            raise ConfigurationError(
+                "Extrapolator small-scale count disagrees with the "
+                "interpolator's fitted scales."
+            )
+        large_scales = (
+            tuple(int(s) for s in model.large_scales)
+            if not direct and model.large_scales is not None
+            else None
+        )
+        return cls(
+            scales=scales,
+            dedicated_scales=tuple(dedicated),
+            pooled_scales=pooled_scales,
+            arena=arena,
+            forest_tree_starts=starts,
+            pooled=packed_pooled,
+            log_target=bool(interp.log_target),
+            n_features=n_features,
+            extrapolator=extrapolator,
+            direct=direct,
+            large_scales=large_scales,
+        )
+
+    # -- prediction --------------------------------------------------------
+
+    def _validate_X(self, X: object) -> np.ndarray:
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ConfigurationError("X must be 2-D (configs x params).")
+        if X.shape[1] != self.n_features:
+            raise DataValidationError(
+                f"Expected {self.n_features} features, got {X.shape[1]}."
+            )
+        if not np.isfinite(X).all():
+            raise DataValidationError("X contains NaN or infinity.")
+        return X
+
+    def _transform(self, pred: np.ndarray) -> np.ndarray:
+        return np.exp(pred) if self.log_target else np.maximum(pred, 1e-12)
+
+    def _subset_trees(self, dedicated: Sequence[int]) -> np.ndarray | None:
+        """Tree-index array selecting the given dedicated forests from
+        the arena (``None`` means all trees); cached per scale tuple."""
+        key = tuple(dedicated)
+        if key not in self._subset_cache:
+            if len(dedicated) == len(self.dedicated_scales):
+                self._subset_cache[key] = None
+            else:
+                self._subset_cache[key] = np.concatenate(
+                    [
+                        np.arange(*self._forest_range[s], dtype=np.intp)
+                        for s in dedicated
+                    ]
+                )
+        return self._subset_cache[key]
+
+    def _raw_interp_means(
+        self, X: np.ndarray, need: Sequence[int]
+    ) -> dict[int, np.ndarray]:
+        """Pre-transform forest means for the requested scales.
+
+        ``X`` must be validated.  Dedicated scales share one arena
+        traversal; pooled scales each traverse the pooled forest with
+        ``log2(p)`` appended — every reduction keeps the object path's
+        per-tree accumulation order (:func:`ordered_sum_axis0`).
+        """
+        cols: dict[int, np.ndarray] = {}
+        dedicated = [s for s in need if s in self._forest_range]
+        if dedicated:
+            if len(dedicated) == 1:
+                # Single-scale queries (the serving hot path) address
+                # their forest as a contiguous arena block directly.
+                values = self.arena.leaf_values(
+                    X, tree_range=self._forest_range[dedicated[0]]
+                )
+            else:
+                values = self.arena.leaf_values(
+                    X, self._subset_trees(dedicated)
+                )
+            # Hoist ordered_sum_axis0's single-column padding to one
+            # shared concatenate: column 0 of each padded row-slice
+            # still accumulates sequentially in tree order.
+            one = values.shape[1] == 1 and values.shape[0] > 0
+            if one:
+                values = np.concatenate([values, values], axis=1)
+            pos = 0
+            for s in dedicated:
+                t0, t1 = self._forest_range[s]
+                cnt = t1 - t0
+                ssum = values[pos : pos + cnt].sum(axis=0)
+                pos += cnt
+                cols[s] = (ssum[:1] if one else ssum) / cnt
+        for s in need:
+            if s in cols or s not in self.pooled_scales:
+                continue
+            Xp = np.column_stack([X, np.full(X.shape[0], np.log2(s))])
+            values = self.pooled.leaf_values(Xp)
+            cols[s] = ordered_sum_axis0(values) / values.shape[0]
+        return cols
+
+    def predict_small_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Interpolation-level predictions, shape ``(n, n_small)`` —
+        bit-identical to ``TwoLevelModel.predict_small_matrix``."""
+        X = self._validate_X(X)
+        return self._small_matrix(X)
+
+    def _small_matrix(self, X: np.ndarray) -> np.ndarray:
+        n = X.shape[0]
+        k = len(self.scales)
+        cnt = self._uniform_trees
+        if cnt and self.dedicated_scales == self.scales and n:
+            # Hot path: every scale has a dedicated equal-sized forest,
+            # so one reshaped reduction yields all per-forest sums in
+            # the same row-sequential accumulation order as the
+            # per-segment loop (bit-identical, verified empirically).
+            values = self.arena.leaf_values(X)
+            if n == 1:
+                values = np.concatenate([values, values], axis=1)
+                sums = values.reshape(k, cnt, 2).sum(axis=1)
+                sums = sums[:, 0].reshape(1, k)
+            else:
+                sums = values.reshape(k, cnt, n).sum(axis=1).T
+            out = np.empty((n, k))
+            np.divide(sums, cnt, out=out)
+            return self._transform(out)
+        cols = self._raw_interp_means(X, self.scales)
+        out = np.empty((n, k))
+        for j, s in enumerate(self.scales):
+            out[:, j] = cols[s]
+        # One elementwise transform over the matrix equals the object
+        # path's per-column exp/maximum exactly.
+        return self._transform(out)
+
+    def _design_for(
+        self, targets: Sequence[int]
+    ) -> tuple[np.ndarray, dict]:
+        key = tuple(targets)
+        entry = self._design_cache.get(key)
+        if entry is None:
+            if any(p < 1 for p in key):
+                raise ConfigurationError("Target scales must be >= 1.")
+            design = self.extrapolator.basis.design_matrix(list(key))
+            entry = (design, {})
+            if len(self._design_cache) >= _DESIGN_CACHE_MAX:
+                self._design_cache.pop(next(iter(self._design_cache)))
+            self._design_cache[key] = entry
+        return entry
+
+    def _assign_lean(self, S: np.ndarray) -> np.ndarray:
+        """Cluster labels for curve shapes — the floats
+        ``extrapolator.assign_clusters`` computes, minus the per-call
+        validation and center-norm recomputation.  Replicates
+        ``pairwise_distances``'s expansion term by term (the cached
+        center norms are the same deterministic reduction) so the
+        argmin sees identical distances."""
+        if self._centers is None:
+            return np.zeros(S.shape[0], dtype=np.int64)
+        # _log_shape, inlined: same checks, same floats, one less temp.
+        if not np.isfinite(S).all() or (S <= 0).any():
+            raise DataValidationError(
+                "Small-scale runtimes must be finite and positive."
+            )
+        Z = np.log(S)
+        Z -= Z.mean(axis=1, keepdims=True)
+        sq = (
+            np.sum(Z * Z, axis=1)[:, None]
+            - 2.0 * (Z @ self._centers.T)
+            + self._center_sq[None, :]
+        )
+        np.clip(sq, 0.0, None, out=sq)
+        return np.argmin(np.sqrt(sq), axis=1)
+
+    def _extrapolate(
+        self, S: np.ndarray, targets: list[int]
+    ) -> np.ndarray:
+        ex = self.extrapolator
+        if not self.direct:
+            assert self.large_scales is not None
+            unknown = set(targets) - set(self.large_scales)
+            if unknown:
+                raise ExtrapolationError(
+                    f"Transfer mode can only predict its fitted large "
+                    f"scales {self.large_scales}; got {sorted(unknown)}."
+                )
+            all_preds = ex.predict(S)
+            col_of = {s: k for k, s in enumerate(self.large_scales)}
+            return all_preds[:, [col_of[s] for s in targets]]
+        if self._lean:
+            design_large, blocks = self._design_for(targets)
+            labels = self._assign_lean(S)
+            return ex._predict_rows(S, design_large, labels, blocks)
+        # Analytic Amdahl fallback (or any other extrapolator): delegate.
+        return ex.predict(S, targets)
+
+    def predict(self, X: np.ndarray, scales: Sequence[int]) -> np.ndarray:
+        """Runtime predictions, shape ``(n, len(scales))`` —
+        bit-identical to ``TwoLevelModel.predict`` on the same fitted
+        model, including n=0 inputs and every fallback mode."""
+        X = self._validate_X(X)
+        scales = [int(s) for s in scales]
+        out = np.empty((X.shape[0], len(scales)))
+        extrap_cols = [
+            j for j, s in enumerate(scales) if s not in self._interp_set
+        ]
+        if extrap_cols:
+            targets = [scales[j] for j in extrap_cols]
+            S = self._small_matrix(X)
+            preds = self._extrapolate(S, targets)
+            for k, j in enumerate(extrap_cols):
+                out[:, j] = preds[:, k]
+            cols = {
+                s: S[:, self._col_of[s]] for s in scales if s in self._col_of
+            }
+        else:
+            need = [s for s in dict.fromkeys(scales)]
+            cols = {
+                s: self._transform(col)
+                for s, col in self._raw_interp_means(X, need).items()
+            }
+        for j, s in enumerate(scales):
+            if s in self._interp_set:
+                out[:, j] = cols[s]
+        return out
+
+    # -- array round-trip (artifact sidecar) -------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The forest arrays as a flat ``{name: ndarray}`` dict (the
+        ``.npz`` sidecar payload).  Extrapolator state is *not* here —
+        it lives in the artifact's pickled payload."""
+        arrays: dict[str, np.ndarray] = {
+            "packed_format": np.asarray(PACKED_FORMAT, dtype=np.int64),
+            "scales": np.asarray(self.scales, dtype=np.int64),
+            "dedicated_scales": np.asarray(
+                self.dedicated_scales, dtype=np.int64
+            ),
+            "pooled_scales": np.asarray(self.pooled_scales, dtype=np.int64),
+            "forest_tree_starts": np.asarray(
+                self.forest_tree_starts, dtype=np.int64
+            ),
+            "log_target": np.asarray(int(self.log_target), dtype=np.int64),
+            "n_features": np.asarray(self.n_features, dtype=np.int64),
+        }
+        if self.arena is not None:
+            arrays.update(self.arena.to_arrays("arena_"))
+        if self.pooled is not None:
+            arrays.update(self.pooled.to_arrays("pooled_"))
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], model: object
+    ) -> "PackedPipeline":
+        """Rebuild from sidecar arrays, re-attaching the extrapolation
+        level of the unpickled ``model``.  Cross-checks the sidecar
+        against the model so a mismatched pairing fails loudly instead
+        of serving stale forests."""
+        from .two_level import TwoLevelModel
+
+        if not isinstance(model, TwoLevelModel) or not model.is_fitted:
+            raise ConfigurationError(
+                "from_arrays needs the fitted TwoLevelModel the sidecar "
+                "was packed from."
+            )
+        fmt = int(np.asarray(arrays.get("packed_format", -1)))
+        if fmt != PACKED_FORMAT:
+            raise DataValidationError(
+                f"Unsupported packed sidecar format {fmt}; "
+                f"expected {PACKED_FORMAT}."
+            )
+        scales = tuple(int(s) for s in np.asarray(arrays["scales"]))
+        dedicated = tuple(
+            int(s) for s in np.asarray(arrays["dedicated_scales"])
+        )
+        pooled_scales = tuple(
+            int(s) for s in np.asarray(arrays["pooled_scales"])
+        )
+        if tuple(model._interp_scales()) != scales:
+            raise DataValidationError(
+                "Packed sidecar scales do not match the fitted model "
+                f"({scales} vs {tuple(model._interp_scales())})."
+            )
+        model_pooled = tuple(
+            int(s)
+            for s in model.interpolator_.scales_
+            if s not in model.interpolator_.models_
+        )
+        if pooled_scales != model_pooled:
+            raise DataValidationError(
+                "Packed sidecar dedicated/pooled split does not match "
+                f"the fitted model (pooled {pooled_scales} vs "
+                f"{model_pooled})."
+            )
+        arena = (
+            PackedForest.from_arrays(arrays, "arena_") if dedicated else None
+        )
+        pooled = (
+            PackedForest.from_arrays(arrays, "pooled_")
+            if pooled_scales
+            else None
+        )
+        extrapolator = model.extrapolator_
+        direct = model.mode == "basis" or model.used_analytic_fallback_
+        large_scales = (
+            tuple(int(s) for s in model.large_scales)
+            if not direct and model.large_scales is not None
+            else None
+        )
+        return cls(
+            scales=scales,
+            dedicated_scales=dedicated,
+            pooled_scales=pooled_scales,
+            arena=arena,
+            forest_tree_starts=np.asarray(arrays["forest_tree_starts"]),
+            pooled=pooled,
+            log_target=bool(int(np.asarray(arrays["log_target"]))),
+            n_features=int(np.asarray(arrays["n_features"])),
+            extrapolator=extrapolator,
+            direct=direct,
+            large_scales=large_scales,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        arena = self.arena.n_trees if self.arena is not None else 0
+        return (
+            f"PackedPipeline(scales={self.scales}, arena_trees={arena}, "
+            f"pooled={self.pooled is not None}, direct={self.direct})"
+        )
+
+
+# -- .npz sidecar I/O ------------------------------------------------------
+
+
+def save_npz_bytes(
+    arrays: Mapping[str, np.ndarray], *, compress: bool = False
+) -> bytes:
+    """Serialize arrays to ``.npz`` bytes (callers hash + write them
+    atomically).  Uncompressed (the default) keeps every member
+    ZIP_STORED so :func:`load_npz_arrays` can mmap it zero-copy."""
+    buf = io.BytesIO()
+    writer = np.savez_compressed if compress else np.savez
+    writer(buf, **dict(arrays))
+    return buf.getvalue()
+
+
+def load_npz_arrays(
+    path: str | Path, *, mmap: bool = True
+) -> dict[str, np.ndarray]:
+    """Load an ``.npz``, memory-mapping each member when possible.
+
+    ``np.load(..., mmap_mode=...)`` refuses npz archives, but members of
+    an *uncompressed* archive (``ZIP_STORED``) are verbatim ``.npy``
+    bytes at a fixed file offset, so each becomes an ``np.memmap`` view:
+    parse the member's local zip header for the data offset, the npy
+    header for shape/dtype, and map the rest.  Compressed archives (and
+    anything else surprising) fall back to a plain eager ``np.load``.
+    """
+    path = Path(path)
+    if not mmap:
+        with np.load(path) as npz:
+            return {name: npz[name] for name in npz.files}
+    out: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as zf:
+            infos = zf.infolist()
+            if any(i.compress_type != zipfile.ZIP_STORED for i in infos):
+                raise _FallbackToEager
+            with open(path, "rb") as raw:
+                for info in infos:
+                    with zf.open(info) as member:
+                        version = np.lib.format.read_magic(member)
+                        if version == (1, 0):
+                            shape, fortran, dtype = (
+                                np.lib.format.read_array_header_1_0(member)
+                            )
+                        elif version == (2, 0):
+                            shape, fortran, dtype = (
+                                np.lib.format.read_array_header_2_0(member)
+                            )
+                        else:
+                            raise _FallbackToEager
+                        npy_header_len = member.tell()
+                    if dtype.hasobject:
+                        raise _FallbackToEager
+                    # Local zip header: 30 fixed bytes + name + extra.
+                    raw.seek(info.header_offset + 26)
+                    name_len, extra_len = struct.unpack("<HH", raw.read(4))
+                    offset = (
+                        info.header_offset
+                        + 30
+                        + name_len
+                        + extra_len
+                        + npy_header_len
+                    )
+                    name = info.filename.removesuffix(".npy")
+                    out[name] = np.memmap(
+                        path,
+                        dtype=dtype,
+                        mode="r",
+                        shape=shape,
+                        offset=offset,
+                        order="F" if fortran else "C",
+                    )
+        return out
+    except _FallbackToEager:
+        with np.load(path) as npz:
+            return {name: npz[name] for name in npz.files}
+
+
+class _FallbackToEager(Exception):
+    """Internal: archive member cannot be mmap'd; load eagerly."""

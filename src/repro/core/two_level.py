@@ -558,6 +558,18 @@ class TwoLevelModel:
         effective small scales after any degradation)."""
         return getattr(self, "effective_small_scales_", self.small_scales)
 
+    def pack(self):
+        """Export the fitted pipeline to a
+        :class:`~repro.core.packed_pipeline.PackedPipeline` whose
+        ``predict`` is pure numpy and bit-identical to :meth:`predict`.
+
+        Raises :class:`ConfigurationError` when the model is unfitted
+        or its interpolation learners are not packable random forests.
+        """
+        from .packed_pipeline import PackedPipeline
+
+        return PackedPipeline.from_model(self)
+
     def predict_speedup(
         self, X: np.ndarray, scales: Sequence[int], base_scale: int | None = None
     ) -> np.ndarray:

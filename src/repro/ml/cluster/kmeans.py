@@ -115,7 +115,7 @@ class KMeans(BaseEstimator, ClusterMixin):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Index of the nearest fitted center for each row."""
         check_is_fitted(self, "cluster_centers_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
@@ -125,5 +125,5 @@ class KMeans(BaseEstimator, ClusterMixin):
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Distances to every center, shape ``(n_samples, n_clusters)``."""
         check_is_fitted(self, "cluster_centers_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         return pairwise_distances(X, self.cluster_centers_)

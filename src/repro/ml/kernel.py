@@ -121,7 +121,7 @@ class KernelRidge(BaseEstimator, RegressorMixin):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "dual_coef_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
@@ -201,7 +201,7 @@ class GaussianProcessRegressor(BaseEstimator, RegressorMixin):
         self, X: np.ndarray, return_std: bool = False
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         check_is_fitted(self, "alpha_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."

@@ -196,7 +196,7 @@ class MultiTaskLasso(BaseEstimator, RegressorMixin):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predict all tasks; returns shape ``(n_samples, n_tasks)``."""
         check_is_fitted(self, "coef_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."

@@ -51,7 +51,7 @@ class KNeighborsRegressor(BaseEstimator, RegressorMixin):
     def kneighbors(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Distances and indices of the k nearest training samples."""
         check_is_fitted(self, "X_train_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."

@@ -71,7 +71,7 @@ class StandardScaler(BaseEstimator, TransformerMixin):
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "scale_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
@@ -80,7 +80,7 @@ class StandardScaler(BaseEstimator, TransformerMixin):
 
     def inverse_transform(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "scale_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         return X * self.scale_ + self.mean_
 
 
@@ -108,7 +108,7 @@ class MinMaxScaler(BaseEstimator, TransformerMixin):
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "scale_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
@@ -117,7 +117,7 @@ class MinMaxScaler(BaseEstimator, TransformerMixin):
 
     def inverse_transform(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "scale_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         return (X - self.min_) / self.scale_
 
 
@@ -189,7 +189,7 @@ class PolynomialFeatures(BaseEstimator, TransformerMixin):
 
     def transform(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "combinations_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."

@@ -2,11 +2,13 @@
 
 from .decision_tree import DecisionTreeRegressor, TreeArrays
 from .gradient_boosting import GradientBoostingRegressor
+from .packed import PackedForest
 from .random_forest import RandomForestRegressor
 
 __all__ = [
     "DecisionTreeRegressor",
     "TreeArrays",
     "GradientBoostingRegressor",
+    "PackedForest",
     "RandomForestRegressor",
 ]

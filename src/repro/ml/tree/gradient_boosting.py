@@ -91,7 +91,7 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "estimators_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
@@ -104,7 +104,7 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
     def staged_predict(self, X: np.ndarray):
         """Yield predictions after each boosting stage (for CV of depth)."""
         check_is_fitted(self, "estimators_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         out = np.full(X.shape[0], self.init_)
         for tree in self.estimators_:
             out = out + self.learning_rate * tree.tree_.predict(X)

@@ -1,0 +1,416 @@
+"""Packed (arena) representation of fitted forests for wire-speed inference.
+
+A fitted :class:`~repro.ml.tree.random_forest.RandomForestRegressor` is a
+Python list of tree objects; predicting walks them one by one, so a cache
+miss in the serving layer costs milliseconds of interpreter overhead even
+though the arithmetic is trivial.  :class:`PackedForest` flattens every
+tree's node arrays (``feature/threshold/left/right/value``) into one
+contiguous arena with per-tree root offsets and advances **all (tree,
+sample) pairs at once** with a handful of vectorized gathers per tree
+level.
+
+Bit-identity contract
+---------------------
+``PackedForest.predict`` returns *exactly* the floats the object path
+returns.  Two properties make that hold:
+
+* internal nodes keep their original ``feature``/``threshold`` values, so
+  every sample lands in the same leaf as in the per-tree walk;
+* per-tree leaf values are reduced over axis 0 of a C-contiguous
+  ``(n_trees, n_samples)`` matrix, which numpy reduces sequentially tree
+  by tree — the same accumulation order as the object path's
+  ``out += tree.predict(X)`` loop.
+
+The traversal itself uses two derived tricks that do not change any
+comparison: leaves become self-loops (``left == right == self``) with a
+``+inf`` threshold so finished pairs idle harmlessly, and the left/right
+arrays are interleaved into one ``children`` array indexed by
+``2 * node + go_left`` (one gather instead of two gathers plus a select).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...errors import ConfigurationError, DataValidationError
+from .decision_tree import _LEAF, TreeArrays
+
+__all__ = ["PackedForest", "ordered_sum_axis0"]
+
+#: Below this many (tree, sample) pairs the fixed-depth loop (no masking,
+#: fewest numpy calls per level) wins; above it, active-set filtering
+#: saves real element work because most pairs reach shallow leaves.
+_ACTIVE_SET_THRESHOLD = 32768
+
+_CANONICAL = ("feature", "threshold", "left", "right", "value", "tree_offsets")
+
+
+def ordered_sum_axis0(V: np.ndarray) -> np.ndarray:
+    """Axis-0 sum of a C-contiguous 2-D array with guaranteed
+    first-to-last accumulation order.
+
+    For ``shape[1] >= 2`` numpy's axis-0 reduction already walks rows
+    sequentially (pairwise summation only applies along a contiguous
+    reduction axis).  A single-column matrix degenerates to exactly that
+    contiguous case, so it is padded to two identical columns first —
+    column 0 then accumulates in row order.  This is what makes packed
+    forest means bit-identical to the object path's ``out += tree``
+    loop even for single-sample predictions.
+    """
+    if V.shape[1] == 1:
+        return np.concatenate([V, V], axis=1).sum(axis=0)[:1]
+    return V.sum(axis=0)
+
+
+class PackedForest:
+    """A forest flattened into one contiguous node arena.
+
+    Parameters are the canonical flat arrays: ``feature`` (``-1`` marks a
+    leaf), ``threshold``, ``left``/``right`` (arena-global child indices,
+    ``-1`` at leaves), ``value`` (leaf/node means) — all of length
+    ``n_nodes`` — plus ``tree_offsets`` of length ``n_trees + 1`` where
+    tree ``t`` owns nodes ``[tree_offsets[t], tree_offsets[t + 1])`` and
+    its root is ``tree_offsets[t]``.
+    """
+
+    def __init__(
+        self,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        tree_offsets: np.ndarray,
+        n_features: int,
+    ) -> None:
+        self.feature = np.ascontiguousarray(feature, dtype=np.intp)
+        self.threshold = np.ascontiguousarray(threshold, dtype=np.float64)
+        self.left = np.ascontiguousarray(left, dtype=np.intp)
+        self.right = np.ascontiguousarray(right, dtype=np.intp)
+        self.value = np.ascontiguousarray(value, dtype=np.float64)
+        self.tree_offsets = np.ascontiguousarray(tree_offsets, dtype=np.intp)
+        self.n_features = int(n_features)
+        self._validate_arena()
+        self._finalize()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_trees(
+        cls, trees: Sequence[TreeArrays], n_features: int
+    ) -> "PackedForest":
+        """Concatenate fitted :class:`TreeArrays` into one arena."""
+        if not trees:
+            raise ConfigurationError("Cannot pack an empty forest.")
+        offsets = np.zeros(len(trees) + 1, dtype=np.intp)
+        for t, tree in enumerate(trees):
+            offsets[t + 1] = offsets[t] + tree.n_nodes
+        feature = np.concatenate([t.feature for t in trees])
+        threshold = np.concatenate([t.threshold for t in trees])
+        left = np.empty(offsets[-1], dtype=np.intp)
+        right = np.empty(offsets[-1], dtype=np.intp)
+        for t, tree in enumerate(trees):
+            base = offsets[t]
+            leaf = tree.feature == _LEAF
+            left[base : offsets[t + 1]] = np.where(
+                leaf, _LEAF, tree.left + base
+            )
+            right[base : offsets[t + 1]] = np.where(
+                leaf, _LEAF, tree.right + base
+            )
+        value = np.concatenate([t.value for t in trees])
+        return cls(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            value=value,
+            tree_offsets=offsets,
+            n_features=n_features,
+        )
+
+    @classmethod
+    def from_forest(cls, forest: object) -> "PackedForest":
+        """Pack a fitted :class:`RandomForestRegressor`."""
+        estimators = getattr(forest, "estimators_", None)
+        if not estimators:
+            raise ConfigurationError(
+                "from_forest needs a fitted forest with estimators_."
+            )
+        return cls.from_trees(
+            [est.tree_ for est in estimators],
+            n_features=int(forest.n_features_in_),
+        )
+
+    def _validate_arena(self) -> None:
+        n = self.feature.shape[0]
+        for name in ("threshold", "left", "right", "value"):
+            if getattr(self, name).shape != (n,):
+                raise DataValidationError(
+                    f"Packed arena array {name!r} has shape "
+                    f"{getattr(self, name).shape}; expected ({n},)."
+                )
+        off = self.tree_offsets
+        if off.ndim != 1 or off.size < 2 or off[0] != 0 or off[-1] != n:
+            raise DataValidationError(
+                "tree_offsets must run from 0 to n_nodes."
+            )
+        if np.any(np.diff(off) < 1):
+            raise DataValidationError("Every packed tree needs >= 1 node.")
+        internal = self.feature >= 0
+        if np.any(self.feature[internal] >= self.n_features):
+            raise DataValidationError(
+                "Packed arena references features beyond n_features."
+            )
+        for child in (self.left[internal], self.right[internal]):
+            if child.size and (
+                np.any(child < 0) or np.any(child >= n)
+            ):
+                raise DataValidationError(
+                    "Packed arena child index out of range."
+                )
+
+    def _finalize(self) -> None:
+        """Derive the traversal-optimized arrays from the canonical ones."""
+        nn = self.feature.shape[0]
+        leaf = self.feature < 0
+        idx = np.arange(nn, dtype=np.intp)
+        self._internal = ~leaf
+        self._feat = np.where(leaf, 0, self.feature)
+        self._thr = np.where(leaf, np.inf, self.threshold)
+        lft = np.where(leaf, idx, self.left)
+        rgt = np.where(leaf, idx, self.right)
+        self._lft = lft
+        self._rgt = rgt
+        children = np.empty(2 * nn, dtype=np.intp)
+        children[0::2] = rgt  # go_left == False
+        children[1::2] = lft  # go_left == True
+        self._children = children
+        self._roots = np.ascontiguousarray(self.tree_offsets[:-1])
+        # Arena depth: child-steps guaranteeing every root reaches a leaf.
+        # The same BFS stamps every node's depth, giving per-tree depths
+        # so traversals over a subset of trees stop at *their* deepest
+        # leaf instead of the arena-wide maximum.
+        node_depth = np.zeros(nn, dtype=np.intp)
+        depth = 0
+        frontier = self._roots
+        while True:
+            frontier = frontier[self.feature[frontier] >= 0]
+            if frontier.size == 0:
+                break
+            depth += 1
+            if depth > nn:
+                raise DataValidationError(
+                    "Packed arena contains a cycle (corrupt child links)."
+                )
+            frontier = np.concatenate(
+                [self.left[frontier], self.right[frontier]]
+            )
+            node_depth[frontier] = depth
+        self.max_depth_ = depth
+        self._tree_depths = np.maximum.reduceat(
+            node_depth, self.tree_offsets[:-1]
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_trees(self) -> int:
+        return self.tree_offsets.shape[0] - 1
+
+    @property
+    def n_nodes(self) -> int:
+        return self.feature.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PackedForest(n_trees={self.n_trees}, n_nodes={self.n_nodes}, "
+            f"n_features={self.n_features}, max_depth={self.max_depth_})"
+        )
+
+    # -- traversal ---------------------------------------------------------
+
+    def _validate_X(self, X: object) -> np.ndarray:
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataValidationError(
+                f"X must be 2-D; got {X.ndim}-D array."
+            )
+        if X.shape[1] != self.n_features:
+            raise DataValidationError(
+                f"Expected {self.n_features} features, got {X.shape[1]}."
+            )
+        if not np.all(np.isfinite(X)):
+            raise DataValidationError("X contains NaN or infinity.")
+        return X
+
+    def leaf_values(
+        self,
+        X: np.ndarray,
+        tree_indices: np.ndarray | None = None,
+        tree_range: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Leaf value of every (tree, sample) pair, shape ``(n_trees,
+        n_samples)`` — the packed equivalent of per-tree ``predict``.
+
+        ``X`` must already be validated C-contiguous float64 (use
+        :meth:`predict_all` for the validating entry point).
+        ``tree_indices`` restricts the traversal to a subset of trees;
+        ``tree_range`` is the zero-overhead form for a *contiguous*
+        block ``[t0, t1)`` (how per-scale forests live in the arena).
+        """
+        n = X.shape[0]
+        depth: int | None = None
+        if tree_range is not None:
+            t0, t1 = tree_range
+            roots = self._roots[t0:t1]
+            tree_depths = self._tree_depths[t0:t1]
+            lo = int(self.tree_offsets[t0])
+            hi = int(self.tree_offsets[t1])
+        elif tree_indices is None:
+            roots = self._roots
+            tree_depths = self._tree_depths
+            lo, hi = 0, self.n_nodes
+            depth = self.max_depth_
+        else:
+            tidx = np.asarray(tree_indices, dtype=np.intp)
+            roots = self.tree_offsets[tidx]
+            tree_depths = self._tree_depths[tidx]
+            if tidx.size:
+                lo = int(self.tree_offsets[int(tidx.min())])
+                hi = int(self.tree_offsets[int(tidx.max()) + 1])
+            else:
+                lo = hi = 0
+        nt = roots.shape[0]
+        if n == 0 or nt == 0:
+            return np.empty((nt, n), dtype=np.float64)
+        if depth is None:
+            depth = int(tree_depths.max())
+        if n == 1:
+            return self._walk_one(X[0], roots, lo, hi, depth).reshape(nt, 1)
+        if nt * n <= _ACTIVE_SET_THRESHOLD:
+            return self._walk_block(X, roots, depth)
+        # Large loads stream tree chunks whose lane arrays fit in cache
+        # (~half the active-set threshold); each chunk runs the cheap
+        # fixed-depth loop bounded by its own deepest tree.
+        chunk = max(1, _ACTIVE_SET_THRESHOLD // (2 * n))
+        out = np.empty((nt, n), dtype=np.float64)
+        for t0 in range(0, nt, chunk):
+            t1 = min(nt, t0 + chunk)
+            out[t0:t1] = self._walk_block(
+                X, roots[t0:t1], int(tree_depths[t0:t1].max())
+            )
+        return out
+
+    def _walk_one(
+        self, row: np.ndarray, roots: np.ndarray, lo: int, hi: int, depth: int
+    ) -> np.ndarray:
+        """Latency path: leaf values of one sample under the trees rooted
+        at ``roots``, all inside arena nodes ``[lo, hi)``.
+
+        For compact node spans, every node's next hop is resolved up
+        front (three vector ops over the span), leaving one gather per
+        level.  When the span dwarfs the work actually visited
+        (``n_trees * depth`` nodes), a per-level gather walk is cheaper.
+        """
+        if hi - lo <= 4096 * max(depth, 1):
+            sl = slice(lo, hi)
+            nxt = np.where(
+                row[self._feat[sl]] <= self._thr[sl],
+                self._lft[sl],
+                self._rgt[sl],
+            )
+            if lo:
+                nxt -= lo
+                nodes = roots - lo
+            else:
+                nodes = roots
+            for _ in range(depth):
+                nodes = nxt[nodes]
+            if lo:
+                nodes = nodes + lo
+        else:
+            feat, thr, children = self._feat, self._thr, self._children
+            nodes = roots
+            for _ in range(depth):
+                go = row[feat[nodes]] <= thr[nodes]
+                nodes = children[2 * nodes + go]
+        return self.value[nodes]
+
+    def _walk_block(
+        self, X: np.ndarray, roots: np.ndarray, depth: int
+    ) -> np.ndarray:
+        """Leaf values of every (tree, sample) lane for one tree block."""
+        nt = roots.shape[0]
+        n = X.shape[0]
+        children = self._children
+        feat = self._feat
+        thr = self._thr
+        xflat = X.reshape(-1)
+        nodes = np.repeat(roots, n)
+        samp_off = np.tile(np.arange(n, dtype=np.intp) * self.n_features, nt)
+        if nodes.size <= _ACTIVE_SET_THRESHOLD:
+            for _ in range(depth):
+                go = xflat[samp_off + feat[nodes]] <= thr[nodes]
+                nodes = children[2 * nodes + go]
+        else:
+            internal = self._internal
+            idx = np.nonzero(internal[nodes])[0]
+            while idx.size:
+                cur = nodes[idx]
+                go = xflat[samp_off[idx] + feat[cur]] <= thr[cur]
+                nxt = children[2 * cur + go]
+                nodes[idx] = nxt
+                idx = idx[internal[nxt]]
+        return self.value[nodes].reshape(nt, n)
+
+    def predict_all(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_trees, n_samples)`` —
+        bit-identical to ``RandomForestRegressor.predict_all``."""
+        return self.leaf_values(self._validate_X(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forest-mean prediction, bit-identical to the object path.
+
+        The per-tree matrix reduces via :func:`ordered_sum_axis0`, which
+        accumulates tree by tree in index order — exactly the object
+        path's sequential ``out += tree.predict(X)`` loop.
+        """
+        values = self.leaf_values(self._validate_X(X))
+        return ordered_sum_axis0(values) / values.shape[0]
+
+    # -- array export (artifact sidecar) -----------------------------------
+
+    def to_arrays(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Canonical plain-ndarray form (the ``.npz`` sidecar payload)."""
+        out = {prefix + name: getattr(self, name) for name in _CANONICAL}
+        out[prefix + "n_features"] = np.asarray(self.n_features, dtype=np.int64)
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], prefix: str = ""
+    ) -> "PackedForest":
+        """Rebuild a forest saved with :meth:`to_arrays` (validates the
+        arena invariants, so corrupt sidecars fail loudly)."""
+        missing = [
+            name
+            for name in (*_CANONICAL, "n_features")
+            if prefix + name not in arrays
+        ]
+        if missing:
+            raise DataValidationError(
+                f"Packed-forest arrays are missing {missing} "
+                f"(prefix {prefix!r})."
+            )
+        return cls(
+            feature=arrays[prefix + "feature"],
+            threshold=arrays[prefix + "threshold"],
+            left=arrays[prefix + "left"],
+            right=arrays[prefix + "right"],
+            value=arrays[prefix + "value"],
+            tree_offsets=arrays[prefix + "tree_offsets"],
+            n_features=int(np.asarray(arrays[prefix + "n_features"])),
+        )

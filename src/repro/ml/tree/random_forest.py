@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...errors import ConfigurationError
 from ..base import BaseEstimator, RegressorMixin, check_is_fitted
 from ..validation import check_array, check_X_y, check_random_state, spawn_rngs
 from .decision_tree import DecisionTreeRegressor
@@ -50,6 +51,8 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         oob_score: bool = False,
         random_state: object = None,
     ) -> None:
+        if int(n_estimators) < 1:
+            raise ConfigurationError("n_estimators must be >= 1.")
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -62,7 +65,9 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         if self.n_estimators < 1:
-            raise ValueError("n_estimators must be >= 1.")
+            # Re-check at fit time: set_params/attribute writes can change
+            # n_estimators after construction, and predict divides by it.
+            raise ConfigurationError("n_estimators must be >= 1.")
         if self.oob_score and not self.bootstrap:
             raise ValueError("oob_score requires bootstrap=True.")
         X, y = check_X_y(X, y)
@@ -117,14 +122,19 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
                 self.oob_score_ = np.nan
         return self
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Mean prediction over all trees."""
+    def _validate_predict_X(self, X: np.ndarray) -> np.ndarray:
+        """Validate a predict-time matrix once (n=0 rows are allowed)."""
         check_is_fitted(self, "estimators_")
-        X = check_array(X)
+        X = check_array(X, min_samples=0)
         if X.shape[1] != self.n_features_in_:
             raise ValueError(
                 f"Expected {self.n_features_in_} features, got {X.shape[1]}."
             )
+        return X
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean prediction over all trees."""
+        X = self._validate_predict_X(X)
         out = np.zeros(X.shape[0])
         for tree in self.estimators_:
             out += tree.tree_.predict(X)
@@ -136,9 +146,9 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
 
         Used to obtain ensemble spread (an uncertainty proxy the
         two-level model's diagnostics expose for interpolation outputs).
+        Validates once, then traverses the already-checked matrix.
         """
-        check_is_fitted(self, "estimators_")
-        X = check_array(X)
+        X = self._validate_predict_X(X)
         return np.stack([t.tree_.predict(X) for t in self.estimators_])
 
     def prediction_std(self, X: np.ndarray) -> np.ndarray:

@@ -4,13 +4,21 @@ An *artifact* is a self-describing directory holding one fitted
 predictor::
 
     artifact/
-        manifest.json   # schema version, provenance, payload checksum
+        manifest.json   # schema version, provenance, checksums
         payload.pkl     # the fitted estimator state (pickle)
+        packed.npz      # optional (schema v2): packed forest arrays
 
 The manifest is plain JSON so operators can inspect an artifact without
 unpickling anything; the payload carries the numpy-backed fitted state
 (interpolation forests, multitask-lasso scalability fits, cluster
 labels, scalers, :class:`~repro.robustness.report.FitReport`, ...).
+
+Schema v2 adds an optional ``packed.npz`` sidecar: the fitted two-level
+pipeline's forest arrays flattened by
+:class:`~repro.core.packed_pipeline.PackedPipeline`, stored uncompressed
+by default so loading memory-maps them zero-copy.  The manifest's
+``packed`` entry records the sidecar's SHA-256; v1 artifacts (no
+``packed`` key) still load and pack lazily in memory on first use.
 Loading verifies, in order:
 
 1. the manifest decodes and has every required key
@@ -20,7 +28,9 @@ Loading verifies, in order:
    future),
 3. the payload's SHA-256 matches the manifest
    (:class:`~repro.errors.ArtifactIntegrityError` on bit rot or
-   truncation).
+   truncation),
+4. when the manifest records a packed sidecar, the sidecar's SHA-256
+   matches too (same exception).
 
 :class:`TwoLevelModel` artifacts are stored through the model's
 persistence hooks (``get_params`` / ``get_fitted_state``) rather than by
@@ -36,6 +46,7 @@ import hashlib
 import json
 import pickle
 import time
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -52,12 +63,14 @@ from ..errors import (
     ArtifactVersionError,
     ConfigurationError,
     PredictionRequestError,
+    ReproError,
 )
 from ..log import get_logger
 from ..store import atomic
 
 __all__ = [
     "SCHEMA_VERSION",
+    "PACKED_NAME",
     "ArtifactInfo",
     "ModelArtifact",
     "detect_kind",
@@ -66,11 +79,13 @@ __all__ = [
 logger = get_logger("serve.artifacts")
 
 #: Current artifact schema.  Bump on any manifest/payload layout change;
-#: loaders accept every version <= this one.
-SCHEMA_VERSION = 1
+#: loaders accept every version <= this one.  v2 added the optional
+#: ``packed`` manifest entry + ``packed.npz`` sidecar.
+SCHEMA_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 PAYLOAD_NAME = "payload.pkl"
+PACKED_NAME = "packed.npz"
 
 #: Predictor kinds and how :meth:`ModelArtifact.predict_matrix`
 #: dispatches on them.  ``curve-fit`` artifacts persist fine but cannot
@@ -127,6 +142,10 @@ class ArtifactInfo:
     schema_version: int = SCHEMA_VERSION
     payload_sha256: str = ""
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Schema v2 packed-forest sidecar descriptor
+    #: (``{"file", "sha256", "compressed"}``) or None; absent in v1
+    #: manifests.
+    packed: dict[str, Any] | None = None
 
     def to_manifest(self) -> dict[str, Any]:
         return {
@@ -142,6 +161,30 @@ class ArtifactInfo:
             "repro_version": self.repro_version,
             "payload_sha256": self.payload_sha256,
             "metadata": dict(self.metadata),
+            "packed": dict(self.packed) if self.packed else None,
+        }
+
+    @staticmethod
+    def _parse_packed(
+        manifest: Mapping[str, Any], where: Path
+    ) -> dict[str, Any] | None:
+        packed = manifest.get("packed")
+        if packed is None:
+            return None
+        if not isinstance(packed, dict):
+            raise ArtifactFormatError(
+                f"{where}: manifest 'packed' entry must be an object or "
+                f"null, got {type(packed).__name__}."
+            )
+        missing = sorted({"file", "sha256"} - set(packed))
+        if missing:
+            raise ArtifactFormatError(
+                f"{where}: manifest 'packed' entry is missing {missing}."
+            )
+        return {
+            "file": str(packed["file"]),
+            "sha256": str(packed["sha256"]),
+            "compressed": bool(packed.get("compressed", False)),
         }
 
     @classmethod
@@ -191,6 +234,7 @@ class ArtifactInfo:
                 repro_version=str(manifest["repro_version"]),
                 payload_sha256=str(manifest["payload_sha256"]),
                 metadata=dict(manifest["metadata"] or {}),
+                packed=cls._parse_packed(manifest, where),
             )
         except (TypeError, ValueError) as exc:
             raise ArtifactFormatError(
@@ -218,6 +262,11 @@ class ArtifactInfo:
             f"created     : {when} (repro {self.repro_version}, "
             f"schema v{self.schema_version})",
         ]
+        if self.packed:
+            lines.append(
+                f"packed      : {self.packed['file']} "
+                f"({'compressed' if self.packed['compressed'] else 'mmap'})"
+            )
         if self.metadata:
             pairs = ", ".join(f"{k}={v}" for k, v in self.metadata.items())
             lines.append(f"metadata    : {pairs}")
@@ -237,6 +286,10 @@ class ModelArtifact:
     def __init__(self, predictor: object, info: ArtifactInfo) -> None:
         self.predictor = predictor
         self.info = info
+        self._packed_pipeline: Any = None
+        self._packed_attempted = False
+        #: "sidecar" | "lazy" | "unavailable" | "unknown" (not yet tried)
+        self._packed_state = "unknown"
 
     # -- construction ------------------------------------------------------
 
@@ -315,27 +368,89 @@ class ModelArtifact:
             }
         return {"format": self.info.kind, "predictor": self.predictor}
 
-    def save(self, path: str | Path, overwrite: bool = False) -> Path:
-        """Write the artifact directory; returns its path."""
+    def _packed_sidecar_bytes(
+        self, packed: bool | str, compress: bool
+    ) -> bytes | None:
+        """Serialized ``packed.npz`` bytes, or None when the predictor
+        is not packable.  ``packed=True`` makes unpackable predictors an
+        error; ``"auto"`` degrades to a plain v2 artifact silently."""
+        from ..core.packed_pipeline import save_npz_bytes
+
+        if packed is False:
+            return None
+        if not isinstance(self.predictor, TwoLevelModel):
+            if packed is True:
+                raise ConfigurationError(
+                    f"packed=True requires a TwoLevelModel predictor; "
+                    f"this artifact holds {self.info.kind!r}."
+                )
+            return None
+        try:
+            pipeline = self.predictor.pack()
+        except ConfigurationError:
+            if packed is True:
+                raise
+            logger.debug(
+                "predictor is not packable; saving without a sidecar",
+                exc_info=True,
+            )
+            return None
+        return save_npz_bytes(pipeline.to_arrays(), compress=compress)
+
+    def save(
+        self,
+        path: str | Path,
+        overwrite: bool = False,
+        packed: bool | str = "auto",
+        packed_compress: bool = False,
+    ) -> Path:
+        """Write the artifact directory; returns its path.
+
+        ``packed`` controls the schema-v2 forest sidecar: ``"auto"``
+        (default) writes ``packed.npz`` when the predictor is a packable
+        :class:`TwoLevelModel` and silently skips it otherwise;
+        ``True`` makes an unpackable predictor an error; ``False``
+        never writes one.  ``packed_compress`` trades the zero-copy
+        mmap load path for a ~5x smaller sidecar.
+        """
+        if packed not in (True, False, "auto"):
+            raise ConfigurationError(
+                f"packed must be True, False, or 'auto'; got {packed!r}."
+            )
         path = Path(path)
         if (path / MANIFEST_NAME).exists() and not overwrite:
             raise ArtifactFormatError(
                 f"{path}: an artifact already exists here "
                 "(pass overwrite=True to replace it)."
             )
+        sidecar = self._packed_sidecar_bytes(packed, bool(packed_compress))
         try:
             path.mkdir(parents=True, exist_ok=True)
             payload = pickle.dumps(
                 self._payload(), protocol=pickle.HIGHEST_PROTOCOL
             )
-            # payload first, manifest last: a crash mid-save leaves a
-            # directory with no (or the old) manifest, never a manifest
-            # describing a payload that isn't fully on disk
+            # payload and sidecar first, manifest last: a crash mid-save
+            # leaves a directory with no (or the old) manifest, never a
+            # manifest describing files that aren't fully on disk
             atomic.write_file_bytes(
                 path / PAYLOAD_NAME, payload, op="artifact.payload"
             )
             manifest = self.info.to_manifest()
             manifest["payload_sha256"] = _sha256(payload)
+            if sidecar is not None:
+                atomic.write_file_bytes(
+                    path / PACKED_NAME, sidecar, op="artifact.packed"
+                )
+                manifest["packed"] = {
+                    "file": PACKED_NAME,
+                    "sha256": _sha256(sidecar),
+                    "compressed": bool(packed_compress),
+                }
+            else:
+                manifest["packed"] = None
+                stale = path / PACKED_NAME
+                if stale.exists():  # overwrite of a packed artifact
+                    stale.unlink()
             atomic.atomic_replace(
                 path / MANIFEST_NAME,
                 json.dumps(manifest, indent=2, sort_keys=True) + "\n",
@@ -350,7 +465,10 @@ class ModelArtifact:
                 f"{path}: predictor is not picklable: {exc}"
             ) from exc
         self.info = ArtifactInfo.from_manifest(manifest, path)
-        logger.debug("saved %s artifact to %s", self.info.kind, path)
+        logger.debug(
+            "saved %s artifact to %s%s", self.info.kind, path,
+            " (+packed sidecar)" if sidecar is not None else "",
+        )
         return path
 
     @classmethod
@@ -389,8 +507,88 @@ class ModelArtifact:
                 f"{path}: payload does not unpickle: {exc}"
             ) from exc
         predictor = cls._decode_predictor(decoded, path)
+        artifact = cls(predictor, info)
+        if info.packed is not None:
+            artifact._attach_sidecar(path)
         logger.debug("loaded %s artifact from %s", info.kind, path)
-        return cls(predictor, info)
+        return artifact
+
+    def _attach_sidecar(self, path: Path) -> None:
+        """Verify the packed sidecar's checksum and build the packed
+        pipeline from it (mmap'd when the sidecar is uncompressed).
+
+        Any problem — missing file, checksum mismatch, arrays that do
+        not match the unpickled model — is corruption of a file the
+        manifest vouches for, so it raises
+        :class:`ArtifactIntegrityError` rather than degrading silently.
+        """
+        from ..core.packed_pipeline import (
+            PackedPipeline,
+            load_npz_arrays,
+        )
+
+        assert self.info.packed is not None
+        sidecar_path = path / self.info.packed["file"]
+        try:
+            data = sidecar_path.read_bytes()
+        except OSError as exc:
+            raise ArtifactIntegrityError(
+                f"{path}: packed sidecar unreadable: {exc}"
+            ) from exc
+        digest = _sha256(data)
+        if digest != self.info.packed["sha256"]:
+            raise ArtifactIntegrityError(
+                f"{path}: packed sidecar checksum mismatch (manifest "
+                f"records {self.info.packed['sha256'][:12]}…, sidecar "
+                f"hashes to {digest[:12]}…)."
+            )
+        try:
+            arrays = load_npz_arrays(sidecar_path)
+            self._packed_pipeline = PackedPipeline.from_arrays(
+                arrays, self.predictor
+            )
+        except (
+            ReproError, OSError, ValueError, KeyError, zipfile.BadZipFile,
+        ) as exc:
+            raise ArtifactIntegrityError(
+                f"{path}: packed sidecar does not match the payload: "
+                f"{exc}"
+            ) from exc
+        self._packed_attempted = True
+        self._packed_state = "sidecar"
+
+    @property
+    def packed_pipeline(self) -> Any:
+        """The packed serving pipeline, or None when unavailable.
+
+        Loaded eagerly from the schema-v2 sidecar when one exists;
+        otherwise (v1 artifacts, in-memory artifacts) packed lazily
+        from the predictor on first access.  Unpackable predictors
+        (baselines, non-forest interpolators) yield None — callers fall
+        back to the object path.
+        """
+        if not self._packed_attempted:
+            self._packed_attempted = True
+            if isinstance(self.predictor, TwoLevelModel):
+                try:
+                    self._packed_pipeline = self.predictor.pack()
+                    self._packed_state = "lazy"
+                except ConfigurationError:
+                    logger.debug(
+                        "artifact predictor is not packable; using the "
+                        "object path", exc_info=True,
+                    )
+                    self._packed_state = "unavailable"
+            else:
+                self._packed_state = "unavailable"
+        return self._packed_pipeline
+
+    @property
+    def packed_state(self) -> str:
+        """Where packed predictions would come from: ``"sidecar"``
+        (mmap'd schema-v2 arrays), ``"lazy"`` (packed in memory),
+        ``"unavailable"``, or ``"unknown"`` (not yet requested)."""
+        return self._packed_state
 
     @staticmethod
     def _decode_predictor(decoded: object, path: Path) -> object:

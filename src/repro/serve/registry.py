@@ -158,8 +158,19 @@ class ModelRegistry:
 
     # -- write side --------------------------------------------------------
 
-    def register(self, name: str, artifact: ModelArtifact) -> int:
-        """Store ``artifact`` as the next version of ``name``."""
+    def register(
+        self,
+        name: str,
+        artifact: ModelArtifact,
+        packed: bool | str = "auto",
+        packed_compress: bool = False,
+    ) -> int:
+        """Store ``artifact`` as the next version of ``name``.
+
+        ``packed``/``packed_compress`` pass through to
+        :meth:`ModelArtifact.save` and control the schema-v2 packed
+        forest sidecar.
+        """
         model_dir = self._model_dir(name, must_exist=False)
         try:
             model_dir.mkdir(parents=True, exist_ok=True)
@@ -174,7 +185,12 @@ class ModelRegistry:
         staging = model_dir / f".staging-{_version_dir(version)}"
         if staging.exists():
             shutil.rmtree(staging)
-        artifact.save(staging, overwrite=True)
+        artifact.save(
+            staging,
+            overwrite=True,
+            packed=packed,
+            packed_compress=packed_compress,
+        )
         target = model_dir / _version_dir(version)
         try:
             atomic.commit_dir(staging, target, op="registry.register")
@@ -410,6 +426,13 @@ class ModelRegistry:
             return f"payload unreadable: {exc}"
         if hashlib.sha256(payload).hexdigest() != info.payload_sha256:
             return "payload checksum mismatch"
+        if info.packed is not None:
+            try:
+                sidecar = (version_dir / info.packed["file"]).read_bytes()
+            except OSError as exc:
+                return f"packed sidecar unreadable: {exc}"
+            if hashlib.sha256(sidecar).hexdigest() != info.packed["sha256"]:
+                return "packed sidecar checksum mismatch"
         return None
 
     def fsck(self, repair: bool = True) -> RegistryFsckReport:

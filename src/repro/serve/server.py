@@ -98,12 +98,14 @@ class PredictionServer(ThreadingHTTPServer):
         breaker_threshold: int = 3,
         breaker_cooldown: float = 30.0,
         allow_stale: bool = True,
+        use_packed: bool = True,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         super().__init__(address, _Handler)
         self.registry = registry
         self.default_model = default_model
         self.cache_size = cache_size
+        self.use_packed = bool(use_packed)
         self.deadline = deadline
         self.reload_interval = float(reload_interval)
         self.allow_stale = bool(allow_stale)
@@ -224,6 +226,7 @@ class PredictionServer(ThreadingHTTPServer):
                             name=name,
                             version=resolved,
                             cache_size=self.cache_size,
+                            use_packed=self.use_packed,
                         ),
                     )
                 self._stale.pop(name, None)
@@ -265,6 +268,7 @@ class PredictionServer(ThreadingHTTPServer):
                         name=name,
                         version=version,
                         cache_size=self.cache_size,
+                        use_packed=self.use_packed,
                     ),
                 )
             self._mark_stale(name, requested, version)
@@ -311,6 +315,7 @@ class PredictionServer(ThreadingHTTPServer):
             "deadline": self.deadline,
             "reload_interval": self.reload_interval,
             "reloads": self.reloads,
+            "use_packed": self.use_packed,
         }
 
     def loaded_services(self) -> list[PredictionService]:
@@ -331,6 +336,7 @@ def create_server(
     breaker_threshold: int = 3,
     breaker_cooldown: float = 30.0,
     allow_stale: bool = True,
+    use_packed: bool = True,
 ) -> PredictionServer:
     """Bind a :class:`PredictionServer` (``port=0`` = ephemeral).
 
@@ -338,7 +344,9 @@ def create_server(
     or drive it from a thread in tests.  ``server.server_address``
     reports the actually-bound port.  ``rate``/``burst`` enable the
     token-bucket limiter, ``deadline`` the per-request budget (seconds);
-    both are off by default.
+    both are off by default.  ``use_packed=False`` forces every service
+    onto the object prediction path (packed pipelines are bit-identical,
+    so this is a debugging escape hatch, not an accuracy knob).
     """
     if not isinstance(registry, ModelRegistry):
         registry = ModelRegistry(registry, create=False)
@@ -356,6 +364,7 @@ def create_server(
         breaker_threshold=breaker_threshold,
         breaker_cooldown=breaker_cooldown,
         allow_stale=allow_stale,
+        use_packed=use_packed,
     )
 
 
@@ -563,10 +572,9 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_body()
         self._check_deadline(started, "request parsed")
         requests = body.get("requests")
-        if not isinstance(requests, list) or not requests:
+        if not isinstance(requests, list):
             raise PredictionRequestError(
-                "'requests' must be a non-empty list of "
-                "{params, scales} objects."
+                "'requests' must be a list of {params, scales} objects."
             )
         service = self.server.service_for(
             body.get("model"), body.get("version")

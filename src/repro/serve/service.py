@@ -68,6 +68,11 @@ class PredictionService:
         Maximum cached (params, scale) cells; 0 disables caching.
     latency_window:
         Requests kept for the latency percentiles.
+    use_packed:
+        Serve cache misses from the artifact's packed pipeline
+        (bit-identical to the object path, several times faster) when
+        one is available; the object path remains the fallback for
+        unpackable predictors.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class PredictionService:
         version: int = 1,
         cache_size: int = 4096,
         latency_window: int = 2048,
+        use_packed: bool = True,
     ) -> None:
         if not artifact.servable:
             raise ConfigurationError(
@@ -89,6 +95,7 @@ class PredictionService:
         self.name = name
         self.version = int(version)
         self.cache_size = int(cache_size)
+        self.use_packed = bool(use_packed)
         self._cache: OrderedDict[tuple, float] = OrderedDict()
         self._latencies: deque[float] = deque(maxlen=int(latency_window))
         self._lock = threading.Lock()
@@ -182,8 +189,8 @@ class PredictionService:
             requests, (str, bytes)
         ):
             raise PredictionRequestError("batch must be a sequence.")
-        if not requests:
-            raise PredictionRequestError("batch must be non-empty.")
+        # An empty batch is a valid request with an empty answer; it
+        # flows through the cache and model passes as zero cells.
         parsed: list[tuple[np.ndarray, list[int]]] = []
         for item in requests:
             try:
@@ -224,7 +231,13 @@ class PredictionService:
             X = np.vstack(
                 [np.frombuffer(xb, dtype=np.float64) for xb in xbs]
             )
-            T = self.artifact.predict_matrix(X, union_scales)
+            packed = (
+                self.artifact.packed_pipeline if self.use_packed else None
+            )
+            if packed is not None:
+                T = packed.predict(X, union_scales)
+            else:
+                T = self.artifact.predict_matrix(X, union_scales)
             row_of = {xb: i for i, xb in enumerate(xbs)}
             col_of = {p: j for j, p in enumerate(union_scales)}
             with self._lock:
@@ -265,6 +278,11 @@ class PredictionService:
                 "model": self.name,
                 "version": self.version,
                 "kind": self.artifact.info.kind,
+                "packed": (
+                    self.artifact.packed_state
+                    if self.use_packed
+                    else "disabled"
+                ),
                 "requests": self._requests,
                 "predictions": self._predictions,
                 "cache": {

@@ -1,0 +1,282 @@
+"""Golden parity suite: PackedPipeline vs TwoLevelModel, bit for bit.
+
+Every fitted-model shape the two-level pipeline can end up in —
+basis mode, transfer mode, pooled degraded fallback, analytic Amdahl
+fallback, warm-started refits — must predict the *same floats* through
+the packed path as through the object path, for every input dtype and
+memory layout, including n=0, and must survive a round-trip through
+the schema-v2 artifact sidecar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TwoLevelModel
+from repro.core.extrapolation import ClusteredScalingExtrapolator
+from repro.core.packed_pipeline import (
+    PackedPipeline,
+    load_npz_arrays,
+    save_npz_bytes,
+)
+from repro.data import ExecutionDataset
+from repro.errors import (
+    ConfigurationError,
+    DataValidationError,
+    ExtrapolationError,
+    FitDegenerateError,
+)
+from repro.ml.tree import RandomForestRegressor
+
+SCALES = [32, 64, 128, 256]
+EXTRAP = [512, 2048]
+
+
+def small_forest(random_state=None):
+    return RandomForestRegressor(n_estimators=16, random_state=random_state)
+
+
+def synth_history(n_configs=24, scales=(8, 16, 32, 64, 128, 256), seed=5):
+    rng = np.random.default_rng(seed)
+    configs = rng.uniform(1.0, 10.0, size=(n_configs, 3))
+    X = np.repeat(configs, len(scales), axis=0)
+    nprocs = np.tile(np.asarray(scales, dtype=np.int64), n_configs)
+    runtime = (
+        300.0 / nprocs
+        + X[:, 0] * 0.5
+        + 0.03 * X[:, 1] * X[:, 2]
+        + rng.uniform(0.01, 0.05, len(nprocs))
+    )
+    return ExecutionDataset(
+        app_name="synth",
+        param_names=("a", "b", "c"),
+        X=X,
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime,
+        rep=np.zeros(len(nprocs), dtype=np.int64),
+    )
+
+
+@pytest.fixture(scope="module")
+def basis_model(tiny_history):
+    return TwoLevelModel(
+        small_scales=SCALES,
+        n_clusters=2,
+        random_state=0,
+        interp_factory=small_forest,
+    ).fit(tiny_history)
+
+
+@pytest.fixture(scope="module")
+def pooled_model(tiny_history):
+    # A single training row at p=64 forces the pooled interpolator
+    # fallback for that scale.
+    keep = np.ones(len(tiny_history), dtype=bool)
+    at_64 = np.nonzero(tiny_history.nprocs == 64)[0]
+    keep[at_64[1:]] = False
+    model = TwoLevelModel(
+        small_scales=SCALES, random_state=0, interp_factory=small_forest
+    ).fit(tiny_history.select(keep))
+    assert 64 in model.interpolator_.fallback_scales_
+    return model
+
+
+@pytest.fixture(scope="module")
+def amdahl_model(tiny_history):
+    mp = pytest.MonkeyPatch()
+
+    def boom(self, S, report=None):
+        raise FitDegenerateError("forced degeneracy")
+
+    mp.setattr(ClusteredScalingExtrapolator, "fit", boom)
+    try:
+        model = TwoLevelModel(
+            small_scales=SCALES, random_state=0, interp_factory=small_forest
+        ).fit(tiny_history)
+    finally:
+        mp.undo()
+    assert model.used_analytic_fallback_
+    return model
+
+
+@pytest.fixture(scope="module")
+def warm_model(tiny_history):
+    cold = TwoLevelModel(
+        small_scales=SCALES, random_state=0, interp_factory=small_forest
+    ).fit(tiny_history)
+    warm = TwoLevelModel(
+        small_scales=SCALES, random_state=0, interp_factory=small_forest
+    )
+    warm.fit(tiny_history, warm_start_from=cold)
+    assert warm.interpolator_.warm_reused_scales_ == tuple(SCALES)
+    return warm
+
+
+@pytest.fixture(scope="module")
+def transfer_model():
+    full = synth_history()
+    train = full.at_scales([8, 16, 32, 64])
+    return TwoLevelModel(
+        small_scales=[8, 16, 32, 64],
+        mode="transfer",
+        large_scales=[128, 256],
+        n_clusters=2,
+        random_state=0,
+        interp_factory=small_forest,
+    ).fit(train, large_train=full)
+
+
+@pytest.fixture(scope="module")
+def query_X(tiny_history):
+    rng = np.random.default_rng(17)
+    base = tiny_history.unique_configs().astype(float)
+    jitter = rng.uniform(0.92, 1.08, size=(12, base.shape[1]))
+    return base[rng.integers(0, len(base), size=12)] * jitter
+
+
+ALL_SHAPES = ["basis_model", "pooled_model", "amdahl_model", "warm_model"]
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    @pytest.mark.parametrize(
+        "scales",
+        [SCALES, EXTRAP, [64, 1024, 32, 1024], [512]],
+        ids=["interp", "extrap", "mixed-dup", "single-extrap"],
+    )
+    def test_batch_parity(self, request, query_X, shape, scales):
+        model = request.getfixturevalue(shape)
+        packed = model.pack()
+        a = model.predict(query_X, scales)
+        b = packed.predict(query_X, scales)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert (a == b).all()
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_single_row_parity(self, request, query_X, shape):
+        model = request.getfixturevalue(shape)
+        packed = model.pack()
+        x1 = np.ascontiguousarray(query_X[:1])
+        for scales in (SCALES, [4096], [64, 512]):
+            assert (
+                model.predict(x1, scales) == packed.predict(x1, scales)
+            ).all()
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("order", ["C", "F"])
+    def test_dtype_layout_parity(self, basis_model, query_X, dtype, order):
+        packed = basis_model.pack()
+        Xv = np.asarray(np.asarray(query_X, dtype=dtype), order=order)
+        scales = [32, 1024]
+        assert (
+            basis_model.predict(Xv, scales) == packed.predict(Xv, scales)
+        ).all()
+
+    @pytest.mark.parametrize("shape", ALL_SHAPES)
+    def test_empty_input_parity(self, request, query_X, shape):
+        model = request.getfixturevalue(shape)
+        packed = model.pack()
+        X0 = query_X[:0]
+        a = model.predict(X0, [64, 512])
+        b = packed.predict(X0, [64, 512])
+        assert a.shape == b.shape == (0, 2)
+        assert (a == b).all()
+
+    def test_small_matrix_parity(self, basis_model, query_X):
+        packed = basis_model.pack()
+        assert (
+            basis_model.predict_small_matrix(query_X)
+            == packed.predict_small_matrix(query_X)
+        ).all()
+
+    def test_transfer_parity(self, transfer_model):
+        packed = transfer_model.pack()
+        X = synth_history(seed=9).unique_configs().astype(float)[:8]
+        for scales in ([128, 256], [256], [8, 128]):
+            assert (
+                transfer_model.predict(X, scales)
+                == packed.predict(X, scales)
+            ).all()
+
+    def test_transfer_unknown_scale_raises_on_both_paths(
+        self, transfer_model
+    ):
+        packed = transfer_model.pack()
+        X = np.full((2, 3), 4.0)
+        with pytest.raises(ExtrapolationError):
+            transfer_model.predict(X, [8192])
+        with pytest.raises(ExtrapolationError):
+            packed.predict(X, [8192])
+
+
+class TestSidecarRoundTrip:
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_npz_round_trip_is_exact(
+        self, basis_model, query_X, tmp_path, compress
+    ):
+        packed = basis_model.pack()
+        blob = save_npz_bytes(packed.to_arrays(), compress=compress)
+        path = tmp_path / "packed.npz"
+        path.write_bytes(blob)
+        arrays = load_npz_arrays(path)
+        clone = PackedPipeline.from_arrays(arrays, basis_model)
+        scales = [32, 64, 700]
+        assert (
+            clone.predict(query_X, scales) == packed.predict(query_X, scales)
+        ).all()
+
+    def test_uncompressed_sidecar_is_mmapped(
+        self, basis_model, tmp_path
+    ):
+        packed = basis_model.pack()
+        path = tmp_path / "packed.npz"
+        path.write_bytes(save_npz_bytes(packed.to_arrays()))
+        arrays = load_npz_arrays(path)
+        assert any(isinstance(a, np.memmap) for a in arrays.values())
+
+    def test_mismatched_model_rejected(self, basis_model, pooled_model):
+        arrays = basis_model.pack().to_arrays()
+        # pooled_model was fitted on different data (thin p=64), so its
+        # scale layout disagrees with the sidecar's forests.
+        with pytest.raises((DataValidationError, ConfigurationError)):
+            PackedPipeline.from_arrays(arrays, pooled_model)
+
+    def test_bad_format_version_rejected(self, basis_model):
+        arrays = dict(basis_model.pack().to_arrays())
+        arrays["packed_format"] = np.asarray(99, dtype=np.int64)
+        with pytest.raises(DataValidationError):
+            PackedPipeline.from_arrays(arrays, basis_model)
+
+
+class TestConstruction:
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackedPipeline.from_model(TwoLevelModel(small_scales=SCALES))
+
+    def test_non_two_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackedPipeline.from_model(object())
+
+    def test_non_forest_interpolator_rejected(self, tiny_history):
+        from repro.core import kernel_interpolation_model
+
+        model = TwoLevelModel(
+            small_scales=SCALES,
+            interp_factory=kernel_interpolation_model,
+            random_state=0,
+        ).fit(tiny_history)
+        with pytest.raises(ConfigurationError):
+            model.pack()
+
+    def test_validation_errors(self, basis_model):
+        packed = basis_model.pack()
+        with pytest.raises(ConfigurationError):
+            packed.predict(np.ones(4), [512])  # 1-D
+        with pytest.raises(DataValidationError):
+            packed.predict(np.ones((2, 9)), [512])  # wrong width
+        with pytest.raises(DataValidationError):
+            packed.predict(np.full((1, 4), np.nan), [512])
+        with pytest.raises(ConfigurationError):
+            packed.predict(np.ones((1, 4)), [0])  # scale < 1

@@ -1,0 +1,174 @@
+"""PackedForest: arena packing + batched traversal vs the object path.
+
+The load-bearing property is *bit-identity*: every packed prediction
+must equal the tree/forest object path exactly (same floats, not just
+allclose), across batch sizes that exercise all three traversal paths
+(single-sample, mid-size fixed-depth, large active-set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataValidationError
+from repro.ml.tree import PackedForest, RandomForestRegressor
+from repro.ml.tree.packed import ordered_sum_axis0
+
+
+@pytest.fixture(scope="module")
+def forest(rng_module):
+    X = rng_module.uniform(-2, 2, size=(300, 4))
+    y = np.sin(X[:, 0]) + X[:, 1] ** 2 + 0.3 * X[:, 2] * X[:, 3]
+    return RandomForestRegressor(n_estimators=40, random_state=0).fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture(scope="module")
+def packed(forest):
+    return PackedForest.from_forest(forest)
+
+
+class TestPacking:
+    def test_arena_shape_bookkeeping(self, forest, packed):
+        assert packed.n_trees == 40
+        assert packed.tree_offsets.shape == (41,)
+        assert packed.tree_offsets[0] == 0
+        assert packed.tree_offsets[-1] == packed.n_nodes
+        assert packed.max_depth_ >= 1
+
+    def test_bad_arena_rejected(self, packed):
+        arrays = packed.to_arrays("a_")
+        bad = dict(arrays)
+        bad["a_left"] = bad["a_left"].copy()
+        bad["a_left"][0] = 10**9  # child index outside the arena
+        with pytest.raises(DataValidationError):
+            PackedForest.from_arrays(bad, "a_")
+
+    def test_missing_arrays_rejected(self, packed):
+        arrays = dict(packed.to_arrays("a_"))
+        del arrays["a_threshold"]
+        with pytest.raises(DataValidationError):
+            PackedForest.from_arrays(arrays, "a_")
+
+    def test_round_trip_is_exact(self, packed, rng_module):
+        clone = PackedForest.from_arrays(packed.to_arrays("p_"), "p_")
+        X = rng_module.uniform(-2, 2, size=(23, 4))
+        assert (clone.predict(X) == packed.predict(X)).all()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n", [1, 2, 7, 33])
+    def test_predict_matches_object_path(self, forest, packed, rng_module, n):
+        X = rng_module.uniform(-2.5, 2.5, size=(n, 4))
+        assert (packed.predict(X) == forest.predict(X)).all()
+
+    def test_active_set_path_matches(self, forest, packed, rng_module):
+        # n_trees * n above the threshold forces the active-set path.
+        n = 32768 // packed.n_trees + 10
+        X = rng_module.uniform(-2, 2, size=(n, 4))
+        assert (packed.predict(X) == forest.predict(X)).all()
+
+    def test_predict_all_matches_per_tree(self, forest, packed, rng_module):
+        X = rng_module.uniform(-2, 2, size=(9, 4))
+        per_tree = packed.predict_all(X)
+        assert per_tree.shape == (40, 9)
+        for k, est in enumerate(forest.estimators_):
+            assert (per_tree[k] == est.predict(X)).all()
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("order", ["C", "F"])
+    def test_dtype_and_layout_invariance(
+        self, forest, packed, rng_module, dtype, order
+    ):
+        X = rng_module.uniform(-2, 2, size=(11, 4))
+        Xv = np.asarray(np.asarray(X, dtype=dtype), order=order)
+        assert (packed.predict(Xv) == forest.predict(Xv)).all()
+
+    def test_empty_input(self, forest, packed):
+        X = np.empty((0, 4))
+        out = packed.predict(X)
+        assert out.shape == (0,)
+        assert (out == forest.predict(X)).all()
+
+    def test_tree_subset_matches_objects(self, forest, packed, rng_module):
+        X = rng_module.uniform(-2, 2, size=(5, 4))
+        idx = np.array([0, 3, 17], dtype=np.intp)
+        values = packed.leaf_values(X, idx)
+        for row, k in enumerate(idx):
+            assert (values[row] == forest.estimators_[k].predict(X)).all()
+
+
+class TestOrderedSum:
+    def test_single_column_matches_sequential(self, rng_module):
+        # Pairwise summation would diverge from the sequential object
+        # path here; ordered_sum_axis0 must not.
+        V = rng_module.normal(size=(1553, 1)) * 1e6
+        acc = V[0].copy()
+        for row in V[1:]:
+            acc = acc + row
+        assert (ordered_sum_axis0(V) == acc).all()
+
+    def test_multi_column_matches_sequential(self, rng_module):
+        V = rng_module.normal(size=(257, 3))
+        acc = V[0].copy()
+        for row in V[1:]:
+            acc = acc + row
+        assert (ordered_sum_axis0(V) == acc).all()
+
+
+class TestValidation:
+    def test_wrong_feature_count(self, packed):
+        with pytest.raises(DataValidationError):
+            packed.predict(np.zeros((2, 7)))
+
+    def test_non_finite_rejected(self, packed):
+        X = np.zeros((2, 4))
+        X[1, 2] = np.nan
+        with pytest.raises(DataValidationError):
+            packed.predict(X)
+
+    def test_one_dim_rejected(self, packed):
+        with pytest.raises(DataValidationError):
+            packed.predict(np.zeros(4))
+
+    def test_unfitted_forest_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackedForest.from_forest(RandomForestRegressor(n_estimators=3))
+
+
+class TestForestGuards:
+    def test_zero_estimators_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_zero_estimators_rejected_at_fit(self, rng_module):
+        forest = RandomForestRegressor(n_estimators=2)
+        forest.n_estimators = 0  # post-construction mutation
+        X = rng_module.normal(size=(20, 3))
+        with pytest.raises(ConfigurationError):
+            forest.fit(X, X[:, 0])
+
+    def test_configuration_error_is_value_error(self):
+        # Upgraded guards must not break callers catching ValueError.
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_equals_mean_of_predict_all(self, forest, rng_module):
+        X = rng_module.uniform(-2, 2, size=(17, 4))
+        assert (
+            forest.predict(X) == forest.predict_all(X).mean(axis=0)
+        ).all()
+
+    def test_predict_all_validates_features(self, forest):
+        with pytest.raises(ValueError):
+            forest.predict_all(np.zeros((3, 9)))
+
+    def test_empty_predict_paths(self, forest):
+        X = np.empty((0, 4))
+        assert forest.predict(X).shape == (0,)
+        assert forest.predict_all(X).shape == (40, 0)

@@ -1,0 +1,217 @@
+"""Schema-v2 packed sidecar: artifact I/O, registry fsck, serving path.
+
+The contract under test: a v2 artifact carries a ``packed.npz`` sidecar
+whose checksum is verified at load, the service answers cache misses
+through the packed pipeline with predictions bit-identical to the
+object path, and every degradation (v1 artifact, corrupt sidecar,
+unpackable predictor, ``--no-packed``) fails safe instead of silently
+serving wrong numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_baseline
+from repro.errors import (
+    ArtifactIntegrityError,
+    ConfigurationError,
+)
+from repro.serve import ModelArtifact, ModelRegistry, PredictionService
+from repro.serve.artifacts import MANIFEST_NAME, PACKED_NAME
+
+from .conftest import LARGE_SCALES, SMALL_SCALES
+
+
+@pytest.fixture
+def saved(artifact, tmp_path):
+    path = tmp_path / "art"
+    artifact.save(path)  # packed="auto" is the default
+    return path
+
+
+# -- artifact save/load ----------------------------------------------------
+
+
+def test_save_writes_sidecar_and_manifest_entry(saved):
+    assert (saved / PACKED_NAME).exists()
+    manifest = json.loads((saved / MANIFEST_NAME).read_text())
+    assert manifest["schema_version"] == 2
+    entry = manifest["packed"]
+    assert entry["file"] == PACKED_NAME
+    assert entry["compressed"] is False
+    assert len(entry["sha256"]) == 64
+
+
+def test_loaded_sidecar_serves_bit_identical(saved, fitted_model, query_X):
+    loaded = ModelArtifact.load(saved)
+    assert loaded.packed_state == "sidecar"
+    pp = loaded.packed_pipeline
+    assert pp is not None
+    scales = SMALL_SCALES + list(LARGE_SCALES)
+    np.testing.assert_array_equal(
+        pp.predict(query_X, scales),
+        fitted_model.predict(query_X, scales),
+    )
+
+
+def test_compressed_sidecar_round_trips(artifact, fitted_model, query_X, tmp_path):
+    path = tmp_path / "art"
+    artifact.save(path, packed=True, packed_compress=True)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    assert manifest["packed"]["compressed"] is True
+    loaded = ModelArtifact.load(path)
+    np.testing.assert_array_equal(
+        loaded.packed_pipeline.predict(query_X, LARGE_SCALES),
+        fitted_model.predict(query_X, LARGE_SCALES),
+    )
+
+
+def test_corrupt_sidecar_refused_at_load(saved):
+    blob = bytearray((saved / PACKED_NAME).read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    (saved / PACKED_NAME).write_bytes(bytes(blob))
+    with pytest.raises(ArtifactIntegrityError, match="checksum"):
+        ModelArtifact.load(saved)
+
+
+def test_missing_sidecar_refused_at_load(saved):
+    (saved / PACKED_NAME).unlink()
+    with pytest.raises(ArtifactIntegrityError, match="unreadable"):
+        ModelArtifact.load(saved)
+
+
+def test_v1_manifest_without_packed_key_lazy_packs(
+    saved, fitted_model, query_X
+):
+    # A v1 artifact predates the "packed" manifest key entirely.
+    manifest = json.loads((saved / MANIFEST_NAME).read_text())
+    del manifest["packed"]
+    (saved / MANIFEST_NAME).write_text(json.dumps(manifest))
+    (saved / PACKED_NAME).unlink()
+    loaded = ModelArtifact.load(saved)
+    assert loaded.info.packed is None
+    assert loaded.packed_state == "unknown"
+    pp = loaded.packed_pipeline  # packs lazily on first access
+    assert loaded.packed_state == "lazy"
+    np.testing.assert_array_equal(
+        pp.predict(query_X, LARGE_SCALES),
+        fitted_model.predict(query_X, LARGE_SCALES),
+    )
+
+
+def test_packed_false_writes_no_sidecar(artifact, tmp_path):
+    path = tmp_path / "art"
+    artifact.save(path, packed=False)
+    assert not (path / PACKED_NAME).exists()
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    assert manifest["packed"] is None
+    assert ModelArtifact.load(path).info.packed is None
+
+
+def test_overwrite_downgrade_unlinks_stale_sidecar(artifact, tmp_path):
+    path = tmp_path / "art"
+    artifact.save(path, packed=True)
+    assert (path / PACKED_NAME).exists()
+    artifact.save(path, overwrite=True, packed=False)
+    assert not (path / PACKED_NAME).exists()
+    assert ModelArtifact.load(path).info.packed is None
+
+
+def _unpackable_artifact(tiny_history):
+    baseline = make_baseline("direct-rf", seed=0).fit(tiny_history)
+    return ModelArtifact.create(
+        baseline,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+        train=tiny_history,
+    )
+
+
+def test_packed_true_on_unpackable_predictor_raises(tiny_history, tmp_path):
+    art = _unpackable_artifact(tiny_history)
+    with pytest.raises(ConfigurationError):
+        art.save(tmp_path / "art", packed=True)
+
+
+def test_packed_auto_on_unpackable_predictor_degrades(
+    tiny_history, tmp_path
+):
+    art = _unpackable_artifact(tiny_history)
+    art.save(tmp_path / "art")  # auto: skips the sidecar, still saves
+    loaded = ModelArtifact.load(tmp_path / "art")
+    assert loaded.info.packed is None
+    assert loaded.packed_pipeline is None
+    assert loaded.packed_state == "unavailable"
+
+
+def test_save_rejects_bad_packed_value(artifact, tmp_path):
+    with pytest.raises(ConfigurationError):
+        artifact.save(tmp_path / "art", packed="yes-please")
+
+
+# -- registry --------------------------------------------------------------
+
+
+def test_registry_fsck_quarantines_corrupt_sidecar(tmp_path, artifact):
+    reg = ModelRegistry(tmp_path / "registry")
+    reg.register("stencil", artifact)
+    sidecar = tmp_path / "registry" / "stencil" / "v0001" / PACKED_NAME
+    assert sidecar.exists()
+    blob = bytearray(sidecar.read_bytes())
+    blob[-1] ^= 0xFF
+    sidecar.write_bytes(bytes(blob))
+    report = reg.fsck(repair=False)
+    assert any("sidecar" in reason for reason in report.damaged.values())
+
+
+def test_registry_register_packed_false(tmp_path, artifact, query_X):
+    reg = ModelRegistry(tmp_path / "registry")
+    reg.register("stencil", artifact, packed=False)
+    version_dir = tmp_path / "registry" / "stencil" / "v0001"
+    assert version_dir.exists()
+    assert not (version_dir / PACKED_NAME).exists()
+    assert reg.fsck(repair=False).clean
+
+
+# -- service ---------------------------------------------------------------
+
+
+def test_service_miss_fill_is_bit_identical_to_object_path(
+    saved, fitted_model, tiny_history, query_X
+):
+    loaded = ModelArtifact.load(saved)
+    service = PredictionService(loaded, cache_size=0)
+    params = {
+        n: float(v)
+        for n, v in zip(tiny_history.param_names, query_X[0])
+    }
+    got = service.predict_one(params, LARGE_SCALES)
+    want = fitted_model.predict(query_X[:1], LARGE_SCALES)[0]
+    assert got == [float(v) for v in want]
+    assert service.metrics()["packed"] == "sidecar"
+
+
+def test_service_use_packed_false_takes_object_path(
+    saved, fitted_model, tiny_history, query_X, monkeypatch
+):
+    loaded = ModelArtifact.load(saved)
+    service = PredictionService(loaded, cache_size=0, use_packed=False)
+    pp = loaded.packed_pipeline
+    monkeypatch.setattr(
+        pp,
+        "predict",
+        lambda *a, **k: pytest.fail("packed path used with use_packed=False"),
+    )
+    params = {
+        n: float(v)
+        for n, v in zip(tiny_history.param_names, query_X[0])
+    }
+    want = fitted_model.predict(query_X[:1], LARGE_SCALES)[0]
+    assert service.predict_one(params, LARGE_SCALES) == [
+        float(v) for v in want
+    ]
+    assert service.metrics()["packed"] == "disabled"

@@ -106,6 +106,33 @@ def test_batch_roundtrip(server, tiny_history):
     assert single["predictions"] == body["results"][0]
 
 
+def test_empty_batch_is_200_with_empty_results(server):
+    status, body = _post(server, "/batch", {"requests": []})
+    assert status == 200
+    assert body["results"] == []
+
+
+def test_batch_requests_must_be_a_list(server):
+    status, body = _post(server, "/batch", {"requests": {}})
+    assert status == 400
+    assert body["error"] == "PredictionRequestError"
+
+
+def test_server_serves_through_packed_pipeline(server, tiny_history):
+    _post(
+        server,
+        "/predict",
+        {"params": _params(tiny_history), "scales": [512]},
+    )
+    status, body = _get(server, "/metrics")
+    assert status == 200
+    assert body["server"]["use_packed"] is True
+    (svc,) = body["services"]
+    # The registry artifact was saved with the default packed="auto",
+    # so the service answers misses from the mmap'd sidecar.
+    assert svc["packed"] == "sidecar"
+
+
 def test_metrics_after_traffic(server, tiny_history):
     payload = {"params": _params(tiny_history), "scales": [512]}
     _post(server, "/predict", payload)

@@ -124,14 +124,16 @@ def test_batch_matches_singles(service, tiny_history):
 
 
 def test_batch_miss_fill_is_one_model_call(service, tiny_history, monkeypatch):
+    # Cache misses are answered by the packed pipeline when available.
     calls = []
-    real = service.artifact.predict_matrix
+    packed = service.artifact.packed_pipeline
+    real = packed.predict
 
     def spy(X, scales):
         calls.append((len(X), list(scales)))
         return real(X, scales)
 
-    monkeypatch.setattr(service.artifact, "predict_matrix", spy)
+    monkeypatch.setattr(packed, "predict", spy)
     # Rows 0 and 4 are distinct configs (the history has 4 rows per
     # config, one per scale).
     reqs = [
@@ -158,9 +160,11 @@ def test_bad_request_fails_whole_batch_without_side_effects(
     assert m["cache"]["size"] == 0
 
 
-def test_empty_batch_rejected(service):
-    with pytest.raises(PredictionRequestError, match="non-empty"):
-        service.predict_batch([])
+def test_empty_batch_returns_empty_list(service):
+    assert service.predict_batch([]) == []
+    # The empty request is still metered like any other.
+    assert service.metrics()["requests"] == 1
+    assert service.metrics()["predictions"] == 0
 
 
 def test_lru_eviction(artifact, tiny_history):
