@@ -1,0 +1,226 @@
+"""Extension N — scheduler intelligence.
+
+Three measurements over the ``repro.sched`` stack:
+
+* **wait-model accuracy** — a :class:`WaitTimePredictor` fit on probes
+  of one background trace, evaluated on held-out probes of the same
+  trace, against the obvious baseline a site dashboard would use: the
+  mean historical wait per queue-depth bin.  Reported as MAPE over the
+  held-out probes that actually waited (>60 s; MAPE is undefined at
+  zero wait) plus log-space MAE over all of them.
+* **what-if latency** — a full ``WhatIfPlanner.evaluate`` sweep (packed
+  runtime pipeline + wait-model point and p90 predictions + frontier +
+  recommendation), the exact work a ``POST /whatif`` does after JSON
+  parsing.  Bar: p50 under 5 ms.
+* **waste-report streaming** — a 1M-row store aggregated with
+  :meth:`WasteReport.add_store`; peak RSS growth must stay bounded
+  (O(chunk), not O(rows)).
+
+Acceptance bars: the wait model beats the per-depth baseline on MAPE,
+what-if p50 <= 5 ms, waste-report RSS growth under 300 MB.
+"""
+
+import resource
+import time
+
+import numpy as np
+from conftest import cached_histories, experiment_config, report
+
+from repro.analysis import fit_two_level, series_block
+from repro.data import ExecutionDataset
+from repro.sched import (
+    QueueConfig,
+    QueueSimulator,
+    WaitTimePredictor,
+    WasteReport,
+    WhatIfPlanner,
+)
+from repro.store import HistoryStore
+
+#: ~70% utilization: most probes wait, a few start at once.
+QUEUE = QueueConfig(n_nodes=256, arrival_rate=0.004, horizon=2 * 86400.0, seed=7)
+PROBE_NODES = (1, 256)
+N_TRAIN, N_TEST = 1200, 400
+WAITED = 60.0  # seconds; below this a probe counts as "started at once"
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _mape(pred, true):
+    return float(np.mean(np.abs(pred - true) / true) * 100.0)
+
+
+def _wait_accuracy():
+    sim = QueueSimulator(QUEUE)
+    train = sim.sample_observations(N_TRAIN, seed=1, nodes_range=PROBE_NODES)
+    test = sim.sample_observations(N_TEST, seed=2, nodes_range=PROBE_NODES)
+
+    model = WaitTimePredictor(n_estimators=64, random_state=0).fit(
+        [o.features() for o in train],
+        [o.wait_seconds for o in train],
+    )
+    pred = model.predict([o.features() for o in test])
+
+    # Baseline: mean historical wait per queue-depth bin (log-spaced
+    # bins; a depth-42 queue should look like other deep queues).
+    depth_tr = np.array([o.queue_depth for o in train], dtype=np.float64)
+    depth_te = np.array([o.queue_depth for o in test], dtype=np.float64)
+    wait_tr = np.array([o.wait_seconds for o in train])
+    wait_te = np.array([o.wait_seconds for o in test])
+    edges = np.unique(
+        np.round(np.geomspace(1, depth_tr.max() + 1, 12))
+    )
+    bin_tr = np.digitize(depth_tr, edges)
+    bin_te = np.digitize(depth_te, edges)
+    fallback = wait_tr.mean()
+    per_bin = {
+        b: wait_tr[bin_tr == b].mean() for b in np.unique(bin_tr)
+    }
+    baseline = np.array([per_bin.get(b, fallback) for b in bin_te])
+
+    waited = wait_te > WAITED
+    model_mape = _mape(pred[waited], wait_te[waited])
+    base_mape = _mape(baseline[waited], wait_te[waited])
+    model_lmae = float(np.mean(np.abs(np.log1p(pred) - np.log1p(wait_te))))
+    base_lmae = float(
+        np.mean(np.abs(np.log1p(baseline) - np.log1p(wait_te)))
+    )
+    return model, model_mape, base_mape, model_lmae, base_lmae, int(
+        waited.sum()
+    )
+
+
+def test_extN_wait_model_accuracy(benchmark):
+    _, model_mape, base_mape, model_lmae, base_lmae, n_waited = (
+        benchmark.pedantic(_wait_accuracy, rounds=1, iterations=1)
+    )
+    report(
+        series_block(
+            "Extension N — wait-time prediction vs per-depth baseline "
+            f"[{N_TRAIN} train / {N_TEST} held-out probes; MAPE over the "
+            f"{n_waited} probes that waited >{WAITED:.0f}s]",
+            "metric",
+            ["wait-model MAPE", "per-depth MAPE", "wait-model logMAE",
+             "per-depth logMAE"],
+            {
+                "value": [model_mape, base_mape, model_lmae, base_lmae],
+            },
+            y_format="{:.2f}",
+        )
+    )
+    assert model_mape < base_mape, (
+        f"wait model MAPE {model_mape:.1f}% does not beat the per-depth "
+        f"baseline {base_mape:.1f}%"
+    )
+    assert model_lmae < base_lmae
+
+
+def _whatif_latency():
+    histories = cached_histories(experiment_config("stencil3d"))
+    model = fit_two_level(histories)
+    packed = model.pack()
+    sim = QueueSimulator(QUEUE)
+    train = sim.sample_observations(600, seed=1, nodes_range=PROBE_NODES)
+    wait_model = WaitTimePredictor(n_estimators=32, random_state=0).fit(
+        [o.features() for o in train],
+        [o.wait_seconds for o in train],
+    )
+    x1 = np.ascontiguousarray(
+        histories.test.unique_configs().astype(float)[:1]
+    )
+    scales = list(model.small_scales) + [1024, 2048, 4096]
+    state = train[0].features()
+    planner = WhatIfPlanner(
+        lambda x, sv: packed.predict(x.reshape(1, -1), list(sv))[0],
+        wait_model=wait_model,
+    )
+
+    # Warm once (first call pays numpy allocator setup), then time.
+    planner.evaluate(x1[0], scales, queue_state=state, deadline=1e9)
+    samples = []
+    for _ in range(200):
+        t0 = time.perf_counter()
+        planner.evaluate(x1[0], scales, queue_state=state, deadline=1e9)
+        samples.append(time.perf_counter() - t0)
+    return float(np.percentile(np.asarray(samples) * 1e3, 50)), len(scales)
+
+
+def test_extN_whatif_latency(benchmark):
+    p50_ms, k = benchmark.pedantic(_whatif_latency, rounds=1, iterations=1)
+    report(
+        series_block(
+            f"Extension N — what-if sweep latency [{k} candidate scales, "
+            "packed runtime path + wait model p50/p90; p50 over 200 reps]",
+            "metric",
+            ["evaluate p50 [ms]"],
+            {"value": [p50_ms]},
+            y_format="{:.2f}",
+        )
+    )
+    assert p50_ms <= 5.0, (
+        f"what-if p50 {p50_ms:.2f} ms exceeds the 5 ms bar"
+    )
+
+
+def _million_row_store(root, n_rows=1_000_000, chunk=100_000):
+    scales = np.array([32, 64, 128, 256, 512, 1024])
+    rng = np.random.default_rng(0)
+    store = HistoryStore.create(root, app_name="synth", param_names=["a", "b"])
+    written = 0
+    while written < n_rows:
+        m = min(chunk, n_rows - written)
+        nprocs = rng.choice(scales, m)
+        runtime = rng.lognormal(5.0, 1.0, m)
+        store.append(
+            ExecutionDataset(
+                app_name="synth",
+                param_names=("a", "b"),
+                X=rng.uniform(1.0, 10.0, (m, 2)),
+                nprocs=nprocs.astype(np.int64),
+                runtime=runtime,
+                model_runtime=runtime,
+                wait_seconds=rng.exponential(120.0, m),
+            )
+        )
+        written += m
+    return store
+
+
+def _waste_streaming(tmp_path):
+    store = _million_row_store(tmp_path / "store")
+    rss0 = _rss_mb()
+    t0 = time.perf_counter()
+    rep = WasteReport().add_store(store, time_limit=1200.0, chunk_rows=65536)
+    dt = time.perf_counter() - t0
+    return rep, dt, _rss_mb() - rss0
+
+
+def test_extN_waste_streaming_memory(benchmark, tmp_path):
+    rep, dt, rss_growth = benchmark.pedantic(
+        _waste_streaming, args=(tmp_path,), rounds=1, iterations=1
+    )
+    totals = rep.totals()
+    n = int(totals["runs"])
+    report(
+        series_block(
+            "Extension N — 1M-row streaming waste report "
+            f"[{n} rows in {dt:.1f}s; chunk 65536]",
+            "metric",
+            ["rows/s [k]", "RSS growth [MB]", "waste fraction [%]"],
+            {
+                "value": [
+                    n / dt / 1e3,
+                    rss_growth,
+                    totals["waste_fraction"] * 100.0,
+                ]
+            },
+            y_format="{:.1f}",
+        )
+    )
+    assert n == 1_000_000
+    assert totals["censored_runs"] > 0  # the limit actually bit
+    assert rss_growth < 300, (
+        f"RSS grew {rss_growth:.0f} MB over a 1M-row stream — not O(chunk)"
+    )

@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the scheduler-intelligence stack, via the
+real CLI.
+
+Drives cold ``repro`` subprocesses the way an operator would::
+
+    repro sched simulate -> repro sched fit-wait      (wait model)
+    repro generate -> repro fit -> repro save         (runtime model)
+    repro ingest -> repro sched waste                 (waste report)
+    repro sched whatif                                (frontier, offline)
+    repro serve --auth-token ... --store ...          (HTTP, authed)
+
+then hits the live server: ``/healthz`` without credentials, a POST
+without a token (must be 401), and ``/wait`` + ``/whatif`` + ``/waste``
+with the bearer token, checking the frontier is non-empty and the
+recommendation is present.  Exits non-zero on any failure; used by the
+CI ``sched-smoke`` lane.
+
+Usage: python scripts/sched_smoke.py  (no arguments; uses a temp dir
+and an ephemeral port, so it is safe to run anywhere).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+TIMEOUT = 180  # generous: CI runners are slow
+TOKEN = "sched-smoke-token"
+
+QUEUE_STATE = {
+    "queue_depth": 12,
+    "free_nodes": 40,
+    "running_jobs": 9,
+    "pending_node_seconds": 2.0e6,
+}
+
+
+def run_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=ENV,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"FAIL: repro {' '.join(args)} exited {proc.returncode}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+        )
+    return proc.stdout
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def post_json(url: str, payload: dict, token: str | None = None) -> dict:
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers=headers,
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-sched-smoke-") as tmp:
+        tmp = Path(tmp)
+        probes = tmp / "probes.json"
+        data, model = tmp / "h.json", tmp / "m.pkl"
+        registry, store = tmp / "registry", tmp / "store"
+
+        print("== sched simulate ==")
+        out = run_cli(
+            "sched", "simulate", "--nodes", "256",
+            "--arrival-rate", "0.008", "--horizon", "86400",
+            "--seed", "3", "--probes", "200", "--out", str(probes),
+        )
+        assert "sampled 200 probes" in out, out
+
+        print("== sched fit-wait ==")
+        out = run_cli(
+            "sched", "fit-wait", "--observations", str(probes),
+            "--trees", "16", "--registry", str(registry),
+            "--name", "queue-wait",
+        )
+        assert "queue-wait" in out, out
+
+        print("== generate / fit / save ==")
+        run_cli(
+            "generate", "--app", "fft2d", "--configs", "8",
+            "--scales", "32,64,128,256", "--reps", "1", "--out", str(data),
+        )
+        run_cli(
+            "fit", "--data", str(data), "--clusters", "2", "--out", str(model)
+        )
+        out = run_cli(
+            "save", "--model", str(model), "--registry", str(registry),
+            "--name", "smoke",
+        )
+        assert "registered smoke v0001" in out, out
+
+        print("== ingest / sched waste ==")
+        run_cli("ingest", "--store", str(store), "--data", str(data))
+        out = run_cli(
+            "sched", "waste", "--store", str(store), "--time-limit", "100",
+        )
+        assert "TOTAL" in out, out
+
+        print("== sched whatif (offline) ==")
+        out = run_cli(
+            "sched", "whatif", "--registry", str(registry),
+            "--name", "smoke", "--set", "n=2048", "--set", "batches=8",
+            "--scales", "32,64,128,256,512",
+            "--wait-name", "queue-wait",
+            "--queue-state", json.dumps(QUEUE_STATE),
+        )
+        assert "recommended: scale" in out, out
+
+        print("== serve (authenticated) ==")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--registry", str(registry), "--port", "0",
+             "--auth-token", TOKEN, "--store", str(store)],
+            env=ENV,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.time() + TIMEOUT
+            line = ""
+            while time.time() < deadline:
+                line = server.stdout.readline()
+                if "listening on" in line or not line:
+                    break
+            m = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            if not m:
+                server.kill()
+                sys.exit(f"FAIL: server never reported its address: {line!r}")
+            base = m.group(1)
+            print(f"   {base}")
+
+            health = get_json(f"{base}/healthz")
+            assert health["status"] == "ok", health
+            print("== /healthz ok (no credentials needed)")
+
+            try:
+                post_json(
+                    f"{base}/wait",
+                    {"model": "queue-wait", "queue_state": QUEUE_STATE},
+                )
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 401, exc.code
+                assert exc.headers.get("WWW-Authenticate"), dict(exc.headers)
+            else:
+                sys.exit("FAIL: POST without a token was not rejected")
+            print("== unauthenticated POST rejected with 401")
+
+            wait = post_json(
+                f"{base}/wait",
+                {
+                    "model": "queue-wait",
+                    "queue_state": {
+                        **QUEUE_STATE, "nodes": 16, "time_limit": 3600,
+                    },
+                    "quantiles": [0.5, 0.9],
+                },
+                token=TOKEN,
+            )
+            assert wait["wait_seconds"][0] >= 0.0, wait
+            assert len(wait["wait_quantiles"][0]) == 2, wait
+            print(f"== /wait ok: {wait['wait_seconds']}")
+
+            whatif = post_json(
+                f"{base}/whatif",
+                {
+                    "model": "smoke",
+                    "params": {"n": 2048, "batches": 8},
+                    "scales": [32, 64, 128, 256, 512],
+                    "wait_model": "queue-wait",
+                    "queue_state": QUEUE_STATE,
+                },
+                token=TOKEN,
+            )
+            assert len(whatif["points"]) == 5, whatif
+            assert whatif["frontier"], whatif
+            assert whatif["recommended"] is not None, whatif
+            costs = [p["core_hours"] for p in whatif["frontier"]]
+            assert costs == sorted(costs), whatif
+            print(
+                "== /whatif ok: frontier scales "
+                f"{[p['scale'] for p in whatif['frontier']]}, recommended "
+                f"{whatif['recommended']['scale']}"
+            )
+
+            waste = post_json(
+                f"{base}/waste", {"time_limit": 100}, token=TOKEN
+            )
+            assert waste["totals"]["runs"] > 0, waste
+            print(f"== /waste ok: {int(waste['totals']['runs'])} runs")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,10 @@ Subpackages
     Closed-loop, budget-aware history-collection campaigns
     (plan -> execute -> sanitize -> refit -> register) with resumable
     checkpointing and core-second ledger accounting.
+``repro.sched``
+    Scheduler intelligence: a seedable FCFS + EASY-backfill queue
+    simulator, queue-wait-time prediction, streaming resource-waste
+    reports, and cost-aware what-if planning over candidate scales.
 ``repro.errors``
     Structured exception taxonomy (everything derives from
     :class:`~repro.errors.ReproError`).
@@ -51,7 +55,7 @@ from .errors import (
     ReproError,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "TwoLevelModel",

@@ -486,6 +486,16 @@ class Campaign:
                 "campaign_spent": f"{state.ledger.spent:.3f}",
                 "campaign_selection": self.config.selection,
             }
+            # Queue-wait provenance: a model trained on a history whose
+            # runs waited in a simulated scheduler queue should say so
+            # (the waits shape which configs a budgeted campaign
+            # affords, hence the training distribution).
+            wait_total = float(state.history.wait_seconds.sum())
+            if wait_total > 0:
+                metadata["queue_wait_rows"] = str(
+                    int((state.history.wait_seconds > 0).sum())
+                )
+                metadata["queue_wait_total_seconds"] = f"{wait_total:.3f}"
             if self._store is not None:
                 # Tie the artifact to the exact store contents it was
                 # trained from (manifest fingerprint = chunking-invariant

@@ -83,6 +83,7 @@ def _history_payload(dataset: ExecutionDataset | None) -> dict[str, Any] | None:
         "runtime": dataset.runtime.tolist(),
         "model_runtime": dataset.model_runtime.tolist(),
         "rep": dataset.rep.tolist(),
+        "wait_seconds": dataset.wait_seconds.tolist(),
     }
 
 
@@ -97,6 +98,11 @@ def _history_from_payload(payload: dict[str, Any] | None) -> ExecutionDataset | 
         runtime=np.asarray(payload["runtime"], dtype=np.float64),
         model_runtime=np.asarray(payload["model_runtime"], dtype=np.float64),
         rep=np.asarray(payload["rep"], dtype=np.int64),
+        wait_seconds=(
+            None
+            if payload.get("wait_seconds") is None
+            else np.asarray(payload["wait_seconds"], dtype=np.float64)
+        ),
     )
 
 

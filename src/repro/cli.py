@@ -394,6 +394,90 @@ def build_parser() -> argparse.ArgumentParser:
                     help="serve from the object prediction path even "
                     "when a packed pipeline is available (debugging "
                     "escape hatch; predictions are bit-identical)")
+    sv.add_argument("--auth-token", default=None, metavar="TOKEN",
+                    help="require 'Authorization: Bearer TOKEN' on every "
+                    "POST route (401 otherwise; GET routes stay open). "
+                    "Defaults to $REPRO_AUTH_TOKEN when set.")
+    sv.add_argument("--store", default=None, metavar="DIR",
+                    help="history store served by POST /waste "
+                    "(resource-waste reports; default: /waste disabled)")
+
+    sc = sub.add_parser(
+        "sched",
+        help="scheduler intelligence: queue simulation, wait-model "
+        "fitting, waste reports, what-if planning",
+    )
+    scs = sc.add_subparsers(dest="sched_command", required=True)
+
+    scq = scs.add_parser(
+        "simulate", help="run the background queue simulator and sample "
+        "wait-time observations"
+    )
+    scq.add_argument("--nodes", type=int, default=1024,
+                     help="cluster node-pool size")
+    scq.add_argument("--arrival-rate", type=float, default=0.01,
+                     help="background jobs per second")
+    scq.add_argument("--horizon", type=float, default=2 * 86400.0,
+                     help="background-trace length in seconds")
+    scq.add_argument("--seed", type=int, default=0)
+    scq.add_argument("--probes", type=int, default=0, metavar="N",
+                     help="sample N wait observations (training data "
+                     "for 'sched fit-wait')")
+    scq.add_argument("--out", default=None,
+                     help="write sampled observations as JSON")
+
+    scw = scs.add_parser(
+        "fit-wait", help="fit a queue-wait predictor on sampled "
+        "observations and register/save it"
+    )
+    scw.add_argument("--observations", required=True,
+                     help="JSON file from 'sched simulate --out'")
+    scw.add_argument("--trees", type=int, default=64)
+    scw.add_argument("--seed", type=int, default=0)
+    scw.add_argument("--registry", default=None,
+                     help="register the wait model here (with --name)")
+    scw.add_argument("--name", default="queue-wait",
+                     help="registry model name (default: queue-wait)")
+    scw.add_argument("--out", default=None, metavar="DIR",
+                     help="save the artifact to a bare directory instead "
+                     "of a registry")
+
+    scz = scs.add_parser(
+        "waste", help="streaming resource-waste report over a history "
+        "store"
+    )
+    scz.add_argument("--store", required=True, metavar="DIR")
+    scz.add_argument("--time-limit", type=float, default=None,
+                     metavar="SECONDS",
+                     help="partition time limit every run requested "
+                     "(enables over-request and kill accounting)")
+    scz.add_argument("--chunk-rows", type=int, default=65536)
+    scz.add_argument("--json", default=None, metavar="OUT",
+                     help="also write the full report as JSON")
+
+    scf = scs.add_parser(
+        "whatif", help="sweep candidate scales into a cost/turnaround "
+        "Pareto frontier"
+    )
+    scf.add_argument("--registry", required=True)
+    scf.add_argument("--name", required=True,
+                     help="runtime model name in the registry")
+    scf.add_argument("--version", type=int, default=None)
+    scf.add_argument("--set", action="append", default=[],
+                     metavar="NAME=VALUE",
+                     help="application parameter (repeatable)")
+    scf.add_argument("--scales", type=_parse_scales, required=True)
+    scf.add_argument("--wait-name", default=None,
+                     help="wait-model name in the same registry "
+                     "(adds queue-wait estimates)")
+    scf.add_argument("--wait-version", type=int, default=None)
+    scf.add_argument("--queue-state", default=None, metavar="JSON",
+                     help="queue-state features as inline JSON, e.g. "
+                     "'{\"queue_depth\": 12, \"free_nodes\": 80}'")
+    scf.add_argument("--deadline", type=float, default=None,
+                     help="turnaround bound in seconds")
+    scf.add_argument("--budget-core-hours", type=float, default=None)
+    scf.add_argument("--limit-margin", type=float, default=1.5)
     return parser
 
 
@@ -785,6 +869,7 @@ def _cmd_campaign(args, out) -> int:
 def _cmd_serve(args, out) -> int:
     from .serve import create_server
 
+    auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN")
     server = create_server(
         args.registry,
         host=args.host,
@@ -797,20 +882,213 @@ def _cmd_serve(args, out) -> int:
         reload_interval=args.reload_interval,
         allow_stale=not args.no_stale,
         use_packed=not args.no_packed,
+        auth_token=auth_token,
+        waste_store=args.store,
     )
     host, port = server.server_address[:2]
     print(f"listening on http://{host}:{port}", file=out, flush=True)
     if args.rate_limit:
         print(f"rate limit: {args.rate_limit:g} req/s "
               f"(burst {server.limiter.burst:g})", file=out, flush=True)
+    if auth_token:
+        print("auth: bearer token required on POST routes",
+              file=out, flush=True)
     print("endpoints: GET /healthz /models /metrics; "
-          "POST /predict /batch (Ctrl-C to stop)", file=out, flush=True)
+          "POST /predict /batch /wait /whatif /waste (Ctrl-C to stop)",
+          file=out, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_sched(args, out) -> int:
+    handlers = {
+        "simulate": _sched_simulate,
+        "fit-wait": _sched_fit_wait,
+        "waste": _sched_waste,
+        "whatif": _sched_whatif,
+    }
+    return handlers[args.sched_command](args, out)
+
+
+def _sched_simulate(args, out) -> int:
+    import json
+
+    from .sched import QueueConfig, QueueSimulator
+
+    sim = QueueSimulator(QueueConfig(
+        n_nodes=args.nodes,
+        arrival_rate=args.arrival_rate,
+        horizon=args.horizon,
+        seed=args.seed,
+    ))
+    stats = sim.stats()
+    print(f"background jobs : {stats['n_jobs']}", file=out)
+    print(f"utilization     : {stats['utilization'] * 100:.1f}%", file=out)
+    print(f"wait p50 / mean / max : {stats['p50_wait']:.0f} / "
+          f"{stats['mean_wait']:.0f} / {stats['max_wait']:.0f} s", file=out)
+    if args.probes:
+        obs = sim.sample_observations(args.probes, seed=args.seed + 1)
+        waits = [o.wait_seconds for o in obs]
+        print(f"sampled {len(obs)} probes; mean wait "
+              f"{sum(waits) / len(waits):.0f} s", file=out)
+        if args.out:
+            payload = {
+                "config": {
+                    "n_nodes": args.nodes,
+                    "arrival_rate": args.arrival_rate,
+                    "horizon": args.horizon,
+                    "seed": args.seed,
+                },
+                "observations": [o.features() for o in obs],
+            }
+            _require_writable_parent(args.out).write_text(
+                json.dumps(payload) + "\n"
+            )
+            print(f"wrote observations to {args.out}", file=out)
+    return 0
+
+
+def _sched_fit_wait(args, out) -> int:
+    import json
+
+    from .sched import WaitTimePredictor
+    from .serve import ModelArtifact
+
+    payload = json.loads(Path(args.observations).read_text())
+    observations = payload["observations"]
+    waits = [float(o.get("wait_seconds", 0.0)) for o in observations]
+    predictor = WaitTimePredictor(
+        n_estimators=args.trees, random_state=args.seed
+    ).fit(observations, waits)
+    artifact = ModelArtifact.create(
+        predictor,
+        app_name="queue",
+        param_names=[],
+        metadata={k: v for k, v in payload.get("config", {}).items()},
+        n_train_rows=len(observations),
+    )
+    if args.registry is not None:
+        from .serve import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        version = registry.register(args.name, artifact)
+        print(f"registered wait model {args.name!r} "
+              f"v{version:04d} ({len(observations)} observations)",
+              file=out)
+    elif args.out is not None:
+        artifact.save(args.out)
+        print(f"saved wait model to {args.out}", file=out)
+    else:
+        print("error: fit-wait needs --registry or --out", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _sched_waste(args, out) -> int:
+    import json
+
+    from .sched import WasteReport
+    from .store import HistoryStore
+
+    store = HistoryStore.open(args.store)
+    report = WasteReport().add_store(
+        store, time_limit=args.time_limit, chunk_rows=args.chunk_rows
+    )
+    print(report.summary(), file=out)
+    if args.json:
+        _require_writable_parent(args.json).write_text(
+            json.dumps(report.to_dict()) + "\n"
+        )
+        print(f"wrote report to {args.json}", file=out)
+    return 0
+
+
+def _sched_whatif(args, out) -> int:
+    import json
+
+    from .sched import WhatIfPlanner
+    from .serve import KIND_WAIT_MODEL, ModelRegistry
+
+    registry = ModelRegistry(args.registry, create=False)
+    artifact = registry.load(args.name, args.version)
+    param_names = artifact.info.param_names
+
+    params: dict[str, float] = {}
+    for item in args.set:
+        if "=" not in item:
+            print(f"error: --set expects NAME=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        name, _, value = item.partition("=")
+        params[name] = float(value)
+    missing = set(param_names) - set(params)
+    if missing:
+        print(f"error: missing parameters {sorted(missing)}",
+              file=sys.stderr)
+        return 2
+
+    wait_model = None
+    if args.wait_name is not None:
+        wait_artifact = registry.load(args.wait_name, args.wait_version)
+        if wait_artifact.info.kind != KIND_WAIT_MODEL:
+            print(f"error: {args.wait_name!r} is kind "
+                  f"{wait_artifact.info.kind!r}, not a wait model",
+                  file=sys.stderr)
+            return 2
+        wait_model = wait_artifact.predictor
+
+    queue_state = (
+        json.loads(args.queue_state) if args.queue_state else None
+    )
+
+    x = np.array([[params[n] for n in param_names]])
+
+    def runtime_predict(_x, scales):
+        return artifact.predict_matrix(x, [int(s) for s in scales])[0]
+
+    planner = WhatIfPlanner(
+        runtime_predict,
+        wait_model=wait_model,
+        limit_margin=args.limit_margin,
+    )
+    result = planner.evaluate(
+        x[0],
+        args.scales,
+        queue_state=queue_state,
+        deadline=args.deadline,
+        budget_core_hours=args.budget_core_hours,
+    )
+    frontier = {p.scale for p in result.frontier}
+    rec = result.recommended
+    print(f"{'scale':>7s} {'runtime(s)':>11s} {'wait(s)':>9s} "
+          f"{'turnaround':>11s} {'core-h':>9s} {'flags':<10s}", file=out)
+    for p in result.points:
+        flags = []
+        if p.scale in frontier:
+            flags.append("frontier")
+        if rec is not None and p.scale == rec.scale:
+            flags.append("**best**")
+        if not p.feasible:
+            flags.append("infeasible")
+        print(f"{p.scale:>7d} {p.runtime:>11.2f} {p.wait:>9.1f} "
+              f"{p.turnaround:>11.1f} {p.core_hours:>9.3f} "
+              f"{' '.join(flags):<10s}", file=out)
+    if rec is None:
+        print("no recommendation (no candidates)", file=out)
+    elif not rec.feasible:
+        print(f"no candidate satisfies the constraints; fastest option "
+              f"is scale {rec.scale} "
+              f"(turnaround {rec.turnaround:.1f} s, "
+              f"{rec.core_hours:.3f} core-h)", file=out)
+    else:
+        print(f"recommended: scale {rec.scale} "
+              f"(turnaround {rec.turnaround:.1f} s, "
+              f"{rec.core_hours:.3f} core-h)", file=out)
     return 0
 
 
@@ -953,6 +1231,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
+    "sched": _cmd_sched,
 }
 
 

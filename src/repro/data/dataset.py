@@ -40,6 +40,10 @@ class ExecutionDataset:
         shape ``(n_runs,)``.
     rep:
         Repetition index of each run.
+    wait_seconds:
+        Cumulative queue-wait seconds per run (scheduler queue wait plus
+        resubmission backoffs).  Zeros when the history predates queue
+        tracking or was generated without a queue simulator.
     """
 
     app_name: str
@@ -49,6 +53,7 @@ class ExecutionDataset:
     runtime: np.ndarray
     model_runtime: np.ndarray
     rep: np.ndarray = field(default=None)  # type: ignore[assignment]
+    wait_seconds: np.ndarray = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         X = np.asarray(self.X, dtype=np.float64)
@@ -77,6 +82,15 @@ class ExecutionDataset:
             if rep.shape != (n,):
                 raise DataValidationError(f"rep must have shape ({n},).")
             object.__setattr__(self, "rep", rep)
+        if self.wait_seconds is None:
+            object.__setattr__(self, "wait_seconds", np.zeros(n, dtype=np.float64))
+        else:
+            wait = np.asarray(self.wait_seconds, dtype=np.float64)
+            if wait.shape != (n,):
+                raise DataValidationError(f"wait_seconds must have shape ({n},).")
+            if n and np.any(wait < 0):
+                raise DataValidationError("All wait_seconds must be >= 0.")
+            object.__setattr__(self, "wait_seconds", wait)
         # NaN runtimes are allowed: real logs record failed runs that
         # way, and the robustness layer (validate/sanitize) handles
         # them.  Zero/negative runtimes are unconditionally invalid.
@@ -120,6 +134,7 @@ class ExecutionDataset:
             runtime=np.array([r.runtime for r in records]),
             model_runtime=np.array([r.model_runtime for r in records]),
             rep=np.array([r.rep for r in records]),
+            wait_seconds=np.array([r.wait_seconds for r in records]),
         )
 
     @classmethod
@@ -153,6 +168,7 @@ class ExecutionDataset:
             runtime=np.concatenate([d.runtime for d in datasets]),
             model_runtime=np.concatenate([d.model_runtime for d in datasets]),
             rep=np.concatenate([d.rep for d in datasets]),
+            wait_seconds=np.concatenate([d.wait_seconds for d in datasets]),
         )
 
     # -- basic protocol ----------------------------------------------------
@@ -182,6 +198,7 @@ class ExecutionDataset:
             runtime=self.runtime[mask],
             model_runtime=self.model_runtime[mask],
             rep=self.rep[mask],
+            wait_seconds=self.wait_seconds[mask],
         )
 
     def at_scale(self, nprocs: int) -> "ExecutionDataset":

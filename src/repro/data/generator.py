@@ -189,16 +189,17 @@ class HistoryGenerator:
             return sample_random(self.app, n, self.rng)
         raise ValueError(f"Unknown sampling method {method!r}")
 
-    def collect(
+    def collect_records(
         self,
         configs: Sequence[dict[str, float]],
         scales: Sequence[int],
         repetitions: int = 1,
-    ) -> ExecutionDataset:
-        """Simulate every configuration at every scale.
-
-        Returns a dataset with ``len(configs) * len(scales) *
-        repetitions`` runs.
+    ) -> list:
+        """Simulate every configuration at every scale and return the raw
+        :class:`~repro.sim.ExecutionRecord` list (attempt traces, queue
+        waits, and queue-state snapshots intact).  :meth:`collect` wraps
+        this into a dataset; callers that need per-run detail — the waste
+        report, wait-model training — use the records directly.
         """
         if not configs:
             raise ValueError("No configurations given.")
@@ -235,6 +236,22 @@ class HistoryGenerator:
                 "Every simulated run exceeded its wall-clock budget; "
                 "history is empty (raise the budget or retries)."
             )
+        return records
+
+    def collect(
+        self,
+        configs: Sequence[dict[str, float]],
+        scales: Sequence[int],
+        repetitions: int = 1,
+    ) -> ExecutionDataset:
+        """Simulate every configuration at every scale.
+
+        Returns a dataset with ``len(configs) * len(scales) *
+        repetitions`` runs.
+        """
+        records = self.collect_records(
+            configs, scales, repetitions=repetitions
+        )
         return ExecutionDataset.from_records(
             records, param_names=self.app.param_names
         )

@@ -55,6 +55,12 @@ _REQUIRED_KEYS = {
     "rep": np.int64,
 }
 
+#: Optional payload keys (absent in files written before they existed);
+#: loaders fall back to a zeros column so old files keep loading.
+_OPTIONAL_KEYS = {
+    "wait_seconds": np.float64,
+}
+
 
 def _to_payload(dataset: ExecutionDataset) -> dict:
     return {
@@ -66,6 +72,7 @@ def _to_payload(dataset: ExecutionDataset) -> dict:
         "runtime": dataset.runtime.tolist(),
         "model_runtime": dataset.model_runtime.tolist(),
         "rep": dataset.rep.tolist(),
+        "wait_seconds": dataset.wait_seconds.tolist(),
     }
 
 
@@ -108,6 +115,11 @@ def _from_payload(payload: object, path: Path) -> ExecutionDataset:
             runtime=np.asarray(payload["runtime"], dtype=np.float64),
             model_runtime=np.asarray(payload["model_runtime"], dtype=np.float64),
             rep=np.asarray(payload["rep"], dtype=np.int64),
+            wait_seconds=(
+                None
+                if payload.get("wait_seconds") is None
+                else np.asarray(payload["wait_seconds"], dtype=np.float64)
+            ),
         )
     except DatasetFormatError:
         raise
@@ -226,6 +238,7 @@ def save_dataset(dataset: ExecutionDataset, path: str | Path) -> None:
             runtime=dataset.runtime,
             model_runtime=dataset.model_runtime,
             rep=dataset.rep,
+            wait_seconds=dataset.wait_seconds,
         )
     else:
         raise DatasetFormatError(
@@ -296,6 +309,11 @@ def load_dataset(
                     runtime=data["runtime"],
                     model_runtime=data["model_runtime"],
                     rep=data["rep"],
+                    wait_seconds=(
+                        data["wait_seconds"]
+                        if "wait_seconds" in data.files
+                        else None
+                    ),
                 )
             except (TypeError, ValueError) as exc:
                 raise DatasetFormatError(

@@ -30,6 +30,7 @@ Hierarchy::
     │                                      prediction service
     └── ServingError        (RuntimeError) the serving layer refused or
         │                                  abandoned a request
+        ├── AuthenticationError            missing or wrong bearer token (401)
         ├── RateLimitedError               over the request-rate budget (429)
         ├── DeadlineExceededError          per-request deadline blown (504)
         └── ServiceUnavailableError        no servable artifact, even
@@ -61,6 +62,7 @@ __all__ = [
     "RegistryError",
     "PredictionRequestError",
     "ServingError",
+    "AuthenticationError",
     "RateLimitedError",
     "DeadlineExceededError",
     "ServiceUnavailableError",
@@ -178,6 +180,11 @@ class PredictionRequestError(ReproError, ValueError):
 class ServingError(ReproError, RuntimeError):
     """The serving layer refused or abandoned an otherwise valid
     request (overload protection, deadlines, total artifact loss)."""
+
+
+class AuthenticationError(ServingError):
+    """The request lacked a valid bearer token for a server running with
+    authentication enabled (HTTP 401)."""
 
 
 class RateLimitedError(ServingError):

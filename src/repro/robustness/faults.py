@@ -302,6 +302,7 @@ class FaultInjector:
             runtime=out_runtime,
             model_runtime=model_runtime[sel],
             rep=out_rep,
+            wait_seconds=dataset.wait_seconds[sel],
         )
         logger.info("%s", log.summary())
         return dirty, log

@@ -506,6 +506,7 @@ def sanitize_dataset(
         runtime=runtime,
         model_runtime=dataset.model_runtime,
         rep=dataset.rep,
+        wait_seconds=dataset.wait_seconds,
     )
     clean = repaired.select(~drop)
     report = SanitizeReport(

@@ -1,0 +1,43 @@
+"""Scheduler intelligence: queue simulation, wait prediction, waste
+detection, and cost-aware what-if planning.
+
+The paper's pipeline predicts *runtime at scale*; this package answers
+the two questions production HPC operators actually ask on top of it
+(the FRESCO framing): "how long will my job wait?" and "how much of my
+allocation is wasted?" — plus the performance/cost trade-off question
+they imply: "at what scale should I run?".
+
+* :mod:`repro.sched.queue` — a deterministic, seedable FCFS +
+  EASY-backfill queue simulator over a fixed node pool with a synthetic
+  background workload.  Attach one to a
+  :class:`~repro.sim.Executor` and every generated history row carries
+  a realistic ``wait_seconds`` and a queue-state snapshot.
+* :mod:`repro.sched.wait` — a wait-time predictor over queue-state
+  features, reusing the forest stack (point + quantile predictions),
+  persisted in the model registry as artifact ``kind="wait-model"``.
+* :mod:`repro.sched.waste` — a streaming resource-waste report over
+  records or :class:`~repro.store.HistoryStore` shards: requested vs.
+  used core-seconds, over-requested time limits, kill/censor waste.
+* :mod:`repro.sched.whatif` — sweep candidate scales through the
+  runtime model + wait model + cost model and return the Pareto
+  frontier of (scale, runtime, wait, turnaround, cost) with a
+  recommended point under deadline/budget constraints.
+"""
+
+from .queue import QueueConfig, QueueObservation, QueueSimulator
+from .wait import WAIT_FEATURES, WaitTimePredictor
+from .waste import WasteBucket, WasteReport
+from .whatif import CandidatePoint, WhatIfPlanner, WhatIfResult
+
+__all__ = [
+    "QueueConfig",
+    "QueueObservation",
+    "QueueSimulator",
+    "WAIT_FEATURES",
+    "WaitTimePredictor",
+    "WasteBucket",
+    "WasteReport",
+    "CandidatePoint",
+    "WhatIfPlanner",
+    "WhatIfResult",
+]

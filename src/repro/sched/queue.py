@@ -1,0 +1,440 @@
+"""Deterministic FCFS + EASY-backfill queue simulator.
+
+The simulator models one partition of ``n_nodes`` nodes under a
+synthetic background workload (Poisson arrivals, log-normal runtimes
+and node counts, over-requested time limits).  The background schedule
+is computed **once** at construction with the classic EASY policy —
+first-come-first-served with a single reservation for the queue head,
+plus backfilling of later jobs that cannot delay it — and then frozen.
+
+Probes (:meth:`QueueSimulator.submit`) ask: *if one more job asking for
+``nodes`` nodes and ``time_limit`` seconds were submitted at time t,
+when would it start?*  The answer is the earliest window at/after t in
+which the frozen background occupancy leaves ``nodes`` nodes free for
+the full limit.  This is the **marginal-job approximation**: the probe
+does not perturb the background schedule, so any number of probes are
+independent, deterministic, and cheap (a range-minimum query over the
+occupancy step function).  That is exactly the regime a wait-*predictor*
+is trained for — one job entering an existing queue — and it keeps
+generated histories reproducible regardless of probe order.
+
+Everything is derived from ``QueueConfig.seed``; the same config always
+yields the same background trace, schedule, and probe answers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["QueueConfig", "QueueObservation", "QueueSimulator"]
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Shape of the simulated partition and its background load.
+
+    Attributes
+    ----------
+    n_nodes:
+        Size of the node pool jobs compete for.
+    arrival_rate:
+        Background jobs per second (Poisson arrivals).
+    horizon:
+        Length of the background trace in seconds; probes land in the
+        interior of this window.
+    runtime_median, runtime_sigma:
+        Log-normal background job runtimes (median seconds, log-space
+        sigma).
+    nodes_median, nodes_sigma:
+        Log-normal background job node counts (rounded, clipped to
+        ``[1, n_nodes]``).
+    limit_slack_min, limit_slack_max:
+        Background jobs request ``runtime * U(min, max)`` as their time
+        limit — the over-request the EASY reservation sees.
+    seed:
+        Everything (trace and schedule) derives from this.
+    """
+
+    n_nodes: int = 1024
+    arrival_rate: float = 0.01
+    horizon: float = 2 * 86400.0
+    runtime_median: float = 1800.0
+    runtime_sigma: float = 1.2
+    nodes_median: float = 8.0
+    nodes_sigma: float = 1.0
+    limit_slack_min: float = 1.2
+    limit_slack_max: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("n_nodes must be >= 1.")
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive.")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive.")
+        if self.runtime_median <= 0 or self.runtime_sigma < 0:
+            raise ConfigurationError(
+                "runtime_median must be positive and runtime_sigma >= 0."
+            )
+        if self.nodes_median < 1 or self.nodes_sigma < 0:
+            raise ConfigurationError(
+                "nodes_median must be >= 1 and nodes_sigma >= 0."
+            )
+        if self.limit_slack_min < 1.0:
+            raise ConfigurationError("limit_slack_min must be >= 1.")
+        if self.limit_slack_max < self.limit_slack_min:
+            raise ConfigurationError(
+                "limit_slack_max must be >= limit_slack_min."
+            )
+
+
+@dataclass(frozen=True)
+class QueueObservation:
+    """One probe's answer: the wait plus the queue state it saw.
+
+    The feature fields are snapshots *at submission time* — exactly what
+    a production wait-time predictor gets to see before the job starts —
+    so a :class:`~repro.sched.wait.WaitTimePredictor` trains on them
+    without leakage.
+    """
+
+    submit_time: float
+    start_time: float
+    nodes: int
+    time_limit: float
+    queue_depth: int
+    free_nodes: int
+    running_jobs: int
+    pending_node_seconds: float
+
+    @property
+    def wait_seconds(self) -> float:
+        return self.start_time - self.submit_time
+
+    def features(self) -> dict[str, float]:
+        """Flat feature dict (includes the ``wait_seconds`` label)."""
+        return {
+            "nodes": float(self.nodes),
+            "time_limit": float(self.time_limit),
+            "queue_depth": float(self.queue_depth),
+            "free_nodes": float(self.free_nodes),
+            "running_jobs": float(self.running_jobs),
+            "pending_node_seconds": float(self.pending_node_seconds),
+            "wait_seconds": float(self.wait_seconds),
+        }
+
+
+class QueueSimulator:
+    """Frozen EASY-backfill background schedule + marginal-job probes.
+
+    Construction simulates the whole background trace (see module
+    docstring); every public query afterwards is read-only, so one
+    simulator instance serves any number of concurrent probes.
+    """
+
+    def __init__(self, config: QueueConfig | None = None) -> None:
+        self.config = config if config is not None else QueueConfig()
+        self._build_trace()
+        self._run_schedule()
+        self._build_profile()
+
+    # -- background trace --------------------------------------------------
+
+    def _build_trace(self) -> None:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        gaps = rng.exponential(1.0 / cfg.arrival_rate, size=max(
+            16, int(cfg.arrival_rate * cfg.horizon * 2)
+        ))
+        arrival = np.cumsum(gaps)
+        arrival = arrival[arrival < cfg.horizon]
+        n = len(arrival)
+        runtime = cfg.runtime_median * np.exp(
+            rng.normal(0.0, cfg.runtime_sigma, size=n)
+        )
+        nodes = np.clip(
+            np.rint(
+                cfg.nodes_median * np.exp(rng.normal(0.0, cfg.nodes_sigma, size=n))
+            ).astype(np.int64),
+            1,
+            cfg.n_nodes,
+        )
+        slack = rng.uniform(cfg.limit_slack_min, cfg.limit_slack_max, size=n)
+        self._arrival = arrival
+        self._runtime = runtime
+        self._nodes = nodes
+        self._limit = runtime * slack
+
+    # -- EASY schedule -----------------------------------------------------
+
+    def _run_schedule(self) -> None:
+        cfg = self.config
+        n = len(self._arrival)
+        arrival, runtime = self._arrival, self._runtime
+        nodes, limit = self._nodes, self._limit
+        start = np.empty(n, dtype=np.float64)
+        free = cfg.n_nodes
+        pending: list[int] = []  # queued job indices, FIFO
+        running: list[tuple[float, int]] = []  # (actual end, idx) min-heap
+
+        def launch(j: int, t: float) -> None:
+            nonlocal free
+            start[j] = t
+            free -= int(nodes[j])
+            heapq.heappush(running, (t + float(runtime[j]), j))
+
+        def try_schedule(t: float) -> None:
+            nonlocal free
+            while pending and int(nodes[pending[0]]) <= free:
+                launch(pending.pop(0), t)
+            if not pending or not running:
+                return
+            # EASY reservation for the blocked head, computed from the
+            # *requested limits* of running jobs (what a scheduler knows).
+            head = pending[0]
+            releases = sorted(
+                (start[j] + float(limit[j]), int(nodes[j])) for _, j in running
+            )
+            avail = free
+            shadow = np.inf
+            for when, nd in releases:
+                avail += nd
+                if avail >= int(nodes[head]):
+                    shadow = when
+                    break
+            spare = avail - int(nodes[head])
+            # Backfill: a later job may start now iff it fits in the free
+            # nodes and either finishes (by its limit) before the shadow
+            # time or fits in the nodes the head leaves spare.
+            k = 1
+            while k < len(pending):
+                j = pending[k]
+                nd = int(nodes[j])
+                if nd <= free and (
+                    t + float(limit[j]) <= shadow or nd <= spare
+                ):
+                    pending.pop(k)
+                    launch(j, t)
+                    if not (t + float(limit[j]) <= shadow):
+                        spare -= nd
+                else:
+                    k += 1
+
+        i = 0
+        while i < n or pending or running:
+            next_arrival = float(arrival[i]) if i < n else np.inf
+            next_end = running[0][0] if running else np.inf
+            t = min(next_arrival, next_end)
+            if not np.isfinite(t):
+                break
+            while running and running[0][0] <= t:
+                _, j = heapq.heappop(running)
+                free += int(nodes[j])
+            while i < n and float(arrival[i]) <= t:
+                pending.append(i)
+                i += 1
+            try_schedule(t)
+
+        self._start = start
+        self._end = start + runtime
+        self._start_sorted = np.sort(start)
+        self._end_sorted = np.sort(self._end)
+
+    # -- occupancy profile + range-min index -------------------------------
+
+    def _build_profile(self) -> None:
+        cfg = self.config
+        times = np.concatenate([self._start, self._end])
+        deltas = np.concatenate(
+            [-self._nodes.astype(np.int64), self._nodes.astype(np.int64)]
+        )
+        order = np.argsort(times, kind="stable")
+        t_sorted = times[order]
+        free_after = cfg.n_nodes + np.cumsum(deltas[order])
+        if len(t_sorted):
+            uniq, counts = np.unique(t_sorted, return_counts=True)
+            last = np.cumsum(counts) - 1
+            free_u = free_after[last]
+        else:
+            uniq = np.empty(0, dtype=np.float64)
+            free_u = np.empty(0, dtype=np.int64)
+        self._prof_t = uniq
+        self._prof_free = free_u
+        # Sparse table for O(1) range-min over the free-node profile.
+        e = len(free_u)
+        levels = max(1, e.bit_length())
+        table = np.full((levels, max(e, 1)), cfg.n_nodes, dtype=np.int64)
+        if e:
+            table[0, :e] = free_u
+            for k in range(1, levels):
+                span = 1 << (k - 1)
+                m = e - (1 << k) + 1
+                if m <= 0:
+                    break
+                table[k, :m] = np.minimum(
+                    table[k - 1, :m], table[k - 1, span : span + m]
+                )
+        self._rmq = table
+        # Profile indices where free nodes rise (a completion) — the only
+        # candidate start times besides the submit instant.
+        if e:
+            prev = np.concatenate(([cfg.n_nodes], free_u[:-1]))
+            self._rise_idx = np.nonzero(free_u > prev)[0]
+        else:
+            self._rise_idx = np.empty(0, dtype=np.int64)
+
+    def _range_min(self, lo: int, hi: int) -> int:
+        """Min of ``_prof_free[lo:hi]`` (requires ``hi > lo``)."""
+        k = (hi - lo).bit_length() - 1
+        return int(
+            min(self._rmq[k, lo], self._rmq[k, hi - (1 << k)])
+        )
+
+    def _window_min(self, a: float, b: float) -> int:
+        """Minimum free nodes over the window ``[a, b)``."""
+        e = len(self._prof_t)
+        if e == 0:
+            return self.config.n_nodes
+        i0 = int(np.searchsorted(self._prof_t, a, side="right")) - 1
+        i1 = int(np.searchsorted(self._prof_t, b, side="left"))
+        m = self.config.n_nodes if i0 < 0 else np.iinfo(np.int64).max
+        i0 = max(i0, 0)
+        if i0 >= e:
+            return int(self._prof_free[-1])
+        i1 = min(max(i1, i0 + 1), e)
+        return int(min(m, self._range_min(i0, i1)))
+
+    # -- queries -----------------------------------------------------------
+
+    def free_nodes_at(self, t: float) -> int:
+        """Free nodes in the background schedule at time ``t``."""
+        idx = int(np.searchsorted(self._prof_t, t, side="right")) - 1
+        if idx < 0:
+            return self.config.n_nodes
+        return int(self._prof_free[idx])
+
+    def queue_state_at(self, t: float) -> dict[str, float]:
+        """Background queue features at time ``t`` (submission-visible)."""
+        depth = int(
+            np.searchsorted(self._arrival, t, side="right")
+            - np.searchsorted(self._start_sorted, t, side="right")
+        )
+        running = int(
+            np.searchsorted(self._start_sorted, t, side="right")
+            - np.searchsorted(self._end_sorted, t, side="right")
+        )
+        mask = (self._arrival <= t) & (self._start > t)
+        pending_ns = float(
+            np.sum(self._nodes[mask].astype(np.float64) * self._limit[mask])
+        )
+        return {
+            "queue_depth": float(depth),
+            "free_nodes": float(self.free_nodes_at(t)),
+            "running_jobs": float(running),
+            "pending_node_seconds": pending_ns,
+        }
+
+    def probe(
+        self, submit_time: float, nodes: int, time_limit: float
+    ) -> QueueObservation:
+        """Earliest start for a marginal job submitted at ``submit_time``."""
+        nodes = int(nodes)
+        if nodes < 1 or nodes > self.config.n_nodes:
+            raise ConfigurationError(
+                f"nodes must be in [1, {self.config.n_nodes}]; got {nodes}."
+            )
+        if time_limit <= 0:
+            raise ConfigurationError("time_limit must be positive.")
+        if submit_time < 0:
+            raise ConfigurationError("submit_time must be >= 0.")
+        start = None
+        if self._window_min(submit_time, submit_time + time_limit) >= nodes:
+            start = submit_time
+        else:
+            j0 = int(np.searchsorted(self._prof_t, submit_time, side="right"))
+            k0 = int(np.searchsorted(self._rise_idx, j0, side="left"))
+            for j in self._rise_idx[k0:]:
+                t = float(self._prof_t[j])
+                if self._window_min(t, t + time_limit) >= nodes:
+                    start = t
+                    break
+            if start is None:
+                # After the last background event every node is free.
+                start = max(submit_time, float(self._prof_t[-1]))
+        state = self.queue_state_at(submit_time)
+        return QueueObservation(
+            submit_time=float(submit_time),
+            start_time=float(start),
+            nodes=nodes,
+            time_limit=float(time_limit),
+            queue_depth=int(state["queue_depth"]),
+            free_nodes=int(state["free_nodes"]),
+            running_jobs=int(state["running_jobs"]),
+            pending_node_seconds=state["pending_node_seconds"],
+        )
+
+    def submit(
+        self, key: int, nodes: int, time_limit: float
+    ) -> QueueObservation:
+        """Probe at a submission time derived deterministically from
+        ``key`` (an attempt seed): the same key always lands at the same
+        instant of the background trace, so executor-generated histories
+        are reproducible."""
+        frac = (int(key) & 0xFFFFFFFF) / float(1 << 32)
+        submit_time = (0.05 + 0.85 * frac) * self.config.horizon
+        return self.probe(submit_time, nodes, time_limit)
+
+    def sample_observations(
+        self,
+        n: int,
+        seed: int = 0,
+        nodes_range: tuple[int, int] = (1, 64),
+        limit_range: tuple[float, float] = (600.0, 14400.0),
+    ) -> list[QueueObservation]:
+        """Draw ``n`` random probes — the training set generator for
+        :class:`~repro.sched.wait.WaitTimePredictor`."""
+        if n < 1:
+            raise ConfigurationError("n must be >= 1.")
+        lo, hi = int(nodes_range[0]), int(nodes_range[1])
+        hi = min(hi, self.config.n_nodes)
+        lo = min(lo, hi)
+        rng = np.random.default_rng(seed)
+        out = []
+        for _ in range(n):
+            key = int(rng.integers(0, 1 << 63))
+            nodes = int(rng.integers(lo, hi + 1))
+            limit = float(rng.uniform(limit_range[0], limit_range[1]))
+            out.append(self.submit(key=key, nodes=nodes, time_limit=limit))
+        return out
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def n_background_jobs(self) -> int:
+        return len(self._arrival)
+
+    def stats(self) -> dict[str, Any]:
+        """Background-schedule summary (sanity metrics for tests/docs)."""
+        waits = self._start - self._arrival
+        busy = float(
+            np.sum(self._nodes.astype(np.float64) * self._runtime)
+        )
+        makespan = float(self._end.max() - self._arrival.min()) if len(
+            self._arrival
+        ) else 0.0
+        util = busy / (self.config.n_nodes * makespan) if makespan else 0.0
+        return {
+            "n_jobs": int(len(self._arrival)),
+            "mean_wait": float(waits.mean()) if len(waits) else 0.0,
+            "max_wait": float(waits.max()) if len(waits) else 0.0,
+            "p50_wait": float(np.median(waits)) if len(waits) else 0.0,
+            "utilization": util,
+            "makespan": makespan,
+        }

@@ -1,0 +1,229 @@
+"""Queue-wait-time prediction on scheduler-visible features.
+
+:class:`WaitTimePredictor` reuses the repo's forest stack
+(:class:`~repro.ml.tree.RandomForestRegressor`) to regress
+``log1p(wait_seconds)`` on the submission-time features a scheduler (or
+:class:`~repro.sched.queue.QueueSimulator`) exposes: requested nodes and
+time limit, queue depth, free nodes, running jobs, and pending
+node-seconds.  Point predictions come from the forest mean; quantiles
+come from the per-tree spread (``predict_all``), giving operators a
+"your job will probably start within X" band rather than a bare number.
+
+Inference runs through the arena kernels of
+:class:`~repro.ml.tree.packed.PackedForest` (built once per fitted
+forest, bit-identical to the object path by contract), so a wait lookup
+inside a serving request costs microseconds, not milliseconds.
+
+The predictor persists through the same ``get_params`` /
+``get_fitted_state`` hooks as :class:`~repro.core.TwoLevelModel`, so
+:class:`~repro.serve.artifacts.ModelArtifact` stores it as artifact
+``kind="wait-model"`` without pickling the class wholesale — bit-exact
+round-trips included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from ..ml.tree import RandomForestRegressor
+from ..ml.tree.packed import PackedForest, ordered_sum_axis0
+
+__all__ = ["WAIT_FEATURES", "WaitTimePredictor"]
+
+#: Canonical feature order the predictor trains and predicts on.
+WAIT_FEATURES = (
+    "nodes",
+    "time_limit",
+    "queue_depth",
+    "free_nodes",
+    "running_jobs",
+    "pending_node_seconds",
+)
+
+#: Features whose scale spans orders of magnitude get a log1p transform.
+_LOG_FEATURES = frozenset({"time_limit", "pending_node_seconds"})
+
+
+class WaitTimePredictor:
+    """Forest regressor over queue-state features (see module docstring).
+
+    Parameters mirror the forest's; defaults are sized for a few
+    thousand probes of one background trace.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 64,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 2,
+        random_state: int = 0,
+    ) -> None:
+        if int(n_estimators) < 1:
+            raise ConfigurationError("n_estimators must be >= 1.")
+        if int(min_samples_leaf) < 1:
+            raise ConfigurationError("min_samples_leaf must be >= 1.")
+        self.n_estimators = int(n_estimators)
+        self.max_depth = None if max_depth is None else int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.random_state = int(random_state)
+        self._forest: RandomForestRegressor | None = None
+        self._packed: PackedForest | None = None
+
+    # -- feature handling --------------------------------------------------
+
+    @staticmethod
+    def feature_vector(state: Mapping[str, Any]) -> np.ndarray:
+        """One feature row from a queue-state mapping (missing keys
+        default to 0 — a cold, empty queue)."""
+        return np.array(
+            [float(state.get(name, 0.0)) for name in WAIT_FEATURES],
+            dtype=np.float64,
+        )
+
+    @classmethod
+    def feature_matrix(
+        cls, observations: Iterable[Mapping[str, Any]] | np.ndarray
+    ) -> np.ndarray:
+        """Stack observations (queue-state dicts, or an already-built
+        ``(n, len(WAIT_FEATURES))`` matrix) into the design matrix."""
+        if isinstance(observations, np.ndarray):
+            F = np.asarray(observations, dtype=np.float64)
+            if F.ndim != 2 or F.shape[1] != len(WAIT_FEATURES):
+                raise ConfigurationError(
+                    f"Feature matrix must have shape (n, {len(WAIT_FEATURES)}) "
+                    f"for features {list(WAIT_FEATURES)}."
+                )
+            return F
+        rows = [cls.feature_vector(o) for o in observations]
+        if not rows:
+            raise ConfigurationError("No observations given.")
+        return np.vstack(rows)
+
+    @staticmethod
+    def _transform(F: np.ndarray) -> np.ndarray:
+        out = F.copy()
+        for j, name in enumerate(WAIT_FEATURES):
+            if name in _LOG_FEATURES:
+                out[:, j] = np.log1p(np.maximum(out[:, j], 0.0))
+        return out
+
+    # -- fit/predict -------------------------------------------------------
+
+    def fit(
+        self,
+        observations: Iterable[Mapping[str, Any]] | np.ndarray,
+        waits: Sequence[float] | np.ndarray,
+    ) -> "WaitTimePredictor":
+        F = self.feature_matrix(observations)
+        y = np.asarray(waits, dtype=np.float64)
+        if y.shape != (F.shape[0],):
+            raise ConfigurationError(
+                f"waits must have shape ({F.shape[0]},); got {y.shape}."
+            )
+        if np.any(~np.isfinite(y)) or np.any(y < 0):
+            raise ConfigurationError(
+                "waits must be finite and non-negative."
+            )
+        forest = RandomForestRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            random_state=self.random_state,
+        )
+        forest.fit(self._transform(F), np.log1p(y))
+        self._forest = forest
+        self._packed = PackedForest.from_forest(forest)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._forest is not None
+
+    def _require_fitted(self) -> PackedForest:
+        if self._forest is None:
+            raise NotFittedError(
+                "WaitTimePredictor is not fitted; call fit() first."
+            )
+        if self._packed is None:
+            self._packed = PackedForest.from_forest(self._forest)
+        return self._packed
+
+    def predict(
+        self, observations: Iterable[Mapping[str, Any]] | np.ndarray
+    ) -> np.ndarray:
+        """Expected wait seconds per observation (never negative)."""
+        packed = self._require_fitted()
+        F = self._transform(self.feature_matrix(observations))
+        return np.maximum(np.expm1(packed.predict(F)), 0.0)
+
+    def predict_quantiles(
+        self,
+        observations: Iterable[Mapping[str, Any]] | np.ndarray,
+        quantiles: Sequence[float] = (0.1, 0.5, 0.9),
+    ) -> np.ndarray:
+        """Per-observation wait quantiles from the per-tree ensemble
+        spread, shape ``(n_observations, n_quantiles)``."""
+        _, q = self.predict_with_quantiles(observations, quantiles)
+        return q
+
+    def predict_with_quantiles(
+        self,
+        observations: Iterable[Mapping[str, Any]] | np.ndarray,
+        quantiles: Sequence[float] = (0.1, 0.5, 0.9),
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Point predictions and quantiles from ONE arena traversal.
+
+        Returns ``(wait_seconds, quantile_matrix)``; the point estimate
+        is bit-identical to :meth:`predict` (the per-tree matrix is
+        reduced in the same order), so callers that need both — the
+        what-if planner, ``POST /wait`` — pay a single forest walk.
+        """
+        qs = [float(q) for q in quantiles]
+        if not qs or any(not 0.0 <= q <= 1.0 for q in qs):
+            raise ConfigurationError("quantiles must lie in [0, 1].")
+        packed = self._require_fitted()
+        F = self._transform(self.feature_matrix(observations))
+        per_tree_log = packed.predict_all(F)
+        mean_log = ordered_sum_axis0(per_tree_log) / per_tree_log.shape[0]
+        wait = np.maximum(np.expm1(mean_log), 0.0)
+        per_tree = np.maximum(np.expm1(per_tree_log), 0.0)
+        return wait, np.quantile(per_tree, qs, axis=0).T
+
+    # -- persistence hooks (ModelArtifact protocol) ------------------------
+
+    def get_params(self) -> dict[str, Any]:
+        return {
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "random_state": self.random_state,
+        }
+
+    def get_fitted_state(self) -> dict[str, Any]:
+        if self._forest is None:
+            raise NotFittedError(
+                "WaitTimePredictor is not fitted; call fit() first."
+            )
+        return {
+            "features": list(WAIT_FEATURES),
+            "forest": self._forest,
+        }
+
+    def set_fitted_state(self, state: Mapping[str, Any]) -> "WaitTimePredictor":
+        features = tuple(state.get("features", ()))
+        if features != WAIT_FEATURES:
+            raise ConfigurationError(
+                f"Persisted wait-model features {list(features)} do not "
+                f"match this build's {list(WAIT_FEATURES)}."
+            )
+        forest = state.get("forest")
+        if not isinstance(forest, RandomForestRegressor):
+            raise ConfigurationError(
+                "Persisted wait-model state has no fitted forest."
+            )
+        self._forest = forest
+        self._packed = PackedForest.from_forest(forest)
+        return self

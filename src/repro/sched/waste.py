@@ -1,0 +1,272 @@
+"""Streaming resource-waste detection over execution histories.
+
+Waste, in the FRESCO sense, is allocation the user reserved but did not
+convert into useful measurements:
+
+* **over-request** — wall-clock between a run's actual runtime and the
+  time limit it requested (``(limit - runtime)+ × cores``); the nodes
+  are not held, but the scheduler *planned* around the request, which
+  is what inflates everyone else's EASY reservations;
+* **kill/censor waste** — core-seconds burned by attempts that timed
+  out at the limit and produced no usable measurement (from
+  :class:`~repro.sim.budget.AttemptTrace`), plus fully censored runs;
+* **queue overhead** — core-seconds of reservation held while waiting
+  (resubmission backoffs and scheduler queue waits).
+
+Two ingestion paths share one aggregation:
+
+* :meth:`WasteReport.add_records` — in-memory
+  :class:`~repro.sim.ExecutionRecord` streams, with full per-attempt
+  accounting when an ``AttemptTrace`` is present;
+* :meth:`WasteReport.add_store` — a :class:`~repro.store.HistoryStore`,
+  streamed chunk-by-chunk via ``iter_chunks`` so a million-row trace
+  aggregates in O(chunk) memory.  Store rows carry no attempt trail, so
+  kill waste is not reconstructable there; over-request waste needs the
+  partition ``time_limit`` passed explicitly.
+
+Aggregation is per ``(app, scale)`` bucket; cores are charged as
+``nprocs`` (one process per core, the same accounting the campaign
+ledger uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.trace import ExecutionRecord
+
+__all__ = ["WasteBucket", "WasteReport"]
+
+
+@dataclass
+class WasteBucket:
+    """Waste tallies for one ``(app_name, nprocs)`` group (core-seconds)."""
+
+    app_name: str
+    nprocs: int
+    runs: int = 0
+    censored_runs: int = 0
+    resubmitted_runs: int = 0
+    used_core_seconds: float = 0.0
+    wait_core_seconds: float = 0.0
+    killed_core_seconds: float = 0.0
+    requested_core_seconds: float = 0.0
+    overrequest_core_seconds: float = 0.0
+
+    @property
+    def wasted_core_seconds(self) -> float:
+        """Core-seconds that bought no measurement: kills + waits."""
+        return self.killed_core_seconds + self.wait_core_seconds
+
+    @property
+    def waste_fraction(self) -> float:
+        """Wasted share of everything consumed (0 when nothing ran)."""
+        total = self.used_core_seconds + self.wasted_core_seconds
+        return self.wasted_core_seconds / total if total > 0 else 0.0
+
+    @property
+    def overrequest_fraction(self) -> float:
+        """Requested-but-unused share of the requested allocation."""
+        if self.requested_core_seconds <= 0:
+            return 0.0
+        return self.overrequest_core_seconds / self.requested_core_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app_name": self.app_name,
+            "nprocs": self.nprocs,
+            "runs": self.runs,
+            "censored_runs": self.censored_runs,
+            "resubmitted_runs": self.resubmitted_runs,
+            "used_core_seconds": self.used_core_seconds,
+            "wait_core_seconds": self.wait_core_seconds,
+            "killed_core_seconds": self.killed_core_seconds,
+            "requested_core_seconds": self.requested_core_seconds,
+            "overrequest_core_seconds": self.overrequest_core_seconds,
+            "wasted_core_seconds": self.wasted_core_seconds,
+            "waste_fraction": self.waste_fraction,
+            "overrequest_fraction": self.overrequest_fraction,
+        }
+
+
+class WasteReport:
+    """Accumulate waste buckets from records and/or store chunks."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple[str, int], WasteBucket] = {}
+
+    def _bucket(self, app_name: str, nprocs: int) -> WasteBucket:
+        key = (str(app_name), int(nprocs))
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = WasteBucket(app_name=key[0], nprocs=key[1])
+            self._buckets[key] = bucket
+        return bucket
+
+    # -- record path -------------------------------------------------------
+
+    def add_records(self, records: Iterable[ExecutionRecord]) -> "WasteReport":
+        """Aggregate in-memory records, with per-attempt kill accounting
+        when the record carries an :class:`AttemptTrace`."""
+        for r in records:
+            cores = int(r.nprocs)
+            b = self._bucket(r.app_name, cores)
+            b.runs += 1
+            if r.censored:
+                b.censored_runs += 1
+            if r.resubmitted:
+                b.resubmitted_runs += 1
+            b.wait_core_seconds += float(r.wait_seconds) * cores
+            if r.attempts is not None:
+                trace = r.attempts
+                for a in trace:
+                    if a.timed_out:
+                        b.killed_core_seconds += float(a.runtime) * cores
+                    if a.limit is not None:
+                        b.requested_core_seconds += float(a.limit) * cores
+                        if not a.timed_out:
+                            b.overrequest_core_seconds += (
+                                max(float(a.limit) - float(a.runtime), 0.0)
+                                * cores
+                            )
+                if not trace.timed_out:
+                    b.used_core_seconds += float(trace.final.runtime) * cores
+            elif not r.censored:
+                b.used_core_seconds += float(r.runtime) * cores
+        return self
+
+    # -- store path --------------------------------------------------------
+
+    def add_chunk(
+        self,
+        app_name: str,
+        chunk: Mapping[str, np.ndarray],
+        time_limit: float | None = None,
+    ) -> "WasteReport":
+        """Aggregate one store chunk (dict of column arrays).
+
+        Needs at least ``nprocs`` and ``runtime``; uses ``wait_seconds``
+        when present.  ``time_limit`` is the partition limit every run
+        requested — when given, over-request waste is charged as
+        ``(limit - runtime)+`` per run.
+        """
+        nprocs = np.asarray(chunk["nprocs"], dtype=np.int64)
+        runtime = np.asarray(chunk["runtime"], dtype=np.float64)
+        wait = np.asarray(
+            chunk.get("wait_seconds", np.zeros_like(runtime)),
+            dtype=np.float64,
+        )
+        if time_limit is not None and time_limit <= 0:
+            raise ConfigurationError("time_limit must be positive.")
+        for scale in np.unique(nprocs):
+            mask = nprocs == scale
+            cores = int(scale)
+            b = self._bucket(app_name, cores)
+            n = int(mask.sum())
+            rt = runtime[mask]
+            ok = np.isfinite(rt)
+            b.runs += n
+            b.used_core_seconds += float(rt[ok].sum()) * cores
+            b.wait_core_seconds += float(wait[mask].sum()) * cores
+            if time_limit is not None:
+                b.requested_core_seconds += float(time_limit) * cores * n
+                over = np.maximum(time_limit - rt[ok], 0.0)
+                b.overrequest_core_seconds += float(over.sum()) * cores
+                # Runs recorded at (or past) the limit are censored kills.
+                killed = int((rt[ok] >= time_limit).sum())
+                b.censored_runs += killed
+                b.killed_core_seconds += float(
+                    rt[ok][rt[ok] >= time_limit].sum()
+                ) * cores
+                b.used_core_seconds -= float(
+                    rt[ok][rt[ok] >= time_limit].sum()
+                ) * cores
+        return self
+
+    def add_store(
+        self,
+        store,
+        time_limit: float | None = None,
+        chunk_rows: int | None = None,
+    ) -> "WasteReport":
+        """Stream a :class:`~repro.store.HistoryStore` through
+        :meth:`add_chunk` — bounded memory at any row count."""
+        kwargs: dict[str, Any] = {
+            "columns": ("nprocs", "runtime", "wait_seconds"),
+        }
+        if chunk_rows is not None:
+            kwargs["chunk_rows"] = int(chunk_rows)
+        for chunk in store.iter_chunks(**kwargs):
+            self.add_chunk(store.app_name, chunk, time_limit=time_limit)
+        return self
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def buckets(self) -> list[WasteBucket]:
+        """Buckets sorted by (app, scale)."""
+        return [self._buckets[k] for k in sorted(self._buckets)]
+
+    def totals(self) -> dict[str, float]:
+        out = {
+            "runs": 0.0,
+            "censored_runs": 0.0,
+            "resubmitted_runs": 0.0,
+            "used_core_seconds": 0.0,
+            "wait_core_seconds": 0.0,
+            "killed_core_seconds": 0.0,
+            "requested_core_seconds": 0.0,
+            "overrequest_core_seconds": 0.0,
+            "wasted_core_seconds": 0.0,
+        }
+        for b in self._buckets.values():
+            d = b.to_dict()
+            for k in out:
+                out[k] += float(d[k])
+        total = out["used_core_seconds"] + out["wasted_core_seconds"]
+        out["waste_fraction"] = (
+            out["wasted_core_seconds"] / total if total > 0 else 0.0
+        )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": [b.to_dict() for b in self.buckets],
+            "totals": self.totals(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable per-scale waste table."""
+        lines = [
+            f"{'app':<16s} {'scale':>7s} {'runs':>7s} {'used(ch)':>10s} "
+            f"{'waited(ch)':>10s} {'killed(ch)':>10s} {'over-req(ch)':>12s} "
+            f"{'waste%':>7s}"
+        ]
+        for b in self.buckets:
+            lines.append(
+                f"{b.app_name:<16s} {b.nprocs:>7d} {b.runs:>7d} "
+                f"{b.used_core_seconds / 3600:>10.2f} "
+                f"{b.wait_core_seconds / 3600:>10.2f} "
+                f"{b.killed_core_seconds / 3600:>10.2f} "
+                f"{b.overrequest_core_seconds / 3600:>12.2f} "
+                f"{b.waste_fraction * 100:>6.1f}%"
+            )
+        t = self.totals()
+        lines.append(
+            f"{'TOTAL':<16s} {'':>7s} {int(t['runs']):>7d} "
+            f"{t['used_core_seconds'] / 3600:>10.2f} "
+            f"{t['wait_core_seconds'] / 3600:>10.2f} "
+            f"{t['killed_core_seconds'] / 3600:>10.2f} "
+            f"{t['overrequest_core_seconds'] / 3600:>12.2f} "
+            f"{t['waste_fraction'] * 100:>6.1f}%"
+        )
+        return "\n".join(lines)
+
+
+# Keep the dataclass import alive for type checkers that resolve the
+# module lazily.
+_ = field

@@ -1,0 +1,266 @@
+"""Cost-aware what-if planning over candidate scales.
+
+Given a configuration ``x``, the runtime model already answers "how long
+at scale p?".  :class:`WhatIfPlanner` completes the operator's question
+— "at what scale *should* I run?" — by sweeping candidate scales
+through:
+
+* a **runtime predictor** (any callable mapping ``(x, scales)`` to a
+  runtime vector — a packed forest pipeline, a
+  :class:`~repro.core.TwoLevelModel`, or a test stub),
+* an optional **wait model** (:class:`~repro.sched.wait.WaitTimePredictor`
+  fed the current queue state, with the candidate's nodes/limit
+  substituted in), and
+* a **cost model**: ``core_hours = runtime × scale / 3600`` and
+  ``turnaround = wait + runtime``.
+
+The result is every candidate point, the Pareto frontier over
+(cost, turnaround) — sorted by cost, strictly decreasing turnaround —
+and a recommended point: the cheapest candidate satisfying the deadline
+and core-hour budget, or the lowest-turnaround point (flagged
+infeasible) when nothing satisfies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .wait import WaitTimePredictor
+
+__all__ = ["CandidatePoint", "WhatIfResult", "WhatIfPlanner"]
+
+
+@dataclass(frozen=True)
+class CandidatePoint:
+    """One evaluated scale: predicted timings and cost.
+
+    ``wait_p90`` is populated only when a wait model is attached;
+    ``meets_deadline`` / ``within_budget`` are ``True`` when the
+    corresponding constraint was not given.
+    """
+
+    scale: int
+    runtime: float
+    wait: float
+    wait_p90: float | None
+    turnaround: float
+    core_hours: float
+    meets_deadline: bool
+    within_budget: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.meets_deadline and self.within_budget
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "runtime": self.runtime,
+            "wait": self.wait,
+            "wait_p90": self.wait_p90,
+            "turnaround": self.turnaround,
+            "core_hours": self.core_hours,
+            "meets_deadline": self.meets_deadline,
+            "within_budget": self.within_budget,
+            "feasible": self.feasible,
+        }
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Full sweep output: all points, the frontier, the recommendation."""
+
+    points: tuple[CandidatePoint, ...]
+    frontier: tuple[CandidatePoint, ...]
+    recommended: CandidatePoint | None
+    deadline: float | None
+    budget_core_hours: float | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "points": [p.to_dict() for p in self.points],
+            "frontier": [p.to_dict() for p in self.frontier],
+            "recommended": (
+                self.recommended.to_dict()
+                if self.recommended is not None
+                else None
+            ),
+            "deadline": self.deadline,
+            "budget_core_hours": self.budget_core_hours,
+        }
+
+
+class WhatIfPlanner:
+    """Sweep candidate scales and rank them by cost and turnaround.
+
+    Parameters
+    ----------
+    runtime_predict:
+        ``(x, scales) -> runtimes`` — predicted runtime (seconds) of
+        configuration ``x`` at each scale.  ``x`` arrives as a 1-D
+        float array, ``scales`` as a 1-D int array.
+    wait_model:
+        Optional fitted :class:`WaitTimePredictor`.  Without one, waits
+        are taken verbatim from the queue state's ``wait_seconds`` key
+        (or zero), identical across scales.
+    nodes_for:
+        Optional ``scale -> nodes`` mapping (e.g.
+        :meth:`~repro.sim.MachineModel.nodes_for`) used to fill the
+        wait model's ``nodes`` feature.  Defaults to identity.
+    limit_margin:
+        Requested time limit per candidate = ``runtime × limit_margin``
+        (feeds the wait model's ``time_limit`` feature and mirrors how
+        budget-aware executions pad their requests).
+    """
+
+    def __init__(
+        self,
+        runtime_predict: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        wait_model: WaitTimePredictor | None = None,
+        nodes_for: Callable[[int], int] | None = None,
+        limit_margin: float = 1.5,
+    ) -> None:
+        if not callable(runtime_predict):
+            raise ConfigurationError("runtime_predict must be callable.")
+        if wait_model is not None and not wait_model.is_fitted:
+            raise ConfigurationError("wait_model must be fitted.")
+        if limit_margin < 1.0:
+            raise ConfigurationError("limit_margin must be >= 1.")
+        self.runtime_predict = runtime_predict
+        self.wait_model = wait_model
+        self.nodes_for = nodes_for if nodes_for is not None else lambda s: s
+        self.limit_margin = float(limit_margin)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _waits(
+        self,
+        scales: np.ndarray,
+        runtimes: np.ndarray,
+        queue_state: Mapping[str, Any] | None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        state = dict(queue_state or {})
+        if self.wait_model is None:
+            w = float(state.get("wait_seconds", 0.0))
+            return np.full(len(scales), max(w, 0.0)), None
+        rows = []
+        for scale, rt in zip(scales, runtimes):
+            row = dict(state)
+            row["nodes"] = int(self.nodes_for(int(scale)))
+            row["time_limit"] = float(rt) * self.limit_margin
+            rows.append(row)
+        waits, q = self.wait_model.predict_with_quantiles(
+            rows, quantiles=(0.9,)
+        )
+        return waits, q[:, 0]
+
+    def evaluate(
+        self,
+        x: Sequence[float] | np.ndarray,
+        scales: Sequence[int] | np.ndarray,
+        queue_state: Mapping[str, Any] | None = None,
+        deadline: float | None = None,
+        budget_core_hours: float | None = None,
+    ) -> WhatIfResult:
+        """Sweep ``scales`` for configuration ``x``.
+
+        ``deadline`` bounds *turnaround* (wait + runtime, seconds);
+        ``budget_core_hours`` bounds the allocation charge.
+        """
+        xv = np.asarray(x, dtype=np.float64).ravel()
+        sv = np.unique(np.asarray(scales, dtype=np.int64))
+        if sv.size == 0:
+            raise ConfigurationError("At least one candidate scale required.")
+        if np.any(sv < 1):
+            raise ConfigurationError("Scales must be positive integers.")
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError("deadline must be positive.")
+        if budget_core_hours is not None and budget_core_hours <= 0:
+            raise ConfigurationError("budget_core_hours must be positive.")
+
+        runtimes = np.asarray(
+            self.runtime_predict(xv, sv), dtype=np.float64
+        ).ravel()
+        if runtimes.shape != sv.shape:
+            raise ConfigurationError(
+                f"runtime_predict returned shape {runtimes.shape}; "
+                f"expected {sv.shape}."
+            )
+        if np.any(~np.isfinite(runtimes)) or np.any(runtimes < 0):
+            raise ConfigurationError(
+                "runtime_predict returned non-finite or negative runtimes."
+            )
+
+        waits, p90 = self._waits(sv, runtimes, queue_state)
+
+        points = []
+        for i, scale in enumerate(sv):
+            runtime = float(runtimes[i])
+            wait = float(waits[i])
+            turnaround = wait + runtime
+            core_hours = runtime * int(scale) / 3600.0
+            points.append(
+                CandidatePoint(
+                    scale=int(scale),
+                    runtime=runtime,
+                    wait=wait,
+                    wait_p90=None if p90 is None else float(p90[i]),
+                    turnaround=turnaround,
+                    core_hours=core_hours,
+                    meets_deadline=(
+                        deadline is None or turnaround <= deadline
+                    ),
+                    within_budget=(
+                        budget_core_hours is None
+                        or core_hours <= budget_core_hours
+                    ),
+                )
+            )
+
+        frontier = self._pareto(points)
+        recommended = self._recommend(points, frontier)
+        return WhatIfResult(
+            points=tuple(points),
+            frontier=frontier,
+            recommended=recommended,
+            deadline=deadline,
+            budget_core_hours=budget_core_hours,
+        )
+
+    # -- ranking -----------------------------------------------------------
+
+    @staticmethod
+    def _pareto(points: list[CandidatePoint]) -> tuple[CandidatePoint, ...]:
+        """Non-dominated set over (core_hours ↓, turnaround ↓), returned
+        sorted by cost ascending — turnaround is then strictly
+        decreasing along the frontier."""
+        ordered = sorted(points, key=lambda p: (p.core_hours, p.turnaround))
+        frontier: list[CandidatePoint] = []
+        best = np.inf
+        for p in ordered:
+            if p.turnaround < best:
+                frontier.append(p)
+                best = p.turnaround
+        return tuple(frontier)
+
+    @staticmethod
+    def _recommend(
+        points: list[CandidatePoint],
+        frontier: tuple[CandidatePoint, ...],
+    ) -> CandidatePoint | None:
+        feasible = [p for p in frontier if p.feasible]
+        if feasible:
+            # Frontier is cost-sorted; first feasible point is cheapest.
+            return feasible[0]
+        feasible = [p for p in points if p.feasible]
+        if feasible:
+            return min(feasible, key=lambda p: p.core_hours)
+        # Nothing satisfies the constraints: surface the fastest option
+        # so the caller sees how far off the constraints are.
+        if not points:
+            return None
+        return min(points, key=lambda p: p.turnaround)

@@ -17,7 +17,14 @@ The train -> register -> serve -> query loop (see ``docs/serving.md``)::
     create_server(registry, port=8080).serve_forever()
 """
 
-from .artifacts import SCHEMA_VERSION, ArtifactInfo, ModelArtifact, detect_kind
+from .artifacts import (
+    KIND_WAIT_MODEL,
+    KNOWN_KINDS,
+    SCHEMA_VERSION,
+    ArtifactInfo,
+    ModelArtifact,
+    detect_kind,
+)
 from .overload import CircuitBreaker, TokenBucket
 from .registry import ModelRegistry, RegistryEntry, RegistryFsckReport
 from .server import PredictionServer, create_server
@@ -25,6 +32,8 @@ from .service import PredictionService
 
 __all__ = [
     "SCHEMA_VERSION",
+    "KNOWN_KINDS",
+    "KIND_WAIT_MODEL",
     "ArtifactInfo",
     "ModelArtifact",
     "detect_kind",

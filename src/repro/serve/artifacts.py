@@ -25,7 +25,9 @@ Loading verifies, in order:
    (:class:`~repro.errors.ArtifactFormatError` otherwise),
 2. the schema version is one this build reads
    (:class:`~repro.errors.ArtifactVersionError` on artifacts from the
-   future),
+   future), and the manifest's ``kind`` is one of :data:`KNOWN_KINDS`
+   (:class:`~repro.errors.ArtifactFormatError` otherwise — an unknown
+   kind is refused *before* the payload is unpickled),
 3. the payload's SHA-256 matches the manifest
    (:class:`~repro.errors.ArtifactIntegrityError` on bit rot or
    truncation),
@@ -71,6 +73,12 @@ from ..store import atomic
 __all__ = [
     "SCHEMA_VERSION",
     "PACKED_NAME",
+    "KNOWN_KINDS",
+    "KIND_TWO_LEVEL",
+    "KIND_DIRECT_ML",
+    "KIND_CURVE_FIT",
+    "KIND_WAIT_MODEL",
+    "KIND_PICKLE",
     "ArtifactInfo",
     "ModelArtifact",
     "detect_kind",
@@ -89,11 +97,23 @@ PACKED_NAME = "packed.npz"
 
 #: Predictor kinds and how :meth:`ModelArtifact.predict_matrix`
 #: dispatches on them.  ``curve-fit`` artifacts persist fine but cannot
-#: answer (params, scale) queries (they have no parameter model).
+#: answer (params, scale) queries (they have no parameter model);
+#: ``wait-model`` artifacts answer queue-state queries through
+#: :meth:`ModelArtifact.predict_wait` instead.
 KIND_TWO_LEVEL = "two-level"
 KIND_DIRECT_ML = "direct-ml"
 KIND_CURVE_FIT = "curve-fit"
+KIND_WAIT_MODEL = "wait-model"
 KIND_PICKLE = "pickle"
+
+#: Every kind this build reads.  :meth:`ModelArtifact.load` refuses a
+#: manifest naming any other kind *before* touching the payload, so an
+#: artifact written by a newer build (or a tampered manifest) never
+#: reaches the unpickler.
+KNOWN_KINDS = frozenset(
+    {KIND_TWO_LEVEL, KIND_DIRECT_ML, KIND_CURVE_FIT, KIND_WAIT_MODEL,
+     KIND_PICKLE}
+)
 
 _MANIFEST_KEYS = (
     "schema_version",
@@ -113,12 +133,16 @@ _MANIFEST_KEYS = (
 
 def detect_kind(predictor: object) -> str:
     """Classify a predictor for artifact dispatch."""
+    from ..sched.wait import WaitTimePredictor
+
     if isinstance(predictor, TwoLevelModel):
         return KIND_TWO_LEVEL
     if isinstance(predictor, (DirectMLBaseline, EnsembleOfBaselines)):
         return KIND_DIRECT_ML
     if isinstance(predictor, CurveFitBaseline):
         return KIND_CURVE_FIT
+    if isinstance(predictor, WaitTimePredictor):
+        return KIND_WAIT_MODEL
     return KIND_PICKLE
 
 
@@ -360,9 +384,17 @@ class ModelArtifact:
     # -- persistence -------------------------------------------------------
 
     def _payload(self) -> dict[str, Any]:
+        from ..sched.wait import WaitTimePredictor
+
         if isinstance(self.predictor, TwoLevelModel):
             return {
                 "format": KIND_TWO_LEVEL,
+                "params": self.predictor.get_params(),
+                "state": self.predictor.get_fitted_state(),
+            }
+        if isinstance(self.predictor, WaitTimePredictor):
+            return {
+                "format": KIND_WAIT_MODEL,
                 "params": self.predictor.get_params(),
                 "state": self.predictor.get_fitted_state(),
             }
@@ -487,6 +519,12 @@ class ModelArtifact:
                 f"{path}: manifest is not valid JSON: {exc}"
             ) from exc
         info = ArtifactInfo.from_manifest(manifest, path)
+        if info.kind not in KNOWN_KINDS:
+            raise ArtifactFormatError(
+                f"{path}: unknown artifact kind {info.kind!r}; this build "
+                f"reads {sorted(KNOWN_KINDS)}. Refusing to unpickle the "
+                "payload."
+            )
         try:
             payload = (path / PAYLOAD_NAME).read_bytes()
         except OSError as exc:
@@ -604,6 +642,16 @@ class ModelArtifact:
                 raise ArtifactFormatError(
                     f"{path}: two-level payload is malformed: {exc}"
                 ) from exc
+        if decoded["format"] == KIND_WAIT_MODEL:
+            from ..sched.wait import WaitTimePredictor
+
+            try:
+                model = WaitTimePredictor(**decoded["params"])
+                return model.set_fitted_state(decoded["state"])
+            except (KeyError, TypeError, ConfigurationError) as exc:
+                raise ArtifactFormatError(
+                    f"{path}: wait-model payload is malformed: {exc}"
+                ) from exc
         try:
             return decoded["predictor"]
         except KeyError:
@@ -639,3 +687,30 @@ class ModelArtifact:
             f"Artifact kind {self.info.kind!r} has no parameter model and "
             "cannot answer (params, scale) queries."
         )
+
+    def predict_wait(
+        self,
+        observations: Sequence[Mapping[str, Any]],
+        quantiles: Sequence[float] = (),
+    ) -> dict[str, Any]:
+        """Queue-wait predictions for ``wait-model`` artifacts.
+
+        Returns ``{"wait_seconds": [...]}`` plus a ``"quantiles"`` matrix
+        when quantiles are requested.  Other kinds refuse.
+        """
+        if self.info.kind != KIND_WAIT_MODEL:
+            raise PredictionRequestError(
+                f"Artifact kind {self.info.kind!r} is not a wait model."
+            )
+        if quantiles:
+            waits, bands = self.predictor.predict_with_quantiles(
+                observations, quantiles=quantiles
+            )
+            return {
+                "wait_seconds": waits.tolist(),
+                "quantiles": [float(q) for q in quantiles],
+                "wait_quantiles": bands.tolist(),
+            }
+        return {
+            "wait_seconds": self.predictor.predict(observations).tolist()
+        }

@@ -10,6 +10,9 @@ are created lazily per (name, version) and cached).  JSON endpoints:
 ``/metrics``             GET   per-service snapshots + server health
 ``/predict``             POST  one configuration, many scales
 ``/batch``               POST  many (params, scales) requests at once
+``/wait``                POST  queue-wait predictions from a wait-model
+``/whatif``              POST  cost/turnaround frontier over scales
+``/waste``               POST  waste report over the configured store
 =======================  ====  =========================================
 
 Request bodies::
@@ -24,6 +27,21 @@ Request bodies::
 errors return HTTP 400 (unknown models/versions -> 404) with
 ``{"error": <exception type>, "message": ...}``; nothing in this module
 ever renders a traceback to the client.
+
+Authentication (optional): pass ``auth_token`` (CLI ``--auth-token`` or
+``REPRO_AUTH_TOKEN``) and every POST route requires an
+``Authorization: Bearer <token>`` header — compared in constant time —
+returning HTTP 401 with a ``WWW-Authenticate`` challenge otherwise.
+GET routes (health probes, registry listings, metrics scrapers) stay
+open: they expose no prediction surface and load-balancer health checks
+cannot attach headers.
+
+Scheduler-intelligence routes (see :mod:`repro.sched`): ``/wait`` serves
+``kind="wait-model"`` artifacts out of the same registry, ``/whatif``
+sweeps candidate scales through a runtime model (packed path) plus an
+optional wait model into a Pareto frontier, and ``/waste`` streams a
+waste report over the history store the server was started with
+(``waste_store``).
 
 Degraded operation (all optional, see :func:`create_server`):
 
@@ -54,13 +72,18 @@ keeps the serving layer importable everywhere the library is.
 
 from __future__ import annotations
 
+import hmac
 import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 
+import numpy as np
+
 from ..errors import (
+    AuthenticationError,
+    ConfigurationError,
     DeadlineExceededError,
     PredictionRequestError,
     RateLimitedError,
@@ -99,6 +122,8 @@ class PredictionServer(ThreadingHTTPServer):
         breaker_cooldown: float = 30.0,
         allow_stale: bool = True,
         use_packed: bool = True,
+        auth_token: str | None = None,
+        waste_store: "str | Any | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         super().__init__(address, _Handler)
@@ -109,6 +134,9 @@ class PredictionServer(ThreadingHTTPServer):
         self.deadline = deadline
         self.reload_interval = float(reload_interval)
         self.allow_stale = bool(allow_stale)
+        self.auth_token = auth_token or None
+        self.waste_store = waste_store
+        self._waste_store_opened: Any = None
         self.clock = clock
         self.limiter = (
             TokenBucket(rate, burst, clock=clock) if rate else None
@@ -117,6 +145,10 @@ class PredictionServer(ThreadingHTTPServer):
         self._breaker_cooldown = float(breaker_cooldown)
         self._breakers: dict[str, CircuitBreaker] = {}
         self._services: dict[tuple[str, int], PredictionService] = {}
+        #: wait-model artifacts served by /wait and /whatif, cached by
+        #: registry coordinates (they bypass PredictionService: no
+        #: (params, scale) surface to cache over)
+        self._wait_artifacts: dict[tuple[str, int], Any] = {}
         self._services_lock = threading.Lock()
         #: per-name resolution cache: version + when checked + dir mtime
         self._resolved: dict[str, dict[str, Any]] = {}
@@ -278,6 +310,50 @@ class PredictionServer(ThreadingHTTPServer):
             "failed to load and no last-known-good fallback exists."
         )
 
+    def wait_artifact_for(self, model: str | None, version: int | None):
+        """Resolve (and cache) a ``wait-model`` artifact for /wait and
+        /whatif.  Wait models bypass the circuit-breaker/stale machinery:
+        they are small, load in milliseconds, and a queue-wait estimate
+        from a wrong version is worse than a clean error."""
+        from .artifacts import KIND_WAIT_MODEL
+
+        if model is None:
+            raise PredictionRequestError(
+                "Request must name a wait model ('wait_model' or 'model' "
+                "field)."
+            )
+        resolved = self._resolve(str(model), version)
+        key = (str(model), resolved)
+        with self._services_lock:
+            artifact = self._wait_artifacts.get(key)
+        if artifact is None:
+            artifact = self.registry.load(str(model), resolved)
+            with self._services_lock:
+                artifact = self._wait_artifacts.setdefault(key, artifact)
+        if artifact.info.kind != KIND_WAIT_MODEL:
+            raise PredictionRequestError(
+                f"Model {model!r} v{resolved:04d} is kind "
+                f"{artifact.info.kind!r}, not a wait model."
+            )
+        return artifact, resolved
+
+    def open_waste_store(self):
+        """The history store behind /waste (opened once, cached), or a
+        clean request error when the server was started without one."""
+        if self.waste_store is None:
+            raise PredictionRequestError(
+                "This server was started without a history store; "
+                "restart with waste_store=<store dir> to enable /waste."
+            )
+        if self._waste_store_opened is None:
+            from ..store import HistoryStore
+
+            if isinstance(self.waste_store, HistoryStore):
+                self._waste_store_opened = self.waste_store
+            else:  # str or Path
+                self._waste_store_opened = HistoryStore.open(self.waste_store)
+        return self._waste_store_opened
+
     def _mark_stale(self, name: str, requested: int, serving: int) -> None:
         if serving != requested:
             self._stale[name] = {"requested": requested, "serving": serving}
@@ -337,6 +413,8 @@ def create_server(
     breaker_cooldown: float = 30.0,
     allow_stale: bool = True,
     use_packed: bool = True,
+    auth_token: str | None = None,
+    waste_store: "str | Any | None" = None,
 ) -> PredictionServer:
     """Bind a :class:`PredictionServer` (``port=0`` = ephemeral).
 
@@ -347,6 +425,9 @@ def create_server(
     both are off by default.  ``use_packed=False`` forces every service
     onto the object prediction path (packed pipelines are bit-identical,
     so this is a debugging escape hatch, not an accuracy knob).
+    ``auth_token`` requires a matching ``Authorization: Bearer`` header
+    on every POST route; ``waste_store`` (a store directory or an open
+    :class:`~repro.store.HistoryStore`) enables ``/waste``.
     """
     if not isinstance(registry, ModelRegistry):
         registry = ModelRegistry(registry, create=False)
@@ -365,6 +446,8 @@ def create_server(
         breaker_cooldown=breaker_cooldown,
         allow_stale=allow_stale,
         use_packed=use_packed,
+        auth_token=auth_token,
+        waste_store=waste_store,
     )
 
 
@@ -427,6 +510,11 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, handler) -> None:
         try:
             handler()
+        except AuthenticationError as exc:
+            self._send_error_json(
+                401, exc,
+                headers={"WWW-Authenticate": 'Bearer realm="repro"'},
+            )
         except RateLimitedError as exc:
             self._send_error_json(
                 429, exc,
@@ -447,6 +535,28 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # never leak a traceback to the wire
             logger.exception("unhandled error serving %s", self.path)
             self._send_error_json(500, exc)
+
+    # -- authentication ----------------------------------------------------
+
+    def _authenticate(self) -> None:
+        """Bearer-token gate for mutating/prediction (POST) routes.
+
+        Comparison is constant-time (``hmac.compare_digest``) so the
+        check leaks nothing about the token through response timing.
+        """
+        token = self.server.auth_token
+        if token is None:
+            return
+        header = self.headers.get("Authorization") or ""
+        expected = f"Bearer {token}"
+        if not hmac.compare_digest(
+            header.encode("utf-8", "replace"),
+            expected.encode("utf-8"),
+        ):
+            raise AuthenticationError(
+                "This server requires an 'Authorization: Bearer <token>' "
+                "header."
+            )
 
     # -- overload guards ---------------------------------------------------
 
@@ -492,7 +602,13 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch(handler)
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
-        routes = {"/predict": self._post_predict, "/batch": self._post_batch}
+        routes = {
+            "/predict": self._post_predict,
+            "/batch": self._post_batch,
+            "/wait": self._post_wait,
+            "/whatif": self._post_whatif,
+            "/waste": self._post_waste,
+        }
         handler = routes.get(self.path.split("?", 1)[0])
         if handler is None:
             self._send_json(
@@ -500,7 +616,11 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": "NotFound", "message": f"No route {self.path}."},
             )
             return
-        self._dispatch(handler)
+        def guarded() -> None:
+            self._authenticate()
+            handler()
+
+        self._dispatch(guarded)
 
     def _get_healthz(self) -> None:
         degraded = self.server.degraded
@@ -597,4 +717,136 @@ class _Handler(BaseHTTPRequestHandler):
                 "results": results,
                 **self._stale_fields(service),
             },
+        )
+
+    # -- scheduler-intelligence routes -------------------------------------
+
+    @staticmethod
+    def _observation_list(body: dict[str, Any]) -> list[dict[str, Any]]:
+        obs = body.get("observations")
+        if obs is None:
+            state = body.get("queue_state")
+            if not isinstance(state, dict):
+                raise PredictionRequestError(
+                    "Request needs 'observations' (a list of queue-state "
+                    "objects) or a single 'queue_state' object."
+                )
+            obs = [state]
+        if not isinstance(obs, list) or not obs or not all(
+            isinstance(o, dict) for o in obs
+        ):
+            raise PredictionRequestError(
+                "'observations' must be a non-empty list of queue-state "
+                "objects."
+            )
+        return obs
+
+    def _post_wait(self) -> None:
+        started = self._admit()
+        body = self._read_body()
+        self._check_deadline(started, "request parsed")
+        observations = self._observation_list(body)
+        artifact, version = self.server.wait_artifact_for(
+            body.get("model") or body.get("wait_model"),
+            body.get("version"),
+        )
+        self._check_deadline(started, "model resolved")
+        quantiles = body.get("quantiles") or ()
+        result = artifact.predict_wait(observations, quantiles=quantiles)
+        self._check_deadline(started, "prediction done")
+        self._send_json(
+            200,
+            {
+                "model": body.get("model") or body.get("wait_model"),
+                "version": version,
+                **result,
+            },
+        )
+
+    def _post_whatif(self) -> None:
+        from ..sched.whatif import WhatIfPlanner
+
+        started = self._admit()
+        body = self._read_body()
+        self._check_deadline(started, "request parsed")
+        scales = body.get("scales", [])
+        service = self.server.service_for(
+            body.get("model"), body.get("version")
+        )
+        wait_model = None
+        wait_name = body.get("wait_model")
+        wait_version = None
+        if wait_name is not None:
+            wait_artifact, wait_version = self.server.wait_artifact_for(
+                wait_name, body.get("wait_version")
+            )
+            wait_model = wait_artifact.predictor
+        self._check_deadline(started, "model resolved")
+
+        params = body.get("params", {})
+
+        def runtime_predict(x, sv):
+            # The service path keeps the packed pipeline + LRU cache in
+            # play; params were validated by predict_one itself.
+            return np.asarray(
+                service.predict_one(params, [int(s) for s in sv]),
+                dtype=np.float64,
+            )
+
+        try:
+            planner = WhatIfPlanner(
+                runtime_predict,
+                wait_model=wait_model,
+                limit_margin=float(body.get("limit_margin", 1.5)),
+            )
+            result = planner.evaluate(
+                service.validate_params(params),
+                service.validate_scales(scales),
+                queue_state=body.get("queue_state"),
+                deadline=body.get("deadline"),
+                budget_core_hours=body.get("budget_core_hours"),
+            )
+        except (ConfigurationError, TypeError, ValueError) as exc:
+            raise PredictionRequestError(
+                f"Invalid what-if request: {exc}"
+            ) from exc
+        self._check_deadline(started, "prediction done")
+        self._send_json(
+            200,
+            {
+                "model": service.name,
+                "version": service.version,
+                "wait_model": wait_name,
+                "wait_version": wait_version,
+                **result.to_dict(),
+                **self._stale_fields(service),
+            },
+        )
+
+    def _post_waste(self) -> None:
+        from ..sched.waste import WasteReport
+
+        started = self._admit()
+        body = self._read_body()
+        self._check_deadline(started, "request parsed")
+        store = self.server.open_waste_store()
+        self._check_deadline(started, "store resolved")
+        try:
+            time_limit = body.get("time_limit")
+            if time_limit is not None:
+                time_limit = float(time_limit)
+            chunk_rows = body.get("chunk_rows")
+            if chunk_rows is not None:
+                chunk_rows = int(chunk_rows)
+            report = WasteReport().add_store(
+                store, time_limit=time_limit, chunk_rows=chunk_rows
+            )
+        except (ConfigurationError, TypeError, ValueError) as exc:
+            raise PredictionRequestError(
+                f"Invalid waste request: {exc}"
+            ) from exc
+        self._check_deadline(started, "report done")
+        self._send_json(
+            200,
+            {"store": str(getattr(store, "root", "")), **report.to_dict()},
         )

@@ -195,6 +195,9 @@ class Attempt:
     backoff:
         Queue-wait seconds between the previous kill and this
         submission (0 for the original submission).
+    queue_wait:
+        Scheduler queue-wait seconds between this submission and job
+        start (0 when no queue simulator is attached).
     """
 
     index: int
@@ -203,6 +206,7 @@ class Attempt:
     runtime: float
     timed_out: bool
     backoff: float = 0.0
+    queue_wait: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -212,6 +216,7 @@ class Attempt:
             "runtime": self.runtime,
             "timed_out": self.timed_out,
             "backoff": self.backoff,
+            "queue_wait": self.queue_wait,
         }
 
 
@@ -249,10 +254,18 @@ class AttemptTrace:
         return self.final.timed_out
 
     @property
+    def total_wait(self) -> float:
+        """Seconds this run spent waiting rather than running: every
+        resubmission backoff plus every scheduler queue wait.  This is
+        the cumulative ``wait_seconds`` recorded on the final
+        :class:`~repro.sim.trace.ExecutionRecord`."""
+        return sum(a.backoff + a.queue_wait for a in self.attempts)
+
+    @property
     def total_wall_clock(self) -> float:
         """Seconds of machine + queue time consumed across all attempts
         (what the run actually cost, not what the history records)."""
-        return sum(a.runtime + a.backoff for a in self.attempts)
+        return sum(a.runtime + a.backoff + a.queue_wait for a in self.attempts)
 
     @property
     def wasted_wall_clock(self) -> float:
@@ -288,6 +301,7 @@ class AttemptTrace:
             "n_attempts": self.n_attempts,
             "resubmissions": self.resubmissions,
             "timed_out": self.timed_out,
+            "total_wait": self.total_wait,
             "total_wall_clock": self.total_wall_clock,
             "wasted_wall_clock": self.wasted_wall_clock,
             "attempts": [a.to_dict() for a in self.attempts],

@@ -106,6 +106,14 @@ class Executor:
     retry:
         Default resubmission policy for timed-out runs (single attempt
         when None).
+    queue:
+        Optional :class:`repro.sched.QueueSimulator`.  When attached,
+        every submission is probed against the simulated scheduler
+        queue: the record's ``wait_seconds`` carries the queue wait (plus
+        any retry backoffs) and ``queue_state`` snapshots the queue
+        features at submission.  The probe draws nothing from the run's
+        noise stream, so runtimes stay bit-identical with or without a
+        queue.
     """
 
     def __init__(
@@ -115,12 +123,14 @@ class Executor:
         seed: int = 0,
         budget: ExecutionBudget | None = None,
         retry: RetryPolicy | None = None,
+        queue=None,
     ) -> None:
         self.machine = machine if machine is not None else Machine()
         self.noise = noise if noise is not None else NoiseModel()
         self.seed = seed
         self.budget = budget if budget is not None else ExecutionBudget.unlimited()
         self.retry = retry if retry is not None else RetryPolicy()
+        self.queue = queue
 
     def model_phases(self, app, params: dict[str, float], nprocs: int) -> list[PhaseTiming]:
         """Noise-free per-phase timings for one configuration."""
@@ -178,8 +188,13 @@ class Executor:
                 f"params={params}, nprocs={nprocs}."
             )
 
+        queue_state: dict[str, float] | None = None
+
         def record_for(
-            runtime: float, censored: bool, trace: AttemptTrace | None
+            runtime: float,
+            censored: bool,
+            trace: AttemptTrace | None,
+            wait_seconds: float = 0.0,
         ) -> ExecutionRecord:
             return ExecutionRecord(
                 app_name=app.name,
@@ -191,13 +206,33 @@ class Executor:
                 rep=rep,
                 censored=censored,
                 attempts=trace,
+                wait_seconds=wait_seconds,
+                queue_state=queue_state,
             )
 
-        if not budget.bounded:
-            rng = np.random.default_rng(
-                _run_seed(self.seed, app.name, params, nprocs, rep)
+        def probe_queue(seed: int, limit: float | None) -> float:
+            """Queue wait for one submission; snapshots the first probe's
+            queue features.  Derives everything from the attempt seed so
+            the run's noise stream is untouched."""
+            nonlocal queue_state
+            if self.queue is None:
+                return 0.0
+            obs = self.queue.submit(
+                key=seed,
+                nodes=self.machine.nodes_for(nprocs),
+                time_limit=limit if limit is not None else model_runtime,
             )
-            return record_for(self.noise.apply(model_runtime, rng), False, None)
+            if queue_state is None:
+                queue_state = obs.features()
+            return obs.wait_seconds
+
+        if not budget.bounded:
+            seed = _run_seed(self.seed, app.name, params, nprocs, rep)
+            rng = np.random.default_rng(seed)
+            wait = probe_queue(seed, None)
+            return record_for(
+                self.noise.apply(model_runtime, rng), False, None, wait
+            )
 
         attempts: list[Attempt] = []
         for attempt in range(retry.max_attempts):
@@ -209,6 +244,7 @@ class Executor:
                 self.machine, nprocs
             )
             backoff = retry.backoff_delay(attempt, rng)
+            queue_wait = probe_queue(seed, limit)
             runtime = self.noise.apply(model_runtime, rng)
             timed_out = limit is not None and runtime > limit
             attempts.append(
@@ -219,13 +255,15 @@ class Executor:
                     runtime=float(limit) if timed_out else runtime,
                     timed_out=timed_out,
                     backoff=backoff,
+                    queue_wait=queue_wait,
                 )
             )
             if not timed_out:
-                return record_for(runtime, False, AttemptTrace(tuple(attempts)))
+                trace = AttemptTrace(tuple(attempts))
+                return record_for(runtime, False, trace, trace.total_wait)
 
         trace = AttemptTrace(tuple(attempts))
-        censored = record_for(trace.final.runtime, True, trace)
+        censored = record_for(trace.final.runtime, True, trace, trace.total_wait)
         raise ExecutionTimeoutError(
             f"{app.name} at nprocs={nprocs} (rep={rep}) exceeded its "
             f"{trace.final.limit:g} s wall-clock budget on all "

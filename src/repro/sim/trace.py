@@ -69,6 +69,16 @@ class ExecutionRecord:
     attempts:
         Budget/retry audit trail (None when the run executed under an
         unlimited budget and needed no resubmission bookkeeping).
+    wait_seconds:
+        Cumulative seconds the run spent waiting rather than running:
+        scheduler queue waits plus resubmission backoffs, summed over
+        every attempt.  0 when neither a queue simulator nor a retry
+        policy was in play.
+    queue_state:
+        Snapshot of the simulated scheduler queue at submission (queue
+        depth, free nodes, pending work...), as produced by
+        :class:`repro.sched.QueueSimulator`.  None when no queue
+        simulator was attached.
     """
 
     app_name: str
@@ -80,12 +90,16 @@ class ExecutionRecord:
     rep: int = 0
     censored: bool = False
     attempts: AttemptTrace | None = None
+    wait_seconds: float = 0.0
+    queue_state: dict[str, float] | None = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
             raise DataValidationError("nprocs must be >= 1.")
         if self.runtime <= 0 or self.model_runtime <= 0:
             raise DataValidationError("Runtimes must be positive.")
+        if self.wait_seconds < 0:
+            raise DataValidationError("wait_seconds must be >= 0.")
 
     @property
     def compute_time(self) -> float:

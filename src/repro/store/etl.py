@@ -247,6 +247,7 @@ class IngestPipeline:
         runtime = np.empty(n, dtype=np.float64)
         model_runtime = np.empty(n, dtype=np.float64)
         rep = np.empty(n, dtype=np.int64)
+        wait_seconds = np.empty(n, dtype=np.float64)
         keep = np.zeros(n, dtype=bool)
 
         def reject(reason: str) -> None:
@@ -303,11 +304,21 @@ class IngestPipeline:
             except (TypeError, ValueError):
                 reject("bad_rep")
                 continue
+            raw_wait = rec.get("wait_seconds")
+            try:
+                wait = 0.0 if raw_wait is None else float(raw_wait)
+            except (TypeError, ValueError):
+                reject("bad_wait_seconds")
+                continue
+            if not math.isfinite(wait) or wait < 0:
+                reject("bad_wait_seconds")
+                continue
             X[i] = row
             nprocs[i] = np_
             runtime[i] = rt
             model_runtime[i] = mrt
             rep[i] = rp
+            wait_seconds[i] = wait
             keep[i] = True
 
         if not keep.any():
@@ -326,4 +337,5 @@ class IngestPipeline:
             runtime=runtime[keep],
             model_runtime=model_runtime[keep],
             rep=rep[keep],
+            wait_seconds=wait_seconds[keep],
         )

@@ -44,7 +44,15 @@ __all__ = [
 #: Top-level keys with fixed meaning; anything else in a flat record is
 #: treated as a parameter column.
 RESERVED_FIELDS = frozenset(
-    {"app_name", "params", "nprocs", "runtime", "model_runtime", "rep"}
+    {
+        "app_name",
+        "params",
+        "nprocs",
+        "runtime",
+        "model_runtime",
+        "rep",
+        "wait_seconds",
+    }
 )
 
 
@@ -74,6 +82,7 @@ def normalize_record(obj: Mapping[str, Any], origin: str) -> dict[str, Any]:
         "runtime": obj.get("runtime"),
         "model_runtime": obj.get("model_runtime"),
         "rep": obj.get("rep"),
+        "wait_seconds": obj.get("wait_seconds"),
         "origin": origin,
     }
 
@@ -167,6 +176,7 @@ class DatasetExtractor:
                         "runtime": float(ds.runtime[i]),
                         "model_runtime": float(ds.model_runtime[i]),
                         "rep": int(ds.rep[i]),
+                        "wait_seconds": float(ds.wait_seconds[i]),
                         "origin": f"<dataset row {i}>",
                     }
                 )
@@ -198,6 +208,7 @@ class RecordStreamExtractor:
                     "runtime": r.runtime,
                     "model_runtime": r.model_runtime,
                     "rep": r.rep,
+                    "wait_seconds": r.wait_seconds,
                     "origin": f"<record {i}>",
                 }
             )

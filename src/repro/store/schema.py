@@ -16,27 +16,38 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "COLUMNS",
     "COLUMN_NAMES",
+    "OPTIONAL_COLUMNS",
     "column_dtype",
 ]
 
 #: Manifest ``format`` marker identifying a directory as a history store.
 STORE_FORMAT = "repro-history-store"
 
-#: Bump on any manifest/shard layout change.
-STORE_FORMAT_VERSION = 1
+#: Bump on any manifest/shard layout change.  Version 2 added the
+#: optional ``wait_seconds`` column; version-1 stores (and version-1
+#: shards inside upgraded stores) keep loading, with the missing column
+#: synthesized as zeros.
+STORE_FORMAT_VERSION = 2
 
-#: Canonical column order: ``(name, dtype, ndim)``.  The order matches
-#: :data:`repro.data.io.FINGERPRINT_COLUMNS` so store fingerprints and
-#: dataset fingerprints agree byte-for-byte.
+#: Canonical column order: ``(name, dtype, ndim)``.  The first five
+#: match :data:`repro.data.io.FINGERPRINT_COLUMNS` so store fingerprints
+#: and dataset fingerprints agree byte-for-byte; optional columns hash
+#: into neither (they are operational metadata, and including them would
+#: orphan every fingerprint minted before they existed).
 COLUMNS = (
     ("X", np.float64, 2),
     ("nprocs", np.int64, 1),
     ("runtime", np.float64, 1),
     ("model_runtime", np.float64, 1),
     ("rep", np.int64, 1),
+    ("wait_seconds", np.float64, 1),
 )
 
 COLUMN_NAMES = tuple(name for name, _, _ in COLUMNS)
+
+#: Columns a shard may lack (written by an older build); readers
+#: synthesize zeros instead of flagging the shard as damaged.
+OPTIONAL_COLUMNS = frozenset({"wait_seconds"})
 
 _DTYPES = {name: dtype for name, dtype, _ in COLUMNS}
 

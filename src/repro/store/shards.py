@@ -9,6 +9,7 @@ of fixed-width numpy column files::
         runtime.npy       float64 (rows,)
         model_runtime.npy float64 (rows,)
         rep.npy           int64   (rows,)
+        wait_seconds.npy  float64 (rows,)   [optional: absent pre-v2]
 
 Columns are written atomically (fsynced temp directory +
 ``os.replace`` + parent-dir fsync via :mod:`repro.store.atomic`) and
@@ -29,7 +30,7 @@ from ..data.dataset import ExecutionDataset
 from ..errors import DatasetFormatError
 from ..log import get_logger
 from . import atomic
-from .schema import COLUMNS, column_dtype
+from .schema import COLUMNS, OPTIONAL_COLUMNS, column_dtype
 
 __all__ = ["write_shard", "open_shard_column", "shard_nrows", "ShardReader"]
 
@@ -63,9 +64,16 @@ def write_shard(directory: Path, dataset: ExecutionDataset) -> Path:
 
 
 def open_shard_column(directory: Path, name: str) -> np.ndarray:
-    """Memory-map one column of a shard (read-only, no copy)."""
+    """Memory-map one column of a shard (read-only, no copy).
+
+    Optional columns absent from a shard (written by an older build,
+    before the column existed) come back as a zeros array of the
+    shard's row count instead of raising.
+    """
     path = Path(directory) / f"{name}.npy"
     if not path.is_file():
+        if name in OPTIONAL_COLUMNS:
+            return np.zeros(shard_nrows(directory), dtype=column_dtype(name))
         raise DatasetFormatError(
             f"Shard {directory} is missing column file {name}.npy."
         )

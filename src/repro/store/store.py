@@ -48,7 +48,13 @@ from ..data.io import FINGERPRINT_COLUMNS, FingerprintStream, save_dataset
 from ..errors import ConfigurationError, DataValidationError, DatasetFormatError
 from ..log import get_logger
 from . import atomic
-from .schema import COLUMN_NAMES, STORE_FORMAT, STORE_FORMAT_VERSION, column_dtype
+from .schema import (
+    COLUMN_NAMES,
+    OPTIONAL_COLUMNS,
+    STORE_FORMAT,
+    STORE_FORMAT_VERSION,
+    column_dtype,
+)
 from .shards import ShardReader, write_shard
 
 __all__ = [
@@ -584,9 +590,15 @@ class HistoryStore:
         if not shard_dir.is_dir():
             return "missing-shard"
         cols: dict[str, np.ndarray] = {}
+        absent: list[str] = []
         for name in COLUMN_NAMES:
             path = shard_dir / f"{name}.npy"
             if not path.is_file():
+                # Optional columns are legitimately absent from shards
+                # written before they existed — not damage.
+                if name in OPTIONAL_COLUMNS:
+                    absent.append(name)
+                    continue
                 return "missing-column"
             try:
                 cols[name] = np.load(path, mmap_mode="r", allow_pickle=False)
@@ -599,6 +611,8 @@ class HistoryStore:
             int(c.shape[0]) != rows for c in cols.values()
         ):
             return "row-mismatch"
+        for name in absent:
+            cols[name] = np.zeros(rows, dtype=column_dtype(name))
         try:
             shard_ds = ExecutionDataset(
                 app_name=self.app_name,
@@ -748,6 +762,7 @@ class HistoryStore:
             pa.field("runtime", pa.float64()),
             pa.field("model_runtime", pa.float64()),
             pa.field("rep", pa.int64()),
+            pa.field("wait_seconds", pa.float64()),
         ]
         schema = pa.schema(fields)
         with pq.ParquetWriter(path, schema) as writer:
@@ -761,6 +776,7 @@ class HistoryStore:
                     pa.array(chunk["runtime"]),
                     pa.array(chunk["model_runtime"]),
                     pa.array(chunk["rep"]),
+                    pa.array(chunk["wait_seconds"]),
                 ]
                 writer.write_table(pa.Table.from_arrays(arrays, schema=schema))
         return path

@@ -1,0 +1,35 @@
+"""Shared fixtures for the scheduler-intelligence tests.
+
+The queue simulator build (event loop over ~700 background jobs) is the
+slow part, so simulators and their sampled probes are session-scoped —
+both are immutable after construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import QueueConfig, QueueSimulator, WaitTimePredictor
+
+#: Deliberately busy: ~50% utilization so probes see real contention.
+BUSY_CONFIG = QueueConfig(
+    n_nodes=256, arrival_rate=0.008, horizon=86400.0, seed=3
+)
+
+
+@pytest.fixture(scope="session")
+def busy_queue():
+    return QueueSimulator(BUSY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def probes(busy_queue):
+    return busy_queue.sample_observations(300, seed=5)
+
+
+@pytest.fixture(scope="session")
+def fitted_wait_model(probes):
+    return WaitTimePredictor(n_estimators=16, random_state=0).fit(
+        [o.features() for o in probes],
+        [o.wait_seconds for o in probes],
+    )

@@ -1,0 +1,231 @@
+"""Queue simulator: determinism, schedule invariants, probe semantics,
+and the Executor integration contract (runtimes bit-identical with or
+without a queue attached)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched import QueueConfig, QueueSimulator
+from repro.sim import ExecutionBudget, Executor, NoiseModel, RetryPolicy
+
+from .conftest import BUSY_CONFIG
+
+
+class TestQueueConfig:
+    def test_defaults_valid(self):
+        QueueConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_nodes": 0},
+            {"arrival_rate": 0.0},
+            {"arrival_rate": -1.0},
+            {"horizon": 0.0},
+            {"runtime_median": 0.0},
+            {"runtime_sigma": -0.1},
+            {"nodes_median": 0.5},
+            {"limit_slack_min": 0.9},
+            {"limit_slack_min": 2.0, "limit_slack_max": 1.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QueueConfig(**kwargs)
+
+
+class TestSchedule:
+    def test_deterministic_rebuild(self, busy_queue):
+        again = QueueSimulator(BUSY_CONFIG)
+        assert np.array_equal(busy_queue._start, again._start)
+        assert np.array_equal(busy_queue._prof_t, again._prof_t)
+        assert np.array_equal(busy_queue._prof_free, again._prof_free)
+        assert busy_queue.stats() == again.stats()
+
+    def test_seed_changes_schedule(self, busy_queue):
+        other = QueueSimulator(
+            QueueConfig(
+                n_nodes=BUSY_CONFIG.n_nodes,
+                arrival_rate=BUSY_CONFIG.arrival_rate,
+                horizon=BUSY_CONFIG.horizon,
+                seed=BUSY_CONFIG.seed + 1,
+            )
+        )
+        assert not np.array_equal(busy_queue._start, other._start)
+
+    def test_capacity_never_exceeded(self, busy_queue):
+        assert busy_queue._prof_free.min() >= 0
+        # After the last event every job has finished: all nodes free.
+        assert busy_queue._prof_free[-1] == BUSY_CONFIG.n_nodes
+
+    def test_jobs_start_after_arrival(self, busy_queue):
+        assert np.all(busy_queue._start >= busy_queue._arrival - 1e-9)
+
+    def test_stats_sane(self, busy_queue):
+        s = busy_queue.stats()
+        assert s["n_jobs"] == busy_queue.n_background_jobs > 100
+        assert 0.0 < s["utilization"] <= 1.0
+        assert 0.0 <= s["p50_wait"] <= s["max_wait"]
+        assert s["makespan"] > 0.0
+
+
+class TestProbe:
+    def test_probe_deterministic_across_instances(self, busy_queue):
+        again = QueueSimulator(BUSY_CONFIG)
+        for t, nodes, limit in [(500.0, 4, 1200.0), (40000.0, 128, 7200.0)]:
+            a = busy_queue.probe(t, nodes, limit)
+            b = again.probe(t, nodes, limit)
+            assert a == b
+
+    def test_probe_window_actually_fits(self, busy_queue):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            t = float(rng.uniform(0, BUSY_CONFIG.horizon))
+            nodes = int(rng.integers(1, 128))
+            limit = float(rng.uniform(300.0, 10800.0))
+            obs = busy_queue.probe(t, nodes, limit)
+            assert obs.start_time >= t
+            assert obs.wait_seconds >= 0.0
+            assert (
+                busy_queue._window_min(
+                    obs.start_time, obs.start_time + limit
+                )
+                >= nodes
+            )
+
+    def test_probe_earliest_no_gap_before_start(self, busy_queue):
+        """A waiting probe could not have started at submission."""
+        obs = None
+        rng = np.random.default_rng(13)
+        for _ in range(200):
+            t = float(rng.uniform(0, BUSY_CONFIG.horizon * 0.8))
+            cand = busy_queue.probe(t, 192, 7200.0)
+            if cand.wait_seconds > 0:
+                obs = cand
+                break
+        assert obs is not None, "busy queue never made a 192-node probe wait"
+        assert (
+            busy_queue._window_min(
+                obs.submit_time, obs.submit_time + obs.time_limit
+            )
+            < obs.nodes
+        )
+
+    def test_wait_monotone_in_nodes(self, busy_queue):
+        """Any window that fits N nodes also fits fewer."""
+        for t in (1000.0, 20000.0, 60000.0):
+            waits = [
+                busy_queue.probe(t, n, 3600.0).wait_seconds
+                for n in (1, 16, 64, 192, 256)
+            ]
+            assert waits == sorted(waits)
+
+    def test_probe_validation(self, busy_queue):
+        with pytest.raises(ConfigurationError):
+            busy_queue.probe(0.0, 0, 600.0)
+        with pytest.raises(ConfigurationError):
+            busy_queue.probe(0.0, BUSY_CONFIG.n_nodes + 1, 600.0)
+        with pytest.raises(ConfigurationError):
+            busy_queue.probe(0.0, 4, 0.0)
+        with pytest.raises(ConfigurationError):
+            busy_queue.probe(-1.0, 4, 600.0)
+
+    def test_submit_keyed_determinism(self, busy_queue):
+        a = busy_queue.submit(key=123456789, nodes=8, time_limit=1800.0)
+        b = busy_queue.submit(key=123456789, nodes=8, time_limit=1800.0)
+        assert a == b
+        c = busy_queue.submit(key=987654321, nodes=8, time_limit=1800.0)
+        assert c.submit_time != a.submit_time
+
+    def test_empty_background_trace(self):
+        quiet = QueueSimulator(
+            QueueConfig(n_nodes=64, arrival_rate=1e-9, horizon=3600.0, seed=0)
+        )
+        assert quiet.n_background_jobs == 0
+        obs = quiet.probe(100.0, 64, 600.0)
+        assert obs.wait_seconds == 0.0
+        assert obs.free_nodes == 64
+        assert obs.queue_depth == 0
+
+
+class TestObservations:
+    def test_sample_observations(self, busy_queue, probes):
+        assert len(probes) == 300
+        feats = probes[0].features()
+        for key in (
+            "nodes",
+            "time_limit",
+            "queue_depth",
+            "free_nodes",
+            "running_jobs",
+            "pending_node_seconds",
+            "wait_seconds",
+        ):
+            assert key in feats
+        assert all(o.wait_seconds >= 0.0 for o in probes)
+        assert all(1 <= o.nodes <= 64 for o in probes)
+        # A busy queue must make at least some probes wait.
+        assert sum(o.wait_seconds > 0 for o in probes) > 10
+        # Same seed resamples identically.
+        again = busy_queue.sample_observations(10, seed=5)
+        assert again == probes[:10]
+
+    def test_sample_observations_validation(self, busy_queue):
+        with pytest.raises(ConfigurationError):
+            busy_queue.sample_observations(0)
+
+
+class TestExecutorIntegration:
+    def _executors(self, **kwargs):
+        queue = QueueSimulator(BUSY_CONFIG)
+        plain = Executor(
+            noise=NoiseModel(sigma=0.05, jitter_prob=0.0), seed=7, **kwargs
+        )
+        queued = Executor(
+            noise=NoiseModel(sigma=0.05, jitter_prob=0.0),
+            seed=7,
+            queue=queue,
+            **kwargs,
+        )
+        return plain, queued
+
+    def test_runtimes_bit_identical_unbounded(self, stencil_app):
+        plain, queued = self._executors()
+        rng = np.random.default_rng(0)
+        for rep in range(3):
+            params = stencil_app.sample_params(rng)
+            for nprocs in (8, 64):
+                a = plain.run(stencil_app, params, nprocs, rep=rep)
+                b = queued.run(stencil_app, params, nprocs, rep=rep)
+                assert a.runtime == b.runtime
+                assert a.wait_seconds == 0.0
+                assert a.queue_state is None
+                assert b.wait_seconds >= 0.0
+                assert b.queue_state is not None
+
+    def test_runtimes_bit_identical_bounded(self, stencil_app):
+        budget = ExecutionBudget(limit=1e6)
+        retry = RetryPolicy(max_attempts=2)
+        plain, queued = self._executors(budget=budget, retry=retry)
+        rng = np.random.default_rng(1)
+        params = stencil_app.sample_params(rng)
+        a = plain.run(stencil_app, params, 16)
+        b = queued.run(stencil_app, params, 16)
+        assert a.runtime == b.runtime
+
+    def test_queue_wait_lands_in_record(self, stencil_app):
+        _, queued = self._executors()
+        rng = np.random.default_rng(2)
+        waits = []
+        for rep in range(20):
+            params = stencil_app.sample_params(rng)
+            r = queued.run(stencil_app, params, 200, rep=rep)
+            waits.append(r.wait_seconds)
+            if r.attempts is not None:
+                assert r.wait_seconds == pytest.approx(
+                    r.attempts.total_wait
+                )
+        assert any(w > 0 for w in waits)

@@ -1,0 +1,128 @@
+"""Wait-time predictor: fit/predict contracts, quantile bands,
+validation, and the get_params/get_fitted_state persistence protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.sched import WAIT_FEATURES, WaitTimePredictor
+
+
+def _xy(probes):
+    return [o.features() for o in probes], [o.wait_seconds for o in probes]
+
+
+class TestConstruction:
+    def test_bad_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            WaitTimePredictor(n_estimators=0)
+        with pytest.raises(ConfigurationError):
+            WaitTimePredictor(min_samples_leaf=0)
+
+    def test_not_fitted_raises(self):
+        model = WaitTimePredictor()
+        assert not model.is_fitted
+        state = {"queue_depth": 3.0}
+        with pytest.raises(NotFittedError):
+            model.predict([state])
+        with pytest.raises(NotFittedError):
+            model.predict_quantiles([state])
+        with pytest.raises(NotFittedError):
+            model.get_fitted_state()
+
+
+class TestFeatures:
+    def test_feature_vector_order_and_defaults(self):
+        v = WaitTimePredictor.feature_vector({"nodes": 8, "free_nodes": 100})
+        assert v.shape == (len(WAIT_FEATURES),)
+        assert v[WAIT_FEATURES.index("nodes")] == 8.0
+        assert v[WAIT_FEATURES.index("free_nodes")] == 100.0
+        assert v[WAIT_FEATURES.index("queue_depth")] == 0.0
+
+    def test_feature_matrix_accepts_ndarray(self):
+        F = np.ones((3, len(WAIT_FEATURES)))
+        assert np.array_equal(WaitTimePredictor.feature_matrix(F), F)
+
+    def test_feature_matrix_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            WaitTimePredictor.feature_matrix(np.ones((3, 2)))
+        with pytest.raises(ConfigurationError):
+            WaitTimePredictor.feature_matrix([])
+
+
+class TestFitPredict:
+    def test_fit_validation(self, probes):
+        obs, waits = _xy(probes)
+        model = WaitTimePredictor(n_estimators=4)
+        with pytest.raises(ConfigurationError):
+            model.fit(obs, waits[:-1])
+        with pytest.raises(ConfigurationError):
+            model.fit(obs, [-1.0] * len(obs))
+        with pytest.raises(ConfigurationError):
+            model.fit(obs, [np.nan] * len(obs))
+
+    def test_predictions_nonnegative_and_correlated(
+        self, fitted_wait_model, probes
+    ):
+        obs, waits = _xy(probes)
+        pred = fitted_wait_model.predict(obs)
+        assert pred.shape == (len(obs),)
+        assert np.all(pred >= 0.0)
+        # In-sample fit on a forest must track the truth closely.
+        y = np.asarray(waits)
+        corr = np.corrcoef(np.log1p(pred), np.log1p(y))[0, 1]
+        assert corr > 0.8
+
+    def test_beats_constant_baseline(self, fitted_wait_model, probes):
+        obs, waits = _xy(probes)
+        y = np.asarray(waits)
+        pred = fitted_wait_model.predict(obs)
+        err_model = np.abs(np.log1p(pred) - np.log1p(y)).mean()
+        err_mean = np.abs(
+            np.log1p(np.full_like(y, y.mean())) - np.log1p(y)
+        ).mean()
+        assert err_model < err_mean
+
+    def test_quantile_bands_ordered(self, fitted_wait_model, probes):
+        obs, _ = _xy(probes[:40])
+        q = fitted_wait_model.predict_quantiles(obs, quantiles=(0.1, 0.5, 0.9))
+        assert q.shape == (40, 3)
+        assert np.all(q >= 0.0)
+        assert np.all(q[:, 0] <= q[:, 1] + 1e-9)
+        assert np.all(q[:, 1] <= q[:, 2] + 1e-9)
+
+    def test_quantile_validation(self, fitted_wait_model, probes):
+        obs, _ = _xy(probes[:2])
+        with pytest.raises(ConfigurationError):
+            fitted_wait_model.predict_quantiles(obs, quantiles=())
+        with pytest.raises(ConfigurationError):
+            fitted_wait_model.predict_quantiles(obs, quantiles=(1.5,))
+
+
+class TestPersistence:
+    def test_round_trip_bit_exact(self, fitted_wait_model, probes):
+        obs, _ = _xy(probes[:50])
+        params = fitted_wait_model.get_params()
+        state = fitted_wait_model.get_fitted_state()
+        clone = WaitTimePredictor(**params).set_fitted_state(state)
+        assert np.array_equal(
+            fitted_wait_model.predict(obs), clone.predict(obs)
+        )
+        assert np.array_equal(
+            fitted_wait_model.predict_quantiles(obs),
+            clone.predict_quantiles(obs),
+        )
+
+    def test_set_fitted_state_rejects_feature_drift(self, fitted_wait_model):
+        state = dict(fitted_wait_model.get_fitted_state())
+        state["features"] = ["nodes", "bogus"]
+        with pytest.raises(ConfigurationError):
+            WaitTimePredictor().set_fitted_state(state)
+
+    def test_set_fitted_state_rejects_missing_forest(self):
+        with pytest.raises(ConfigurationError):
+            WaitTimePredictor().set_fitted_state(
+                {"features": list(WAIT_FEATURES), "forest": None}
+            )

@@ -1,0 +1,203 @@
+"""Waste report: record-path attempt accounting, chunk-path math,
+store streaming equivalence, and the totals/summary surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched import WasteReport
+from repro.sim import ExecutionRecord
+from repro.sim.budget import Attempt, AttemptTrace
+from repro.store import HistoryStore
+
+
+def _record(
+    nprocs=8,
+    runtime=100.0,
+    censored=False,
+    attempts=None,
+    wait_seconds=0.0,
+):
+    return ExecutionRecord(
+        app_name="stencil3d",
+        params={"nx": 64.0},
+        nprocs=nprocs,
+        runtime=runtime,
+        model_runtime=runtime,
+        censored=censored,
+        attempts=attempts,
+        wait_seconds=wait_seconds,
+    )
+
+
+class TestRecordPath:
+    def test_plain_record_counts_as_used(self):
+        report = WasteReport().add_records([_record(runtime=100.0, nprocs=8)])
+        (b,) = report.buckets
+        assert b.runs == 1
+        assert b.used_core_seconds == 100.0 * 8
+        assert b.wasted_core_seconds == 0.0
+        assert b.waste_fraction == 0.0
+
+    def test_wait_is_charged_per_core(self):
+        report = WasteReport().add_records(
+            [_record(runtime=100.0, nprocs=8, wait_seconds=50.0)]
+        )
+        (b,) = report.buckets
+        assert b.wait_core_seconds == 50.0 * 8
+        assert b.waste_fraction == pytest.approx(400.0 / (800.0 + 400.0))
+
+    def test_attempt_trace_kill_and_overrequest(self):
+        # Attempt 0 killed at limit 60; attempt 1 finished in 80 under
+        # limit 120 → killed 60, over-request 40, used 80 (× cores).
+        trace = AttemptTrace(
+            attempts=(
+                Attempt(
+                    index=0, seed=1, limit=60.0, runtime=60.0, timed_out=True
+                ),
+                Attempt(
+                    index=1,
+                    seed=2,
+                    limit=120.0,
+                    runtime=80.0,
+                    timed_out=False,
+                    backoff=30.0,
+                ),
+            )
+        )
+        report = WasteReport().add_records(
+            [
+                _record(
+                    nprocs=4,
+                    runtime=80.0,
+                    attempts=trace,
+                    wait_seconds=trace.total_wait,
+                )
+            ]
+        )
+        (b,) = report.buckets
+        assert b.resubmitted_runs == 1
+        assert b.killed_core_seconds == 60.0 * 4
+        assert b.requested_core_seconds == (60.0 + 120.0) * 4
+        assert b.overrequest_core_seconds == 40.0 * 4
+        assert b.used_core_seconds == 80.0 * 4
+        assert b.wait_core_seconds == 30.0 * 4
+
+    def test_fully_censored_run_is_all_waste(self):
+        trace = AttemptTrace(
+            attempts=(
+                Attempt(
+                    index=0, seed=1, limit=60.0, runtime=60.0, timed_out=True
+                ),
+            )
+        )
+        report = WasteReport().add_records(
+            [_record(nprocs=2, runtime=60.0, censored=True, attempts=trace)]
+        )
+        (b,) = report.buckets
+        assert b.censored_runs == 1
+        assert b.used_core_seconds == 0.0
+        assert b.killed_core_seconds == 60.0 * 2
+        assert b.waste_fraction == 1.0
+
+
+class TestChunkPath:
+    def _chunk(self):
+        return {
+            "nprocs": np.array([8, 8, 16]),
+            "runtime": np.array([100.0, 200.0, 50.0]),
+            "wait_seconds": np.array([10.0, 0.0, 5.0]),
+        }
+
+    def test_basic_aggregation(self):
+        report = WasteReport().add_chunk("stencil3d", self._chunk())
+        b8, b16 = report.buckets
+        assert (b8.nprocs, b16.nprocs) == (8, 16)
+        assert b8.runs == 2 and b16.runs == 1
+        assert b8.used_core_seconds == (100.0 + 200.0) * 8
+        assert b8.wait_core_seconds == 10.0 * 8
+        assert b16.used_core_seconds == 50.0 * 16
+
+    def test_missing_wait_column_defaults_to_zero(self):
+        chunk = self._chunk()
+        del chunk["wait_seconds"]
+        report = WasteReport().add_chunk("stencil3d", chunk)
+        assert all(b.wait_core_seconds == 0.0 for b in report.buckets)
+
+    def test_time_limit_accounting(self):
+        # Limit 150: run at 100 over-requests 50; run at 200 is recorded
+        # past the limit → a censored kill, moved out of "used".
+        report = WasteReport().add_chunk(
+            "stencil3d", self._chunk(), time_limit=150.0
+        )
+        b8 = report.buckets[0]
+        assert b8.requested_core_seconds == 150.0 * 8 * 2
+        assert b8.overrequest_core_seconds == 50.0 * 8
+        assert b8.censored_runs == 1
+        assert b8.killed_core_seconds == 200.0 * 8
+        assert b8.used_core_seconds == 100.0 * 8
+
+    def test_time_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            WasteReport().add_chunk(
+                "stencil3d", self._chunk(), time_limit=0.0
+            )
+
+
+class TestStorePath:
+    @pytest.fixture()
+    def store(self, tmp_path, tiny_history):
+        st = HistoryStore.create(
+            tmp_path / "store",
+            app_name=tiny_history.app_name,
+            param_names=tiny_history.param_names,
+        )
+        st.append(tiny_history)
+        return st
+
+    def test_add_store_matches_single_chunk(self, store, tiny_history):
+        streamed = WasteReport().add_store(store, chunk_rows=7)
+        direct = WasteReport().add_chunk(
+            tiny_history.app_name,
+            {
+                "nprocs": tiny_history.nprocs,
+                "runtime": tiny_history.runtime,
+                "wait_seconds": tiny_history.wait_seconds,
+            },
+        )
+        assert streamed.to_dict() == direct.to_dict()
+
+    def test_add_store_with_limit(self, store, tiny_history):
+        limit = float(np.median(tiny_history.runtime))
+        report = WasteReport().add_store(store, time_limit=limit)
+        t = report.totals()
+        assert t["runs"] == len(tiny_history.runtime)
+        assert t["censored_runs"] > 0
+        assert t["killed_core_seconds"] > 0
+        assert t["overrequest_core_seconds"] > 0
+
+
+class TestReporting:
+    def test_totals_and_summary(self):
+        report = WasteReport().add_records(
+            [
+                _record(nprocs=8, runtime=100.0, wait_seconds=10.0),
+                _record(nprocs=16, runtime=50.0),
+            ]
+        )
+        t = report.totals()
+        assert t["runs"] == 2
+        assert t["used_core_seconds"] == 100.0 * 8 + 50.0 * 16
+        assert t["wasted_core_seconds"] == 10.0 * 8
+        d = report.to_dict()
+        assert len(d["buckets"]) == 2
+        assert d["totals"] == t
+        text = report.summary()
+        assert "TOTAL" in text and "stencil3d" in text
+
+    def test_empty_report(self):
+        report = WasteReport()
+        assert report.buckets == []
+        assert report.totals()["waste_fraction"] == 0.0

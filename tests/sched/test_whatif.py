@@ -1,0 +1,162 @@
+"""What-if planner: frontier invariants, constraint handling, the
+infeasible fallback, wait-model integration, and input validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched import WaitTimePredictor, WhatIfPlanner
+
+SCALES = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def amdahl_runtime(x, scales):
+    """Strong-scaling stub: runtime falls then rises past scale 32."""
+    s = np.asarray(scales, dtype=np.float64)
+    return 10000.0 / s + 10.0 * s
+
+
+class TestFrontier:
+    def test_points_cover_all_scales(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate([1.0], SCALES)
+        assert [p.scale for p in result.points] == SCALES
+        for p in result.points:
+            assert p.turnaround == pytest.approx(p.wait + p.runtime)
+            assert p.core_hours == pytest.approx(
+                p.runtime * p.scale / 3600.0
+            )
+            assert p.wait == 0.0 and p.wait_p90 is None
+
+    def test_frontier_monotone(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate([1.0], SCALES)
+        costs = [p.core_hours for p in result.frontier]
+        turns = [p.turnaround for p in result.frontier]
+        assert costs == sorted(costs)
+        assert all(a > b for a, b in zip(turns, turns[1:]))
+
+    def test_dominated_scales_excluded(self):
+        # Past the runtime minimum (scale 32) both cost and turnaround
+        # rise, so 64 and 128 are dominated.
+        result = WhatIfPlanner(amdahl_runtime).evaluate([1.0], SCALES)
+        frontier_scales = [p.scale for p in result.frontier]
+        assert frontier_scales == [1, 2, 4, 8, 16, 32]
+
+    def test_duplicate_scales_deduped(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate([1.0], [8, 8, 4])
+        assert [p.scale for p in result.points] == [4, 8]
+
+
+class TestRecommendation:
+    def test_unconstrained_picks_cheapest_frontier_point(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate([1.0], SCALES)
+        assert result.recommended.scale == 1
+        assert result.recommended.feasible
+
+    def test_deadline_picks_cheapest_fast_enough(self):
+        # turnaround(1)=10010, (2)=5020, (4)=2540, (8)=1330; deadline
+        # 3000 rules out 1 and 2, so the cheapest feasible is scale 4.
+        result = WhatIfPlanner(amdahl_runtime).evaluate(
+            [1.0], SCALES, deadline=3000.0
+        )
+        assert result.recommended.scale == 4
+        assert result.recommended.meets_deadline
+
+    def test_budget_excludes_expensive_scales(self):
+        # core_hours(32)=3.6, (16)=3.5; budget 3.0 keeps scales <= 8.
+        result = WhatIfPlanner(amdahl_runtime).evaluate(
+            [1.0], SCALES, budget_core_hours=3.0
+        )
+        assert result.recommended.within_budget
+        assert result.recommended.core_hours <= 3.0
+
+    def test_infeasible_falls_back_to_fastest(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate(
+            [1.0], SCALES, deadline=1.0
+        )
+        assert result.recommended is not None
+        assert not result.recommended.feasible
+        assert result.recommended.turnaround == min(
+            p.turnaround for p in result.points
+        )
+
+    def test_result_to_dict_round_trips(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate(
+            [1.0], SCALES, deadline=3000.0
+        )
+        d = result.to_dict()
+        assert d["deadline"] == 3000.0
+        assert d["recommended"]["scale"] == result.recommended.scale
+        assert len(d["points"]) == len(SCALES)
+        assert all(p["feasible"] in (True, False) for p in d["points"])
+
+
+class TestWaitModel:
+    def test_waits_from_queue_state_without_model(self):
+        result = WhatIfPlanner(amdahl_runtime).evaluate(
+            [1.0], [4, 8], queue_state={"wait_seconds": 120.0}
+        )
+        assert all(p.wait == 120.0 for p in result.points)
+
+    def test_wait_model_fills_per_scale_waits(self, fitted_wait_model, probes):
+        state = probes[0].features()
+        planner = WhatIfPlanner(
+            amdahl_runtime, wait_model=fitted_wait_model, limit_margin=1.5
+        )
+        result = planner.evaluate([1.0], SCALES, queue_state=state)
+        for p in result.points:
+            assert p.wait >= 0.0
+            assert p.wait_p90 is not None and p.wait_p90 >= 0.0
+        # The model must actually read the substituted nodes feature:
+        # on a busy queue bigger requests cannot be uniformly cheaper.
+        waits = [p.wait for p in result.points]
+        assert len(set(waits)) > 1
+
+    def test_nodes_for_mapping_used(self, fitted_wait_model):
+        seen = []
+
+        def nodes_for(scale):
+            seen.append(scale)
+            return max(1, scale // 4)
+
+        WhatIfPlanner(
+            amdahl_runtime,
+            wait_model=fitted_wait_model,
+            nodes_for=nodes_for,
+        ).evaluate([1.0], [8, 32])
+        assert seen == [8, 32]
+
+    def test_unfitted_wait_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WhatIfPlanner(amdahl_runtime, wait_model=WaitTimePredictor())
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            WhatIfPlanner("not callable")
+        with pytest.raises(ConfigurationError):
+            WhatIfPlanner(amdahl_runtime, limit_margin=0.5)
+
+    def test_evaluate_rejects_bad_inputs(self):
+        planner = WhatIfPlanner(amdahl_runtime)
+        with pytest.raises(ConfigurationError):
+            planner.evaluate([1.0], [])
+        with pytest.raises(ConfigurationError):
+            planner.evaluate([1.0], [0, 4])
+        with pytest.raises(ConfigurationError):
+            planner.evaluate([1.0], [4], deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            planner.evaluate([1.0], [4], budget_core_hours=-1.0)
+
+    def test_bad_runtime_predictions_rejected(self):
+        wrong_shape = WhatIfPlanner(lambda x, s: np.ones(len(s) + 1))
+        with pytest.raises(ConfigurationError):
+            wrong_shape.evaluate([1.0], [4, 8])
+        non_finite = WhatIfPlanner(lambda x, s: np.full(len(s), np.nan))
+        with pytest.raises(ConfigurationError):
+            non_finite.evaluate([1.0], [4, 8])
+        negative = WhatIfPlanner(lambda x, s: -np.ones(len(s)))
+        with pytest.raises(ConfigurationError):
+            negative.evaluate([1.0], [4, 8])

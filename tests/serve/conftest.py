@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core import TwoLevelModel
+from repro.sched import QueueConfig, QueueSimulator, WaitTimePredictor
 from repro.serve import ModelArtifact, ModelRegistry
 
 SMALL_SCALES = [32, 64, 128, 256]
@@ -48,3 +49,27 @@ def registry(tmp_path, artifact):
     reg = ModelRegistry(tmp_path / "registry")
     reg.register("stencil", artifact)
     return reg
+
+
+@pytest.fixture(scope="session")
+def wait_predictor():
+    """A small fitted wait model (queue build is the slow part)."""
+    sim = QueueSimulator(
+        QueueConfig(n_nodes=128, arrival_rate=0.006, horizon=43200.0, seed=2)
+    )
+    probes = sim.sample_observations(150, seed=4)
+    return WaitTimePredictor(n_estimators=8, random_state=0).fit(
+        [o.features() for o in probes],
+        [o.wait_seconds for o in probes],
+    )
+
+
+@pytest.fixture(scope="session")
+def wait_artifact(wait_predictor):
+    return ModelArtifact.create(
+        wait_predictor,
+        app_name="queue",
+        param_names=[],
+        n_train_rows=150,
+        metadata={"n_nodes": "128"},
+    )

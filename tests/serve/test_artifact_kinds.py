@@ -1,0 +1,171 @@
+"""Artifact-kind generalization: the wait-model kind round-trips
+bit-exactly through every persistence surface (save/load, registry,
+fsck, pin/prune), and an artifact claiming an unknown kind is refused
+*before* its payload is unpickled."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactFormatError, PredictionRequestError
+from repro.sched import WaitTimePredictor
+from repro.serve import (
+    KIND_WAIT_MODEL,
+    KNOWN_KINDS,
+    ModelArtifact,
+    ModelRegistry,
+    detect_kind,
+)
+from repro.serve.artifacts import (
+    KIND_CURVE_FIT,
+    KIND_DIRECT_ML,
+    KIND_PICKLE,
+    KIND_TWO_LEVEL,
+    MANIFEST_NAME,
+    PAYLOAD_NAME,
+)
+
+QUEUE_STATE = {
+    "nodes": 16.0,
+    "time_limit": 3600.0,
+    "queue_depth": 10.0,
+    "free_nodes": 30.0,
+    "running_jobs": 8.0,
+    "pending_node_seconds": 1.5e6,
+}
+
+
+class _Poison:
+    """Pickles fine; unpickling it is the tripwire."""
+
+    def __reduce__(self):
+        return (_explode, ())
+
+
+def _explode():
+    raise RuntimeError("payload was unpickled")
+
+
+def test_known_kinds_inventory():
+    assert KNOWN_KINDS == {
+        KIND_TWO_LEVEL,
+        KIND_DIRECT_ML,
+        KIND_CURVE_FIT,
+        KIND_WAIT_MODEL,
+        KIND_PICKLE,
+    }
+
+
+def test_detect_kind_wait_model(wait_predictor, fitted_model):
+    assert detect_kind(wait_predictor) == KIND_WAIT_MODEL
+    assert detect_kind(fitted_model) == KIND_TWO_LEVEL
+    assert detect_kind(object()) == KIND_PICKLE
+
+
+def test_unknown_kind_refused_before_unpickling(wait_artifact, tmp_path):
+    path = wait_artifact.save(tmp_path / "art")
+    poison = pickle.dumps(_Poison(), protocol=pickle.HIGHEST_PROTOCOL)
+    (path / PAYLOAD_NAME).write_bytes(poison)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    manifest["kind"] = "alien-kind"
+    # Keep the checksum consistent so the only possible refusal reason
+    # is the kind itself, not an integrity failure.
+    manifest["payload_sha256"] = hashlib.sha256(poison).hexdigest()
+    (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    with pytest.raises(ArtifactFormatError, match="unknown artifact kind"):
+        ModelArtifact.load(path)
+
+
+def test_wait_model_roundtrip_bit_identical(
+    wait_predictor, wait_artifact, tmp_path
+):
+    path = wait_artifact.save(tmp_path / "art")
+    loaded = ModelArtifact.load(path)
+    assert loaded.info.kind == KIND_WAIT_MODEL
+    assert not loaded.servable
+    obs = [
+        {**QUEUE_STATE, "nodes": float(n), "queue_depth": float(d)}
+        for n in (1, 8, 64)
+        for d in (0, 5, 40)
+    ]
+    assert np.array_equal(
+        wait_predictor.predict(obs), loaded.predictor.predict(obs)
+    )
+    assert np.array_equal(
+        wait_predictor.predict_quantiles(obs),
+        loaded.predictor.predict_quantiles(obs),
+    )
+
+
+def test_wait_model_payload_not_a_raw_pickle_of_the_class(
+    wait_artifact, tmp_path
+):
+    """The payload stores params + fitted state, not the instance."""
+    path = wait_artifact.save(tmp_path / "art")
+    decoded = pickle.loads((path / PAYLOAD_NAME).read_bytes())
+    assert decoded["format"] == KIND_WAIT_MODEL
+    assert set(decoded) == {"format", "params", "state"}
+    assert not isinstance(decoded["state"], WaitTimePredictor)
+
+
+def test_predict_wait_surface(wait_artifact):
+    out = wait_artifact.predict_wait([QUEUE_STATE], quantiles=(0.1, 0.9))
+    assert len(out["wait_seconds"]) == 1
+    assert out["wait_seconds"][0] >= 0.0
+    assert out["quantiles"] == [0.1, 0.9]
+    lo, hi = out["wait_quantiles"][0]
+    assert 0.0 <= lo <= hi + 1e-9
+
+
+def test_predict_wait_refused_on_runtime_artifact(artifact):
+    with pytest.raises(PredictionRequestError, match="wait"):
+        artifact.predict_wait([QUEUE_STATE])
+
+
+class TestRegistryParity:
+    """Registry operations treat wait-model versions like any other."""
+
+    @pytest.fixture()
+    def mixed_registry(self, tmp_path, artifact, wait_artifact):
+        reg = ModelRegistry(tmp_path / "reg")
+        reg.register("stencil", artifact)
+        reg.register("queue-wait", wait_artifact)
+        reg.register("queue-wait", wait_artifact)
+        return reg
+
+    def test_register_load_both_kinds(self, mixed_registry):
+        assert mixed_registry.models() == ["queue-wait", "stencil"]
+        assert mixed_registry.versions("queue-wait") == [1, 2]
+        loaded = mixed_registry.load("queue-wait")
+        assert loaded.info.kind == KIND_WAIT_MODEL
+        assert loaded.predictor.is_fitted
+
+    def test_pin_resolves_wait_model(self, mixed_registry):
+        mixed_registry.pin("queue-wait", 1)
+        assert mixed_registry.resolve("queue-wait") == 1
+        mixed_registry.unpin("queue-wait")
+        assert mixed_registry.resolve("queue-wait") == 2
+
+    def test_prune_wait_model_versions(self, mixed_registry):
+        removed = mixed_registry.prune("queue-wait", keep_last=1)
+        assert removed == {"queue-wait": [1]}
+        assert mixed_registry.versions("queue-wait") == [2]
+
+    def test_fsck_clean_with_mixed_kinds(self, mixed_registry):
+        report = mixed_registry.fsck()
+        assert report.clean
+
+    def test_fsck_quarantines_corrupt_wait_model(self, mixed_registry):
+        payload = mixed_registry.path("queue-wait", 2) / PAYLOAD_NAME
+        blob = payload.read_bytes()
+        payload.write_bytes(blob[:-1] + bytes([blob[-1] ^ 1]))
+        report = mixed_registry.fsck(repair=True)
+        assert not report.clean
+        assert mixed_registry.versions("queue-wait") == [1]
+        # The healthy runtime model is untouched.
+        assert mixed_registry.versions("stencil") == [1]

@@ -1,0 +1,316 @@
+"""Scheduler-intelligence endpoints (/wait, /whatif, /waste) and bearer
+authentication, over a real socket."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ModelRegistry, create_server
+from repro.store import HistoryStore
+
+from .conftest import SMALL_SCALES
+
+TOKEN = "sched-secret"
+
+
+@pytest.fixture
+def sched_registry(tmp_path, artifact, wait_artifact):
+    reg = ModelRegistry(tmp_path / "registry")
+    reg.register("stencil", artifact)
+    reg.register("queue-wait", wait_artifact)
+    return reg
+
+
+@pytest.fixture
+def history_store(tmp_path, tiny_history):
+    store = HistoryStore.create(
+        tmp_path / "hist",
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+    )
+    store.append(tiny_history)
+    return store
+
+
+def _serve(srv):
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture
+def server(sched_registry, history_store):
+    srv = create_server(
+        sched_registry, port=0, auth_token=TOKEN, waste_store=history_store
+    )
+    thread = _serve(srv)
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture
+def open_server(sched_registry):
+    srv = create_server(sched_registry, port=0)
+    thread = _serve(srv)
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=5)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(_url(server, path), timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(server, path, payload, token=TOKEN):
+    headers = {"Content-Type": "application/json"}
+    if token is not None:
+        headers["Authorization"] = f"Bearer {token}"
+    req = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode(),
+        headers=headers,
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def _params(tiny_history, row=0):
+    return {
+        name: float(v)
+        for name, v in zip(tiny_history.param_names, tiny_history.X[row])
+    }
+
+
+QUEUE_STATE = {
+    "queue_depth": 12.0,
+    "free_nodes": 40.0,
+    "running_jobs": 9.0,
+    "pending_node_seconds": 2.0e6,
+}
+
+
+class TestAuthentication:
+    def test_post_without_token_is_401(self, server, tiny_history):
+        code, body, headers = _post(
+            server,
+            "/predict",
+            {"params": _params(tiny_history), "scales": SMALL_SCALES},
+            token=None,
+        )
+        assert code == 401
+        assert "bearer" in body["message"].lower()
+        assert headers.get("WWW-Authenticate") == 'Bearer realm="repro"'
+
+    def test_post_with_wrong_token_is_401(self, server, tiny_history):
+        code, _, _ = _post(
+            server,
+            "/predict",
+            {"params": _params(tiny_history), "scales": SMALL_SCALES},
+            token="wrong",
+        )
+        assert code == 401
+
+    @pytest.mark.parametrize(
+        "path", ["/wait", "/whatif", "/waste", "/batch"]
+    )
+    def test_every_post_route_guarded(self, server, path):
+        code, _, _ = _post(server, path, {}, token=None)
+        assert code == 401
+
+    def test_get_routes_exempt(self, server):
+        assert _get(server, "/healthz")[0] == 200
+        assert _get(server, "/models")[0] == 200
+
+    def test_post_with_token_succeeds(self, server, tiny_history):
+        code, body, _ = _post(
+            server,
+            "/predict",
+            {
+                "model": "stencil",
+                "params": _params(tiny_history),
+                "scales": SMALL_SCALES,
+            },
+        )
+        assert code == 200
+        assert len(body["predictions"]) == len(SMALL_SCALES)
+
+    def test_no_token_configured_means_open(self, open_server, tiny_history):
+        code, _, _ = _post(
+            open_server,
+            "/predict",
+            {
+                "model": "stencil",
+                "params": _params(tiny_history),
+                "scales": SMALL_SCALES,
+            },
+            token=None,
+        )
+        assert code == 200
+
+
+class TestWaitEndpoint:
+    def test_single_queue_state(self, server):
+        code, body, _ = _post(
+            server,
+            "/wait",
+            {
+                "model": "queue-wait",
+                "queue_state": {**QUEUE_STATE, "nodes": 16, "time_limit": 3600},
+            },
+        )
+        assert code == 200
+        assert body["version"] == 1
+        assert len(body["wait_seconds"]) == 1
+        assert body["wait_seconds"][0] >= 0.0
+
+    def test_observation_batch_with_quantiles(self, server):
+        obs = [
+            {**QUEUE_STATE, "nodes": n, "time_limit": 3600.0}
+            for n in (4, 16, 64)
+        ]
+        code, body, _ = _post(
+            server,
+            "/wait",
+            {
+                "model": "queue-wait",
+                "observations": obs,
+                "quantiles": [0.1, 0.9],
+            },
+        )
+        assert code == 200
+        assert len(body["wait_seconds"]) == 3
+        assert body["quantiles"] == [0.1, 0.9]
+        assert len(body["wait_quantiles"]) == 3
+        for lo, hi in body["wait_quantiles"]:
+            assert 0.0 <= lo <= hi + 1e-9
+
+    def test_runtime_model_kind_is_400(self, server):
+        code, body, _ = _post(
+            server,
+            "/wait",
+            {"model": "stencil", "queue_state": QUEUE_STATE},
+        )
+        assert code == 400
+        assert "not a wait model" in body["message"]
+
+    def test_missing_observations_is_400(self, server):
+        code, _, _ = _post(server, "/wait", {"model": "queue-wait"})
+        assert code == 400
+
+    def test_unknown_model_is_404(self, server):
+        code, _, _ = _post(
+            server, "/wait", {"model": "nope", "queue_state": QUEUE_STATE}
+        )
+        assert code == 404
+
+
+class TestWhatIfEndpoint:
+    def test_frontier_and_recommendation(self, server, tiny_history):
+        code, body, _ = _post(
+            server,
+            "/whatif",
+            {
+                "model": "stencil",
+                "params": _params(tiny_history),
+                "scales": SMALL_SCALES,
+                "wait_model": "queue-wait",
+                "queue_state": QUEUE_STATE,
+            },
+        )
+        assert code == 200
+        assert body["model"] == "stencil"
+        assert body["wait_model"] == "queue-wait"
+        assert len(body["points"]) == len(SMALL_SCALES)
+        assert 1 <= len(body["frontier"]) <= len(SMALL_SCALES)
+        costs = [p["core_hours"] for p in body["frontier"]]
+        turns = [p["turnaround"] for p in body["frontier"]]
+        assert costs == sorted(costs)
+        assert all(a > b for a, b in zip(turns, turns[1:]))
+        assert body["recommended"] is not None
+        for p in body["points"]:
+            assert p["wait_p90"] is not None
+
+    def test_without_wait_model(self, server, tiny_history):
+        code, body, _ = _post(
+            server,
+            "/whatif",
+            {
+                "model": "stencil",
+                "params": _params(tiny_history),
+                "scales": SMALL_SCALES,
+                "deadline": 1e9,
+            },
+        )
+        assert code == 200
+        assert body["wait_model"] is None
+        assert all(p["wait"] == 0.0 for p in body["points"])
+        assert body["recommended"]["feasible"]
+
+    def test_bad_limit_margin_is_400(self, server, tiny_history):
+        code, _, _ = _post(
+            server,
+            "/whatif",
+            {
+                "model": "stencil",
+                "params": _params(tiny_history),
+                "scales": SMALL_SCALES,
+                "limit_margin": 0.1,
+            },
+        )
+        assert code == 400
+
+    def test_missing_param_is_400(self, server):
+        code, _, _ = _post(
+            server,
+            "/whatif",
+            {"model": "stencil", "params": {}, "scales": SMALL_SCALES},
+        )
+        assert code == 400
+
+
+class TestWasteEndpoint:
+    def test_report_over_store(self, server, tiny_history):
+        code, body, _ = _post(server, "/waste", {})
+        assert code == 200
+        assert body["totals"]["runs"] == len(tiny_history.runtime)
+        scales = {b["nprocs"] for b in body["buckets"]}
+        assert scales == set(SMALL_SCALES)
+
+    def test_time_limit_changes_accounting(self, server, tiny_history):
+        limit = float(sorted(tiny_history.runtime)[len(tiny_history.runtime) // 2])
+        code, body, _ = _post(
+            server, "/waste", {"time_limit": limit, "chunk_rows": 16}
+        )
+        assert code == 200
+        assert body["totals"]["censored_runs"] > 0
+        assert body["totals"]["overrequest_core_seconds"] > 0
+
+    def test_bad_time_limit_is_400(self, server):
+        code, _, _ = _post(server, "/waste", {"time_limit": -5})
+        assert code == 400
+
+    def test_unconfigured_store_is_400(self, open_server):
+        code, body, _ = _post(open_server, "/waste", {}, token=None)
+        assert code == 400
+        assert "store" in body["message"].lower()

@@ -1,0 +1,84 @@
+"""Back-compat: version-1 stores (no ``wait_seconds`` column) still
+load under the v2 schema, with zero waits synthesized everywhere the
+column is asked for."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetFormatError
+from repro.store import STORE_FORMAT_VERSION, HistoryStore
+
+MANIFEST = "manifest.json"
+
+
+@pytest.fixture()
+def v1_store_root(tmp_path, tiny_history):
+    """A store written by this build, then stripped down to v1 layout."""
+    root = tmp_path / "hist"
+    store = HistoryStore.create(
+        root,
+        app_name=tiny_history.app_name,
+        param_names=tiny_history.param_names,
+    )
+    store.append(tiny_history)
+    for column_file in (root / "shards").glob("*/wait_seconds.npy"):
+        column_file.unlink()
+    manifest = json.loads((root / MANIFEST).read_text())
+    manifest["format_version"] = 1
+    (root / MANIFEST).write_text(json.dumps(manifest))
+    return root
+
+
+def test_current_format_version_is_two():
+    assert STORE_FORMAT_VERSION == 2
+
+
+def test_v1_store_opens_and_synthesizes_zero_waits(
+    v1_store_root, tiny_history
+):
+    store = HistoryStore.open(v1_store_root)
+    assert store.n_rows == len(tiny_history)
+    cols = store.load_columns(("nprocs", "runtime", "wait_seconds"))
+    assert np.array_equal(
+        np.sort(cols["runtime"]), np.sort(tiny_history.runtime)
+    )
+    assert np.array_equal(
+        cols["wait_seconds"], np.zeros(len(tiny_history))
+    )
+
+
+def test_v1_store_streams_chunks_with_zero_waits(v1_store_root, tiny_history):
+    store = HistoryStore.open(v1_store_root)
+    rows = 0
+    for chunk in store.iter_chunks(
+        columns=("nprocs", "wait_seconds"), chunk_rows=16
+    ):
+        assert np.all(chunk["wait_seconds"] == 0.0)
+        rows += len(chunk["nprocs"])
+    assert rows == len(tiny_history)
+
+
+def test_v1_store_materializes_dataset(v1_store_root, tiny_history):
+    ds = HistoryStore.open(v1_store_root).to_dataset()
+    assert len(ds) == len(tiny_history)
+    assert np.array_equal(ds.wait_seconds, np.zeros(len(tiny_history)))
+
+
+def test_missing_required_column_still_fails(v1_store_root):
+    for column_file in (v1_store_root / "shards").glob("*/runtime.npy"):
+        column_file.unlink()
+    store = HistoryStore.open(v1_store_root)
+    with pytest.raises(DatasetFormatError, match="runtime"):
+        store.load_columns(("runtime",))
+
+
+def test_future_format_version_is_refused(v1_store_root):
+    manifest = json.loads((v1_store_root / MANIFEST).read_text())
+    manifest["format_version"] = STORE_FORMAT_VERSION + 1
+    (v1_store_root / MANIFEST).write_text(json.dumps(manifest))
+    with pytest.raises(DatasetFormatError, match="newer"):
+        HistoryStore.open(v1_store_root)
